@@ -1,0 +1,395 @@
+(* rcn — command-line interface to the recoverable-consensus-numbers
+   toolkit: deciders, state-machine rendering, protocol simulation,
+   exhaustive certification and witness synthesis. *)
+
+let type_arg_doc =
+  "Gallery type name (see `rcn gallery`), e.g. 'test-and-set', 'T_{5,2}', \
+   'x4-witness', 'team-ladder-2' — or a path to a specification file \
+   produced by `rcn synth --save` / Objtype.to_spec_string."
+
+let lookup_type name =
+  match Gallery.find name with
+  | Some t -> Ok t
+  | None when Sys.file_exists name -> (
+      let contents = In_channel.with_open_text name In_channel.input_all in
+      try Ok (Objtype.of_spec_string contents)
+      with Objtype.Ill_formed msg -> Error (`Msg (Printf.sprintf "%s: %s" name msg)))
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown type %S (and no such file); available: %s" name
+             (String.concat ", " (List.map fst (Gallery.all ())))))
+
+let objtype_conv =
+  Cmdliner.Arg.conv ((fun s -> lookup_type s), fun ppf t -> Objtype.pp ppf t)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze ty cap certs =
+  let a = Numbers.analyze ~cap ty in
+  Format.printf "%a@." Numbers.pp_analysis a;
+  if certs then begin
+    (match a.Numbers.discerning.Numbers.certificate with
+    | Some c -> Format.printf "@.discerning witness:@.%a@." Certificate.pp c
+    | None -> ());
+    match a.Numbers.recording.Numbers.certificate with
+    | Some c ->
+        Format.printf "@.recording witness:@.%a@.clean: %b@." Certificate.pp c
+          (Certificate.is_clean c)
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* gallery *)
+
+let gallery cap =
+  Format.printf "%-18s %-9s %-9s %-9s %-9s %-9s@." "type" "readable" "disc" "rec" "cons"
+    "rcons";
+  List.iter
+    (fun (_, ty) -> Format.printf "%a@." Numbers.pp_analysis (Numbers.analyze ~cap ty))
+    (Gallery.all ())
+
+(* ------------------------------------------------------------------ *)
+(* statemachine (Figure 3) *)
+
+let statemachine ty dot all_values =
+  let reachable_only = not all_values in
+  if dot then print_string (Dot.to_dot ~reachable_only ty)
+  else print_string (Dot.to_ascii ~reachable_only ty)
+
+(* ------------------------------------------------------------------ *)
+(* simulate / certify *)
+
+type packed = Packed : 'st Program.t -> packed
+
+let protocols =
+  [
+    ("tnn-waitfree", "wait-free n-consensus on T_{n,n'} (paper Section 4)");
+    ("tnn-recoverable", "recoverable n'-consensus on T_{n,n'} (paper Section 4)");
+    ("tnn-overloaded", "the recoverable protocol run by n'+1 processes (breaks)");
+    ("cas", "n-process consensus from compare-and-swap");
+    ("sticky", "n-process consensus from a sticky bit");
+    ("tas2", "2-process consensus from test-and-set (breaks under crashes)");
+    ("race", "register-only negative control (breaks even crash-free)");
+    ("election2", "recoverable consensus from a clean 2-recording certificate");
+    ("discerning2", "crash-free consensus from a 2-discerning certificate (Ruppert)");
+    ("tournament", "n-process recoverable consensus via a certificate tournament (use -n)");
+  ]
+
+let build_protocol name ~n ~n' =
+  match name with
+  | "tnn-waitfree" -> Ok (Packed (Tnn_protocol.wait_free ~n ~n'), n)
+  | "tnn-recoverable" -> Ok (Packed (Tnn_protocol.recoverable ~n ~n'), n')
+  | "tnn-overloaded" ->
+      Ok (Packed (Tnn_protocol.recoverable_overloaded ~procs:(n' + 1) ~n ~n'), n' + 1)
+  | "cas" -> Ok (Packed (Classic.cas_consensus ~nprocs:n), n)
+  | "sticky" -> Ok (Packed (Classic.sticky_consensus ~nprocs:n), n)
+  | "tas2" -> Ok (Packed Classic.tas_consensus_2, 2)
+  | "race" -> Ok (Packed (Classic.register_race ~nprocs:2), 2)
+  | "election2" -> (
+      match Decide.search Decide.Recording (Gallery.team_ladder ~cap:2) ~n:2 with
+      | Some cert -> Ok (Packed (Election.consensus_2 cert), 2)
+      | None -> Error (`Msg "no 2-recording certificate for team-ladder-2 (unexpected)"))
+  | "discerning2" -> (
+      match Decide.search Decide.Discerning Gallery.test_and_set ~n:2 with
+      | Some cert -> Ok (Packed (Election.discerning_consensus_2 cert), 2)
+      | None -> Error (`Msg "no 2-discerning certificate for test-and-set (unexpected)"))
+  | "tournament" -> (
+      match Tournament.plan (Gallery.team_ladder ~cap:n) ~nprocs:n with
+      | Ok plan -> Ok (Packed (Tournament.consensus plan), n)
+      | Error m -> Error (`Msg ("tournament planning failed: " ^ m)))
+  | other ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown protocol %S; available: %s" other
+             (String.concat ", " (List.map fst protocols))))
+
+let binary_inputs n = List.init (1 lsl n) (fun mask -> Array.init n (fun i -> (mask lsr i) land 1))
+
+let simulate name n n' seeds crash_prob z =
+  match build_protocol name ~n ~n' with
+  | Error (`Msg m) -> prerr_endline m; exit 2
+  | Ok (Packed p, procs) ->
+      let inputs_list = binary_inputs procs in
+      let violations = ref 0 and undecided = ref 0 and runs = ref 0 in
+      List.iter
+        (fun inputs ->
+          for seed = 1 to seeds do
+            incr runs;
+            let adv = Adversary.random ~crash_prob ~seed ~nprocs:procs in
+            let c0 = Config.initial p ~inputs in
+            let budget = Budget.counter ~z ~nprocs:procs in
+            let final, _, out =
+              Exec.run_adversary p c0
+                ~pick:(fun ~decided b -> adv ~decided b)
+                ~budget ~fuel:5000 ()
+            in
+            if not out.Exec.all_decided then incr undecided
+            else if not (Checker.is_ok (Checker.consensus p final)) then incr violations
+          done)
+        inputs_list;
+      Printf.printf "%s: %d runs, %d agreement/validity violations, %d incomplete\n"
+        p.Program.name !runs !violations !undecided;
+      if !violations > 0 then exit 1
+
+let certify name n n' z max_events =
+  match build_protocol name ~n ~n' with
+  | Error (`Msg m) -> prerr_endline m; exit 2
+  | Ok (Packed p, procs) -> (
+      let inputs_list = binary_inputs procs in
+      match Counterexample.certify ~max_events ~z ~inputs_list p with
+      | Ok (), truncated ->
+          Printf.printf "%s: certified, no violation in E_%d^* executions%s\n" p.Program.name z
+            (if truncated then " (TRUNCATED — result is partial)" else " (exhaustive)")
+      | Error r, _ ->
+          Printf.printf "%s: VIOLATION with inputs [%s]:\n  schedule: %s\n" p.Program.name
+            (String.concat "; " (Array.to_list (Array.map string_of_int r.Counterexample.inputs)))
+            (Sched.to_string r.Counterexample.schedule);
+          exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace name n n' schedule_text inputs_text =
+  match build_protocol name ~n ~n' with
+  | Error (`Msg m) -> prerr_endline m; exit 2
+  | Ok (Packed p, procs) -> (
+      match Sched.of_string schedule_text with
+      | Error m -> prerr_endline ("bad schedule: " ^ m); exit 2
+      | Ok sched ->
+          let inputs =
+            match inputs_text with
+            | None -> Array.init procs (fun i -> i mod 2)
+            | Some text ->
+                let digits = List.init (String.length text) (String.get text) in
+                Array.of_list (List.map (fun c -> Char.code c - Char.code '0') digits)
+          in
+          if Array.length inputs <> procs then begin
+            Printf.eprintf "expected %d inputs\n" procs;
+            exit 2
+          end;
+          let c0 = Config.initial p ~inputs in
+          let final, events = Exec.run_schedule p c0 sched in
+          Format.printf "%a" (Exec.pp_trace p) events;
+          Array.iteri
+            (fun i d ->
+              match d with
+              | Some v -> Format.printf "p%d decided %d@." i v
+              | None -> Format.printf "p%d undecided@." i)
+            (Config.decisions p final);
+          Format.printf "verdict: %a@." Checker.pp_verdict (Checker.consensus p final))
+
+(* ------------------------------------------------------------------ *)
+(* synth *)
+
+let synth target values rws responses seed iters save =
+  let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
+  match Synth.search ~seed ~max_iterations:iters ~target space with
+  | Some w ->
+      Printf.printf "witness found after %d evaluations:\n" w.Synth.iterations;
+      Format.printf "%a@." Objtype.pp_table w.Synth.objtype;
+      Printf.printf "consensus number %d, recoverable consensus number %d\n"
+        w.Synth.discerning_level w.Synth.recording_level;
+      Option.iter
+        (fun path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Objtype.to_spec_string w.Synth.objtype));
+          Printf.printf "saved to %s (re-analyze with `rcn analyze %s`)\n" path path)
+        save
+  | None ->
+      Printf.printf "no witness found within %d evaluations\n" iters;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* chain (Theorem 13's construction) *)
+
+let chain name n n' z max_events inputs_text =
+  match build_protocol name ~n ~n' with
+  | Error (`Msg m) -> prerr_endline m; exit 2
+  | Ok (Packed p, procs) ->
+      let inputs =
+        match inputs_text with
+        | None -> Array.init procs (fun i -> i mod 2)
+        | Some text -> Array.init (String.length text) (fun i -> Char.code text.[i] - Char.code '0')
+      in
+      if Array.length inputs <> procs then begin
+        Printf.eprintf "expected %d inputs\n" procs;
+        exit 2
+      end;
+      let ctx = Explore.create ~z ~max_events p in
+      let steps, outcome = Explore.theorem13_chain ctx (Explore.root ctx ~inputs) in
+      List.iteri
+        (fun i (s : Explore.chain_step) ->
+          Format.printf "round %d: critical [%s]@." i (Sched.to_string s.Explore.schedule);
+          List.iter
+            (fun (p, v) -> Format.printf "  p%d on team %d@." p v)
+            s.Explore.step_teams;
+          Format.printf "  classification: %s@."
+            (match s.Explore.step_classification with
+            | Explore.N_recording -> "n-recording"
+            | Explore.Hiding v -> Printf.sprintf "%d-hiding" v
+            | Explore.Neither -> "neither"))
+        steps;
+      (match outcome with
+      | Explore.Reached_recording ->
+          Format.printf "chain ended at an n-recording configuration (Theorem 13)@."
+      | Explore.Exhausted i -> Format.printf "chain exhausted after %d rounds@." i
+      | Explore.Stuck m -> Format.printf "chain stuck: %s@." m)
+
+(* ------------------------------------------------------------------ *)
+(* census *)
+
+let census values rws responses cap sample_count seed =
+  let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
+  let entries =
+    match sample_count with
+    | Some count -> Census.sample ~cap ~seed ~count space
+    | None -> Census.exhaustive ~cap space
+  in
+  Format.printf "%a@." Census.pp entries
+
+(* ------------------------------------------------------------------ *)
+(* robustness *)
+
+let robustness names cap =
+  let types =
+    List.map
+      (fun name -> match lookup_type name with Ok t -> t | Error (`Msg m) -> prerr_endline m; exit 2)
+      names
+  in
+  Format.printf "%a@." Robustness.pp_report (Robustness.analyze ~cap types)
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing *)
+
+open Cmdliner
+
+let cap_t =
+  Arg.(value & opt int 5 & info [ "cap" ] ~docv:"N" ~doc:"Scan levels up to $(docv).")
+
+let ty_t = Arg.(required & pos 0 (some objtype_conv) None & info [] ~docv:"TYPE" ~doc:type_arg_doc)
+
+let n_t = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Parameter n of T_{n,n'} / process count.")
+let n'_t = Arg.(value & opt int 2 & info [ "nprime" ] ~docv:"N'" ~doc:"Parameter n' of T_{n,n'}.")
+let z_t = Arg.(value & opt int 1 & info [ "z" ] ~docv:"Z" ~doc:"Crash budget parameter z of E_z^*.")
+
+let analyze_cmd =
+  let certs =
+    Arg.(value & flag & info [ "certificates" ] ~doc:"Also print witnessing certificates.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Determine (recoverable) consensus numbers of a gallery type")
+    Term.(const analyze $ ty_t $ cap_t $ certs)
+
+let gallery_cmd =
+  Cmd.v
+    (Cmd.info "gallery" ~doc:"Analyze every gallery type (experiment E5)")
+    Term.(const gallery $ cap_t)
+
+let statemachine_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz dot instead of ASCII.") in
+  let all_values =
+    Arg.(value & flag & info [ "all-values" ] ~doc:"Include values unreachable from the initial value.")
+  in
+  Cmd.v
+    (Cmd.info "statemachine"
+       ~doc:"Render a type's state-machine diagram (paper Figure 3 is 'T_{5,2}')")
+    Term.(const statemachine $ ty_t $ dot $ all_values)
+
+let proto_t =
+  let doc =
+    Printf.sprintf "Protocol: %s."
+      (String.concat "; " (List.map (fun (n, d) -> Printf.sprintf "%s (%s)" n d) protocols))
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+
+let simulate_cmd =
+  let seeds = Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"K" ~doc:"Random adversaries per input vector.") in
+  let crash_prob =
+    Arg.(value & opt float 0.2 & info [ "crash-prob" ] ~docv:"P" ~doc:"Crash probability per turn.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a protocol under random crash adversaries")
+    Term.(const simulate $ proto_t $ n_t $ n'_t $ seeds $ crash_prob $ z_t)
+
+let certify_cmd =
+  let max_events =
+    Arg.(value & opt int 60 & info [ "max-events" ] ~docv:"D" ~doc:"Execution length cap.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Exhaustively model-check a protocol over bounded-crash executions")
+    Term.(const certify $ proto_t $ n_t $ n'_t $ z_t $ max_events)
+
+let synth_cmd =
+  let target = Arg.(value & opt int 4 & info [ "target" ] ~docv:"N" ~doc:"Witness consensus number.") in
+  let values = Arg.(value & opt int 5 & info [ "values" ] ~docv:"V" ~doc:"Values in the search space.") in
+  let rws = Arg.(value & opt int 4 & info [ "rws" ] ~docv:"R" ~doc:"RMW operations in the search space.") in
+  let responses = Arg.(value & opt int 5 & info [ "responses" ] ~docv:"K" ~doc:"RMW responses.") in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.") in
+  let iters = Arg.(value & opt int 20000 & info [ "iterations" ] ~docv:"I" ~doc:"Fitness evaluation budget.") in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"Write the witness's specification to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Search for a consensus-number gap witness (experiment E6)")
+    Term.(const synth $ target $ values $ rws $ responses $ seed $ iters $ save)
+
+let trace_cmd =
+  let schedule =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SCHEDULE"
+           ~doc:"Schedule in the paper's notation, e.g. 'p0 p1 c1 p1'.")
+  in
+  let inputs =
+    Arg.(value & opt (some string) None & info [ "inputs" ] ~docv:"BITS"
+           ~doc:"Binary inputs, one digit per process (default alternating).")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Replay a schedule on a protocol and print the annotated trace")
+    Term.(const trace $ proto_t $ n_t $ n'_t $ schedule $ inputs)
+
+let chain_cmd =
+  let max_events =
+    Arg.(value & opt int 120 & info [ "max-events" ] ~docv:"D" ~doc:"Execution length cap.")
+  in
+  let inputs =
+    Arg.(value & opt (some string) None & info [ "inputs" ] ~docv:"BITS"
+           ~doc:"Binary inputs, one digit per process (default alternating).")
+  in
+  Cmd.v
+    (Cmd.info "chain"
+       ~doc:"Walk Theorem 13's chain construction (Figures 1-2) on a protocol")
+    Term.(const chain $ proto_t $ n_t $ n'_t $ z_t $ max_events $ inputs)
+
+let census_cmd =
+  let values = Arg.(value & opt int 3 & info [ "values" ] ~docv:"V" ~doc:"Values per type.") in
+  let rws = Arg.(value & opt int 2 & info [ "rws" ] ~docv:"R" ~doc:"RMW operations per type.") in
+  let responses = Arg.(value & opt int 2 & info [ "responses" ] ~docv:"K" ~doc:"RMW responses per type.") in
+  let sample_count =
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"N"
+           ~doc:"Sample $(docv) random types instead of exhausting the space.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Sampling seed.") in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:"Histogram (discerning, recording) levels over a whole space of small types")
+    Term.(const census $ values $ rws $ responses $ cap_t $ sample_count $ seed)
+
+let robustness_cmd =
+  let tys = Arg.(non_empty & pos_all string [] & info [] ~docv:"TYPE" ~doc:type_arg_doc) in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:"Combined recoverable-consensus power of a set of readable types (Theorem 14)")
+    Term.(const robustness $ tys $ cap_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "rcn" ~version:"1.0.0"
+       ~doc:"Determining recoverable consensus numbers (PODC 2024 reproduction)")
+    [
+      analyze_cmd; gallery_cmd; statemachine_cmd; simulate_cmd; certify_cmd; trace_cmd;
+      chain_cmd; synth_cmd; robustness_cmd; census_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

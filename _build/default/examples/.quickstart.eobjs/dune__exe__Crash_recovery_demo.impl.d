@@ -1,0 +1,1 @@
+examples/crash_recovery_demo.ml: Adversary Array Budget Checker Classic Config Counterexample Exec Explore Format List Objtype Printf Program Sched Tnn_protocol

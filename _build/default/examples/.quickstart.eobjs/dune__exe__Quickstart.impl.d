@@ -1,0 +1,1 @@
+examples/quickstart.ml: Certificate Dot Format Gallery List Numbers Objtype

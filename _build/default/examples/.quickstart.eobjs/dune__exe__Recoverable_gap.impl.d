@@ -1,0 +1,1 @@
+examples/recoverable_gap.ml: Array Counterexample Format Gallery List Numbers Objtype Robustness Sched String Tnn_protocol

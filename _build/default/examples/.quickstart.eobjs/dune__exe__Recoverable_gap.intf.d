@@ -1,0 +1,1 @@
+examples/recoverable_gap.mli:

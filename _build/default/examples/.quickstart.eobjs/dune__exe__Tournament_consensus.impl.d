@@ -1,0 +1,1 @@
+examples/tournament_consensus.ml: Adversary Array Budget Checker Config Exec Format Gallery List Numbers Objtype Option Sched String Tournament

@@ -1,0 +1,1 @@
+examples/tournament_consensus.mli:

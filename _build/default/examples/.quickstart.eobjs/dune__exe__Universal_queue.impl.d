@@ -1,0 +1,1 @@
+examples/universal_queue.ml: Adversary Array Budget Config Exec Format Gallery List Objtype Printf Program Sched String Universal

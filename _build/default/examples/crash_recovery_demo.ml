@@ -1,0 +1,93 @@
+(* Crash-recovery in the simulator: watch protocols survive (or fail to
+   survive) individual crashes, and inspect the valency machinery of the
+   paper's Section 3 on a live protocol.
+
+   Run with:  dune exec examples/crash_recovery_demo.exe *)
+
+let show_trace program inputs sched =
+  let c0 = Config.initial program ~inputs in
+  let final, trace = Exec.run_schedule program c0 sched in
+  List.iter
+    (function
+      | Exec.Stepped { proc; obj; op; response; no_op } ->
+          if no_op then Format.printf "  p%d steps (already decided, no-op)@." proc
+          else
+            let ty, _ = program.Program.heap.(obj) in
+            Format.printf "  p%d applies %s to obj%d -> %s@." proc
+              (ty.Objtype.op_name op) obj
+              (ty.Objtype.response_name response)
+      | Exec.Crashed proc -> Format.printf "  p%d CRASHES (local state reset)@." proc
+      | Exec.Crashed_all -> Format.printf "  SIMULTANEOUS CRASH (everyone reset)@.")
+    trace;
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some v -> Format.printf "  p%d decided %d@." i v
+      | None -> Format.printf "  p%d undecided@." i)
+    (Config.decisions program final);
+  final
+
+let () =
+  Format.printf "=== CAS consensus survives crashes (recoverable) ===@.";
+  let cas = Classic.cas_consensus ~nprocs:2 in
+  let sched =
+    Sched.[ step 0; crash 1; step 1; crash 1; step 1; step 1; step 0 ]
+  in
+  let final = show_trace cas [| 0; 1 |] sched in
+  Format.printf "verdict: %a@.@." Checker.pp_verdict (Checker.consensus cas final);
+
+  Format.printf "=== TAS consensus is NOT recoverable (Golab 2020) ===@.";
+  let tas = Classic.tas_consensus_2 in
+  (match
+     Counterexample.search ~z:1
+       ~inputs_list:[ [| 0; 1 |]; [| 1; 0 |] ]
+       tas
+   with
+  | Some r ->
+      Format.printf "violating crash schedule found by the model checker:@.";
+      let _ = show_trace tas r.Counterexample.inputs r.Counterexample.schedule in
+      Format.printf
+        "p1 crashed between winning the TAS and remembering it; on recovery@.\
+         it loses the TAS and adopts the other input — agreement breaks.@.@."
+  | None -> Format.printf "no violation (unexpected)@.");
+
+  Format.printf "=== Valency analysis (paper Section 3) on CAS consensus ===@.";
+  let ctx = Explore.create ~z:1 cas in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  (match Explore.valency ctx root with
+  | Explore.Bivalent -> Format.printf "initial configuration: bivalent (Observation 1)@."
+  | Explore.Univalent v -> Format.printf "initial configuration: %d-univalent?!@." v
+  | Explore.Unknown -> Format.printf "initial configuration: unknown@.");
+  (match Explore.find_critical ctx root with
+  | Some crit ->
+      Format.printf "critical execution: [%s]@."
+        (Sched.to_string (Explore.schedule_to crit));
+      let teams = Explore.teams ctx crit in
+      List.iter (fun (p, v) -> Format.printf "  p%d is on team %d@." p v) teams;
+      (match Explore.poised_object cas crit with
+      | Some obj ->
+          Format.printf "  every process is poised at object %d (Lemma 9 holds)@." obj
+      | None -> Format.printf "  processes poised at different objects?!@.");
+      (match Explore.classify ctx crit with
+      | Explore.N_recording ->
+          Format.printf "  the critical configuration is n-recording (Observation 11)@."
+      | Explore.Hiding v -> Format.printf "  the critical configuration is %d-hiding@." v
+      | Explore.Neither -> Format.printf "  neither recording nor hiding@.")
+  | None -> Format.printf "no critical execution (unexpected)@.");
+
+  Format.printf "@.=== A crash-storm adversary against the T_{5,2} protocol ===@.";
+  let p = Tnn_protocol.recoverable ~n:5 ~n':2 in
+  let c0 = Config.initial p ~inputs:[| 1; 0 |] in
+  let adv = Adversary.crash_storm ~period:2 ~seed:7 ~nprocs:2 in
+  let budget = Budget.counter ~z:2 ~nprocs:2 in
+  let final, sched, out =
+    Exec.run_adversary p c0 ~pick:(fun ~decided b -> adv ~decided b) ~budget ~rwf_bound:2
+      ~fuel:200 ()
+  in
+  Format.printf "schedule: %s@." (Sched.to_string sched);
+  Format.printf "all decided: %b, recoverable wait-freedom violations: %s@."
+    out.Exec.all_decided
+    (match out.Exec.rwf_violation with
+    | None -> "none"
+    | Some (p, s) -> Printf.sprintf "p%d ran %d steps without deciding" p s);
+  Format.printf "verdict: %a@." Checker.pp_verdict (Checker.consensus p final)

@@ -1,0 +1,69 @@
+(* n-process recoverable consensus, synthesized from certificates: the
+   executable face of DFFR Theorem 8 + the paper's Theorem 13 at full
+   strength.  The planner asks the decider for a clean recording
+   certificate at every node of a binary tournament over the processes;
+   planning succeeds exactly up to the type's recoverable consensus
+   number.
+
+   Run with:  dune exec examples/tournament_consensus.exe *)
+
+let () =
+  let ty = Gallery.team_ladder ~cap:4 in
+  Format.printf "type: %a@." Objtype.pp ty;
+  Format.printf "recoverable consensus number: %s@.@."
+    (Numbers.bound_to_string
+       (Option.get (Numbers.recoverable_consensus_number ~cap:5 ty)));
+
+  (* Plan a 4-process tournament. *)
+  (match Tournament.plan ty ~nprocs:4 with
+  | Error m -> Format.printf "planning failed: %s@." m
+  | Ok plan ->
+      Format.printf "%a@.@." Tournament.pp_plan plan;
+      let p = Tournament.consensus plan in
+
+      (* One crash-heavy run, narrated. *)
+      let inputs = [| 1; 0; 0; 1 |] in
+      let adv = Adversary.random ~crash_prob:0.3 ~seed:5 ~nprocs:4 in
+      let c0 = Config.initial p ~inputs in
+      let final, sched, out =
+        Exec.run_adversary p c0
+          ~pick:(fun ~decided b -> adv ~decided b)
+          ~budget:(Budget.counter ~z:1 ~nprocs:4)
+          ~fuel:4000 ()
+      in
+      Format.printf "inputs: %s@."
+        (String.concat "" (List.map string_of_int (Array.to_list inputs)));
+      Format.printf "schedule (%d events, %d crashes): %s@." (List.length sched)
+        (List.length
+           (List.filter (function Sched.Crash _ -> true | _ -> false) sched))
+        (Sched.to_string sched);
+      Array.iteri
+        (fun i d ->
+          match d with
+          | Some v -> Format.printf "p%d decided %d@." i v
+          | None -> Format.printf "p%d undecided@." i)
+        (Config.decisions p final);
+      Format.printf "all decided: %b, verdict: %a@.@." out.Exec.all_decided
+        Checker.pp_verdict (Checker.consensus p final);
+
+      (* Many more, silently. *)
+      let bad = ref 0 in
+      for seed = 1 to 500 do
+        let adv = Adversary.random ~crash_prob:0.3 ~seed ~nprocs:4 in
+        let c0 = Config.initial p ~inputs:[| seed land 1; (seed lsr 1) land 1; 0; 1 |] in
+        let final, _, out =
+          Exec.run_adversary p c0
+            ~pick:(fun ~decided b -> adv ~decided b)
+            ~budget:(Budget.counter ~z:1 ~nprocs:4)
+            ~fuel:4000 ()
+        in
+        if not (out.Exec.all_decided && Checker.is_ok (Checker.consensus p final)) then
+          incr bad
+      done;
+      Format.printf "500 crash storms: %d violations@.@." !bad);
+
+  (* The flip side, Theorem 13's necessity: a type whose recoverable
+     consensus number is too low cannot be planned. *)
+  match Tournament.plan (Gallery.team_ladder ~cap:4) ~nprocs:5 with
+  | Error m -> Format.printf "5 processes on a level-4 type: %s@." m
+  | Ok _ -> Format.printf "unexpected: 5-process plan on a level-4 type@."

@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Array Format Hashtbl List Objtype Option Printf Sched String

@@ -1,0 +1,1 @@
+lib/core/decide.ml: Array Atomic Bool Certificate Domain Fun Hashtbl List Objtype Option Sched Seq

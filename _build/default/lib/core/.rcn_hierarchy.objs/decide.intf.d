@@ -1,0 +1,1 @@
+lib/core/decide.mli: Certificate Objtype Seq

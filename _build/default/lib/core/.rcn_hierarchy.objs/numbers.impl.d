@@ -1,0 +1,1 @@
+lib/core/numbers.ml: Certificate Decide Format Objtype

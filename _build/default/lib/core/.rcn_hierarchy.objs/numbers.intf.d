@@ -1,0 +1,1 @@
+lib/core/numbers.mli: Certificate Format Objtype

@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Certificate Format List Numbers Objtype Printf

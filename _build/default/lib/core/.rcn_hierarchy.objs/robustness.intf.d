@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Certificate Format Numbers Objtype

@@ -1,0 +1,109 @@
+type t = {
+  objtype : Objtype.t;
+  nprocs : int;
+  initial : Objtype.value;
+  team : bool array;
+  ops : Objtype.op array;
+}
+
+let make ~objtype ~initial ~team ~ops =
+  let nprocs = Array.length team in
+  if Array.length ops <> nprocs then
+    invalid_arg "Certificate.make: team and ops lengths differ";
+  if nprocs < 2 then invalid_arg "Certificate.make: need at least two processes";
+  if initial < 0 || initial >= objtype.Objtype.num_values then
+    invalid_arg "Certificate.make: initial value out of range";
+  Array.iter
+    (fun o ->
+      if o < 0 || o >= objtype.Objtype.num_ops then
+        invalid_arg "Certificate.make: operation out of range")
+    ops;
+  let members x = Array.exists (fun b -> b = x) team in
+  if not (members true && members false) then
+    invalid_arg "Certificate.make: both teams must be nonempty";
+  { objtype; nprocs; initial; team = Array.copy team; ops = Array.copy ops }
+
+let team_members t x =
+  let acc = ref [] in
+  for i = t.nprocs - 1 downto 0 do
+    if t.team.(i) = x then acc := i :: !acc
+  done;
+  !acc
+
+let replay t procs =
+  let responses = Array.make t.nprocs (-1) in
+  let value =
+    List.fold_left
+      (fun v p ->
+        let r, v' = Objtype.apply t.objtype v t.ops.(p) in
+        responses.(p) <- r;
+        v')
+      t.initial procs
+  in
+  ((if procs = [] then None else Some responses), value)
+
+let schedules t = Sched.at_most_once ~nprocs:t.nprocs
+
+let u_set t ~first_team =
+  schedules t
+  |> List.filter_map (function
+       | [] -> None
+       | first :: _ as procs ->
+           if t.team.(first) = first_team then Some (snd (replay t procs)) else None)
+  |> List.sort_uniq compare
+
+let check_recording t =
+  let u0 = u_set t ~first_team:false and u1 = u_set t ~first_team:true in
+  let disjoint = List.for_all (fun v -> not (List.mem v u1)) u0 in
+  let hiding_ok x =
+    let ux = if x then u1 else u0 in
+    (not (List.mem t.initial ux)) || List.length (team_members t (not x)) = 1
+  in
+  disjoint && hiding_ok false && hiding_ok true
+
+let check_discerning t =
+  (* r_sets.(j) maps the pair (response of o_j, final value) to the team of
+     the schedule's first process; a clash of teams for the same pair means
+     R_{0,j} and R_{1,j} intersect. *)
+  let r_sets = Array.init t.nprocs (fun _ -> Hashtbl.create 32) in
+  let ok = ref true in
+  List.iter
+    (fun procs ->
+      match procs with
+      | [] -> ()
+      | first :: _ ->
+          let x = t.team.(first) in
+          let responses, value = replay t procs in
+          let responses = Option.get responses in
+          List.iter
+            (fun j ->
+              let key = (responses.(j), value) in
+              match Hashtbl.find_opt r_sets.(j) key with
+              | None -> Hashtbl.add r_sets.(j) key x
+              | Some x' -> if x' <> x then ok := false)
+            procs)
+    (schedules t);
+  !ok
+
+let first_team_of_value t v =
+  let u0 = u_set t ~first_team:false and u1 = u_set t ~first_team:true in
+  match (List.mem v u0, List.mem v u1) with
+  | true, false -> Some false
+  | false, true -> Some true
+  | _, _ -> None
+
+let is_clean t =
+  (not (List.mem t.initial (u_set t ~first_team:false)))
+  && not (List.mem t.initial (u_set t ~first_team:true))
+
+let pp ppf t =
+  let team x =
+    team_members t x |> List.map (fun i -> Printf.sprintf "p%d" i) |> String.concat ","
+  in
+  Format.fprintf ppf "@[<v>type %s, u = %s@,T_0 = {%s}, T_1 = {%s}@,ops: %s@]"
+    t.objtype.Objtype.name
+    (t.objtype.Objtype.value_name t.initial)
+    (team false) (team true)
+    (String.concat ", "
+       (List.init t.nprocs (fun i ->
+            Printf.sprintf "p%d:%s" i (t.objtype.Objtype.op_name t.ops.(i)))))

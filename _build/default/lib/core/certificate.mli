@@ -1,0 +1,63 @@
+(** Certificates for the [n]-discerning and [n]-recording conditions.
+
+    Both conditions (paper Section 2, after Ruppert 2000 and DFFR 2022)
+    quantify existentially over the same data: an initial value [u], a
+    partition of the [n] processes into two nonempty teams, and an operation
+    per process.  A certificate packages that data together with the type it
+    talks about; {!check_discerning} and {!check_recording} replay the
+    at-most-once schedules [S(P)] to verify the respective condition, so a
+    certificate can always be re-validated independently of how it was
+    found. *)
+
+type t = {
+  objtype : Objtype.t;
+  nprocs : int;
+  initial : Objtype.value;  (** the value [u] *)
+  team : bool array;  (** [team.(i)] is [true] iff process [i] is in [T_1] *)
+  ops : Objtype.op array;  (** [ops.(i)] is the operation [o_i] *)
+}
+
+val make :
+  objtype:Objtype.t ->
+  initial:Objtype.value ->
+  team:bool array ->
+  ops:Objtype.op array ->
+  t
+(** @raise Invalid_argument if the arrays disagree in length, either team is
+    empty, or [initial]/operations are out of range. *)
+
+val team_members : t -> bool -> int list
+(** Processes on the given team, in increasing order. *)
+
+val replay : t -> Sched.proc list -> Objtype.response array option * Objtype.value
+(** Apply the schedule's processes' certificate operations in order starting
+    from [u].  Returns per-process responses (indexed by process; [None] when
+    the schedule is empty is never used — the array marks non-participants
+    with [-1]) and the final object value. *)
+
+val u_set : t -> first_team:bool -> Objtype.value list
+(** The paper's [U_x]: final values over nonempty schedules in [S(P)] whose
+    first process is on team [x], sorted and deduplicated. *)
+
+val check_discerning : t -> bool
+(** Replay all of [S(P)] and verify: for every process [j],
+    [R_{0,j}] and [R_{1,j}] are disjoint, where [R_{x,j}] collects the pairs
+    (response of [o_j], final value) over schedules containing [p_j] whose
+    first process is on team [x]. *)
+
+val check_recording : t -> bool
+(** Replay all of [S(P)] and verify [U_0 ∩ U_1 = ∅], and that [u ∈ U_x]
+    implies the opposite team is a singleton. *)
+
+val first_team_of_value : t -> Objtype.value -> bool option
+(** For a recording certificate: map an object value to the team of the
+    first process to have applied its operation, when the value determines
+    it ([None] for the initial value or values outside [U_0 ∪ U_1]).
+    Useful for building election protocols from certificates. *)
+
+val is_clean : t -> bool
+(** [u ∉ U_0 ∪ U_1]: the initial value cannot reappear once someone has
+    applied an operation.  Clean recording certificates admit a simple
+    recoverable team-election protocol (see [Rcn_protocols.Election]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** Deciders for the [n]-discerning and [n]-recording conditions.
+
+    For a finite deterministic type both conditions are decidable by
+    exhaustive search over certificates (initial value, team partition,
+    per-process operations) and replay of the at-most-once schedules
+    [S(P)].  The searches below exploit two symmetries:
+
+    - team labels can be swapped, so process 0 is fixed on team [T_0];
+    - processes on the same team are interchangeable, so operation
+      assignments are enumerated sorted within each team ([~naive:true]
+      disables this, for the E9 ablation).
+
+    Any certificate returned validates under the independent
+    {!Certificate.check_discerning} / {!Certificate.check_recording}
+    replays. *)
+
+type condition = Discerning | Recording
+
+val search : ?naive:bool -> condition -> Objtype.t -> n:int -> Certificate.t option
+(** The least certificate (in enumeration order) witnessing the condition
+    for [n] processes, or [None] if the type does not satisfy it.
+    Requires [n >= 2]. *)
+
+val is_discerning : Objtype.t -> n:int -> bool
+val is_recording : Objtype.t -> n:int -> bool
+
+val certificates : ?naive:bool -> condition -> Objtype.t -> n:int -> Certificate.t Seq.t
+(** All witnessing certificates, lazily. *)
+
+val count_candidates : ?naive:bool -> Objtype.t -> n:int -> int
+(** Number of candidate certificates the search would enumerate (for the
+    E9 scaling experiment). *)
+
+val search_partitioned :
+  ?clean:bool ->
+  condition ->
+  Objtype.t ->
+  team:bool array ->
+  Certificate.t option
+(** Like {!search}, but with the team partition fixed to [team] (searching
+    only over initial values and operation assignments).  With
+    [clean:true] (default [false]) only certificates satisfying
+    {!Certificate.is_clean} are returned — the variant needed by the
+    tournament construction in [Rcn_protocols]. *)
+
+val search_parallel :
+  ?domains:int -> condition -> Objtype.t -> n:int -> Certificate.t option
+(** Multicore variant of {!search}: candidate certificates are partitioned
+    by initial value across [domains] worker domains (default: the host's
+    recommended domain count, capped at 8).  Semantics match {!search}
+    except that when several witnessing certificates exist the one returned
+    may differ (any witness replay-validates).  The big win is on
+    *refutations* — proving a type is not [n]-discerning/-recording scans
+    the whole space, which parallelizes almost linearly. *)

@@ -1,0 +1,65 @@
+(** Consensus numbers and recoverable consensus numbers of finite
+    deterministic types — the paper's "determining" procedure.
+
+    For readable deterministic types:
+    - Ruppert (2000): consensus number [>= n] iff [n]-discerning, so the
+      consensus number equals the largest [n] for which the type is
+      [n]-discerning;
+    - DFFR (2022) + this paper's Theorem 13: recoverable consensus number
+      [>= n] iff [n]-recording, so the recoverable consensus number equals
+      the largest [n] for which the type is [n]-recording.
+
+    Both conditions are downward closed in [n] (drop a process from a team
+    of size at least two), so a linear upward scan is exact; the test suite
+    checks downward closure explicitly on the gallery.  Because some types
+    (CAS, sticky bits) satisfy the conditions for every [n], the scan is
+    bounded by a [cap] and the result distinguishes exact answers from
+    lower bounds. *)
+
+type bound = Exact of int | At_least of int
+
+val equal_bound : bound -> bound -> bool
+val pp_bound : Format.formatter -> bound -> unit
+val bound_to_string : bound -> string
+
+type level = {
+  bound : bound;
+  certificate : Certificate.t option;
+      (** a witness at the highest level reached, [None] when the bound is
+          [Exact 1] (the condition is vacuous for one process) *)
+}
+
+val max_discerning : ?cap:int -> Objtype.t -> level
+(** Largest [n <= cap] (default cap 5) such that the type is
+    [n]-discerning; [Exact 1] if not even 2-discerning, [At_least cap] when
+    still discerning at the cap. *)
+
+val max_recording : ?cap:int -> Objtype.t -> level
+(** Same, for the [n]-recording condition. *)
+
+val consensus_number : ?cap:int -> Objtype.t -> bound option
+(** [Some] (via {!max_discerning}) for readable types, where Ruppert's
+    characterization makes the answer exact; [None] for non-readable types,
+    whose consensus number is not determined by discerning alone (the
+    paper's [T_{n,n'}] is the canonical example). *)
+
+val recoverable_consensus_number : ?cap:int -> Objtype.t -> bound option
+(** [Some] (via {!max_recording}) for readable types — exact by DFFR
+    Theorem 8 plus this paper's Theorem 13; [None] for non-readable types
+    (for [T_{n,n'}], max-recording is [n-1] while the true recoverable
+    consensus number is [n'] — recording is necessary but not sufficient
+    without readability). *)
+
+type analysis = {
+  type_name : string;
+  readable : bool;
+  discerning : level;
+  recording : level;
+  consensus : bound option;
+  recoverable : bound option;
+}
+
+val analyze : ?cap:int -> Objtype.t -> analysis
+(** Everything above in one record, for tables (experiment E5). *)
+
+val pp_analysis : Format.formatter -> analysis -> unit

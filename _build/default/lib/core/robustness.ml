@@ -1,0 +1,73 @@
+type report = {
+  per_type : (string * Numbers.level) list;
+  combined : Numbers.bound;
+  strongest : string;
+  witness : Certificate.t option;
+}
+
+let level_key (b : Numbers.bound) =
+  (* Order bounds: At_least k dominates Exact k (it may be larger). *)
+  match b with Numbers.Exact n -> (n, 0) | Numbers.At_least n -> (n, 1)
+
+let analyze ?cap types =
+  if types = [] then invalid_arg "Robustness.analyze: empty type set";
+  List.iter
+    (fun t ->
+      if not (Objtype.is_readable t) then
+        invalid_arg
+          (Printf.sprintf "Robustness.analyze: %s is not readable" t.Objtype.name))
+    types;
+  let per_type =
+    List.map (fun t -> (t.Objtype.name, Numbers.max_recording ?cap t)) types
+  in
+  let strongest, best =
+    List.fold_left
+      (fun ((_, best) as acc) ((_, level) as entry) ->
+        if level_key level.Numbers.bound > level_key best.Numbers.bound then entry else acc)
+      (List.hd per_type) (List.tl per_type)
+  in
+  { per_type; combined = best.Numbers.bound; strongest; witness = best.Numbers.certificate }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, (level : Numbers.level)) ->
+      Format.fprintf ppf "%-18s max-recording %a@," name Numbers.pp_bound level.Numbers.bound)
+    r.per_type;
+  Format.fprintf ppf "combined (robustness): %a, attained by %s@]" Numbers.pp_bound r.combined
+    r.strongest
+
+type product_report = {
+  left : string;
+  right : string;
+  left_level : Numbers.bound;
+  right_level : Numbers.bound;
+  product_level : Numbers.bound;
+  robust : bool;
+}
+
+let check_product ?cap t1 t2 =
+  List.iter
+    (fun (t : Objtype.t) ->
+      if not (Objtype.is_readable t) then
+        invalid_arg (Printf.sprintf "Robustness.check_product: %s is not readable" t.Objtype.name))
+    [ t1; t2 ];
+  let level t = (Numbers.max_recording ?cap t).Numbers.bound in
+  let left_level = level t1 and right_level = level t2 in
+  let product_level = level (Objtype.product t1 t2) in
+  let robust =
+    fst (level_key product_level) <= max (fst (level_key left_level)) (fst (level_key right_level))
+  in
+  {
+    left = t1.Objtype.name;
+    right = t2.Objtype.name;
+    left_level;
+    right_level;
+    product_level;
+    robust;
+  }
+
+let pp_product_report ppf r =
+  Format.fprintf ppf "%s (rec %a) x %s (rec %a): product rec %a — %s" r.left Numbers.pp_bound
+    r.left_level r.right Numbers.pp_bound r.right_level Numbers.pp_bound r.product_level
+    (if r.robust then "robust" else "NOT ROBUST (would contradict Theorem 14)")

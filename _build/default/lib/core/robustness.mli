@@ -1,0 +1,45 @@
+(** Robustness of the recoverable consensus hierarchy (Theorems 13–14).
+
+    Theorem 13: if recoverable wait-free consensus for [n] processes is
+    solvable from objects of deterministic types [T_0, T_1, ...] plus
+    registers, then some [T_i] is [n]-recording.  Hence the best level
+    achievable by *any combination* of readable deterministic types equals
+    the best level achievable by the single strongest type in the set —
+    combining objects cannot help. *)
+
+type report = {
+  per_type : (string * Numbers.level) list;
+      (** max-recording level of each type in the set *)
+  combined : Numbers.bound;
+      (** recoverable consensus level of the whole set: by Theorem 13 +
+          DFFR Theorem 8 (readable types), the maximum of the individual
+          levels *)
+  strongest : string;  (** name of a type attaining [combined] *)
+  witness : Certificate.t option;
+}
+
+val analyze : ?cap:int -> Objtype.t list -> report
+(** @raise Invalid_argument on the empty list or when some type in the list
+    is not readable (Theorem 14 is stated for readable deterministic
+    types). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+type product_report = {
+  left : string;
+  right : string;
+  left_level : Numbers.bound;
+  right_level : Numbers.bound;
+  product_level : Numbers.bound;
+  robust : bool;
+      (** the product's max-recording does not exceed the components' max —
+          robustness observed on the combined object itself *)
+}
+
+val check_product : ?cap:int -> Objtype.t -> Objtype.t -> product_report
+(** Run the recording decider on the (readable) product of the two types
+    and compare with the component levels — Theorem 14 tested on one
+    combined object rather than via per-type maxima.
+    @raise Invalid_argument if either type is not readable. *)
+
+val pp_product_report : Format.formatter -> product_report -> unit

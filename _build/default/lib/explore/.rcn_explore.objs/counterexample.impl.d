@@ -1,0 +1,1 @@
+lib/explore/counterexample.ml: Array Budget Config Explore Fun Hashtbl List Queue Sched

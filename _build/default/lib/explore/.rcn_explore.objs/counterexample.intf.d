@@ -1,0 +1,1 @@
+lib/explore/counterexample.mli: Program Sched Stdlib

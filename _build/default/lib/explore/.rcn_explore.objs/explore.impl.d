@@ -1,0 +1,1 @@
+lib/explore/explore.ml: Array Budget Config Exec Fun Hashtbl List Option Program Sched

@@ -1,0 +1,1 @@
+lib/explore/explore.mli: Budget Config Program Sched

@@ -1,0 +1,1 @@
+lib/explore/simultaneous.ml: Array Config Counterexample Exec Fun Hashtbl List Program Queue Sched

@@ -1,0 +1,1 @@
+lib/explore/simultaneous.mli: Counterexample Program Sched Stdlib

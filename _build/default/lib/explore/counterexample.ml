@@ -1,0 +1,78 @@
+type violation = Disagreement of int * int | Invalid of int
+
+type result = {
+  violation : violation;
+  inputs : int array;
+  schedule : Sched.t;
+}
+
+let check_outputs ~inputs (node : 'st Explore.node) program =
+  let decided =
+    Array.to_list node.Explore.outputs |> List.filter_map Fun.id |> List.sort_uniq compare
+  in
+  (* Re-decisions after a crash appear as the *current* decision differing
+     from the recorded first output. *)
+  let redecision =
+    let found = ref None in
+    Array.iteri
+      (fun i first ->
+        match (first, Config.decided program node.Explore.config ~proc:i) with
+        | Some v, Some w when v <> w && !found = None -> found := Some (v, w)
+        | _ -> ())
+      node.Explore.outputs;
+    !found
+  in
+  match redecision with
+  | Some (v, w) -> Some (Disagreement (v, w))
+  | None -> (
+      match decided with
+      | v :: w :: _ -> Some (Disagreement (v, w))
+      | [ v ] when not (Array.exists (fun i -> i = v) inputs) -> Some (Invalid v)
+      | _ -> None)
+
+let search_one ~max_events ~max_nodes ~z ~inputs program =
+  let ctx = Explore.create ~max_events ~z program in
+  let start = Explore.root ctx ~inputs in
+  let seen = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  Queue.add start queue;
+  let truncated = ref false in
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let node = Queue.take queue in
+    match check_outputs ~inputs node program with
+    | Some violation ->
+        found := Some { violation; inputs; schedule = Explore.schedule_to node }
+    | None ->
+        if Hashtbl.length seen >= max_nodes then truncated := true
+        else
+          List.iter
+            (fun (_, kid) ->
+              let key = kid.Explore.config, kid.Explore.outputs, Budget.state kid.Explore.counter in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                if List.length kid.Explore.path_rev <= max_events then Queue.add kid queue
+                else truncated := true
+              end)
+            (Explore.children ctx node)
+  done;
+  (!found, !truncated)
+
+let search ?(max_events = 60) ?(max_nodes = 200_000) ~z ~inputs_list program =
+  List.find_map
+    (fun inputs -> fst (search_one ~max_events ~max_nodes ~z ~inputs program))
+    inputs_list
+
+let certify ?(max_events = 60) ?(max_nodes = 200_000) ~z ~inputs_list program =
+  let truncated = ref false in
+  let rec loop = function
+    | [] -> Ok ()
+    | inputs :: rest -> (
+        match search_one ~max_events ~max_nodes ~z ~inputs program with
+        | Some r, _ -> Error r
+        | None, tr ->
+            truncated := !truncated || tr;
+            loop rest)
+  in
+  let outcome = loop inputs_list in
+  (outcome, !truncated)

@@ -1,0 +1,38 @@
+(** Mechanical search for executions violating consensus properties —
+    used to exhibit, e.g., the crash schedule that breaks the paper's
+    [T_{n,n'}] recoverable protocol when run with [n' + 1] processes
+    (experiment E4), and conversely to certify correct protocols by
+    exhausting the bounded execution space without finding a violation. *)
+
+type violation = Disagreement of int * int | Invalid of int
+(** [Disagreement (v, w)]: two (possibly re-run) decisions with [v <> w].
+    [Invalid v]: a decision that is no process's input. *)
+
+type result = {
+  violation : violation;
+  inputs : int array;
+  schedule : Sched.t;  (** execution from the initial configuration *)
+}
+
+val search :
+  ?max_events:int ->
+  ?max_nodes:int ->
+  z:int ->
+  inputs_list:int array list ->
+  'st Program.t ->
+  result option
+(** Breadth-first search over [E_z^*] executions from each initial
+    configuration, stopping at the first violation.  [max_nodes] (default
+    200_000) bounds the number of distinct explored nodes per input
+    vector. *)
+
+val certify :
+  ?max_events:int ->
+  ?max_nodes:int ->
+  z:int ->
+  inputs_list:int array list ->
+  'st Program.t ->
+  (unit, result) Stdlib.result * bool
+(** Like {!search} but returns [Ok ()] when no violation was found, plus a
+    flag reporting whether any frontier was truncated (if [false], the
+    certification is exhaustive for the given budget and caps). *)

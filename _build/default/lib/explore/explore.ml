@@ -1,0 +1,364 @@
+type 'st node = {
+  config : 'st Config.t;
+  counter : Budget.counter;
+  outputs : int option array;
+  path_rev : Sched.event list;
+}
+
+(* Structural key: (locals, values, outputs, steps, crashes).  Inputs are
+   constant per exploration so they need not participate. *)
+type 'st key = 'st array * int array * int option array * int array * int array
+
+type 'st t = {
+  program : 'st Program.t;
+  z : int;
+  max_events : int;
+  memo : ('st key, int list * bool) Hashtbl.t;
+  memo_restricted : (int list * 'st key, int list * bool) Hashtbl.t;
+}
+
+let create ?(max_events = 200) ~z program =
+  Program.validate program;
+  {
+    program;
+    z;
+    max_events;
+    memo = Hashtbl.create 4096;
+    memo_restricted = Hashtbl.create 1024;
+  }
+
+let root t ~inputs =
+  let config = Config.initial t.program ~inputs in
+  {
+    config;
+    counter = Budget.counter ~z:t.z ~nprocs:t.program.Program.nprocs;
+    outputs = Array.make t.program.Program.nprocs None;
+    path_rev = [];
+  }
+
+let schedule_to node = List.rev node.path_rev
+
+let key_of node =
+  let steps, crashes = Budget.state node.counter in
+  (node.config.Config.locals, node.config.Config.values, node.outputs, steps, crashes)
+
+let depth_of node =
+  let steps, crashes = Budget.state node.counter in
+  Array.fold_left ( + ) 0 steps + Array.fold_left ( + ) 0 crashes
+
+let record_outputs (t : 'st t) config outputs =
+  let outputs = Array.copy outputs in
+  Array.iteri
+    (fun i o ->
+      if o = None then
+        match Config.decided t.program config ~proc:i with
+        | Some v -> outputs.(i) <- Some v
+        | None -> ())
+    outputs;
+  outputs
+
+let child t node event =
+  match event with
+  | Sched.Step p -> (
+      match Config.decided t.program node.config ~proc:p with
+      | Some _ -> Some { node with path_rev = event :: node.path_rev }
+      | None ->
+          let config = Exec.apply_step t.program node.config ~proc:p in
+          Some
+            {
+              config;
+              counter = Budget.record node.counter event;
+              outputs = record_outputs t config node.outputs;
+              path_rev = event :: node.path_rev;
+            })
+  | Sched.Crash_all -> None (* simultaneous crashes lie outside E_z^* *)
+  | Sched.Crash p ->
+      if not (Budget.may_crash node.counter p) then None
+      else
+        let config = Exec.apply_crash node.config t.program ~proc:p in
+        Some
+          {
+            config;
+            counter = Budget.record node.counter event;
+            outputs = node.outputs;
+            path_rev = event :: node.path_rev;
+          }
+
+let children t node =
+  let nprocs = t.program.Program.nprocs in
+  let steps =
+    List.init nprocs (fun p ->
+        match Config.decided t.program node.config ~proc:p with
+        | Some _ -> None
+        | None ->
+            Option.map (fun n -> (Sched.Step p, n)) (child t node (Sched.Step p)))
+    |> List.filter_map Fun.id
+  in
+  let crashes =
+    List.init nprocs (fun p ->
+        if Budget.may_crash node.counter p then
+          Option.map (fun n -> (Sched.Crash p, n)) (child t node (Sched.Crash p))
+        else None)
+    |> List.filter_map Fun.id
+  in
+  steps @ crashes
+
+let union_sorted a b = List.sort_uniq compare (List.rev_append a b)
+
+let outputs_list outputs =
+  Array.to_list outputs |> List.filter_map Fun.id |> List.sort_uniq compare
+
+(* Reachable decision values, memoized over the node key.  [filter] selects
+   which processes may act (None = all). *)
+let rec decisions_from t ~filter node =
+  let table_find, table_add =
+    match filter with
+    | None -> (Hashtbl.find_opt t.memo, Hashtbl.add t.memo)
+    | Some procs ->
+        let table = t.memo_restricted in
+        ( (fun k -> Hashtbl.find_opt table (procs, k)),
+          fun k v -> Hashtbl.add table (procs, k) v )
+  in
+  let key = key_of node in
+  match table_find key with
+  | Some cached -> cached
+  | None ->
+      let base = outputs_list node.outputs in
+      let result =
+        if depth_of node >= t.max_events then (base, true)
+        else
+          List.fold_left
+            (fun (acc, truncated) (event, kid) ->
+              let keep =
+                match filter with
+                | None -> true
+                | Some procs -> (
+                    match event with
+                    | Sched.Step p | Sched.Crash p -> List.mem p procs
+                    | Sched.Crash_all -> false)
+              in
+              if not keep then (acc, truncated)
+              else
+                let vs, tr = decisions_from t ~filter kid in
+                (union_sorted acc vs, truncated || tr))
+            (base, false) (children t node)
+      in
+      table_add key result;
+      result
+
+let reachable_decisions t node = decisions_from t ~filter:None node
+
+type valency = Bivalent | Univalent of int | Unknown
+
+let valency_of_result (values, truncated) =
+  match values with
+  | _ :: _ :: _ -> Bivalent
+  | [ v ] when not truncated -> Univalent v
+  | _ -> Unknown
+
+let valency t node = valency_of_result (decisions_from t ~filter:None node)
+
+let valency_restricted t node ~procs =
+  let procs = List.sort_uniq compare procs in
+  valency_of_result (decisions_from t ~filter:(Some procs) node)
+
+let find_critical t start =
+  let rec walk node =
+    match valency t node with
+    | Univalent _ | Unknown -> None
+    | Bivalent -> (
+        let kids = children t node in
+        let bivalent_kid =
+          List.find_opt (fun (_, kid) -> valency t kid = Bivalent) kids
+        in
+        match bivalent_kid with
+        | Some (_, kid) -> walk kid
+        | None ->
+            if List.exists (fun (_, kid) -> valency t kid = Unknown) kids then
+              failwith "Explore.find_critical: truncation prevents a definite answer"
+            else Some node)
+  in
+  walk start
+
+let teams t node =
+  List.filter_map
+    (fun (event, kid) ->
+      match event with
+      | Sched.Step p -> (
+          match valency t kid with Univalent v -> Some (p, v) | Bivalent | Unknown -> None)
+      | Sched.Crash _ | Sched.Crash_all -> None)
+    (children t node)
+
+let poised_object (program : 'st Program.t) node =
+  let objs =
+    List.init program.Program.nprocs (fun p ->
+        match Config.view program node.config ~proc:p with
+        | Program.Poised { obj; _ } -> Some obj
+        | Program.Decided _ -> None)
+    |> List.filter_map Fun.id
+    |> List.sort_uniq compare
+  in
+  match objs with [ obj ] -> Some obj | [] | _ :: _ -> None
+
+type classification = N_recording | Hiding of int | Neither
+
+let classify t node =
+  match poised_object t.program node with
+  | None -> Neither
+  | Some obj ->
+      let team_assignment = teams t node in
+      let members v = List.filter_map (fun (p, w) -> if w = v then Some p else None) team_assignment in
+      let t0 = members 0 and t1 = members 1 in
+      if t0 = [] || t1 = [] then Neither
+      else
+        let participants = List.sort compare (t0 @ t1) in
+        let u_set first_team_members =
+          Sched.at_most_once_of participants
+          |> List.filter_map (function
+               | [] -> None
+               | first :: _ as procs ->
+                   if List.mem first first_team_members then
+                     let final = Exec.run_procs t.program node.config procs in
+                     Some final.Config.values.(obj)
+                   else None)
+          |> List.sort_uniq compare
+        in
+        let u0 = u_set t0 and u1 = u_set t1 in
+        let disjoint = List.for_all (fun v -> not (List.mem v u1)) u0 in
+        if not disjoint then Neither
+        else
+          let here = node.config.Config.values.(obj) in
+          let hit0 = List.mem here u0 and hit1 = List.mem here u1 in
+          let recording =
+            ((not hit0) || List.length t1 = 1) && ((not hit1) || List.length t0 = 1)
+          in
+          if recording then N_recording
+          else if hit0 then Hiding 0
+          else if hit1 then Hiding 1
+          else Neither
+
+let count_nodes t start ~max_nodes =
+  let seen = Hashtbl.create 1024 in
+  let truncated = ref false in
+  let rec visit node =
+    if Hashtbl.length seen >= max_nodes then truncated := true
+    else
+      let key = key_of node in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        if depth_of node < t.max_events then
+          List.iter (fun (_, kid) -> visit kid) (children t node)
+        else truncated := true
+      end
+  in
+  visit start;
+  (Hashtbl.length seen, !truncated)
+
+type chain_step = {
+  schedule : Sched.t;
+  step_classification : classification;
+  step_teams : (int * int) list;
+}
+
+type chain_outcome = Reached_recording | Exhausted of int | Stuck of string
+
+let theorem13_chain ?max_rounds t start =
+  let nprocs = t.program.Program.nprocs in
+  let max_rounds = Option.value max_rounds ~default:nprocs in
+  let crash_suffix node count =
+    (* The paper's lambda_{n-i}: crash the [count] highest-identifier
+       processes in increasing order. *)
+    let rec apply node p =
+      if p >= nprocs then Some node
+      else
+        match child t node (Sched.Crash p) with
+        | Some node' -> apply node' (p + 1)
+        | None -> None
+    in
+    apply node (nprocs - count)
+  in
+  let rec round node i steps_rev =
+    if i >= max_rounds then (List.rev steps_rev, Exhausted i)
+    else
+      match find_critical t node with
+      | exception Failure msg -> (List.rev steps_rev, Stuck msg)
+      | None -> (List.rev steps_rev, Stuck "configuration is not bivalent")
+      | Some crit ->
+          let classification = classify t crit in
+          let step =
+            {
+              schedule = schedule_to crit;
+              step_classification = classification;
+              step_teams = teams t crit;
+            }
+          in
+          let steps_rev = step :: steps_rev in
+          let continue_from node' = round node' (i + 1) steps_rev in
+          (match classification with
+          | N_recording -> (List.rev steps_rev, Reached_recording)
+          | Hiding _ -> (
+              match crash_suffix crit (i + 1) with
+              | Some node' -> continue_from node'
+              | None -> (List.rev steps_rev, Stuck "crash budget exhausted for lambda"))
+          | Neither -> (
+              (* The paper's special construction: step p_{n-1}, then crash
+                 it, and look for the next critical execution. *)
+              match child t crit (Sched.Step (nprocs - 1)) with
+              | None -> (List.rev steps_rev, Stuck "p_{n-1} cannot step")
+              | Some stepped -> (
+                  match child t stepped (Sched.Crash (nprocs - 1)) with
+                  | Some node' -> continue_from node'
+                  | None -> (List.rev steps_rev, Stuck "cannot crash p_{n-1}"))))
+  in
+  round start 0 []
+
+let lemma10_check t node =
+  match poised_object t.program node with
+  | None -> None
+  | Some obj ->
+      let nprocs = t.program.Program.nprocs in
+      let team_assignment = teams t node in
+      let team_of p = List.assoc_opt p team_assignment in
+      (* All (first, final value) pairs over nonempty at-most-once step
+         schedules, with the full schedule retained for reporting. *)
+      let outcomes =
+        Sched.at_most_once ~nprocs:nprocs
+        |> List.filter_map (function
+             | [] -> None
+             | first :: _ as procs ->
+                 Option.map
+                   (fun team ->
+                     let final = Exec.run_procs t.program node.config procs in
+                     (procs, team, final.Config.values.(obj)))
+                   (team_of first))
+      in
+      (* A violating pair: different first teams, equal final object values,
+         and neither side is the solo step of p_{n-1} (the one shape
+         Lemma 10 permits). *)
+      List.find_map
+        (fun (procs_i, team_i, value_i) ->
+          List.find_map
+            (fun (procs_j, team_j, value_j) ->
+              if
+                team_i <> team_j && value_i = value_j
+                && procs_i <> [ nprocs - 1 ]
+                && procs_j <> [ nprocs - 1 ]
+              then Some (procs_i, procs_j)
+              else None)
+            outcomes)
+        outcomes
+
+let bivalence_preserving_steps t start =
+  let rec walk node acc =
+    match valency t node with
+    | Unknown -> failwith "Explore.bivalence_preserving_steps: truncated"
+    | Univalent _ -> List.rev acc
+    | Bivalent -> (
+        let next =
+          List.find_opt (fun (_, kid) -> valency t kid = Bivalent) (children t node)
+        in
+        match next with
+        | Some (event, kid) -> walk kid (event :: acc)
+        | None -> List.rev acc)
+  in
+  walk start []

@@ -1,0 +1,135 @@
+(** Bounded-exhaustive exploration of protocol executions under the paper's
+    crash budgets, and the valency machinery of Section 3.
+
+    An exploration context fixes a program and a budget parameter [z]; nodes
+    are executions from the root, identified by their configuration, their
+    crash-budget counter and the *history* of outputs (a crash resets a
+    process's state, but "has decided v" is a property of the execution, so
+    outputs are sticky).
+
+    Exploration only expands events that change the node: steps by decided
+    processes are no-ops and are skipped; crashes are expanded only when
+    {!Budget.may_crash} allows them, so every explored execution lies in
+    [E_z^*] of the root.  Because every expanded event strictly increases
+    the step or crash counts, the explored space is a finite DAG. *)
+
+type 'st node = {
+  config : 'st Config.t;
+  counter : Budget.counter;
+  outputs : int option array;
+      (** [outputs.(i)] is the first value process [i] output in this
+          execution, surviving later crashes of [i] *)
+  path_rev : Sched.event list;  (** events from the root, reversed *)
+}
+
+type 'st t
+(** Exploration context with memoized reachable-decision sets. *)
+
+val create : ?max_events:int -> z:int -> 'st Program.t -> 'st t
+(** [max_events] (default 200) bounds the length of explored executions;
+    exceeding it during an exhaustive query makes the answer [Unknown]. *)
+
+val root : 'st t -> inputs:int array -> 'st node
+val schedule_to : 'st node -> Sched.t
+
+val children : 'st t -> 'st node -> (Sched.event * 'st node) list
+(** State-changing events applicable at the node, within budget: one step
+    per undecided process, plus allowed crashes (crashes of decided
+    processes included — they reset the process). *)
+
+val child : 'st t -> 'st node -> Sched.event -> 'st node option
+(** Apply one event if applicable ([None] for a budget-violating crash).
+    No-op steps return the node unchanged apart from the path. *)
+
+val reachable_decisions : 'st t -> 'st node -> int list * bool
+(** Values [v] such that some process has decided [v] in some execution
+    extending the node within the budget; the flag reports truncation by
+    [max_events] (in which case the list is a lower approximation). *)
+
+type valency = Bivalent | Univalent of int | Unknown
+
+val valency : 'st t -> 'st node -> valency
+(** Valency with respect to the (depth-capped) execution set [E_z^*].
+    [Bivalent] is sound even under truncation; [Univalent] requires the
+    exploration to have been exhaustive; [Unknown] means the cap was hit
+    before a second decision value was found. *)
+
+val valency_restricted : 'st t -> 'st node -> procs:int list -> valency
+(** Valency of a process subset: only events by [procs] are explored
+    (the paper's "[P'] is v-univalent in α"). *)
+
+val find_critical : 'st t -> 'st node -> 'st node option
+(** Walk from a bivalent node to an execution that is critical w.r.t. the
+    explored [E_z^*]: bivalent, with every child univalent.  [None] if the
+    starting node is not bivalent.
+    @raise Failure if truncation prevents a definite answer. *)
+
+val teams : 'st t -> 'st node -> (int * int) list
+(** At a critical node: [(proc, v)] for each process whose step-child is
+    [v]-univalent — process [proc] is "on team [v]" (paper Section 3). *)
+
+val poised_object : 'st Program.t -> 'st node -> int option
+(** The single object every process is poised to access, if they all agree
+    (Lemma 9 says they must at a critical execution).  Decided processes
+    are ignored. *)
+
+type classification =
+  | N_recording
+  | Hiding of int  (** [v]-hiding *)
+  | Neither
+
+val classify : 'st t -> 'st node -> classification
+(** Observation 11's trichotomy at a critical node: compute
+    [U_v = { value(O, C α σ) }] over nonempty at-most-once schedules σ
+    starting with a team-[v] process, then test [n]-recording and
+    [v]-hiding of the configuration. *)
+
+val count_nodes : 'st t -> 'st node -> max_nodes:int -> int * bool
+(** Number of distinct explored nodes reachable from the node (capped),
+    with a truncation flag — used to compare the [E_z^*] and unrestricted
+    frontiers in benchmarks. *)
+
+(** {2 Theorem 13's chain construction (Figures 1 and 2)}
+
+    The proof of Theorem 13 walks a chain of configurations
+    [D_0, D'_0, ..., D_l, D'_l]: each [D'_i] is reached from [D_i] by a
+    critical execution; if [D'_i] is [v]-hiding, the suffix processes
+    crash ([lambda] in the paper) and the walk continues; if it is neither
+    recording nor hiding (Observation 11's third case), the walk steps and
+    crashes [p_{n-1}] first (the paper's special [D_1] construction); it
+    stops at an [n]-recording configuration.  [theorem13_chain] replays
+    this walk on a concrete protocol, reporting each round. *)
+
+type chain_step = {
+  schedule : Sched.t;  (** events from the chain's start to this critical execution *)
+  step_classification : classification;
+  step_teams : (int * int) list;
+}
+
+type chain_outcome =
+  | Reached_recording  (** the walk ended at an [n]-recording configuration *)
+  | Exhausted of int  (** round limit hit *)
+  | Stuck of string
+      (** the mechanized walk could not follow the proof (crash budget
+          exhausted, truncation, or a non-bivalent configuration where the
+          proof expects bivalence) — reported, never guessed *)
+
+val theorem13_chain :
+  ?max_rounds:int -> 'st t -> 'st node -> chain_step list * chain_outcome
+(** Walk the chain from a bivalent node (default [max_rounds] is the
+    process count). *)
+
+val lemma10_check : 'st t -> 'st node -> (Sched.proc list * Sched.proc list) option
+(** Lemma 10 at a critical node: search over at-most-once step schedules
+    [p_i R_i] (first process on team [v]) and [p_j R_j] (first on the other
+    team) that leave the common object with equal values; the lemma says any
+    such pair must have [p_j = p_{n-1}] and [R_j] empty.  Returns a violating
+    pair if one exists ([None] = the lemma's conclusion holds, or the node
+    has no single poised object). *)
+
+val bivalence_preserving_steps : 'st t -> 'st node -> Sched.t
+(** The longest-possible adversary strategy that keeps the execution
+    bivalent: repeatedly choose some child that is still bivalent.
+    Lemma 6 says this must get stuck after finitely many events — the
+    returned schedule ends at a critical execution.
+    @raise Failure on truncation. *)

@@ -1,0 +1,129 @@
+type result = {
+  violation : Counterexample.violation;
+  inputs : int array;
+  schedule : Sched.t;
+}
+
+type 'st node = {
+  config : 'st Config.t;
+  outputs : int option array;
+  crashes : int;
+  path_rev : Sched.event list;
+}
+
+let record_outputs program config outputs =
+  let outputs = Array.copy outputs in
+  Array.iteri
+    (fun i o ->
+      if o = None then
+        match Config.decided program config ~proc:i with
+        | Some v -> outputs.(i) <- Some v
+        | None -> ())
+    outputs;
+  outputs
+
+let check ~inputs program node =
+  let decided =
+    Array.to_list node.outputs |> List.filter_map Fun.id |> List.sort_uniq compare
+  in
+  let redecision =
+    let found = ref None in
+    Array.iteri
+      (fun i first ->
+        match (first, Config.decided program node.config ~proc:i) with
+        | Some v, Some w when v <> w && !found = None ->
+            found := Some (Counterexample.Disagreement (v, w))
+        | _ -> ())
+      node.outputs;
+    !found
+  in
+  match redecision with
+  | Some v -> Some v
+  | None -> (
+      match decided with
+      | v :: w :: _ -> Some (Counterexample.Disagreement (v, w))
+      | [ v ] when not (Array.exists (( = ) v) inputs) -> Some (Counterexample.Invalid v)
+      | _ -> None)
+
+let children program node ~max_crashes =
+  let nprocs = program.Program.nprocs in
+  let steps =
+    List.init nprocs (fun p ->
+        match Config.decided program node.config ~proc:p with
+        | Some _ -> None
+        | None ->
+            let config = Exec.apply_step program node.config ~proc:p in
+            Some
+              {
+                config;
+                outputs = record_outputs program config node.outputs;
+                crashes = node.crashes;
+                path_rev = Sched.step p :: node.path_rev;
+              })
+    |> List.filter_map Fun.id
+  in
+  if node.crashes >= max_crashes then steps
+  else
+    let config = Exec.apply_crash_all node.config program in
+    steps
+    @ [
+        {
+          config;
+          outputs = node.outputs;
+          crashes = node.crashes + 1;
+          path_rev = Sched.crash_all :: node.path_rev;
+        };
+      ]
+
+let search_one ~max_events ~max_nodes ~max_crashes ~inputs program =
+  let start =
+    {
+      config = Config.initial program ~inputs;
+      outputs = Array.make program.Program.nprocs None;
+      crashes = 0;
+      path_rev = [];
+    }
+  in
+  let seen = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  Queue.add start queue;
+  let truncated = ref false in
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let node = Queue.take queue in
+    match check ~inputs program node with
+    | Some violation ->
+        found := Some { violation; inputs; schedule = List.rev node.path_rev }
+    | None ->
+        if Hashtbl.length seen >= max_nodes then truncated := true
+        else if List.length node.path_rev >= max_events then truncated := true
+        else
+          List.iter
+            (fun kid ->
+              let key = (kid.config, kid.outputs, kid.crashes) in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                Queue.add kid queue
+              end)
+            (children program node ~max_crashes)
+  done;
+  (!found, !truncated)
+
+let search ?(max_events = 60) ?(max_nodes = 200_000) ~max_crashes ~inputs_list program =
+  List.find_map
+    (fun inputs -> fst (search_one ~max_events ~max_nodes ~max_crashes ~inputs program))
+    inputs_list
+
+let certify ?(max_events = 60) ?(max_nodes = 200_000) ~max_crashes ~inputs_list program =
+  let truncated = ref false in
+  let rec loop = function
+    | [] -> Ok ()
+    | inputs :: rest -> (
+        match search_one ~max_events ~max_nodes ~max_crashes ~inputs program with
+        | Some r, _ -> Error r
+        | None, tr ->
+            truncated := !truncated || tr;
+            loop rest)
+  in
+  let outcome = loop inputs_list in
+  (outcome, !truncated)

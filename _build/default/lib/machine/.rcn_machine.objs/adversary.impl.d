@@ -1,0 +1,1 @@
+lib/machine/adversary.ml: Array Budget Fun List Random Sched

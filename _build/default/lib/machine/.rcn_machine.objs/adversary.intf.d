@@ -1,0 +1,1 @@
+lib/machine/adversary.mli: Budget Sched

@@ -1,0 +1,1 @@
+lib/machine/checker.ml: Array Config Format List Option Printf Sched String

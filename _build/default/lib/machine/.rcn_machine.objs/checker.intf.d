@@ -1,0 +1,1 @@
+lib/machine/checker.mli: Config Format Program Sched

@@ -1,0 +1,1 @@
+lib/machine/config.ml: Array Format Hashtbl List Objtype Option Printf Program

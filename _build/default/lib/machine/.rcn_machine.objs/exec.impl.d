@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Array Budget Config Format Fun List Objtype Option Printf Program Sched

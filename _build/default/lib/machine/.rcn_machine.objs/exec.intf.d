@@ -1,0 +1,1 @@
+lib/machine/exec.mli: Budget Config Format Objtype Program Sched

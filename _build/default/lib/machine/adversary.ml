@@ -1,0 +1,94 @@
+type t = decided:bool array -> Budget.counter -> Sched.event option
+
+let undecided_procs decided =
+  let procs = ref [] in
+  Array.iteri (fun i d -> if not d then procs := i :: !procs) decided;
+  List.rev !procs
+
+let round_robin ~nprocs =
+  let cursor = ref 0 in
+  fun ~decided _budget ->
+    let rec find tries =
+      if tries >= nprocs then None
+      else
+        let p = !cursor mod nprocs in
+        incr cursor;
+        if decided.(p) then find (tries + 1) else Some (Sched.step p)
+    in
+    find 0
+
+let replay sched =
+  let remaining = ref sched in
+  fun ~decided:_ budget ->
+    let rec next () =
+      match !remaining with
+      | [] -> None
+      | (Sched.Crash p as e) :: rest ->
+          remaining := rest;
+          if Budget.may_crash budget p then Some e else next ()
+      | ((Sched.Step _ | Sched.Crash_all) as e) :: rest ->
+          remaining := rest;
+          Some e
+    in
+    next ()
+
+let random ?(crash_prob = 0.2) ~seed ~nprocs =
+  let rng = Random.State.make [| seed; nprocs |] in
+  fun ~decided budget ->
+    let crash_eligible = List.filter (Budget.may_crash budget) (List.init nprocs Fun.id) in
+    let want_crash =
+      crash_eligible <> [] && Random.State.float rng 1.0 < crash_prob
+    in
+    if want_crash then
+      let p = List.nth crash_eligible (Random.State.int rng (List.length crash_eligible)) in
+      Some (Sched.crash p)
+    else
+      match undecided_procs decided with
+      | [] -> None
+      | procs -> Some (Sched.step (List.nth procs (Random.State.int rng (List.length procs))))
+
+let crash_storm ?(period = 3) ~seed ~nprocs =
+  let rng = Random.State.make [| seed; nprocs; period |] in
+  let clock = ref 0 in
+  let cursor = ref 0 in
+  fun ~decided budget ->
+    incr clock;
+    if !clock mod period = 0 then begin
+      let best = ref None in
+      for p = 1 to nprocs - 1 do
+        let headroom = Budget.crash_headroom budget p in
+        if headroom > 0 then
+          match !best with
+          | Some (_, h) when h >= headroom -> ()
+          | _ -> best := Some (p, headroom)
+      done;
+      match !best with
+      | Some (p, _) -> Some (Sched.crash p)
+      | None -> (
+          match undecided_procs decided with
+          | [] -> None
+          | procs -> Some (Sched.step (List.nth procs (Random.State.int rng (List.length procs)))))
+    end
+    else begin
+      let rec find tries =
+        if tries >= nprocs then None
+        else
+          let p = !cursor mod nprocs in
+          incr cursor;
+          if decided.(p) then find (tries + 1) else Some (Sched.step p)
+      in
+      find 0
+    end
+
+let random_simultaneous ?(crash_prob = 0.15) ~max_crashes ~seed ~nprocs =
+  let rng = Random.State.make [| seed; nprocs; max_crashes; 77 |] in
+  let crashes = ref 0 in
+  fun ~decided _budget ->
+    if !crashes < max_crashes && Random.State.float rng 1.0 < crash_prob then begin
+      incr crashes;
+      Some Sched.crash_all
+    end
+    else
+      match undecided_procs decided with
+      | [] -> None
+      | procs -> Some (Sched.step (List.nth procs (Random.State.int rng (List.length procs))))

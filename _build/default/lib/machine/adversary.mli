@@ -1,0 +1,34 @@
+(** Adversaries: event pickers for {!Exec.run_adversary}.
+
+    An adversary is consulted with the current decision vector and the
+    crash-budget counter; it must only propose crashes the counter allows
+    (use {!Budget.may_crash}). *)
+
+type t = decided:bool array -> Budget.counter -> Sched.event option
+
+val round_robin : nprocs:int -> t
+(** Steps undecided processes cyclically; never crashes anyone.  Returns
+    [None] when everyone has decided. *)
+
+val replay : Sched.t -> t
+(** Replays a fixed schedule, then stops.  Budget-violating crashes in the
+    schedule are skipped. *)
+
+val random : ?crash_prob:float -> seed:int -> nprocs:int -> t
+(** Seeded random adversary: each turn picks a uniformly random undecided
+    process to step, or — with probability [crash_prob] (default 0.2),
+    when the budget allows — crashes a random crash-eligible process
+    (decided processes included: crashing a decided process is legal in
+    the model and resets it). *)
+
+val crash_storm : ?period:int -> seed:int -> nprocs:int -> t
+(** Round-robin stepping, but every [period] (default 3) events attempts to
+    crash the process with the most budget headroom — a stress adversary for
+    recoverable protocols. *)
+
+val random_simultaneous :
+  ?crash_prob:float -> max_crashes:int -> seed:int -> nprocs:int -> t
+(** Adversary for the simultaneous-crash model: random steps, and — with
+    probability [crash_prob] (default 0.15), at most [max_crashes] times —
+    a [Sched.Crash_all] event resetting every process.  Never issues
+    individual crashes, so it ignores the [E_z^*] budget entirely. *)

@@ -1,0 +1,61 @@
+type verdict = Ok | Violation of string
+
+let is_ok = function Ok -> true | Violation _ -> false
+let message = function Ok -> None | Violation m -> Some m
+
+let pp_verdict ppf = function
+  | Ok -> Format.pp_print_string ppf "ok"
+  | Violation m -> Format.fprintf ppf "violation: %s" m
+
+let agreement p c =
+  let decided =
+    Array.to_list (Config.decisions p c)
+    |> List.filteri (fun _ d -> Option.is_some d)
+    |> List.map Option.get
+  in
+  match List.sort_uniq compare decided with
+  | [] | [ _ ] -> Ok
+  | values ->
+      Violation
+        (Printf.sprintf "agreement: distinct decisions {%s}"
+           (String.concat ", " (List.map string_of_int values)))
+
+let validity p c =
+  let inputs = Array.to_list c.Config.inputs in
+  let bad = ref None in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some v when not (List.mem v inputs) && !bad = None ->
+          bad := Some (Printf.sprintf "validity: p%d decided %d, not an input" i v)
+      | _ -> ())
+    (Config.decisions p c);
+  match !bad with None -> Ok | Some m -> Violation m
+
+let consensus p c =
+  match agreement p c with Ok -> validity p c | v -> v
+
+let all_decided p c =
+  if Config.all_decided p c then Ok
+  else
+    let undecided =
+      Array.to_list (Config.decisions p c)
+      |> List.mapi (fun i d -> (i, d))
+      |> List.filter_map (fun (i, d) -> if d = None then Some (string_of_int i) else None)
+    in
+    Violation (Printf.sprintf "undecided processes: {%s}" (String.concat ", " undecided))
+
+let election ~winner_team p c =
+  let bad = ref None in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some v when v <> winner_team && !bad = None ->
+          bad :=
+            Some (Printf.sprintf "election: p%d output team %d, winner is team %d" i v winner_team)
+      | _ -> ())
+    (Config.decisions p c);
+  match !bad with None -> Ok | Some m -> Violation m
+
+let first_mover sched =
+  List.find_map (function Sched.Step p -> Some p | Sched.Crash _ | Sched.Crash_all -> None) sched

@@ -1,0 +1,27 @@
+(** Correctness checkers for consensus and related tasks. *)
+
+type verdict = Ok | Violation of string
+
+val is_ok : verdict -> bool
+val message : verdict -> string option
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val agreement : 'st Program.t -> 'st Config.t -> verdict
+(** No two decided processes hold different values. *)
+
+val validity : 'st Program.t -> 'st Config.t -> verdict
+(** Every decided value is some process's input. *)
+
+val consensus : 'st Program.t -> 'st Config.t -> verdict
+(** Agreement and validity. *)
+
+val all_decided : 'st Program.t -> 'st Config.t -> verdict
+
+val election : winner_team:int -> 'st Program.t -> 'st Config.t -> verdict
+(** Team-election correctness: every decided process output the team
+    [winner_team] (used by certificate-driven protocols, where the
+    "decision" is the team of the first process to apply its certificate
+    operation). *)
+
+val first_mover : Sched.t -> int option
+(** The first process to take a step in a schedule, if any. *)

@@ -1,0 +1,58 @@
+type 'st t = {
+  locals : 'st array;
+  values : Objtype.value array;
+  inputs : int array;
+}
+
+let initial (p : 'st Program.t) ~inputs =
+  if Array.length inputs <> p.Program.nprocs then
+    invalid_arg "Config.initial: wrong number of inputs";
+  {
+    locals = Array.init p.Program.nprocs (fun i -> p.Program.init ~proc:i ~input:inputs.(i));
+    values = Array.map snd p.Program.heap;
+    inputs = Array.copy inputs;
+  }
+
+let equal a b = a.locals = b.locals && a.values = b.values && a.inputs = b.inputs
+let hash c = Hashtbl.hash (c.locals, c.values, c.inputs)
+
+let view (p : 'st Program.t) c ~proc = p.Program.view ~proc c.locals.(proc)
+
+let decided p c ~proc =
+  match view p c ~proc with Program.Decided v -> Some v | Program.Poised _ -> None
+
+let decisions p c = Array.init p.Program.nprocs (fun i -> decided p c ~proc:i)
+
+let all_decided p c =
+  Array.for_all Option.is_some (decisions p c)
+
+let some_decision p c =
+  let rec find i =
+    if i >= p.Program.nprocs then None
+    else match decided p c ~proc:i with Some v -> Some v | None -> find (i + 1)
+  in
+  find 0
+
+let indistinguishable ~procs a b =
+  List.for_all (fun i -> a.locals.(i) = b.locals.(i) && a.inputs.(i) = b.inputs.(i)) procs
+
+let same_values a b = a.values = b.values
+
+let pp ~pp_state (p : 'st Program.t) ppf c =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i st ->
+      Format.fprintf ppf "p%d (input %d): %a%s@," i c.inputs.(i) pp_state st
+        (match view p c ~proc:i with
+        | Program.Decided v -> Printf.sprintf " [decided %d]" v
+        | Program.Poised { obj; op; _ } ->
+            let ty, _ = p.Program.heap.(obj) in
+            Printf.sprintf " [poised: %s on obj %d]" (ty.Objtype.op_name op) obj))
+    c.locals;
+  Array.iteri
+    (fun i v ->
+      let ty, _ = p.Program.heap.(i) in
+      Format.fprintf ppf "obj %d (%s) = %s@," i ty.Objtype.name
+        (ty.Objtype.value_name v))
+    c.values;
+  Format.fprintf ppf "@]"

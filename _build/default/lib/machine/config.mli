@@ -1,0 +1,40 @@
+(** Configurations: a local state per process plus a value per object
+    (paper Section 2).  The inputs are carried along because a crash resets
+    a process to its initial state *for its input*. *)
+
+type 'st t = {
+  locals : 'st array;
+  values : Objtype.value array;
+  inputs : int array;
+}
+
+val initial : 'st Program.t -> inputs:int array -> 'st t
+(** Every process in its initial state, every object at its initial value.
+    @raise Invalid_argument if [inputs] has the wrong length. *)
+
+val equal : 'st t -> 'st t -> bool
+(** Structural equality of local states and object values (inputs are
+    invariant along an execution, so they participate too). *)
+
+val hash : 'st t -> int
+
+val view : 'st Program.t -> 'st t -> proc:int -> 'st Program.view
+val decided : 'st Program.t -> 'st t -> proc:int -> int option
+val decisions : 'st Program.t -> 'st t -> int option array
+val all_decided : 'st Program.t -> 'st t -> bool
+val some_decision : 'st Program.t -> 'st t -> int option
+(** The decision of the least decided process, if any. *)
+
+val indistinguishable : procs:int list -> 'st t -> 'st t -> bool
+(** The paper's [C ~Q C']: every process in [procs] has the same local state
+    (and the same input).  Object values are *not* compared; combine with
+    {!same_values} when needed. *)
+
+val same_values : 'st t -> 'st t -> bool
+
+val pp :
+  pp_state:(Format.formatter -> 'st -> unit) ->
+  'st Program.t ->
+  Format.formatter ->
+  'st t ->
+  unit

@@ -1,0 +1,129 @@
+type step_info = {
+  proc : int;
+  obj : int;
+  op : Objtype.op;
+  response : Objtype.response;
+  no_op : bool;
+}
+
+type trace_event = Stepped of step_info | Crashed of int | Crashed_all
+
+let apply_step (p : 'st Program.t) (c : 'st Config.t) ~proc =
+  match Config.view p c ~proc with
+  | Program.Decided _ -> c
+  | Program.Poised { obj; op; next } ->
+      let ty, _ = p.Program.heap.(obj) in
+      let response, value' = Objtype.apply ty c.Config.values.(obj) op in
+      let values = Array.copy c.Config.values in
+      values.(obj) <- value';
+      let locals = Array.copy c.Config.locals in
+      locals.(proc) <- next response;
+      { c with Config.values; locals }
+
+let apply_crash (c : 'st Config.t) (p : 'st Program.t) ~proc =
+  let locals = Array.copy c.Config.locals in
+  locals.(proc) <- p.Program.init ~proc ~input:c.Config.inputs.(proc);
+  { c with Config.locals }
+
+let apply_crash_all (c : 'st Config.t) (p : 'st Program.t) =
+  let locals =
+    Array.mapi (fun proc _ -> p.Program.init ~proc ~input:c.Config.inputs.(proc)) c.Config.locals
+  in
+  { c with Config.locals }
+
+let apply_event p c event =
+  match event with
+  | Sched.Step proc -> (
+      match Config.view p c ~proc with
+      | Program.Decided _ ->
+          (c, Stepped { proc; obj = -1; op = -1; response = -1; no_op = true })
+      | Program.Poised { obj; op; _ } ->
+          let ty, _ = p.Program.heap.(obj) in
+          let response, _ = Objtype.apply ty c.Config.values.(obj) op in
+          (apply_step p c ~proc, Stepped { proc; obj; op; response; no_op = false }))
+  | Sched.Crash proc -> (apply_crash c p ~proc, Crashed proc)
+  | Sched.Crash_all -> (apply_crash_all c p, Crashed_all)
+
+let run_schedule p c sched =
+  let rec loop c acc = function
+    | [] -> (c, List.rev acc)
+    | e :: rest ->
+        let c', ev = apply_event p c e in
+        loop c' (ev :: acc) rest
+  in
+  loop c [] sched
+
+let run_procs p c procs = fst (run_schedule p c (Sched.of_procs procs))
+
+let solo_terminate ?(fuel = 10_000) p c ~proc =
+  let rec loop c n =
+    match Config.decided p c ~proc with
+    | Some _ -> (c, n)
+    | None ->
+        if n >= fuel then
+          failwith
+            (Printf.sprintf "Exec.solo_terminate: p%d did not decide within %d steps in %s" proc
+               fuel p.Program.name)
+        else loop (apply_step p c ~proc) (n + 1)
+  in
+  loop c 0
+
+type outcome = {
+  events_used : int;
+  all_decided : bool;
+  rwf_violation : (int * int) option;
+}
+
+let run_adversary p c ~pick ~budget ?rwf_bound ~fuel () =
+  let since_reset = Array.make p.Program.nprocs 0 in
+  let violation = ref None in
+  let rec loop c budget sched_rev n =
+    let decided = Array.map Option.is_some (Config.decisions p c) in
+    if n >= fuel || Array.for_all Fun.id decided then finish c sched_rev n
+    else
+      match pick ~decided budget with
+      | None -> finish c sched_rev n
+      | Some event ->
+          let c', _ = apply_event p c event in
+          let budget =
+            (* Simultaneous crashes belong to the other crash model and are
+               not budget-accounted. *)
+            match event with Sched.Crash_all -> budget | _ -> Budget.record budget event
+          in
+          (match event with
+          | Sched.Crash_all -> Array.fill since_reset 0 (Array.length since_reset) 0
+          | Sched.Step q ->
+              if not decided.(q) then begin
+                since_reset.(q) <- since_reset.(q) + 1;
+                match (rwf_bound, !violation) with
+                | Some bound, None when since_reset.(q) > bound ->
+                    violation := Some (q, since_reset.(q))
+                | _ -> ()
+              end
+          | Sched.Crash q -> since_reset.(q) <- 0);
+          loop c' budget (event :: sched_rev) (n + 1)
+  and finish c sched_rev n =
+    ( c,
+      List.rev sched_rev,
+      {
+        events_used = n;
+        all_decided = Config.all_decided p c;
+        rwf_violation = !violation;
+      } )
+  in
+  loop c budget [] 0
+
+let pp_trace_event (p : 'st Program.t) ppf = function
+  | Stepped { proc; no_op = true; _ } ->
+      Format.fprintf ppf "p%d steps (already decided, no-op)" proc
+  | Stepped { proc; obj; op; response; no_op = false } ->
+      let ty, _ = p.Program.heap.(obj) in
+      Format.fprintf ppf "p%d applies %s to obj%d -> %s" proc (ty.Objtype.op_name op) obj
+        (ty.Objtype.response_name response)
+  | Crashed proc -> Format.fprintf ppf "p%d crashes (local state reset)" proc
+  | Crashed_all -> Format.fprintf ppf "simultaneous crash (every process reset)"
+
+let pp_trace p ppf trace =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun e -> Format.fprintf ppf "%a@," (pp_trace_event p) e) trace;
+  Format.pp_close_box ppf ()

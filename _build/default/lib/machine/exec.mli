@@ -1,0 +1,68 @@
+(** Executions: applying events to configurations (paper Section 2). *)
+
+type step_info = {
+  proc : int;
+  obj : int;
+  op : Objtype.op;
+  response : Objtype.response;
+  no_op : bool;  (** the process was in an output state; nothing happened *)
+}
+
+type trace_event = Stepped of step_info | Crashed of int | Crashed_all
+
+val apply_event : 'st Program.t -> 'st Config.t -> Sched.event -> 'st Config.t * trace_event
+(** One event.  A [Step] by a decided process is a no-op that leaves the
+    configuration unchanged; a [Crash] resets the process's local state to
+    its initial state for its input. *)
+
+val apply_step : 'st Program.t -> 'st Config.t -> proc:int -> 'st Config.t
+val apply_crash : 'st Config.t -> 'st Program.t -> proc:int -> 'st Config.t
+
+val apply_crash_all : 'st Config.t -> 'st Program.t -> 'st Config.t
+(** Simultaneous crash: every process's local state is reset (objects keep
+    their values) — the paper's alternative crash model. *)
+
+val run_schedule :
+  'st Program.t -> 'st Config.t -> Sched.t -> 'st Config.t * trace_event list
+(** Apply a whole schedule; the trace is in execution order. *)
+
+val run_procs : 'st Program.t -> 'st Config.t -> Sched.proc list -> 'st Config.t
+(** Crash-free convenience wrapper over {!run_schedule}. *)
+
+val solo_terminate :
+  ?fuel:int -> 'st Program.t -> 'st Config.t -> proc:int -> 'st Config.t * int
+(** The process's solo-terminating execution: step [proc] until it decides.
+    Returns the final configuration and the number of steps taken.
+    @raise Failure if the process does not decide within [fuel]
+    (default 10_000) steps — a wait-freedom violation. *)
+
+type outcome = {
+  events_used : int;
+  all_decided : bool;
+  rwf_violation : (int * int) option;
+      (** [(proc, steps)] — an undecided process exceeded the recoverable
+          wait-freedom step bound without crashing. *)
+}
+
+val run_adversary :
+  'st Program.t ->
+  'st Config.t ->
+  pick:(decided:bool array -> Budget.counter -> Sched.event option) ->
+  budget:Budget.counter ->
+  ?rwf_bound:int ->
+  fuel:int ->
+  unit ->
+  'st Config.t * Sched.t * outcome
+(** Drive the execution with an adversary.  [pick] is consulted with the
+    current decision vector and the crash-budget counter and returns the
+    next event ([None] ends the run).  Crashes violating the budget are
+    rejected with [Invalid_argument].  When [rwf_bound] is given, the run
+    monitors recoverable wait-freedom: an undecided process taking more
+    than [rwf_bound] steps since its last crash (or since the start) is
+    reported in the outcome.  The returned schedule is in execution
+    order. *)
+
+val pp_trace_event : 'st Program.t -> Format.formatter -> trace_event -> unit
+(** Human-readable rendering: operation names, responses and crashes. *)
+
+val pp_trace : 'st Program.t -> Format.formatter -> trace_event list -> unit

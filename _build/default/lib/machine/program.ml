@@ -1,0 +1,25 @@
+type 'st view =
+  | Poised of { obj : int; op : Objtype.op; next : Objtype.response -> 'st }
+  | Decided of int
+
+type 'st t = {
+  name : string;
+  nprocs : int;
+  heap : (Objtype.t * Objtype.value) array;
+  init : proc:int -> input:int -> 'st;
+  view : proc:int -> 'st -> 'st view;
+}
+
+let validate t =
+  if t.nprocs <= 0 then invalid_arg (t.name ^ ": nprocs must be positive");
+  Array.iteri
+    (fun i ((ty : Objtype.t), v) ->
+      if v < 0 || v >= ty.Objtype.num_values then
+        invalid_arg
+          (Printf.sprintf "%s: heap object %d initial value %d out of range for %s" t.name i v
+             ty.Objtype.name))
+    t.heap
+
+let register_heap ?(registers = 0) ~register_values main =
+  let reg = Gallery.register register_values in
+  Array.init (1 + registers) (fun i -> if i = 0 then main else (reg, 0))

@@ -1,0 +1,39 @@
+(** Protocols (algorithms) in the paper's shared-memory model.
+
+    A program for [nprocs] processes defines a heap of shared objects (with
+    their types and initial values) and, per process, a deterministic local
+    state machine.  Each local state is either poised to apply one operation
+    to one object, or an output state carrying the decided value.  Crashes
+    reset the local state to [init] — the paper's model, where a process
+    restarts its algorithm from scratch but keeps its private input.
+
+    State types ['st] must be pure data (no closures) so that configurations
+    can be compared and hashed structurally by the explorer. *)
+
+type 'st view =
+  | Poised of { obj : int; op : Objtype.op; next : Objtype.response -> 'st }
+      (** The process's next step applies [op] to heap object [obj]; [next]
+          maps the operation's response to the successor local state. *)
+  | Decided of int
+      (** Output state: further steps are no-ops (paper Section 2). *)
+
+type 'st t = {
+  name : string;
+  nprocs : int;
+  heap : (Objtype.t * Objtype.value) array;
+  init : proc:int -> input:int -> 'st;
+  view : proc:int -> 'st -> 'st view;
+}
+
+val validate : 'st t -> unit
+(** Sanity checks: at least one process, every heap initial value in range.
+    @raise Invalid_argument on violation. *)
+
+val register_heap :
+  ?registers:int ->
+  register_values:int ->
+  (Objtype.t * Objtype.value) ->
+  (Objtype.t * Objtype.value) array
+(** Convenience: a heap with one distinguished object (index 0) followed by
+    [registers] registers (default 0) over [register_values] values, each
+    initialized to 0. *)

@@ -1,0 +1,1 @@
+lib/protocols/election.ml: Array Bool Certificate Exec Gallery Hashtbl List Objtype Option Printf Program Sched

@@ -1,0 +1,1 @@
+lib/protocols/tnn_protocol.ml: Gallery Printf Program

@@ -1,0 +1,1 @@
+lib/protocols/tournament.ml: Array Bool Certificate Decide Format Fun Gallery List Objtype Option Printf Program String

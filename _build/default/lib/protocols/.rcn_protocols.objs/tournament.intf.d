@@ -1,0 +1,1 @@
+lib/protocols/tournament.mli: Format Objtype Program

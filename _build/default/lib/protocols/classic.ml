@@ -1,0 +1,110 @@
+let check_binary_input x =
+  if x <> 0 && x <> 1 then invalid_arg "Classic: inputs must be 0 or 1"
+
+type cas_state = CStart of int | CDone of int
+
+let cas_consensus ~nprocs : cas_state Program.t =
+  (* Values: 0 = bot, 1+v = decided v.  CAS(a,b) is op a*k + b with k = 3. *)
+  let ty = Gallery.compare_and_swap 3 in
+  {
+    Program.name = Printf.sprintf "cas-consensus-%d" nprocs;
+    nprocs;
+    heap = [| (ty, 0) |];
+    init =
+      (fun ~proc:_ ~input ->
+        check_binary_input input;
+        CStart input);
+    view =
+      (fun ~proc:_ -> function
+        | CDone v -> Program.Decided v
+        | CStart x ->
+            Program.Poised
+              {
+                obj = 0;
+                op = (0 * 3) + (1 + x);
+                next = (fun old -> if old = 0 then CDone x else CDone (old - 1));
+              });
+  }
+
+type sticky_state = SStart of int | SDone of int
+
+let sticky_consensus ~nprocs : sticky_state Program.t =
+  {
+    Program.name = Printf.sprintf "sticky-consensus-%d" nprocs;
+    nprocs;
+    heap = [| (Gallery.sticky_bit, 0) |];
+    init =
+      (fun ~proc:_ ~input ->
+        check_binary_input input;
+        SStart input);
+    view =
+      (fun ~proc:_ -> function
+        | SDone v -> Program.Decided v
+        | SStart x ->
+            Program.Poised
+              { obj = 0; op = x; next = (fun stuck -> SDone stuck) });
+  }
+
+type tas_state = TWrite of int | TTas of int | TRead of int | TDone of int
+
+let tas_consensus_2 : tas_state Program.t =
+  (* Heap: obj 0 = TAS bit; obj 1, 2 = announcement registers over
+     {bot, 0, 1} (register values: 0 = bot, 1+v = announced v). *)
+  let reg = Gallery.register 3 in
+  {
+    Program.name = "tas-consensus-2";
+    nprocs = 2;
+    heap = [| (Gallery.test_and_set, 0); (reg, 0); (reg, 0) |];
+    init =
+      (fun ~proc:_ ~input ->
+        check_binary_input input;
+        TWrite input);
+    view =
+      (fun ~proc -> function
+        | TDone v -> Program.Decided v
+        | TWrite x ->
+            Program.Poised
+              { obj = 1 + proc; op = 1 + (1 + x); next = (fun _ -> TTas x) }
+        | TTas x ->
+            Program.Poised
+              {
+                obj = 0;
+                op = 0;
+                next = (fun won -> if won = 0 then TDone x else TRead x);
+              }
+        | TRead x ->
+            Program.Poised
+              {
+                obj = 2 - proc;
+                op = 0;
+                next =
+                  (fun r ->
+                    (* Register read responses are 1 + value; announced
+                       values are 1 + input.  A bot announcement cannot be
+                       read by the loser, but decide our own input to stay
+                       total. *)
+                    if r <= 1 then TDone x else TDone (r - 2));
+              });
+  }
+
+type naive_state = NWrite of int | NRead | NDone of int
+
+let register_race ~nprocs : naive_state Program.t =
+  let reg = Gallery.register 3 in
+  {
+    Program.name = Printf.sprintf "register-race-%d" nprocs;
+    nprocs;
+    heap = [| (reg, 0) |];
+    init =
+      (fun ~proc:_ ~input ->
+        check_binary_input input;
+        NWrite input);
+    view =
+      (fun ~proc:_ -> function
+        | NDone v -> Program.Decided v
+        | NWrite x ->
+            Program.Poised { obj = 0; op = 1 + (1 + x); next = (fun _ -> NRead) }
+        | NRead ->
+            Program.Poised
+              { obj = 0; op = 0; next = (fun r -> NDone (if r <= 1 then 0 else r - 2)) });
+  }

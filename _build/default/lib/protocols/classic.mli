@@ -1,0 +1,37 @@
+(** Classical consensus protocols, used as anchors and controls.
+
+    All protocols here solve binary consensus (inputs in [{0,1}]) unless
+    stated otherwise. *)
+
+type cas_state = CStart of int | CDone of int
+
+val cas_consensus : nprocs:int -> cas_state Program.t
+(** [n]-process consensus from one CAS object over [{bot, 0, 1}]: apply
+    [CAS(bot, 1+x)]; the winner sees [bot] and decides its own input,
+    losers decide the value they see.  Also recoverable: re-applying the
+    CAS after a crash is harmless because the object never leaves the
+    decided value. *)
+
+type sticky_state = SStart of int | SDone of int
+
+val sticky_consensus : nprocs:int -> sticky_state Program.t
+(** [n]-process consensus from a sticky bit: apply [Set_x], decide the
+    stuck bit.  Recoverable for the same reason as CAS. *)
+
+type tas_state = TWrite of int | TTas of int | TRead of int | TDone of int
+
+val tas_consensus_2 : tas_state Program.t
+(** The classical 2-process wait-free consensus from test-and-set plus two
+    registers: announce the input, TAS; the winner decides its own input,
+    the loser reads the winner's announcement.  Correct crash-free; *not*
+    recoverable (Golab 2020) — a crash between the TAS and deciding loses
+    the response, and [Counterexample.search] finds a violating crash
+    schedule. *)
+
+type naive_state = NWrite of int | NRead | NDone of int
+
+val register_race : nprocs:int -> naive_state Program.t
+(** Negative control: write the input to a shared register, read it back,
+    decide what is read.  Violates agreement under interleaving; the test
+    suite checks that {!Counterexample.search} finds the violation (as FLP
+    predicts, no register-only protocol could be correct). *)

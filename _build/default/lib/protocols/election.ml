@@ -1,0 +1,263 @@
+type estate = Observe | Apply | Confirm | Done of int
+
+let validate_certificate (cert : Certificate.t) =
+  if not (Objtype.is_readable cert.Certificate.objtype) then
+    invalid_arg "Election: certificate type is not readable";
+  if not (Certificate.check_recording cert) then
+    invalid_arg "Election: certificate is not a recording certificate";
+  if not (Certificate.is_clean cert) then
+    invalid_arg "Election: certificate is not clean (u reappears in U_0 or U_1)"
+
+(* Precomputed map from object values to the recording team, as an array
+   ([-1] when the value records no team, e.g. the initial value [u]). *)
+let team_table (cert : Certificate.t) =
+  let ty = cert.Certificate.objtype in
+  Array.init ty.Objtype.num_values (fun v ->
+      match Certificate.first_team_of_value cert v with
+      | Some team -> Bool.to_int team
+      | None -> -1)
+
+let team_election (cert : Certificate.t) : estate Program.t =
+  validate_certificate cert;
+  let ty = cert.Certificate.objtype in
+  let read, decode =
+    match Objtype.read_decoder ty with
+    | Some pair -> pair
+    | None -> assert false (* guarded by validate_certificate *)
+  in
+  let teams = team_table cert in
+  let u = cert.Certificate.initial in
+  let observe next_if_u state_of_team =
+    Program.Poised
+      {
+        obj = 0;
+        op = read;
+        next =
+          (fun r ->
+            let v = decode r in
+            if v = u then next_if_u
+            else
+              (* A clean recording certificate maps every value reachable by
+                 at-most-once applications to a unique team. *)
+              state_of_team teams.(v));
+      }
+  in
+  {
+    Program.name = Printf.sprintf "election(%s)" ty.Objtype.name;
+    nprocs = cert.Certificate.nprocs;
+    heap = [| (ty, u) |];
+    init = (fun ~proc:_ ~input:_ -> Observe);
+    view =
+      (fun ~proc -> function
+        | Done team -> Program.Decided team
+        | Observe -> observe Apply (fun team -> Done team)
+        | Apply ->
+            Program.Poised
+              { obj = 0; op = cert.Certificate.ops.(proc); next = (fun _ -> Confirm) }
+        | Confirm ->
+            (* Our own operation has been applied, so the value can no longer
+               be [u]; reaching [Apply] again would mean applying twice. *)
+            observe Apply (fun team -> Done team));
+  }
+
+let expected_winner (cert : Certificate.t) _sched trace =
+  let read = Option.map fst (Objtype.read_decoder cert.Certificate.objtype) in
+  List.find_map
+    (function
+      | Exec.Stepped { proc; obj = 0; op; no_op = false; _ } when Some op <> read ->
+          Some (Bool.to_int cert.Certificate.team.(proc))
+      | Exec.Stepped _ | Exec.Crashed _ | Exec.Crashed_all -> None)
+    trace
+
+type cstate = CAnnounce of int | CElect of estate * int | CFetch of int | CDone of int
+
+let consensus_2 (cert : Certificate.t) : cstate Program.t =
+  validate_certificate cert;
+  if cert.Certificate.nprocs <> 2 then
+    invalid_arg "Election.consensus_2: certificate must be for 2 processes";
+  let ty = cert.Certificate.objtype in
+  let read, decode =
+    match Objtype.read_decoder ty with Some pair -> pair | None -> assert false
+  in
+  let teams = team_table cert in
+  let u = cert.Certificate.initial in
+  (* With two processes each team is a singleton: member.(team) is its
+     process. *)
+  let member =
+    Array.init 2 (fun team ->
+        match Certificate.team_members cert (team = 1) with
+        | [ p ] -> p
+        | _ -> invalid_arg "Election.consensus_2: teams must be singletons")
+  in
+  let reg = Gallery.register 3 in
+  let observe ~next_if_u =
+    Program.Poised
+      {
+        obj = 0;
+        op = read;
+        next =
+          (fun r ->
+            let v = decode r in
+            if v = u then next_if_u else CFetch teams.(v));
+      }
+  in
+  {
+    Program.name = Printf.sprintf "consensus2(%s)" ty.Objtype.name;
+    nprocs = 2;
+    (* obj 0: the certified object; obj 1, 2: announcement registers. *)
+    heap = [| (ty, u); (reg, 0); (reg, 0) |];
+    init =
+      (fun ~proc:_ ~input ->
+        if input <> 0 && input <> 1 then invalid_arg "Election.consensus_2: binary inputs";
+        CAnnounce input);
+    view =
+      (fun ~proc -> function
+        | CDone v -> Program.Decided v
+        | CAnnounce x ->
+            Program.Poised
+              { obj = 1 + proc; op = 1 + (1 + x); next = (fun _ -> CElect (Observe, x)) }
+        | CElect (Observe, x) -> observe ~next_if_u:(CElect (Apply, x))
+        | CElect (Apply, x) ->
+            Program.Poised
+              {
+                obj = 0;
+                op = cert.Certificate.ops.(proc);
+                next = (fun _ -> CElect (Confirm, x));
+              }
+        | CElect (Confirm, x) -> observe ~next_if_u:(CElect (Apply, x))
+        | CElect (Done _, _) -> assert false
+        | CFetch team ->
+            Program.Poised
+              {
+                obj = 1 + member.(team);
+                op = 0;
+                next =
+                  (fun r ->
+                    (* The winner announced before applying, so its register
+                       is never bot here; decode 1+(1+x). *)
+                    CDone (if r <= 1 then 0 else r - 2));
+              });
+  }
+
+type dstate = DApply | DRead of Objtype.response | DDone of int
+
+let validate_discerning (cert : Certificate.t) =
+  if not (Objtype.is_readable cert.Certificate.objtype) then
+    invalid_arg "Election: certificate type is not readable";
+  if not (Certificate.check_discerning cert) then
+    invalid_arg "Election: certificate is not a discerning certificate"
+
+(* The replay table behind Ruppert's argument: for every schedule in S(P)
+   and every participant j, map (j, response of o_j, final value) to the
+   first process's team.  Disjointness of R_{0,j} and R_{1,j} makes the
+   table functional. *)
+let pair_table (cert : Certificate.t) =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun procs ->
+      match procs with
+      | [] -> ()
+      | first :: _ ->
+          let team = Bool.to_int cert.Certificate.team.(first) in
+          let responses, value = Certificate.replay cert procs in
+          let responses = Option.get responses in
+          List.iter
+            (fun j -> Hashtbl.replace table (j, responses.(j), value) team)
+            procs)
+    (Sched.at_most_once ~nprocs:cert.Certificate.nprocs);
+  table
+
+let discerning_election (cert : Certificate.t) : dstate Program.t =
+  validate_discerning cert;
+  let ty = cert.Certificate.objtype in
+  let read, decode = Option.get (Objtype.read_decoder ty) in
+  let table = pair_table cert in
+  {
+    Program.name = Printf.sprintf "discerning-election(%s)" ty.Objtype.name;
+    nprocs = cert.Certificate.nprocs;
+    heap = [| (ty, cert.Certificate.initial) |];
+    init = (fun ~proc:_ ~input:_ -> DApply);
+    view =
+      (fun ~proc -> function
+        | DDone team -> Program.Decided team
+        | DApply ->
+            Program.Poised
+              { obj = 0; op = cert.Certificate.ops.(proc); next = (fun r -> DRead r) }
+        | DRead r ->
+            Program.Poised
+              {
+                obj = 0;
+                op = read;
+                next =
+                  (fun read_resp ->
+                    let v = decode read_resp in
+                    match Hashtbl.find_opt table (proc, r, v) with
+                    | Some team -> DDone team
+                    | None ->
+                        (* Outside the S(P) replay table: only reachable if
+                           some process applied twice, which cannot happen
+                           crash-free.  Decide a default so the state
+                           machine stays total; the checkers flag it. *)
+                        DDone 0);
+              });
+  }
+
+type dcstate =
+  | DCAnnounce of int
+  | DCApply of int
+  | DCRead of Objtype.response * int
+  | DCFetch of int
+  | DCDone of int
+
+let discerning_consensus_2 (cert : Certificate.t) : dcstate Program.t =
+  validate_discerning cert;
+  if cert.Certificate.nprocs <> 2 then
+    invalid_arg "Election.discerning_consensus_2: certificate must be for 2 processes";
+  let ty = cert.Certificate.objtype in
+  let read, decode = Option.get (Objtype.read_decoder ty) in
+  let table = pair_table cert in
+  let member =
+    Array.init 2 (fun team ->
+        match Certificate.team_members cert (team = 1) with
+        | [ p ] -> p
+        | _ -> invalid_arg "Election.discerning_consensus_2: teams must be singletons")
+  in
+  let reg = Gallery.register 3 in
+  {
+    Program.name = Printf.sprintf "discerning-consensus2(%s)" ty.Objtype.name;
+    nprocs = 2;
+    heap = [| (ty, cert.Certificate.initial); (reg, 0); (reg, 0) |];
+    init =
+      (fun ~proc:_ ~input ->
+        if input <> 0 && input <> 1 then
+          invalid_arg "Election.discerning_consensus_2: binary inputs";
+        DCAnnounce input);
+    view =
+      (fun ~proc -> function
+        | DCDone v -> Program.Decided v
+        | DCAnnounce x ->
+            Program.Poised
+              { obj = 1 + proc; op = 1 + (1 + x); next = (fun _ -> DCApply x) }
+        | DCApply x ->
+            Program.Poised
+              { obj = 0; op = cert.Certificate.ops.(proc); next = (fun r -> DCRead (r, x)) }
+        | DCRead (r, x) ->
+            Program.Poised
+              {
+                obj = 0;
+                op = read;
+                next =
+                  (fun read_resp ->
+                    let v = decode read_resp in
+                    match Hashtbl.find_opt table (proc, r, v) with
+                    | Some team -> if member.(team) = proc then DCDone x else DCFetch team
+                    | None -> DCDone x);
+              }
+        | DCFetch team ->
+            Program.Poised
+              {
+                obj = 1 + member.(team);
+                op = 0;
+                next = (fun r -> DCDone (if r <= 1 then 0 else r - 2));
+              });
+  }

@@ -1,0 +1,87 @@
+(** Certificate-driven protocols for readable types.
+
+    DFFR (2022, Theorem 8) prove that objects of any [n]-recording readable
+    deterministic type solve [n]-process recoverable consensus with
+    registers; together with this paper's Theorem 13 that makes max-recording
+    the exact recoverable consensus number of readable deterministic types.
+    We implement the executable core of that direction for *clean*
+    certificates ({!Certificate.is_clean}: the initial value [u] cannot
+    reappear once any certificate operation has been applied; equivalently
+    [u ∉ U_0 ∪ U_1]).  Cleanliness makes "read [u]" synonymous with "nobody
+    has applied yet", which yields a simple recoverable protocol whose
+    correctness the test suite certifies by exhaustive bounded-crash model
+    checking.  Certificates whose teams abuse the hiding allowance
+    ([u ∈ U_x] with a singleton opposite team) are exactly the non-clean
+    ones; the paper's machinery shows why they are delicate.
+
+    The protocols below are *team elections*: every process outputs the
+    team (0 or 1) of the first process to apply its certificate operation.
+    For two processes (singleton teams) this upgrades to full binary
+    consensus via announcement registers. *)
+
+type estate = Observe | Apply | Confirm | Done of int
+
+val team_election : Certificate.t -> estate Program.t
+(** Recoverable team election from a clean recording certificate on a
+    readable type.  Process [i]: read the object; if it holds [u], apply
+    [o_i] and read again; output the team that the final value records.
+    @raise Invalid_argument if the certificate's type is not readable, the
+    certificate fails {!Certificate.check_recording}, or it is not clean. *)
+
+val expected_winner : Certificate.t -> Sched.t -> Exec.trace_event list -> int option
+(** The team of the first process to apply its certificate operation in a
+    trace (ignoring reads), i.e. the team every process must output. *)
+
+type cstate = CAnnounce of int | CElect of estate * int | CFetch of int | CDone of int
+
+val consensus_2 : Certificate.t -> cstate Program.t
+(** Recoverable binary consensus for 2 processes from a clean 2-recording
+    certificate: announce the input in a per-process register, run the team
+    election, and decide the announced input of the winning (singleton)
+    team's process.
+    @raise Invalid_argument under the same conditions as
+    {!team_election}, or if the certificate is not for exactly 2
+    processes. *)
+
+(** {2 Wait-free (crash-free) elections from discerning certificates}
+
+    Ruppert's characterization: for readable deterministic types,
+    [n]-discerning is exactly consensus number [>= n].  The sufficiency
+    direction has a compact executable core: in a crash-free execution
+    every process applies its certificate operation at most once, so when a
+    process applies [o_j] (receiving [r]) and then Reads the object
+    (seeing [v]), the schedule of operations applied so far is a member of
+    [S(P)] containing [p_j] — and by the disjointness of [R_{0,j}] and
+    [R_{1,j}], the pair [(r, v)] determines the team of the first process
+    to have applied.  All processes therefore compute the same team:
+    wait-free team election, upgraded to 2-process binary consensus with
+    announcement registers exactly as in the recoverable case.
+
+    These protocols are *not* recoverable: a crash can make a process apply
+    its operation twice, leaving the object in a state outside the [S(P)]
+    replay table (the test suite shows the model checker finding such
+    executions) — the precise sense in which discerning is weaker than
+    recording. *)
+
+type dstate = DApply | DRead of Objtype.response | DDone of int
+
+val discerning_election : Certificate.t -> dstate Program.t
+(** Wait-free team election from a discerning certificate: apply [o_i],
+    Read, decide the team determined by the (response, value) pair.
+    @raise Invalid_argument if the certificate's type is not readable or
+    fails {!Certificate.check_discerning}. *)
+
+type dcstate =
+  | DCAnnounce of int
+  | DCApply of int
+  | DCRead of Objtype.response * int
+  | DCFetch of int
+  | DCDone of int
+
+val discerning_consensus_2 : Certificate.t -> dcstate Program.t
+(** Crash-free 2-process binary consensus from a 2-discerning certificate
+    (announce, elect, fetch the winner's announcement).  With the classical
+    TAS certificate this instantiates to the textbook TAS consensus
+    algorithm.
+    @raise Invalid_argument as {!discerning_election}, or if the
+    certificate is not for exactly 2 processes. *)

@@ -1,0 +1,81 @@
+type wstate = WStart of int | WDone of int
+
+let check_binary_input x =
+  if x <> 0 && x <> 1 then invalid_arg "Tnn_protocol: inputs must be 0 or 1"
+
+let wait_free_overloaded ~procs ~n ~n' : wstate Program.t =
+  let ty = Gallery.tnn ~n ~n' in
+  {
+    Program.name = Printf.sprintf "tnn-waitfree(%d on T_{%d,%d})" procs n n';
+    nprocs = procs;
+    heap = [| (ty, Gallery.tnn_s) |];
+    init =
+      (fun ~proc:_ ~input ->
+        check_binary_input input;
+        WStart input);
+    view =
+      (fun ~proc:_ -> function
+        | WDone v -> Program.Decided v
+        | WStart x ->
+            Program.Poised
+              {
+                obj = 0;
+                op = Gallery.tnn_op (if x = 0 then `Op0 else `Op1);
+                next =
+                  (fun r ->
+                    match Gallery.tnn_response ~n r with
+                    | `Zero -> WDone 0
+                    | `One -> WDone 1
+                    | `Bot | `Value _ -> WDone 0);
+              });
+  }
+
+let wait_free ~n ~n' = wait_free_overloaded ~procs:n ~n ~n'
+
+type rstate = RStart of int | RApply of int | RDone of int
+
+let recoverable_overloaded ~procs ~n ~n' : rstate Program.t =
+  let ty = Gallery.tnn ~n ~n' in
+  {
+    Program.name = Printf.sprintf "tnn-recoverable(%d on T_{%d,%d})" procs n n';
+    nprocs = procs;
+    heap = [| (ty, Gallery.tnn_s) |];
+    init =
+      (fun ~proc:_ ~input ->
+        check_binary_input input;
+        RStart input);
+    view =
+      (fun ~proc:_ -> function
+        | RDone v -> Program.Decided v
+        | RStart x ->
+            Program.Poised
+              {
+                obj = 0;
+                op = Gallery.tnn_op `OpR;
+                next =
+                  (fun r ->
+                    match Gallery.tnn_response ~n r with
+                    | `Bot -> RDone 0
+                    | `Value v when v = Gallery.tnn_s -> RApply x
+                    | `Value v -> (
+                        match Gallery.tnn_team_of_value ~n v with
+                        | Some team -> RDone team
+                        | None -> RDone 0)
+                    | `Zero -> RDone 0
+                    | `One -> RDone 1);
+              }
+        | RApply x ->
+            Program.Poised
+              {
+                obj = 0;
+                op = Gallery.tnn_op (if x = 0 then `Op0 else `Op1);
+                next =
+                  (fun r ->
+                    match Gallery.tnn_response ~n r with
+                    | `Zero -> RDone 0
+                    | `One -> RDone 1
+                    | `Bot | `Value _ -> RDone 0);
+              });
+  }
+
+let recoverable ~n ~n' = recoverable_overloaded ~procs:n' ~n ~n'

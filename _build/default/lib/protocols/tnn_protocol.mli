@@ -1,0 +1,31 @@
+(** The paper's two algorithms on [T_{n,n'}] (Section 4).
+
+    Both are binary consensus protocols: process inputs must be in
+    [{0,1}]. *)
+
+type wstate = WStart of int | WDone of int
+
+val wait_free : n:int -> n':int -> wstate Program.t
+(** The wait-free [n]-process algorithm (Lemma 15, lower bound): a process
+    with input [x] applies [op_x] once and decides the response.  Correct
+    for up to [n] processes in crash-free executions; *not* recoverable
+    (a crash between applying and remembering the response forces a second
+    application, which can disagree). *)
+
+val wait_free_overloaded : procs:int -> n:int -> n':int -> wstate Program.t
+(** The same algorithm run by [procs] processes (for exhibiting its failure
+    when [procs > n]). *)
+
+type rstate = RStart of int | RApply of int | RDone of int
+
+val recoverable : n:int -> n':int -> rstate Program.t
+(** The recoverable [n']-process algorithm (Lemma 16, lower bound): apply
+    [op_R]; on [s] apply [op_x] and decide the response; on [s_{v,i}]
+    decide [v]; on bottom decide [0] (unreachable with at most [n']
+    processes). *)
+
+val recoverable_overloaded : procs:int -> n:int -> n':int -> rstate Program.t
+(** The same algorithm run by [procs] processes.  For [procs > n'] the
+    paper's upper-bound argument applies and crash schedules can drive the
+    object to bottom; [Counterexample.search] exhibits a violation
+    (experiment E4). *)

@@ -1,0 +1,205 @@
+type child = Leaf of int | Inner of int
+
+type node = {
+  members : int array;  (* global processes, left side first *)
+  left_size : int;
+  cert : Certificate.t;
+  team_table : int array;  (* object value -> recorded team, -1 for u *)
+  left : child;
+  right : child;
+}
+
+type plan = {
+  objtype : Objtype.t;
+  nprocs : int;
+  nodes : node array;
+  root : child;
+  paths : int list array;  (* per process: node ids, deepest first *)
+}
+
+let node_count plan = Array.length plan.nodes
+
+(* Build a balanced tree over the process list, collecting nodes in an
+   accumulator; returns the child handle for the subtree. *)
+let plan ty ~nprocs =
+  if nprocs < 2 then Error "tournament needs at least two processes"
+  else begin
+    let nodes = ref [] in
+    let next_id = ref 0 in
+    let exception Unsatisfiable of string in
+    let rec build procs =
+      match procs with
+      | [] -> assert false
+      | [ p ] -> Leaf p
+      | _ ->
+          let k = List.length procs in
+          let left_procs = List.filteri (fun i _ -> i < k / 2) procs in
+          let right_procs = List.filteri (fun i _ -> i >= k / 2) procs in
+          let left = build left_procs in
+          let right = build right_procs in
+          let members = Array.of_list (left_procs @ right_procs) in
+          let left_size = List.length left_procs in
+          let team = Array.init k (fun i -> i >= left_size) in
+          (match Decide.search_partitioned ~clean:true Decide.Recording ty ~team with
+          | None ->
+              raise
+                (Unsatisfiable
+                   (Printf.sprintf
+                      "no clean recording certificate for %s over %d processes (split %d+%d)"
+                      ty.Objtype.name k left_size (k - left_size)))
+          | Some cert ->
+              let team_table =
+                Array.init ty.Objtype.num_values (fun v ->
+                    match Certificate.first_team_of_value cert v with
+                    | Some t -> Bool.to_int t
+                    | None -> -1)
+              in
+              let id = !next_id in
+              incr next_id;
+              nodes := (id, { members; left_size; cert; team_table; left; right }) :: !nodes;
+              Inner id)
+    in
+    match build (List.init nprocs Fun.id) with
+    | exception Unsatisfiable msg -> Error msg
+    | root ->
+        let nodes =
+          List.sort compare !nodes |> List.map snd |> Array.of_list
+        in
+        let paths = Array.make nprocs [] in
+        (* A process's path is every node whose member set contains it,
+           ordered deepest (smallest member set) first. *)
+        Array.iteri
+          (fun id node ->
+            Array.iter
+              (fun p -> paths.(p) <- (id, Array.length node.members) :: paths.(p))
+              node.members)
+          nodes;
+        let paths =
+          Array.map
+            (fun entries ->
+              List.sort (fun (_, a) (_, b) -> compare a b) entries |> List.map fst)
+            paths
+        in
+        Ok { objtype = ty; nprocs; nodes; root; paths }
+  end
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "@[<v>tournament over %d processes on %s:@," plan.nprocs
+    plan.objtype.Objtype.name;
+  Array.iteri
+    (fun id node ->
+      let side child =
+        match child with
+        | Leaf p -> Printf.sprintf "p%d" p
+        | Inner i -> Printf.sprintf "node%d" i
+      in
+      Format.fprintf ppf "node%d: {%s} vs {%s} -> %s | %s, u = %s@," id
+        (String.concat ","
+           (List.init node.left_size (fun i -> string_of_int node.members.(i))))
+        (String.concat ","
+           (List.init
+              (Array.length node.members - node.left_size)
+              (fun i -> string_of_int node.members.(node.left_size + i))))
+        (side node.left) (side node.right)
+        (plan.objtype.Objtype.value_name node.cert.Certificate.initial))
+    plan.nodes;
+  Format.fprintf ppf "@]"
+
+type phase = PObserve | PApply | PConfirm
+
+type state =
+  | TAnnounce of int
+  | TElect of { path_pos : int; phase : phase }
+  | TDescend of int
+  | TFetch of int
+  | TDone of int
+
+let consensus (plan : plan) : state Program.t =
+  let ty = plan.objtype in
+  let read, decode = Option.get (Objtype.read_decoder ty) in
+  let reg = Gallery.register 3 in
+  let obj_of_node id = plan.nprocs + id in
+  let local node proc =
+    let rec find i = if node.members.(i) = proc then i else find (i + 1) in
+    find 0
+  in
+  let after_elect proc path_pos =
+    if path_pos + 1 < List.length plan.paths.(proc) then
+      TElect { path_pos = path_pos + 1; phase = PObserve }
+    else
+      match plan.root with Leaf p -> TFetch p | Inner id -> TDescend id
+  in
+  {
+    Program.name = Printf.sprintf "tournament(%s, %d procs)" ty.Objtype.name plan.nprocs;
+    nprocs = plan.nprocs;
+    heap =
+      Array.init
+        (plan.nprocs + Array.length plan.nodes)
+        (fun i ->
+          if i < plan.nprocs then (reg, 0)
+          else (ty, plan.nodes.(i - plan.nprocs).cert.Certificate.initial));
+    init =
+      (fun ~proc:_ ~input ->
+        if input <> 0 && input <> 1 then invalid_arg "Tournament.consensus: binary inputs";
+        TAnnounce input);
+    view =
+      (fun ~proc -> function
+        | TDone v -> Program.Decided v
+        | TAnnounce x ->
+            Program.Poised
+              {
+                obj = proc;
+                op = 1 + (1 + x);
+                next = (fun _ -> TElect { path_pos = 0; phase = PObserve });
+              }
+        | TElect { path_pos; phase } -> (
+            let node_id = List.nth plan.paths.(proc) path_pos in
+            let node = plan.nodes.(node_id) in
+            let obj = obj_of_node node_id in
+            match phase with
+            | PObserve ->
+                Program.Poised
+                  {
+                    obj;
+                    op = read;
+                    next =
+                      (fun r ->
+                        if decode r = node.cert.Certificate.initial then
+                          TElect { path_pos; phase = PApply }
+                        else after_elect proc path_pos);
+                  }
+            | PApply ->
+                Program.Poised
+                  {
+                    obj;
+                    op = node.cert.Certificate.ops.(local node proc);
+                    next = (fun _ -> TElect { path_pos; phase = PConfirm });
+                  }
+            | PConfirm ->
+                (* Our operation applied, so the object has left its initial
+                   value for good (cleanliness); move on. *)
+                Program.Poised
+                  { obj; op = read; next = (fun _ -> after_elect proc path_pos) })
+        | TDescend node_id ->
+            let node = plan.nodes.(node_id) in
+            Program.Poised
+              {
+                obj = obj_of_node node_id;
+                op = read;
+                next =
+                  (fun r ->
+                    let v = decode r in
+                    let team = node.team_table.(v) in
+                    (* The leaf-first invariant guarantees v is not the
+                       initial value here; stay total regardless. *)
+                    let side = if team = 1 then node.right else node.left in
+                    match side with Leaf p -> TFetch p | Inner id -> TDescend id);
+              }
+        | TFetch winner ->
+            Program.Poised
+              {
+                obj = winner;
+                op = 0;
+                next = (fun r -> TDone (if r <= 1 then 0 else r - 2));
+              });
+  }

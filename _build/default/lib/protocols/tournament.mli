@@ -1,0 +1,53 @@
+(** Full n-process recoverable consensus from clean recording certificates:
+    a tournament tree.
+
+    DFFR's Theorem 8 plus this paper's Theorem 13 say a readable
+    deterministic type solves n-process recoverable consensus exactly when
+    it is n-recording.  This module realizes the solvability direction as a
+    concrete, model-checkable protocol built from *clean* certificates
+    ({!Certificate.is_clean}), one per internal node of a binary tree over
+    the processes:
+
+    - a node over process set [L ∪ R] carries a clean recording certificate
+      for [|L| + |R|] processes whose team partition is exactly ([L], [R]);
+    - every process announces its input, then runs the clean-certificate
+      election discipline (read; if the value is the certificate's initial
+      value, apply own operation; read again) at each node on its leaf-to-
+      root path, **deepest node first**;
+    - to decide, it walks the tree from the root: each node's recorded
+      first team selects a child; reaching a leaf selects a process, whose
+      announcement is the decision.
+
+    The leaf-first application order gives the key invariant: when a node's
+    object has left its initial value, the child on the recorded side has
+    left its initial value too (the node's first applier either applied the
+    child first, or skipped it because it was already applied) — so the
+    decide walk never reads an untouched object, and recoverable
+    wait-freedom holds with a constant number of steps per node per
+    attempt.  Cleanliness gives at-most-once application per object across
+    crashes, so every object value stays inside its certificate's replay
+    table.  The test suite certifies the 3-process instance exhaustively
+    over bounded-crash executions and stress-tests 4 and 5 processes. *)
+
+type plan
+(** A tree of certified nodes for a given type and process count. *)
+
+val plan : Objtype.t -> nprocs:int -> (plan, string) result
+(** Build a balanced tournament over [0 .. nprocs-1], searching (via
+    [Decide.search_partitioned ~clean:true]) for a clean recording
+    certificate at every node.  [Error] names the first node whose
+    certificate search failed — by Theorem 13 this happens precisely when
+    the type's recoverable consensus level is too low (or its certificates
+    at that size are all unclean). *)
+
+val node_count : plan -> int
+(** Internal nodes (each one shared object); [nprocs - 1] for a tree. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+
+type state
+
+val consensus : plan -> state Program.t
+(** The protocol described above.  Heap: [nprocs] announcement registers
+    followed by one certified object per internal node.  Inputs must be
+    binary. *)

@@ -1,0 +1,1 @@
+lib/schedule/budget.ml: Array Printf Sched

@@ -1,0 +1,1 @@
+lib/schedule/budget.mli: Sched

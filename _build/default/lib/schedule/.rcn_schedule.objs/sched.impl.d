@@ -1,0 +1,1 @@
+lib/schedule/sched.ml: Array Format Fun List Printf Result String

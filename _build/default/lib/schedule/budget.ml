@@ -1,0 +1,65 @@
+type counter = {
+  z : int;
+  nprocs : int;
+  steps : int array;  (* steps.(i) = steps taken by p_i so far *)
+  crashes : int array;  (* crashes.(i) = crashes by p_i so far *)
+}
+
+let counter ~z ~nprocs =
+  if z <= 0 then invalid_arg "Budget.counter: z must be positive";
+  if nprocs <= 0 then invalid_arg "Budget.counter: nprocs must be positive";
+  { z; nprocs; steps = Array.make nprocs 0; crashes = Array.make nprocs 0 }
+
+let steps_below c p =
+  let total = ref 0 in
+  for i = 0 to p - 1 do
+    total := !total + c.steps.(i)
+  done;
+  !total
+
+let crash_headroom c p =
+  if p = 0 then 0 else max 0 ((c.z * c.nprocs * steps_below c p) - c.crashes.(p))
+
+let may_crash c p = p > 0 && crash_headroom c p > 0
+
+let record c event =
+  match event with
+  | Sched.Crash_all ->
+      invalid_arg "Budget.record: simultaneous crashes lie outside E_z"
+  | Sched.Step p ->
+      let steps = Array.copy c.steps in
+      steps.(p) <- steps.(p) + 1;
+      { c with steps }
+  | Sched.Crash p ->
+      if not (may_crash c p) then
+        invalid_arg (Printf.sprintf "Budget.record: crash of p%d exceeds budget" p);
+      let crashes = Array.copy c.crashes in
+      crashes.(p) <- crashes.(p) + 1;
+      { c with crashes }
+
+let within_e_z_star ~z ~nprocs sched =
+  let rec loop c = function
+    | [] -> true
+    | Sched.Crash_all :: _ -> false
+    | (Sched.Crash p as e) :: rest -> may_crash c p && loop (record c e) rest
+    | (Sched.Step _ as e) :: rest -> loop (record c e) rest
+  in
+  loop (counter ~z ~nprocs) sched
+
+let within_e_z ~z ~nprocs sched =
+  (* Whole-schedule bound only: p_0 crash-free and final counts within
+     budget, regardless of the order in which crashes accumulate. *)
+  Sched.crashes_of sched 0 = 0
+  && Sched.crash_alls sched = 0
+  &&
+  let ok = ref true in
+  for p = 1 to nprocs - 1 do
+    let below = ref 0 in
+    for q = 0 to p - 1 do
+      below := !below + Sched.steps_of sched q
+    done;
+    if Sched.crashes_of sched p > z * nprocs * !below then ok := false
+  done;
+  !ok
+
+let state c = (Array.copy c.steps, Array.copy c.crashes)

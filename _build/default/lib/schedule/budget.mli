@@ -1,0 +1,45 @@
+(** The paper's crash-budget execution sets [E_z] and [E_z^*] (Section 3).
+
+    For a configuration [C] and integer [z > 0], [E_z(C)] is the set of
+    executions from [C] with no crashes by [p_0] and in which, for every
+    [i >= 1], the number of crashes by [p_i] is at most [z * n] times the
+    number of steps collectively taken by [p_0, ..., p_{i-1}].  [E_z^*(C)]
+    additionally requires the bound to hold in *every prefix* — it is the
+    prefix-closed variant.
+
+    Budgets are a property of schedules only (which events occur), so this
+    module works on {!Sched.t} values; the machine layer pairs them with
+    configurations.  Simultaneous crashes ([Sched.Crash_all]) belong to the
+    other crash model and never appear in [E_z] or [E_z^*]: the membership
+    predicates reject them and {!record} raises on them. *)
+
+val within_e_z : z:int -> nprocs:int -> Sched.t -> bool
+(** Membership in [E_z]: the bound checked on the whole schedule only. *)
+
+val within_e_z_star : z:int -> nprocs:int -> Sched.t -> bool
+(** Membership in [E_z^*]: the bound checked on every prefix. *)
+
+type counter
+(** Incremental membership tracking for [E_z^*], for use by explorers and
+    adversaries that extend executions one event at a time. *)
+
+val counter : z:int -> nprocs:int -> counter
+
+val may_crash : counter -> Sched.proc -> bool
+(** Whether appending [Crash p] keeps the execution inside [E_z^*]. *)
+
+val record : counter -> Sched.event -> counter
+(** Functional update after the event occurs.
+    @raise Invalid_argument if the event is a crash not allowed by
+    {!may_crash}. *)
+
+val crash_headroom : counter -> Sched.proc -> int
+(** How many further crashes of [p] are currently allowed ([max_int] is never
+    returned; [p_0]'s headroom is always [0]). *)
+
+val steps_below : counter -> Sched.proc -> int
+(** Steps taken so far by processes with identifiers smaller than [p]. *)
+
+val state : counter -> int array * int array
+(** Copies of the per-process (steps, crashes) counters, for hashing by
+    explorers. *)

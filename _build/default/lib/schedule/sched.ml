@@ -1,0 +1,126 @@
+type proc = int
+type event = Step of proc | Crash of proc | Crash_all
+type t = event list
+
+let step p = Step p
+let crash p = Crash p
+let crash_all = Crash_all
+
+let pp_event ppf = function
+  | Step p -> Format.fprintf ppf "p%d" p
+  | Crash p -> Format.fprintf ppf "c%d" p
+  | Crash_all -> Format.pp_print_string ppf "C*"
+
+let pp ppf sched =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ') pp_event ppf sched
+
+let to_string sched = Format.asprintf "%a" pp sched
+
+let steps_of sched p =
+  List.fold_left (fun acc e -> match e with Step q when q = p -> acc + 1 | _ -> acc) 0 sched
+
+let crashes_of sched p =
+  List.fold_left (fun acc e -> match e with Crash q when q = p -> acc + 1 | _ -> acc) 0 sched
+
+let crash_alls sched =
+  List.fold_left (fun acc e -> match e with Crash_all -> acc + 1 | _ -> acc) 0 sched
+
+let procs_stepping sched =
+  List.filter_map (function Step p -> Some p | Crash _ | Crash_all -> None) sched
+  |> List.sort_uniq compare
+
+let crash_free sched =
+  List.for_all (function Step _ -> true | Crash _ | Crash_all -> false) sched
+
+let of_procs procs = List.map step procs
+
+(* All sequences of distinct elements drawn from [procs]; depth-first so the
+   result is grouped by first element, then sorted by (length, lex). *)
+let at_most_once_of procs =
+  let procs = List.sort_uniq compare procs in
+  let rec extend prefix_rev remaining acc =
+    let acc = List.rev prefix_rev :: acc in
+    List.fold_left
+      (fun acc p ->
+        let remaining' = List.filter (fun q -> q <> p) remaining in
+        extend (p :: prefix_rev) remaining' acc)
+      acc remaining
+  in
+  let all = extend [] procs [] in
+  List.sort
+    (fun a b ->
+      let c = compare (List.length a) (List.length b) in
+      if c <> 0 then c else compare a b)
+    all
+
+let at_most_once ~nprocs = at_most_once_of (List.init nprocs Fun.id)
+
+let at_most_once_count n =
+  (* sum_{k=0}^{n} n!/(n-k)!, computed with an incrementally maintained
+     falling factorial P(n,k). *)
+  let sum = ref 1 and perm = ref 1 in
+  for k = 1 to n do
+    perm := !perm * (n - k + 1);
+    sum := !sum + !perm
+  done;
+  !sum
+
+let nonempty_starting_with ~nprocs ~first =
+  at_most_once ~nprocs
+  |> List.filter (function [] -> false | p :: _ -> List.mem p first)
+
+let permutations procs =
+  let rec perms = function
+    | [] -> [ [] ]
+    | procs ->
+        List.concat_map
+          (fun p ->
+            let rest = List.filter (fun q -> q <> p) procs in
+            List.map (fun tail -> p :: tail) (perms rest))
+          procs
+  in
+  perms procs
+
+let interleavings ~nprocs ~steps_per_proc =
+  let rec build remaining =
+    if Array.for_all (fun r -> r = 0) remaining then [ [] ]
+    else
+      List.concat
+        (List.init nprocs (fun p ->
+             if remaining.(p) = 0 then []
+             else begin
+               let remaining' = Array.copy remaining in
+               remaining'.(p) <- remaining'.(p) - 1;
+               List.map (fun tail -> Step p :: tail) (build remaining')
+             end))
+  in
+  build (Array.make nprocs steps_per_proc)
+
+let of_string text =
+  let tokens =
+    String.split_on_char ' ' text |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let parse tok =
+    if tok = "C*" then Ok Crash_all
+    else
+      let body () = int_of_string_opt (String.sub tok 1 (String.length tok - 1)) in
+      match tok.[0] with
+      | 'p' -> (
+          match body () with
+          | Some i when i >= 0 -> Ok (Step i)
+          | Some _ | None -> Error (Printf.sprintf "bad process token %S" tok))
+      | 'c' -> (
+          match body () with
+          | Some i when i >= 0 -> Ok (Crash i)
+          | Some _ | None -> Error (Printf.sprintf "bad crash token %S" tok))
+      | _ -> Error (Printf.sprintf "unknown token %S" tok)
+  in
+  List.fold_left
+    (fun acc tok ->
+      match (acc, parse tok) with
+      | Ok events, Ok e -> Ok (e :: events)
+      | (Error _ as e), _ -> e
+      | _, Error m -> Error m)
+    (Ok []) tokens
+  |> Result.map List.rev

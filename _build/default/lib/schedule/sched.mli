@@ -1,0 +1,70 @@
+(** Processes, events and schedules (paper Section 2).
+
+    A schedule is a sequence of processes (steps) and crashes.  Processes are
+    numbered [0 .. n-1]; the number is the process identifier, and smaller
+    identifiers have higher priority in the paper's crash-budget sets. *)
+
+type proc = int
+
+type event = Step of proc | Crash of proc | Crash_all
+
+type t = event list
+(** A schedule.  [Step i] means process [p_i] takes its next step; [Crash i]
+    resets [p_i] to its initial state; [Crash_all] is a *simultaneous* crash
+    resetting every process (the alternative crash model discussed in the
+    paper's introduction, where the hierarchy collapses back to Herlihy's). *)
+
+val step : proc -> event
+val crash : proc -> event
+val crash_all : event
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** Compact rendering: [p0 p2 c1 p1] style, as in the paper. *)
+
+val steps_of : t -> proc -> int
+(** Number of [Step] events by the given process. *)
+
+val crashes_of : t -> proc -> int
+(** Number of individual [Crash] events by the given process
+    ([Crash_all] events are not counted; see {!crash_alls}). *)
+
+val crash_alls : t -> int
+(** Number of simultaneous crashes. *)
+
+val procs_stepping : t -> proc list
+(** Processes that take at least one step, in increasing order. *)
+
+val crash_free : t -> bool
+
+val of_procs : proc list -> t
+(** A crash-free schedule stepping the given processes in order. *)
+
+val at_most_once : nprocs:int -> proc list list
+(** The paper's [S({p_0, ..., p_{nprocs-1}})]: every sequence of *distinct*
+    processes drawn from [0 .. nprocs-1], including the empty sequence.
+    Cardinality is [sum_{k=0}^{n} n!/(n-k)!].  Order of the result: by
+    length, then lexicographically. *)
+
+val at_most_once_of : proc list -> proc list list
+(** [S(P')] for an arbitrary process set given as a list (duplicates
+    ignored). *)
+
+val at_most_once_count : int -> int
+(** Closed-form cardinality of {!at_most_once} for [n] processes. *)
+
+val nonempty_starting_with : nprocs:int -> first:proc list -> proc list list
+(** The nonempty members of [S(P)] whose first process belongs to [first]. *)
+
+val permutations : proc list -> proc list list
+(** All permutations of a list of distinct processes. *)
+
+val interleavings : nprocs:int -> steps_per_proc:int -> t list
+(** All crash-free schedules in which each of the [nprocs] processes takes
+    exactly [steps_per_proc] steps — the exhaustive wait-free workload used
+    by experiment E2.  Beware: grows as a multinomial coefficient. *)
+
+val of_string : string -> (t, string) result
+(** Parse the rendering produced by {!to_string}: whitespace-separated
+    tokens [pN] (step), [cN] (crash), [C*] (simultaneous crash). *)

@@ -1,0 +1,1 @@
+lib/spec/dot.ml: Buffer Fun Hashtbl List Objtype Printf String

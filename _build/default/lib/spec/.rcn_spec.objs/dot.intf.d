@@ -1,0 +1,1 @@
+lib/spec/dot.mli: Objtype

@@ -1,0 +1,1 @@
+lib/spec/gallery.ml: Array List Objtype Printf

@@ -1,0 +1,1 @@
+lib/spec/gallery.mli: Objtype

@@ -1,0 +1,1 @@
+lib/spec/objtype.ml: Array Buffer Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/spec/objtype.mli: Format

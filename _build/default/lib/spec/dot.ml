@@ -1,0 +1,60 @@
+let edges ?(reachable_only = true) (t : Objtype.t) =
+  let values =
+    if reachable_only then Objtype.reachable_values t ~from:t.Objtype.default_initial
+    else List.init t.Objtype.num_values Fun.id
+  in
+  (* Group transitions by (source, destination) so that parallel edges merge
+     onto a single multi-label edge, as in the paper's Figure 3. *)
+  let grouped = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun v ->
+      for o = 0 to t.Objtype.num_ops - 1 do
+        let r, v' = Objtype.apply t v o in
+        let label = Printf.sprintf "%s / %s" (t.Objtype.op_name o) (t.Objtype.response_name r) in
+        let key = (v, v') in
+        match Hashtbl.find_opt grouped key with
+        | Some labels -> labels := label :: !labels
+        | None ->
+            Hashtbl.add grouped key (ref [ label ]);
+            order := key :: !order
+      done)
+    values;
+  (values, List.rev_map (fun key -> (key, List.rev !(Hashtbl.find grouped key))) !order)
+
+let to_dot ?reachable_only t =
+  let values, merged = edges ?reachable_only t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" t.Objtype.name);
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=ellipse];\n";
+  List.iter
+    (fun v ->
+      let shape = if v = t.Objtype.default_initial then " [shape=doublecircle]" else "" in
+      Buffer.add_string buf (Printf.sprintf "  %d [label=%S]%s;\n" v (t.Objtype.value_name v) shape))
+    values;
+  List.iter
+    (fun ((v, v'), labels) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d [label=%S];\n" v v' (String.concat "\\n" labels)))
+    merged;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_ascii ?reachable_only t =
+  let _, merged = edges ?reachable_only t in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s\n" t.Objtype.name);
+  List.iter
+    (fun ((v, v'), labels) ->
+      List.iter
+        (fun label ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s --%s--> %s\n" (t.Objtype.value_name v) label
+               (t.Objtype.value_name v')))
+        labels)
+    merged;
+  Buffer.contents buf
+
+let edge_count ?reachable_only t =
+  let _, merged = edges ?reachable_only t in
+  List.length merged

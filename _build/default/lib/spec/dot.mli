@@ -1,0 +1,14 @@
+(** Rendering object types as state-machine diagrams (paper Figure 3). *)
+
+val to_dot : ?reachable_only:bool -> Objtype.t -> string
+(** GraphViz [dot] source for the transition diagram of a type.  Edges are
+    labelled [op / response]; parallel edges between the same pair of values
+    are merged onto one labelled edge.  With [reachable_only] (default
+    [true]) only values reachable from the default initial value appear. *)
+
+val to_ascii : ?reachable_only:bool -> Objtype.t -> string
+(** A plain-text adjacency listing of the same diagram, suitable for
+    terminals and golden tests. *)
+
+val edge_count : ?reachable_only:bool -> Objtype.t -> int
+(** Number of merged edges that {!to_dot} emits (for structural checks). *)

@@ -1,0 +1,329 @@
+let register k =
+  if k < 2 then invalid_arg "Gallery.register: need at least two values";
+  (* Responses: 0 = ack, 1+v = "value v". *)
+  Objtype.make ~name:(Printf.sprintf "register-%d" k) ~num_values:k
+    ~num_ops:(1 + k) ~num_responses:(1 + k)
+    ~op_name:(fun o -> if o = 0 then "read" else Printf.sprintf "write(%d)" (o - 1))
+    ~response_name:(fun r -> if r = 0 then "ack" else Printf.sprintf "=%d" (r - 1))
+    (fun v o -> if o = 0 then (1 + v, v) else (0, o - 1))
+
+let test_and_set =
+  Objtype.make ~name:"test-and-set" ~num_values:2 ~num_ops:2 ~num_responses:2
+    ~value_name:(fun v -> if v = 0 then "unset" else "set")
+    ~op_name:(fun o -> if o = 0 then "tas" else "read")
+    (fun v o -> if o = 0 then (v, 1) else (v, v))
+
+let swap k =
+  if k < 2 then invalid_arg "Gallery.swap: need at least two values";
+  Objtype.make ~name:(Printf.sprintf "swap-%d" k) ~num_values:k ~num_ops:(1 + k)
+    ~num_responses:k
+    ~op_name:(fun o -> if o = 0 then "read" else Printf.sprintf "swap(%d)" (o - 1))
+    ~response_name:(fun r -> Printf.sprintf "=%d" r)
+    (fun v o -> if o = 0 then (v, v) else (v, o - 1))
+
+let fetch_and_add k =
+  if k < 2 then invalid_arg "Gallery.fetch_and_add: need at least two values";
+  Objtype.make ~name:(Printf.sprintf "fetch-and-add-%d" k) ~num_values:k ~num_ops:2
+    ~num_responses:k
+    ~op_name:(fun o -> if o = 0 then "read" else "faa")
+    ~response_name:(fun r -> Printf.sprintf "=%d" r)
+    (fun v o -> if o = 0 then (v, v) else (v, (v + 1) mod k))
+
+let compare_and_swap k =
+  if k < 2 then invalid_arg "Gallery.compare_and_swap: need at least two values";
+  Objtype.make ~name:(Printf.sprintf "cas-%d" k) ~num_values:k ~num_ops:(k * k)
+    ~num_responses:k
+    ~op_name:(fun o -> Printf.sprintf "cas(%d,%d)" (o / k) (o mod k))
+    ~response_name:(fun r -> Printf.sprintf "=%d" r)
+    (fun v o ->
+      let expected = o / k and replacement = o mod k in
+      (v, if v = expected then replacement else v))
+
+let sticky_bit =
+  Objtype.make ~name:"sticky-bit" ~num_values:3 ~num_ops:3 ~num_responses:5
+    ~value_name:(function 0 -> "undecided" | 1 -> "zero" | _ -> "one")
+    ~op_name:(function 0 -> "set0" | 1 -> "set1" | _ -> "read")
+    ~response_name:(function
+      | 0 -> "stuck0"
+      | 1 -> "stuck1"
+      | 2 -> "=undecided"
+      | 3 -> "=zero"
+      | _ -> "=one")
+    (fun v o ->
+      match o with
+      | 0 | 1 -> if v = 0 then (o, 1 + o) else (v - 1, v)
+      | _ -> (2 + v, v))
+
+let consensus_object k =
+  if k < 2 then invalid_arg "Gallery.consensus_object: need at least two proposals";
+  (* Values: 0 = undecided, 1+v = decided v.  Responses: 0..k-1 = decided
+     value (from Propose), k+v = Read of value index v. *)
+  Objtype.make
+    ~name:(Printf.sprintf "consensus-%d" k)
+    ~num_values:(1 + k) ~num_ops:(1 + k)
+    ~num_responses:(2 * k + 1)
+    ~value_name:(fun v -> if v = 0 then "undecided" else Printf.sprintf "decided(%d)" (v - 1))
+    ~op_name:(fun o -> if o = k then "read" else Printf.sprintf "propose(%d)" o)
+    (fun v o ->
+      if o = k then (k + v, v)
+      else if v = 0 then (o, 1 + o)
+      else (v - 1, v))
+
+let max_register k =
+  if k < 2 then invalid_arg "Gallery.max_register: need at least two values";
+  Objtype.make ~name:(Printf.sprintf "max-register-%d" k) ~num_values:k
+    ~num_ops:(1 + k) ~num_responses:(1 + k)
+    ~op_name:(fun o -> if o = 0 then "read" else Printf.sprintf "write-max(%d)" (o - 1))
+    ~response_name:(fun r -> if r = 0 then "ack" else Printf.sprintf "=%d" (r - 1))
+    (fun v o -> if o = 0 then (1 + v, v) else (0, max v (o - 1)))
+
+let write_once k =
+  if k < 2 then invalid_arg "Gallery.write_once: need at least two values";
+  Objtype.make ~name:(Printf.sprintf "write-once-%d" k) ~num_values:(1 + k)
+    ~num_ops:(1 + k)
+    ~num_responses:(1 + (2 * k))
+    ~value_name:(fun v -> if v = 0 then "empty" else Printf.sprintf "stuck(%d)" (v - 1))
+    ~op_name:(fun o -> if o = k then "read" else Printf.sprintf "write(%d)" o)
+    ~response_name:(fun r ->
+      if r < k then Printf.sprintf "stuck %d" r
+      else if r = k then "=empty"
+      else Printf.sprintf "=stuck(%d)" (r - k - 1))
+    (fun v o ->
+      if o = k then (k + v, v)
+      else if v = 0 then (o, 1 + o)
+      else (v - 1, v))
+
+let opaque_counter k =
+  if k < 2 then invalid_arg "Gallery.opaque_counter: need at least two values";
+  Objtype.make ~name:(Printf.sprintf "opaque-counter-%d" k) ~num_values:k ~num_ops:1
+    ~num_responses:1
+    ~op_name:(fun _ -> "inc")
+    ~response_name:(fun _ -> "ack")
+    (fun v _ -> (0, (v + 1) mod k))
+
+let bounded_queue () =
+  (* Values: 0 = [], 1+a = [a], 3 + 2a + b = [a; b] with head a.
+     Responses: 0 = ok, 1 = full, 2 = empty, 3+i = item i. *)
+  let empty = 0 in
+  let single a = 1 + a in
+  let pair a b = 3 + (2 * a) + b in
+  let value_name v =
+    if v = 0 then "[]"
+    else if v <= 2 then Printf.sprintf "[%d]" (v - 1)
+    else Printf.sprintf "[%d;%d]" ((v - 3) / 2) ((v - 3) mod 2)
+  in
+  Objtype.make ~name:"queue2" ~num_values:7 ~num_ops:3 ~num_responses:5 ~value_name
+    ~op_name:(function 0 -> "enq(0)" | 1 -> "enq(1)" | _ -> "deq")
+    ~response_name:(function
+      | 0 -> "ok"
+      | 1 -> "full"
+      | 2 -> "empty"
+      | r -> Printf.sprintf "got %d" (r - 3))
+    (fun v o ->
+      match o with
+      | 0 | 1 -> (
+          let item = o in
+          if v = empty then (0, single item)
+          else if v <= 2 then (0, pair (v - 1) item)
+          else (1, v))
+      | _ ->
+          if v = empty then (2, v)
+          else if v <= 2 then (3 + (v - 1), empty)
+          else
+            let a = (v - 3) / 2 and b = (v - 3) mod 2 in
+            (3 + a, single b))
+
+(* ------------------------------------------------------------------ *)
+(* The paper's type T_{n,n'} (Section 4). *)
+
+let tnn_s = 0
+let tnn_bot = 1
+
+let tnn_value ~n ~x ~i =
+  if x < 0 || x > 1 then invalid_arg "Gallery.tnn_value: x must be 0 or 1";
+  if i < 1 || i > n - 1 then invalid_arg "Gallery.tnn_value: i out of range";
+  2 + (x * (n - 1)) + (i - 1)
+
+let tnn_op = function `Op0 -> 0 | `Op1 -> 1 | `OpR -> 2
+
+let tnn_response ~n:_ r =
+  match r with 0 -> `Zero | 1 -> `One | 2 -> `Bot | r -> `Value (r - 3)
+
+let tnn ~n ~n' =
+  if not (n > n' && n' >= 1) then invalid_arg "Gallery.tnn: need n > n' >= 1";
+  let num_values = 2 * n in
+  let decode v =
+    if v = tnn_s then `S
+    else if v = tnn_bot then `Bot
+    else
+      let k = v - 2 in
+      `Mid (k / (n - 1), (k mod (n - 1)) + 1)
+  in
+  let value_name v =
+    match decode v with
+    | `S -> "s"
+    | `Bot -> "s_bot"
+    | `Mid (x, i) -> Printf.sprintf "s_{%d,%d}" x i
+  in
+  let delta v o =
+    match (decode v, o) with
+    | `S, (0 | 1) -> (o, tnn_value ~n ~x:o ~i:1)
+    | `S, _ -> (3 + tnn_s, v)
+    | `Bot, _ -> (2, tnn_bot)
+    | `Mid (x, i), (0 | 1) ->
+        (x, if i < n - 1 then tnn_value ~n ~x ~i:(i + 1) else tnn_bot)
+    | `Mid (_, i), _ -> if i <= n' then (3 + v, v) else (2, tnn_bot)
+  in
+  Objtype.make
+    ~name:(Printf.sprintf "T_{%d,%d}" n n')
+    ~num_values ~num_ops:3
+    ~num_responses:(3 + num_values)
+    ~value_name
+    ~op_name:(function 0 -> "op_0" | 1 -> "op_1" | _ -> "op_R")
+    ~response_name:(fun r ->
+      match r with 0 -> "0" | 1 -> "1" | 2 -> "bot" | r -> "=" ^ value_name (r - 3))
+    delta
+
+let team_ladder ~cap =
+  if cap < 1 then invalid_arg "Gallery.team_ladder: cap must be positive";
+  let num_values = 2 + (2 * cap) in
+  let mid x i = 2 + (x * cap) + (i - 1) in
+  let decode v =
+    if v = 0 then `S
+    else if v = 1 then `Bot
+    else
+      let k = v - 2 in
+      `Mid (k / cap, (k mod cap) + 1)
+  in
+  let value_name v =
+    match decode v with
+    | `S -> "s"
+    | `Bot -> "s_bot"
+    | `Mid (x, i) -> Printf.sprintf "s_{%d,%d}" x i
+  in
+  let delta v o =
+    match (decode v, o) with
+    | `S, (0 | 1) -> (o, mid o 1)
+    | `Bot, (0 | 1) -> (2, 1)
+    | `Mid (x, i), (0 | 1) -> (x, if i < cap then mid x (i + 1) else 1)
+    | _, _ -> (3 + v, v)
+  in
+  Objtype.make
+    ~name:(Printf.sprintf "team-ladder-%d" cap)
+    ~num_values ~num_ops:3
+    ~num_responses:(3 + num_values)
+    ~value_name
+    ~op_name:(function 0 -> "op_0" | 1 -> "op_1" | _ -> "read")
+    ~response_name:(fun r ->
+      match r with 0 -> "0" | 1 -> "1" | 2 -> "bot" | r -> "=" ^ value_name (r - 3))
+    delta
+
+(* A readable deterministic type with consensus number exactly 4 and
+   recoverable consensus number exactly 2 — a witness for the paper's
+   corollary at n = 4, playing the role of DFFR's X_4.  Derived with the
+   deciders in the loop (see Rcn_synth and DESIGN.md): two "sides" A and B
+   with one rung and one cross-counter each; the first RMW operation brands
+   the object with its side; same-side operations are idle on branded
+   values; cross-side operations climb the counter and a second cross
+   *restores the initial value u* — the hiding pattern that kills every
+   3-process recording certificate (the paper's u-in-U_x condition) while
+   4-process discerning certificates survive because responses reveal the
+   old value.  Verified by the test suite: max-discerning = 4 and
+   max-recording = 2, both exactly. *)
+let x4_witness =
+  let side op = if op <= 1 then `A else `B in
+  let delta v op =
+    if op = 4 then (5 + v, v)
+    else
+      let next =
+        match (v, side op) with
+        | 0, `A -> 1
+        | 0, `B -> 3
+        | 1, `A -> 1 (* A1: same-side idle *)
+        | 1, `B -> 2 (* A1: cross climbs to A1c *)
+        | 2, `A -> 1 (* A1c: same-side falls back to A1 *)
+        | 2, `B -> 0 (* A1c: second cross restores u *)
+        | 3, `B -> 3
+        | 3, `A -> 4
+        | 4, `B -> 3
+        | 4, `A -> 0
+        | _ -> assert false
+      in
+      (v, next)
+  in
+  Objtype.make ~name:"x4-witness" ~num_values:5 ~num_ops:5 ~num_responses:10
+    ~value_name:(fun v -> [| "u"; "A1"; "A1c"; "B1"; "B1c" |].(v))
+    ~op_name:(fun o -> [| "a1"; "a2"; "b1"; "b2"; "read" |].(o))
+    ~response_name:(fun r ->
+      if r < 5 then "old " ^ [| "u"; "A1"; "A1c"; "B1"; "B1c" |].(r)
+      else "=" ^ [| "u"; "A1"; "A1c"; "B1"; "B1c" |].(r - 5))
+    delta
+
+(* The generalized crossing family: see the interface documentation.  For
+   even n, cap = (n - 2) / 2 and no same-side restore; for odd n,
+   cap = (n - 1) / 2 with the A-side same-side restore at the cap
+   ("pattern2").  Conjecturally X_n for all n >= 4; verified exactly for
+   n = 4..7 by deciders (tests and bench E6). *)
+let crossing_witness ~n =
+  if n < 4 then invalid_arg "Gallery.crossing_witness: need n >= 4";
+  let pattern2 = n mod 2 = 1 in
+  let cap = if pattern2 then (n - 1) / 2 else (n - 2) / 2 in
+  let w = cap + 1 in
+  let num_values = (2 * w) + 1 in
+  let value_name v =
+    if v = 0 then "u"
+    else Printf.sprintf "%c%d" (if (v - 1) / w = 0 then 'A' else 'B') ((v - 1) mod w)
+  in
+  let delta v op =
+    if op = 2 then (num_values + v, v)
+    else if v = 0 then (0, 1 + (w * op))
+    else
+      let x = (v - 1) / w and c = (v - 1) mod w in
+      let next =
+        if op = x then if pattern2 && x = 0 && c = cap then 0 else v
+        else if c = cap then 0
+        else v + 1
+      in
+      (v, next)
+  in
+  Objtype.make
+    ~name:(Printf.sprintf "crossing-x%d" n)
+    ~num_values ~num_ops:3
+    ~num_responses:(2 * num_values)
+    ~value_name
+    ~op_name:(function 0 -> "a" | 1 -> "b" | _ -> "read")
+    ~response_name:(fun r ->
+      if r < num_values then "old " ^ value_name r else "=" ^ value_name (r - num_values))
+    delta
+
+let all () =
+  let entries =
+    [
+      register 2;
+      register 3;
+      test_and_set;
+      swap 3;
+      fetch_and_add 4;
+      compare_and_swap 3;
+      sticky_bit;
+      max_register 3;
+      write_once 2;
+      opaque_counter 3;
+      consensus_object 2;
+      bounded_queue ();
+      tnn ~n:3 ~n':1;
+      tnn ~n:4 ~n':2;
+      tnn ~n:5 ~n':2;
+      team_ladder ~cap:2;
+      team_ladder ~cap:3;
+      x4_witness;
+      crossing_witness ~n:4;
+      crossing_witness ~n:5;
+      crossing_witness ~n:6;
+    ]
+  in
+  List.map (fun (t : Objtype.t) -> (t.Objtype.name, t)) entries
+
+let find name = List.assoc_opt name (all ())
+
+let tnn_team_of_value ~n v = if v < 2 then None else Some ((v - 2) / (n - 1))

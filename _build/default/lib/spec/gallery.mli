@@ -1,0 +1,119 @@
+(** A gallery of canned deterministic object types.
+
+    All constructors return well-formed {!Objtype.t} values.  Conventions:
+    the conventional initial value is [default_initial]; response spaces are
+    documented per type.  Readable types expose a Read operation detectable
+    by {!Objtype.read_op}. *)
+
+val register : int -> Objtype.t
+(** [register k]: a read/write register over values [0 .. k-1].
+    Ops: [0] = Read, [1+i] = Write i.  Writes respond with an ack.
+    Consensus number 1.  Requires [k >= 2]. *)
+
+val test_and_set : Objtype.t
+(** Values [0] (unset) and [1] (set).  Ops: [0] = TAS (returns the old value
+    and sets the bit), [1] = Read.  Consensus number 2; recoverable consensus
+    number 1 (Golab 2020). *)
+
+val swap : int -> Objtype.t
+(** [swap k]: register with a Swap(i) operation returning the old value.
+    Ops: [0] = Read, [1+i] = Swap i.  Consensus number 2. *)
+
+val fetch_and_add : int -> Objtype.t
+(** [fetch_and_add k]: counter modulo [k] with ops [0] = Read and
+    [1] = FAA (returns old value, increments mod [k]).  Consensus number 2. *)
+
+val compare_and_swap : int -> Objtype.t
+(** [compare_and_swap k]: values [0 .. k-1]; op [a*k + b] = CAS(a, b),
+    returning the old value and setting [b] when the old value equals [a].
+    Readable (CAS(a,a) reads).  Consensus number unbounded. *)
+
+val sticky_bit : Objtype.t
+(** Values [0] = undecided, [1], [2] = stuck at 0 / 1.  Ops [0] = Set0,
+    [1] = Set1 (both return the stuck bit), [2] = Read.  Consensus number
+    unbounded. *)
+
+val consensus_object : int -> Objtype.t
+(** [consensus_object k]: one-shot consensus over proposals [0 .. k-1].
+    Values: [0] = undecided, [1+v] = decided [v].  Ops: [v] = Propose v
+    (returns the decided value), [k] = Read.  Consensus number unbounded. *)
+
+val max_register : int -> Objtype.t
+(** [max_register k]: holds the maximum value written so far.  Ops:
+    [0] = Read, [1+i] = WriteMax i (responds with an ack).  Like a plain
+    register, consensus number 1 — writes towards a maximum commute. *)
+
+val write_once : int -> Objtype.t
+(** [write_once k]: a sticky register over [k] values: the first write wins
+    and every operation afterwards reports the sticky value.  Ops:
+    [i] = Write i (responds with the sticky value), [k] = Read.  Values:
+    [0] = empty, [1+v] = stuck at [v].  Consensus number unbounded, and —
+    unlike test-and-set — it keeps its power under recovery. *)
+
+val opaque_counter : int -> Objtype.t
+(** [opaque_counter k]: a counter modulo [k] whose single Increment
+    operation responds with a bare ack — no reads, no informative
+    responses.  Consensus number 1. *)
+
+val bounded_queue : unit -> Objtype.t
+(** A two-slot FIFO queue over items [{0,1}].  Ops: [0] = Enq 0, [1] = Enq 1,
+    [2] = Deq.  Deq returns the head or bottom; Enq on a full queue responds
+    "full" and leaves the queue unchanged.  Not readable. *)
+
+val tnn : n:int -> n':int -> Objtype.t
+(** The paper's type [T_{n,n'}] (Section 4), for [n > n' >= 1].  Values:
+    [0] = s, [1] = s_bot, and s_{x,i} for x in [{0,1}], i in [1 .. n-1].
+    Ops: [0] = op_0, [1] = op_1, [2] = op_R.  Consensus number [n],
+    recoverable consensus number [n'].  Not readable (op_R destroys values
+    s_{x,i} with [i > n']). *)
+
+val tnn_value : n:int -> x:int -> i:int -> Objtype.value
+(** Encoding of s_{x,i} inside {!tnn}: [tnn_value ~n ~x ~i].  [s] is [0] and
+    [s_bot] is [1]. *)
+
+val tnn_s : Objtype.value
+val tnn_bot : Objtype.value
+
+val tnn_op : [ `Op0 | `Op1 | `OpR ] -> Objtype.op
+
+val tnn_response :
+  n:int -> Objtype.response -> [ `Zero | `One | `Bot | `Value of Objtype.value ]
+(** Decode a response of {!tnn}. *)
+
+val team_ladder : cap:int -> Objtype.t
+(** [team_ladder ~cap]: a readable variant of the [T] family.  Values
+    [s], [s_bot], s_{x,i} for i in [1 .. cap].  Ops [0] = op_0, [1] = op_1
+    (each responds with the team of the chain, bottom once capped),
+    [2] = Read.  Consensus number [cap + 1], recoverable consensus number
+    [cap] (verified by the deciders in the test suite). *)
+
+val x4_witness : Objtype.t
+(** A readable deterministic type with consensus number 4 and recoverable
+    consensus number 2 — a witness for the paper's corollary that DFFR's
+    X_n has recoverable consensus number n-2, instantiated at n = 4.  Found
+    by [Rcn_synth] search and checked by the deciders in the test suite. *)
+
+val all : unit -> (string * Objtype.t) list
+(** Representative instances of every gallery family, for table-driven
+    tests and the [gallery] experiment. *)
+
+val find : string -> Objtype.t option
+(** Look up a gallery entry produced by {!all} by name. *)
+
+val tnn_team_of_value : n:int -> Objtype.value -> int option
+(** For a value s_{x,i} of {!tnn}, the team [x]; [None] for [s] and
+    [s_bot]. *)
+
+val crossing_witness : n:int -> Objtype.t
+(** An explicit gap-2 witness family covering *every* [n >= 4]: a readable
+    deterministic type with consensus number exactly [n] and recoverable
+    consensus number exactly [n - 2] (the role the paper's corollary
+    assigns to DFFR's X_n).  The construction generalizes {!x4_witness}:
+    values are [u] plus two side-tagged cross-counters [(X, c)] with
+    [c <= cap]; the first RMW operation brands the object with its side;
+    same-side operations are idle; cross-side operations count, and the
+    [(cap+1)]-th cross *restores u* — the hiding pattern.  For odd [n]
+    (cap [= (n-1)/2]) the A-side additionally restores [u] on a same-side
+    operation at the cap.  [2*cap + 3] values, three operations.  Verified
+    exactly for [n = 4..7] by the test suite and benches.
+    @raise Invalid_argument when [n < 4]. *)

@@ -1,0 +1,286 @@
+type value = int
+type op = int
+type response = int
+
+type t = {
+  name : string;
+  num_values : int;
+  num_ops : int;
+  num_responses : int;
+  default_initial : value;
+  delta : value -> op -> response * value;
+  value_name : value -> string;
+  op_name : op -> string;
+  response_name : response -> string;
+}
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let make ~name ~num_values ~num_ops ~num_responses ?(default_initial = 0)
+    ?value_name ?op_name ?response_name delta =
+  if num_values <= 0 then ill_formed "%s: num_values must be positive" name;
+  if num_ops <= 0 then ill_formed "%s: num_ops must be positive" name;
+  if num_responses <= 0 then ill_formed "%s: num_responses must be positive" name;
+  if default_initial < 0 || default_initial >= num_values then
+    ill_formed "%s: default_initial %d out of range" name default_initial;
+  (* Memoize the whole transition table; this both makes [apply] cheap for
+     the deciders and forces totality checking up front. *)
+  let table = Array.make (num_values * num_ops) (0, 0) in
+  for v = 0 to num_values - 1 do
+    for o = 0 to num_ops - 1 do
+      let r, v' = delta v o in
+      if r < 0 || r >= num_responses then
+        ill_formed "%s: delta %d %d yields response %d out of range" name v o r;
+      if v' < 0 || v' >= num_values then
+        ill_formed "%s: delta %d %d yields value %d out of range" name v o v';
+      table.((v * num_ops) + o) <- (r, v')
+    done
+  done;
+  let delta v o = table.((v * num_ops) + o) in
+  let default prefix i = Printf.sprintf "%s%d" prefix i in
+  let value_name = Option.value value_name ~default:(default "v") in
+  let op_name = Option.value op_name ~default:(default "op") in
+  let response_name = Option.value response_name ~default:(default "r") in
+  {
+    name;
+    num_values;
+    num_ops;
+    num_responses;
+    default_initial;
+    delta;
+    value_name;
+    op_name;
+    response_name;
+  }
+
+let apply t v o =
+  if v < 0 || v >= t.num_values then
+    invalid_arg (Printf.sprintf "Objtype.apply: value %d out of range for %s" v t.name);
+  if o < 0 || o >= t.num_ops then
+    invalid_arg (Printf.sprintf "Objtype.apply: op %d out of range for %s" o t.name);
+  t.delta v o
+
+let apply_schedule t u ops =
+  let rec loop v acc = function
+    | [] -> (List.rev acc, v)
+    | o :: rest ->
+        let r, v' = apply t v o in
+        loop v' (r :: acc) rest
+  in
+  loop u [] ops
+
+let is_read_op t o =
+  let responses = Array.make t.num_values (-1) in
+  let injective = Hashtbl.create 16 in
+  let ok = ref true in
+  for v = 0 to t.num_values - 1 do
+    let r, v' = t.delta v o in
+    if v' <> v then ok := false;
+    responses.(v) <- r;
+    if Hashtbl.mem injective r then ok := false else Hashtbl.add injective r v
+  done;
+  !ok
+
+let read_op t =
+  let rec find o = if o >= t.num_ops then None else if is_read_op t o then Some o else find (o + 1) in
+  find 0
+
+let is_readable t = Option.is_some (read_op t)
+
+let reachable_values t ~from =
+  let seen = Array.make t.num_values false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      for o = 0 to t.num_ops - 1 do
+        let _, v' = t.delta v o in
+        visit v'
+      done
+    end
+  in
+  visit from;
+  let acc = ref [] in
+  for v = t.num_values - 1 downto 0 do
+    if seen.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let equal_behaviour a b =
+  a.num_values = b.num_values && a.num_ops = b.num_ops
+  && a.num_responses = b.num_responses
+  && a.default_initial = b.default_initial
+  &&
+  let ok = ref true in
+  for v = 0 to a.num_values - 1 do
+    for o = 0 to a.num_ops - 1 do
+      if a.delta v o <> b.delta v o then ok := false
+    done
+  done;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d values, %d ops, %d responses%s)" t.name t.num_values
+    t.num_ops t.num_responses
+    (if is_readable t then ", readable" else "")
+
+let pp_table ppf t =
+  pp ppf t;
+  for v = 0 to t.num_values - 1 do
+    for o = 0 to t.num_ops - 1 do
+      let r, v' = t.delta v o in
+      Format.fprintf ppf "@\n  %s . %s -> %s / %s" (t.value_name v) (t.op_name o)
+        (t.response_name r) (t.value_name v')
+    done
+  done
+
+let read_decoder t =
+  match read_op t with
+  | None -> None
+  | Some o ->
+      let inverse = Hashtbl.create 16 in
+      for v = 0 to t.num_values - 1 do
+        let r, _ = t.delta v o in
+        Hashtbl.add inverse r v
+      done;
+      let decode r =
+        match Hashtbl.find_opt inverse r with
+        | Some v -> v
+        | None -> invalid_arg "Objtype.read_decoder: response is not a Read response"
+      in
+      Some (o, decode)
+
+let to_spec_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "name %s\n" t.name);
+  Buffer.add_string buf
+    (Printf.sprintf "counts %d %d %d\n" t.num_values t.num_ops t.num_responses);
+  Buffer.add_string buf (Printf.sprintf "initial %d\n" t.default_initial);
+  for v = 0 to t.num_values - 1 do
+    Buffer.add_string buf (Printf.sprintf "value %d %s\n" v (t.value_name v))
+  done;
+  for o = 0 to t.num_ops - 1 do
+    Buffer.add_string buf (Printf.sprintf "op %d %s\n" o (t.op_name o))
+  done;
+  for r = 0 to t.num_responses - 1 do
+    Buffer.add_string buf (Printf.sprintf "response %d %s\n" r (t.response_name r))
+  done;
+  for v = 0 to t.num_values - 1 do
+    for o = 0 to t.num_ops - 1 do
+      let r, v' = t.delta v o in
+      Buffer.add_string buf (Printf.sprintf "delta %d %d -> %d %d\n" v o r v')
+    done
+  done;
+  Buffer.contents buf
+
+let of_spec_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let name = ref "deserialized" in
+  let counts = ref None in
+  let initial = ref 0 in
+  let value_names = Hashtbl.create 16 in
+  let op_names = Hashtbl.create 16 in
+  let response_names = Hashtbl.create 16 in
+  let cells = Hashtbl.create 64 in
+  let malformed line = ill_formed "of_spec_string: cannot parse %S" line in
+  let parse_named table rest line =
+    match String.index_opt rest ' ' with
+    | Some i ->
+        let idx = int_of_string_opt (String.sub rest 0 i) in
+        let label = String.sub rest (i + 1) (String.length rest - i - 1) in
+        (match idx with Some idx -> Hashtbl.replace table idx label | None -> malformed line)
+    | None -> (
+        match int_of_string_opt rest with
+        | Some _ -> () (* unnamed entry *)
+        | None -> malformed line)
+  in
+  List.iter
+    (fun line ->
+      match String.index_opt line ' ' with
+      | None -> malformed line
+      | Some i -> (
+          let key = String.sub line 0 i in
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          match key with
+          | "name" -> name := rest
+          | "counts" -> (
+              match String.split_on_char ' ' rest |> List.filter_map int_of_string_opt with
+              | [ v; o; r ] -> counts := Some (v, o, r)
+              | _ -> malformed line)
+          | "initial" -> (
+              match int_of_string_opt rest with
+              | Some v -> initial := v
+              | None -> malformed line)
+          | "value" -> parse_named value_names rest line
+          | "op" -> parse_named op_names rest line
+          | "response" -> parse_named response_names rest line
+          | "delta" -> (
+              match
+                String.split_on_char ' ' rest
+                |> List.filter (fun s -> s <> "->" && s <> "")
+                |> List.filter_map int_of_string_opt
+              with
+              | [ v; o; r; v' ] -> Hashtbl.replace cells (v, o) (r, v')
+              | _ -> malformed line)
+          | _ -> malformed line))
+    lines;
+  match !counts with
+  | None -> ill_formed "of_spec_string: missing 'counts' line"
+  | Some (num_values, num_ops, num_responses) ->
+      let named table fallback i =
+        match Hashtbl.find_opt table i with
+        | Some label -> label
+        | None -> Printf.sprintf "%s%d" fallback i
+      in
+      make ~name:!name ~num_values ~num_ops ~num_responses ~default_initial:!initial
+        ~value_name:(named value_names "v") ~op_name:(named op_names "op")
+        ~response_name:(named response_names "r")
+        (fun v o ->
+          match Hashtbl.find_opt cells (v, o) with
+          | Some cell -> cell
+          | None -> ill_formed "of_spec_string: missing delta %d %d" v o)
+
+let product_value _t1 t2 (v1, v2) = (v1 * t2.num_values) + v2
+
+let product ?(joint_read = true) t1 t2 =
+  let num_values = t1.num_values * t2.num_values in
+  let decode v = (v / t2.num_values, v mod t2.num_values) in
+  let num_component_ops = t1.num_ops + t2.num_ops in
+  let num_ops = num_component_ops + if joint_read then 1 else 0 in
+  (* Responses: component responses offset side by side, then pair-read
+     responses (one per value). *)
+  let base_responses = t1.num_responses + t2.num_responses in
+  let num_responses = base_responses + if joint_read then num_values else 0 in
+  let delta v op =
+    let v1, v2 = decode v in
+    if op < t1.num_ops then
+      let r, v1' = t1.delta v1 op in
+      (r, (v1' * t2.num_values) + v2)
+    else if op < num_component_ops then
+      let r, v2' = t2.delta v2 (op - t1.num_ops) in
+      (t1.num_responses + r, (v1 * t2.num_values) + v2')
+    else (base_responses + v, v)
+  in
+  make
+    ~name:(Printf.sprintf "%s (x) %s" t1.name t2.name)
+    ~num_values ~num_ops ~num_responses
+    ~default_initial:((t1.default_initial * t2.num_values) + t2.default_initial)
+    ~value_name:(fun v ->
+      let v1, v2 = decode v in
+      Printf.sprintf "(%s, %s)" (t1.value_name v1) (t2.value_name v2))
+    ~op_name:(fun op ->
+      if op < t1.num_ops then "L:" ^ t1.op_name op
+      else if op < num_component_ops then "R:" ^ t2.op_name (op - t1.num_ops)
+      else "read-pair")
+    ~response_name:(fun r ->
+      if r < t1.num_responses then "L:" ^ t1.response_name r
+      else if r < base_responses then "R:" ^ t2.response_name (r - t1.num_responses)
+      else
+        let v1, v2 = decode (r - base_responses) in
+        Printf.sprintf "=(%s, %s)" (t1.value_name v1) (t2.value_name v2))
+    delta

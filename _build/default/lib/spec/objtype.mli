@@ -1,0 +1,113 @@
+(** Sequential specifications of deterministic shared-object types.
+
+    A type (in the sense of Herlihy's hierarchy and of the paper's Section 2)
+    consists of a finite set of values, a finite set of operations, a finite
+    set of responses, and a total, deterministic transition function: applying
+    an operation to an object with a given value yields exactly one response
+    and one resulting value.
+
+    Values, operations and responses are represented as small integers
+    [0 .. count - 1]; human-readable names are attached for printing.  All
+    functions in this library treat a [t] as immutable. *)
+
+type value = int
+type op = int
+type response = int
+
+type t = private {
+  name : string;  (** display name of the type, e.g. ["test-and-set"] *)
+  num_values : int;
+  num_ops : int;
+  num_responses : int;
+  default_initial : value;
+      (** conventional initial value used by galleries and protocols *)
+  delta : value -> op -> response * value;
+      (** the sequential specification; total on the declared ranges *)
+  value_name : value -> string;
+  op_name : op -> string;
+  response_name : response -> string;
+}
+
+exception Ill_formed of string
+(** Raised by {!make} when a specification is not total, not deterministic,
+    or refers to values/responses outside the declared ranges. *)
+
+val make :
+  name:string ->
+  num_values:int ->
+  num_ops:int ->
+  num_responses:int ->
+  ?default_initial:value ->
+  ?value_name:(value -> string) ->
+  ?op_name:(op -> string) ->
+  ?response_name:(response -> string) ->
+  (value -> op -> response * value) ->
+  t
+(** [make ~name ~num_values ~num_ops ~num_responses delta] builds a type and
+    eagerly checks well-formedness: [delta] is evaluated on the full
+    [num_values * num_ops] grid and every result must be in range.  The
+    transition table is memoized, so [delta] of the result is O(1) and never
+    re-runs user code.
+
+    @raise Ill_formed if the specification is invalid. *)
+
+val apply : t -> value -> op -> response * value
+(** [apply t v o] is [t.delta v o] with range checks on [v] and [o].
+    @raise Invalid_argument when [v] or [o] is out of range. *)
+
+val apply_schedule : t -> value -> op list -> response list * value
+(** [apply_schedule t u ops] applies [ops] in order starting from value [u],
+    returning the responses in order and the final value. *)
+
+val is_read_op : t -> op -> bool
+(** [is_read_op t o] holds when [o] never changes the value and its response
+    uniquely determines the current value (i.e. the response function
+    [fun v -> fst (apply t v o)] is injective).  This is the paper's notion
+    of a Read operation up to renaming of responses. *)
+
+val read_op : t -> op option
+(** The least operation satisfying {!is_read_op}, if any. *)
+
+val is_readable : t -> bool
+(** A type is readable when it supports a Read operation ({!read_op}). *)
+
+val reachable_values : t -> from:value -> value list
+(** Values reachable from [from] by any finite sequence of operations,
+    in increasing order ([from] included). *)
+
+val equal_behaviour : t -> t -> bool
+(** Structural equality of the transition tables (names ignored). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: name and component counts. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Full transition table, one line per (value, op) pair. *)
+
+val read_decoder : t -> (op * (response -> value)) option
+(** For a readable type: the Read operation together with the inverse of its
+    response function, mapping each Read response back to the value it
+    witnesses.  [None] for non-readable types. *)
+
+val to_spec_string : t -> string
+(** A plain-text serialization of the full specification (component counts,
+    initial value, names, and the transition table), suitable for files and
+    round-tripping with {!of_spec_string}. *)
+
+val of_spec_string : string -> t
+(** Parse the format produced by {!to_spec_string}.
+    @raise Ill_formed on syntax errors or inconsistent tables. *)
+
+val product : ?joint_read:bool -> t -> t -> t
+(** The product type: one object holding a pair of components.  Values are
+    pairs (encoded [v1 * t2.num_values + v2]); each component's operations
+    act on its side only (responses are offset).  With [joint_read]
+    (default [true]) an extra final operation reads the whole pair, making
+    the product readable — the setting of the paper's Theorem 14, which
+    says combining readable deterministic types this way cannot increase
+    the recoverable consensus level beyond the strongest component.
+    Deciding the product's levels therefore tests robustness *on the
+    combined object itself*. *)
+
+val product_value : t -> t -> value * value -> value
+(** Encoding of a pair of component values in {!product}. *)

@@ -1,0 +1,1 @@
+lib/synth/census.ml: Array Format Hashtbl List Numbers Option Random Seq Synth

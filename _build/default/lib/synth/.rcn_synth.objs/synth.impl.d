@@ -1,0 +1,1 @@
+lib/synth/synth.ml: Array Decide List Numbers Objtype Printf Random

@@ -1,0 +1,1 @@
+lib/synth/synth.mli: Objtype Random

@@ -1,0 +1,30 @@
+(** A census of the recoverable consensus hierarchy over *all* small
+    readable deterministic types: for every transition table in a
+    {!Synth.space} (or a random sample of a larger space), determine
+    max-discerning and max-recording and histogram the pairs.
+
+    This answers a question the paper provokes but cannot ask without a
+    decider: how are consensus numbers and recoverable consensus numbers
+    *distributed*, and how rare are gap types?  (Experiment E11.) *)
+
+type entry = {
+  discerning : int;  (** level, with the cap standing in for "at least cap" *)
+  recording : int;
+  count : int;
+}
+
+val space_size : Synth.space -> int
+(** Number of tables in the space: [(responses * values) ^ (values * rws)].
+    @raise Invalid_argument on overflow past [max_int]. *)
+
+val exhaustive : ?cap:int -> Synth.space -> entry list
+(** Decide every table in the space (use only when {!space_size} is small);
+    entries are sorted by (discerning, recording).  Default [cap] is 4. *)
+
+val sample : ?cap:int -> seed:int -> count:int -> Synth.space -> entry list
+(** Decide [count] uniformly random tables. *)
+
+val gap_share : entry list -> levels:(int * int) -> float
+(** Fraction of the census at the given (discerning, recording) pair. *)
+
+val pp : Format.formatter -> entry list -> unit

@@ -1,0 +1,195 @@
+type space = { num_values : int; num_rws : int; num_responses : int }
+
+type genome = { space : space; table : (Objtype.response * Objtype.value) array }
+
+let space_of g = g.space
+
+let check_space space =
+  if space.num_values < 2 then invalid_arg "Synth: need at least 2 values";
+  if space.num_rws < 2 then invalid_arg "Synth: need at least 2 RMW operations";
+  if space.num_responses < 2 then invalid_arg "Synth: need at least 2 responses"
+
+let of_table space table =
+  check_space space;
+  if Array.length table <> space.num_values * space.num_rws then
+    invalid_arg "Synth.of_table: wrong table size";
+  Array.iter
+    (fun (r, v) ->
+      if r < 0 || r >= space.num_responses || v < 0 || v >= space.num_values then
+        invalid_arg "Synth.of_table: entry out of range")
+    table;
+  { space; table = Array.copy table }
+
+let table g = Array.copy g.table
+
+let to_objtype ?(name = "synthesized") g =
+  let { num_values; num_rws; num_responses } = g.space in
+  (* Ops 0 .. num_rws-1 are the RMW operations; op num_rws is Read, whose
+     responses are offset past the RMW responses so the type is readable by
+     construction. *)
+  Objtype.make ~name ~num_values ~num_ops:(num_rws + 1)
+    ~num_responses:(num_responses + num_values)
+    ~response_name:(fun r ->
+      if r < num_responses then Printf.sprintf "r%d" r
+      else Printf.sprintf "=v%d" (r - num_responses))
+    ~op_name:(fun o -> if o = num_rws then "read" else Printf.sprintf "rmw%d" o)
+    (fun v o ->
+      if o = num_rws then (num_responses + v, v) else g.table.((v * num_rws) + o))
+
+let random_genome rng space =
+  check_space space;
+  {
+    space;
+    table =
+      Array.init (space.num_values * space.num_rws) (fun _ ->
+          (Random.State.int rng space.num_responses, Random.State.int rng space.num_values));
+  }
+
+let mutate rng g =
+  let table = Array.copy g.table in
+  let i = Random.State.int rng (Array.length table) in
+  table.(i) <-
+    (Random.State.int rng g.space.num_responses, Random.State.int rng g.space.num_values);
+  { g with table }
+
+let seed_ladder space =
+  check_space space;
+  (* Embed the team-ladder structure: value 0 = s, 1 = bot, then A-rungs and
+     B-rungs split the remaining values.  The first half of the RMW ops act
+     as op_0, the rest as op_1; responses 0/1 encode the chain's team. *)
+  let v = space.num_values in
+  let rungs = max 1 ((v - 2) / 2) in
+  let a i = 2 + i and b i = 2 + rungs + i in
+  let table = Array.make (v * space.num_rws) (0, min 1 (v - 1)) in
+  let set value op entry = table.((value * space.num_rws) + op) <- entry in
+  let bot = min 1 (v - 1) in
+  for op = 0 to space.num_rws - 1 do
+    let team = if op < space.num_rws / 2 then 0 else 1 in
+    if v > 2 then
+      set 0 op (team, if team = 0 then a 0 else if v > 2 + rungs then b 0 else a 0);
+    set bot op (0, bot);
+    for i = 0 to rungs - 1 do
+      if a i < v then set (a i) op (0, if i + 1 < rungs && a (i + 1) < v then a (i + 1) else bot);
+      if b i < v then set (b i) op (1, if i + 1 < rungs && b (i + 1) < v then b (i + 1) else bot)
+    done
+  done;
+  { space; table }
+
+let seed_crossing space =
+  check_space space;
+  if space.num_values < 5 || space.num_rws < 4 || space.num_responses < 5 then
+    invalid_arg "Synth.seed_crossing: need at least 5 values, 4 RMW ops, 5 responses";
+  (* Values 0 = u, 1 = A1, 2 = A1c, 3 = B1, 4 = B1c; the first half of the
+     RMW ops are A-side, the rest B-side; same-side ops are idle on rungs,
+     cross-side ops climb, and a second cross restores u.  Responses encode
+     the old value.  Extra values behave like u; see Gallery.x4_witness. *)
+  let v = space.num_values in
+  let table = Array.make (v * space.num_rws) (0, 0) in
+  let set value op entry = table.((value * space.num_rws) + op) <- entry in
+  for op = 0 to space.num_rws - 1 do
+    let a_side = op < space.num_rws / 2 in
+    for value = 0 to v - 1 do
+      let next =
+        match (min value 4, a_side) with
+        | 0, true -> 1
+        | 0, false -> 3
+        | 1, true -> 1
+        | 1, false -> 2
+        | 2, true -> 1
+        | 2, false -> 0
+        | 3, false -> 3
+        | 3, true -> 4
+        | 4, false -> 3
+        | _, _ -> 0
+      in
+      set value op (min value (space.num_responses - 1), next)
+    done
+  done;
+  { space; table }
+
+let weights = [| 1; 2; 2; 4 |]
+let max_fitness = Array.fold_left ( + ) 0 weights
+
+let fitness ~target g =
+  if target < 4 then invalid_arg "Synth.fitness: target must be at least 4";
+  let ty = to_objtype g in
+  let score = ref 0 in
+  let pass w cond = if cond then score := !score + w in
+  let rec_lo = Decide.is_recording ty ~n:(target - 2) in
+  pass weights.(0) rec_lo;
+  (* Only pay for the more expensive checks when the cheap ones pass. *)
+  if rec_lo then begin
+    let rec_hi = Decide.is_recording ty ~n:(target - 1) in
+    pass weights.(1) (not rec_hi);
+    if not rec_hi then begin
+      let disc_lo = Decide.is_discerning ty ~n:(target - 1) in
+      pass weights.(2) disc_lo;
+      if disc_lo then pass weights.(3) (Decide.is_discerning ty ~n:target)
+    end
+  end;
+  !score
+
+type witness = {
+  objtype : Objtype.t;
+  discerning_level : int;
+  recording_level : int;
+  iterations : int;
+}
+
+let verify_witness ~target ty =
+  Objtype.is_readable ty
+  &&
+  let disc = Numbers.max_discerning ~cap:(target + 1) ty in
+  let record = Numbers.max_recording ~cap:(target + 1) ty in
+  Numbers.equal_bound disc.Numbers.bound (Numbers.Exact target)
+  && Numbers.equal_bound record.Numbers.bound (Numbers.Exact (target - 2))
+
+let search ?(seed = 0) ?(max_iterations = 50_000) ?(restart_every = 2_000) ~target space =
+  check_space space;
+  let rng =
+    Random.State.make [| seed; space.num_values; space.num_rws; space.num_responses; target |]
+  in
+  let evaluations = ref 0 in
+  let eval g =
+    incr evaluations;
+    fitness ~target g
+  in
+  let seeds =
+    ref
+      (List.filter_map
+         (fun mk -> try Some (mk space) with Invalid_argument _ -> None)
+         [ seed_crossing; seed_ladder ])
+  in
+  let rec climb current current_score stale =
+    if !evaluations >= max_iterations then None
+    else if current_score = max_fitness then begin
+      let ty = to_objtype ~name:(Printf.sprintf "x%d-witness" target) current in
+      if verify_witness ~target ty then
+        Some
+          {
+            objtype = ty;
+            discerning_level = target;
+            recording_level = target - 2;
+            iterations = !evaluations;
+          }
+      else restart ()
+    end
+    else if stale >= restart_every then restart ()
+    else
+      let candidate = mutate rng current in
+      let s = eval candidate in
+      if s > current_score then climb candidate s 0
+      else if s = current_score && Random.State.bool rng then climb candidate s (stale + 1)
+      else climb current current_score (stale + 1)
+  and restart () =
+    if !evaluations >= max_iterations then None
+    else
+      match !seeds with
+      | g :: rest ->
+          seeds := rest;
+          climb g (eval g) 0
+      | [] ->
+          let g = random_genome rng space in
+          climb g (eval g) 0
+  in
+  restart ()

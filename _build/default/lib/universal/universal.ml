@@ -1,0 +1,300 @@
+type workload = Objtype.op list array
+
+type ustate =
+  | Running of { round : int; op_idx : int; replica : Objtype.value; acc_rev : int list }
+  | Finished of int list
+
+let descriptor ~width ~proc ~op_idx = (proc * width) + op_idx
+let descriptor_proc ~width desc = desc / width
+let descriptor_op_idx ~width desc = desc mod width
+
+let build ~base ~base_initial (workload : workload) : ustate Program.t =
+  let nprocs = Array.length workload in
+  if nprocs = 0 then invalid_arg "Universal.build: empty workload";
+  if base_initial < 0 || base_initial >= base.Objtype.num_values then
+    invalid_arg "Universal.build: base initial value out of range";
+  Array.iter
+    (List.iter (fun op ->
+         if op < 0 || op >= base.Objtype.num_ops then
+           invalid_arg "Universal.build: workload operation out of range"))
+    workload;
+  let ops = Array.map Array.of_list workload in
+  let width = Array.fold_left (fun acc l -> max acc (Array.length l)) 1 ops in
+  let total = Array.fold_left (fun acc l -> acc + Array.length l) 0 ops in
+  let rounds = max total 1 in
+  let proposals = nprocs * width in
+  let cell = Gallery.consensus_object proposals in
+  let finish acc_rev = Finished (List.rev acc_rev) in
+  let start op_idx = Running { round = 0; op_idx; replica = base_initial; acc_rev = [] } in
+  {
+    Program.name = Printf.sprintf "universal(%s, %d procs)" base.Objtype.name nprocs;
+    nprocs;
+    heap = Array.init rounds (fun _ -> (cell, 0));
+    init = (fun ~proc ~input:_ -> if Array.length ops.(proc) = 0 then finish [] else start 0);
+    view =
+      (fun ~proc -> function
+        | Finished acc ->
+            (* The decision value only needs to be a deterministic function
+               of the responses; tests inspect the responses directly. *)
+            Program.Decided (Hashtbl.hash acc)
+        | Running { round; op_idx; replica; acc_rev } ->
+            if round >= rounds then
+              (* Cannot happen: every decided round consumes a distinct
+                 pending descriptor.  Finish defensively. *)
+              Program.Decided (Hashtbl.hash (List.rev acc_rev))
+            else
+              Program.Poised
+                {
+                  obj = round;
+                  op = descriptor ~width ~proc ~op_idx;
+                  next =
+                    (fun winner ->
+                      (* consensus_object's Propose responds with the decided
+                         proposal, whether or not we won. *)
+                      let wproc = descriptor_proc ~width winner in
+                      let widx = descriptor_op_idx ~width winner in
+                      let resp, replica' =
+                        Objtype.apply base replica ops.(wproc).(widx)
+                      in
+                      if wproc = proc && widx = op_idx then
+                        let acc_rev = resp :: acc_rev in
+                        if op_idx + 1 >= Array.length ops.(proc) then finish acc_rev
+                        else
+                          Running
+                            { round = round + 1; op_idx = op_idx + 1; replica = replica'; acc_rev }
+                      else
+                        Running { round = round + 1; op_idx; replica = replica'; acc_rev });
+                });
+  }
+
+let responses _ = function Finished acc -> Some acc | Running _ -> None
+
+type lin_report = {
+  linearization : (int * int) list;
+  ok : bool;
+  detail : string;
+}
+
+let check_linearizable (program : ustate Program.t) ~base ~base_initial (workload : workload)
+    (config : ustate Config.t) =
+  let nprocs = Array.length workload in
+  let ops = Array.map Array.of_list workload in
+  let width = Array.fold_left (fun acc l -> max acc (Array.length l)) 1 ops in
+  let fail detail = { linearization = []; ok = false; detail } in
+  (* Decode the decided prefix of rounds from the consensus objects. *)
+  let rec decided r acc =
+    if r >= Array.length program.Program.heap then List.rev acc
+    else
+      let v = config.Config.values.(r) in
+      if v = 0 then List.rev acc
+      else
+        let desc = v - 1 in
+        decided (r + 1) ((descriptor_proc ~width desc, descriptor_op_idx ~width desc) :: acc)
+  in
+  let linearization = decided 0 [] in
+  (* Each process's ops must appear in program order, at most once. *)
+  let next_expected = Array.make nprocs 0 in
+  let order_ok =
+    List.for_all
+      (fun (p, idx) ->
+        if p < 0 || p >= nprocs || idx <> next_expected.(p) then false
+        else begin
+          next_expected.(p) <- idx + 1;
+          true
+        end)
+      linearization
+  in
+  if not order_ok then fail "descriptors out of program order or duplicated"
+  else begin
+    (* Replay sequentially and collect expected responses per process. *)
+    let expected = Array.make nprocs [] in
+    let _final =
+      List.fold_left
+        (fun replica (p, idx) ->
+          let resp, replica' = Objtype.apply base replica ops.(p).(idx) in
+          expected.(p) <- resp :: expected.(p);
+          replica')
+        base_initial linearization
+    in
+    let expected = Array.map List.rev expected in
+    let mismatch = ref None in
+    for p = 0 to nprocs - 1 do
+      match config.Config.locals.(p) with
+      | Finished acc ->
+          if acc <> expected.(p) && !mismatch = None then
+            mismatch := Some (Printf.sprintf "p%d responses disagree with linearization" p)
+      | Running _ ->
+          if next_expected.(p) = Array.length ops.(p) && !mismatch = None then
+            (* All its operations are decided, yet the process hasn't
+               finished: legal mid-execution, only report when asked for a
+               complete check. *)
+            ()
+    done;
+    match !mismatch with
+    | Some detail -> { linearization; ok = false; detail }
+    | None -> { linearization; ok = true; detail = "linearizable" }
+  end
+
+type hcore = {
+  hround : int;
+  hop_idx : int;
+  hreplica : Objtype.value;
+  hacc_rev : int list;
+  fronts : int list;
+}
+
+type hstate =
+  | HAnnounce of hcore
+  | HRead of hcore
+  | HPropose of hcore * int
+  | HFinished of int list
+
+let build_helping ~base ~base_initial (workload : workload) : hstate Program.t =
+  let nprocs = Array.length workload in
+  if nprocs = 0 then invalid_arg "Universal.build_helping: empty workload";
+  Array.iter
+    (List.iter (fun op ->
+         if op < 0 || op >= base.Objtype.num_ops then
+           invalid_arg "Universal.build_helping: workload operation out of range"))
+    workload;
+  let ops = Array.map Array.of_list workload in
+  let width = Array.fold_left (fun acc l -> max acc (Array.length l)) 1 ops in
+  let total = Array.fold_left (fun acc l -> acc + Array.length l) 0 ops in
+  (* Helping can waste at most the announce-latency per operation; the
+     no-duplicate argument (every proposer has replayed all earlier rounds)
+     keeps one round per operation enough. *)
+  let rounds = max total 1 in
+  let proposals = nprocs * width in
+  let cell = Gallery.consensus_object proposals in
+  (* Announce registers hold 1 + descriptor (0 = nothing announced). *)
+  let announce_reg = Gallery.register (1 + proposals) in
+  let consensus_obj r = nprocs + r in
+  let fresh_fronts = List.init nprocs (fun _ -> 0) in
+  let finish core = HFinished (List.rev core.hacc_rev) in
+  let decided core desc =
+    let p = descriptor_proc ~width desc and i = descriptor_op_idx ~width desc in
+    i < List.nth core.fronts p
+  in
+  let bump fronts p = List.mapi (fun q c -> if q = p then c + 1 else c) fronts in
+  {
+    Program.name = Printf.sprintf "universal-helping(%s, %d procs)" base.Objtype.name nprocs;
+    nprocs;
+    heap =
+      Array.init (nprocs + rounds) (fun i ->
+          if i < nprocs then (announce_reg, 0) else (cell, 0));
+    init =
+      (fun ~proc ~input:_ ->
+        if Array.length ops.(proc) = 0 then HFinished []
+        else
+          HAnnounce
+            { hround = 0; hop_idx = 0; hreplica = base_initial; hacc_rev = []; fronts = fresh_fronts });
+    view =
+      (fun ~proc -> function
+        | HFinished acc -> Program.Decided (Hashtbl.hash acc)
+        | HAnnounce core ->
+            (* Publish my pending descriptor (write op = 1 + value). *)
+            let mine = descriptor ~width ~proc ~op_idx:core.hop_idx in
+            Program.Poised
+              { obj = proc; op = 1 + (1 + mine); next = (fun _ -> HRead core) }
+        | HRead core ->
+            if core.hround >= rounds then Program.Decided (Hashtbl.hash (List.rev core.hacc_rev))
+            else
+              let slot = core.hround mod nprocs in
+              Program.Poised
+                {
+                  obj = slot;
+                  op = 0;
+                  next =
+                    (fun r ->
+                      (* Register read responses are 1 + value; announce
+                         values are 1 + desc. *)
+                      let announced = if r >= 2 then Some (r - 2) else None in
+                      let mine = descriptor ~width ~proc ~op_idx:core.hop_idx in
+                      let choice =
+                        match announced with
+                        | Some d when not (decided core d) -> d
+                        | Some _ | None -> mine
+                      in
+                      HPropose (core, choice));
+                }
+        | HPropose (core, desc) ->
+            Program.Poised
+              {
+                obj = consensus_obj core.hround;
+                op = desc;
+                next =
+                  (fun winner ->
+                    let wproc = descriptor_proc ~width winner in
+                    let widx = descriptor_op_idx ~width winner in
+                    let resp, replica' = Objtype.apply base core.hreplica ops.(wproc).(widx) in
+                    let fronts = bump core.fronts wproc in
+                    if wproc = proc && widx = core.hop_idx then
+                      let hacc_rev = resp :: core.hacc_rev in
+                      if core.hop_idx + 1 >= Array.length ops.(proc) then
+                        finish { core with hacc_rev }
+                      else
+                        HAnnounce
+                          {
+                            hround = core.hround + 1;
+                            hop_idx = core.hop_idx + 1;
+                            hreplica = replica';
+                            hacc_rev;
+                            fronts;
+                          }
+                    else
+                      HRead { core with hround = core.hround + 1; hreplica = replica'; fronts });
+              });
+  }
+
+let check_linearizable_helping (program : hstate Program.t) ~base ~base_initial
+    (workload : workload) (config : hstate Config.t) =
+  let nprocs = Array.length workload in
+  let ops = Array.map Array.of_list workload in
+  let width = Array.fold_left (fun acc l -> max acc (Array.length l)) 1 ops in
+  let fail detail = { linearization = []; ok = false; detail } in
+  let rounds = Array.length program.Program.heap - nprocs in
+  let rec decided r acc =
+    if r >= rounds then List.rev acc
+    else
+      let v = config.Config.values.(nprocs + r) in
+      if v = 0 then List.rev acc
+      else
+        let desc = v - 1 in
+        decided (r + 1) ((descriptor_proc ~width desc, descriptor_op_idx ~width desc) :: acc)
+  in
+  let linearization = decided 0 [] in
+  let next_expected = Array.make nprocs 0 in
+  let order_ok =
+    List.for_all
+      (fun (p, idx) ->
+        if p < 0 || p >= nprocs || idx <> next_expected.(p) then false
+        else begin
+          next_expected.(p) <- idx + 1;
+          true
+        end)
+      linearization
+  in
+  if not order_ok then fail "descriptors out of program order or duplicated"
+  else begin
+    let expected = Array.make nprocs [] in
+    let _ =
+      List.fold_left
+        (fun replica (p, idx) ->
+          let resp, replica' = Objtype.apply base replica ops.(p).(idx) in
+          expected.(p) <- resp :: expected.(p);
+          replica')
+        base_initial linearization
+    in
+    let expected = Array.map List.rev expected in
+    let mismatch = ref None in
+    for p = 0 to nprocs - 1 do
+      match config.Config.locals.(p) with
+      | HFinished acc ->
+          if acc <> expected.(p) && !mismatch = None then
+            mismatch := Some (Printf.sprintf "p%d responses disagree with linearization" p)
+      | HAnnounce _ | HRead _ | HPropose _ -> ()
+    done;
+    match !mismatch with
+    | Some detail -> { linearization; ok = false; detail }
+    | None -> { linearization; ok = true; detail = "linearizable" }
+  end

@@ -1,0 +1,104 @@
+(** A universal construction: implementing an arbitrary deterministic object
+    from consensus objects plus replicas, in the simulator.
+
+    Herlihy (1991) proved consensus is universal; Berryhill–Golab–Tripunitara
+    and DFFR carried universality to the recoverable setting.  This module
+    implements the round-based core of that construction as a {!Program.t}:
+    a shared array of one-shot consensus objects [C_0, C_1, ...] decides, in
+    round order, which pending operation descriptor is applied next to the
+    (deterministically replayable) replica.  To apply an operation a process
+    proposes its descriptor to the next round; whatever wins is applied to
+    the process's local replica, and the process moves on (re-proposing its
+    descriptor until it wins).
+
+    The construction is *recoverable by replay*: a crash resets a process to
+    round 0 with a fresh replica, and re-proposing to already-decided rounds
+    acts as a read — the process re-discovers every past winner, including
+    its own operations (detectability: it can tell whether an operation
+    interrupted by a crash took effect).  No helping is implemented, so
+    progress is lock-free rather than wait-free; in the bounded executions
+    explored by the tests every process finishes because each round's winner
+    is a distinct pending descriptor, so the number of rounds is bounded by
+    the total number of operations. *)
+
+type workload = Objtype.op list array
+(** [workload.(i)] is the sequence of operations process [i] must apply. *)
+
+type ustate =
+  | Running of { round : int; op_idx : int; replica : Objtype.value; acc_rev : int list }
+  | Finished of int list
+      (** responses to the process's own operations, in program order *)
+
+val build :
+  base:Objtype.t -> base_initial:Objtype.value -> workload -> ustate Program.t
+(** A program whose heap holds one consensus object per potential round
+    (total operation count), each over descriptor proposals.  A process
+    decides (outputs a hash of its response list) once all its operations
+    have been applied.
+    @raise Invalid_argument if some workload operation is out of range. *)
+
+val responses : 'a -> ustate -> int list option
+(** The finished response list of a state, if finished ([Some] exactly when
+    the process has decided).  The first argument is ignored (kept for call
+    symmetry with {!Config.decided}). *)
+
+type lin_report = {
+  linearization : (int * int) list;
+      (** decided rounds in order: (process, operation index) *)
+  ok : bool;
+  detail : string;
+}
+
+val check_linearizable : ustate Program.t -> base:Objtype.t -> base_initial:Objtype.value ->
+  workload -> ustate Config.t -> lin_report
+(** Read the decided rounds out of a final configuration, replay them
+    sequentially against the base type's specification, and compare the
+    replayed responses with what each finished process actually collected.
+    Also checks that each process's operations appear in program order and
+    at most once. *)
+
+(** {2 Helping}
+
+    In {!build}, a process only ever proposes its own next descriptor, so a
+    fast rival can win many consecutive rounds and a slow process may take
+    a number of steps proportional to the *rival's* workload before its own
+    operation is decided (lock-free, not wait-free, step complexity).
+    {!build_helping} adds Herlihy-style helping: processes publish their
+    pending descriptor in announce registers, and the proposer for round
+    [r] first tries to push through the announced operation of process
+    [r mod n] (unless its replay shows it already applied).  Every
+    announced operation is then decided within [O(n)] rounds of its
+    announcement, whatever the schedule. *)
+
+type hcore = {
+  hround : int;
+  hop_idx : int;
+  hreplica : Objtype.value;
+  hacc_rev : int list;
+  fronts : int list;  (** per-process count of already-decided operations *)
+}
+
+type hstate =
+  | HAnnounce of hcore
+  | HRead of hcore
+  | HPropose of hcore * int  (** chosen descriptor *)
+  | HFinished of int list
+
+val build_helping :
+  base:Objtype.t -> base_initial:Objtype.value -> workload -> hstate Program.t
+(** Heap layout: [n] announce registers (indices [0 .. n-1]) followed by
+    one consensus object per round.  A process announces its pending
+    descriptor, reads the announce register of the current round's help
+    slot, proposes the helped descriptor when it is announced and not yet
+    decided (otherwise its own), applies the round's winner to its replica,
+    and repeats.  Crash recovery replays rounds from 0 as in {!build}. *)
+
+
+val check_linearizable_helping :
+  hstate Program.t ->
+  base:Objtype.t ->
+  base_initial:Objtype.value ->
+  workload ->
+  hstate Config.t ->
+  lin_report
+(** Same checking as {!check_linearizable}, reading the helping states. *)

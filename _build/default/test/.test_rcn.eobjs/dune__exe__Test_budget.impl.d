@@ -1,0 +1,1 @@
+test/test_budget.ml: Alcotest Budget List Printf QCheck QCheck_alcotest Sched

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Checker Classic Config Counterexample Exec Explore Format List Option Sched String Tnn_protocol

@@ -1,0 +1,1 @@
+test/test_gallery.ml: Alcotest Dot Gallery List Objtype String

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Census Certificate Decide Format Gallery List Numbers Objtype Option Printf QCheck QCheck_alcotest Random Robustness Seq Synth

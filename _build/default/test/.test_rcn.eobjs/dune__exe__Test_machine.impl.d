@@ -1,0 +1,1 @@
+test/test_machine.ml: Adversary Alcotest Array Budget Checker Classic Config Exec Gallery Objtype Printf Program Sched

@@ -1,0 +1,1 @@
+test/test_misc.ml: Adversary Alcotest Budget Census Certificate Classic Config Counterexample Dot Exec Explore Format Gallery Numbers Objtype Program Sched Simultaneous String Synth Tnn_protocol

@@ -1,0 +1,1 @@
+test/test_objtype.ml: Alcotest Format Gallery List Objtype Option QCheck QCheck_alcotest Random Synth

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Array Certificate Checker Classic Config Counterexample Decide Election Exec Explore Gallery List Numbers Objtype Option Robustness Sched Tnn_protocol

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Adversary Alcotest Array Budget Certificate Checker Classic Config Counterexample Decide Election Exec Gallery List Option Printf Program Sched Tnn_protocol

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest List Printf QCheck QCheck_alcotest Result Sched

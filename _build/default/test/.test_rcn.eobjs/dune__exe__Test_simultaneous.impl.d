@@ -1,0 +1,1 @@
+test/test_simultaneous.ml: Adversary Alcotest Array Budget Checker Classic Config Exec Explore List Sched Simultaneous Tnn_protocol

@@ -1,0 +1,1 @@
+test/test_tournament.ml: Adversary Alcotest Array Budget Checker Config Counterexample Exec Format Gallery Hashtbl List Printf QCheck QCheck_alcotest Sched Simultaneous String Tournament

@@ -1,0 +1,1 @@
+test/test_universal.ml: Adversary Alcotest Array Budget Config Exec Gallery List Printf Program QCheck QCheck_alcotest Sched String Universal

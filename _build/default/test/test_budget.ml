@@ -1,0 +1,130 @@
+(* Tests for the crash-budget execution sets E_z and E_z^* (Section 3). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_paper_example () =
+  (* "if n = 2, then exec(C, p1 c1 p0) ∈ E_1(C) but ∉ E_1^*(C)" *)
+  let sched = Sched.[ step 1; crash 1; step 0 ] in
+  check_bool "in E_1" true (Budget.within_e_z ~z:1 ~nprocs:2 sched);
+  check_bool "not in E_1*" false (Budget.within_e_z_star ~z:1 ~nprocs:2 sched)
+
+let test_p0_never_crashes () =
+  let sched = Sched.[ step 0; crash 0 ] in
+  check_bool "E_z forbids c0" false (Budget.within_e_z ~z:3 ~nprocs:2 sched);
+  check_bool "E_z* forbids c0" false (Budget.within_e_z_star ~z:3 ~nprocs:2 sched)
+
+let test_budget_scales_with_lower_steps () =
+  (* n = 2, z = 1: after one step of p0, p1 may crash up to zn = 2 times. *)
+  let ok = Sched.[ step 0; crash 1; crash 1 ] in
+  check_bool "two crashes allowed" true (Budget.within_e_z_star ~z:1 ~nprocs:2 ok);
+  let too_many = Sched.[ step 0; crash 1; crash 1; crash 1 ] in
+  check_bool "three crashes rejected" false (Budget.within_e_z_star ~z:1 ~nprocs:2 too_many);
+  check_bool "higher z allows" true (Budget.within_e_z_star ~z:2 ~nprocs:2 too_many)
+
+let test_only_lower_ids_count () =
+  (* Steps of p2 do not buy crashes for p1. *)
+  let sched = Sched.[ step 2; crash 1 ] in
+  check_bool "p2 steps don't fund c1" false (Budget.within_e_z_star ~z:5 ~nprocs:3 sched);
+  let sched = Sched.[ step 0; crash 2 ] in
+  check_bool "p0 steps fund c2" true (Budget.within_e_z_star ~z:1 ~nprocs:3 sched)
+
+let test_counter_matches_predicate () =
+  (* Replaying any schedule through the incremental counter must agree with
+     the prefix-closed predicate. *)
+  let replay ~z ~nprocs sched =
+    let rec loop c = function
+      | [] -> true
+      | (Sched.Crash p as e) :: rest -> Budget.may_crash c p && loop (Budget.record c e) rest
+      | (Sched.Step _ as e) :: rest -> loop (Budget.record c e) rest
+      | Sched.Crash_all :: _ -> false
+    in
+    loop (Budget.counter ~z ~nprocs) sched
+  in
+  let schedules =
+    [
+      Sched.[ step 0; crash 1; step 0 ];
+      Sched.[ step 1; crash 1 ];
+      Sched.[ step 0; step 1; crash 2; crash 2; crash 2 ];
+      Sched.[ step 0; crash 1; crash 1; crash 1 ];
+      [];
+    ]
+  in
+  List.iter
+    (fun sched ->
+      check_bool
+        (Printf.sprintf "agree on [%s]" (Sched.to_string sched))
+        (Budget.within_e_z_star ~z:1 ~nprocs:3 sched)
+        (replay ~z:1 ~nprocs:3 sched))
+    schedules
+
+let test_headroom () =
+  let c = Budget.counter ~z:1 ~nprocs:2 in
+  check_int "p0 headroom always 0" 0 (Budget.crash_headroom c 0);
+  check_int "p1 headroom initially 0" 0 (Budget.crash_headroom c 1);
+  let c = Budget.record c (Sched.step 0) in
+  check_int "after p0 step: zn = 2" 2 (Budget.crash_headroom c 1);
+  let c = Budget.record c (Sched.crash 1) in
+  check_int "consumed one" 1 (Budget.crash_headroom c 1);
+  check_int "steps below p1" 1 (Budget.steps_below c 1);
+  check_int "steps below p0" 0 (Budget.steps_below c 0)
+
+let test_record_rejects_over_budget () =
+  let c = Budget.counter ~z:1 ~nprocs:2 in
+  Alcotest.check_raises "over budget crash"
+    (Invalid_argument "Budget.record: crash of p1 exceeds budget") (fun () ->
+      ignore (Budget.record c (Sched.crash 1)))
+
+(* --------------- properties --------------- *)
+
+let arbitrary_schedule =
+  let event =
+    QCheck.Gen.(
+      map2
+        (fun crash p -> if crash && p > 0 then Sched.crash p else Sched.step p)
+        (frequency [ (3, return false); (1, return true) ])
+        (int_bound 2))
+  in
+  QCheck.make
+    ~print:(fun s -> Sched.to_string s)
+    QCheck.Gen.(list_size (int_bound 12) event)
+
+let prop_star_subset_of_ez =
+  QCheck.Test.make ~name:"E_z^* is a subset of E_z" ~count:500 arbitrary_schedule (fun s ->
+      (not (Budget.within_e_z_star ~z:1 ~nprocs:3 s)) || Budget.within_e_z ~z:1 ~nprocs:3 s)
+
+let prop_star_prefix_closed =
+  QCheck.Test.make ~name:"E_z^* is prefix closed" ~count:500 arbitrary_schedule (fun s ->
+      (not (Budget.within_e_z_star ~z:1 ~nprocs:3 s))
+      ||
+      let rec prefixes acc = function
+        | [] -> [ List.rev acc ]
+        | e :: rest -> List.rev acc :: prefixes (e :: acc) rest
+      in
+      List.for_all (Budget.within_e_z_star ~z:1 ~nprocs:3) (prefixes [] s))
+
+let prop_monotone_in_z =
+  QCheck.Test.make ~name:"budgets are monotone in z" ~count:500 arbitrary_schedule (fun s ->
+      (not (Budget.within_e_z_star ~z:1 ~nprocs:3 s))
+      || Budget.within_e_z_star ~z:2 ~nprocs:3 s)
+
+let prop_crash_free_always_within =
+  QCheck.Test.make ~name:"crash-free schedules are always within budget (Obs. 4)" ~count:200
+    arbitrary_schedule (fun s ->
+      let steps = List.filter (function Sched.Step _ -> true | _ -> false) s in
+      Budget.within_e_z_star ~z:1 ~nprocs:3 steps)
+
+let suite =
+  [
+    Alcotest.test_case "the paper's E_1 vs E_1^* example" `Quick test_paper_example;
+    Alcotest.test_case "p0 never crashes" `Quick test_p0_never_crashes;
+    Alcotest.test_case "budget scales with lower-id steps" `Quick test_budget_scales_with_lower_steps;
+    Alcotest.test_case "only lower identifiers fund crashes" `Quick test_only_lower_ids_count;
+    Alcotest.test_case "incremental counter agrees with predicate" `Quick test_counter_matches_predicate;
+    Alcotest.test_case "crash headroom accounting" `Quick test_headroom;
+    Alcotest.test_case "record rejects over-budget crashes" `Quick test_record_rejects_over_budget;
+    QCheck_alcotest.to_alcotest prop_star_subset_of_ez;
+    QCheck_alcotest.to_alcotest prop_star_prefix_closed;
+    QCheck_alcotest.to_alcotest prop_monotone_in_z;
+    QCheck_alcotest.to_alcotest prop_crash_free_always_within;
+  ]

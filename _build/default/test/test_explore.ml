@@ -1,0 +1,293 @@
+(* Tests for the valency engine and counterexample search — the paper's
+   Section 3 machinery exercised on concrete protocols. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let binary_inputs n = List.init (1 lsl n) (fun mask -> Array.init n (fun i -> (mask lsr i) land 1))
+
+let valency_t =
+  Alcotest.testable
+    (fun ppf -> function
+      | Explore.Bivalent -> Format.pp_print_string ppf "bivalent"
+      | Explore.Univalent v -> Format.fprintf ppf "%d-univalent" v
+      | Explore.Unknown -> Format.pp_print_string ppf "unknown")
+    ( = )
+
+let test_observation_1_bivalent_root () =
+  (* Observation 1: mixed-input initial configurations are bivalent. *)
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  Alcotest.check valency_t "mixed inputs bivalent" Explore.Bivalent
+    (Explore.valency ctx (Explore.root ctx ~inputs:[| 0; 1 |]));
+  (* Validity: all-same-input configurations are univalent. *)
+  Alcotest.check valency_t "all-zero univalent" (Explore.Univalent 0)
+    (Explore.valency ctx (Explore.root ctx ~inputs:[| 0; 0 |]));
+  Alcotest.check valency_t "all-one univalent" (Explore.Univalent 1)
+    (Explore.valency ctx (Explore.root ctx ~inputs:[| 1; 1 |]))
+
+let test_children_respect_budget () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  let events = List.map fst (Explore.children ctx root) in
+  (* Initially: steps for both processes, no crashes (budget zero). *)
+  check_bool "no initial crashes" true
+    (List.for_all (function Sched.Step _ -> true | Sched.Crash _ | Sched.Crash_all -> false) events);
+  check_int "two steps" 2 (List.length events);
+  let after_p0 = Option.get (Explore.child ctx root (Sched.step 0)) in
+  let events = List.map fst (Explore.children ctx after_p0) in
+  check_bool "now p1 may crash" true (List.mem (Sched.crash 1) events);
+  check_bool "p0 never crashes" false (List.mem (Sched.crash 0) events)
+
+let test_child_rejects_over_budget_crash () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  check_bool "crash rejected at root" true (Explore.child ctx root (Sched.crash 1) = None)
+
+let test_outputs_sticky_across_crashes () =
+  (* A decided process that crashes is reset, but its decision remains part
+     of the execution history. *)
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  let node = Option.get (Explore.child ctx root (Sched.step 0)) in
+  let node = Option.get (Explore.child ctx node (Sched.step 0)) in
+  check_bool "p0 decided" true (node.Explore.outputs.(0) = Some 0);
+  (* budget: one step by p0 funds crashes of p1 but not p0; step p1 twice to
+     fund nothing more — crash p1, then check p1's output history. *)
+  let node = Option.get (Explore.child ctx node (Sched.step 1)) in
+  let node = Option.get (Explore.child ctx node (Sched.step 1)) in
+  check_bool "p1 decided 0 too" true (node.Explore.outputs.(1) = Some 0);
+  let node = Option.get (Explore.child ctx node (Sched.crash 1)) in
+  check_bool "history survives crash" true (node.Explore.outputs.(1) = Some 0);
+  check_bool "but state is reset" true (Config.decided p node.Explore.config ~proc:1 = None)
+
+let test_schedule_to () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  let node = Option.get (Explore.child ctx root (Sched.step 1)) in
+  let node = Option.get (Explore.child ctx node (Sched.step 0)) in
+  Alcotest.(check string) "path recorded" "p1 p0" (Sched.to_string (Explore.schedule_to node))
+
+let test_critical_execution_lemmas () =
+  (* Find a critical execution for the sticky-bit protocol and verify the
+     paper's structural lemmas on it. *)
+  let p = Classic.sticky_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  match Explore.find_critical ctx root with
+  | None -> Alcotest.fail "a critical execution must exist (Lemma 6a)"
+  | Some crit ->
+      (* Lemma 7: both teams nonempty. *)
+      let teams = Explore.teams ctx crit in
+      let members v = List.filter (fun (_, w) -> w = v) teams in
+      check_bool "team 0 nonempty (Lemma 7)" true (members 0 <> []);
+      check_bool "team 1 nonempty (Lemma 7)" true (members 1 <> []);
+      (* Lemma 8: the critical configuration is itself bivalent. *)
+      Alcotest.check valency_t "bivalent at criticality (Lemma 8)" Explore.Bivalent
+        (Explore.valency ctx crit);
+      (* Lemma 9: all processes poised at the same object. *)
+      check_bool "same object (Lemma 9)" true (Explore.poised_object p crit <> None);
+      (* Observation 11 trichotomy: sticky bit records the winner. *)
+      check_bool "classification defined" true
+        (match Explore.classify ctx crit with
+        | Explore.N_recording | Explore.Hiding _ -> true
+        | Explore.Neither -> false)
+
+let test_critical_on_tnn_recoverable () =
+  (* Same structural checks on the paper's own protocol, 2 processes on
+     T_{3,1}... T_{4,2} keeps the space small with z = 1. *)
+  let p = Tnn_protocol.recoverable ~n:4 ~n':2 in
+  let ctx = Explore.create ~z:1 ~max_events:60 p in
+  let root = Explore.root ctx ~inputs:[| 1; 0 |] in
+  match Explore.find_critical ctx root with
+  | None -> Alcotest.fail "critical execution must exist"
+  | Some crit ->
+      let teams = Explore.teams ctx crit in
+      check_bool "both teams present" true
+        (List.exists (fun (_, v) -> v = 0) teams && List.exists (fun (_, v) -> v = 1) teams);
+      check_bool "same object" true (Explore.poised_object p crit = Some 0)
+
+let test_valency_restricted () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  (* Restricted to p0 alone, only 0 can be decided. *)
+  Alcotest.check valency_t "p0 solo is 0-univalent" (Explore.Univalent 0)
+    (Explore.valency_restricted ctx root ~procs:[ 0 ]);
+  Alcotest.check valency_t "p1 solo is 1-univalent" (Explore.Univalent 1)
+    (Explore.valency_restricted ctx root ~procs:[ 1 ]);
+  Alcotest.check valency_t "both is bivalent" Explore.Bivalent
+    (Explore.valency_restricted ctx root ~procs:[ 0; 1 ])
+
+let test_truncation_reported () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 ~max_events:0 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  let decisions, truncated = Explore.reachable_decisions ctx root in
+  check_bool "truncated at depth 0" true truncated;
+  check_int "nothing decided yet" 0 (List.length decisions);
+  Alcotest.check valency_t "unknown" Explore.Unknown (Explore.valency ctx root)
+
+let test_count_nodes () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  let n, truncated = Explore.count_nodes ctx root ~max_nodes:100_000 in
+  check_bool "finite space" false truncated;
+  check_bool "nontrivial" true (n > 4)
+
+let test_theorem13_chain () =
+  (* The chain construction of Theorem 13 (Figures 1-2): on correct
+     protocols the walk must terminate at an n-recording configuration. *)
+  let expect name outcome =
+    match outcome with
+    | _, Explore.Reached_recording -> ()
+    | _, Explore.Exhausted i -> Alcotest.failf "%s: exhausted after %d rounds" name i
+    | _, Explore.Stuck m -> Alcotest.failf "%s: stuck (%s)" name m
+  in
+  let p = Classic.sticky_consensus ~nprocs:3 in
+  let ctx = Explore.create ~z:1 ~max_events:100 p in
+  expect "sticky-3" (Explore.theorem13_chain ctx (Explore.root ctx ~inputs:[| 0; 1; 1 |]));
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  expect "cas-2" (Explore.theorem13_chain ctx (Explore.root ctx ~inputs:[| 0; 1 |]))
+
+let test_theorem13_chain_tnn_crossing_crashes () =
+  (* On the paper's own protocol the critical execution itself contains
+     crashes — the phenomenon that makes recoverable valency arguments
+     harder (Section 3's motivation). *)
+  let p = Tnn_protocol.recoverable ~n:4 ~n':2 in
+  let ctx = Explore.create ~z:1 ~max_events:80 p in
+  match Explore.theorem13_chain ctx (Explore.root ctx ~inputs:[| 1; 0 |]) with
+  | [ step ], Explore.Reached_recording ->
+      check_bool "critical execution contains crashes" true
+        (List.exists
+           (function Sched.Crash _ -> true | Sched.Step _ | Sched.Crash_all -> false)
+           step.Explore.schedule);
+      check_bool "classified recording" true
+        (step.Explore.step_classification = Explore.N_recording)
+  | steps, _ -> Alcotest.failf "unexpected chain shape (%d steps)" (List.length steps)
+
+let test_lemma10_on_critical_nodes () =
+  (* Lemma 10's conclusion holds at critical executions of correct
+     protocols: no cross-team pair of step schedules leaves the common
+     object with equal values, except through p_{n-1}'s solo step. *)
+  let check_one name program inputs max_events =
+    let ctx = Explore.create ~z:1 ~max_events program in
+    match Explore.find_critical ctx (Explore.root ctx ~inputs) with
+    | None -> Alcotest.failf "%s: no critical execution" name
+    | Some crit -> (
+        match Explore.lemma10_check ctx crit with
+        | None -> ()
+        | Some (pi, pj) ->
+            Alcotest.failf "%s: Lemma 10 violated by [%s] vs [%s]" name
+              (String.concat " " (List.map string_of_int pi))
+              (String.concat " " (List.map string_of_int pj)))
+  in
+  check_one "sticky-2" (Classic.sticky_consensus ~nprocs:2) [| 0; 1 |] 200;
+  check_one "cas-2" (Classic.cas_consensus ~nprocs:2) [| 0; 1 |] 200;
+  check_one "tnn(4,2)-2" (Tnn_protocol.recoverable ~n:4 ~n':2) [| 1; 0 |] 80
+
+let test_bivalence_cannot_be_preserved_forever () =
+  (* Lemma 6 as a runtime phenomenon: the strongest bivalence-preserving
+     adversary gets stuck after finitely many events, and the execution it
+     builds is critical (every child univalent). *)
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  let sched = Explore.bivalence_preserving_steps ctx root in
+  (* replay it and confirm the endpoint is bivalent with univalent kids *)
+  let final =
+    List.fold_left
+      (fun node e -> Option.get (Explore.child ctx node e))
+      root sched
+  in
+  check_bool "endpoint bivalent" true (Explore.valency ctx final = Explore.Bivalent);
+  check_bool "all children univalent" true
+    (List.for_all
+       (fun (_, kid) -> match Explore.valency ctx kid with Explore.Univalent _ -> true | _ -> false)
+       (Explore.children ctx final))
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample search *)
+
+let test_register_race_violation () =
+  match
+    Counterexample.search ~z:1 ~inputs_list:(binary_inputs 2) (Classic.register_race ~nprocs:2)
+  with
+  | Some r ->
+      (match r.Counterexample.violation with
+      | Counterexample.Disagreement (v, w) -> check_bool "distinct" true (v <> w)
+      | Counterexample.Invalid _ -> Alcotest.fail "expected a disagreement");
+      (* The inputs must be mixed. *)
+      check_bool "mixed inputs" true
+        (Array.exists (( = ) 0) r.Counterexample.inputs
+        && Array.exists (( = ) 1) r.Counterexample.inputs)
+  | None -> Alcotest.fail "register race must violate agreement"
+
+let test_tas_crash_violation () =
+  (* Golab's theorem in execution form. *)
+  match Counterexample.search ~z:1 ~inputs_list:(binary_inputs 2) Classic.tas_consensus_2 with
+  | Some r ->
+      check_bool "schedule contains a crash" true
+        (List.exists (function Sched.Crash _ -> true | Sched.Step _ | Sched.Crash_all -> false)
+           r.Counterexample.schedule)
+  | None -> Alcotest.fail "TAS with crashes must violate agreement (Golab)"
+
+let test_tas_crash_free_correct () =
+  (* The same protocol is exhaustively correct without crashes. *)
+  let p = Classic.tas_consensus_2 in
+  let ok = ref true in
+  List.iter
+    (fun inputs ->
+      List.iter
+        (fun sched ->
+          let c0 = Config.initial p ~inputs in
+          let final, _ = Exec.run_schedule p c0 sched in
+          if not (Checker.is_ok (Checker.consensus p final)) then ok := false)
+        (Sched.interleavings ~nprocs:2 ~steps_per_proc:4))
+    (binary_inputs 2);
+  check_bool "crash-free TAS consensus correct" true !ok
+
+let test_certify_cas () =
+  match Counterexample.certify ~z:1 ~inputs_list:(binary_inputs 2) (Classic.cas_consensus ~nprocs:2) with
+  | Ok (), truncated ->
+      check_bool "exhaustive" false truncated
+  | Error _, _ -> Alcotest.fail "CAS consensus is recoverable"
+
+let test_tnn_overload_breaks () =
+  (* E4: the paper's upper-bound argument in executable form. *)
+  let p = Tnn_protocol.recoverable_overloaded ~procs:3 ~n:4 ~n':2 in
+  match Counterexample.search ~z:1 ~inputs_list:(binary_inputs 3) p with
+  | Some r ->
+      check_bool "uses a crash" true
+        (List.exists (function Sched.Crash _ -> true | Sched.Step _ | Sched.Crash_all -> false)
+           r.Counterexample.schedule)
+  | None -> Alcotest.fail "n'+1 processes on T_{n,n'} must fail"
+
+let suite =
+  [
+    Alcotest.test_case "Observation 1: mixed roots are bivalent" `Quick test_observation_1_bivalent_root;
+    Alcotest.test_case "children respect the crash budget" `Quick test_children_respect_budget;
+    Alcotest.test_case "budget-violating crashes rejected" `Quick test_child_rejects_over_budget_crash;
+    Alcotest.test_case "outputs are sticky across crashes" `Quick test_outputs_sticky_across_crashes;
+    Alcotest.test_case "paths recorded" `Quick test_schedule_to;
+    Alcotest.test_case "critical executions satisfy Lemmas 7-9" `Quick test_critical_execution_lemmas;
+    Alcotest.test_case "critical execution on the paper's protocol" `Slow test_critical_on_tnn_recoverable;
+    Alcotest.test_case "restricted valency" `Quick test_valency_restricted;
+    Alcotest.test_case "truncation is reported, never guessed" `Quick test_truncation_reported;
+    Alcotest.test_case "node counting" `Quick test_count_nodes;
+    Alcotest.test_case "Lemma 10 holds at critical executions" `Quick test_lemma10_on_critical_nodes;
+    Alcotest.test_case "Lemma 6: bivalence preservation gets stuck" `Quick test_bivalence_cannot_be_preserved_forever;
+    Alcotest.test_case "Theorem 13 chain reaches recording" `Quick test_theorem13_chain;
+    Alcotest.test_case "Theorem 13 chain on T_{4,2}: crashes before criticality" `Slow test_theorem13_chain_tnn_crossing_crashes;
+    Alcotest.test_case "register race violates agreement (FLP)" `Quick test_register_race_violation;
+    Alcotest.test_case "TAS breaks under crashes (Golab)" `Quick test_tas_crash_violation;
+    Alcotest.test_case "TAS correct crash-free" `Quick test_tas_crash_free_correct;
+    Alcotest.test_case "CAS consensus certified recoverable" `Quick test_certify_cas;
+    Alcotest.test_case "overloaded T_{n,n'} protocol breaks (E4)" `Slow test_tnn_overload_breaks;
+  ]

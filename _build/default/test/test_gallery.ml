@@ -1,0 +1,250 @@
+(* Tests for the gallery of canned types, in particular the paper's
+   T_{n,n'} (Section 4) whose state machine is the paper's Figure 3. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let apply = Objtype.apply
+
+let test_all_well_formed () =
+  (* Gallery.all only returns values constructed through Objtype.make, so
+     existence is enough; additionally check names are unique and lookup
+     works. *)
+  let entries = Gallery.all () in
+  let names = List.map fst entries in
+  check_int "unique names" (List.length names) (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun (name, ty) ->
+      match Gallery.find name with
+      | Some ty' -> check_bool name true (Objtype.equal_behaviour ty ty')
+      | None -> Alcotest.failf "lookup of %s failed" name)
+    entries;
+  check_bool "unknown lookup" true (Gallery.find "no-such-type" = None)
+
+let test_register () =
+  let r = Gallery.register 3 in
+  (* write then read *)
+  let _, v = apply r 0 (1 + 2) in
+  check_int "written" 2 v;
+  let resp, v' = apply r 2 0 in
+  check_int "read resp encodes value" 3 resp;
+  check_int "read preserves" 2 v'
+
+let test_test_and_set () =
+  let t = Gallery.test_and_set in
+  let r1, v1 = apply t 0 0 in
+  check_int "first tas wins" 0 r1;
+  check_int "bit set" 1 v1;
+  let r2, v2 = apply t 1 0 in
+  check_int "second tas loses" 1 r2;
+  check_int "bit stays" 1 v2
+
+let test_swap_and_faa () =
+  let s = Gallery.swap 3 in
+  let r, v = apply s 1 (1 + 2) in
+  check_int "swap returns old" 1 r;
+  check_int "swap installs" 2 v;
+  let f = Gallery.fetch_and_add 4 in
+  let r, v = apply f 3 1 in
+  check_int "faa returns old" 3 r;
+  check_int "faa wraps" 0 v
+
+let test_cas () =
+  let c = Gallery.compare_and_swap 3 in
+  let cas a b = (a * 3) + b in
+  let r, v = apply c 0 (cas 0 2) in
+  check_int "cas success returns old" 0 r;
+  check_int "cas success installs" 2 v;
+  let r, v = apply c 2 (cas 0 1) in
+  check_int "cas failure returns old" 2 r;
+  check_int "cas failure preserves" 2 v
+
+let test_sticky_bit () =
+  let s = Gallery.sticky_bit in
+  let r, v = apply s 0 1 in
+  check_int "first set sticks 1" 1 r;
+  check_int "stuck value" 2 v;
+  let r, v' = apply s 2 0 in
+  check_int "later set returns stuck" 1 r;
+  check_int "value unchanged" 2 v'
+
+let test_write_once_and_max_register () =
+  let w = Gallery.write_once 2 in
+  let r, v = apply w 0 1 in
+  check_int "first write sticks" 1 r;
+  check_int "stuck value" 2 v;
+  let r, v' = apply w 2 0 in
+  check_int "later writes report sticky" 1 r;
+  check_int "unchanged" 2 v';
+  let m = Gallery.max_register 3 in
+  let _, v = apply m 2 (1 + 1) in
+  check_int "write below max is absorbed" 2 v;
+  let _, v = apply m 1 (1 + 2) in
+  check_int "write above max wins" 2 v
+
+let test_queue_fifo () =
+  let q = Gallery.bounded_queue () in
+  let _, v = apply q 0 0 in
+  let _, v = apply q v 1 in
+  (* queue now [0;1]; enqueue on full *)
+  let r, v' = apply q v 0 in
+  check_int "full response" 1 r;
+  check_int "full preserves" v v';
+  let r, v = apply q v 2 in
+  check_int "deq head" 3 r;
+  let r, v = apply q v 2 in
+  check_int "deq second" 4 r;
+  let r, _ = apply q v 2 in
+  check_int "deq empty" 2 r
+
+(* ------------------------------------------------------------------ *)
+(* T_{n,n'}: the paper's Section 4 definition, transition by transition. *)
+
+let test_tnn_structure () =
+  let n = 5 and n' = 2 in
+  let t = Gallery.tnn ~n ~n' in
+  check_int "2n values (paper)" (2 * n) t.Objtype.num_values;
+  check_int "three operations" 3 t.Objtype.num_ops;
+  check_bool "not readable" false (Objtype.is_readable t)
+
+let test_tnn_op_x () =
+  let n = 5 and n' = 2 in
+  let t = Gallery.tnn ~n ~n' in
+  let op0 = Gallery.tnn_op `Op0 and op1 = Gallery.tnn_op `Op1 in
+  (* "Applying op_0 to an object with value s returns 0 and changes its
+     value to s_{0,1}" *)
+  let r, v = apply t Gallery.tnn_s op0 in
+  check_int "op_0 on s returns 0" 0 r;
+  check_int "moves to s_{0,1}" (Gallery.tnn_value ~n ~x:0 ~i:1) v;
+  let r, v = apply t Gallery.tnn_s op1 in
+  check_int "op_1 on s returns 1" 1 r;
+  check_int "moves to s_{1,1}" (Gallery.tnn_value ~n ~x:1 ~i:1) v;
+  (* "Applying either op_0 or op_1 to an object with value s_{x,i}, i < n-1,
+     returns x and changes its value to s_{x,i+1}" *)
+  for x = 0 to 1 do
+    for i = 1 to n - 2 do
+      List.iter
+        (fun op ->
+          let r, v = apply t (Gallery.tnn_value ~n ~x ~i) op in
+          check_int "returns x" x r;
+          check_int "increments i" (Gallery.tnn_value ~n ~x ~i:(i + 1)) v)
+        [ op0; op1 ]
+    done;
+    (* "Applying either op_0 or op_1 to s_{x,n-1} returns x and changes the
+       value to s_bot" *)
+    let r, v = apply t (Gallery.tnn_value ~n ~x ~i:(n - 1)) op0 in
+    check_int "cap returns x" x r;
+    check_int "cap moves to bot" Gallery.tnn_bot v
+  done;
+  (* "When the object has value s_bot, applying any operation returns bot" *)
+  List.iter
+    (fun op ->
+      let r, v = apply t Gallery.tnn_bot op in
+      check_bool "bot response" true (Gallery.tnn_response ~n r = `Bot);
+      check_int "stays bot" Gallery.tnn_bot v)
+    [ op0; op1; Gallery.tnn_op `OpR ]
+
+let test_tnn_op_r () =
+  let n = 5 and n' = 2 in
+  let t = Gallery.tnn ~n ~n' in
+  let opr = Gallery.tnn_op `OpR in
+  (* "when an object has value s, applying op_R returns s and does not
+     change the value" *)
+  let r, v = apply t Gallery.tnn_s opr in
+  check_bool "reads s" true (Gallery.tnn_response ~n r = `Value Gallery.tnn_s);
+  check_int "s unchanged" Gallery.tnn_s v;
+  (* "Applying op_R when the object has value s_{x,i} where i <= n' returns
+     s_{x,i} and does not change the value" *)
+  for x = 0 to 1 do
+    for i = 1 to n' do
+      let w = Gallery.tnn_value ~n ~x ~i in
+      let r, v = apply t w opr in
+      check_bool "reads s_{x,i}" true (Gallery.tnn_response ~n r = `Value w);
+      check_int "unchanged" w v
+    done;
+    (* "If i > n', applying op_R ... returns bot and changes its value to
+       s_bot" — the destructive case making the type non-readable. *)
+    for i = n' + 1 to n - 1 do
+      let w = Gallery.tnn_value ~n ~x ~i in
+      let r, v = apply t w opr in
+      check_bool "destroyed" true (Gallery.tnn_response ~n r = `Bot);
+      check_int "to bot" Gallery.tnn_bot v
+    done
+  done
+
+let test_tnn_team_decode () =
+  let n = 5 in
+  check_bool "s has no team" true (Gallery.tnn_team_of_value ~n Gallery.tnn_s = None);
+  check_bool "bot has no team" true (Gallery.tnn_team_of_value ~n Gallery.tnn_bot = None);
+  for x = 0 to 1 do
+    for i = 1 to n - 1 do
+      check_bool "team decoded" true
+        (Gallery.tnn_team_of_value ~n (Gallery.tnn_value ~n ~x ~i) = Some x)
+    done
+  done
+
+let test_tnn_figure3_edges () =
+  (* Figure 3 draws T_{5,2} restricted to values reachable from s: all 10
+     values are reachable, and merged edges per distinct (src, dst) pair. *)
+  let t = Gallery.tnn ~n:5 ~n':2 in
+  check_int "all values reachable" 10 (List.length (Objtype.reachable_values t ~from:0));
+  (* per value: s: s->s (op_R) and s->s01, s->s11 = 3 edges; bot: 1 self
+     edge; s_{x,1}, s_{x,2}: self (op_R) + advance = 2 each; s_{x,3}:
+     advance + to-bot(op_R) = 2; s_{x,4}: to-bot (both op_x and op_R merge)
+     = 1.  Total 3 + 1 + 2*(2+2+2+1) = 18. *)
+  check_int "figure 3 edge count" 18 (Dot.edge_count t)
+
+let test_team_ladder () =
+  let t = Gallery.team_ladder ~cap:2 in
+  check_bool "readable" true (Objtype.is_readable t);
+  check_int "values" 6 t.Objtype.num_values;
+  (* chains carry the team of the first op *)
+  let responses, final = Objtype.apply_schedule t 0 [ 0; 1; 1 ] in
+  Alcotest.(check (list int)) "all respond team 0" [ 0; 0; 0 ] responses;
+  check_int "capped to bot" 1 final
+
+let test_x4_witness_table () =
+  let t = Gallery.x4_witness in
+  check_bool "readable" true (Objtype.is_readable t);
+  check_int "five values" 5 t.Objtype.num_values;
+  (* the hiding pattern: one op then two crosses restores u *)
+  let _, v = Objtype.apply_schedule t 0 [ 0; 2; 3 ] in
+  check_int "a1 b1 b2 restores u" 0 v;
+  let _, v = Objtype.apply_schedule t 0 [ 2; 0; 1 ] in
+  check_int "b1 a1 a2 restores u" 0 v;
+  (* same-side ops are idle on rungs *)
+  let _, v = Objtype.apply_schedule t 0 [ 0; 1; 1 ] in
+  check_int "a-chain idles at A1" 1 v
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_dot_output () =
+  let dot = Dot.to_dot Gallery.test_and_set in
+  check_bool "digraph present" true (contains ~needle:"digraph" dot);
+  check_bool "mentions tas" true (contains ~needle:"tas" dot);
+  check_bool "initial value double circled" true (contains ~needle:"doublecircle" dot);
+  let ascii = Dot.to_ascii Gallery.test_and_set in
+  check_bool "ascii mentions unset" true (contains ~needle:"unset" ascii)
+
+let suite =
+  [
+    Alcotest.test_case "gallery is well formed with unique names" `Quick test_all_well_formed;
+    Alcotest.test_case "register semantics" `Quick test_register;
+    Alcotest.test_case "test-and-set semantics" `Quick test_test_and_set;
+    Alcotest.test_case "swap and fetch-and-add semantics" `Quick test_swap_and_faa;
+    Alcotest.test_case "compare-and-swap semantics" `Quick test_cas;
+    Alcotest.test_case "sticky bit semantics" `Quick test_sticky_bit;
+    Alcotest.test_case "write-once and max-register semantics" `Quick test_write_once_and_max_register;
+    Alcotest.test_case "bounded queue is FIFO" `Quick test_queue_fifo;
+    Alcotest.test_case "T_{n,n'} structure (paper Section 4)" `Quick test_tnn_structure;
+    Alcotest.test_case "T_{n,n'} op_0/op_1 transitions" `Quick test_tnn_op_x;
+    Alcotest.test_case "T_{n,n'} op_R transitions" `Quick test_tnn_op_r;
+    Alcotest.test_case "T_{n,n'} team decoding" `Quick test_tnn_team_decode;
+    Alcotest.test_case "Figure 3 state machine of T_{5,2}" `Quick test_tnn_figure3_edges;
+    Alcotest.test_case "team ladder" `Quick test_team_ladder;
+    Alcotest.test_case "x4 witness transition table" `Quick test_x4_witness_table;
+    Alcotest.test_case "dot rendering" `Quick test_dot_output;
+  ]

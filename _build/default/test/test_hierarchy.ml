@@ -1,0 +1,464 @@
+(* Tests for the deciders and the consensus-number computations — the
+   paper's "determining" procedure, validated against every anchor the
+   literature provides. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bound = Alcotest.testable Numbers.pp_bound Numbers.equal_bound
+
+let disc ?cap t = (Numbers.max_discerning ?cap t).Numbers.bound
+let record ?cap t = (Numbers.max_recording ?cap t).Numbers.bound
+
+(* ------------------------------------------------------------------ *)
+(* Certificates *)
+
+let ladder_cert () =
+  match Decide.search Decide.Recording (Gallery.team_ladder ~cap:2) ~n:2 with
+  | Some c -> c
+  | None -> Alcotest.fail "team-ladder-2 must be 2-recording"
+
+let test_certificate_validation () =
+  let ty = Gallery.test_and_set in
+  let mk team ops = Certificate.make ~objtype:ty ~initial:0 ~team ~ops in
+  Alcotest.check_raises "empty team"
+    (Invalid_argument "Certificate.make: both teams must be nonempty") (fun () ->
+      ignore (mk [| false; false |] [| 0; 0 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Certificate.make: team and ops lengths differ") (fun () ->
+      ignore (mk [| false; true |] [| 0 |]));
+  Alcotest.check_raises "op out of range"
+    (Invalid_argument "Certificate.make: operation out of range") (fun () ->
+      ignore (mk [| false; true |] [| 0; 9 |]));
+  Alcotest.check_raises "initial out of range"
+    (Invalid_argument "Certificate.make: initial value out of range") (fun () ->
+      ignore (Certificate.make ~objtype:ty ~initial:7 ~team:[| false; true |] ~ops:[| 0; 0 |]))
+
+let test_certificate_replay () =
+  let c = ladder_cert () in
+  let responses, final = Certificate.replay c [ 0; 1 ] in
+  check_bool "responses present" true (responses <> None);
+  (* first op is team 0's op_0 -> chain stays on side 0 *)
+  check_bool "final on side 0" true (Certificate.first_team_of_value c final = Some false);
+  let _, final_empty = Certificate.replay c [] in
+  check_int "empty replay is initial" c.Certificate.initial final_empty
+
+let test_tas_2_discerning_certificate () =
+  (* The classical TAS certificate: u = unset, both processes apply TAS. *)
+  let cert =
+    Certificate.make ~objtype:Gallery.test_and_set ~initial:0 ~team:[| false; true |]
+      ~ops:[| 0; 0 |]
+  in
+  check_bool "tas is 2-discerning via tas/tas" true (Certificate.check_discerning cert);
+  check_bool "but not 2-recording via tas/tas" false (Certificate.check_recording cert)
+
+let test_search_results_validate () =
+  (* Every certificate the search returns must replay-validate with the
+     independent checker. *)
+  List.iter
+    (fun (name, ty) ->
+      (match Decide.search Decide.Discerning ty ~n:2 with
+      | Some c -> check_bool (name ^ " discerning validates") true (Certificate.check_discerning c)
+      | None -> ());
+      match Decide.search Decide.Recording ty ~n:2 with
+      | Some c -> check_bool (name ^ " recording validates") true (Certificate.check_recording c)
+      | None -> ())
+    (Gallery.all ())
+
+let test_u_sets () =
+  let c = ladder_cert () in
+  let u0 = Certificate.u_set c ~first_team:false in
+  let u1 = Certificate.u_set c ~first_team:true in
+  check_bool "disjoint" true (List.for_all (fun v -> not (List.mem v u1)) u0);
+  check_bool "u not reachable" true (Certificate.is_clean c);
+  check_bool "u has no team" true
+    (Certificate.first_team_of_value c c.Certificate.initial = None)
+
+(* ------------------------------------------------------------------ *)
+(* Known anchors from the literature (experiment E5's table). *)
+
+let test_register_level_1 () =
+  Alcotest.check bound "register cn 1" (Numbers.Exact 1) (disc (Gallery.register 2));
+  Alcotest.check bound "register rcn 1" (Numbers.Exact 1) (record (Gallery.register 2))
+
+let test_herlihy_level_2_types () =
+  List.iter
+    (fun ty ->
+      Alcotest.check bound (ty.Objtype.name ^ " cn 2") (Numbers.Exact 2) (disc ty))
+    [ Gallery.test_and_set; Gallery.swap 3; Gallery.fetch_and_add 3 ]
+
+let test_golab_tas_rcn_1 () =
+  (* Golab (2020): test-and-set cannot solve 2-process recoverable
+     consensus. *)
+  Alcotest.check bound "tas rcn 1" (Numbers.Exact 1) (record Gallery.test_and_set)
+
+let test_interfering_rmw_rcn_1 () =
+  List.iter
+    (fun ty ->
+      Alcotest.check bound (ty.Objtype.name ^ " rcn 1") (Numbers.Exact 1) (record ty))
+    [ Gallery.swap 3; Gallery.fetch_and_add 3 ]
+
+let test_unbounded_types () =
+  List.iter
+    (fun ty ->
+      Alcotest.check bound (ty.Objtype.name ^ " disc unbounded") (Numbers.At_least 5) (disc ty);
+      Alcotest.check bound (ty.Objtype.name ^ " rec unbounded") (Numbers.At_least 5) (record ty))
+    [ Gallery.sticky_bit; Gallery.consensus_object 2; Gallery.compare_and_swap 3 ]
+
+let test_new_gallery_anchors () =
+  (* max-register: commuting writes, level 1/1 like a register. *)
+  Alcotest.check bound "max-register cn 1" (Numbers.Exact 1) (disc ~cap:3 (Gallery.max_register 3));
+  Alcotest.check bound "max-register rcn 1" (Numbers.Exact 1) (record ~cap:3 (Gallery.max_register 3));
+  (* write-once register: sticky, unbounded in both hierarchies. *)
+  Alcotest.check bound "write-once disc" (Numbers.At_least 4) (disc ~cap:4 (Gallery.write_once 2));
+  Alcotest.check bound "write-once rec" (Numbers.At_least 4) (record ~cap:4 (Gallery.write_once 2));
+  (* opaque counter: ack-only responses, no reads: level 1. *)
+  Alcotest.check bound "opaque counter disc" (Numbers.Exact 1) (disc ~cap:3 (Gallery.opaque_counter 3));
+  check_bool "opaque counter is not readable" false (Objtype.is_readable (Gallery.opaque_counter 3))
+
+let test_binary_cas_is_level_2 () =
+  (* CAS over a 2-value domain cannot hold a proposal and a bottom: its
+     consensus number is 2, unlike the 3-value CAS. *)
+  Alcotest.check bound "cas-2 cn 2" (Numbers.Exact 2) (disc (Gallery.compare_and_swap 2))
+
+let test_team_ladder_levels () =
+  List.iter
+    (fun cap ->
+      let ty = Gallery.team_ladder ~cap in
+      Alcotest.check bound
+        (Printf.sprintf "ladder-%d cn %d" cap (cap + 1))
+        (Numbers.Exact (cap + 1))
+        (disc ~cap:(cap + 2) ty);
+      Alcotest.check bound
+        (Printf.sprintf "ladder-%d rcn %d" cap cap)
+        (Numbers.Exact cap)
+        (record ~cap:(cap + 2) ty))
+    [ 1; 2; 3 ]
+
+let test_tnn_levels () =
+  (* For T_{n,n'}: max-discerning = n; max-recording = n-1 (recording is
+     necessary but NOT sufficient for non-readable types: true rcn is n'). *)
+  List.iter
+    (fun (n, n') ->
+      let ty = Gallery.tnn ~n ~n' in
+      Alcotest.check bound
+        (Printf.sprintf "T_{%d,%d} discerning" n n')
+        (Numbers.Exact n)
+        (disc ~cap:(n + 1) ty);
+      Alcotest.check bound
+        (Printf.sprintf "T_{%d,%d} recording" n n')
+        (Numbers.Exact (n - 1))
+        (record ~cap:(n + 1) ty);
+      check_bool "non-readable: numbers not claimed" true
+        (Numbers.consensus_number ty = None && Numbers.recoverable_consensus_number ty = None))
+    [ (3, 1); (4, 2); (4, 1); (5, 2) ]
+
+let test_crossing_family_levels () =
+  (* The generalized witness family: consensus number n, recoverable
+     consensus number n-2, for every n — checked exactly for n = 4..6
+     (n = 7 runs in the bench harness). *)
+  List.iter
+    (fun n ->
+      let ty = Gallery.crossing_witness ~n in
+      Alcotest.check bound
+        (Printf.sprintf "crossing-x%d cn" n)
+        (Numbers.Exact n)
+        (disc ~cap:(n + 1) ty);
+      Alcotest.check bound
+        (Printf.sprintf "crossing-x%d rcn" n)
+        (Numbers.Exact (n - 2))
+        (record ~cap:(n + 1) ty))
+    [ 4; 5; 6 ];
+  check_bool "n < 4 rejected" true
+    (try
+       ignore (Gallery.crossing_witness ~n:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_x4_witness_levels () =
+  (* The paper's corollary instantiated: consensus number 4, recoverable
+     consensus number 2. *)
+  let ty = Gallery.x4_witness in
+  Alcotest.check bound "x4 cn 4" (Numbers.Exact 4) (disc ty);
+  Alcotest.check bound "x4 rcn 2" (Numbers.Exact 2) (record ty);
+  check_bool "claimed as numbers (readable)" true
+    (Numbers.consensus_number ty = Some (Numbers.Exact 4)
+    && Numbers.recoverable_consensus_number ty = Some (Numbers.Exact 2))
+
+(* ------------------------------------------------------------------ *)
+(* Structural properties of the conditions *)
+
+let test_downward_closure () =
+  (* n-discerning implies (n-1)-discerning; same for recording.  Checked on
+     representative types at every level below the cap. *)
+  List.iter
+    (fun ty ->
+      List.iter
+        (fun n ->
+          if Decide.is_discerning ty ~n then
+            check_bool
+              (Printf.sprintf "%s: %d-discerning implies %d" ty.Objtype.name n (n - 1))
+              true
+              (n = 2 || Decide.is_discerning ty ~n:(n - 1));
+          if Decide.is_recording ty ~n then
+            check_bool
+              (Printf.sprintf "%s: %d-recording implies %d" ty.Objtype.name n (n - 1))
+              true
+              (n = 2 || Decide.is_recording ty ~n:(n - 1)))
+        [ 2; 3; 4; 5 ])
+    [ Gallery.team_ladder ~cap:3; Gallery.tnn ~n:4 ~n':2; Gallery.x4_witness; Gallery.sticky_bit ]
+
+let test_naive_vs_pruned_search () =
+  (* The within-team sorting prune must not change decidability. *)
+  List.iter
+    (fun ty ->
+      List.iter
+        (fun n ->
+          let pruned = Decide.search Decide.Recording ty ~n <> None in
+          let naive = Decide.search ~naive:true Decide.Recording ty ~n <> None in
+          check_bool (Printf.sprintf "%s recording n=%d" ty.Objtype.name n) pruned naive;
+          let pruned = Decide.search Decide.Discerning ty ~n <> None in
+          let naive = Decide.search ~naive:true Decide.Discerning ty ~n <> None in
+          check_bool (Printf.sprintf "%s discerning n=%d" ty.Objtype.name n) pruned naive)
+        [ 2; 3 ])
+    [ Gallery.test_and_set; Gallery.team_ladder ~cap:2; Gallery.register 2 ]
+
+let test_candidate_counts () =
+  (* Pruning strictly reduces the candidate space. *)
+  let ty = Gallery.team_ladder ~cap:2 in
+  let pruned = Decide.count_candidates ty ~n:3 in
+  let naive = Decide.count_candidates ~naive:true ty ~n:3 in
+  check_bool "prune reduces" true (pruned < naive);
+  (* naive count is values * partitions * ops^n = 6 * 3 * 27 *)
+  check_int "naive closed form" (6 * 3 * 27) naive
+
+let test_decider_rejects_small_n () =
+  check_bool "n=1 rejected" true
+    (try
+       ignore (Decide.search Decide.Recording Gallery.test_and_set ~n:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_parallel_search_agrees () =
+  (* The domain-parallel decider must agree with the serial one on both
+     positive and negative instances (forced onto the multi-domain code
+     path even on single-core hosts). *)
+  List.iter
+    (fun (ty, n) ->
+      List.iter
+        (fun condition ->
+          let serial = Decide.search condition ty ~n in
+          let par = Decide.search_parallel ~domains:3 condition ty ~n in
+          check_bool
+            (Printf.sprintf "%s n=%d agree" ty.Objtype.name n)
+            (Option.is_some serial) (Option.is_some par);
+          (* any parallel witness must replay-validate *)
+          match (condition, par) with
+          | Decide.Recording, Some c -> check_bool "valid" true (Certificate.check_recording c)
+          | Decide.Discerning, Some c -> check_bool "valid" true (Certificate.check_discerning c)
+          | _, None -> ())
+        [ Decide.Discerning; Decide.Recording ])
+    [
+      (Gallery.test_and_set, 2);
+      (Gallery.test_and_set, 3);
+      (Gallery.team_ladder ~cap:2, 3);
+      (Gallery.team_ladder ~cap:2, 4);
+      (Gallery.x4_witness, 3);
+    ];
+  check_bool "bad domain count rejected" true
+    (try
+       ignore (Decide.search_parallel ~domains:0 Decide.Recording Gallery.test_and_set ~n:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_certificates_seq () =
+  (* All certificates stream lazily; the first equals the search result. *)
+  let ty = Gallery.team_ladder ~cap:2 in
+  let first_search = Option.get (Decide.search Decide.Recording ty ~n:2) in
+  match (Decide.certificates Decide.Recording ty ~n:2) () with
+  | Seq.Cons (c, _) ->
+      check_bool "same first certificate" true
+        (c.Certificate.initial = first_search.Certificate.initial
+        && c.Certificate.team = first_search.Certificate.team
+        && c.Certificate.ops = first_search.Certificate.ops)
+  | Seq.Nil -> Alcotest.fail "expected certificates"
+
+(* ------------------------------------------------------------------ *)
+(* Robustness (Theorem 14) *)
+
+let test_robustness_report () =
+  let r =
+    Robustness.analyze ~cap:4
+      [ Gallery.test_and_set; Gallery.team_ladder ~cap:2; Gallery.register 2 ]
+  in
+  Alcotest.check bound "combined = strongest individual" (Numbers.Exact 2) r.Robustness.combined;
+  check_bool "strongest named" true (r.Robustness.strongest = "team-ladder-2");
+  check_int "all types reported" 3 (List.length r.Robustness.per_type);
+  check_bool "witness validates" true
+    (match r.Robustness.witness with
+    | Some c -> Certificate.check_recording c
+    | None -> false)
+
+let test_robustness_rejects_non_readable () =
+  Alcotest.check_raises "non-readable rejected"
+    (Invalid_argument "Robustness.analyze: T_{4,2} is not readable") (fun () ->
+      ignore (Robustness.analyze [ Gallery.tnn ~n:4 ~n':2 ]));
+  Alcotest.check_raises "empty set rejected"
+    (Invalid_argument "Robustness.analyze: empty type set") (fun () ->
+      ignore (Robustness.analyze []))
+
+let test_product_robustness () =
+  (* Theorem 14 checked on the combined object itself: the recording level
+     of a readable product never exceeds the strongest component. *)
+  let pairs =
+    [
+      (Gallery.test_and_set, Gallery.test_and_set);
+      (Gallery.test_and_set, Gallery.register 2);
+      (Gallery.test_and_set, Gallery.team_ladder ~cap:2);
+      (Gallery.register 2, Gallery.team_ladder ~cap:2);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let r = Robustness.check_product ~cap:4 a b in
+      check_bool
+        (Printf.sprintf "%s x %s robust" r.Robustness.left r.Robustness.right)
+        true r.Robustness.robust)
+    pairs;
+  (* And the exact level: tas x ladder2 has recording level exactly 2. *)
+  let r = Robustness.check_product ~cap:4 Gallery.test_and_set (Gallery.team_ladder ~cap:2) in
+  check_bool "product level = max component" true
+    (Numbers.equal_bound r.Robustness.product_level (Numbers.Exact 2))
+
+let test_product_structure () =
+  let p = Objtype.product Gallery.test_and_set (Gallery.register 2) in
+  check_int "values multiply" 4 p.Objtype.num_values;
+  check_bool "readable via joint read" true (Objtype.is_readable p);
+  (* Left TAS acts on the left component only. *)
+  let r, v = Objtype.apply p (Objtype.product_value Gallery.test_and_set (Gallery.register 2) (0, 1)) 0 in
+  check_int "left tas response" 0 r;
+  check_int "left component set, right untouched"
+    (Objtype.product_value Gallery.test_and_set (Gallery.register 2) (1, 1))
+    v;
+  let bare = Objtype.product ~joint_read:false Gallery.test_and_set (Gallery.bounded_queue ()) in
+  check_bool "no joint read: not readable" false (Objtype.is_readable bare);
+  check_bool "non-readable product rejected by check_product" true
+    (try
+       ignore (Robustness.check_product Gallery.test_and_set (Gallery.bounded_queue ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_nonreadable_product_probe () =
+  (* The paper's open question (robustness for all deterministic types)
+     cannot be settled by the deciders, but the necessary-condition levels
+     of non-readable products are measurable: at these instances, products
+     do not exceed the strongest component. *)
+  let t31 = Gallery.tnn ~n:3 ~n':1 in
+  let level ty = (Numbers.max_recording ~cap:4 ty).Numbers.bound in
+  let v = function Numbers.Exact n | Numbers.At_least n -> n in
+  List.iter
+    (fun (a, b) ->
+      let combined = v (level (Objtype.product ~joint_read:false a b)) in
+      check_bool "no recording boost" true (combined <= max (v (level a)) (v (level b))))
+    [ (t31, Gallery.test_and_set); (t31, t31); (Gallery.bounded_queue (), Gallery.test_and_set) ]
+
+let test_census_sample_properties () =
+  (* On a random sample of the small-type landscape: recording never
+     exceeds discerning, and the DFFR gap bound holds everywhere. *)
+  let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
+  let entries = Census.sample ~cap:4 ~seed:42 ~count:500 space in
+  List.iter
+    (fun (e : Census.entry) ->
+      check_bool "rec <= disc" true (e.Census.recording <= e.Census.discerning);
+      check_bool "disc - rec <= 2" true (e.Census.discerning - e.Census.recording <= 2))
+    entries;
+  check_int "census covers the sample" 500
+    (List.fold_left (fun acc (e : Census.entry) -> acc + e.Census.count) 0 entries);
+  check_bool "space size" true (Census.space_size space = 46656)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-theorem properties on the whole gallery *)
+
+let level_value = function Numbers.Exact n -> n | Numbers.At_least n -> n
+
+let test_recording_at_most_discerning () =
+  (* rcn <= cn, so for the deciders: max-recording <= max-discerning.
+     This holds for all deterministic types (both conditions are about the
+     same certificates, recording being stronger on values). *)
+  List.iter
+    (fun (name, ty) ->
+      check_bool (name ^ ": recording <= discerning") true
+        (level_value (record ty) <= level_value (disc ty)))
+    (Gallery.all ())
+
+let test_dffr_gap_at_most_2 () =
+  (* DFFR (2022): a readable deterministic type with consensus number
+     n >= 4 is (n-2)-recording.  Hence max-recording >= max-discerning - 2
+     for readable gallery types (their Theorem 5 also covers n = 2, 3 with
+     n - 1 >= ... we check the conservative -2 bound). *)
+  List.iter
+    (fun (name, ty) ->
+      if Objtype.is_readable ty then
+        check_bool (name ^ ": discerning - recording <= 2") true
+          (level_value (disc ty) - level_value (record ty) <= 2))
+    (Gallery.all ())
+
+let prop_decider_certificates_replay =
+  (* On random small types: whatever the search returns must validate under
+     the independent replay checker, for both conditions, at n = 2 and 3. *)
+  let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
+  let arbitrary =
+    QCheck.make
+      ~print:(fun g -> Format.asprintf "%a" Objtype.pp_table (Synth.to_objtype g))
+      (QCheck.Gen.map
+         (fun seed -> Synth.random_genome (Random.State.make [| seed |]) space)
+         QCheck.Gen.int)
+  in
+  QCheck.Test.make ~name:"decider certificates always replay-validate" ~count:150 arbitrary
+    (fun g ->
+      let ty = Synth.to_objtype g in
+      List.for_all
+        (fun n ->
+          (match Decide.search Decide.Recording ty ~n with
+          | Some c -> Certificate.check_recording c
+          | None -> true)
+          &&
+          match Decide.search Decide.Discerning ty ~n with
+          | Some c -> Certificate.check_discerning c
+          | None -> true)
+        [ 2; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "certificate validation" `Quick test_certificate_validation;
+    Alcotest.test_case "certificate replay" `Quick test_certificate_replay;
+    Alcotest.test_case "classical TAS certificate" `Quick test_tas_2_discerning_certificate;
+    Alcotest.test_case "search results replay-validate" `Slow test_search_results_validate;
+    Alcotest.test_case "U_0/U_1 sets and cleanliness" `Quick test_u_sets;
+    Alcotest.test_case "registers are level 1/1" `Quick test_register_level_1;
+    Alcotest.test_case "TAS, swap, FAA have consensus number 2" `Quick test_herlihy_level_2_types;
+    Alcotest.test_case "Golab: TAS has recoverable consensus number 1" `Quick test_golab_tas_rcn_1;
+    Alcotest.test_case "interfering RMW types have rcn 1" `Quick test_interfering_rmw_rcn_1;
+    Alcotest.test_case "sticky/CAS/consensus are unbounded" `Slow test_unbounded_types;
+    Alcotest.test_case "binary CAS is level 2" `Quick test_binary_cas_is_level_2;
+    Alcotest.test_case "max-register / write-once / opaque counter anchors" `Quick test_new_gallery_anchors;
+    Alcotest.test_case "team ladders: cn cap+1, rcn cap" `Slow test_team_ladder_levels;
+    Alcotest.test_case "T_{n,n'}: discerning n, recording n-1" `Slow test_tnn_levels;
+    Alcotest.test_case "x4 witness: cn 4, rcn 2 (paper corollary)" `Quick test_x4_witness_levels;
+    Alcotest.test_case "crossing family: cn n, rcn n-2 for n=4..6" `Slow test_crossing_family_levels;
+    Alcotest.test_case "discerning/recording downward closure" `Slow test_downward_closure;
+    Alcotest.test_case "naive and pruned search agree" `Quick test_naive_vs_pruned_search;
+    Alcotest.test_case "candidate counting" `Quick test_candidate_counts;
+    Alcotest.test_case "decider rejects n < 2" `Quick test_decider_rejects_small_n;
+    Alcotest.test_case "lazy certificate stream" `Quick test_certificates_seq;
+    Alcotest.test_case "parallel decider agrees with serial" `Slow test_parallel_search_agrees;
+    Alcotest.test_case "robustness report (Theorem 14)" `Quick test_robustness_report;
+    Alcotest.test_case "robustness input validation" `Quick test_robustness_rejects_non_readable;
+    Alcotest.test_case "Theorem 14 on product objects" `Slow test_product_robustness;
+    Alcotest.test_case "product type structure" `Quick test_product_structure;
+    Alcotest.test_case "census sample properties" `Slow test_census_sample_properties;
+    Alcotest.test_case "open-question probe: non-readable products" `Slow test_nonreadable_product_probe;
+    Alcotest.test_case "recording never exceeds discerning" `Slow test_recording_at_most_discerning;
+    Alcotest.test_case "DFFR: readable gap at most 2" `Slow test_dffr_gap_at_most_2;
+    QCheck_alcotest.to_alcotest prop_decider_certificates_replay;
+  ]

@@ -1,0 +1,211 @@
+(* Tests for the simulator: configurations, execution semantics, crash
+   resets, adversaries and checkers. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A tiny two-phase protocol used throughout: write own input to a
+   register, then read it back and decide what is read (the register-race
+   negative control from Classic, for 2 processes). *)
+let race = Classic.register_race ~nprocs:2
+let cas2 = Classic.cas_consensus ~nprocs:2
+
+let test_initial_config () =
+  let c = Config.initial race ~inputs:[| 0; 1 |] in
+  check_int "register initial" 0 c.Config.values.(0);
+  check_bool "nobody decided" true (Config.decisions race c |> Array.for_all (( = ) None));
+  Alcotest.check_raises "input arity"
+    (Invalid_argument "Config.initial: wrong number of inputs") (fun () ->
+      ignore (Config.initial race ~inputs:[| 0 |]))
+
+let test_step_applies_operation () =
+  let c = Config.initial race ~inputs:[| 1; 0 |] in
+  let c1 = Exec.apply_step race c ~proc:0 in
+  (* p0 wrote 1 (encoded 1 + 1 = register value 2) *)
+  check_int "register holds announced 1" 2 c1.Config.values.(0);
+  let c2 = Exec.apply_step race c1 ~proc:0 in
+  (match Config.decided race c2 ~proc:0 with
+  | Some v -> check_int "p0 reads own write" 1 v
+  | None -> Alcotest.fail "p0 should have decided")
+
+let test_crash_resets_local_state_only () =
+  let c = Config.initial race ~inputs:[| 1; 0 |] in
+  let c1 = Exec.apply_step race c ~proc:0 in
+  let c2 = Exec.apply_crash c1 race ~proc:0 in
+  check_int "object value survives crash (NVM)" 2 c2.Config.values.(0);
+  check_bool "local state reset to initial" true (c2.Config.locals.(0) = c.Config.locals.(0));
+  check_bool "other process untouched" true (c2.Config.locals.(1) = c1.Config.locals.(1))
+
+let test_decided_steps_are_noops () =
+  let c = Config.initial race ~inputs:[| 1; 0 |] in
+  let c1 = Exec.run_procs race c [ 0; 0 ] in
+  check_bool "p0 decided" true (Config.decided race c1 ~proc:0 <> None);
+  let c2, trace = Exec.run_schedule race c1 [ Sched.step 0 ] in
+  check_bool "config unchanged" true (Config.equal c1 c2);
+  (match trace with
+  | [ Exec.Stepped { no_op; _ } ] -> check_bool "trace marks no-op" true no_op
+  | _ -> Alcotest.fail "expected one step event")
+
+let test_trace_records_responses () =
+  let c = Config.initial cas2 ~inputs:[| 0; 1 |] in
+  let _, trace = Exec.run_schedule cas2 c Sched.[ step 0; step 1 ] in
+  match trace with
+  | [ Exec.Stepped s0; Exec.Stepped s1 ] ->
+      check_int "p0 saw bot" 0 s0.Exec.response;
+      check_int "p1 saw p0's value" 1 s1.Exec.response
+  | _ -> Alcotest.fail "expected two step events"
+
+let test_solo_terminate () =
+  let c = Config.initial cas2 ~inputs:[| 0; 1 |] in
+  let c', steps = Exec.solo_terminate cas2 c ~proc:1 in
+  check_int "one step suffices" 1 steps;
+  check_bool "decided own input" true (Config.decided cas2 c' ~proc:1 = Some 1);
+  (* solo-terminating twice is idempotent *)
+  let _, steps' = Exec.solo_terminate cas2 c' ~proc:1 in
+  check_int "already decided" 0 steps'
+
+let test_solo_terminate_fuel () =
+  (* A program that never decides must trip the fuel guard. *)
+  let spin : unit Program.t =
+    {
+      Program.name = "spin";
+      nprocs = 1;
+      heap = [| (Gallery.register 2, 0) |];
+      init = (fun ~proc:_ ~input:_ -> ());
+      view = (fun ~proc:_ () -> Program.Poised { obj = 0; op = 0; next = (fun _ -> ()) });
+    }
+  in
+  let c = Config.initial spin ~inputs:[| 0 |] in
+  check_bool "raises" true
+    (try
+       ignore (Exec.solo_terminate ~fuel:10 spin c ~proc:0);
+       false
+     with Failure _ -> true)
+
+let test_indistinguishable () =
+  let c = Config.initial race ~inputs:[| 1; 0 |] in
+  let c0 = Exec.apply_step race c ~proc:0 in
+  check_bool "p1 cannot distinguish" true (Config.indistinguishable ~procs:[ 1 ] c c0);
+  check_bool "p0 can distinguish" false (Config.indistinguishable ~procs:[ 0 ] c c0);
+  check_bool "values differ" false (Config.same_values c c0)
+
+let test_round_robin_adversary () =
+  let c = Config.initial cas2 ~inputs:[| 0; 1 |] in
+  let adv = Adversary.round_robin ~nprocs:2 in
+  let final, sched, out =
+    Exec.run_adversary cas2 c
+      ~pick:(fun ~decided b -> adv ~decided b)
+      ~budget:(Budget.counter ~z:1 ~nprocs:2)
+      ~fuel:100 ()
+  in
+  check_bool "completes" true out.Exec.all_decided;
+  check_bool "crash free" true (Sched.crash_free sched);
+  check_bool "consensus" true (Checker.is_ok (Checker.consensus cas2 final))
+
+let test_random_adversary_respects_budget () =
+  let c = Config.initial cas2 ~inputs:[| 0; 1 |] in
+  for seed = 1 to 20 do
+    let adv = Adversary.random ~crash_prob:0.5 ~seed ~nprocs:2 in
+    let _, sched, _ =
+      Exec.run_adversary cas2 c
+        ~pick:(fun ~decided b -> adv ~decided b)
+        ~budget:(Budget.counter ~z:1 ~nprocs:2)
+        ~fuel:200 ()
+    in
+    check_bool
+      (Printf.sprintf "schedule within E_1^* (seed %d)" seed)
+      true
+      (Budget.within_e_z_star ~z:1 ~nprocs:2 sched)
+  done
+
+let test_replay_adversary () =
+  let c = Config.initial cas2 ~inputs:[| 0; 1 |] in
+  let sched = Sched.[ step 1; step 0 ] in
+  let adv = Adversary.replay sched in
+  let final, sched', out =
+    Exec.run_adversary cas2 c
+      ~pick:(fun ~decided b -> adv ~decided b)
+      ~budget:(Budget.counter ~z:1 ~nprocs:2)
+      ~fuel:100 ()
+  in
+  check_bool "replayed exactly" true (sched = sched');
+  check_bool "all decided" true out.Exec.all_decided;
+  check_bool "p1 won" true (Config.decided cas2 final ~proc:0 = Some 1)
+
+let test_rwf_accounting () =
+  (* The spin program exceeds any recoverable wait-freedom bound. *)
+  let spin : unit Program.t =
+    {
+      Program.name = "spin1";
+      nprocs = 1;
+      heap = [| (Gallery.register 2, 0) |];
+      init = (fun ~proc:_ ~input:_ -> ());
+      view = (fun ~proc:_ () -> Program.Poised { obj = 0; op = 0; next = (fun _ -> ()) });
+    }
+  in
+  let c = Config.initial spin ~inputs:[| 0 |] in
+  let adv = Adversary.round_robin ~nprocs:1 in
+  let _, _, out =
+    Exec.run_adversary spin c
+      ~pick:(fun ~decided b -> adv ~decided b)
+      ~budget:(Budget.counter ~z:1 ~nprocs:1)
+      ~rwf_bound:5 ~fuel:50 ()
+  in
+  match out.Exec.rwf_violation with
+  | Some (0, steps) -> check_bool "exceeded bound" true (steps > 5)
+  | _ -> Alcotest.fail "expected a recoverable wait-freedom violation"
+
+let test_checkers () =
+  let c = Config.initial race ~inputs:[| 1; 0 |] in
+  (* The race: both read their own write -> disagreement. *)
+  let final = Exec.run_procs race c [ 0; 0; 1; 1 ] in
+  check_bool "agreement violated" false (Checker.is_ok (Checker.agreement race final));
+  check_bool "validity fine" true (Checker.is_ok (Checker.validity race final));
+  check_bool "all decided" true (Checker.is_ok (Checker.all_decided race final));
+  check_bool "message present" true (Checker.message (Checker.agreement race final) <> None);
+  (* first mover *)
+  check_bool "first mover" true (Checker.first_mover Sched.[ crash 1; step 1; step 0 ] = Some 1);
+  check_bool "no mover" true (Checker.first_mover [ Sched.crash 1 ] = None)
+
+let test_election_checker () =
+  (* A fake 2-process program whose processes decide fixed teams. *)
+  let fixed : int Program.t =
+    {
+      Program.name = "fixed";
+      nprocs = 2;
+      heap = [| (Gallery.register 2, 0) |];
+      init = (fun ~proc ~input:_ -> proc);
+      view = (fun ~proc:_ team -> Program.Decided team);
+    }
+  in
+  let c = Config.initial fixed ~inputs:[| 0; 0 |] in
+  check_bool "winner team 0 flags p1" false
+    (Checker.is_ok (Checker.election ~winner_team:0 fixed c));
+  let uniform = { fixed with Program.init = (fun ~proc:_ ~input:_ -> 1) } in
+  let c = Config.initial uniform ~inputs:[| 0; 0 |] in
+  check_bool "all team 1 ok" true (Checker.is_ok (Checker.election ~winner_team:1 uniform c))
+
+let test_register_heap_helper () =
+  let heap = Program.register_heap ~registers:2 ~register_values:3 (Gallery.test_and_set, 0) in
+  check_int "three objects" 3 (Array.length heap);
+  check_bool "main first" true ((fst heap.(0)).Objtype.name = "test-and-set");
+  check_bool "registers after" true ((fst heap.(1)).Objtype.name = "register-3")
+
+let suite =
+  [
+    Alcotest.test_case "initial configurations" `Quick test_initial_config;
+    Alcotest.test_case "steps apply operations" `Quick test_step_applies_operation;
+    Alcotest.test_case "crashes reset local state, keep objects" `Quick test_crash_resets_local_state_only;
+    Alcotest.test_case "steps of decided processes are no-ops" `Quick test_decided_steps_are_noops;
+    Alcotest.test_case "traces record responses" `Quick test_trace_records_responses;
+    Alcotest.test_case "solo-terminating executions" `Quick test_solo_terminate;
+    Alcotest.test_case "solo termination fuel guard" `Quick test_solo_terminate_fuel;
+    Alcotest.test_case "indistinguishability" `Quick test_indistinguishable;
+    Alcotest.test_case "round-robin adversary" `Quick test_round_robin_adversary;
+    Alcotest.test_case "random adversary respects E_z^*" `Quick test_random_adversary_respects_budget;
+    Alcotest.test_case "replay adversary" `Quick test_replay_adversary;
+    Alcotest.test_case "recoverable wait-freedom accounting" `Quick test_rwf_accounting;
+    Alcotest.test_case "consensus checkers" `Quick test_checkers;
+    Alcotest.test_case "election checker" `Quick test_election_checker;
+    Alcotest.test_case "register heap helper" `Quick test_register_heap_helper;
+  ]

@@ -1,0 +1,198 @@
+(* Coverage sweep: smaller behaviours not exercised by the focused suites —
+   printers, option variants, degenerate parameters, determinism. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_dot_all_values () =
+  (* With reachable_only:false, unreachable values appear too. *)
+  let t = Gallery.test_and_set in
+  let from_set = Dot.to_dot ~reachable_only:false t in
+  check_bool "includes unset" true (contains ~needle:"unset" from_set);
+  check_int "edge counts differ" 3 (Dot.edge_count ~reachable_only:false t);
+  check_int "reachable-only keeps both values of tas" 3 (Dot.edge_count t)
+
+let test_numbers_cap_validation () =
+  check_bool "cap < 2 rejected" true
+    (try
+       ignore (Numbers.max_discerning ~cap:1 Gallery.test_and_set);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bound_printing () =
+  Alcotest.(check string) "exact" "3" (Numbers.bound_to_string (Numbers.Exact 3));
+  Alcotest.(check string) "at least" ">=5" (Numbers.bound_to_string (Numbers.At_least 5));
+  check_bool "equal bounds" true (Numbers.equal_bound (Numbers.Exact 2) (Numbers.Exact 2));
+  check_bool "exact <> at-least" false (Numbers.equal_bound (Numbers.Exact 2) (Numbers.At_least 2))
+
+let test_analysis_pretty_printer () =
+  let s = Format.asprintf "%a" Numbers.pp_analysis (Numbers.analyze ~cap:3 Gallery.test_and_set) in
+  check_bool "names the type" true (contains ~needle:"test-and-set" s);
+  check_bool "shows readability" true (contains ~needle:"readable" s)
+
+let test_certificate_pretty_printer () =
+  let cert =
+    Certificate.make ~objtype:Gallery.test_and_set ~initial:0 ~team:[| false; true |]
+      ~ops:[| 0; 1 |]
+  in
+  let s = Format.asprintf "%a" Certificate.pp cert in
+  check_bool "shows teams" true (contains ~needle:"T_0" s);
+  check_bool "shows ops" true (contains ~needle:"tas" s)
+
+let test_config_pretty_printer () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let c = Config.initial p ~inputs:[| 0; 1 |] in
+  let s =
+    Format.asprintf "%a" (Config.pp ~pp_state:(fun ppf _ -> Format.pp_print_string ppf "_") p) c
+  in
+  check_bool "mentions objects" true (contains ~needle:"cas-3" s);
+  check_bool "mentions poise" true (contains ~needle:"poised" s)
+
+let test_trace_pretty_printer () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let c = Config.initial p ~inputs:[| 0; 1 |] in
+  (* p0 decides on its first step, so its second step is a no-op; the
+     simultaneous crash afterwards resets everyone. *)
+  let _, trace = Exec.run_schedule p c Sched.[ step 0; step 0; crash 1; crash_all ] in
+  let s = Format.asprintf "%a" (Exec.pp_trace p) trace in
+  check_bool "step narrated" true (contains ~needle:"applies" s);
+  check_bool "crash narrated" true (contains ~needle:"crashes" s);
+  check_bool "simultaneous narrated" true (contains ~needle:"simultaneous" s);
+  check_bool "no-op narrated" true (contains ~needle:"no-op" s)
+
+let test_exec_determinism () =
+  (* The model is deterministic: replaying a schedule yields the same
+     configuration every time. *)
+  let p = Tnn_protocol.recoverable ~n:4 ~n':2 in
+  let sched = Sched.[ step 0; step 1; crash 1; step 1; step 0; step 1 ] in
+  let run () = fst (Exec.run_schedule p (Config.initial p ~inputs:[| 1; 0 |]) sched) in
+  check_bool "equal configs" true (Config.equal (run ()) (run ()));
+  check_bool "equal hashes" true (Config.hash (run ()) = Config.hash (run ()))
+
+let test_crash_idempotence () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let c = Config.initial p ~inputs:[| 0; 1 |] in
+  let c1 = Exec.apply_step p c ~proc:0 in
+  let once = Exec.apply_crash c1 p ~proc:0 in
+  let twice = Exec.apply_crash once p ~proc:0 in
+  check_bool "crashing twice = once" true (Config.equal once twice);
+  (* crash-all on an initial configuration is the identity *)
+  check_bool "crash-all at start is identity" true
+    (Config.equal c (Exec.apply_crash_all c p))
+
+let test_crash_storm_budget () =
+  (* The crash-storm adversary never exceeds the budget. *)
+  let p = Tnn_protocol.recoverable ~n:5 ~n':2 in
+  for seed = 1 to 10 do
+    let adv = Adversary.crash_storm ~period:2 ~seed ~nprocs:2 in
+    let c0 = Config.initial p ~inputs:[| 0; 1 |] in
+    let _, sched, _ =
+      Exec.run_adversary p c0
+        ~pick:(fun ~decided b -> adv ~decided b)
+        ~budget:(Budget.counter ~z:1 ~nprocs:2)
+        ~fuel:100 ()
+    in
+    check_bool "within E_1^*" true (Budget.within_e_z_star ~z:1 ~nprocs:2 sched)
+  done
+
+let test_simultaneous_truncation_flag () =
+  (* With a tiny event cap, certification must report truncation instead of
+     silently claiming exhaustiveness. *)
+  let p = Classic.cas_consensus ~nprocs:2 in
+  match Simultaneous.certify ~max_events:1 ~max_crashes:1 ~inputs_list:[ [| 0; 1 |] ] p with
+  | Ok (), truncated -> check_bool "truncation reported" true truncated
+  | Error _, _ -> Alcotest.fail "no violation expected in one event"
+
+let test_counterexample_truncation_flag () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  match Counterexample.certify ~max_events:1 ~z:1 ~inputs_list:[ [| 0; 1 |] ] p with
+  | Ok (), truncated -> check_bool "truncation reported" true truncated
+  | Error _, _ -> Alcotest.fail "no violation expected in one event"
+
+let test_chain_on_univalent_root () =
+  (* The chain walk reports (not guesses) when the start is univalent. *)
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  match Explore.theorem13_chain ctx (Explore.root ctx ~inputs:[| 1; 1 |]) with
+  | [], Explore.Stuck _ -> ()
+  | _ -> Alcotest.fail "expected Stuck on a univalent root"
+
+let test_gallery_argument_validation () =
+  let rejects f = check_bool "rejected" true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  rejects (fun () -> Gallery.register 1);
+  rejects (fun () -> Gallery.swap 1);
+  rejects (fun () -> Gallery.fetch_and_add 1);
+  rejects (fun () -> Gallery.compare_and_swap 1);
+  rejects (fun () -> Gallery.consensus_object 1);
+  rejects (fun () -> Gallery.tnn ~n:2 ~n':2);
+  rejects (fun () -> Gallery.tnn ~n:1 ~n':0);
+  rejects (fun () -> Gallery.team_ladder ~cap:0);
+  rejects (fun () -> Gallery.max_register 1);
+  rejects (fun () -> Gallery.write_once 1);
+  rejects (fun () -> Gallery.opaque_counter 1)
+
+let test_program_validate () =
+  let bad : unit Program.t =
+    {
+      Program.name = "bad-heap";
+      nprocs = 1;
+      heap = [| (Gallery.register 2, 7) |];
+      init = (fun ~proc:_ ~input:_ -> ());
+      view = (fun ~proc:_ () -> Program.Decided 0);
+    }
+  in
+  check_bool "heap initial out of range" true
+    (try
+       Program.validate bad;
+       false
+     with Invalid_argument _ -> true)
+
+let test_census_space_size_overflow () =
+  check_bool "overflow detected" true
+    (try
+       ignore (Census.space_size { Synth.num_values = 50; num_rws = 50; num_responses = 50 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_product_value_roundtrip () =
+  let a = Gallery.test_and_set and b = Gallery.register 3 in
+  let p = Objtype.product a b in
+  for v1 = 0 to 1 do
+    for v2 = 0 to 2 do
+      let v = Objtype.product_value a b (v1, v2) in
+      check_bool "in range" true (v >= 0 && v < p.Objtype.num_values)
+    done
+  done;
+  (* joint read decodes the pair *)
+  match Objtype.read_decoder p with
+  | None -> Alcotest.fail "product with joint read must be readable"
+  | Some (op, decode) ->
+      let v = Objtype.product_value a b (1, 2) in
+      let r, _ = Objtype.apply p v op in
+      check_int "joint read round trip" v (decode r)
+
+let suite =
+  [
+    Alcotest.test_case "dot with unreachable values" `Quick test_dot_all_values;
+    Alcotest.test_case "numbers cap validation" `Quick test_numbers_cap_validation;
+    Alcotest.test_case "bound printing and equality" `Quick test_bound_printing;
+    Alcotest.test_case "analysis pretty printer" `Quick test_analysis_pretty_printer;
+    Alcotest.test_case "certificate pretty printer" `Quick test_certificate_pretty_printer;
+    Alcotest.test_case "configuration pretty printer" `Quick test_config_pretty_printer;
+    Alcotest.test_case "trace pretty printer" `Quick test_trace_pretty_printer;
+    Alcotest.test_case "execution determinism" `Quick test_exec_determinism;
+    Alcotest.test_case "crash idempotence" `Quick test_crash_idempotence;
+    Alcotest.test_case "crash storm respects budget" `Quick test_crash_storm_budget;
+    Alcotest.test_case "simultaneous certify reports truncation" `Quick test_simultaneous_truncation_flag;
+    Alcotest.test_case "counterexample certify reports truncation" `Quick test_counterexample_truncation_flag;
+    Alcotest.test_case "chain walk on univalent root" `Quick test_chain_on_univalent_root;
+    Alcotest.test_case "gallery argument validation" `Quick test_gallery_argument_validation;
+    Alcotest.test_case "program heap validation" `Quick test_program_validate;
+    Alcotest.test_case "census space-size overflow guard" `Quick test_census_space_size_overflow;
+    Alcotest.test_case "product value encoding" `Quick test_product_value_roundtrip;
+  ]

@@ -1,0 +1,177 @@
+(* Unit and property tests for Objtype: well-formedness, determinism,
+   readability detection, schedule application. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let trivial =
+  Objtype.make ~name:"trivial" ~num_values:2 ~num_ops:1 ~num_responses:2 (fun v _ -> (v, v))
+
+let test_make_validates () =
+  let ill f = Alcotest.check_raises "ill-formed" (Objtype.Ill_formed "") (fun () ->
+      try f () with Objtype.Ill_formed _ -> raise (Objtype.Ill_formed ""))
+  in
+  ill (fun () ->
+      ignore (Objtype.make ~name:"bad" ~num_values:0 ~num_ops:1 ~num_responses:1 (fun v _ -> (0, v))));
+  ill (fun () ->
+      ignore (Objtype.make ~name:"bad" ~num_values:2 ~num_ops:1 ~num_responses:1 (fun _ _ -> (1, 0))));
+  ill (fun () ->
+      ignore (Objtype.make ~name:"bad" ~num_values:2 ~num_ops:1 ~num_responses:1 (fun _ _ -> (0, 5))));
+  ill (fun () ->
+      ignore
+        (Objtype.make ~name:"bad" ~num_values:2 ~num_ops:1 ~num_responses:1 ~default_initial:7
+           (fun v _ -> (0, v))))
+
+let test_apply_ranges () =
+  Alcotest.check_raises "value range" (Invalid_argument "Objtype.apply: value 9 out of range for trivial")
+    (fun () -> ignore (Objtype.apply trivial 9 0));
+  Alcotest.check_raises "op range" (Invalid_argument "Objtype.apply: op 3 out of range for trivial")
+    (fun () -> ignore (Objtype.apply trivial 0 3))
+
+let test_memoized_delta_total () =
+  (* make evaluates the full grid; a delta raising on some cell must fail
+     eagerly rather than at first use. *)
+  Alcotest.check_raises "eager evaluation" Exit (fun () ->
+      ignore
+        (Objtype.make ~name:"lazybomb" ~num_values:2 ~num_ops:2 ~num_responses:2 (fun v o ->
+             if v = 1 && o = 1 then raise Exit else (0, v))))
+
+let test_apply_schedule () =
+  let tas = Gallery.test_and_set in
+  let responses, final = Objtype.apply_schedule tas 0 [ 0; 0; 1 ] in
+  Alcotest.(check (list int)) "responses" [ 0; 1; 1 ] responses;
+  check_int "final" 1 final;
+  let responses, final = Objtype.apply_schedule tas 0 [] in
+  Alcotest.(check (list int)) "empty" [] responses;
+  check_int "unchanged" 0 final
+
+let test_read_detection () =
+  check_bool "register readable" true (Objtype.is_readable (Gallery.register 3));
+  check_int "register read op" 0 (Option.get (Objtype.read_op (Gallery.register 3)));
+  check_bool "tas readable" true (Objtype.is_readable Gallery.test_and_set);
+  check_int "tas read op is op 1" 1 (Option.get (Objtype.read_op Gallery.test_and_set));
+  check_bool "queue not readable" false (Objtype.is_readable (Gallery.bounded_queue ()));
+  check_bool "tnn not readable" false (Objtype.is_readable (Gallery.tnn ~n:4 ~n':2));
+  (* CAS is readable through cas(a,a). *)
+  check_bool "cas readable" true (Objtype.is_readable (Gallery.compare_and_swap 3))
+
+let test_read_op_requires_injective () =
+  (* An identity op whose response is constant is not a Read. *)
+  let t =
+    Objtype.make ~name:"const-resp" ~num_values:3 ~num_ops:1 ~num_responses:1 (fun v _ -> (0, v))
+  in
+  check_bool "not readable" false (Objtype.is_readable t)
+
+let test_read_decoder_inverse () =
+  List.iter
+    (fun (name, ty) ->
+      match Objtype.read_decoder ty with
+      | None -> ()
+      | Some (op, decode) ->
+          for v = 0 to ty.Objtype.num_values - 1 do
+            let r, v' = Objtype.apply ty v op in
+            check_int (name ^ ": read preserves value") v v';
+            check_int (name ^ ": decoder inverts response") v (decode r)
+          done)
+    (Gallery.all ())
+
+let test_reachable_values () =
+  let tas = Gallery.test_and_set in
+  Alcotest.(check (list int)) "tas from 0" [ 0; 1 ] (Objtype.reachable_values tas ~from:0);
+  Alcotest.(check (list int)) "tas from 1" [ 1 ] (Objtype.reachable_values tas ~from:1);
+  let tnn = Gallery.tnn ~n:4 ~n':2 in
+  check_int "tnn reaches everything from s" tnn.Objtype.num_values
+    (List.length (Objtype.reachable_values tnn ~from:Gallery.tnn_s))
+
+let test_equal_behaviour () =
+  check_bool "same table" true
+    (Objtype.equal_behaviour (Gallery.register 3) (Gallery.register 3));
+  check_bool "different types" false
+    (Objtype.equal_behaviour (Gallery.register 3) (Gallery.swap 3));
+  check_bool "names ignored" true
+    (Objtype.equal_behaviour
+       (Objtype.make ~name:"a" ~num_values:2 ~num_ops:1 ~num_responses:2 (fun v _ -> (v, v)))
+       (Objtype.make ~name:"b" ~num_values:2 ~num_ops:1 ~num_responses:2 (fun v _ -> (v, v))))
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun (name, ty) ->
+      let ty' = Objtype.of_spec_string (Objtype.to_spec_string ty) in
+      check_bool (name ^ " behaviour roundtrips") true (Objtype.equal_behaviour ty ty');
+      check_bool (name ^ " name roundtrips") true (ty'.Objtype.name = ty.Objtype.name);
+      (* names roundtrip for every component *)
+      for v = 0 to ty.Objtype.num_values - 1 do
+        check_bool (name ^ " value names") true (ty.Objtype.value_name v = ty'.Objtype.value_name v)
+      done;
+      for o = 0 to ty.Objtype.num_ops - 1 do
+        check_bool (name ^ " op names") true (ty.Objtype.op_name o = ty'.Objtype.op_name o)
+      done)
+    (Gallery.all ())
+
+let test_spec_parse_errors () =
+  let rejected text =
+    check_bool ("rejected: " ^ text) true
+      (try
+         ignore (Objtype.of_spec_string text);
+         false
+       with Objtype.Ill_formed _ -> true)
+  in
+  rejected "";
+  rejected "name x\ncounts 2 1\n";
+  rejected "name x\ncounts 2 1 1\ninitial 0\n" (* missing delta cells *);
+  rejected "name x\ncounts 2 1 1\ninitial 0\ndelta 0 0 -> 0 0\ndelta 1 0 -> 5 0\n"
+    (* out-of-range response *);
+  rejected "nonsense line without meaning here\n"
+
+(* ---------------- property tests ---------------- *)
+
+let genome_space = { Synth.num_values = 4; num_rws = 3; num_responses = 3 }
+
+let arbitrary_genome =
+  QCheck.make
+    ~print:(fun g -> Format.asprintf "%a" Objtype.pp_table (Synth.to_objtype g))
+    (QCheck.Gen.map
+       (fun seed -> Synth.random_genome (Random.State.make [| seed |]) genome_space)
+       QCheck.Gen.int)
+
+let prop_random_types_well_formed =
+  QCheck.Test.make ~name:"synthesized types are well-formed and readable" ~count:100
+    arbitrary_genome (fun g ->
+      let ty = Synth.to_objtype g in
+      Objtype.is_readable ty
+      &&
+      (* every transition is in range (make would have raised otherwise) *)
+      ty.Objtype.num_ops = genome_space.Synth.num_rws + 1)
+
+let prop_schedule_fold =
+  QCheck.Test.make ~name:"apply_schedule = fold of apply" ~count:100
+    QCheck.(pair arbitrary_genome (list (int_bound 2)))
+    (fun (g, ops) ->
+      let ty = Synth.to_objtype g in
+      let _, final = Objtype.apply_schedule ty 0 ops in
+      let expected = List.fold_left (fun v o -> snd (Objtype.apply ty v o)) 0 ops in
+      final = expected)
+
+let prop_spec_roundtrip_random =
+  QCheck.Test.make ~name:"serialization roundtrips on random types" ~count:100
+    arbitrary_genome (fun g ->
+      let ty = Synth.to_objtype g in
+      Objtype.equal_behaviour ty (Objtype.of_spec_string (Objtype.to_spec_string ty)))
+
+let suite =
+  [
+    Alcotest.test_case "make validates specifications" `Quick test_make_validates;
+    Alcotest.test_case "apply checks ranges" `Quick test_apply_ranges;
+    Alcotest.test_case "make evaluates the whole grid eagerly" `Quick test_memoized_delta_total;
+    Alcotest.test_case "apply_schedule threads values" `Quick test_apply_schedule;
+    Alcotest.test_case "read operation detection" `Quick test_read_detection;
+    Alcotest.test_case "read requires injective responses" `Quick test_read_op_requires_injective;
+    Alcotest.test_case "read_decoder inverts read responses" `Quick test_read_decoder_inverse;
+    Alcotest.test_case "reachable_values" `Quick test_reachable_values;
+    Alcotest.test_case "equal_behaviour" `Quick test_equal_behaviour;
+    Alcotest.test_case "spec serialization roundtrips" `Quick test_spec_roundtrip;
+    Alcotest.test_case "spec parser rejects malformed input" `Quick test_spec_parse_errors;
+    QCheck_alcotest.to_alcotest prop_random_types_well_formed;
+    QCheck_alcotest.to_alcotest prop_schedule_fold;
+    QCheck_alcotest.to_alcotest prop_spec_roundtrip_random;
+  ]

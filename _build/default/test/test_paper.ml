@@ -1,0 +1,173 @@
+(* Integration tests indexed by the paper's claims — one test per headline
+   statement, mirroring EXPERIMENTS.md. *)
+
+let check_bool = Alcotest.(check bool)
+let bound = Alcotest.testable Numbers.pp_bound Numbers.equal_bound
+
+let binary_inputs n = List.init (1 lsl n) (fun mask -> Array.init n (fun i -> (mask lsr i) land 1))
+
+(* Lemma 15 (lower bound): wait-free consensus among n processes using a
+   single object of T_{n,n'}. *)
+let test_lemma_15_lower () =
+  let n = 4 and n' = 2 in
+  let p = Tnn_protocol.wait_free ~n ~n' in
+  let bad = ref 0 in
+  List.iter
+    (fun inputs ->
+      List.iter
+        (fun sched ->
+          let final, _ = Exec.run_schedule p (Config.initial p ~inputs) sched in
+          if
+            not
+              (Checker.is_ok (Checker.consensus p final)
+              && Checker.is_ok (Checker.all_decided p final))
+          then incr bad)
+        (Sched.interleavings ~nprocs:n ~steps_per_proc:1))
+    (binary_inputs n);
+  Alcotest.(check int) "no violations over all interleavings" 0 !bad
+
+(* Lemma 15 (upper bound, via Ruppert's characterization applied to the
+   discerning level): T_{n,n'} is n-discerning but not (n+1)-discerning. *)
+let test_lemma_15_upper_via_discerning () =
+  let ty = Gallery.tnn ~n:4 ~n':2 in
+  check_bool "4-discerning" true (Decide.is_discerning ty ~n:4);
+  check_bool "not 5-discerning" false (Decide.is_discerning ty ~n:5)
+
+(* Lemma 16 (lower bound): recoverable wait-free consensus among n'
+   processes using a single object of T_{n,n'}. *)
+let test_lemma_16_lower () =
+  let p = Tnn_protocol.recoverable ~n:4 ~n':2 in
+  match Counterexample.certify ~z:1 ~inputs_list:(binary_inputs 2) p with
+  | Ok (), truncated -> check_bool "exhaustive certification" false truncated
+  | Error r, _ ->
+      Alcotest.failf "violation: %s" (Sched.to_string r.Counterexample.schedule)
+
+(* Lemma 16 (upper bound): with n' + 1 processes the protocol's structure
+   collapses — the model checker exhibits a crash schedule violating
+   agreement, matching the paper's valency argument. *)
+let test_lemma_16_upper () =
+  let p = Tnn_protocol.recoverable_overloaded ~procs:3 ~n:4 ~n':2 in
+  match Counterexample.search ~z:1 ~inputs_list:(binary_inputs 3) p with
+  | Some r ->
+      check_bool "crash involved" true
+        (List.exists
+           (function Sched.Crash _ -> true | Sched.Step _ | Sched.Crash_all -> false)
+           r.Counterexample.schedule)
+  | None -> Alcotest.fail "expected a violation at n' + 1 processes"
+
+(* Theorem 13 corollary: a readable type with consensus number 4 and
+   recoverable consensus number 2 exists (X_4). *)
+let test_x4_gap () =
+  let ty = Gallery.x4_witness in
+  Alcotest.check bound "consensus number 4"
+    (Numbers.Exact 4)
+    (Option.get (Numbers.consensus_number ~cap:5 ty));
+  Alcotest.check bound "recoverable consensus number 2"
+    (Numbers.Exact 2)
+    (Option.get (Numbers.recoverable_consensus_number ~cap:5 ty))
+
+(* Theorem 14 (robustness): combining readable deterministic types never
+   beats the strongest individual type. *)
+let test_theorem_14_robustness () =
+  let sets =
+    [
+      [ Gallery.register 2; Gallery.test_and_set ];
+      [ Gallery.test_and_set; Gallery.swap 3; Gallery.fetch_and_add 3 ];
+      [ Gallery.team_ladder ~cap:2; Gallery.x4_witness; Gallery.test_and_set ];
+    ]
+  in
+  List.iter
+    (fun types ->
+      let r = Robustness.analyze ~cap:4 types in
+      let individual_max =
+        List.fold_left
+          (fun acc (_, (l : Numbers.level)) ->
+            max acc (match l.Numbers.bound with Numbers.Exact n | Numbers.At_least n -> n))
+          0 r.Robustness.per_type
+      in
+      let combined =
+        match r.Robustness.combined with Numbers.Exact n | Numbers.At_least n -> n
+      in
+      Alcotest.(check int) "combined equals individual max" individual_max combined)
+    sets
+
+(* Golab 2020, reproved by the framework end to end: TAS has recoverable
+   consensus number 1 — by the decider, and by a concrete failing
+   execution of the classical protocol. *)
+let test_golab_tas () =
+  Alcotest.check bound "decider: rcn 1" (Numbers.Exact 1)
+    (Numbers.max_recording ~cap:3 Gallery.test_and_set).Numbers.bound;
+  check_bool "protocol fails under crashes" true
+    (Counterexample.search ~z:1 ~inputs_list:(binary_inputs 2) Classic.tas_consensus_2 <> None)
+
+(* FLP-style control: registers alone cannot solve consensus — our naive
+   register protocol violates agreement crash-free. *)
+let test_registers_insufficient () =
+  let r =
+    Counterexample.search ~z:1 ~inputs_list:(binary_inputs 2) (Classic.register_race ~nprocs:2)
+  in
+  match r with
+  | Some r -> check_bool "crash-free violation" true (Sched.crash_free r.Counterexample.schedule)
+  | None -> Alcotest.fail "register race must fail"
+
+(* DFFR Theorem 8 direction, executable: a 2-recording readable certificate
+   yields working 2-process recoverable consensus (via Election). *)
+let test_dffr_theorem_8_executable () =
+  List.iter
+    (fun ty ->
+      match Decide.search Decide.Recording ty ~n:2 with
+      | None -> Alcotest.failf "%s should be 2-recording" ty.Objtype.name
+      | Some cert ->
+          if Certificate.is_clean cert then begin
+            let p = Election.consensus_2 cert in
+            match Counterexample.certify ~z:1 ~inputs_list:(binary_inputs 2) p with
+            | Ok (), _ -> ()
+            | Error r, _ ->
+                Alcotest.failf "%s consensus violated: %s" ty.Objtype.name
+                  (Sched.to_string r.Counterexample.schedule)
+          end)
+    [ Gallery.team_ladder ~cap:2; Gallery.team_ladder ~cap:3; Gallery.x4_witness; Gallery.sticky_bit ]
+
+(* The paper's observation that consensus numbers never increase under
+   recovery: max-recording <= max-discerning on every gallery type. *)
+let test_rcn_at_most_cn () =
+  List.iter
+    (fun (name, ty) ->
+      let d = (Numbers.max_discerning ~cap:4 ty).Numbers.bound in
+      let r = (Numbers.max_recording ~cap:4 ty).Numbers.bound in
+      let v = function Numbers.Exact n | Numbers.At_least n -> n in
+      check_bool (name ^ ": rec <= disc") true (v r <= v d))
+    (Gallery.all ())
+
+(* Observation 1 on the simulator: every protocol in the repository has a
+   bivalent mixed-input initial configuration. *)
+let test_observation_1_across_protocols () =
+  let check_bivalent name ctx root =
+    match Explore.valency ctx root with
+    | Explore.Bivalent -> ()
+    | Explore.Univalent _ | Explore.Unknown -> Alcotest.failf "%s root not bivalent" name
+  in
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  check_bivalent "cas" ctx (Explore.root ctx ~inputs:[| 0; 1 |]);
+  let p = Classic.sticky_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  check_bivalent "sticky" ctx (Explore.root ctx ~inputs:[| 0; 1 |]);
+  let p = Tnn_protocol.recoverable ~n:4 ~n':2 in
+  let ctx = Explore.create ~z:1 ~max_events:60 p in
+  check_bivalent "tnn" ctx (Explore.root ctx ~inputs:[| 0; 1 |])
+
+let suite =
+  [
+    Alcotest.test_case "Lemma 15 lower bound (E2)" `Slow test_lemma_15_lower;
+    Alcotest.test_case "Lemma 15 upper bound via discerning" `Slow test_lemma_15_upper_via_discerning;
+    Alcotest.test_case "Lemma 16 lower bound (E3)" `Quick test_lemma_16_lower;
+    Alcotest.test_case "Lemma 16 upper bound (E4)" `Slow test_lemma_16_upper;
+    Alcotest.test_case "X_4 gap: cn 4, rcn 2 (corollary)" `Quick test_x4_gap;
+    Alcotest.test_case "Theorem 14: robustness (E7)" `Slow test_theorem_14_robustness;
+    Alcotest.test_case "Golab: TAS not recoverable" `Quick test_golab_tas;
+    Alcotest.test_case "registers cannot solve consensus" `Quick test_registers_insufficient;
+    Alcotest.test_case "DFFR Theorem 8, executable" `Slow test_dffr_theorem_8_executable;
+    Alcotest.test_case "recoverable never exceeds plain consensus" `Slow test_rcn_at_most_cn;
+    Alcotest.test_case "Observation 1 across protocols (E8)" `Quick test_observation_1_across_protocols;
+  ]

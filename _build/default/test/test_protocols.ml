@@ -1,0 +1,311 @@
+(* Tests for the executable protocols: the paper's Section 4 algorithms and
+   the certificate-driven elections. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let binary_inputs n = List.init (1 lsl n) (fun mask -> Array.init n (fun i -> (mask lsr i) land 1))
+
+let exhaustive_crash_free p ~steps_per_proc =
+  let n = p.Program.nprocs in
+  let violations = ref [] in
+  List.iter
+    (fun inputs ->
+      List.iter
+        (fun sched ->
+          let c0 = Config.initial p ~inputs in
+          let final, _ = Exec.run_schedule p c0 sched in
+          (match Checker.consensus p final with
+          | Checker.Ok -> ()
+          | Checker.Violation m -> violations := m :: !violations);
+          match Checker.all_decided p final with
+          | Checker.Ok -> ()
+          | Checker.Violation m -> violations := m :: !violations)
+        (Sched.interleavings ~nprocs:n ~steps_per_proc))
+    (binary_inputs n);
+  !violations
+
+(* ------------------------------------------------------------------ *)
+(* T_{n,n'} wait-free (Lemma 15 lower bound) *)
+
+let test_tnn_wait_free_exhaustive () =
+  List.iter
+    (fun (n, n') ->
+      let p = Tnn_protocol.wait_free ~n ~n' in
+      Alcotest.(check (list string))
+        (Printf.sprintf "T_{%d,%d} wait-free clean" n n')
+        []
+        (exhaustive_crash_free p ~steps_per_proc:1))
+    [ (2, 1); (3, 1); (4, 2) ]
+
+let test_tnn_wait_free_first_op_decides () =
+  let p = Tnn_protocol.wait_free ~n:4 ~n':2 in
+  let c0 = Config.initial p ~inputs:[| 1; 0; 0; 1 |] in
+  let final = Exec.run_procs p c0 [ 2; 0; 1; 3 ] in
+  (* p2 moved first with input 0: everyone decides 0. *)
+  Array.iter
+    (fun d -> check_bool "all decide first input" true (d = Some 0))
+    (Config.decisions p final)
+
+let test_tnn_wait_free_not_recoverable () =
+  (* The wait-free algorithm re-applies op_x after a crash; enough crashes
+     push the object to bot and break agreement. *)
+  let p = Tnn_protocol.wait_free ~n:3 ~n':1 in
+  match Counterexample.search ~z:1 ~inputs_list:(binary_inputs 3) p with
+  | Some _ -> ()
+  | None -> Alcotest.fail "wait-free T protocol must fail under crashes"
+
+let test_tnn_input_validation () =
+  let p = Tnn_protocol.wait_free ~n:3 ~n':1 in
+  check_bool "non-binary input rejected" true
+    (try
+       ignore (Config.initial p ~inputs:[| 0; 2; 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* T_{n,n'} recoverable (Lemma 16 lower bound) *)
+
+let test_tnn_recoverable_certified () =
+  List.iter
+    (fun (n, n') ->
+      let p = Tnn_protocol.recoverable ~n ~n' in
+      match Counterexample.certify ~z:1 ~inputs_list:(binary_inputs n') p with
+      | Ok (), truncated ->
+          check_bool (Printf.sprintf "T_{%d,%d} exhaustive" n n') false truncated
+      | Error r, _ ->
+          Alcotest.failf "T_{%d,%d} recoverable violated: %s" n n'
+            (Sched.to_string r.Counterexample.schedule))
+    [ (2, 1); (3, 1); (4, 2); (3, 2) ]
+
+let test_tnn_recoverable_random_storms () =
+  let p = Tnn_protocol.recoverable ~n:5 ~n':2 in
+  for seed = 1 to 50 do
+    List.iter
+      (fun inputs ->
+        let adv = Adversary.crash_storm ~period:2 ~seed ~nprocs:2 in
+        let c0 = Config.initial p ~inputs in
+        let final, _, out =
+          Exec.run_adversary p c0
+            ~pick:(fun ~decided b -> adv ~decided b)
+            ~budget:(Budget.counter ~z:2 ~nprocs:2)
+            ~rwf_bound:2 ~fuel:300 ()
+        in
+        check_bool "completes" true out.Exec.all_decided;
+        check_bool "no rwf violation" true (out.Exec.rwf_violation = None);
+        check_bool "consensus" true (Checker.is_ok (Checker.consensus p final)))
+      (binary_inputs 2)
+  done
+
+let test_tnn_recoverable_steps_bound () =
+  (* Recoverable wait-freedom: at most 2 operations from any reset
+     (paper: "each process applies at most 2 operations to O"). *)
+  let p = Tnn_protocol.recoverable ~n:4 ~n':2 in
+  let c0 = Config.initial p ~inputs:[| 1; 0 |] in
+  let _, steps = Exec.solo_terminate p c0 ~proc:0 in
+  check_bool "at most 2 steps solo" true (steps <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Certificate-driven election and consensus *)
+
+let ladder2_cert () =
+  Option.get (Decide.search Decide.Recording (Gallery.team_ladder ~cap:2) ~n:2)
+
+let x4_cert () = Option.get (Decide.search Decide.Recording Gallery.x4_witness ~n:2)
+
+let test_election_outputs_first_team () =
+  let cert = ladder2_cert () in
+  let p = Election.team_election cert in
+  (* Run under many random crashy adversaries; whenever everyone decides,
+     all outputs must equal the team of the first process that applied its
+     certificate operation. *)
+  for seed = 1 to 100 do
+    let adv = Adversary.random ~crash_prob:0.3 ~seed ~nprocs:2 in
+    let c0 = Config.initial p ~inputs:[| 0; 0 |] in
+    let final, sched, out =
+      Exec.run_adversary p c0
+        ~pick:(fun ~decided b -> adv ~decided b)
+        ~budget:(Budget.counter ~z:1 ~nprocs:2)
+        ~fuel:300 ()
+    in
+    if out.Exec.all_decided then begin
+      let _, trace = Exec.run_schedule p (Config.initial p ~inputs:[| 0; 0 |]) sched in
+      match Election.expected_winner cert sched trace with
+      | Some team ->
+          check_bool
+            (Printf.sprintf "all output winning team (seed %d)" seed)
+            true
+            (Checker.is_ok (Checker.election ~winner_team:team p final))
+      | None -> Alcotest.fail "decided without anyone applying?"
+    end
+  done
+
+let test_election_certified_exhaustively () =
+  (* Stronger: model-check that the two processes always agree on the team.
+     Inputs are ignored by the election; mixed inputs keep the certifier's
+     validity check vacuous so only (team) agreement is checked. *)
+  let cert = ladder2_cert () in
+  let p = Election.team_election cert in
+  match Counterexample.certify ~z:1 ~inputs_list:[ [| 0; 1 |] ] p with
+  | Ok (), truncated -> check_bool "exhaustive" false truncated
+  | Error r, _ ->
+      Alcotest.failf "election disagreement: %s" (Sched.to_string r.Counterexample.schedule)
+
+let test_consensus2_from_ladder () =
+  let p = Election.consensus_2 (ladder2_cert ()) in
+  match Counterexample.certify ~z:1 ~inputs_list:(binary_inputs 2) p with
+  | Ok (), truncated -> check_bool "exhaustive" false truncated
+  | Error r, _ ->
+      Alcotest.failf "consensus2 violated: %s" (Sched.to_string r.Counterexample.schedule)
+
+let test_consensus2_from_x4_witness () =
+  (* The paper's chain made executable: the x4 witness is 2-recording, so
+     it solves 2-process recoverable consensus — certified exhaustively. *)
+  let p = Election.consensus_2 (x4_cert ()) in
+  match Counterexample.certify ~z:1 ~inputs_list:(binary_inputs 2) p with
+  | Ok (), truncated -> check_bool "exhaustive" false truncated
+  | Error r, _ ->
+      Alcotest.failf "x4 consensus2 violated: %s" (Sched.to_string r.Counterexample.schedule)
+
+let test_election_rejects_bad_certificates () =
+  (* Not recording at all: TAS with tas/tas ops. *)
+  let bad =
+    Certificate.make ~objtype:Gallery.test_and_set ~initial:0 ~team:[| false; true |]
+      ~ops:[| 0; 0 |]
+  in
+  check_bool "non-recording rejected" true
+    (try
+       ignore (Election.team_election bad);
+       false
+     with Invalid_argument _ -> true);
+  (* Readability required: T_{n,n'} certificates are rejected. *)
+  match Decide.search Decide.Recording (Gallery.tnn ~n:3 ~n':1) ~n:2 with
+  | None -> Alcotest.fail "T_{3,1} should be 2-recording"
+  | Some cert ->
+      check_bool "non-readable rejected" true
+        (try
+           ignore (Election.team_election cert);
+           false
+         with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Discerning (crash-free) elections: Ruppert's direction *)
+
+let tas_cert () =
+  Certificate.make ~objtype:Gallery.test_and_set ~initial:0 ~team:[| false; true |]
+    ~ops:[| 0; 0 |]
+
+let test_discerning_election_4proc () =
+  (* 4-process wait-free team election from the x4 witness's 4-discerning
+     certificate: exhaustively over all crash-free interleavings (each
+     process takes its 2 steps), every process outputs the team of the
+     first process to apply its certificate operation. *)
+  let cert = Option.get (Decide.search Decide.Discerning Gallery.x4_witness ~n:4) in
+  let p = Election.discerning_election cert in
+  let scheds = Sched.interleavings ~nprocs:4 ~steps_per_proc:2 in
+  List.iter
+    (fun sched ->
+      let c0 = Config.initial p ~inputs:[| 0; 0; 0; 0 |] in
+      let final, trace = Exec.run_schedule p c0 sched in
+      check_bool "all decided" true (Config.all_decided p final);
+      match Election.expected_winner cert sched trace with
+      | Some team ->
+          check_bool "outputs = first applier's team" true
+            (Checker.is_ok (Checker.election ~winner_team:team p final))
+      | None -> Alcotest.fail "nobody applied?")
+    scheds
+
+let test_discerning_consensus2_tas_is_classic () =
+  (* From the classical TAS certificate, the generic construction is
+     exhaustively correct crash-free — it is the textbook algorithm. *)
+  let p = Election.discerning_consensus_2 (tas_cert ()) in
+  let ok = ref true in
+  List.iter
+    (fun inputs ->
+      List.iter
+        (fun sched ->
+          let final, _ = Exec.run_schedule p (Config.initial p ~inputs) sched in
+          if
+            not
+              (Checker.is_ok (Checker.consensus p final)
+              && Checker.is_ok (Checker.all_decided p final))
+          then ok := false)
+        (Sched.interleavings ~nprocs:2 ~steps_per_proc:4))
+    (binary_inputs 2);
+  check_bool "exhaustively correct crash-free" true !ok
+
+let test_discerning_consensus2_breaks_under_crashes () =
+  (* ... and, like every discerning-only construction, it is not
+     recoverable: the model checker finds a violating crash schedule
+     (Golab's separation through the generic path). *)
+  let p = Election.discerning_consensus_2 (tas_cert ()) in
+  check_bool "crash violation found" true
+    (Counterexample.search ~z:1 ~inputs_list:(binary_inputs 2) p <> None)
+
+let test_discerning_rejects_bad_certificates () =
+  (* A non-discerning certificate: both TAS processes reading only. *)
+  let bad =
+    Certificate.make ~objtype:Gallery.test_and_set ~initial:0 ~team:[| false; true |]
+      ~ops:[| 1; 1 |]
+  in
+  check_bool "rejected" true
+    (try
+       ignore (Election.discerning_election bad);
+       false
+     with Invalid_argument _ -> true);
+  (* Non-readable types rejected even with valid discerning data. *)
+  match Decide.search Decide.Discerning (Gallery.tnn ~n:3 ~n':1) ~n:2 with
+  | None -> Alcotest.fail "T_{3,1} should be 2-discerning"
+  | Some cert ->
+      check_bool "non-readable rejected" true
+        (try
+           ignore (Election.discerning_election cert);
+           false
+         with Invalid_argument _ -> true)
+
+let test_classic_protocols_correct_crash_free () =
+  List.iter
+    (fun (name, violations) ->
+      Alcotest.(check (list string)) name [] violations)
+    [
+      ("cas 3 procs", exhaustive_crash_free (Classic.cas_consensus ~nprocs:3) ~steps_per_proc:1);
+      ("sticky 3 procs", exhaustive_crash_free (Classic.sticky_consensus ~nprocs:3) ~steps_per_proc:1);
+    ]
+
+let test_sticky_recoverable () =
+  match Counterexample.certify ~z:1 ~inputs_list:(binary_inputs 2) (Classic.sticky_consensus ~nprocs:2) with
+  | Ok (), _ -> ()
+  | Error _, _ -> Alcotest.fail "sticky consensus is recoverable"
+
+let test_validate_programs () =
+  List.iter
+    (fun name_program ->
+      match name_program with
+      | p -> Program.validate p)
+    [ Classic.register_race ~nprocs:2 ];
+  Program.validate Classic.tas_consensus_2;
+  Program.validate (Tnn_protocol.wait_free ~n:4 ~n':2);
+  check_int "tas2 heap size" 3 (Array.length Classic.tas_consensus_2.Program.heap)
+
+let suite =
+  [
+    Alcotest.test_case "T wait-free exhaustively correct (E2)" `Slow test_tnn_wait_free_exhaustive;
+    Alcotest.test_case "T wait-free: first op decides" `Quick test_tnn_wait_free_first_op_decides;
+    Alcotest.test_case "T wait-free is not recoverable" `Quick test_tnn_wait_free_not_recoverable;
+    Alcotest.test_case "binary input validation" `Quick test_tnn_input_validation;
+    Alcotest.test_case "T recoverable certified (E3)" `Slow test_tnn_recoverable_certified;
+    Alcotest.test_case "T recoverable vs crash storms" `Slow test_tnn_recoverable_random_storms;
+    Alcotest.test_case "T recoverable solo step bound" `Quick test_tnn_recoverable_steps_bound;
+    Alcotest.test_case "election outputs the first team" `Slow test_election_outputs_first_team;
+    Alcotest.test_case "election certified exhaustively" `Quick test_election_certified_exhaustively;
+    Alcotest.test_case "recoverable consensus from ladder certificate" `Quick test_consensus2_from_ladder;
+    Alcotest.test_case "recoverable consensus from the x4 witness" `Quick test_consensus2_from_x4_witness;
+    Alcotest.test_case "election rejects unusable certificates" `Quick test_election_rejects_bad_certificates;
+    Alcotest.test_case "4-process discerning election (Ruppert)" `Slow test_discerning_election_4proc;
+    Alcotest.test_case "discerning consensus2 = classic TAS algorithm" `Quick test_discerning_consensus2_tas_is_classic;
+    Alcotest.test_case "discerning consensus2 breaks under crashes" `Quick test_discerning_consensus2_breaks_under_crashes;
+    Alcotest.test_case "discerning election certificate validation" `Quick test_discerning_rejects_bad_certificates;
+    Alcotest.test_case "classic protocols correct crash-free" `Slow test_classic_protocols_correct_crash_free;
+    Alcotest.test_case "sticky consensus recoverable" `Quick test_sticky_recoverable;
+    Alcotest.test_case "program validation" `Quick test_validate_programs;
+  ]

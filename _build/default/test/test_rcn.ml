@@ -1,0 +1,20 @@
+(* Test runner: one alcotest suite per subsystem. *)
+
+let () =
+  Alcotest.run "rcn"
+    [
+      ("objtype", Test_objtype.suite);
+      ("gallery", Test_gallery.suite);
+      ("sched", Test_sched.suite);
+      ("budget", Test_budget.suite);
+      ("machine", Test_machine.suite);
+      ("hierarchy", Test_hierarchy.suite);
+      ("explore", Test_explore.suite);
+      ("simultaneous", Test_simultaneous.suite);
+      ("protocols", Test_protocols.suite);
+      ("tournament", Test_tournament.suite);
+      ("synth", Test_synth.suite);
+      ("universal", Test_universal.suite);
+      ("misc", Test_misc.suite);
+      ("paper", Test_paper.suite);
+    ]

@@ -1,0 +1,103 @@
+(* Tests for schedules and the S(P') enumeration. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_counting_helpers () =
+  let sched = Sched.[ step 0; crash 1; step 1; step 0; crash 1 ] in
+  check_int "steps p0" 2 (Sched.steps_of sched 0);
+  check_int "steps p1" 1 (Sched.steps_of sched 1);
+  check_int "crashes p1" 2 (Sched.crashes_of sched 1);
+  check_int "crashes p0" 0 (Sched.crashes_of sched 0);
+  Alcotest.(check (list int)) "stepping procs" [ 0; 1 ] (Sched.procs_stepping sched);
+  check_bool "not crash free" false (Sched.crash_free sched);
+  check_bool "crash free" true (Sched.crash_free (Sched.of_procs [ 0; 1; 0 ]))
+
+let test_to_string () =
+  Alcotest.(check string)
+    "paper rendering" "p0 p1 c1 p1"
+    (Sched.to_string Sched.[ step 0; step 1; crash 1; step 1 ])
+
+let test_at_most_once_small () =
+  (* The paper's example: S({p_0, p_2}) = { <>, p0, p2, p0 p2, p2 p0 }. *)
+  let s = Sched.at_most_once_of [ 0; 2 ] in
+  Alcotest.(check (list (list int)))
+    "paper example"
+    [ []; [ 0 ]; [ 2 ]; [ 0; 2 ]; [ 2; 0 ] ]
+    s
+
+let test_at_most_once_counts () =
+  List.iter
+    (fun n ->
+      check_int
+        (Printf.sprintf "closed form matches enumeration, n=%d" n)
+        (Sched.at_most_once_count n)
+        (List.length (Sched.at_most_once ~nprocs:n)))
+    [ 1; 2; 3; 4; 5 ];
+  check_int "n=3 count" 16 (Sched.at_most_once_count 3);
+  check_int "n=5 count" 326 (Sched.at_most_once_count 5)
+
+let test_at_most_once_distinct () =
+  let all = Sched.at_most_once ~nprocs:4 in
+  List.iter
+    (fun s ->
+      check_int "no repeats" (List.length s) (List.length (List.sort_uniq compare s)))
+    all;
+  check_int "no duplicate schedules" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let test_nonempty_starting_with () =
+  let s = Sched.nonempty_starting_with ~nprocs:3 ~first:[ 1 ] in
+  check_bool "all start with 1" true (List.for_all (function 1 :: _ -> true | _ -> false) s);
+  (* 1, then any at-most-once arrangement of {0,2}: 5 of them. *)
+  check_int "count" 5 (List.length s)
+
+let test_permutations () =
+  check_int "3! permutations" 6 (List.length (Sched.permutations [ 0; 1; 2 ]));
+  Alcotest.(check (list (list int))) "empty" [ [] ] (Sched.permutations [])
+
+let test_interleavings () =
+  (* multinomial: (2+2)! / (2! 2!) = 6 *)
+  check_int "2 procs x 2 steps" 6 (List.length (Sched.interleavings ~nprocs:2 ~steps_per_proc:2));
+  (* 3 procs x 1 step = 3! = 6 *)
+  check_int "3 procs x 1 step" 6 (List.length (Sched.interleavings ~nprocs:3 ~steps_per_proc:1));
+  List.iter
+    (fun s ->
+      check_int "each proc steps twice" 2 (Sched.steps_of s 0);
+      check_bool "crash free" true (Sched.crash_free s))
+    (Sched.interleavings ~nprocs:2 ~steps_per_proc:2)
+
+let test_of_string () =
+  let roundtrip sched =
+    Alcotest.(check string)
+      "roundtrip" (Sched.to_string sched)
+      (match Sched.of_string (Sched.to_string sched) with
+      | Ok s -> Sched.to_string s
+      | Error m -> "ERROR " ^ m)
+  in
+  roundtrip Sched.[ step 0; crash 1; step 1; crash_all; step 0 ];
+  roundtrip [];
+  Alcotest.(check bool) "rejects garbage" true (Result.is_error (Sched.of_string "p0 x9"));
+  Alcotest.(check bool) "rejects bare word" true (Result.is_error (Sched.of_string "hello"));
+  Alcotest.(check bool) "parses crash-all" true
+    (Sched.of_string "C*" = Ok [ Sched.crash_all ])
+
+let prop_at_most_once_of_ignores_duplicates =
+  QCheck.Test.make ~name:"at_most_once_of deduplicates its input" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_bound 5) (int_bound 3))
+    (fun procs ->
+      Sched.at_most_once_of procs = Sched.at_most_once_of (List.sort_uniq compare procs))
+
+let suite =
+  [
+    Alcotest.test_case "event counting helpers" `Quick test_counting_helpers;
+    Alcotest.test_case "schedule rendering" `Quick test_to_string;
+    Alcotest.test_case "S(P') matches the paper's example" `Quick test_at_most_once_small;
+    Alcotest.test_case "S(P) cardinality closed form" `Quick test_at_most_once_counts;
+    Alcotest.test_case "S(P) schedules are distinct" `Quick test_at_most_once_distinct;
+    Alcotest.test_case "schedules starting with a team" `Quick test_nonempty_starting_with;
+    Alcotest.test_case "permutations" `Quick test_permutations;
+    Alcotest.test_case "exhaustive interleavings" `Quick test_interleavings;
+    Alcotest.test_case "schedule parsing" `Quick test_of_string;
+    QCheck_alcotest.to_alcotest prop_at_most_once_of_ignores_duplicates;
+  ]

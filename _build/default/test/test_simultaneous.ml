@@ -1,0 +1,109 @@
+(* Tests for the simultaneous-crash model (paper introduction): compare
+   protocol behaviour across the two crash models. *)
+
+let check_bool = Alcotest.(check bool)
+
+let binary_inputs n = List.init (1 lsl n) (fun mask -> Array.init n (fun i -> (mask lsr i) land 1))
+
+let test_crash_all_semantics () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let c = Config.initial p ~inputs:[| 0; 1 |] in
+  let c1 = Exec.run_procs p c [ 0 ] in
+  let c2, trace = Exec.run_schedule p c1 [ Sched.crash_all ] in
+  check_bool "trace records it" true (trace = [ Exec.Crashed_all ]);
+  check_bool "all locals reset" true (c2.Config.locals = c.Config.locals);
+  check_bool "objects survive" true (c2.Config.values = c1.Config.values)
+
+let test_crash_all_outside_e_z () =
+  let sched = Sched.[ step 0; crash_all ] in
+  check_bool "not in E_z" false (Budget.within_e_z ~z:3 ~nprocs:2 sched);
+  check_bool "not in E_z^*" false (Budget.within_e_z_star ~z:3 ~nprocs:2 sched);
+  Alcotest.check_raises "record rejects"
+    (Invalid_argument "Budget.record: simultaneous crashes lie outside E_z") (fun () ->
+      ignore (Budget.record (Budget.counter ~z:1 ~nprocs:2) Sched.crash_all))
+
+let test_explorer_ignores_crash_all () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  let ctx = Explore.create ~z:1 p in
+  let root = Explore.root ctx ~inputs:[| 0; 1 |] in
+  check_bool "no crash-all child" true (Explore.child ctx root Sched.crash_all = None)
+
+let test_cas_survives_simultaneous () =
+  let p = Classic.cas_consensus ~nprocs:2 in
+  match Simultaneous.certify ~max_crashes:2 ~inputs_list:(binary_inputs 2) p with
+  | Ok (), truncated -> check_bool "exhaustive" false truncated
+  | Error r, _ -> Alcotest.failf "cas violated: %s" (Sched.to_string r.Simultaneous.schedule)
+
+let test_sticky_survives_simultaneous () =
+  let p = Classic.sticky_consensus ~nprocs:3 in
+  match Simultaneous.certify ~max_crashes:2 ~inputs_list:(binary_inputs 3) p with
+  | Ok (), truncated -> check_bool "exhaustive" false truncated
+  | Error r, _ -> Alcotest.failf "sticky violated: %s" (Sched.to_string r.Simultaneous.schedule)
+
+let test_tnn_recoverable_survives_simultaneous () =
+  (* The paper's n'-process algorithm applies at most n' RMW operations in
+     total no matter how often processes restart, so it is also correct
+     under simultaneous crashes. *)
+  let p = Tnn_protocol.recoverable ~n:4 ~n':2 in
+  match Simultaneous.certify ~max_crashes:2 ~inputs_list:(binary_inputs 2) p with
+  | Ok (), truncated -> check_bool "exhaustive" false truncated
+  | Error r, _ -> Alcotest.failf "tnn violated: %s" (Sched.to_string r.Simultaneous.schedule)
+
+let test_classical_tas_breaks_in_both_models () =
+  (* cn = rcn under simultaneous crashes is a statement about *some*
+     algorithm; the classical TAS protocol is not that algorithm — after a
+     simultaneous crash both processes lose the TAS and adopt each other's
+     announcements. *)
+  let p = Classic.tas_consensus_2 in
+  match Simultaneous.search ~max_crashes:1 ~inputs_list:(binary_inputs 2) p with
+  | Some r ->
+      check_bool "involves the global crash" true
+        (List.mem Sched.crash_all r.Simultaneous.schedule)
+  | None -> Alcotest.fail "classical TAS should also break under simultaneous crashes"
+
+let test_tnn_overloaded_breaks_in_both_models () =
+  let p = Tnn_protocol.recoverable_overloaded ~procs:3 ~n:4 ~n':2 in
+  check_bool "breaks under simultaneous crashes too" true
+    (Simultaneous.search ~max_crashes:1 ~inputs_list:(binary_inputs 3) p <> None)
+
+let test_zero_crashes_is_crash_free () =
+  (* With max_crashes = 0 the checker reduces to crash-free exploration:
+     the register race still fails, TAS does not. *)
+  check_bool "race fails crash-free" true
+    (Simultaneous.search ~max_crashes:0 ~inputs_list:(binary_inputs 2)
+       (Classic.register_race ~nprocs:2)
+    <> None);
+  check_bool "tas fine crash-free" true
+    (fst (Simultaneous.certify ~max_crashes:0 ~inputs_list:(binary_inputs 2) Classic.tas_consensus_2)
+    = Ok ())
+
+let test_simultaneous_adversary () =
+  let p = Classic.cas_consensus ~nprocs:3 in
+  for seed = 1 to 30 do
+    let adv = Adversary.random_simultaneous ~crash_prob:0.3 ~max_crashes:3 ~seed ~nprocs:3 in
+    let c0 = Config.initial p ~inputs:[| 1; 0; 1 |] in
+    let final, sched, out =
+      Exec.run_adversary p c0
+        ~pick:(fun ~decided b -> adv ~decided b)
+        ~budget:(Budget.counter ~z:1 ~nprocs:3)
+        ~fuel:200 ()
+    in
+    check_bool "no individual crashes" true
+      (List.for_all (function Sched.Crash _ -> false | _ -> true) sched);
+    check_bool "completes" true out.Exec.all_decided;
+    check_bool "consensus" true (Checker.is_ok (Checker.consensus p final))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "crash-all resets everyone, keeps objects" `Quick test_crash_all_semantics;
+    Alcotest.test_case "crash-all lies outside E_z" `Quick test_crash_all_outside_e_z;
+    Alcotest.test_case "the E_z^* explorer never injects crash-all" `Quick test_explorer_ignores_crash_all;
+    Alcotest.test_case "CAS survives simultaneous crashes" `Quick test_cas_survives_simultaneous;
+    Alcotest.test_case "sticky survives simultaneous crashes" `Slow test_sticky_survives_simultaneous;
+    Alcotest.test_case "T recoverable survives simultaneous crashes" `Quick test_tnn_recoverable_survives_simultaneous;
+    Alcotest.test_case "classical TAS breaks in both models" `Quick test_classical_tas_breaks_in_both_models;
+    Alcotest.test_case "overloaded T breaks in both models" `Slow test_tnn_overloaded_breaks_in_both_models;
+    Alcotest.test_case "zero crashes degenerates to crash-free" `Quick test_zero_crashes_is_crash_free;
+    Alcotest.test_case "simultaneous adversary" `Quick test_simultaneous_adversary;
+  ]

@@ -1,0 +1,178 @@
+(* Tests for the tournament construction: n-process recoverable consensus
+   from clean recording certificates (the executable face of DFFR Theorem 8
+   + this paper's Theorem 13 at full strength). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let binary_inputs n = List.init (1 lsl n) (fun mask -> Array.init n (fun i -> (mask lsr i) land 1))
+
+let plan_exn ty ~nprocs =
+  match Tournament.plan ty ~nprocs with
+  | Ok plan -> plan
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_plan_shape () =
+  let plan = plan_exn (Gallery.team_ladder ~cap:3) ~nprocs:3 in
+  check_int "two internal nodes for three processes" 2 (Tournament.node_count plan);
+  let plan = plan_exn (Gallery.team_ladder ~cap:4) ~nprocs:4 in
+  check_int "three internal nodes for four processes" 3 (Tournament.node_count plan);
+  let rendered = Format.asprintf "%a" Tournament.pp_plan plan in
+  check_bool "plan renders" true (String.length rendered > 0)
+
+let test_plan_fails_below_recording_level () =
+  (* team-ladder-4 has recoverable consensus number 4: a 5-process
+     tournament must be unplannable (Theorem 13's necessity, seen by the
+     builder). *)
+  (match Tournament.plan (Gallery.team_ladder ~cap:4) ~nprocs:5 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "5-process plan on a level-4 type should fail");
+  (match Tournament.plan Gallery.test_and_set ~nprocs:2 with
+  | Error _ -> () (* TAS is not 2-recording *)
+  | Ok _ -> Alcotest.fail "TAS tournament should fail");
+  match Tournament.plan (Gallery.register 3) ~nprocs:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "single-process tournament rejected"
+
+let storms ?(trials = 25) plan ~nprocs =
+  let p = Tournament.consensus plan in
+  for seed = 1 to trials do
+    List.iter
+      (fun inputs ->
+        let adv = Adversary.random ~crash_prob:0.25 ~seed ~nprocs in
+        let c0 = Config.initial p ~inputs in
+        let final, sched, out =
+          Exec.run_adversary p c0
+            ~pick:(fun ~decided b -> adv ~decided b)
+            ~budget:(Budget.counter ~z:1 ~nprocs)
+            ~rwf_bound:(4 * (nprocs + 2)) ~fuel:4000 ()
+        in
+        check_bool (Printf.sprintf "completes (seed %d)" seed) true out.Exec.all_decided;
+        check_bool "no rwf violation" true (out.Exec.rwf_violation = None);
+        check_bool
+          (Printf.sprintf "consensus (seed %d, %s)" seed (Sched.to_string sched))
+          true
+          (Checker.is_ok (Checker.consensus p final)))
+      (binary_inputs nprocs)
+  done
+
+let test_three_process_storms () =
+  storms (plan_exn (Gallery.team_ladder ~cap:3) ~nprocs:3) ~nprocs:3
+
+let test_four_process_storms () =
+  storms ~trials:8 (plan_exn (Gallery.team_ladder ~cap:4) ~nprocs:4) ~nprocs:4
+
+let test_three_process_bounded_certify () =
+  (* Bounded model check: every E_1^* execution of length <= 24 (up to the
+     node cap) is violation-free.  The space is too large to exhaust in a
+     unit test; truncation is expected and reported. *)
+  let p = Tournament.consensus (plan_exn (Gallery.team_ladder ~cap:3) ~nprocs:3) in
+  match
+    Counterexample.certify ~z:1 ~max_events:24 ~max_nodes:60_000
+      ~inputs_list:(binary_inputs 3) p
+  with
+  | Ok (), _truncated -> ()
+  | Error r, _ ->
+      Alcotest.failf "tournament violated: %s inputs %s"
+        (Sched.to_string r.Counterexample.schedule)
+        (String.concat "" (List.map string_of_int (Array.to_list r.Counterexample.inputs)))
+
+let test_crossing_witness_tournament () =
+  (* The x4-style crossing witness has recoverable consensus number 2, so a
+     2-process tournament plans and works; 3 processes must fail. *)
+  let ty = Gallery.crossing_witness ~n:4 in
+  (match Tournament.plan ty ~nprocs:3 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "3-process plan on rcn-2 type should fail");
+  let plan = plan_exn ty ~nprocs:2 in
+  let p = Tournament.consensus plan in
+  match
+    Counterexample.certify ~z:1 ~max_events:40 ~max_nodes:400_000
+      ~inputs_list:(binary_inputs 2) p
+  with
+  | Ok (), _truncated -> ()
+  | Error r, _ ->
+      Alcotest.failf "2-proc tournament violated: %s" (Sched.to_string r.Counterexample.schedule)
+
+let test_simultaneous_crashes () =
+  (* The tournament also survives the simultaneous-crash model. *)
+  let p = Tournament.consensus (plan_exn (Gallery.team_ladder ~cap:3) ~nprocs:3) in
+  match
+    Simultaneous.certify ~max_events:22 ~max_crashes:1 ~inputs_list:[ [| 0; 1; 1 |]; [| 1; 0; 0 |] ] p
+  with
+  | Ok (), _ -> ()
+  | Error r, _ ->
+      Alcotest.failf "simultaneous violation: %s" (Sched.to_string r.Simultaneous.schedule)
+
+let test_decision_is_first_announcer_consistent () =
+  (* Crash-free round robin from every input vector: the decision equals
+     some process's input and everyone agrees — and with round-robin
+     starting at p0, the winner is p0. *)
+  let plan = plan_exn (Gallery.team_ladder ~cap:3) ~nprocs:3 in
+  let p = Tournament.consensus plan in
+  List.iter
+    (fun inputs ->
+      let adv = Adversary.round_robin ~nprocs:3 in
+      let c0 = Config.initial p ~inputs in
+      let final, _, out =
+        Exec.run_adversary p c0
+          ~pick:(fun ~decided b -> adv ~decided b)
+          ~budget:(Budget.counter ~z:1 ~nprocs:3)
+          ~fuel:200 ()
+      in
+      check_bool "completes" true out.Exec.all_decided;
+      check_bool "agrees on p0's input" true
+        (Array.for_all (fun d -> d = Some inputs.(0)) (Config.decisions p final)))
+    (binary_inputs 3)
+
+let plan_cache = Hashtbl.create 8
+
+let cached_plan cap n =
+  match Hashtbl.find_opt plan_cache (cap, n) with
+  | Some plan -> plan
+  | None ->
+      let plan = Tournament.plan (Gallery.team_ladder ~cap) ~nprocs:n in
+      Hashtbl.add plan_cache (cap, n) plan;
+      plan
+
+let prop_tournament_random_storms =
+  (* Random (cap, n <= cap, seed): planning succeeds (ladder-cap has
+     recoverable consensus number cap >= n) and a random crashy run
+     reaches correct consensus. *)
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun cap n seed -> (2 + cap, 2 + n, seed))
+        (int_bound 2) (int_bound 1) (int_bound 10_000))
+  in
+  QCheck.Test.make ~name:"tournaments on random ladders under random storms" ~count:25
+    (QCheck.make ~print:(fun (cap, n, seed) -> Printf.sprintf "cap=%d n=%d seed=%d" cap n seed) gen)
+    (fun (cap, n, seed) ->
+      let n = min n cap in
+      match cached_plan cap n with
+      | Error _ -> false
+      | Ok plan ->
+          let p = Tournament.consensus plan in
+          let inputs = Array.init n (fun i -> (seed + i) mod 2) in
+          let adv = Adversary.random ~crash_prob:0.25 ~seed ~nprocs:n in
+          let c0 = Config.initial p ~inputs in
+          let final, _, out =
+            Exec.run_adversary p c0
+              ~pick:(fun ~decided b -> adv ~decided b)
+              ~budget:(Budget.counter ~z:1 ~nprocs:n)
+              ~fuel:4000 ()
+          in
+          out.Exec.all_decided && Checker.is_ok (Checker.consensus p final))
+
+let suite =
+  [
+    Alcotest.test_case "plan shapes" `Quick test_plan_shape;
+    Alcotest.test_case "planning fails below the recording level" `Quick test_plan_fails_below_recording_level;
+    Alcotest.test_case "3-process crash storms" `Slow test_three_process_storms;
+    Alcotest.test_case "4-process crash storms" `Slow test_four_process_storms;
+    Alcotest.test_case "3-process bounded certification" `Slow test_three_process_bounded_certify;
+    Alcotest.test_case "crossing witness: 2 plans, 3 does not" `Quick test_crossing_witness_tournament;
+    Alcotest.test_case "survives simultaneous crashes" `Slow test_simultaneous_crashes;
+    Alcotest.test_case "round-robin decides the first mover's input" `Quick test_decision_is_first_announcer_consistent;
+    QCheck_alcotest.to_alcotest prop_tournament_random_storms;
+  ]

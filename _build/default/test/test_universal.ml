@@ -1,0 +1,258 @@
+(* Tests for the universal construction (experiment E10): linearizability
+   and crash recovery by replay. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_with p ~adv ~z ~fuel =
+  let nprocs = p.Program.nprocs in
+  let c0 = Config.initial p ~inputs:(Array.make nprocs 0) in
+  Exec.run_adversary p c0
+    ~pick:(fun ~decided b -> adv ~decided b)
+    ~budget:(Budget.counter ~z ~nprocs)
+    ~fuel ()
+
+let queue_workload = [| [ 0; 2; 1 ]; [ 1; 2 ]; [ 2; 2; 0 ] |]
+
+let build_queue () =
+  let base = Gallery.bounded_queue () in
+  (base, Universal.build ~base ~base_initial:0 queue_workload)
+
+let test_heap_size () =
+  let _, p = build_queue () in
+  check_int "one consensus object per operation" 8 (Array.length p.Program.heap);
+  check_int "three processes" 3 p.Program.nprocs
+
+let test_crash_free_linearizable () =
+  let base, p = build_queue () in
+  let final, _, out = run_with p ~adv:(Adversary.round_robin ~nprocs:3) ~z:1 ~fuel:500 in
+  check_bool "completes" true out.Exec.all_decided;
+  let report = Universal.check_linearizable p ~base ~base_initial:0 queue_workload final in
+  check_bool "linearizable" true report.Universal.ok;
+  check_int "all ops decided" 8 (List.length report.Universal.linearization)
+
+let test_round_robin_order () =
+  let base, p = build_queue () in
+  let final, _, _ = run_with p ~adv:(Adversary.round_robin ~nprocs:3) ~z:1 ~fuel:500 in
+  let report = Universal.check_linearizable p ~base ~base_initial:0 queue_workload final in
+  (* Program order within each process must be respected. *)
+  let positions =
+    List.mapi (fun pos (proc, idx) -> (proc, idx, pos)) report.Universal.linearization
+  in
+  List.iter
+    (fun (proc, idx, pos) ->
+      List.iter
+        (fun (proc', idx', pos') ->
+          if proc = proc' && idx < idx' then
+            check_bool "program order" true (pos < pos'))
+        positions)
+    positions
+
+let test_crashy_runs_linearizable () =
+  let base, p = build_queue () in
+  for seed = 1 to 150 do
+    let final, _, out =
+      run_with p ~adv:(Adversary.random ~crash_prob:0.3 ~seed ~nprocs:3) ~z:1 ~fuel:3000
+    in
+    check_bool (Printf.sprintf "completes (seed %d)" seed) true out.Exec.all_decided;
+    let report = Universal.check_linearizable p ~base ~base_initial:0 queue_workload final in
+    check_bool (Printf.sprintf "linearizable (seed %d)" seed) true report.Universal.ok
+  done
+
+let test_detectability_replay () =
+  (* Crash a process right after it wins a round; on recovery it must
+     re-discover the win (not apply the operation twice). *)
+  let base = Gallery.fetch_and_add 8 in
+  let workload = [| [ 1 ]; [ 1 ] |] in
+  let p = Universal.build ~base ~base_initial:0 workload in
+  let c0 = Config.initial p ~inputs:[| 0; 0 |] in
+  (* p0 wins round 0, p1 steps (funding the crash), p0 crashes, then both
+     run to completion. *)
+  let sched = Sched.[ step 0; step 1; crash 1; step 1; step 1; step 1 ] in
+  let final, _ = Exec.run_schedule p c0 sched in
+  let final = Exec.run_procs p final [ 0; 0; 0; 1; 1; 1 ] in
+  check_bool "all decided" true (Config.all_decided p final);
+  let report = Universal.check_linearizable p ~base ~base_initial:0 workload final in
+  check_bool "linearizable" true report.Universal.ok;
+  check_int "exactly two increments decided" 2 (List.length report.Universal.linearization)
+
+let test_empty_workloads () =
+  let base = Gallery.register 2 in
+  let p = Universal.build ~base ~base_initial:0 [| []; [ 1 ] |] in
+  let c0 = Config.initial p ~inputs:[| 0; 0 |] in
+  check_bool "empty workload decides immediately" true (Config.decided p c0 ~proc:0 <> None);
+  let final = Exec.run_procs p c0 [ 1 ] in
+  check_bool "other proceeds" true (Config.all_decided p final)
+
+let test_workload_validation () =
+  let base = Gallery.register 2 in
+  check_bool "bad op rejected" true
+    (try
+       ignore (Universal.build ~base ~base_initial:0 [| [ 99 ] |]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "bad initial rejected" true
+    (try
+       ignore (Universal.build ~base ~base_initial:9 [| [ 0 ] |]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "empty rejected" true
+    (try
+       ignore (Universal.build ~base ~base_initial:0 [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_responses_accessor () =
+  check_bool "running has no responses" true
+    (Universal.responses () (Universal.Running { round = 0; op_idx = 0; replica = 0; acc_rev = [] })
+    = None);
+  check_bool "finished returns them" true
+    (Universal.responses () (Universal.Finished [ 1; 2 ]) = Some [ 1; 2 ])
+
+(* Property: for random small workloads over a register, crash-free
+   round-robin executions produce linearizable outcomes. *)
+let prop_random_workloads =
+  let gen =
+    QCheck.Gen.(
+      array_size (return 2) (list_size (int_bound 3) (int_bound 2)))
+  in
+  QCheck.Test.make ~name:"random register workloads linearize" ~count:60
+    (QCheck.make
+       ~print:(fun w ->
+         String.concat " | "
+           (Array.to_list (Array.map (fun l -> String.concat "," (List.map string_of_int l)) w)))
+       gen)
+    (fun workload ->
+      let base = Gallery.register 2 in
+      let p = Universal.build ~base ~base_initial:0 workload in
+      let nprocs = Array.length workload in
+      let c0 = Config.initial p ~inputs:(Array.make nprocs 0) in
+      let adv = Adversary.round_robin ~nprocs in
+      let final, _, out =
+        Exec.run_adversary p c0
+          ~pick:(fun ~decided b -> adv ~decided b)
+          ~budget:(Budget.counter ~z:1 ~nprocs)
+          ~fuel:500 ()
+      in
+      out.Exec.all_decided
+      && (Universal.check_linearizable p ~base ~base_initial:0 workload final).Universal.ok)
+
+let prop_random_workloads_with_crashes =
+  let gen = QCheck.Gen.(pair (array_size (return 2) (list_size (int_bound 3) (int_bound 2))) (int_bound 1000)) in
+  QCheck.Test.make ~name:"random crashy workloads linearize" ~count:60
+    (QCheck.make
+       ~print:(fun (w, seed) ->
+         Printf.sprintf "seed %d: %s" seed
+           (String.concat " | "
+              (Array.to_list (Array.map (fun l -> String.concat "," (List.map string_of_int l)) w))))
+       gen)
+    (fun (workload, seed) ->
+      let base = Gallery.register 2 in
+      let p = Universal.build ~base ~base_initial:0 workload in
+      let nprocs = Array.length workload in
+      let c0 = Config.initial p ~inputs:(Array.make nprocs 0) in
+      let adv = Adversary.random ~crash_prob:0.25 ~seed ~nprocs in
+      let final, _, out =
+        Exec.run_adversary p c0
+          ~pick:(fun ~decided b -> adv ~decided b)
+          ~budget:(Budget.counter ~z:1 ~nprocs)
+          ~fuel:2000 ()
+      in
+      out.Exec.all_decided
+      && (Universal.check_linearizable p ~base ~base_initial:0 workload final).Universal.ok)
+
+(* ---------------- helping variant ---------------- *)
+
+let test_helping_crash_free () =
+  let base, _ = build_queue () in
+  let p = Universal.build_helping ~base ~base_initial:0 queue_workload in
+  let final, _, out = run_with p ~adv:(Adversary.round_robin ~nprocs:3) ~z:1 ~fuel:2000 in
+  check_bool "completes" true out.Exec.all_decided;
+  let report =
+    Universal.check_linearizable_helping p ~base ~base_initial:0 queue_workload final
+  in
+  check_bool "linearizable" true report.Universal.ok;
+  check_int "all ops decided" 8 (List.length report.Universal.linearization)
+
+let test_helping_crashy () =
+  let base, _ = build_queue () in
+  let p = Universal.build_helping ~base ~base_initial:0 queue_workload in
+  for seed = 1 to 80 do
+    let final, _, out =
+      run_with p ~adv:(Adversary.random ~crash_prob:0.25 ~seed ~nprocs:3) ~z:1 ~fuel:5000
+    in
+    check_bool (Printf.sprintf "completes (seed %d)" seed) true out.Exec.all_decided;
+    let report =
+      Universal.check_linearizable_helping p ~base ~base_initial:0 queue_workload final
+    in
+    check_bool (Printf.sprintf "linearizable (seed %d)" seed) true report.Universal.ok
+  done
+
+let test_helping_decides_announced_ops () =
+  (* The helping guarantee: once the slow process has *announced* (one
+     step), the rival's solo run decides the slow process's operation for
+     it.  Without helping, no amount of rival work touches it. *)
+  let base = Gallery.fetch_and_add 64 in
+  let workload = [| List.init 24 (fun _ -> 1); [ 1 ] |] in
+  let inputs = [| 0; 0 |] in
+  (* Helped: slow announces (1 step), then the rival runs alone. *)
+  let helped = Universal.build_helping ~base ~base_initial:0 workload in
+  let c0 = Config.initial helped ~inputs in
+  let c1 = Exec.apply_step helped c0 ~proc:1 in
+  let c2, _ = Exec.solo_terminate helped c1 ~proc:0 in
+  let report = Universal.check_linearizable_helping helped ~base ~base_initial:0 workload c2 in
+  check_bool "helped: rival decided the announced op" true
+    (List.mem (1, 0) report.Universal.linearization);
+  check_bool "helped: still linearizable" true report.Universal.ok;
+  (* And the slow process then finishes within a handful of its own steps
+     (replay up to its early win), far below the rival's 24 rounds. *)
+  let _, slow_steps = Exec.solo_terminate helped c2 ~proc:1 in
+  check_bool (Printf.sprintf "helped: slow finishes quickly (%d steps)" slow_steps) true
+    (slow_steps <= 10);
+  (* Plain: the rival's solo run never proposes the slow process's
+     descriptor. *)
+  let plain = Universal.build ~base ~base_initial:0 workload in
+  let c0 = Config.initial plain ~inputs in
+  let c1, _ = Exec.solo_terminate plain c0 ~proc:0 in
+  let report = Universal.check_linearizable plain ~base ~base_initial:0 workload c1 in
+  check_bool "plain: slow op not decided by others" false
+    (List.mem (1, 0) report.Universal.linearization);
+  (* The slow process must then replay all 24 rival rounds itself. *)
+  let _, slow_steps_plain = Exec.solo_terminate plain c1 ~proc:1 in
+  check_bool
+    (Printf.sprintf "plain: slow pays the rival's rounds (%d steps)" slow_steps_plain)
+    true (slow_steps_plain >= 24)
+
+let test_helping_no_duplicates_under_contention () =
+  (* Stress: heavy interleavings; the linearization checker rejects
+     duplicated descriptors, so passing means helpers never double-apply. *)
+  let base = Gallery.register 2 in
+  let workload = [| [ 1; 2; 1 ]; [ 2; 1 ]; [ 1; 1; 2 ] |] in
+  let p = Universal.build_helping ~base ~base_initial:0 workload in
+  for seed = 1 to 60 do
+    let final, _, out =
+      run_with p ~adv:(Adversary.random ~crash_prob:0.2 ~seed ~nprocs:3) ~z:1 ~fuel:5000
+    in
+    check_bool "completes" true out.Exec.all_decided;
+    let report = Universal.check_linearizable_helping p ~base ~base_initial:0 workload final in
+    check_bool (Printf.sprintf "no duplicates/linearizable (seed %d)" seed) true
+      report.Universal.ok
+  done
+
+let suite =
+  [
+    Alcotest.test_case "heap sizing" `Quick test_heap_size;
+    Alcotest.test_case "crash-free runs linearize" `Quick test_crash_free_linearizable;
+    Alcotest.test_case "program order preserved" `Quick test_round_robin_order;
+    Alcotest.test_case "crashy runs linearize (E10)" `Slow test_crashy_runs_linearizable;
+    Alcotest.test_case "detectability: wins survive crashes" `Quick test_detectability_replay;
+    Alcotest.test_case "empty workloads" `Quick test_empty_workloads;
+    Alcotest.test_case "workload validation" `Quick test_workload_validation;
+    Alcotest.test_case "responses accessor" `Quick test_responses_accessor;
+    Alcotest.test_case "helping: crash-free linearizable" `Quick test_helping_crash_free;
+    Alcotest.test_case "helping: crashy linearizable" `Slow test_helping_crashy;
+    Alcotest.test_case "helping decides announced operations" `Quick test_helping_decides_announced_ops;
+    Alcotest.test_case "helping never double-applies" `Slow test_helping_no_duplicates_under_contention;
+    QCheck_alcotest.to_alcotest prop_random_workloads;
+    QCheck_alcotest.to_alcotest prop_random_workloads_with_crashes;
+  ]
