@@ -1,0 +1,20 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# What CI runs: full build, the whole test suite (including the engine
+# parity properties), and a parallel-engine smoke through the CLI.
+check: build test
+	dune exec bin/rcn.exe -- analyze test-and-set --cap 3 --jobs 2
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -74,9 +74,10 @@ let e4_overload () =
 let e5_gallery () =
   section "E5 — the hierarchy table: consensus vs recoverable consensus numbers";
   Printf.printf "%-18s %-9s %-6s %-6s %-6s %-6s\n" "type" "readable" "disc" "rec" "cons" "rcons";
+  Pool.with_pool ~jobs:(Engine.default_jobs ()) @@ fun pool ->
   List.iter
-    (fun (_, ty) -> Format.printf "%a@." Numbers.pp_analysis (Numbers.analyze ~cap:5 ty))
-    (Gallery.all ())
+    (fun a -> Format.printf "%a@." Analysis.pp a)
+    (Engine.analyze_all ~cap:5 pool (List.map snd (Gallery.all ())))
 
 let e6_witness () =
   section "E6 — the X_4 gap witness (corollary to Theorem 13)";
@@ -118,10 +119,25 @@ let e11_census () =
   let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
   Printf.printf "all %d readable types with 3 values, 2 RMW ops, 2 responses (cap 4):\n"
     (Census.space_size space);
-  let entries = Census.exhaustive ~cap:4 space in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run jobs =
+    Pool.with_pool ~jobs @@ fun pool -> time (fun () -> Engine.census ~cap:4 pool space)
+  in
+  let entries, t1 = run 1 in
+  let entries4, t4 = run 4 in
   Format.printf "%a@." Census.pp entries;
   Printf.printf "gap-1 share at level 3 (disc 3, rec 2): %.3f%%\n"
-    (100.0 *. Census.gap_share entries ~levels:(3, 2))
+    (100.0 *. Census.gap_share entries ~levels:(3, 2));
+  assert (entries = entries4);
+  Printf.printf
+    "engine census: jobs=1 %.2fs, jobs=4 %.2fs (speedup %.2fx on %d cores), histograms identical: %b\n"
+    t1 t4 (t1 /. t4)
+    (Domain.recommended_domain_count ())
+    (entries = entries4)
 
 let e8_valency () =
   section "E8 — valency machinery on a live protocol (Lemmas 6-9, Obs. 11)";
@@ -172,7 +188,36 @@ let e9_decider_scaling () =
       ("team-ladder-2", Gallery.team_ladder ~cap:2, 4);
       ("x4-witness", Gallery.x4_witness, 4);
       ("T_{4,2}", Gallery.tnn ~n:4 ~n':2, 4);
-    ]
+    ];
+  (* Engine ablations: domain fan-out and the shared closure cache.  The
+     refutation of 5-recording on x4-witness scans the whole candidate
+     space — the engine's best case. *)
+  let x4 = Gallery.x4_witness in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs_hi = max 2 (Engine.default_jobs ()) in
+  let run jobs =
+    Pool.with_pool ~jobs @@ fun pool ->
+    time (fun () -> Engine.search pool Decide.Recording x4 ~n:5)
+  in
+  let r1, t1 = run 1 in
+  let rn, tn = run jobs_hi in
+  Printf.printf
+    "engine refute 5-recording(x4): jobs=1 %.3fs, jobs=%d %.3fs (speedup %.2fx, same outcome: %b)\n"
+    t1 jobs_hi tn (t1 /. tn)
+    (Option.is_none r1 = Option.is_none rn);
+  let cache = Engine.Cache.create () in
+  Pool.with_pool ~jobs:1 @@ fun pool ->
+  let _, cold = time (fun () -> Engine.analyze ~cache ~cap:4 pool x4) in
+  let _, warm = time (fun () -> Engine.analyze ~cache ~cap:4 pool x4) in
+  let stats = Engine.Cache.stats cache in
+  Printf.printf
+    "engine closure cache analyze(x4, cap 4): cold %.3fs, warm %.6fs; outcome hits %d, misses %d, schedule hits %d, misses %d\n"
+    cold warm stats.Engine.Cache.hits stats.Engine.Cache.misses
+    stats.Engine.Cache.sched_hits stats.Engine.Cache.sched_misses
 
 let e10_universal () =
   section "E10 — universality: a crash-recoverable linearizable queue";
@@ -206,8 +251,7 @@ let e14_open_question_probe () =
     let d = Numbers.max_discerning ~cap:4 ty in
     let r = Numbers.max_recording ~cap:4 ty in
     Printf.printf "%-30s disc=%s rec=%s\n" name
-      (Numbers.bound_to_string d.Numbers.bound)
-      (Numbers.bound_to_string r.Numbers.bound)
+      (Analysis.level_to_string d) (Analysis.level_to_string r)
   in
   let t31 = Gallery.tnn ~n:3 ~n':1 in
   level "T_{3,1}" t31;

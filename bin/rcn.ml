@@ -7,33 +7,34 @@ let type_arg_doc =
    'x4-witness', 'team-ladder-2' — or a path to a specification file \
    produced by `rcn synth --save` / Objtype.to_spec_string."
 
-let lookup_type name =
-  match Gallery.find name with
-  | Some t -> Ok t
-  | None when Sys.file_exists name -> (
-      let contents = In_channel.with_open_text name In_channel.input_all in
-      try Ok (Objtype.of_spec_string contents)
-      with Objtype.Ill_formed msg -> Error (`Msg (Printf.sprintf "%s: %s" name msg)))
-  | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown type %S (and no such file); available: %s" name
-             (String.concat ", " (List.map fst (Gallery.all ())))))
-
 let objtype_conv =
-  Cmdliner.Arg.conv ((fun s -> lookup_type s), fun ppf t -> Objtype.pp ppf t)
+  Cmdliner.Arg.conv ((fun s -> Gallery.resolve s), fun ppf t -> Objtype.pp ppf t)
+
+(* [--jobs 0] resolves to RCN_JOBS / the host's domain count. *)
+let resolve_jobs j =
+  if j = 0 then
+    try Engine.default_jobs ()
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 2
+  else if j < 0 then begin
+    prerr_endline "--jobs must be nonnegative";
+    exit 2
+  end
+  else j
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
-let analyze ty cap certs =
-  let a = Numbers.analyze ~cap ty in
-  Format.printf "%a@." Numbers.pp_analysis a;
+let analyze ty cap certs jobs =
+  Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
+  let a = Engine.analyze ~cap pool ty in
+  Format.printf "%a@." Analysis.pp a;
   if certs then begin
-    (match a.Numbers.discerning.Numbers.certificate with
+    (match a.Analysis.discerning.Analysis.certificate with
     | Some c -> Format.printf "@.discerning witness:@.%a@." Certificate.pp c
     | None -> ());
-    match a.Numbers.recording.Numbers.certificate with
+    match a.Analysis.recording.Analysis.certificate with
     | Some c ->
         Format.printf "@.recording witness:@.%a@.clean: %b@." Certificate.pp c
           (Certificate.is_clean c)
@@ -43,12 +44,13 @@ let analyze ty cap certs =
 (* ------------------------------------------------------------------ *)
 (* gallery *)
 
-let gallery cap =
+let gallery cap jobs =
+  Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
   Format.printf "%-18s %-9s %-9s %-9s %-9s %-9s@." "type" "readable" "disc" "rec" "cons"
     "rcons";
   List.iter
-    (fun (_, ty) -> Format.printf "%a@." Numbers.pp_analysis (Numbers.analyze ~cap ty))
-    (Gallery.all ())
+    (fun a -> Format.printf "%a@." Analysis.pp a)
+    (Engine.analyze_all ~cap pool (List.map snd (Gallery.all ())))
 
 (* ------------------------------------------------------------------ *)
 (* statemachine (Figure 3) *)
@@ -183,9 +185,13 @@ let trace name n n' schedule_text inputs_text =
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let synth target values rws responses seed iters save =
+let synth target values rws responses seed iters save portfolio jobs =
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
-  match Synth.search ~seed ~max_iterations:iters ~target space with
+  let witness =
+    Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
+    Engine.synth_portfolio ~seed ~max_iterations:iters ~portfolio pool ~target space
+  in
+  match witness with
   | Some w ->
       Printf.printf "witness found after %d evaluations:\n" w.Synth.iterations;
       Format.printf "%a@." Objtype.pp_table w.Synth.objtype;
@@ -240,12 +246,14 @@ let chain name n n' z max_events inputs_text =
 (* ------------------------------------------------------------------ *)
 (* census *)
 
-let census values rws responses cap sample_count seed =
+let census values rws responses cap sample_count seed jobs =
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
   let entries =
     match sample_count with
     | Some count -> Census.sample ~cap ~seed ~count space
-    | None -> Census.exhaustive ~cap space
+    | None ->
+        Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
+        Engine.census ~cap pool space
   in
   Format.printf "%a@." Census.pp entries
 
@@ -255,7 +263,8 @@ let census values rws responses cap sample_count seed =
 let robustness names cap =
   let types =
     List.map
-      (fun name -> match lookup_type name with Ok t -> t | Error (`Msg m) -> prerr_endline m; exit 2)
+      (fun name ->
+        match Gallery.resolve name with Ok t -> t | Error (`Msg m) -> prerr_endline m; exit 2)
       names
   in
   Format.printf "%a@." Robustness.pp_report (Robustness.analyze ~cap types)
@@ -267,6 +276,15 @@ open Cmdliner
 
 let cap_t =
   Arg.(value & opt int 5 & info [ "cap" ] ~docv:"N" ~doc:"Scan levels up to $(docv).")
+
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"J"
+        ~doc:
+          "Worker domains for the decision engine (results are identical at \
+           every job count).  0 means automatic: $(b,RCN_JOBS) when set, \
+           otherwise the host's recommended domain count.")
 
 let ty_t = Arg.(required & pos 0 (some objtype_conv) None & info [] ~docv:"TYPE" ~doc:type_arg_doc)
 
@@ -280,12 +298,12 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Determine (recoverable) consensus numbers of a gallery type")
-    Term.(const analyze $ ty_t $ cap_t $ certs)
+    Term.(const analyze $ ty_t $ cap_t $ certs $ jobs_t)
 
 let gallery_cmd =
   Cmd.v
     (Cmd.info "gallery" ~doc:"Analyze every gallery type (experiment E5)")
-    Term.(const gallery $ cap_t)
+    Term.(const gallery $ cap_t $ jobs_t)
 
 let statemachine_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz dot instead of ASCII.") in
@@ -332,9 +350,14 @@ let synth_cmd =
   let save =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"Write the witness's specification to $(docv).")
   in
+  let portfolio =
+    Arg.(value & opt int 1 & info [ "portfolio" ] ~docv:"P"
+           ~doc:"Independently seeded climbs run across the worker domains; \
+                 the lowest-seeded success wins.")
+  in
   Cmd.v
     (Cmd.info "synth" ~doc:"Search for a consensus-number gap witness (experiment E6)")
-    Term.(const synth $ target $ values $ rws $ responses $ seed $ iters $ save)
+    Term.(const synth $ target $ values $ rws $ responses $ seed $ iters $ save $ portfolio $ jobs_t)
 
 let trace_cmd =
   let schedule =
@@ -374,7 +397,7 @@ let census_cmd =
   Cmd.v
     (Cmd.info "census"
        ~doc:"Histogram (discerning, recording) levels over a whole space of small types")
-    Term.(const census $ values $ rws $ responses $ cap_t $ sample_count $ seed)
+    Term.(const census $ values $ rws $ responses $ cap_t $ sample_count $ seed $ jobs_t)
 
 let robustness_cmd =
   let tys = Arg.(non_empty & pos_all string [] & info [] ~docv:"TYPE" ~doc:type_arg_doc) in

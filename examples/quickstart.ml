@@ -27,10 +27,10 @@ let () =
 
   (* One call determines everything below a cap. *)
   let analysis = Numbers.analyze ~cap:5 sticky_pair in
-  Format.printf "%a@.@." Numbers.pp_analysis analysis;
+  Format.printf "%a@.@." Analysis.pp analysis;
 
   (* The certificates explain *why*: replay them independently. *)
-  (match analysis.Numbers.recording.Numbers.certificate with
+  (match analysis.Analysis.recording.Analysis.certificate with
   | Some cert ->
       Format.printf "Recording certificate found by the decider:@.%a@." Certificate.pp cert;
       Format.printf "Independent replay validates it: %b@.@."
@@ -40,7 +40,7 @@ let () =
   (* Compare with the classical anchors from the literature. *)
   Format.printf "For reference:@.";
   List.iter
-    (fun ty -> Format.printf "%a@." Numbers.pp_analysis (Numbers.analyze ~cap:4 ty))
+    (fun ty -> Format.printf "%a@." Analysis.pp (Numbers.analyze ~cap:4 ty))
     [ Gallery.register 2; Gallery.test_and_set; Gallery.sticky_bit ];
 
   (* And render the state machine, as in the paper's Figure 3. *)

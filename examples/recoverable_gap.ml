@@ -11,7 +11,7 @@ let () =
   rule ();
   let x4 = Gallery.x4_witness in
   Format.printf "%a@.@." Objtype.pp_table x4;
-  Format.printf "%a@.@." Numbers.pp_analysis (Numbers.analyze ~cap:5 x4);
+  Format.printf "%a@.@." Analysis.pp (Numbers.analyze ~cap:5 x4);
   Format.printf
     "Consensus number 4, recoverable consensus number 2: by Ruppert's@.\
      characterization and by DFFR Theorem 8 + the paper's Theorem 13, both@.\
@@ -30,7 +30,7 @@ let () =
     (fun n ->
       let ty = Gallery.crossing_witness ~n in
       Format.printf "crossing-x%d (%d values, 3 ops): %a@." n ty.Objtype.num_values
-        Numbers.pp_analysis
+        Analysis.pp
         (Numbers.analyze ~cap:(n + 1) ty))
     [ 4; 5; 6 ];
   Format.printf
@@ -55,13 +55,13 @@ let () =
     (fun (n, n') ->
       let ty = Gallery.tnn ~n ~n' in
       let a = Numbers.analyze ~cap:(n + 1) ty in
-      Format.printf "%a@." Numbers.pp_analysis a;
+      Format.printf "%a@." Analysis.pp a;
       Format.printf
         "  paper: consensus number %d, recoverable consensus number %d.@.\
         \  Note max-recording = %s exceeds %d: n-recording is necessary but not@.\
         \  sufficient without readability (op_R destroys values s_{x,i>%d}).@."
         n n'
-        (Numbers.bound_to_string a.Numbers.recording.Numbers.bound)
+        (Analysis.level_to_string a.Analysis.recording)
         n' n')
     [ (3, 1); (4, 2); (5, 2) ];
 

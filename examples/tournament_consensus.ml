@@ -11,8 +11,8 @@ let () =
   let ty = Gallery.team_ladder ~cap:4 in
   Format.printf "type: %a@." Objtype.pp ty;
   Format.printf "recoverable consensus number: %s@.@."
-    (Numbers.bound_to_string
-       (Option.get (Numbers.recoverable_consensus_number ~cap:5 ty)));
+    (Analysis.level_to_string
+       (Option.get (Analysis.recoverable_consensus_number (Numbers.analyze ~cap:5 ty))));
 
   (* Plan a 4-process tournament. *)
   (match Tournament.plan ty ~nprocs:4 with

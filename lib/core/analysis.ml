@@ -1,0 +1,39 @@
+type status = Exact | At_least
+
+type level = { value : int; status : status; certificate : Certificate.t option }
+
+type t = {
+  type_name : string;
+  readable : bool;
+  discerning : level;
+  recording : level;
+  elapsed : float;
+}
+
+let level_value l = l.value
+let is_exact l = l.status = Exact
+
+let equal_level a b = a.value = b.value && a.status = b.status
+
+let equal a b =
+  a.type_name = b.type_name && a.readable = b.readable
+  && equal_level a.discerning b.discerning
+  && equal_level a.recording b.recording
+
+let consensus_number a = if a.readable then Some a.discerning else None
+let recoverable_consensus_number a = if a.readable then Some a.recording else None
+
+let pp_level ppf l =
+  match l.status with
+  | Exact -> Format.pp_print_int ppf l.value
+  | At_least -> Format.fprintf ppf ">=%d" l.value
+
+let level_to_string l = Format.asprintf "%a" pp_level l
+
+let pp ppf a =
+  let opt = function None -> "n/a" | Some l -> level_to_string l in
+  Format.fprintf ppf "%-18s %-9s disc=%-4s rec=%-4s cons=%-4s rcons=%-4s" a.type_name
+    (if a.readable then "readable" else "opaque")
+    (level_to_string a.discerning) (level_to_string a.recording)
+    (opt (consensus_number a))
+    (opt (recoverable_consensus_number a))

@@ -1,0 +1,63 @@
+(** The unified result record of the determining procedure.
+
+    One analysis collapses everything a decider run can say about a finite
+    deterministic type: its name, readability, the max-discerning and
+    max-recording levels (each either exact or a lower bound when the scan
+    hit its cap, with the witnessing certificate at the highest level
+    reached), and the wall-clock time the deciders spent.
+
+    Both {!Numbers.analyze} and the parallel [Engine.analyze_all] return
+    this record; the consensus-number views are derived accessors rather
+    than stored fields, so there is exactly one result shape. *)
+
+type status =
+  | Exact  (** the scan found the precise level *)
+  | At_least  (** the scan stopped at its cap; the level is a lower bound *)
+
+type level = {
+  value : int;
+  status : status;
+  certificate : Certificate.t option;
+      (** a witness at the highest level reached; [None] when the level is
+          exactly 1 (the condition is vacuous for one process) *)
+}
+
+type t = {
+  type_name : string;
+  readable : bool;
+  discerning : level;  (** largest [n <= cap] such that the type is [n]-discerning *)
+  recording : level;  (** same, for the [n]-recording condition *)
+  elapsed : float;  (** seconds of wall-clock time spent by the deciders *)
+}
+
+val level_value : level -> int
+val is_exact : level -> bool
+
+val equal_level : level -> level -> bool
+(** Equality of (value, status); certificates are witnesses, not results. *)
+
+val equal : t -> t -> bool
+(** Equality of everything except [elapsed] (and modulo certificates, as in
+    {!equal_level}) — what parity between sequential and parallel runs
+    means.  The engine's parity tests additionally compare certificates
+    field by field. *)
+
+val consensus_number : t -> level option
+(** [Some] of the discerning level for readable types, where Ruppert's
+    characterization makes the consensus number exactly max-discerning;
+    [None] for non-readable types, whose consensus number is not determined
+    by discerning alone (the paper's [T_{n,n'}] is the canonical example). *)
+
+val recoverable_consensus_number : t -> level option
+(** [Some] of the recording level for readable types — exact by DFFR
+    Theorem 8 plus the paper's Theorem 13; [None] for non-readable types
+    (for [T_{n,n'}], max-recording is [n-1] while the true recoverable
+    consensus number is [n']). *)
+
+val pp_level : Format.formatter -> level -> unit
+(** ["3"] for exact levels, [">=3"] for lower bounds. *)
+
+val level_to_string : level -> string
+
+val pp : Format.formatter -> t -> unit
+(** The E5 table row: name, readability, levels and derived numbers. *)

@@ -134,8 +134,12 @@ let checker = function
   | Discerning -> check_discerning_fast
   | Recording -> check_recording_fast
 
-let certificates ?naive condition t ~n =
-  let scheds = Sched.at_most_once ~nprocs:n in
+let check condition t scheds ~u ~team ~ops = (checker condition) t scheds ~u ~team ~ops
+
+let certificates ?naive ?scheds condition t ~n =
+  let scheds =
+    match scheds with Some s -> s | None -> Sched.at_most_once ~nprocs:n
+  in
   let check = checker condition in
   candidates ?naive t ~n
   |> Seq.filter_map (fun (u, team, ops) ->
@@ -143,8 +147,8 @@ let certificates ?naive condition t ~n =
            Some (Certificate.make ~objtype:t ~initial:u ~team ~ops)
          else None)
 
-let search ?naive condition t ~n =
-  match (certificates ?naive condition t ~n) () with
+let search ?naive ?scheds condition t ~n =
+  match (certificates ?naive ?scheds condition t ~n) () with
   | Seq.Nil -> None
   | Seq.Cons (c, _) -> Some c
 

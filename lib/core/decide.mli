@@ -16,16 +16,55 @@
 
 type condition = Discerning | Recording
 
-val search : ?naive:bool -> condition -> Objtype.t -> n:int -> Certificate.t option
+val search :
+  ?naive:bool ->
+  ?scheds:Sched.proc list list ->
+  condition ->
+  Objtype.t ->
+  n:int ->
+  Certificate.t option
 (** The least certificate (in enumeration order) witnessing the condition
     for [n] processes, or [None] if the type does not satisfy it.
-    Requires [n >= 2]. *)
+    Requires [n >= 2].  [?scheds] supplies a precomputed
+    [Sched.at_most_once ~nprocs:n] (it must be exactly that set) so that
+    callers deciding many types at the same [n] — the engine's census
+    sweep, the closure cache — replay without re-enumerating [S(P)]. *)
 
 val is_discerning : Objtype.t -> n:int -> bool
 val is_recording : Objtype.t -> n:int -> bool
 
-val certificates : ?naive:bool -> condition -> Objtype.t -> n:int -> Certificate.t Seq.t
+val certificates :
+  ?naive:bool ->
+  ?scheds:Sched.proc list list ->
+  condition ->
+  Objtype.t ->
+  n:int ->
+  Certificate.t Seq.t
 (** All witnessing certificates, lazily. *)
+
+val candidates :
+  ?naive:bool ->
+  Objtype.t ->
+  n:int ->
+  (Objtype.value * bool array * Objtype.op array) Seq.t
+(** The candidate certificates [(u, team, ops)] that {!search} enumerates,
+    in search order — the raw material for the engine's deterministic
+    chunked fan-out (a parallel search that returns the least witnessing
+    index returns exactly {!search}'s certificate).  Each yielded [ops]
+    array is fresh; [team] arrays are shared between candidates of the same
+    partition and must not be mutated. *)
+
+val check :
+  condition ->
+  Objtype.t ->
+  Sched.proc list list ->
+  u:Objtype.value ->
+  team:bool array ->
+  ops:Objtype.op array ->
+  bool
+(** Replay the given at-most-once schedules against one candidate and test
+    the condition — the per-candidate kernel of {!search}, exposed so
+    parallel workers can share one schedule enumeration. *)
 
 val count_candidates : ?naive:bool -> Objtype.t -> n:int -> int
 (** Number of candidate certificates the search would enumerate (for the

@@ -11,58 +11,36 @@ let pp_bound ppf = function
 
 let bound_to_string b = Format.asprintf "%a" pp_bound b
 
-type level = { bound : bound; certificate : Certificate.t option }
+let bound_of_level (l : Analysis.level) =
+  match l.Analysis.status with
+  | Analysis.Exact -> Exact l.Analysis.value
+  | Analysis.At_least -> At_least l.Analysis.value
 
 let default_cap = 5
 
 let scan condition ?(cap = default_cap) t =
   if cap < 2 then invalid_arg "Numbers: cap must be at least 2";
   let rec loop n best =
-    if n > cap then { bound = At_least cap; certificate = best }
+    if n > cap then
+      { Analysis.value = cap; status = Analysis.At_least; certificate = best }
     else
       match Decide.search condition t ~n with
       | Some c -> loop (n + 1) (Some c)
-      | None ->
-          let bound = Exact (n - 1) in
-          { bound; certificate = best }
+      | None -> { Analysis.value = n - 1; status = Analysis.Exact; certificate = best }
   in
   loop 2 None
 
 let max_discerning ?cap t = scan Decide.Discerning ?cap t
 let max_recording ?cap t = scan Decide.Recording ?cap t
 
-let consensus_number ?cap t =
-  if Objtype.is_readable t then Some (max_discerning ?cap t).bound else None
-
-let recoverable_consensus_number ?cap t =
-  if Objtype.is_readable t then Some (max_recording ?cap t).bound else None
-
-type analysis = {
-  type_name : string;
-  readable : bool;
-  discerning : level;
-  recording : level;
-  consensus : bound option;
-  recoverable : bound option;
-}
-
 let analyze ?cap t =
-  let readable = Objtype.is_readable t in
+  let started = Unix.gettimeofday () in
   let discerning = max_discerning ?cap t in
   let recording = max_recording ?cap t in
   {
-    type_name = t.Objtype.name;
-    readable;
+    Analysis.type_name = t.Objtype.name;
+    readable = Objtype.is_readable t;
     discerning;
     recording;
-    consensus = (if readable then Some discerning.bound else None);
-    recoverable = (if readable then Some recording.bound else None);
+    elapsed = Unix.gettimeofday () -. started;
   }
-
-let pp_analysis ppf a =
-  let opt = function None -> "n/a" | Some b -> bound_to_string b in
-  Format.fprintf ppf "%-18s %-9s disc=%-4s rec=%-4s cons=%-4s rcons=%-4s" a.type_name
-    (if a.readable then "readable" else "opaque")
-    (bound_to_string a.discerning.bound)
-    (bound_to_string a.recording.bound)
-    (opt a.consensus) (opt a.recoverable)

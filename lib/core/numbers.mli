@@ -14,52 +14,36 @@
     checks downward closure explicitly on the gallery.  Because some types
     (CAS, sticky bits) satisfy the conditions for every [n], the scan is
     bounded by a [cap] and the result distinguishes exact answers from
-    lower bounds. *)
+    lower bounds.
+
+    Every entry point returns the unified {!Analysis} shapes; the derived
+    consensus-number views live there ({!Analysis.consensus_number},
+    {!Analysis.recoverable_consensus_number}).  The standalone
+    [consensus_number] / [recoverable_consensus_number] accessors and the
+    ad-hoc [analysis] record of earlier revisions are gone.  For parallel
+    or cached analysis of many types, use [Engine.analyze_all] from
+    [rcn_engine], which returns the same {!Analysis.t} bit for bit. *)
 
 type bound = Exact of int | At_least of int
+(** A scan outcome summarized as a number: kept for callers (robustness
+    reports, tests) that compare levels without certificates. *)
 
 val equal_bound : bound -> bound -> bool
 val pp_bound : Format.formatter -> bound -> unit
 val bound_to_string : bound -> string
 
-type level = {
-  bound : bound;
-  certificate : Certificate.t option;
-      (** a witness at the highest level reached, [None] when the bound is
-          [Exact 1] (the condition is vacuous for one process) *)
-}
+val bound_of_level : Analysis.level -> bound
+(** Forget the certificate: [Exact v] or [At_least v]. *)
 
-val max_discerning : ?cap:int -> Objtype.t -> level
+val default_cap : int
+
+val max_discerning : ?cap:int -> Objtype.t -> Analysis.level
 (** Largest [n <= cap] (default cap 5) such that the type is
-    [n]-discerning; [Exact 1] if not even 2-discerning, [At_least cap] when
+    [n]-discerning; exactly 1 if not even 2-discerning, [At_least cap] when
     still discerning at the cap. *)
 
-val max_recording : ?cap:int -> Objtype.t -> level
+val max_recording : ?cap:int -> Objtype.t -> Analysis.level
 (** Same, for the [n]-recording condition. *)
 
-val consensus_number : ?cap:int -> Objtype.t -> bound option
-(** [Some] (via {!max_discerning}) for readable types, where Ruppert's
-    characterization makes the answer exact; [None] for non-readable types,
-    whose consensus number is not determined by discerning alone (the
-    paper's [T_{n,n'}] is the canonical example). *)
-
-val recoverable_consensus_number : ?cap:int -> Objtype.t -> bound option
-(** [Some] (via {!max_recording}) for readable types — exact by DFFR
-    Theorem 8 plus this paper's Theorem 13; [None] for non-readable types
-    (for [T_{n,n'}], max-recording is [n-1] while the true recoverable
-    consensus number is [n'] — recording is necessary but not sufficient
-    without readability). *)
-
-type analysis = {
-  type_name : string;
-  readable : bool;
-  discerning : level;
-  recording : level;
-  consensus : bound option;
-  recoverable : bound option;
-}
-
-val analyze : ?cap:int -> Objtype.t -> analysis
-(** Everything above in one record, for tables (experiment E5). *)
-
-val pp_analysis : Format.formatter -> analysis -> unit
+val analyze : ?cap:int -> Objtype.t -> Analysis.t
+(** Both scans in one {!Analysis.t} record, for tables (experiment E5). *)

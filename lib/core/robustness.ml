@@ -1,5 +1,5 @@
 type report = {
-  per_type : (string * Numbers.level) list;
+  per_type : (string * Analysis.level) list;
   combined : Numbers.bound;
   strongest : string;
   witness : Certificate.t option;
@@ -8,6 +8,8 @@ type report = {
 let level_key (b : Numbers.bound) =
   (* Order bounds: At_least k dominates Exact k (it may be larger). *)
   match b with Numbers.Exact n -> (n, 0) | Numbers.At_least n -> (n, 1)
+
+let key_of_level l = level_key (Numbers.bound_of_level l)
 
 let analyze ?cap types =
   if types = [] then invalid_arg "Robustness.analyze: empty type set";
@@ -23,16 +25,21 @@ let analyze ?cap types =
   let strongest, best =
     List.fold_left
       (fun ((_, best) as acc) ((_, level) as entry) ->
-        if level_key level.Numbers.bound > level_key best.Numbers.bound then entry else acc)
+        if key_of_level level > key_of_level best then entry else acc)
       (List.hd per_type) (List.tl per_type)
   in
-  { per_type; combined = best.Numbers.bound; strongest; witness = best.Numbers.certificate }
+  {
+    per_type;
+    combined = Numbers.bound_of_level best;
+    strongest;
+    witness = best.Analysis.certificate;
+  }
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";
   List.iter
-    (fun (name, (level : Numbers.level)) ->
-      Format.fprintf ppf "%-18s max-recording %a@," name Numbers.pp_bound level.Numbers.bound)
+    (fun (name, (level : Analysis.level)) ->
+      Format.fprintf ppf "%-18s max-recording %a@," name Analysis.pp_level level)
     r.per_type;
   Format.fprintf ppf "combined (robustness): %a, attained by %s@]" Numbers.pp_bound r.combined
     r.strongest
@@ -52,7 +59,7 @@ let check_product ?cap t1 t2 =
       if not (Objtype.is_readable t) then
         invalid_arg (Printf.sprintf "Robustness.check_product: %s is not readable" t.Objtype.name))
     [ t1; t2 ];
-  let level t = (Numbers.max_recording ?cap t).Numbers.bound in
+  let level t = Numbers.bound_of_level (Numbers.max_recording ?cap t) in
   let left_level = level t1 and right_level = level t2 in
   let product_level = level (Objtype.product t1 t2) in
   let robust =

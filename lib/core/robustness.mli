@@ -8,7 +8,7 @@
     combining objects cannot help. *)
 
 type report = {
-  per_type : (string * Numbers.level) list;
+  per_type : (string * Analysis.level) list;
       (** max-recording level of each type in the set *)
   combined : Numbers.bound;
       (** recoverable consensus level of the whole set: by Theorem 13 +

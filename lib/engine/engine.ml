@@ -1,0 +1,204 @@
+let default_jobs () =
+  match Sys.getenv_opt "RCN_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "RCN_JOBS=%S: expected a positive integer" s))
+  | None -> min 8 (Domain.recommended_domain_count ())
+
+module Cache = struct
+  type stats = { sched_hits : int; sched_misses : int; hits : int; misses : int }
+
+  type t = {
+    mutex : Mutex.t;
+    scheds : (int, Sched.proc list list) Hashtbl.t;
+    outcomes : (string * Decide.condition * int, Certificate.t option) Hashtbl.t;
+    mutable stats : stats;
+  }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      scheds = Hashtbl.create 8;
+      outcomes = Hashtbl.create 64;
+      stats = { sched_hits = 0; sched_misses = 0; hits = 0; misses = 0 };
+    }
+
+  let stats t = Mutex.protect t.mutex (fun () -> t.stats)
+
+  let scheds t ~n =
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.scheds n with
+        | Some s ->
+            t.stats <- { t.stats with sched_hits = t.stats.sched_hits + 1 };
+            s
+        | None ->
+            let s = Sched.at_most_once ~nprocs:n in
+            Hashtbl.add t.scheds n s;
+            t.stats <- { t.stats with sched_misses = t.stats.sched_misses + 1 };
+            s)
+
+  (* The outcome is computed outside the lock; a racing duplicate computes
+     the same (deterministic) value, so whichever publishes first wins. *)
+  let find_or_add t ~key ~compute =
+    let cached =
+      Mutex.protect t.mutex (fun () ->
+          match Hashtbl.find_opt t.outcomes key with
+          | Some outcome ->
+              t.stats <- { t.stats with hits = t.stats.hits + 1 };
+              Some outcome
+          | None -> None)
+    in
+    match cached with
+    | Some outcome -> outcome
+    | None ->
+        let outcome = compute () in
+        Mutex.protect t.mutex (fun () ->
+            if not (Hashtbl.mem t.outcomes key) then Hashtbl.add t.outcomes key outcome;
+            t.stats <- { t.stats with misses = t.stats.misses + 1 });
+        outcome
+end
+
+(* Deterministic parallel first-witness search: domains claim ranges of the
+   materialized candidate array and race to lower [best], the minimal
+   witnessing index found so far.  A range starting at or past [best] is
+   pruned.  Every index below the final minimum has been checked and
+   refuted, so the minimum is the sequential first witness. *)
+let search_fanout pool scheds condition t ~n =
+  let cands = Array.of_seq (Decide.candidates t ~n) in
+  let total = Array.length cands in
+  let best = Atomic.make max_int in
+  Pool.parallel_for pool total (fun lo hi ->
+      let i = ref lo in
+      while !i < hi && !i < Atomic.get best do
+        let u, team, ops = cands.(!i) in
+        if Decide.check condition t scheds ~u ~team ~ops then begin
+          let rec lower () =
+            let b = Atomic.get best in
+            if !i < b && not (Atomic.compare_and_set best b !i) then lower ()
+          in
+          lower ();
+          i := hi
+        end
+        else incr i
+      done);
+  match Atomic.get best with
+  | b when b = max_int -> None
+  | b ->
+      let u, team, ops = cands.(b) in
+      Some (Certificate.make ~objtype:t ~initial:u ~team ~ops)
+
+let search_uncached ?scheds pool condition t ~n =
+  let scheds =
+    match scheds with Some s -> s | None -> Sched.at_most_once ~nprocs:n
+  in
+  if Pool.jobs pool = 1 then Decide.search ~scheds condition t ~n
+  else search_fanout pool scheds condition t ~n
+
+let search ?cache pool condition t ~n =
+  match cache with
+  | None -> search_uncached pool condition t ~n
+  | Some c ->
+      Cache.find_or_add c
+        ~key:(Objtype.to_spec_string t, condition, n)
+        ~compute:(fun () ->
+          search_uncached ~scheds:(Cache.scheds c ~n) pool condition t ~n)
+
+let scan ?cache ?(cap = Numbers.default_cap) pool condition t =
+  if cap < 2 then invalid_arg "Engine: cap must be at least 2";
+  let rec loop n best =
+    if n > cap then
+      { Analysis.value = cap; status = Analysis.At_least; certificate = best }
+    else
+      match search ?cache pool condition t ~n with
+      | Some c -> loop (n + 1) (Some c)
+      | None -> { Analysis.value = n - 1; status = Analysis.Exact; certificate = best }
+  in
+  loop 2 None
+
+let max_discerning ?cache ?cap pool t = scan ?cache ?cap pool Decide.Discerning t
+let max_recording ?cache ?cap pool t = scan ?cache ?cap pool Decide.Recording t
+
+let analyze ?cache ?cap pool t =
+  let started = Unix.gettimeofday () in
+  let discerning = max_discerning ?cache ?cap pool t in
+  let recording = max_recording ?cache ?cap pool t in
+  {
+    Analysis.type_name = t.Objtype.name;
+    readable = Objtype.is_readable t;
+    discerning;
+    recording;
+    elapsed = Unix.gettimeofday () -. started;
+  }
+
+let analyze_all ?cache ?cap pool types =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  List.map (analyze ~cache ?cap pool) types
+
+(* Truncated levels of one census table, replaying against the shared
+   schedule sets.  Matches [Census.levels] (the same [Decide.search] on the
+   same schedules), without caching per-type outcomes: census tables are
+   pairwise distinct, so an outcome memo would only grow. *)
+let census_levels cache ~cap ty =
+  let level condition =
+    let rec loop n =
+      if n > cap then cap
+      else
+        let scheds = Cache.scheds cache ~n in
+        match Decide.search ~scheds condition ty ~n with
+        | Some _ -> loop (n + 1)
+        | None -> n - 1
+    in
+    loop 2
+  in
+  (level Decide.Discerning, level Decide.Recording)
+
+let census ?cache ?(cap = 4) pool space =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let size = Census.space_size space in
+  (* Warm the schedule memo on the submitting domain so workers only read. *)
+  for n = 2 to cap do
+    ignore (Cache.scheds cache ~n)
+  done;
+  let levels = Array.make size (0, 0) in
+  Pool.parallel_for pool ~chunk:32 size (fun lo hi ->
+      for i = lo to hi - 1 do
+        let ty = Synth.to_objtype (Census.genome_of_index space i) in
+        levels.(i) <- census_levels cache ~cap ty
+      done);
+  let histogram = Hashtbl.create 64 in
+  Array.iter
+    (fun key ->
+      Hashtbl.replace histogram key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram key)))
+    levels;
+  Census.of_histogram histogram
+
+let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ~portfolio pool
+    ~target space =
+  if portfolio < 1 then
+    invalid_arg "Engine.synth_portfolio: portfolio must be positive";
+  let results = Array.make portfolio None in
+  let best = Atomic.make max_int in
+  Pool.parallel_for pool ~chunk:1 portfolio (fun lo hi ->
+      for k = lo to hi - 1 do
+        (* Skip only seeds above an already-successful one: every seed
+           below the final minimum runs to completion, so the portfolio
+           returns the first success in seed order. *)
+        if k < Atomic.get best then
+          match
+            Synth.search ~seed:(seed + k) ?max_iterations ?restart_every
+              ~target space
+          with
+          | Some w ->
+              results.(k) <- Some w;
+              let rec lower () =
+                let b = Atomic.get best in
+                if k < b && not (Atomic.compare_and_set best b k) then lower ()
+              in
+              lower ()
+          | None -> ()
+      done);
+  match Atomic.get best with b when b = max_int -> None | b -> results.(b)

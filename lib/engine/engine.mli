@@ -1,0 +1,97 @@
+(** The parallel decision engine: the deciders of [Rcn_hierarchy] fanned
+    out over a {!Pool} of domains, with a shared transition-closure cache,
+    producing the same unified {!Analysis} records — bit for bit — as the
+    sequential entry points.
+
+    Determinism is by construction, not by luck:
+
+    - {!search} materializes [Decide.candidates] (the sequential
+      enumeration order) into an array and the domains race to *lower* a
+      shared minimal witnessing index, pruning ranges past the current
+      minimum.  Every index below the final minimum has been checked and
+      refuted, so the returned certificate is exactly the sequential
+      first witness.
+    - {!census} writes each table's (discerning, recording) levels into
+      its own slot of a preallocated array — disjoint writes, no merge
+      order — and tallies sequentially, so the histogram is identical at
+      every job count.
+    - {!synth_portfolio} runs independently-seeded climbs and returns the
+      first success in seed order; later seeds are only skipped once an
+      earlier one has succeeded.
+
+    The parity test suite pins all three against their sequential
+    counterparts at jobs 1, 2 and 4. *)
+
+val default_jobs : unit -> int
+(** The [RCN_JOBS] environment variable when set (a positive integer),
+    otherwise the host's recommended domain count, capped at 8.  The CLI
+    maps [--jobs 0] here.
+    @raise Invalid_argument when [RCN_JOBS] is set but unusable. *)
+
+(** A memo shared across decider queries: at-most-once schedule sets
+    [S(P)] keyed by process count — the expensive closure every replay
+    walks — and search outcomes keyed by (type specification, condition,
+    [n]).  Safe to share across the pool's domains (entries are immutable
+    once published; the table is mutex-protected). *)
+module Cache : sig
+  type t
+
+  type stats = {
+    sched_hits : int;
+    sched_misses : int;
+    hits : int;  (** search outcomes served from the memo *)
+    misses : int;  (** search outcomes computed *)
+  }
+
+  val create : unit -> t
+
+  val scheds : t -> n:int -> Sched.proc list list
+  (** [Sched.at_most_once ~nprocs:n], computed once per [n]. *)
+
+  val stats : t -> stats
+end
+
+val search :
+  ?cache:Cache.t ->
+  Pool.t ->
+  Decide.condition ->
+  Objtype.t ->
+  n:int ->
+  Certificate.t option
+(** Exactly [Decide.search condition t ~n] — the least witnessing
+    certificate in enumeration order, or [None] — computed across the
+    pool's domains, with schedules (and, when [cache] is given, whole
+    outcomes) served from the cache. *)
+
+val max_discerning : ?cache:Cache.t -> ?cap:int -> Pool.t -> Objtype.t -> Analysis.level
+val max_recording : ?cache:Cache.t -> ?cap:int -> Pool.t -> Objtype.t -> Analysis.level
+(** The upward scans of [Numbers], driven by {!search}. *)
+
+val analyze : ?cache:Cache.t -> ?cap:int -> Pool.t -> Objtype.t -> Analysis.t
+(** [Numbers.analyze ?cap t], parallelized within each decider query.
+    Equal (under [Analysis.equal]) to the sequential result, with the
+    same certificates. *)
+
+val analyze_all : ?cache:Cache.t -> ?cap:int -> Pool.t -> Objtype.t list -> Analysis.t list
+(** {!analyze} over a batch (e.g. the gallery), sharing one cache so
+    repeated types and schedule sets are computed once. *)
+
+val census : ?cache:Cache.t -> ?cap:int -> Pool.t -> Synth.space -> Census.entry list
+(** [Census.exhaustive ?cap space] with table indices partitioned across
+    the domains and [S(P)] shared through the cache; the histogram is
+    identical to the sequential census at any job count.  Default [cap]
+    is 4, matching [Census.exhaustive]. *)
+
+val synth_portfolio :
+  ?seed:int ->
+  ?max_iterations:int ->
+  ?restart_every:int ->
+  portfolio:int ->
+  Pool.t ->
+  target:int ->
+  Synth.space ->
+  Synth.witness option
+(** Run [portfolio] hill climbs, seeded [seed, seed + 1, ...], across the
+    pool, returning the witness of the lowest-seeded successful climb
+    (the same one a sequential first-success scan over the seeds would
+    return).  [portfolio = 1] is exactly [Synth.search ?seed]. *)

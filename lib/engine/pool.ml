@@ -1,0 +1,124 @@
+type task = {
+  run : int -> int -> unit;
+  total : int;
+  chunk : int;
+  next : int Atomic.t;
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  finished : Condition.t;
+  mutable epoch : int;
+  mutable task : task option;
+  mutable active : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  error : exn option Atomic.t;
+}
+
+let jobs t = t.jobs
+
+let drain pool task =
+  let continue = ref true in
+  while !continue do
+    let lo = Atomic.fetch_and_add task.next task.chunk in
+    if lo >= task.total then continue := false
+    else begin
+      let hi = min task.total (lo + task.chunk) in
+      try task.run lo hi
+      with e ->
+        ignore (Atomic.compare_and_set pool.error None (Some e));
+        (* Abandon the remaining ranges: in-flight claims finish, nobody
+           claims more. *)
+        Atomic.set task.next task.total
+    end
+  done
+
+(* Workers park on [has_work] until the epoch moves (every worker runs
+   every task — the submitter waits for [active = 0] before the next
+   submission, so no worker can still be draining a previous epoch) or
+   [stop] is raised at shutdown. *)
+let worker pool () =
+  let my_epoch = ref 0 in
+  Mutex.lock pool.mutex;
+  let running = ref true in
+  while !running do
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else if pool.epoch > !my_epoch then begin
+      my_epoch := pool.epoch;
+      let task = Option.get pool.task in
+      Mutex.unlock pool.mutex;
+      drain pool task;
+      Mutex.lock pool.mutex;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.finished
+    end
+    else Condition.wait pool.has_work pool.mutex
+  done
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be positive";
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      task = None;
+      active = 0;
+      stop = false;
+      workers = [];
+      error = Atomic.make None;
+    }
+  in
+  pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let parallel_for pool ?chunk total f =
+  if total > 0 then
+    if pool.jobs = 1 then f 0 total
+    else begin
+      let chunk =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | Some _ -> invalid_arg "Pool.parallel_for: chunk must be positive"
+        | None -> max 1 (total / (8 * pool.jobs))
+      in
+      Atomic.set pool.error None;
+      let task = { run = f; total; chunk; next = Atomic.make 0 } in
+      Mutex.lock pool.mutex;
+      pool.task <- Some task;
+      pool.active <- pool.jobs;
+      pool.epoch <- pool.epoch + 1;
+      Condition.broadcast pool.has_work;
+      Mutex.unlock pool.mutex;
+      drain pool task;
+      Mutex.lock pool.mutex;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.finished
+      else
+        while pool.active > 0 do
+          Condition.wait pool.finished pool.mutex
+        done;
+      pool.task <- None;
+      Mutex.unlock pool.mutex;
+      match Atomic.get pool.error with Some e -> raise e | None -> ()
+    end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.has_work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

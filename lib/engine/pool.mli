@@ -1,0 +1,38 @@
+(** A small fork-join work pool over OCaml domains.
+
+    The pool owns [jobs - 1] worker domains; the caller's domain is the
+    remaining worker, so [jobs = 1] degenerates to plain sequential
+    execution with no domains spawned and no synchronization at all.
+    Work is handed out as index ranges of a dense [0 .. total - 1]
+    iteration space, claimed chunk by chunk from a shared atomic cursor —
+    the deterministic chunked fan-out the engine's searches are built on.
+
+    The pool is *not* reentrant: only one [parallel_for] may be in flight
+    at a time, and the body must not itself call into the same pool.
+    Submissions are expected from a single owning domain (the one that
+    called {!create}). *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs - 1] worker domains (none when [jobs = 1]).
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for pool total f] applies [f lo hi] over disjoint ranges
+    covering [0 .. total - 1] ([hi] exclusive), concurrently across the
+    pool's domains, and returns when all of [total] has been processed.
+    [chunk] bounds the range size handed out per claim (default:
+    [total / (8 * jobs)], at least 1).  With [jobs = 1] this is exactly
+    [f 0 total] on the calling domain.  If any application raises, one of
+    the exceptions is re-raised in the caller after remaining work is
+    abandoned. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool must not be
+    used afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and [shutdown] (also on exception). *)

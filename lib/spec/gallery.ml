@@ -326,4 +326,17 @@ let all () =
 
 let find name = List.assoc_opt name (all ())
 
+let resolve name =
+  match find name with
+  | Some t -> Ok t
+  | None when Sys.file_exists name -> (
+      let contents = In_channel.with_open_text name In_channel.input_all in
+      try Ok (Objtype.of_spec_string contents)
+      with Objtype.Ill_formed msg -> Error (`Msg (Printf.sprintf "%s: %s" name msg)))
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown type %S (and no such file); available: %s" name
+             (String.concat ", " (List.map fst (all ())))))
+
 let tnn_team_of_value ~n v = if v < 2 then None else Some ((v - 2) / (n - 1))

@@ -100,6 +100,12 @@ val all : unit -> (string * Objtype.t) list
 val find : string -> Objtype.t option
 (** Look up a gallery entry produced by {!all} by name. *)
 
+val resolve : string -> (Objtype.t, [> `Msg of string ]) result
+(** {!find}, falling back to reading [name] as a specification file in the
+    {!Objtype.to_spec_string} format (as written by [rcn synth --save]).
+    The error message lists the available gallery names — the shared
+    front end of every CLI TYPE argument. *)
+
 val tnn_team_of_value : n:int -> Objtype.value -> int option
 (** For a value s_{x,i} of {!tnn}, the team [x]; [None] for [s] and
     [s_bot]. *)

@@ -24,21 +24,23 @@ let genome_of_index (space : Synth.space) index =
   fill 0 index;
   Synth.of_table space table
 
-let level_value cap = function Numbers.Exact n -> n | Numbers.At_least _ -> cap
+let levels ~cap ty =
+  (Analysis.level_value (Numbers.max_discerning ~cap ty),
+   Analysis.level_value (Numbers.max_recording ~cap ty))
+
+let of_histogram histogram =
+  Hashtbl.fold (fun (d, r) count acc -> { discerning = d; recording = r; count } :: acc)
+    histogram []
+  |> List.sort (fun a b -> compare (a.discerning, a.recording) (b.discerning, b.recording))
 
 let tally ~cap genomes =
   let histogram = Hashtbl.create 64 in
   Seq.iter
     (fun genome ->
-      let ty = Synth.to_objtype genome in
-      let d = level_value cap (Numbers.max_discerning ~cap ty).Numbers.bound in
-      let r = level_value cap (Numbers.max_recording ~cap ty).Numbers.bound in
-      let key = (d, r) in
+      let key = levels ~cap (Synth.to_objtype genome) in
       Hashtbl.replace histogram key (1 + Option.value ~default:0 (Hashtbl.find_opt histogram key)))
     genomes;
-  Hashtbl.fold (fun (d, r) count acc -> { discerning = d; recording = r; count } :: acc)
-    histogram []
-  |> List.sort (fun a b -> compare (a.discerning, a.recording) (b.discerning, b.recording))
+  of_histogram histogram
 
 let exhaustive ?(cap = 4) space =
   let size = space_size space in

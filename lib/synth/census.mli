@@ -17,6 +17,19 @@ val space_size : Synth.space -> int
 (** Number of tables in the space: [(responses * values) ^ (values * rws)].
     @raise Invalid_argument on overflow past [max_int]. *)
 
+val genome_of_index : Synth.space -> int -> Synth.genome
+(** The [index]-th table of the space in mixed-radix order — the
+    enumeration {!exhaustive} walks, exposed so the engine's parallel
+    census can partition indices across domains deterministically. *)
+
+val levels : cap:int -> Objtype.t -> int * int
+(** [(max_discerning, max_recording)] truncated at [cap] — the pair
+    {!tally} histograms for one type. *)
+
+val of_histogram : (int * int, int) Hashtbl.t -> entry list
+(** Sort a [(discerning, recording) -> count] table into entries, the
+    shared back end of {!tally} and the engine's parallel census. *)
+
 val exhaustive : ?cap:int -> Synth.space -> entry list
 (** Decide every table in the space (use only when {!space_size} is small);
     entries are sorted by (discerning, recording).  Default [cap] is 4. *)

@@ -141,8 +141,8 @@ let verify_witness ~target ty =
   &&
   let disc = Numbers.max_discerning ~cap:(target + 1) ty in
   let record = Numbers.max_recording ~cap:(target + 1) ty in
-  Numbers.equal_bound disc.Numbers.bound (Numbers.Exact target)
-  && Numbers.equal_bound record.Numbers.bound (Numbers.Exact (target - 2))
+  Numbers.equal_bound (Numbers.bound_of_level disc) (Numbers.Exact target)
+  && Numbers.equal_bound (Numbers.bound_of_level record) (Numbers.Exact (target - 2))
 
 let search ?(seed = 0) ?(max_iterations = 50_000) ?(restart_every = 2_000) ~target space =
   check_space space;

@@ -1,0 +1,252 @@
+(* Tests for the parallel decision engine: the pool itself, determinism
+   parity against the sequential deciders at several job counts, the shared
+   closure cache, and the synthesis portfolio. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let job_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_covers_range () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun pool ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Pool.parallel_for pool ~chunk:7 n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      check_bool
+        (Printf.sprintf "jobs=%d: every index exactly once" jobs)
+        true
+        (Array.for_all (fun c -> c = 1) hits))
+    job_counts
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:3 @@ fun pool ->
+  for round = 1 to 5 do
+    let claimed = Atomic.make 0 in
+    Pool.parallel_for pool 100 (fun lo hi ->
+        ignore (Atomic.fetch_and_add claimed (hi - lo)));
+    check_int (Printf.sprintf "round %d fully claimed" round) 100 (Atomic.get claimed)
+  done
+
+let test_pool_exception () =
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  check_bool "exception propagates to the caller" true
+    (try
+       Pool.parallel_for pool 100 (fun _ _ -> failwith "boom");
+       false
+     with Failure _ -> true);
+  (* the pool survives a failed task *)
+  let claimed = Atomic.make 0 in
+  Pool.parallel_for pool 10 (fun lo hi -> ignore (Atomic.fetch_and_add claimed (hi - lo)));
+  check_int "usable after exception" 10 (Atomic.get claimed)
+
+let test_pool_validation () =
+  check_bool "jobs = 0 rejected" true
+    (try
+       ignore (Pool.create ~jobs:0);
+       false
+     with Invalid_argument _ -> true);
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  check_int "jobs recorded" 2 (Pool.jobs pool);
+  check_bool "chunk = 0 rejected" true
+    (try
+       Pool.parallel_for pool ~chunk:0 10 (fun _ _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Search parity: the engine must return the sequential first witness. *)
+
+let cert_equal (a : Certificate.t) (b : Certificate.t) =
+  a.Certificate.initial = b.Certificate.initial
+  && a.Certificate.team = b.Certificate.team
+  && a.Certificate.ops = b.Certificate.ops
+
+let test_search_parity_gallery () =
+  List.iter
+    (fun (ty, n) ->
+      List.iter
+        (fun condition ->
+          let seq = Decide.search condition ty ~n in
+          List.iter
+            (fun jobs ->
+              Pool.with_pool ~jobs @@ fun pool ->
+              match (seq, Engine.search pool condition ty ~n) with
+              | None, None -> ()
+              | Some a, Some b ->
+                  check_bool
+                    (Printf.sprintf "%s n=%d jobs=%d same witness" ty.Objtype.name n jobs)
+                    true (cert_equal a b)
+              | _ ->
+                  Alcotest.failf "%s n=%d jobs=%d: outcome mismatch" ty.Objtype.name n jobs)
+            job_counts)
+        [ Decide.Discerning; Decide.Recording ])
+    [
+      (Gallery.test_and_set, 2);
+      (Gallery.test_and_set, 3);
+      (Gallery.team_ladder ~cap:2, 3);
+      (Gallery.x4_witness, 3);
+      (Gallery.x4_witness, 5);
+    ]
+
+let level_parity condition (seq : Analysis.level) (par : Analysis.level) =
+  Analysis.equal_level seq par
+  &&
+  match (seq.Analysis.certificate, par.Analysis.certificate) with
+  | None, None -> true
+  | Some a, Some b ->
+      cert_equal a b
+      && (match condition with
+         | Decide.Discerning -> Certificate.check_discerning b
+         | Decide.Recording -> Certificate.check_recording b)
+  | _ -> false
+
+let prop_engine_analyze_parity =
+  (* Random small readable types: the engine's analysis at jobs 1, 2, 4 has
+     the same levels and the same, replay-valid, certificates as the
+     sequential scan. *)
+  let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
+  let arbitrary =
+    QCheck.make
+      ~print:(fun g -> Format.asprintf "%a" Objtype.pp_table (Synth.to_objtype g))
+      (QCheck.Gen.map
+         (fun seed -> Synth.random_genome (Random.State.make [| seed |]) space)
+         QCheck.Gen.int)
+  in
+  QCheck.Test.make ~name:"engine analyze parity at jobs 1/2/4" ~count:60 arbitrary
+    (fun g ->
+      let ty = Synth.to_objtype g in
+      let seq = Numbers.analyze ~cap:3 ty in
+      List.for_all
+        (fun jobs ->
+          Pool.with_pool ~jobs @@ fun pool ->
+          let par = Engine.analyze ~cap:3 pool ty in
+          Analysis.equal seq par
+          && level_parity Decide.Discerning seq.Analysis.discerning par.Analysis.discerning
+          && level_parity Decide.Recording seq.Analysis.recording par.Analysis.recording)
+        job_counts)
+
+let test_analyze_all_gallery_parity () =
+  let types = List.map snd (Gallery.all ()) in
+  let seq = List.map (Numbers.analyze ~cap:3) types in
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let par = Engine.analyze_all ~cap:3 pool types in
+  List.iter2
+    (fun (s : Analysis.t) (p : Analysis.t) ->
+      check_bool (s.Analysis.type_name ^ " parity") true (Analysis.equal s p))
+    seq par
+
+let test_census_parity () =
+  (* The full 2-value / 2-RMW / 2-response space (256 tables): identical
+     histogram at every job count. *)
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  let seq = Census.exhaustive ~cap:3 space in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun pool ->
+      check_bool
+        (Printf.sprintf "jobs=%d histogram identical" jobs)
+        true
+        (Engine.census ~cap:3 pool space = seq))
+    job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Closure cache *)
+
+let test_cache_second_query_is_free () =
+  Pool.with_pool ~jobs:1 @@ fun pool ->
+  let cache = Engine.Cache.create () in
+  let a1 = Engine.analyze ~cache ~cap:3 pool Gallery.test_and_set in
+  let s1 = Engine.Cache.stats cache in
+  check_bool "first analysis computes outcomes" true (s1.Engine.Cache.misses > 0);
+  check_int "no outcome hits yet" 0 s1.Engine.Cache.hits;
+  check_int "schedule sets enumerated once per n (n = 2, 3)" 2
+    s1.Engine.Cache.sched_misses;
+  let a2 = Engine.analyze ~cache ~cap:3 pool Gallery.test_and_set in
+  let s2 = Engine.Cache.stats cache in
+  check_int "second analysis recomputes nothing" s1.Engine.Cache.misses
+    s2.Engine.Cache.misses;
+  check_int "every query served from the memo" s1.Engine.Cache.misses
+    s2.Engine.Cache.hits;
+  check_int "no schedule re-enumeration" s1.Engine.Cache.sched_misses
+    s2.Engine.Cache.sched_misses;
+  check_bool "identical analyses" true (Analysis.equal a1 a2)
+
+let test_cache_parity_across_jobs () =
+  let seq = Numbers.analyze ~cap:4 Gallery.x4_witness in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun pool ->
+      let cache = Engine.Cache.create () in
+      let cached = Engine.analyze ~cache ~cap:4 pool Gallery.x4_witness in
+      check_bool
+        (Printf.sprintf "jobs=%d cached analysis parity" jobs)
+        true (Analysis.equal seq cached))
+    job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis portfolio *)
+
+let test_synth_portfolio_parity () =
+  let space = { Synth.num_values = 5; num_rws = 4; num_responses = 5 } in
+  let reference = Synth.search ~seed:1 ~max_iterations:2_000 ~target:4 space in
+  check_bool "reference search finds a witness" true (reference <> None);
+  let reference = Option.get reference in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun pool ->
+      match
+        Engine.synth_portfolio ~seed:1 ~max_iterations:2_000 ~portfolio:3 pool
+          ~target:4 space
+      with
+      | None -> Alcotest.fail "portfolio found no witness"
+      | Some w ->
+          check_bool
+            (Printf.sprintf "jobs=%d returns the lowest-seed witness" jobs)
+            true
+            (Objtype.equal_behaviour w.Synth.objtype reference.Synth.objtype))
+    [ 1; 2 ];
+  check_bool "portfolio = 0 rejected" true
+    (try
+       Pool.with_pool ~jobs:1 @@ fun pool ->
+       ignore (Engine.synth_portfolio ~portfolio:0 pool ~target:4 space);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration *)
+
+let test_default_jobs_env () =
+  Unix.putenv "RCN_JOBS" "3";
+  check_int "RCN_JOBS overrides" 3 (Engine.default_jobs ());
+  Unix.putenv "RCN_JOBS" "zero";
+  check_bool "unusable RCN_JOBS rejected" true
+    (try
+       ignore (Engine.default_jobs ());
+       false
+     with Invalid_argument _ -> true);
+  Unix.putenv "RCN_JOBS" "1";
+  check_int "restored" 1 (Engine.default_jobs ())
+
+let suite =
+  [
+    Alcotest.test_case "pool covers the range exactly once" `Quick test_pool_covers_range;
+    Alcotest.test_case "pool is reusable across tasks" `Quick test_pool_reuse;
+    Alcotest.test_case "pool propagates exceptions" `Quick test_pool_exception;
+    Alcotest.test_case "pool argument validation" `Quick test_pool_validation;
+    Alcotest.test_case "search parity on gallery anchors" `Slow test_search_parity_gallery;
+    Alcotest.test_case "analyze_all parity on the gallery" `Slow test_analyze_all_gallery_parity;
+    Alcotest.test_case "census parity on the 2/2/2 space" `Slow test_census_parity;
+    Alcotest.test_case "closure cache: second query is free" `Quick test_cache_second_query_is_free;
+    Alcotest.test_case "cached analysis parity across jobs" `Slow test_cache_parity_across_jobs;
+    Alcotest.test_case "synthesis portfolio parity" `Slow test_synth_portfolio_parity;
+    Alcotest.test_case "RCN_JOBS handling" `Quick test_default_jobs_env;
+    QCheck_alcotest.to_alcotest prop_engine_analyze_parity;
+  ]

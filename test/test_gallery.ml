@@ -21,6 +21,31 @@ let test_all_well_formed () =
     entries;
   check_bool "unknown lookup" true (Gallery.find "no-such-type" = None)
 
+let test_resolve () =
+  let contains ~needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+    n = 0 || scan 0
+  in
+  (match Gallery.resolve "test-and-set" with
+  | Ok ty -> check_bool "gallery name" true (Objtype.equal_behaviour ty Gallery.test_and_set)
+  | Error (`Msg m) -> Alcotest.failf "gallery name failed: %s" m);
+  (match Gallery.resolve "no-such-type" with
+  | Error (`Msg m) -> check_bool "error lists available names" true (contains ~needle:"test-and-set" m)
+  | Ok _ -> Alcotest.fail "unknown name resolved");
+  (* a specification file written by `rcn synth --save` round-trips *)
+  let path = Filename.temp_file "rcn-gallery" ".spec" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Objtype.to_spec_string Gallery.test_and_set));
+  (match Gallery.resolve path with
+  | Ok ty -> check_bool "spec file" true (Objtype.equal_behaviour ty Gallery.test_and_set)
+  | Error (`Msg m) -> Alcotest.failf "spec file failed: %s" m);
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc "not a spec");
+  (match Gallery.resolve path with
+  | Error (`Msg m) -> check_bool "parse error names the file" true (contains ~needle:path m)
+  | Ok _ -> Alcotest.fail "garbage resolved");
+  Sys.remove path
+
 let test_register () =
   let r = Gallery.register 3 in
   (* write then read *)
@@ -232,6 +257,7 @@ let test_dot_output () =
 let suite =
   [
     Alcotest.test_case "gallery is well formed with unique names" `Quick test_all_well_formed;
+    Alcotest.test_case "resolve: names, spec files, errors" `Quick test_resolve;
     Alcotest.test_case "register semantics" `Quick test_register;
     Alcotest.test_case "test-and-set semantics" `Quick test_test_and_set;
     Alcotest.test_case "swap and fetch-and-add semantics" `Quick test_swap_and_faa;

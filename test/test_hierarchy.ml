@@ -7,8 +7,8 @@ let check_int = Alcotest.(check int)
 
 let bound = Alcotest.testable Numbers.pp_bound Numbers.equal_bound
 
-let disc ?cap t = (Numbers.max_discerning ?cap t).Numbers.bound
-let record ?cap t = (Numbers.max_recording ?cap t).Numbers.bound
+let disc ?cap t = Numbers.bound_of_level (Numbers.max_discerning ?cap t)
+let record ?cap t = Numbers.bound_of_level (Numbers.max_recording ?cap t)
 
 (* ------------------------------------------------------------------ *)
 (* Certificates *)
@@ -149,8 +149,10 @@ let test_tnn_levels () =
         (Printf.sprintf "T_{%d,%d} recording" n n')
         (Numbers.Exact (n - 1))
         (record ~cap:(n + 1) ty);
+      let a = Numbers.analyze ~cap:2 ty in
       check_bool "non-readable: numbers not claimed" true
-        (Numbers.consensus_number ty = None && Numbers.recoverable_consensus_number ty = None))
+        (Analysis.consensus_number a = None
+        && Analysis.recoverable_consensus_number a = None))
     [ (3, 1); (4, 2); (4, 1); (5, 2) ]
 
 let test_crossing_family_levels () =
@@ -181,9 +183,13 @@ let test_x4_witness_levels () =
   let ty = Gallery.x4_witness in
   Alcotest.check bound "x4 cn 4" (Numbers.Exact 4) (disc ty);
   Alcotest.check bound "x4 rcn 2" (Numbers.Exact 2) (record ty);
+  let a = Numbers.analyze ~cap:5 ty in
   check_bool "claimed as numbers (readable)" true
-    (Numbers.consensus_number ty = Some (Numbers.Exact 4)
-    && Numbers.recoverable_consensus_number ty = Some (Numbers.Exact 2))
+    (match (Analysis.consensus_number a, Analysis.recoverable_consensus_number a) with
+    | Some cn, Some rcn ->
+        Numbers.equal_bound (Numbers.bound_of_level cn) (Numbers.Exact 4)
+        && Numbers.equal_bound (Numbers.bound_of_level rcn) (Numbers.Exact 2)
+    | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Structural properties of the conditions *)
@@ -354,7 +360,7 @@ let test_nonreadable_product_probe () =
      of non-readable products are measurable: at these instances, products
      do not exceed the strongest component. *)
   let t31 = Gallery.tnn ~n:3 ~n':1 in
-  let level ty = (Numbers.max_recording ~cap:4 ty).Numbers.bound in
+  let level ty = Numbers.bound_of_level (Numbers.max_recording ~cap:4 ty) in
   let v = function Numbers.Exact n | Numbers.At_least n -> n in
   List.iter
     (fun (a, b) ->

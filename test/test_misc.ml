@@ -31,9 +31,15 @@ let test_bound_printing () =
   check_bool "exact <> at-least" false (Numbers.equal_bound (Numbers.Exact 2) (Numbers.At_least 2))
 
 let test_analysis_pretty_printer () =
-  let s = Format.asprintf "%a" Numbers.pp_analysis (Numbers.analyze ~cap:3 Gallery.test_and_set) in
+  let a = Numbers.analyze ~cap:3 Gallery.test_and_set in
+  let s = Format.asprintf "%a" Analysis.pp a in
   check_bool "names the type" true (contains ~needle:"test-and-set" s);
-  check_bool "shows readability" true (contains ~needle:"readable" s)
+  check_bool "shows readability" true (contains ~needle:"readable" s);
+  Alcotest.(check string) "exact level" "2" (Analysis.level_to_string a.Analysis.discerning);
+  check_bool "exact status" true (Analysis.is_exact a.Analysis.discerning);
+  check_int "level value" 2 (Analysis.level_value a.Analysis.discerning);
+  check_bool "equal to itself" true (Analysis.equal a a);
+  check_bool "timing recorded" true (a.Analysis.elapsed >= 0.0)
 
 let test_certificate_pretty_printer () =
   let cert =

@@ -58,13 +58,13 @@ let test_lemma_16_upper () =
 (* Theorem 13 corollary: a readable type with consensus number 4 and
    recoverable consensus number 2 exists (X_4). *)
 let test_x4_gap () =
-  let ty = Gallery.x4_witness in
+  let a = Numbers.analyze ~cap:5 Gallery.x4_witness in
   Alcotest.check bound "consensus number 4"
     (Numbers.Exact 4)
-    (Option.get (Numbers.consensus_number ~cap:5 ty));
+    (Numbers.bound_of_level (Option.get (Analysis.consensus_number a)));
   Alcotest.check bound "recoverable consensus number 2"
     (Numbers.Exact 2)
-    (Option.get (Numbers.recoverable_consensus_number ~cap:5 ty))
+    (Numbers.bound_of_level (Option.get (Analysis.recoverable_consensus_number a)))
 
 (* Theorem 14 (robustness): combining readable deterministic types never
    beats the strongest individual type. *)
@@ -81,8 +81,7 @@ let test_theorem_14_robustness () =
       let r = Robustness.analyze ~cap:4 types in
       let individual_max =
         List.fold_left
-          (fun acc (_, (l : Numbers.level)) ->
-            max acc (match l.Numbers.bound with Numbers.Exact n | Numbers.At_least n -> n))
+          (fun acc (_, (l : Analysis.level)) -> max acc (Analysis.level_value l))
           0 r.Robustness.per_type
       in
       let combined =
@@ -96,7 +95,7 @@ let test_theorem_14_robustness () =
    execution of the classical protocol. *)
 let test_golab_tas () =
   Alcotest.check bound "decider: rcn 1" (Numbers.Exact 1)
-    (Numbers.max_recording ~cap:3 Gallery.test_and_set).Numbers.bound;
+    (Numbers.bound_of_level (Numbers.max_recording ~cap:3 Gallery.test_and_set));
   check_bool "protocol fails under crashes" true
     (Counterexample.search ~z:1 ~inputs_list:(binary_inputs 2) Classic.tas_consensus_2 <> None)
 
@@ -133,10 +132,10 @@ let test_dffr_theorem_8_executable () =
 let test_rcn_at_most_cn () =
   List.iter
     (fun (name, ty) ->
-      let d = (Numbers.max_discerning ~cap:4 ty).Numbers.bound in
-      let r = (Numbers.max_recording ~cap:4 ty).Numbers.bound in
-      let v = function Numbers.Exact n | Numbers.At_least n -> n in
-      check_bool (name ^ ": rec <= disc") true (v r <= v d))
+      let d = Numbers.max_discerning ~cap:4 ty in
+      let r = Numbers.max_recording ~cap:4 ty in
+      check_bool (name ^ ": rec <= disc") true
+        (Analysis.level_value r <= Analysis.level_value d))
     (Gallery.all ())
 
 (* Observation 1 on the simulator: every protocol in the repository has a

@@ -9,6 +9,7 @@ let () =
       ("budget", Test_budget.suite);
       ("machine", Test_machine.suite);
       ("hierarchy", Test_hierarchy.suite);
+      ("engine", Test_engine.suite);
       ("explore", Test_explore.suite);
       ("simultaneous", Test_simultaneous.suite);
       ("protocols", Test_protocols.suite);
