@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench inject-smoke clean
 
 all: build
 
@@ -9,12 +9,24 @@ test:
 	dune runtest
 
 # What CI runs: full build, the whole test suite (including the engine
-# parity properties), and a parallel-engine smoke through the CLI.
-check: build test
+# parity properties), a parallel-engine smoke through the CLI, and the
+# fault-injection smoke.
+check: build test inject-smoke
 	dune exec bin/rcn.exe -- analyze test-and-set --cap 3 --jobs 2
+
+# Fixed-seed fault-injection campaign over the known-broken protocols
+# (register race, test-and-set under crashes, and T_{3,1}'s recoverable
+# protocol overloaded by one process).  Seeds 1..40 are enough to reach
+# the overloaded protocol's crash window; --require-violation makes the
+# run fail if the harness ever stops finding them.  The report lands in
+# inject-report.txt for CI to archive.
+inject-smoke: build
+	dune exec bin/rcn.exe -- inject -n 3 --nprime 1 --seeds 40 \
+	  --report inject-report.txt --require-violation
 
 bench:
 	dune exec bench/main.exe
 
 clean:
 	dune clean
+	rm -f inject-report.txt

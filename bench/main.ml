@@ -127,11 +127,13 @@ let e11_census () =
   let run jobs =
     Pool.with_pool ~jobs @@ fun pool -> time (fun () -> Engine.census ~cap:4 pool space)
   in
-  let entries, t1 = run 1 in
-  let entries4, t4 = run 4 in
+  let run1, t1 = run 1 in
+  let run4, t4 = run 4 in
+  let entries = run1.Engine.entries and entries4 = run4.Engine.entries in
   Format.printf "%a@." Census.pp entries;
   Printf.printf "gap-1 share at level 3 (disc 3, rec 2): %.3f%%\n"
     (100.0 *. Census.gap_share entries ~levels:(3, 2));
+  assert (run1.Engine.complete && run4.Engine.complete);
   assert (entries = entries4);
   Printf.printf
     "engine census: jobs=1 %.2fs, jobs=4 %.2fs (speedup %.2fx on %d cores), histograms identical: %b\n"
@@ -290,6 +292,73 @@ let e15_tournament () =
   | Error m -> Printf.printf "n=5 on team-ladder-4 (rcn 4): correctly unplannable (%s)\n" m
   | Ok _ -> Printf.printf "n=5 on team-ladder-4: UNEXPECTEDLY plannable\n")
 
+let e16_inject () =
+  section "E16 — fault injection: shrinking cost and deadline-cutoff fidelity";
+  (* Shrinking cost over the known-broken trio: raw vs minimal schedule
+     lengths and the replay validations spent getting there. *)
+  let targets =
+    [
+      ("race", Inject.Target (Classic.register_race ~nprocs:2));
+      ("tas2", Inject.Target Classic.tas_consensus_2);
+      ( "tnn-overloaded",
+        Inject.Target (Tnn_protocol.recoverable_overloaded ~procs:2 ~n:3 ~n':1) );
+    ]
+  in
+  let grid = Inject.default_grid ~seeds:3 () in
+  let t0 = Unix.gettimeofday () in
+  let report = Inject.run ~grid targets in
+  let campaign_time = Unix.gettimeofday () -. t0 in
+  let fs = Inject.findings report in
+  Printf.printf "campaign: %d violations, %d shrunk findings, %.2fs total\n"
+    (Inject.total_violations report)
+    (List.length fs) campaign_time;
+  List.iter
+    (fun (f : Inject.finding) ->
+      Printf.printf "  %-15s %-22s seed %d: %3d -> %2d events, %4d replays\n"
+        f.Inject.protocol f.Inject.adversary f.Inject.seed
+        (Sched.length f.Inject.raw) (Sched.length f.Inject.shrunk) f.Inject.replays)
+    fs;
+  (* Deadline-cutoff fidelity: a cut analysis never reports more than the
+     uncut one established, and always flags itself as a lower bound. *)
+  Pool.with_pool ~jobs:(Engine.default_jobs ()) @@ fun pool ->
+  let x4 = Gallery.x4_witness in
+  let full = Engine.analyze ~cap:4 pool x4 in
+  let honest (tag : string) (a : Analysis.t) =
+    let sub (cut : Analysis.level) (ref_ : Analysis.level) =
+      cut.Analysis.value <= ref_.Analysis.value
+      && (cut.Analysis.status = Analysis.Exact || cut.Analysis.value < ref_.Analysis.value
+          || cut.Analysis.status = Analysis.At_least)
+    in
+    Printf.printf
+      "deadline %s: disc %s, rec %s — within the uncut result: %b\n" tag
+      (Analysis.level_to_string a.Analysis.discerning)
+      (Analysis.level_to_string a.Analysis.recording)
+      (sub a.Analysis.discerning full.Analysis.discerning
+      && sub a.Analysis.recording full.Analysis.recording)
+  in
+  honest "expired" (Engine.analyze ~cap:4 ~deadline:(Unix.gettimeofday () -. 1.0) pool x4);
+  honest "50ms" (Engine.analyze ~cap:4 ~deadline:(Unix.gettimeofday () +. 0.05) pool x4);
+  (* Census cut by a deadline, checkpointed, resumed: the stitched-together
+     histogram must equal the uninterrupted sequential one. *)
+  let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
+  let ckpt = Filename.temp_file "rcn-census" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists ckpt then Sys.remove ckpt)
+    (fun () ->
+      let cut =
+        Engine.census ~cap:3 ~checkpoint:ckpt
+          ~deadline:(Unix.gettimeofday () +. 0.1)
+          pool space
+      in
+      let resumed = Engine.census ~cap:3 ~checkpoint:ckpt ~resume:true pool space in
+      let seq = Pool.with_pool ~jobs:1 @@ fun p1 -> Engine.census ~cap:3 p1 space in
+      Printf.printf
+        "census cut at 100ms: %d/%d decided; resume recomputed %d; stitched \
+         histogram identical to uninterrupted jobs=1: %b\n"
+        cut.Engine.completed cut.Engine.total
+        (resumed.Engine.completed - resumed.Engine.resumed)
+        (resumed.Engine.complete && resumed.Engine.entries = seq.Engine.entries))
+
 let reproduce () =
   e1_figure3 ();
   e2_wait_free ();
@@ -303,7 +372,8 @@ let reproduce () =
   e10_universal ();
   e11_census ();
   e14_open_question_probe ();
-  e15_tournament ()
+  e15_tournament ();
+  e16_inject ()
 
 (* ================================================================== *)
 (* Part 2 — bechamel timings, one test per experiment + ablations      *)
@@ -416,6 +486,19 @@ let bench_tests () =
     Test.make ~name:"e15/tournament-plan-3"
       (Staged.stage (fun () -> Tournament.plan (Gallery.team_ladder ~cap:3) ~nprocs:3))
   in
+  let e16_shrink =
+    (* One campaign at staging time pins a concrete violating schedule; the
+       benchmark then times the shrink alone. *)
+    let tgt = Inject.Target Classic.tas_consensus_2 in
+    let report = Inject.run ~grid:(Inject.default_grid ~seeds:3 ()) [ ("tas2", tgt) ] in
+    match Inject.findings report with
+    | f :: _ ->
+        Test.make ~name:"e16/shrink-tas2"
+          (Staged.stage (fun () ->
+               Inject.shrink tgt ~inputs:f.Inject.inputs ~z:1 ~fuel:2000
+                 ~violation:f.Inject.violation f.Inject.raw))
+    | [] -> Test.make ~name:"e16/shrink-tas2" (Staged.stage (fun () -> (([] : Sched.t), 0)))
+  in
   let ablation_schedules =
     Test.make ~name:"ablation/s5-enumeration"
       (Staged.stage (fun () -> Sched.at_most_once ~nprocs:5))
@@ -430,7 +513,8 @@ let bench_tests () =
   Test.make_grouped ~name:"rcn"
     [
       e1; e2; e3; e4; e5; e6; e7; e7_product; e8; e9_pruned; e9_naive; e9_disc; e10;
-      e10_helping; e11; e12_sim; e15; ablation_schedules; ablation_frontier_ez_star;
+      e10_helping; e11; e12_sim; e15; e16_shrink; ablation_schedules;
+      ablation_frontier_ez_star;
     ]
 
 let run_benchmarks () =

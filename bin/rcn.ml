@@ -23,12 +23,21 @@ let resolve_jobs j =
   end
   else j
 
+(* [--deadline S] is relative seconds on the command line, an absolute
+   timestamp inside the engine. *)
+let resolve_deadline = function
+  | None -> None
+  | Some s when s <= 0.0 ->
+      prerr_endline "--deadline must be positive";
+      exit 2
+  | Some s -> Some (Unix.gettimeofday () +. s)
+
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
-let analyze ty cap certs jobs =
+let analyze ty cap certs jobs deadline =
   Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
-  let a = Engine.analyze ~cap pool ty in
+  let a = Engine.analyze ~cap ?deadline:(resolve_deadline deadline) pool ty in
   Format.printf "%a@." Analysis.pp a;
   if certs then begin
     (match a.Analysis.discerning.Analysis.certificate with
@@ -185,11 +194,12 @@ let trace name n n' schedule_text inputs_text =
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let synth target values rws responses seed iters save portfolio jobs =
+let synth target values rws responses seed iters save portfolio jobs deadline =
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
   let witness =
     Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
-    Engine.synth_portfolio ~seed ~max_iterations:iters ~portfolio pool ~target space
+    Engine.synth_portfolio ~seed ~max_iterations:iters ~portfolio
+      ?deadline:(resolve_deadline deadline) pool ~target space
   in
   match witness with
   | Some w ->
@@ -246,16 +256,61 @@ let chain name n n' z max_events inputs_text =
 (* ------------------------------------------------------------------ *)
 (* census *)
 
-let census values rws responses cap sample_count seed jobs =
+let census values rws responses cap sample_count seed jobs deadline checkpoint resume =
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
-  let entries =
-    match sample_count with
-    | Some count -> Census.sample ~cap ~seed ~count space
-    | None ->
+  if resume && checkpoint = None then begin
+    prerr_endline "--resume needs --checkpoint FILE to resume from";
+    exit 2
+  end;
+  match sample_count with
+  | Some count -> Format.printf "%a@." Census.pp (Census.sample ~cap ~seed ~count space)
+  | None ->
+      let run =
         Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
-        Engine.census ~cap pool space
+        Engine.census ~cap ?deadline:(resolve_deadline deadline) ?checkpoint ~resume
+          pool space
+      in
+      Format.printf "%a@." Census.pp run.Engine.entries;
+      if run.Engine.resumed > 0 then
+        Printf.printf "resumed %d previously decided tables from checkpoint\n"
+          run.Engine.resumed;
+      if not run.Engine.complete then begin
+        Printf.printf "PARTIAL: %d of %d tables decided%s\n" run.Engine.completed
+          run.Engine.total
+          (match checkpoint with
+          | Some path ->
+              Printf.sprintf " (re-run with --checkpoint %s --resume to finish)" path
+          | None -> "");
+        exit 3
+      end
+
+(* ------------------------------------------------------------------ *)
+(* inject *)
+
+let inject proto_names n n' seeds z fuel shrink_per_cell report_file require_violation =
+  let targets =
+    List.map
+      (fun name ->
+        match build_protocol name ~n ~n' with
+        | Error (`Msg m) -> prerr_endline m; exit 2
+        | Ok (Packed p, _) -> (name, Inject.Target p))
+      proto_names
   in
-  Format.printf "%a@." Census.pp entries
+  let grid = Inject.default_grid ~z ~fuel ~shrink_per_cell ~seeds () in
+  let report = Inject.run ~grid targets in
+  let text = Inject.report_to_string report in
+  print_string text;
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+      Printf.printf "report written to %s\n" path)
+    report_file;
+  let violations = Inject.total_violations report in
+  if require_violation && violations = 0 then begin
+    prerr_endline "inject: expected at least one violation, found none";
+    exit 1
+  end;
+  if (not require_violation) && violations > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* robustness *)
@@ -286,6 +341,16 @@ let jobs_t =
            every job count).  0 means automatic: $(b,RCN_JOBS) when set, \
            otherwise the host's recommended domain count.")
 
+let deadline_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"S"
+        ~doc:
+          "Wall-clock budget in seconds.  When it expires the engine \
+           degrades instead of lying: level scans report honest \
+           $(b,at-least) lower bounds and a census reports exactly the \
+           tables it decided.")
+
 let ty_t = Arg.(required & pos 0 (some objtype_conv) None & info [] ~docv:"TYPE" ~doc:type_arg_doc)
 
 let n_t = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Parameter n of T_{n,n'} / process count.")
@@ -298,7 +363,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Determine (recoverable) consensus numbers of a gallery type")
-    Term.(const analyze $ ty_t $ cap_t $ certs $ jobs_t)
+    Term.(const analyze $ ty_t $ cap_t $ certs $ jobs_t $ deadline_t)
 
 let gallery_cmd =
   Cmd.v
@@ -357,7 +422,9 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Search for a consensus-number gap witness (experiment E6)")
-    Term.(const synth $ target $ values $ rws $ responses $ seed $ iters $ save $ portfolio $ jobs_t)
+    Term.(
+      const synth $ target $ values $ rws $ responses $ seed $ iters $ save $ portfolio
+      $ jobs_t $ deadline_t)
 
 let trace_cmd =
   let schedule =
@@ -394,10 +461,59 @@ let census_cmd =
            ~doc:"Sample $(docv) random types instead of exhausting the space.")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Sampling seed.") in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Append every decided table's levels to $(docv), flushed as the \
+                 sweep goes, so an interrupted census loses no finished work.")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Load previously decided tables from the $(b,--checkpoint) file \
+                 and recompute only the missing ones.")
+  in
   Cmd.v
     (Cmd.info "census"
        ~doc:"Histogram (discerning, recording) levels over a whole space of small types")
-    Term.(const census $ values $ rws $ responses $ cap_t $ sample_count $ seed $ jobs_t)
+    Term.(
+      const census $ values $ rws $ responses $ cap_t $ sample_count $ seed $ jobs_t
+      $ deadline_t $ checkpoint $ resume)
+
+let inject_cmd =
+  let protocols_t =
+    Arg.(value & opt (list string) [ "race"; "tas2"; "tnn-overloaded" ]
+           & info [ "protocols" ] ~docv:"NAMES"
+               ~doc:"Comma-separated protocol names (see `rcn simulate --help`); \
+                     the default trio is known-broken, exercising the shrinker.")
+  in
+  let seeds =
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"K"
+           ~doc:"Seeds per adversary parameterization (campaign uses 1..$(docv)).")
+  in
+  let fuel =
+    Arg.(value & opt int 2000 & info [ "fuel" ] ~docv:"F" ~doc:"Event cap per run.")
+  in
+  let shrink_per_cell =
+    Arg.(value & opt int 1 & info [ "shrink-per-cell" ] ~docv:"M"
+           ~doc:"Violations per (protocol, adversary) cell to shrink into findings.")
+  in
+  let report =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+           ~doc:"Also write the campaign report to $(docv).")
+  in
+  let require_violation =
+    Arg.(value & flag & info [ "require-violation" ]
+           ~doc:"Invert the exit convention: fail (exit 1) when the campaign \
+                 finds $(i,no) violation — for smoke-testing the harness \
+                 against known-broken protocols.")
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Fault-injection campaign: sweep seeded crash adversaries over \
+          protocols, shrink every violation to a minimal replayable schedule")
+    Term.(
+      const inject $ protocols_t $ n_t $ n'_t $ seeds $ z_t $ fuel $ shrink_per_cell
+      $ report $ require_violation)
 
 let robustness_cmd =
   let tys = Arg.(non_empty & pos_all string [] & info [] ~docv:"TYPE" ~doc:type_arg_doc) in
@@ -412,7 +528,7 @@ let main =
        ~doc:"Determining recoverable consensus numbers (PODC 2024 reproduction)")
     [
       analyze_cmd; gallery_cmd; statemachine_cmd; simulate_cmd; certify_cmd; trace_cmd;
-      chain_cmd; synth_cmd; robustness_cmd; census_cmd;
+      chain_cmd; synth_cmd; robustness_cmd; census_cmd; inject_cmd;
     ]
 
 let () = exit (Cmd.eval main)

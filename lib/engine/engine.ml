@@ -8,6 +8,10 @@ let default_jobs () =
             (Printf.sprintf "RCN_JOBS=%S: expected a positive integer" s))
   | None -> min 8 (Domain.recommended_domain_count ())
 
+let expired = function
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
 module Cache = struct
   type stats = { sched_hits : int; sched_misses : int; hits : int; misses : int }
 
@@ -40,91 +44,155 @@ module Cache = struct
             t.stats <- { t.stats with sched_misses = t.stats.sched_misses + 1 };
             s)
 
-  (* The outcome is computed outside the lock; a racing duplicate computes
-     the same (deterministic) value, so whichever publishes first wins. *)
-  let find_or_add t ~key ~compute =
-    let cached =
-      Mutex.protect t.mutex (fun () ->
-          match Hashtbl.find_opt t.outcomes key with
-          | Some outcome ->
-              t.stats <- { t.stats with hits = t.stats.hits + 1 };
-              Some outcome
-          | None -> None)
-    in
-    match cached with
-    | Some outcome -> outcome
-    | None ->
-        let outcome = compute () in
-        Mutex.protect t.mutex (fun () ->
-            if not (Hashtbl.mem t.outcomes key) then Hashtbl.add t.outcomes key outcome;
-            t.stats <- { t.stats with misses = t.stats.misses + 1 });
-        outcome
+  let probe t ~key =
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.outcomes key with
+        | Some outcome ->
+            t.stats <- { t.stats with hits = t.stats.hits + 1 };
+            Some outcome
+        | None -> None)
+
+  let publish t ~key outcome =
+    Mutex.protect t.mutex (fun () ->
+        if not (Hashtbl.mem t.outcomes key) then Hashtbl.add t.outcomes key outcome;
+        t.stats <- { t.stats with misses = t.stats.misses + 1 })
+
 end
+
+type search_outcome =
+  | Found of Certificate.t
+  | Refuted
+  | Expired
 
 (* Deterministic parallel first-witness search: domains claim ranges of the
    materialized candidate array and race to lower [best], the minimal
    witnessing index found so far.  A range starting at or past [best] is
    pruned.  Every index below the final minimum has been checked and
-   refuted, so the minimum is the sequential first witness. *)
-let search_fanout pool scheds condition t ~n =
+   refuted, so the minimum is the sequential first witness.  With a
+   [deadline], every worker also polls the clock per candidate and abandons
+   the sweep on expiry — a found witness is still genuine, but an expired
+   sweep with no witness proves nothing and reports [Expired]. *)
+let search_fanout ?deadline pool scheds condition t ~n =
   let cands = Array.of_seq (Decide.candidates t ~n) in
   let total = Array.length cands in
   let best = Atomic.make max_int in
-  Pool.parallel_for pool total (fun lo hi ->
-      let i = ref lo in
-      while !i < hi && !i < Atomic.get best do
-        let u, team, ops = cands.(!i) in
-        if Decide.check condition t scheds ~u ~team ~ops then begin
-          let rec lower () =
-            let b = Atomic.get best in
-            if !i < b && not (Atomic.compare_and_set best b !i) then lower ()
-          in
-          lower ();
-          i := hi
-        end
-        else incr i
-      done);
+  let timed_out = Atomic.make false in
+  let completed =
+    Pool.parallel_for_until pool
+      ~should_stop:(fun () -> Atomic.get timed_out)
+      total
+      (fun lo hi ->
+        let i = ref lo in
+        while !i < hi && !i < Atomic.get best && not (Atomic.get timed_out) do
+          if expired deadline then begin
+            Atomic.set timed_out true;
+            i := hi
+          end
+          else begin
+            let u, team, ops = cands.(!i) in
+            if Decide.check condition t scheds ~u ~team ~ops then begin
+              let rec lower () =
+                let b = Atomic.get best in
+                if !i < b && not (Atomic.compare_and_set best b !i) then lower ()
+              in
+              lower ();
+              i := hi
+            end
+            else incr i
+          end
+        done)
+  in
   match Atomic.get best with
-  | b when b = max_int -> None
+  | b when b = max_int ->
+      if Atomic.get timed_out || not completed then Expired else Refuted
   | b ->
       let u, team, ops = cands.(b) in
-      Some (Certificate.make ~objtype:t ~initial:u ~team ~ops)
+      Found (Certificate.make ~objtype:t ~initial:u ~team ~ops)
 
-let search_uncached ?scheds pool condition t ~n =
+(* Sequential sweep with per-candidate deadline polls; identical
+   enumeration order to [Decide.search]. *)
+let search_sequential ~deadline scheds condition t ~n =
+  let rec loop seq =
+    match seq () with
+    | Seq.Nil -> Refuted
+    | Seq.Cons ((u, team, ops), rest) ->
+        if expired deadline then Expired
+        else if Decide.check condition t scheds ~u ~team ~ops then
+          Found (Certificate.make ~objtype:t ~initial:u ~team ~ops)
+        else loop rest
+  in
+  loop (Decide.candidates t ~n)
+
+let search_uncached ?scheds ?deadline pool condition t ~n =
   let scheds =
     match scheds with Some s -> s | None -> Sched.at_most_once ~nprocs:n
   in
-  if Pool.jobs pool = 1 then Decide.search ~scheds condition t ~n
-  else search_fanout pool scheds condition t ~n
+  if expired deadline then Expired
+  else if Pool.jobs pool = 1 then
+    match deadline with
+    | None -> (
+        match Decide.search ~scheds condition t ~n with
+        | Some c -> Found c
+        | None -> Refuted)
+    | Some _ -> search_sequential ~deadline scheds condition t ~n
+  else search_fanout ?deadline pool scheds condition t ~n
+
+let outcome_of_option = function Some c -> Found c | None -> Refuted
+
+(* Expired sweeps are never published to the cache: they are interrupted
+   computations, not results. *)
+let search_within ?cache ?deadline pool condition t ~n =
+  match cache with
+  | None -> search_uncached ?deadline pool condition t ~n
+  | Some c -> (
+      let key = (Objtype.to_spec_string t, condition, n) in
+      match Cache.probe c ~key with
+      | Some outcome -> outcome_of_option outcome
+      | None -> (
+          match
+            search_uncached ~scheds:(Cache.scheds c ~n) ?deadline pool condition t ~n
+          with
+          | Found cert ->
+              Cache.publish c ~key (Some cert);
+              Found cert
+          | Refuted ->
+              Cache.publish c ~key None;
+              Refuted
+          | Expired -> Expired))
 
 let search ?cache pool condition t ~n =
-  match cache with
-  | None -> search_uncached pool condition t ~n
-  | Some c ->
-      Cache.find_or_add c
-        ~key:(Objtype.to_spec_string t, condition, n)
-        ~compute:(fun () ->
-          search_uncached ~scheds:(Cache.scheds c ~n) pool condition t ~n)
+  match search_within ?cache pool condition t ~n with
+  | Found c -> Some c
+  | Refuted -> None
+  | Expired -> assert false (* no deadline was given *)
 
-let scan ?cache ?(cap = Numbers.default_cap) pool condition t =
+let scan ?cache ?(cap = Numbers.default_cap) ?deadline pool condition t =
   if cap < 2 then invalid_arg "Engine: cap must be at least 2";
   let rec loop n best =
     if n > cap then
       { Analysis.value = cap; status = Analysis.At_least; certificate = best }
     else
-      match search ?cache pool condition t ~n with
-      | Some c -> loop (n + 1) (Some c)
-      | None -> { Analysis.value = n - 1; status = Analysis.Exact; certificate = best }
+      match search_within ?cache ?deadline pool condition t ~n with
+      | Found c -> loop (n + 1) (Some c)
+      | Refuted -> { Analysis.value = n - 1; status = Analysis.Exact; certificate = best }
+      | Expired ->
+          (* The deadline cut the scan short: every level up to [n - 1] was
+             established, level [n] was not refuted — an honest lower
+             bound, never a fabricated [Exact]. *)
+          { Analysis.value = n - 1; status = Analysis.At_least; certificate = best }
   in
   loop 2 None
 
-let max_discerning ?cache ?cap pool t = scan ?cache ?cap pool Decide.Discerning t
-let max_recording ?cache ?cap pool t = scan ?cache ?cap pool Decide.Recording t
+let max_discerning ?cache ?cap ?deadline pool t =
+  scan ?cache ?cap ?deadline pool Decide.Discerning t
 
-let analyze ?cache ?cap pool t =
+let max_recording ?cache ?cap ?deadline pool t =
+  scan ?cache ?cap ?deadline pool Decide.Recording t
+
+let analyze ?cache ?cap ?deadline pool t =
   let started = Unix.gettimeofday () in
-  let discerning = max_discerning ?cache ?cap pool t in
-  let recording = max_recording ?cache ?cap pool t in
+  let discerning = max_discerning ?cache ?cap ?deadline pool t in
+  let recording = max_recording ?cache ?cap ?deadline pool t in
   {
     Analysis.type_name = t.Objtype.name;
     readable = Objtype.is_readable t;
@@ -133,9 +201,9 @@ let analyze ?cache ?cap pool t =
     elapsed = Unix.gettimeofday () -. started;
   }
 
-let analyze_all ?cache ?cap pool types =
+let analyze_all ?cache ?cap ?deadline pool types =
   let cache = match cache with Some c -> c | None -> Cache.create () in
-  List.map (analyze ~cache ?cap pool) types
+  List.map (analyze ~cache ?cap ?deadline pool) types
 
 (* Truncated levels of one census table, replaying against the shared
    schedule sets.  Matches [Census.levels] (the same [Decide.search] on the
@@ -155,7 +223,52 @@ let census_levels cache ~cap ty =
   in
   (level Decide.Discerning, level Decide.Recording)
 
-let census ?cache ?(cap = 4) pool space =
+type census_run = {
+  entries : Census.entry list;
+  total : int;
+  completed : int;
+  resumed : int;
+  complete : bool;
+}
+
+(* Census checkpoints: a header line pinning the space, cap and size, then
+   one "index discerning recording" line per decided table.  Lines are
+   appended chunk-wise under a mutex and flushed, so a process killed
+   mid-run leaves at most one torn trailing line, which the loader drops. *)
+module Checkpoint = struct
+  let header ~space ~cap ~total =
+    Printf.sprintf "rcn-census-checkpoint v1 values=%d rws=%d responses=%d cap=%d total=%d"
+      space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap total
+
+  let load path ~expected =
+    if not (Sys.file_exists path) then []
+    else
+      In_channel.with_open_text path (fun ic ->
+          match In_channel.input_line ic with
+          | None -> []
+          | Some h when String.trim h <> expected ->
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.census: checkpoint %s belongs to a different census\n  found:    %s\n  expected: %s"
+                   path (String.trim h) expected)
+          | Some _ ->
+              let rec loop acc =
+                match In_channel.input_line ic with
+                | None -> acc
+                | Some line -> (
+                    match String.split_on_char ' ' (String.trim line) with
+                    | [ a; b; c ] -> (
+                        match
+                          (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c)
+                        with
+                        | Some i, Some d, Some r -> loop ((i, (d, r)) :: acc)
+                        | _ -> acc)
+                    | _ -> acc)
+              in
+              loop [])
+end
+
+let census ?cache ?(cap = 4) ?deadline ?checkpoint ?(resume = false) pool space =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let size = Census.space_size space in
   (* Warm the schedule memo on the submitting domain so workers only read. *)
@@ -163,42 +276,114 @@ let census ?cache ?(cap = 4) pool space =
     ignore (Cache.scheds cache ~n)
   done;
   let levels = Array.make size (0, 0) in
-  Pool.parallel_for pool ~chunk:32 size (fun lo hi ->
-      for i = lo to hi - 1 do
-        let ty = Synth.to_objtype (Census.genome_of_index space i) in
-        levels.(i) <- census_levels cache ~cap ty
-      done);
+  let finished = Array.make size false in
+  let resumed = ref 0 in
+  let expected = Checkpoint.header ~space ~cap ~total:size in
+  (match checkpoint with
+  | Some path when resume ->
+      List.iter
+        (fun (i, lv) ->
+          if i >= 0 && i < size && not finished.(i) then begin
+            levels.(i) <- lv;
+            finished.(i) <- true;
+            incr resumed
+          end)
+        (Checkpoint.load path ~expected)
+  | _ -> ());
+  let writer =
+    match checkpoint with
+    | None -> None
+    | Some path ->
+        let appending = resume && Sys.file_exists path in
+        let oc =
+          open_out_gen
+            (if appending then [ Open_wronly; Open_append ]
+             else [ Open_wronly; Open_creat; Open_trunc ])
+            0o644 path
+        in
+        if not appending then begin
+          output_string oc (expected ^ "\n");
+          flush oc
+        end;
+        Some (oc, Mutex.create ())
+  in
+  let completed = Atomic.make !resumed in
+  Fun.protect
+    ~finally:(fun () -> Option.iter (fun (oc, _) -> close_out oc) writer)
+    (fun () ->
+      ignore
+        (Pool.parallel_for_until pool ~chunk:32
+           ~should_stop:(fun () -> expired deadline)
+           size
+           (fun lo hi ->
+             let fresh = ref [] in
+             let i = ref lo in
+             while !i < hi && not (expired deadline) do
+               if not finished.(!i) then begin
+                 let ty = Synth.to_objtype (Census.genome_of_index space !i) in
+                 levels.(!i) <- census_levels cache ~cap ty;
+                 finished.(!i) <- true;
+                 fresh := !i :: !fresh
+               end;
+               incr i
+             done;
+             let fresh = List.rev !fresh in
+             ignore (Atomic.fetch_and_add completed (List.length fresh));
+             match writer with
+             | None -> ()
+             | Some (oc, m) ->
+                 Mutex.protect m (fun () ->
+                     List.iter
+                       (fun i ->
+                         let d, r = levels.(i) in
+                         Printf.fprintf oc "%d %d %d\n" i d r)
+                       fresh;
+                     flush oc))));
   let histogram = Hashtbl.create 64 in
-  Array.iter
-    (fun key ->
-      Hashtbl.replace histogram key
-        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram key)))
+  Array.iteri
+    (fun i key ->
+      if finished.(i) then
+        Hashtbl.replace histogram key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt histogram key)))
     levels;
-  Census.of_histogram histogram
+  let completed = Atomic.get completed in
+  {
+    entries = Census.of_histogram histogram;
+    total = size;
+    completed;
+    resumed = !resumed;
+    complete = completed = size;
+  }
 
-let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ~portfolio pool
-    ~target space =
+let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?deadline ~portfolio
+    pool ~target space =
   if portfolio < 1 then
     invalid_arg "Engine.synth_portfolio: portfolio must be positive";
   let results = Array.make portfolio None in
   let best = Atomic.make max_int in
-  Pool.parallel_for pool ~chunk:1 portfolio (fun lo hi ->
-      for k = lo to hi - 1 do
-        (* Skip only seeds above an already-successful one: every seed
-           below the final minimum runs to completion, so the portfolio
-           returns the first success in seed order. *)
-        if k < Atomic.get best then
-          match
-            Synth.search ~seed:(seed + k) ?max_iterations ?restart_every
-              ~target space
-          with
-          | Some w ->
-              results.(k) <- Some w;
-              let rec lower () =
-                let b = Atomic.get best in
-                if k < b && not (Atomic.compare_and_set best b k) then lower ()
-              in
-              lower ()
-          | None -> ()
-      done);
+  ignore
+    (Pool.parallel_for_until pool ~chunk:1
+       ~should_stop:(fun () -> expired deadline)
+       portfolio
+       (fun lo hi ->
+         for k = lo to hi - 1 do
+           (* Skip only seeds above an already-successful one: every seed
+              below the final minimum runs to completion, so the portfolio
+              returns the first success in seed order.  An expired deadline
+              skips the climb entirely (climbs are the cancellation
+              granularity — [Synth.search] itself is not interruptible). *)
+           if k < Atomic.get best && not (expired deadline) then
+             match
+               Synth.search ~seed:(seed + k) ?max_iterations ?restart_every
+                 ~target space
+             with
+             | Some w ->
+                 results.(k) <- Some w;
+                 let rec lower () =
+                   let b = Atomic.get best in
+                   if k < b && not (Atomic.compare_and_set best b k) then lower ()
+                 in
+                 lower ()
+             | None -> ()
+         done));
   match Atomic.get best with b when b = max_int -> None | b -> results.(b)

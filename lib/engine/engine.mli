@@ -20,7 +20,20 @@
       earlier one has succeeded.
 
     The parity test suite pins all three against their sequential
-    counterparts at jobs 1, 2 and 4. *)
+    counterparts at jobs 1, 2 and 4.
+
+    {2 Deadlines and resilience}
+
+    Every long-running entry point accepts an optional wall-clock
+    [?deadline] (an absolute [Unix.gettimeofday] timestamp).  An expired
+    deadline makes the search degrade, never lie: scans report the levels
+    they actually established with [Analysis.At_least] status, a census
+    reports exactly which tables it decided, and the synthesis portfolio
+    stops launching climbs.  Deadline-cut runs are the one place results
+    may depend on timing — a certificate found under a deadline is always
+    genuine, but *which* partial result is returned depends on how far
+    the sweep got.  Runs without a deadline are bit-identical to the
+    sequential deciders, as before. *)
 
 val default_jobs : unit -> int
 (** The [RCN_JOBS] environment variable when set (a positive integer),
@@ -32,7 +45,9 @@ val default_jobs : unit -> int
     [S(P)] keyed by process count — the expensive closure every replay
     walks — and search outcomes keyed by (type specification, condition,
     [n]).  Safe to share across the pool's domains (entries are immutable
-    once published; the table is mutex-protected). *)
+    once published; the table is mutex-protected).  Deadline-expired
+    sweeps are never published: the cache only ever holds completed
+    outcomes. *)
 module Cache : sig
   type t
 
@@ -51,6 +66,24 @@ module Cache : sig
   val stats : t -> stats
 end
 
+type search_outcome =
+  | Found of Certificate.t  (** a genuine witness (even under a deadline) *)
+  | Refuted  (** the whole candidate space was checked; no witness *)
+  | Expired  (** the deadline cut the sweep short; nothing is known *)
+
+val search_within :
+  ?cache:Cache.t ->
+  ?deadline:float ->
+  Pool.t ->
+  Decide.condition ->
+  Objtype.t ->
+  n:int ->
+  search_outcome
+(** Deadline-aware witness search.  Without [deadline] this is exactly
+    {!search} (and never returns [Expired]); with one, every domain polls
+    the clock per candidate and the sweep returns [Expired] as soon as it
+    fires without having found a witness. *)
+
 val search :
   ?cache:Cache.t ->
   Pool.t ->
@@ -63,29 +96,66 @@ val search :
     pool's domains, with schedules (and, when [cache] is given, whole
     outcomes) served from the cache. *)
 
-val max_discerning : ?cache:Cache.t -> ?cap:int -> Pool.t -> Objtype.t -> Analysis.level
-val max_recording : ?cache:Cache.t -> ?cap:int -> Pool.t -> Objtype.t -> Analysis.level
-(** The upward scans of [Numbers], driven by {!search}. *)
+val max_discerning :
+  ?cache:Cache.t -> ?cap:int -> ?deadline:float -> Pool.t -> Objtype.t -> Analysis.level
 
-val analyze : ?cache:Cache.t -> ?cap:int -> Pool.t -> Objtype.t -> Analysis.t
+val max_recording :
+  ?cache:Cache.t -> ?cap:int -> ?deadline:float -> Pool.t -> Objtype.t -> Analysis.level
+(** The upward scans of [Numbers], driven by {!search_within}.  A scan cut
+    by the deadline returns the highest level it fully established with
+    [Analysis.At_least] status (never a fabricated [Exact]); with an
+    already-expired deadline that is level 1, the unconditional floor. *)
+
+val analyze :
+  ?cache:Cache.t -> ?cap:int -> ?deadline:float -> Pool.t -> Objtype.t -> Analysis.t
 (** [Numbers.analyze ?cap t], parallelized within each decider query.
     Equal (under [Analysis.equal]) to the sequential result, with the
-    same certificates. *)
+    same certificates.  With a [deadline], both level scans degrade to
+    honest [At_least] lower bounds when it expires. *)
 
-val analyze_all : ?cache:Cache.t -> ?cap:int -> Pool.t -> Objtype.t list -> Analysis.t list
+val analyze_all :
+  ?cache:Cache.t -> ?cap:int -> ?deadline:float -> Pool.t -> Objtype.t list -> Analysis.t list
 (** {!analyze} over a batch (e.g. the gallery), sharing one cache so
-    repeated types and schedule sets are computed once. *)
+    repeated types and schedule sets are computed once.  A mid-batch
+    deadline expiry yields quick [At_least] records for the remaining
+    types rather than abandoning them. *)
 
-val census : ?cache:Cache.t -> ?cap:int -> Pool.t -> Synth.space -> Census.entry list
+type census_run = {
+  entries : Census.entry list;  (** histogram over the *decided* tables *)
+  total : int;  (** tables in the space *)
+  completed : int;  (** tables decided, including resumed ones *)
+  resumed : int;  (** tables loaded from the checkpoint file *)
+  complete : bool;  (** [completed = total] *)
+}
+
+val census :
+  ?cache:Cache.t ->
+  ?cap:int ->
+  ?deadline:float ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  Pool.t ->
+  Synth.space ->
+  census_run
 (** [Census.exhaustive ?cap space] with table indices partitioned across
-    the domains and [S(P)] shared through the cache; the histogram is
-    identical to the sequential census at any job count.  Default [cap]
-    is 4, matching [Census.exhaustive]. *)
+    the domains and [S(P)] shared through the cache; when [complete], the
+    histogram is identical to the sequential census at any job count.
+    Default [cap] is 4, matching [Census.exhaustive].
+
+    [checkpoint] appends every decided table's levels to the given file
+    (chunk-wise, flushed, safe against [kill -9]; the header pins space,
+    cap and size so a stale file from a different census is rejected).
+    [resume] (with [checkpoint]) first loads previously decided tables
+    from that file and skips them — an interrupted census restarted with
+    the same parameters recomputes only the missing tail and produces the
+    identical histogram.  [deadline] stops the sweep cooperatively; the
+    returned record says exactly how far it got. *)
 
 val synth_portfolio :
   ?seed:int ->
   ?max_iterations:int ->
   ?restart_every:int ->
+  ?deadline:float ->
   portfolio:int ->
   Pool.t ->
   target:int ->
@@ -94,4 +164,7 @@ val synth_portfolio :
 (** Run [portfolio] hill climbs, seeded [seed, seed + 1, ...], across the
     pool, returning the witness of the lowest-seeded successful climb
     (the same one a sequential first-success scan over the seeds would
-    return).  [portfolio = 1] is exactly [Synth.search ?seed]. *)
+    return).  [portfolio = 1] is exactly [Synth.search ?seed].  An
+    expired [deadline] skips climbs that have not started (whole climbs
+    are the cancellation granularity), so [None] may then mean "ran out
+    of time" rather than "search space exhausted". *)

@@ -3,7 +3,20 @@ type task = {
   total : int;
   chunk : int;
   next : int Atomic.t;
+  should_stop : unit -> bool;
+  stopped : bool Atomic.t;
 }
+
+exception
+  Task_error of { lo : int; hi : int; worker : int; error : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { lo; hi; worker; error } ->
+        Some
+          (Printf.sprintf "Pool.Task_error { chunk = [%d,%d); worker = %d; error = %s }" lo hi
+             worker (Printexc.to_string error))
+    | _ -> None)
 
 type t = {
   jobs : int;
@@ -20,27 +33,39 @@ type t = {
 
 let jobs t = t.jobs
 
-let drain pool task =
+(* Abandon the ranges nobody has claimed yet; in-flight claims finish.
+   [stopped] records that unclaimed work actually existed at that moment,
+   distinguishing cooperative cancellation from normal exhaustion. *)
+let abandon task =
+  let next = Atomic.exchange task.next task.total in
+  if next < task.total then Atomic.set task.stopped true
+
+let drain pool task ~worker =
   let continue = ref true in
   while !continue do
-    let lo = Atomic.fetch_and_add task.next task.chunk in
-    if lo >= task.total then continue := false
-    else begin
-      let hi = min task.total (lo + task.chunk) in
-      try task.run lo hi
-      with e ->
-        ignore (Atomic.compare_and_set pool.error None (Some e));
-        (* Abandon the remaining ranges: in-flight claims finish, nobody
-           claims more. *)
-        Atomic.set task.next task.total
+    if task.should_stop () then begin
+      abandon task;
+      continue := false
     end
+    else
+      let lo = Atomic.fetch_and_add task.next task.chunk in
+      if lo >= task.total then continue := false
+      else begin
+        let hi = min task.total (lo + task.chunk) in
+        try task.run lo hi
+        with e ->
+          ignore
+            (Atomic.compare_and_set pool.error None
+               (Some (Task_error { lo; hi; worker; error = e })));
+          abandon task
+      end
   done
 
 (* Workers park on [has_work] until the epoch moves (every worker runs
    every task — the submitter waits for [active = 0] before the next
    submission, so no worker can still be draining a previous epoch) or
    [stop] is raised at shutdown. *)
-let worker pool () =
+let worker pool ~worker:id () =
   let my_epoch = ref 0 in
   Mutex.lock pool.mutex;
   let running = ref true in
@@ -53,7 +78,7 @@ let worker pool () =
       my_epoch := pool.epoch;
       let task = Option.get pool.task in
       Mutex.unlock pool.mutex;
-      drain pool task;
+      drain pool task ~worker:id;
       Mutex.lock pool.mutex;
       pool.active <- pool.active - 1;
       if pool.active = 0 then Condition.broadcast pool.finished
@@ -77,39 +102,69 @@ let create ~jobs =
       error = Atomic.make None;
     }
   in
-  pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker pool));
+  (* Worker [i] identifies itself as [i + 1]; the submitting domain is 0. *)
+  pool.workers <- List.init (jobs - 1) (fun i -> Domain.spawn (worker pool ~worker:(i + 1)));
   pool
 
-let parallel_for pool ?chunk total f =
-  if total > 0 then
-    if pool.jobs = 1 then f 0 total
+let never_stop () = false
+
+let resolve_chunk pool total = function
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Pool.parallel_for: chunk must be positive"
+  | None -> max 1 (total / (8 * pool.jobs))
+
+(* Sequential fallback: chunked so [should_stop] is still polled between
+   ranges, and failures carry the same chunk context as the parallel path. *)
+let sequential_drain chunk ~should_stop total f =
+  let lo = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !lo < total do
+    if should_stop () then stopped := true
     else begin
-      let chunk =
-        match chunk with
-        | Some c when c >= 1 -> c
-        | Some _ -> invalid_arg "Pool.parallel_for: chunk must be positive"
-        | None -> max 1 (total / (8 * pool.jobs))
-      in
-      Atomic.set pool.error None;
-      let task = { run = f; total; chunk; next = Atomic.make 0 } in
-      Mutex.lock pool.mutex;
-      pool.task <- Some task;
-      pool.active <- pool.jobs;
-      pool.epoch <- pool.epoch + 1;
-      Condition.broadcast pool.has_work;
-      Mutex.unlock pool.mutex;
-      drain pool task;
-      Mutex.lock pool.mutex;
-      pool.active <- pool.active - 1;
-      if pool.active = 0 then Condition.broadcast pool.finished
-      else
-        while pool.active > 0 do
-          Condition.wait pool.finished pool.mutex
-        done;
-      pool.task <- None;
-      Mutex.unlock pool.mutex;
-      match Atomic.get pool.error with Some e -> raise e | None -> ()
+      let hi = min total (!lo + chunk) in
+      (try f !lo hi
+       with e -> raise (Task_error { lo = !lo; hi; worker = 0; error = e }));
+      lo := hi
     end
+  done;
+  not !stopped
+
+let submit pool ?chunk ~should_stop total f =
+  if total <= 0 then true
+  else if pool.jobs = 1 then
+    sequential_drain (resolve_chunk pool total chunk) ~should_stop total f
+  else begin
+    let chunk = resolve_chunk pool total chunk in
+    Atomic.set pool.error None;
+    let task =
+      { run = f; total; chunk; next = Atomic.make 0; should_stop; stopped = Atomic.make false }
+    in
+    Mutex.lock pool.mutex;
+    pool.task <- Some task;
+    pool.active <- pool.jobs;
+    pool.epoch <- pool.epoch + 1;
+    Condition.broadcast pool.has_work;
+    Mutex.unlock pool.mutex;
+    drain pool task ~worker:0;
+    Mutex.lock pool.mutex;
+    pool.active <- pool.active - 1;
+    if pool.active = 0 then Condition.broadcast pool.finished
+    else
+      while pool.active > 0 do
+        Condition.wait pool.finished pool.mutex
+      done;
+    pool.task <- None;
+    Mutex.unlock pool.mutex;
+    match Atomic.get pool.error with
+    | Some e -> raise e
+    | None -> not (Atomic.get task.stopped)
+  end
+
+let parallel_for pool ?chunk total f =
+  ignore (submit pool ?chunk ~should_stop:never_stop total f)
+
+let parallel_for_until pool ?chunk ~should_stop total f =
+  submit pool ?chunk ~should_stop total f
 
 let shutdown pool =
   Mutex.lock pool.mutex;

@@ -14,6 +14,14 @@
 
 type t
 
+exception
+  Task_error of { lo : int; hi : int; worker : int; error : exn }
+(** A task body raised [error] while processing the chunk [\[lo, hi)].
+    [worker] identifies the domain that hit it: [0] is the submitting
+    domain, [1 .. jobs - 1] are the pool's workers.  This is what
+    {!parallel_for} / {!parallel_for_until} re-raise, so callers can
+    report exactly which slice of the iteration space failed. *)
+
 val create : jobs:int -> t
 (** Spawn [jobs - 1] worker domains (none when [jobs = 1]).
     @raise Invalid_argument when [jobs < 1]. *)
@@ -25,10 +33,28 @@ val parallel_for : t -> ?chunk:int -> int -> (int -> int -> unit) -> unit
     covering [0 .. total - 1] ([hi] exclusive), concurrently across the
     pool's domains, and returns when all of [total] has been processed.
     [chunk] bounds the range size handed out per claim (default:
-    [total / (8 * jobs)], at least 1).  With [jobs = 1] this is exactly
-    [f 0 total] on the calling domain.  If any application raises, one of
-    the exceptions is re-raised in the caller after remaining work is
-    abandoned. *)
+    [total / (8 * jobs)], at least 1).  With [jobs = 1] the range is
+    still walked chunk by chunk on the calling domain.  If any
+    application raises, remaining (unclaimed) work is abandoned and the
+    failure is re-raised in the caller as {!Task_error}, carrying the
+    failing chunk range and worker id.  A recorded error is cleared on
+    the *next* submission, not when the failing run returns — the pool
+    stays reusable after a failed task (pinned by the test suite). *)
+
+val parallel_for_until :
+  t -> ?chunk:int -> should_stop:(unit -> bool) -> int -> (int -> int -> unit) -> bool
+(** Cooperatively cancellable {!parallel_for}: every domain polls
+    [should_stop] before claiming each chunk, and a [true] answer makes
+    the whole pool abandon the unclaimed remainder of the range
+    (chunks already in flight still finish — the body itself decides how
+    promptly to react within a chunk).  Returns [true] when the full
+    range was claimed and processed, [false] when the stop signal fired
+    while unclaimed work remained — in that case an unspecified tail of
+    the iteration space has not been processed, and the caller must
+    track per-index completion itself if it needs to know which part
+    ran.  [should_stop] is called concurrently from every domain and
+    must be thread-safe (a wall-clock deadline or an [Atomic.t] flag).
+    Exceptions behave as in {!parallel_for}. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent; the pool must not be

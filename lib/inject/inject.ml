@@ -1,0 +1,218 @@
+type target = Target : 'st Program.t -> target
+
+type adversary_spec =
+  | Random of { crash_prob : float }
+  | Crash_storm of { period : int }
+  | Random_simultaneous of { crash_prob : float; max_crashes : int }
+
+let adversary_name = function
+  | Random { crash_prob } -> Printf.sprintf "random(p=%.2f)" crash_prob
+  | Crash_storm { period } -> Printf.sprintf "crash-storm(period=%d)" period
+  | Random_simultaneous { crash_prob; max_crashes } ->
+      Printf.sprintf "simultaneous(p=%.2f,max=%d)" crash_prob max_crashes
+
+let instantiate spec ~seed ~nprocs =
+  match spec with
+  | Random { crash_prob } -> Adversary.random ~crash_prob ~seed ~nprocs
+  | Crash_storm { period } -> Adversary.crash_storm ~period ~seed ~nprocs
+  | Random_simultaneous { crash_prob; max_crashes } ->
+      Adversary.random_simultaneous ~crash_prob ~max_crashes ~seed ~nprocs
+
+type grid = {
+  adversaries : adversary_spec list;
+  seeds : int list;
+  z : int;
+  fuel : int;
+  shrink_per_cell : int;
+}
+
+let default_grid ?(z = 1) ?(fuel = 2000) ?(shrink_per_cell = 1) ~seeds () =
+  {
+    adversaries =
+      [
+        Random { crash_prob = 0.15 };
+        Random { crash_prob = 0.3 };
+        Crash_storm { period = 2 };
+        Crash_storm { period = 3 };
+        Random_simultaneous { crash_prob = 0.15; max_crashes = 2 };
+      ];
+    seeds = List.init seeds (fun i -> i + 1);
+    z;
+    fuel;
+    shrink_per_cell;
+  }
+
+type finding = {
+  protocol : string;
+  adversary : string;
+  seed : int;
+  inputs : int array;
+  violation : string;
+  raw : Sched.t;
+  shrunk : Sched.t;
+  replays : int;
+}
+
+type cell = {
+  adversary : string;
+  runs : int;
+  ok : int;
+  violations : int;
+  incomplete : int;
+}
+
+type protocol_report = {
+  name : string;
+  nprocs : int;
+  cells : cell list;
+  findings : finding list;
+}
+
+type report = protocol_report list
+
+(* Runs the adversary and immediately collapses the existential: callers
+   only ever see the verdict, the executed schedule and the outcome. *)
+let run_one (Target p) ~pick ~z ~fuel ~inputs =
+  let c0 = Config.initial p ~inputs in
+  let budget = Budget.counter ~z ~nprocs:p.Program.nprocs in
+  let final, executed, out =
+    Exec.run_adversary p c0 ~pick:(fun ~decided b -> pick ~decided b) ~budget ~fuel ()
+  in
+  (Checker.consensus p final, executed, out)
+
+let replay_verdict tgt ~inputs ~z ~fuel sched =
+  let adv = Adversary.replay sched in
+  let verdict, executed, _ = run_one tgt ~pick:adv ~z ~fuel ~inputs in
+  (executed, verdict)
+
+(* Replay is idempotent on executed schedules: every event of an executed
+   schedule was applied in order from the same initial configuration, so
+   replaying it reproduces the same configurations, the same budget states
+   (no skips) and the same early stop.  Shrinking therefore works in the
+   executed-schedule space: normalize first, minimize, and the 1-minimal
+   result needs no further normalization (an event that would be skipped
+   or never reached on replay could be removed without changing the
+   verdict, contradicting 1-minimality) — the trailing [normalize] is a
+   cheap invariant check, not a second search. *)
+let shrink tgt ~inputs ~z ~fuel ~violation sched =
+  let replays = ref 0 in
+  let verdict_of s =
+    incr replays;
+    replay_verdict tgt ~inputs ~z ~fuel s
+  in
+  let pred s = Checker.message (snd (verdict_of s)) = Some violation in
+  let normalize s = fst (verdict_of s) in
+  if not (pred sched) then
+    invalid_arg "Inject.shrink: schedule does not replay to the given violation";
+  let rec fix s =
+    let s' = Shrink.minimize ~pred s in
+    let executed = normalize s' in
+    if Sched.length executed < Sched.length s' then fix executed else s'
+  in
+  let minimal = fix (normalize sched) in
+  (minimal, !replays)
+
+let binary_inputs n =
+  List.init (1 lsl n) (fun mask -> Array.init n (fun i -> (mask lsr i) land 1))
+
+let run ?inputs_list ~grid targets =
+  List.map
+    (fun (name, (Target p as tgt)) ->
+      let nprocs = p.Program.nprocs in
+      let inputs_list =
+        match inputs_list with Some l -> l | None -> binary_inputs nprocs
+      in
+      let findings = ref [] in
+      let cells =
+        List.map
+          (fun spec ->
+            let adversary = adversary_name spec in
+            let runs = ref 0 and ok = ref 0 and violations = ref 0 in
+            let incomplete = ref 0 in
+            let shrunk_here = ref 0 in
+            List.iter
+              (fun seed ->
+                List.iter
+                  (fun inputs ->
+                    incr runs;
+                    let adv = instantiate spec ~seed ~nprocs in
+                    let verdict, executed, out =
+                      run_one tgt ~pick:adv ~z:grid.z ~fuel:grid.fuel ~inputs
+                    in
+                    match verdict with
+                    | Checker.Violation violation ->
+                        incr violations;
+                        if !shrunk_here < grid.shrink_per_cell then begin
+                          incr shrunk_here;
+                          let shrunk, replays =
+                            shrink tgt ~inputs ~z:grid.z ~fuel:grid.fuel ~violation
+                              executed
+                          in
+                          findings :=
+                            {
+                              protocol = name;
+                              adversary;
+                              seed;
+                              inputs;
+                              violation;
+                              raw = executed;
+                              shrunk;
+                              replays;
+                            }
+                            :: !findings
+                        end
+                    | Checker.Ok ->
+                        if out.Exec.all_decided then incr ok else incr incomplete)
+                  inputs_list)
+              grid.seeds;
+            {
+              adversary;
+              runs = !runs;
+              ok = !ok;
+              violations = !violations;
+              incomplete = !incomplete;
+            })
+          grid.adversaries
+      in
+      { name; nprocs; cells; findings = List.rev !findings })
+    targets
+
+let total_violations report =
+  List.fold_left
+    (fun acc p -> List.fold_left (fun acc c -> acc + c.violations) acc p.cells)
+    0 report
+
+let findings report = List.concat_map (fun p -> p.findings) report
+
+let pp_inputs ppf inputs =
+  Array.iter (fun i -> Format.pp_print_int ppf i) inputs
+
+let pp_finding ppf f =
+  Format.fprintf ppf
+    "@[<v 2>finding: %s under %s, seed %d, inputs %a@,\
+     violation: %s@,\
+     raw schedule  (%2d events): %s@,\
+     minimal       (%2d events): %s@,\
+     shrinking replays: %d@]"
+    f.protocol f.adversary f.seed pp_inputs f.inputs f.violation
+    (Sched.length f.raw) (Sched.to_string f.raw)
+    (Sched.length f.shrunk) (Sched.to_string f.shrunk) f.replays
+
+let pp_report ppf report =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "== %s (%d processes) ==@," p.name p.nprocs;
+      Format.fprintf ppf "  %-28s %6s %6s %6s %11s@," "adversary" "runs" "ok"
+        "viol" "incomplete";
+      List.iter
+        (fun c ->
+          Format.fprintf ppf "  %-28s %6d %6d %6d %11d@," c.adversary c.runs c.ok
+            c.violations c.incomplete)
+        p.cells;
+      List.iter (fun f -> Format.fprintf ppf "  %a@," pp_finding f) p.findings;
+      Format.fprintf ppf "@,")
+    report;
+  Format.pp_close_box ppf ()
+
+let report_to_string report = Format.asprintf "%a" pp_report report

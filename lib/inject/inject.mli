@@ -1,0 +1,115 @@
+(** Fault-injection campaigns: deterministic seeded adversary sweeps over
+    executable protocols, with automatic counterexample minimization.
+
+    The paper's subject is computation that survives adversarial crash
+    schedules; this module turns that adversary into a test harness.  A
+    {e campaign} drives each target protocol through a grid of seeded
+    adversaries ({!Adversary.random} / {!Adversary.crash_storm} /
+    {!Adversary.random_simultaneous} parameterizations × seeds), collects
+    {!Checker.consensus} verdicts into a per-protocol matrix, and — on any
+    violation — {e shrinks} the recorded schedule to a minimal
+    counterexample by delta-debugging over the event list ({!Shrink}),
+    revalidating every candidate through {!Adversary.replay} from the same
+    initial configuration.
+
+    Everything is deterministic given the grid: the same seeds reproduce
+    the same runs, and every reported schedule replays to its reported
+    violation. *)
+
+type target = Target : 'st Program.t -> target
+(** A protocol with its state type packed away — campaigns only need the
+    uniform run/replay/check surface. *)
+
+type adversary_spec =
+  | Random of { crash_prob : float }
+  | Crash_storm of { period : int }
+  | Random_simultaneous of { crash_prob : float; max_crashes : int }
+      (** One point of the adversary grid; each is instantiated per seed
+          and per process count. *)
+
+val adversary_name : adversary_spec -> string
+(** Compact label, e.g. ["random(p=0.30)"] — the key used in report
+    cells and findings. *)
+
+type grid = {
+  adversaries : adversary_spec list;
+  seeds : int list;
+  z : int;  (** crash-budget parameter of [E_z^*] *)
+  fuel : int;  (** event cap per run *)
+  shrink_per_cell : int;
+      (** how many violations per (protocol, adversary) cell to shrink
+          into findings; further violations are only counted *)
+}
+
+val default_grid : ?z:int -> ?fuel:int -> ?shrink_per_cell:int -> seeds:int -> unit -> grid
+(** Five adversary parameterizations (two random crash rates, two storm
+    periods, one simultaneous), seeds [1 .. seeds], [z = 1],
+    [fuel = 2000], one shrunk finding per cell. *)
+
+type finding = {
+  protocol : string;
+  adversary : string;
+  seed : int;
+  inputs : int array;
+  violation : string;  (** the checker message, e.g. agreement breakage *)
+  raw : Sched.t;  (** the executed schedule the adversary produced *)
+  shrunk : Sched.t;  (** minimized; replays to the same [violation] *)
+  replays : int;  (** replay validations spent shrinking *)
+}
+
+type cell = {
+  adversary : string;
+  runs : int;
+  ok : int;
+  violations : int;
+  incomplete : int;  (** fuel exhausted with no violation *)
+}
+
+type protocol_report = {
+  name : string;
+  nprocs : int;
+  cells : cell list;  (** one per adversary spec, in grid order *)
+  findings : finding list;
+}
+
+type report = protocol_report list
+
+val replay_verdict :
+  target -> inputs:int array -> z:int -> fuel:int -> Sched.t -> Sched.t * Checker.verdict
+(** Replay a schedule from the initial configuration for [inputs] through
+    {!Adversary.replay} under a fresh [E_z^*] budget: returns the schedule
+    that actually executed (budget-ineligible crashes are skipped, the run
+    stops once everyone has decided) and the consensus verdict of the
+    final configuration — the validation primitive shrinking is built on. *)
+
+val shrink :
+  target ->
+  inputs:int array ->
+  z:int ->
+  fuel:int ->
+  violation:string ->
+  Sched.t ->
+  Sched.t * int
+(** Minimize a violating schedule: {!Shrink.minimize} over the event list
+    with "replays to the same checker violation" as the predicate, then
+    normalization to executed form.  The result replays to exactly
+    [violation] and is 1-minimal — removing any single event loses it.
+    Also returns the number of replays spent.
+    @raise Invalid_argument when the input schedule does not replay to
+    [violation]. *)
+
+val run : ?inputs_list:int array list -> grid:grid -> (string * target) list -> report
+(** Run the whole campaign.  [inputs_list] defaults to all binary input
+    vectors for each protocol's process count.  Violations are detected on
+    every run's final configuration (also mid-fuel ones: disagreement among
+    a decided subset counts), and the first [shrink_per_cell] per cell are
+    shrunk into findings. *)
+
+val total_violations : report -> int
+val findings : report -> finding list
+
+val pp_report : Format.formatter -> report -> unit
+(** The structured campaign report: per-protocol verdict matrix, then each
+    finding with raw and minimal schedules and the seed to reproduce. *)
+
+val report_to_string : report -> string

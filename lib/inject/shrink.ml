@@ -1,0 +1,64 @@
+(* Delta debugging over plain lists; see shrink.mli for the contract. *)
+
+let require_pred ~who ~pred xs =
+  if not (pred xs) then
+    invalid_arg (Printf.sprintf "Shrink.%s: predicate does not hold on the input" who)
+
+(* Split into [n] contiguous chunks of near-equal size (the first
+   [len mod n] chunks get the extra element).  [n <= len]. *)
+let chunks n xs =
+  let len = List.length xs in
+  let base = len / n and extra = len mod n in
+  let rec take k xs =
+    if k = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+          let taken, left = take (k - 1) rest in
+          (x :: taken, left)
+  in
+  let rec go i xs =
+    if i >= n then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size xs in
+      chunk :: go (i + 1) rest
+  in
+  go 0 xs
+
+let complements parts =
+  List.mapi (fun i _ -> List.concat (List.filteri (fun j _ -> j <> i) parts)) parts
+
+let ddmin ~pred xs =
+  require_pred ~who:"ddmin" ~pred xs;
+  let rec go xs n =
+    let len = List.length xs in
+    if len <= 1 then xs
+    else
+      let n = min n len in
+      let parts = chunks n xs in
+      match List.find_opt pred parts with
+      | Some smaller -> go smaller 2
+      | None -> (
+          match if n > 2 then List.find_opt pred (complements parts) else None with
+          | Some smaller -> go smaller (max 2 (n - 1))
+          | None -> if n < len then go xs (min len (2 * n)) else xs)
+  in
+  go xs 2
+
+let one_minimal ~pred xs =
+  require_pred ~who:"one_minimal" ~pred xs;
+  let rec pass xs =
+    let len = List.length xs in
+    let rec try_remove i =
+      if i >= len then None
+      else
+        let candidate = List.filteri (fun j _ -> j <> i) xs in
+        if pred candidate then Some candidate else try_remove (i + 1)
+    in
+    match try_remove 0 with Some smaller -> pass smaller | None -> xs
+  in
+  pass xs
+
+let minimize ~pred xs = one_minimal ~pred (ddmin ~pred xs)

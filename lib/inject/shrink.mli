@@ -1,0 +1,30 @@
+(** Generic delta debugging (Zeller–Hildebrandt ddmin) over lists.
+
+    Used by {!Inject} to minimize violating schedules, but deliberately
+    agnostic: elements are opaque and the caller supplies the interesting
+    predicate.  All entry points require [pred] to hold on the input and
+    guarantee it holds on the output; {!minimize} additionally guarantees
+    the result is {e 1-minimal} — removing any single element breaks the
+    predicate.
+
+    The predicate is called many times (O(k²) in the worst case for a
+    k-element input); callers that care count invocations themselves by
+    wrapping [pred]. *)
+
+val ddmin : pred:('a list -> bool) -> 'a list -> 'a list
+(** Classic ddmin: repeatedly try chunks and chunk-complements at
+    increasing granularity, restarting whenever a smaller failing input is
+    found.  Fast at carving away large irrelevant regions, but the result
+    is only guaranteed minimal with respect to the chunkings tried.
+    @raise Invalid_argument when [pred] does not hold on the input. *)
+
+val one_minimal : pred:('a list -> bool) -> 'a list -> 'a list
+(** Remove single elements until none can be removed: the fixpoint is
+    1-minimal.  Quadratic; run it after {!ddmin} has done the bulk work.
+    @raise Invalid_argument when [pred] does not hold on the input. *)
+
+val minimize : pred:('a list -> bool) -> 'a list -> 'a list
+(** [one_minimal ~pred (ddmin ~pred xs)] — the full pipeline: coarse
+    delta-debugging followed by the exhaustive single-element pass, so the
+    result both is small and provably cannot lose any one element.
+    @raise Invalid_argument when [pred] does not hold on the input. *)

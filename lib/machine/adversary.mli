@@ -24,7 +24,16 @@ val random : ?crash_prob:float -> seed:int -> nprocs:int -> t
 val crash_storm : ?period:int -> seed:int -> nprocs:int -> t
 (** Round-robin stepping, but every [period] (default 3) events attempts to
     crash the process with the most budget headroom — a stress adversary for
-    recoverable protocols. *)
+    recoverable protocols.
+
+    [p_0] is never crashed.  The asymmetry is the paper's, not an
+    implementation accident: in the [E_z^*] crash budget the highest-priority
+    process is crash-free by definition ([Budget.crash_headroom] is always
+    [0] for [p_0], since a process's headroom is financed by the steps of
+    {e strictly higher-priority} processes, and nothing ranks above [p_0]).
+    The headroom scan here starts at [p = 1] purely as an optimization —
+    starting at [p = 0] would be behaviorally identical.  Pinned by the
+    test suite. *)
 
 val random_simultaneous :
   ?crash_prob:float -> max_crashes:int -> seed:int -> nprocs:int -> t

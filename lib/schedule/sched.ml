@@ -34,6 +34,20 @@ let crash_free sched =
 
 let of_procs procs = List.map step procs
 
+let length = List.length
+
+let remove_at sched i =
+  List.filteri (fun j _ -> j <> i) sched
+
+let keep_indices sched indices =
+  let rec loop j sched indices =
+    match (sched, indices) with
+    | _, [] | [], _ -> []
+    | e :: rest, i :: is ->
+        if j = i then e :: loop (j + 1) rest is else loop (j + 1) rest indices
+  in
+  loop 0 sched (List.sort_uniq compare indices)
+
 (* All sequences of distinct elements drawn from [procs]; depth-first so the
    result is grouped by first element, then sorted by (length, lex). *)
 let at_most_once_of procs =

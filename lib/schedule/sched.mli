@@ -41,6 +41,16 @@ val crash_free : t -> bool
 val of_procs : proc list -> t
 (** A crash-free schedule stepping the given processes in order. *)
 
+val length : t -> int
+
+val remove_at : t -> int -> t
+(** The schedule without its [i]-th event (0-based); unchanged when [i] is
+    out of range.  The single-event probe of schedule minimization. *)
+
+val keep_indices : t -> int list -> t
+(** The subsequence at the given (deduplicated, then sorted) indices —
+    the subset operation delta-debugging shrinks through. *)
+
 val at_most_once : nprocs:int -> proc list list
 (** The paper's [S({p_0, ..., p_{nprocs-1}})]: every sequence of *distinct*
     processes drawn from [0 .. nprocs-1], including the empty sequence.

@@ -36,16 +36,56 @@ let test_pool_reuse () =
   done
 
 let test_pool_exception () =
-  Pool.with_pool ~jobs:2 @@ fun pool ->
-  check_bool "exception propagates to the caller" true
-    (try
-       Pool.parallel_for pool 100 (fun _ _ -> failwith "boom");
-       false
-     with Failure _ -> true);
-  (* the pool survives a failed task *)
-  let claimed = Atomic.make 0 in
-  Pool.parallel_for pool 10 (fun lo hi -> ignore (Atomic.fetch_and_add claimed (hi - lo)));
-  check_int "usable after exception" 10 (Atomic.get claimed)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun pool ->
+      (* The propagated exception carries the failing chunk and worker. *)
+      (match Pool.parallel_for pool ~chunk:7 100 (fun _ _ -> failwith "boom") with
+      | () -> Alcotest.fail "expected Task_error"
+      | exception Pool.Task_error { lo; hi; worker; error } ->
+          check_bool (Printf.sprintf "jobs=%d: chunk range sane" jobs) true
+            (0 <= lo && lo < hi && hi <= 100);
+          check_bool (Printf.sprintf "jobs=%d: worker id in range" jobs) true
+            (0 <= worker && worker < jobs);
+          check_bool (Printf.sprintf "jobs=%d: original error attached" jobs) true
+            (error = Failure "boom"));
+      (* The pool survives a failed task: the recorded error is cleared on
+         the next submission, which then runs normally (pinned behavior). *)
+      let claimed = Atomic.make 0 in
+      Pool.parallel_for pool 10 (fun lo hi ->
+          ignore (Atomic.fetch_and_add claimed (hi - lo)));
+      check_int (Printf.sprintf "jobs=%d: usable after exception" jobs) 10
+        (Atomic.get claimed))
+    job_counts
+
+let test_pool_until () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun pool ->
+      (* A stop signal that never fires is plain parallel_for. *)
+      let count = Atomic.make 0 in
+      check_bool (Printf.sprintf "jobs=%d: no stop -> complete" jobs) true
+        (Pool.parallel_for_until pool
+           ~should_stop:(fun () -> false)
+           500
+           (fun lo hi -> ignore (Atomic.fetch_and_add count (hi - lo))));
+      check_int (Printf.sprintf "jobs=%d: every index claimed" jobs) 500
+        (Atomic.get count);
+      (* A stop raised by the first chunk abandons the unclaimed tail. *)
+      let stop = Atomic.make false in
+      let seen = Atomic.make 0 in
+      let completed =
+        Pool.parallel_for_until pool ~chunk:1
+          ~should_stop:(fun () -> Atomic.get stop)
+          100_000
+          (fun lo hi ->
+            ignore (Atomic.fetch_and_add seen (hi - lo));
+            Atomic.set stop true)
+      in
+      check_bool (Printf.sprintf "jobs=%d: stop -> incomplete" jobs) false completed;
+      check_bool (Printf.sprintf "jobs=%d: tail abandoned" jobs) true
+        (Atomic.get seen < 100_000))
+    job_counts
 
 let test_pool_validation () =
   check_bool "jobs = 0 rejected" true
@@ -151,11 +191,120 @@ let test_census_parity () =
   List.iter
     (fun jobs ->
       Pool.with_pool ~jobs @@ fun pool ->
+      let run = Engine.census ~cap:3 pool space in
+      check_bool (Printf.sprintf "jobs=%d run complete" jobs) true
+        (run.Engine.complete && run.Engine.completed = run.Engine.total);
       check_bool
         (Printf.sprintf "jobs=%d histogram identical" jobs)
         true
-        (Engine.census ~cap:3 pool space = seq))
+        (run.Engine.entries = seq))
     job_counts
+
+let test_census_checkpoint_resume () =
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  let seq = Census.exhaustive ~cap:3 space in
+  let path = Filename.temp_file "rcn-test-census" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  let full = Engine.census ~cap:3 ~checkpoint:path pool space in
+  check_bool "checkpointed run complete" true full.Engine.complete;
+  (* Simulate a kill mid-run: keep the header plus 100 decided-table lines,
+     then a torn trailing line with no newline, as a dying write leaves. *)
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let header = List.hd lines in
+  let kept = List.filteri (fun i _ -> 1 <= i && i <= 100) lines in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) (header :: kept);
+      Out_channel.output_string oc "12 3");
+  let resumed = Engine.census ~cap:3 ~checkpoint:path ~resume:true pool space in
+  check_bool "resumed run complete" true resumed.Engine.complete;
+  check_int "torn tail dropped, whole lines loaded" 100 resumed.Engine.resumed;
+  check_int "each table decided exactly once" (Census.space_size space)
+    resumed.Engine.completed;
+  check_bool "stitched histogram identical to the sequential census" true
+    (resumed.Engine.entries = seq);
+  (* A checkpoint from different census parameters is rejected, not merged. *)
+  check_bool "stale checkpoint rejected" true
+    (try
+       ignore (Engine.census ~cap:4 ~checkpoint:path ~resume:true pool space);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines: degrade, never lie. *)
+
+let test_expired_deadline_analyze () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs @@ fun pool ->
+      let past = Unix.gettimeofday () -. 5.0 in
+      let a = Engine.analyze ~cap:4 ~deadline:past pool Gallery.test_and_set in
+      let check_level name (l : Analysis.level) =
+        check_int (Printf.sprintf "jobs=%d: %s floor" jobs name) 1 l.Analysis.value;
+        check_bool
+          (Printf.sprintf "jobs=%d: %s is a lower bound" jobs name)
+          true
+          (l.Analysis.status = Analysis.At_least)
+      in
+      check_level "discerning" a.Analysis.discerning;
+      check_level "recording" a.Analysis.recording)
+    job_counts
+
+let test_deadline_honesty () =
+  (* Whatever the budget, a cut analysis never claims more than the uncut
+     one, and an [Exact] status is only ever the true value. *)
+  let seq = Numbers.analyze ~cap:4 Gallery.x4_witness in
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  List.iter
+    (fun budget ->
+      let a =
+        Engine.analyze ~cap:4
+          ~deadline:(Unix.gettimeofday () +. budget)
+          pool Gallery.x4_witness
+      in
+      let sub name (cut : Analysis.level) (full : Analysis.level) =
+        check_bool
+          (Printf.sprintf "%s at %.3fs never exceeds the uncut level" name budget)
+          true
+          (cut.Analysis.value <= full.Analysis.value);
+        if cut.Analysis.status = Analysis.Exact then
+          check_int
+            (Printf.sprintf "%s at %.3fs: Exact is the true value" name budget)
+            full.Analysis.value cut.Analysis.value
+      in
+      sub "discerning" a.Analysis.discerning seq.Analysis.discerning;
+      sub "recording" a.Analysis.recording seq.Analysis.recording)
+    [ 0.001; 0.02; 1000.0 ]
+
+let test_expired_outcome_not_cached () =
+  Pool.with_pool ~jobs:1 @@ fun pool ->
+  let cache = Engine.Cache.create () in
+  let past = Unix.gettimeofday () -. 1.0 in
+  (match
+     Engine.search_within ~cache ~deadline:past pool Decide.Discerning
+       Gallery.test_and_set ~n:2
+   with
+  | Engine.Expired -> ()
+  | _ -> Alcotest.fail "already-expired deadline must report Expired");
+  (* The expired sweep published nothing: the next query computes for real. *)
+  (match
+     Engine.search_within ~cache pool Decide.Discerning Gallery.test_and_set ~n:2
+   with
+  | Engine.Found _ -> ()
+  | _ -> Alcotest.fail "test-and-set is 2-discerning");
+  let s = Engine.Cache.stats cache in
+  check_int "no outcome was served from the expired sweep" 0 s.Engine.Cache.hits
+
+let test_expired_deadline_portfolio () =
+  let space = { Synth.num_values = 5; num_rws = 4; num_responses = 5 } in
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  check_bool "expired deadline launches no climbs" true
+    (Engine.synth_portfolio ~portfolio:3
+       ~deadline:(Unix.gettimeofday () -. 1.0)
+       pool ~target:4 space
+    = None)
 
 (* ------------------------------------------------------------------ *)
 (* Closure cache *)
@@ -240,10 +389,21 @@ let suite =
     Alcotest.test_case "pool covers the range exactly once" `Quick test_pool_covers_range;
     Alcotest.test_case "pool is reusable across tasks" `Quick test_pool_reuse;
     Alcotest.test_case "pool propagates exceptions" `Quick test_pool_exception;
+    Alcotest.test_case "pool cooperative cancellation" `Quick test_pool_until;
     Alcotest.test_case "pool argument validation" `Quick test_pool_validation;
     Alcotest.test_case "search parity on gallery anchors" `Slow test_search_parity_gallery;
     Alcotest.test_case "analyze_all parity on the gallery" `Slow test_analyze_all_gallery_parity;
     Alcotest.test_case "census parity on the 2/2/2 space" `Slow test_census_parity;
+    Alcotest.test_case "census checkpoint / resume round-trip" `Slow
+      test_census_checkpoint_resume;
+    Alcotest.test_case "expired deadline degrades to honest floors" `Quick
+      test_expired_deadline_analyze;
+    Alcotest.test_case "deadline-cut analyses never overclaim" `Slow
+      test_deadline_honesty;
+    Alcotest.test_case "expired sweeps are not cached" `Quick
+      test_expired_outcome_not_cached;
+    Alcotest.test_case "expired deadline skips portfolio climbs" `Quick
+      test_expired_deadline_portfolio;
     Alcotest.test_case "closure cache: second query is free" `Quick test_cache_second_query_is_free;
     Alcotest.test_case "cached analysis parity across jobs" `Slow test_cache_parity_across_jobs;
     Alcotest.test_case "synthesis portfolio parity" `Slow test_synth_portfolio_parity;

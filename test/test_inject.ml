@@ -1,0 +1,215 @@
+(* Tests for the fault-injection campaign runner: the generic delta
+   debugger, the shrinking pipeline's replay/minimality guarantees, and
+   fixed-seed campaigns over the known-broken protocols. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Shrink: delta debugging on plain lists *)
+
+let test_ddmin_finds_singleton () =
+  (* Predicate "contains 7": ddmin must carve 1000 elements down to [7]. *)
+  let pred xs = List.mem 7 xs in
+  let input = List.init 1000 Fun.id in
+  check_bool "ddmin isolates the one relevant element" true
+    (Shrink.ddmin ~pred input = [ 7 ]);
+  check_bool "one_minimal agrees" true (Shrink.one_minimal ~pred input = [ 7 ]);
+  check_bool "minimize agrees" true (Shrink.minimize ~pred input = [ 7 ])
+
+let test_ddmin_scattered_pair () =
+  (* Two far-apart relevant elements: the classic case where complements
+     matter.  The result must keep both, in order, and nothing else. *)
+  let pred xs = List.mem 3 xs && List.mem 96 xs in
+  let input = List.init 100 Fun.id in
+  check_bool "minimal scattered pair" true (Shrink.minimize ~pred input = [ 3; 96 ])
+
+let test_minimize_is_one_minimal () =
+  (* "Sum of survivors >= 50" over 1..20: whatever minimize returns,
+     dropping any single element must break the predicate. *)
+  let pred xs = List.fold_left ( + ) 0 xs >= 50 in
+  let input = List.init 20 (fun i -> i + 1) in
+  let out = Shrink.minimize ~pred input in
+  check_bool "predicate holds on result" true (pred out);
+  List.iteri
+    (fun i _ ->
+      check_bool
+        (Printf.sprintf "dropping element %d breaks it" i)
+        false
+        (pred (List.filteri (fun j _ -> j <> i) out)))
+    out
+
+let test_shrink_rejects_bad_input () =
+  let pred xs = List.mem 99 xs in
+  List.iter
+    (fun (who, f) ->
+      check_bool (who ^ " raises on a non-failing input") true
+        (try
+           ignore (f ~pred [ 1; 2; 3 ]);
+           false
+         with Invalid_argument _ -> true))
+    [ ("ddmin", Shrink.ddmin); ("one_minimal", Shrink.one_minimal);
+      ("minimize", Shrink.minimize) ]
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns on the known-broken protocols, fixed seeds *)
+
+let broken_targets () =
+  [
+    ("race", Inject.Target (Classic.register_race ~nprocs:2));
+    ("tas2", Inject.Target Classic.tas_consensus_2);
+    ( "tnn-overloaded",
+      (* T_{3,1}'s recoverable protocol run by one process too many. *)
+      Inject.Target (Tnn_protocol.recoverable_overloaded ~procs:2 ~n:3 ~n':1) );
+  ]
+
+(* Seeds 1..40 reach the overloaded protocol's rare crash window (first
+   hit near seed 26) while keeping the campaign fast. *)
+let smoke_grid = Inject.default_grid ~seeds:40 ()
+
+let smoke_report = lazy (Inject.run ~grid:smoke_grid (broken_targets ()))
+
+let test_campaign_finds_all_three () =
+  let report = Lazy.force smoke_report in
+  List.iter
+    (fun (p : Inject.protocol_report) ->
+      check_bool (p.Inject.name ^ " violated") true
+        (List.exists (fun (c : Inject.cell) -> c.Inject.violations > 0) p.Inject.cells);
+      check_bool (p.Inject.name ^ " produced a shrunk finding") true
+        (p.Inject.findings <> []))
+    report;
+  check_int "one protocol_report per target" 3 (List.length report)
+
+let test_findings_replay_and_shrink () =
+  let findings = Inject.findings (Lazy.force smoke_report) in
+  check_bool "campaign produced findings" true (findings <> []);
+  List.iter
+    (fun (f : Inject.finding) ->
+      let tgt = List.assoc f.Inject.protocol (broken_targets ()) in
+      let label what =
+        Printf.sprintf "%s/%s seed %d: %s" f.Inject.protocol f.Inject.adversary
+          f.Inject.seed what
+      in
+      (* Shrinking never grows the schedule, and the raw tas2 schedules are
+         long enough that at least one finding shrinks strictly. *)
+      check_bool (label "shrunk not longer than raw") true
+        (Sched.length f.Inject.shrunk <= Sched.length f.Inject.raw);
+      (* The minimal schedule replays to the very same checker violation. *)
+      let executed, verdict =
+        Inject.replay_verdict tgt ~inputs:f.Inject.inputs ~z:smoke_grid.Inject.z
+          ~fuel:smoke_grid.Inject.fuel f.Inject.shrunk
+      in
+      check_bool (label "replay reproduces the violation") true
+        (Checker.message verdict = Some f.Inject.violation);
+      check_bool (label "minimal schedule replays in full") true
+        (executed = f.Inject.shrunk);
+      (* 1-minimality: removing any single event loses the violation. *)
+      List.iteri
+        (fun i _ ->
+          let _, verdict' =
+            Inject.replay_verdict tgt ~inputs:f.Inject.inputs
+              ~z:smoke_grid.Inject.z ~fuel:smoke_grid.Inject.fuel
+              (Sched.remove_at f.Inject.shrunk i)
+          in
+          check_bool
+            (label (Printf.sprintf "dropping event %d loses the violation" i))
+            false
+            (Checker.message verdict' = Some f.Inject.violation))
+        f.Inject.shrunk)
+    findings
+
+let test_some_finding_shrinks_strictly () =
+  (* The acceptance bar: a broken protocol yields a minimized
+     counterexample strictly shorter than the raw schedule (tas2's crash
+     loops guarantee slack in the raw runs). *)
+  check_bool "at least one finding is strictly shorter than raw" true
+    (List.exists
+       (fun (f : Inject.finding) ->
+         Sched.length f.Inject.shrunk < Sched.length f.Inject.raw)
+       (Inject.findings (Lazy.force smoke_report)))
+
+let test_campaign_deterministic () =
+  (* Same grid, same targets: bit-identical report. *)
+  let r1 = Inject.run ~grid:(Inject.default_grid ~seeds:3 ()) (broken_targets ()) in
+  let r2 = Inject.run ~grid:(Inject.default_grid ~seeds:3 ()) (broken_targets ()) in
+  check_bool "campaigns are deterministic" true (r1 = r2)
+
+let test_healthy_protocol_clean () =
+  let grid = Inject.default_grid ~seeds:5 () in
+  let report =
+    Inject.run ~grid
+      [
+        ("cas", Inject.Target (Classic.cas_consensus ~nprocs:2));
+        ("sticky", Inject.Target (Classic.sticky_consensus ~nprocs:2));
+      ]
+  in
+  check_int "no violations on consensus-correct protocols" 0
+    (Inject.total_violations report);
+  check_bool "no findings either" true (Inject.findings report = [])
+
+let test_shrink_rejects_non_violating_schedule () =
+  let tgt = Inject.Target Classic.tas_consensus_2 in
+  check_bool "shrink refuses a schedule that does not violate" true
+    (try
+       ignore
+         (Inject.shrink tgt ~inputs:[| 0; 1 |] ~z:1 ~fuel:100
+            ~violation:"agreement: distinct decisions {0, 1}"
+            Sched.[ step 0; step 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: minimized counterexamples replay to the same violation and
+   are locally minimal, across random seeds *)
+
+let prop_minimized_counterexamples =
+  QCheck.Test.make ~name:"every minimized counterexample replays and is 1-minimal"
+    ~count:30
+    QCheck.(make Gen.(int_range 1 10_000))
+    (fun seed ->
+      let tgt = Inject.Target Classic.tas_consensus_2 in
+      let inputs = [| 0; 1 |] in
+      let adv = Adversary.random ~crash_prob:0.35 ~seed ~nprocs:2 in
+      let p = Classic.tas_consensus_2 in
+      let c0 = Config.initial p ~inputs in
+      let final, executed, _ =
+        Exec.run_adversary p c0
+          ~pick:(fun ~decided b -> adv ~decided b)
+          ~budget:(Budget.counter ~z:1 ~nprocs:2)
+          ~fuel:500 ()
+      in
+      match Checker.message (Checker.consensus p final) with
+      | None -> true (* this seed found nothing to shrink *)
+      | Some violation ->
+          let shrunk, _replays =
+            Inject.shrink tgt ~inputs ~z:1 ~fuel:500 ~violation executed
+          in
+          let same_violation s =
+            let _, v = Inject.replay_verdict tgt ~inputs ~z:1 ~fuel:500 s in
+            Checker.message v = Some violation
+          in
+          same_violation shrunk
+          && Sched.length shrunk <= Sched.length executed
+          && List.for_all
+               (fun i -> not (same_violation (Sched.remove_at shrunk i)))
+               (List.init (Sched.length shrunk) Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "ddmin isolates a singleton" `Quick test_ddmin_finds_singleton;
+    Alcotest.test_case "ddmin keeps a scattered pair" `Quick test_ddmin_scattered_pair;
+    Alcotest.test_case "minimize is 1-minimal" `Quick test_minimize_is_one_minimal;
+    Alcotest.test_case "shrinkers reject non-failing inputs" `Quick
+      test_shrink_rejects_bad_input;
+    Alcotest.test_case "campaign breaks all three broken protocols" `Quick
+      test_campaign_finds_all_three;
+    Alcotest.test_case "findings replay and are 1-minimal" `Quick
+      test_findings_replay_and_shrink;
+    Alcotest.test_case "some finding shrinks strictly" `Quick
+      test_some_finding_shrinks_strictly;
+    Alcotest.test_case "campaigns are deterministic" `Quick test_campaign_deterministic;
+    Alcotest.test_case "healthy protocols stay clean" `Quick test_healthy_protocol_clean;
+    Alcotest.test_case "shrink validates its input" `Quick
+      test_shrink_rejects_non_violating_schedule;
+    QCheck_alcotest.to_alcotest prop_minimized_counterexamples;
+  ]

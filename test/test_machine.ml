@@ -132,6 +132,38 @@ let test_replay_adversary () =
   check_bool "all decided" true out.Exec.all_decided;
   check_bool "p1 won" true (Config.decided cas2 final ~proc:0 = Some 1)
 
+let test_crash_storm_never_crashes_p0 () =
+  (* The asymmetry documented in adversary.mli: p0 is crash-free by the
+     E_z^* budget itself (its headroom is financed by strictly
+     higher-priority steps, and nothing ranks above p0), so crash_storm's
+     headroom scan starting at p = 1 is an optimization, not a policy. *)
+  check_int "p0 headroom is identically zero" 0
+    (Budget.crash_headroom (Budget.counter ~z:3 ~nprocs:4) 0);
+  List.iter
+    (fun (nprocs, period) ->
+      let p = Classic.cas_consensus ~nprocs in
+      let c = Config.initial p ~inputs:(Array.init nprocs (fun i -> i mod 2)) in
+      for seed = 1 to 10 do
+        let adv = Adversary.crash_storm ~period ~seed ~nprocs in
+        let _, sched, _ =
+          Exec.run_adversary p c
+            ~pick:(fun ~decided b -> adv ~decided b)
+            ~budget:(Budget.counter ~z:2 ~nprocs)
+            ~fuel:300 ()
+        in
+        check_int
+          (Printf.sprintf "nprocs=%d period=%d seed=%d: p0 never crashed" nprocs
+             period seed)
+          0
+          (Sched.crashes_of sched 0);
+        check_bool
+          (Printf.sprintf "nprocs=%d period=%d seed=%d: within E_2^*" nprocs period
+             seed)
+          true
+          (Budget.within_e_z_star ~z:2 ~nprocs sched)
+      done)
+    [ (2, 2); (3, 2); (4, 3) ]
+
 let test_rwf_accounting () =
   (* The spin program exceeds any recoverable wait-freedom bound. *)
   let spin : unit Program.t =
@@ -204,6 +236,8 @@ let suite =
     Alcotest.test_case "round-robin adversary" `Quick test_round_robin_adversary;
     Alcotest.test_case "random adversary respects E_z^*" `Quick test_random_adversary_respects_budget;
     Alcotest.test_case "replay adversary" `Quick test_replay_adversary;
+    Alcotest.test_case "crash storm never crashes p0" `Quick
+      test_crash_storm_never_crashes_p0;
     Alcotest.test_case "recoverable wait-freedom accounting" `Quick test_rwf_accounting;
     Alcotest.test_case "consensus checkers" `Quick test_checkers;
     Alcotest.test_case "election checker" `Quick test_election_checker;

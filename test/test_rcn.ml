@@ -16,6 +16,7 @@ let () =
       ("tournament", Test_tournament.suite);
       ("synth", Test_synth.suite);
       ("universal", Test_universal.suite);
+      ("inject", Test_inject.suite);
       ("misc", Test_misc.suite);
       ("paper", Test_paper.suite);
     ]
