@@ -1,4 +1,4 @@
-.PHONY: all build test check bench inject-smoke clean
+.PHONY: all build test check bench inject-smoke stats-smoke clean
 
 all: build
 
@@ -9,10 +9,21 @@ test:
 	dune runtest
 
 # What CI runs: full build, the whole test suite (including the engine
-# parity properties), a parallel-engine smoke through the CLI, and the
-# fault-injection smoke.
-check: build test inject-smoke
+# parity properties), a parallel-engine smoke through the CLI, the
+# fault-injection smoke, and the stats-export smoke.
+check: build test inject-smoke stats-smoke
 	dune exec bin/rcn.exe -- analyze test-and-set --cap 3 --jobs 2
+
+# Stats-export smoke: run an instrumented analyze on a gallery type, keep
+# the full mixed output for CI to archive, and validate the JSON stats
+# block's shape — in particular the cache accounting invariant
+# hits + misses + expired = probes — with the dependency-free checker.
+# The built binaries are invoked directly: two `dune exec` in one pipeline
+# contend for the _build lock.
+stats-smoke: build
+	./_build/default/bin/rcn.exe analyze x4-witness --cap 4 --jobs 2 --stats json \
+	  | tee stats-smoke.out \
+	  | ./_build/default/tools/stats_check.exe --require engine.candidates --require pool.tasks
 
 # Fixed-seed fault-injection campaign over the known-broken protocols
 # (register race, test-and-set under crashes, and T_{3,1}'s recoverable
@@ -29,4 +40,4 @@ bench:
 
 clean:
 	dune clean
-	rm -f inject-report.txt
+	rm -f inject-report.txt stats-smoke.out

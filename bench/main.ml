@@ -14,6 +14,13 @@ let section title =
 
 let binary_inputs n = List.init (1 lsl n) (fun mask -> Array.init n (fun i -> (mask lsr i) land 1))
 
+(* All wall timings below are on the monotonic clock: an NTP step during a
+   bench run must not produce negative or inflated durations. *)
+let time f =
+  let t0 = Obs.Clock.now () in
+  let r = f () in
+  (r, Obs.Clock.now () -. t0)
+
 
 (* ================================================================== *)
 (* Part 1 — regenerate the experiment artifacts                        *)
@@ -119,11 +126,6 @@ let e11_census () =
   let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
   Printf.printf "all %d readable types with 3 values, 2 RMW ops, 2 responses (cap 4):\n"
     (Census.space_size space);
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
   let run jobs =
     Pool.with_pool ~jobs @@ fun pool -> time (fun () -> Engine.census ~cap:4 pool space)
   in
@@ -195,11 +197,6 @@ let e9_decider_scaling () =
      refutation of 5-recording on x4-witness scans the whole candidate
      space — the engine's best case. *)
   let x4 = Gallery.x4_witness in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
   let jobs_hi = max 2 (Engine.default_jobs ()) in
   let run jobs =
     Pool.with_pool ~jobs @@ fun pool ->
@@ -217,8 +214,9 @@ let e9_decider_scaling () =
   let _, warm = time (fun () -> Engine.analyze ~cache ~cap:4 pool x4) in
   let stats = Engine.Cache.stats cache in
   Printf.printf
-    "engine closure cache analyze(x4, cap 4): cold %.3fs, warm %.6fs; outcome hits %d, misses %d, schedule hits %d, misses %d\n"
-    cold warm stats.Engine.Cache.hits stats.Engine.Cache.misses
+    "engine closure cache analyze(x4, cap 4): cold %.3fs, warm %.6fs; outcome probes %d = hits %d + misses %d + expired %d, schedule hits %d, misses %d\n"
+    cold warm stats.Engine.Cache.probes stats.Engine.Cache.hits
+    stats.Engine.Cache.misses stats.Engine.Cache.expired
     stats.Engine.Cache.sched_hits stats.Engine.Cache.sched_misses
 
 let e10_universal () =
@@ -305,9 +303,7 @@ let e16_inject () =
     ]
   in
   let grid = Inject.default_grid ~seeds:3 () in
-  let t0 = Unix.gettimeofday () in
-  let report = Inject.run ~grid targets in
-  let campaign_time = Unix.gettimeofday () -. t0 in
+  let report, campaign_time = time (fun () -> Inject.run ~grid targets) in
   let fs = Inject.findings report in
   Printf.printf "campaign: %d violations, %d shrunk findings, %.2fs total\n"
     (Inject.total_violations report)
@@ -336,8 +332,8 @@ let e16_inject () =
       (sub a.Analysis.discerning full.Analysis.discerning
       && sub a.Analysis.recording full.Analysis.recording)
   in
-  honest "expired" (Engine.analyze ~cap:4 ~deadline:(Unix.gettimeofday () -. 1.0) pool x4);
-  honest "50ms" (Engine.analyze ~cap:4 ~deadline:(Unix.gettimeofday () +. 0.05) pool x4);
+  honest "expired" (Engine.analyze ~cap:4 ~deadline:(Obs.Clock.now () -. 1.0) pool x4);
+  honest "50ms" (Engine.analyze ~cap:4 ~deadline:(Obs.Clock.after 0.05) pool x4);
   (* Census cut by a deadline, checkpointed, resumed: the stitched-together
      histogram must equal the uninterrupted sequential one. *)
   let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
@@ -346,9 +342,8 @@ let e16_inject () =
     ~finally:(fun () -> if Sys.file_exists ckpt then Sys.remove ckpt)
     (fun () ->
       let cut =
-        Engine.census ~cap:3 ~checkpoint:ckpt
-          ~deadline:(Unix.gettimeofday () +. 0.1)
-          pool space
+        Engine.census ~cap:3 ~checkpoint:ckpt ~deadline:(Obs.Clock.after 0.1) pool
+          space
       in
       let resumed = Engine.census ~cap:3 ~checkpoint:ckpt ~resume:true pool space in
       let seq = Pool.with_pool ~jobs:1 @@ fun p1 -> Engine.census ~cap:3 p1 space in
@@ -358,6 +353,41 @@ let e16_inject () =
         cut.Engine.completed cut.Engine.total
         (resumed.Engine.completed - resumed.Engine.resumed)
         (resumed.Engine.complete && resumed.Engine.entries = seq.Engine.entries))
+
+let e17_obs_overhead () =
+  section "E17 — observability overhead on the E9 workload (null-sink budget: < 5%)";
+  (* The E9 ablation workload: refute 5-recording on x4-witness, a full
+     candidate sweep through the fan-out path.  Instrumented = a live
+     [Obs.t] with the null sink (metrics accumulate, nothing is emitted) —
+     the mode a production run with [--stats] but no [--trace] pays for.
+     Best-of-3 each to damp scheduler noise. *)
+  let x4 = Gallery.x4_witness in
+  let jobs = max 2 (Engine.default_jobs ()) in
+  let sweep ?obs () =
+    Pool.with_pool ?obs ~jobs @@ fun pool ->
+    ignore (Engine.search ?obs pool Decide.Recording x4 ~n:5)
+  in
+  let best_of k f =
+    sweep ?obs:None () |> ignore;
+    (* warm-up: page in schedules *)
+    let best = ref infinity in
+    for _ = 1 to k do
+      let (), t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let bare = best_of 3 (fun () -> sweep ()) in
+  let obs = Obs.create () in
+  let instrumented = best_of 3 (fun () -> sweep ~obs ()) in
+  let overhead = 100.0 *. ((instrumented -. bare) /. bare) in
+  Printf.printf
+    "refute 5-recording(x4) at jobs=%d: bare %.3fs, null-sink obs %.3fs, overhead %+.2f%% (budget 5%%)\n"
+    jobs bare instrumented overhead;
+  let candidates =
+    Obs.Metrics.Counter.value (Obs.counter obs "engine.candidates")
+  in
+  Printf.printf "candidates counted: %d across %d instrumented sweeps\n" candidates 3
 
 let reproduce () =
   e1_figure3 ();
@@ -373,7 +403,8 @@ let reproduce () =
   e11_census ();
   e14_open_question_probe ();
   e15_tournament ();
-  e16_inject ()
+  e16_inject ();
+  e17_obs_overhead ()
 
 (* ================================================================== *)
 (* Part 2 — bechamel timings, one test per experiment + ablations      *)

@@ -24,20 +24,38 @@ let resolve_jobs j =
   else j
 
 (* [--deadline S] is relative seconds on the command line, an absolute
-   timestamp inside the engine. *)
+   monotonic timestamp inside the engine. *)
 let resolve_deadline = function
   | None -> None
   | Some s when s <= 0.0 ->
       prerr_endline "--deadline must be positive";
       exit 2
-  | Some s -> Some (Unix.gettimeofday () +. s)
+  | Some s -> Some (Obs.Clock.after s)
+
+(* Observability plumbing shared by the long-running commands: build the
+   context ([--trace FILE] selects the JSONL sink), run the command body
+   (which returns its exit code instead of calling [exit], so the stats
+   block still prints on failure paths like a PARTIAL census), render
+   [--stats] to stdout, close the sink, then exit. *)
+let with_obs ~command trace stats f =
+  let sink =
+    match trace with Some path -> Obs.Trace.jsonl path | None -> Obs.Trace.null
+  in
+  let obs = Obs.create ~sink () in
+  let code =
+    Fun.protect ~finally:(fun () -> Obs.Trace.close sink) (fun () -> f obs)
+  in
+  Option.iter (fun fmt -> print_string (Obs.Stats.render ~command obs fmt)) stats;
+  if code <> 0 then exit code
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
-let analyze ty cap certs jobs deadline =
-  Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
-  let a = Engine.analyze ~cap ?deadline:(resolve_deadline deadline) pool ty in
+let analyze ty cap certs jobs deadline trace stats =
+  with_obs ~command:"analyze" trace stats @@ fun obs ->
+  Pool.with_pool ~obs ~jobs:(resolve_jobs jobs) @@ fun pool ->
+  let cache = Engine.Cache.create ~obs () in
+  let a = Engine.analyze ~cache ~obs ~cap ?deadline:(resolve_deadline deadline) pool ty in
   Format.printf "%a@." Analysis.pp a;
   if certs then begin
     (match a.Analysis.discerning.Analysis.certificate with
@@ -48,7 +66,8 @@ let analyze ty cap certs jobs deadline =
         Format.printf "@.recording witness:@.%a@.clean: %b@." Certificate.pp c
           (Certificate.is_clean c)
     | None -> ()
-  end
+  end;
+  0
 
 (* ------------------------------------------------------------------ *)
 (* gallery *)
@@ -194,11 +213,12 @@ let trace name n n' schedule_text inputs_text =
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let synth target values rws responses seed iters save portfolio jobs deadline =
+let synth target values rws responses seed iters save portfolio jobs deadline trace stats =
+  with_obs ~command:"synth" trace stats @@ fun obs ->
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
   let witness =
-    Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
-    Engine.synth_portfolio ~seed ~max_iterations:iters ~portfolio
+    Pool.with_pool ~obs ~jobs:(resolve_jobs jobs) @@ fun pool ->
+    Engine.synth_portfolio ~seed ~max_iterations:iters ~portfolio ~obs
       ?deadline:(resolve_deadline deadline) pool ~target space
   in
   match witness with
@@ -212,10 +232,11 @@ let synth target values rws responses seed iters save portfolio jobs deadline =
           Out_channel.with_open_text path (fun oc ->
               Out_channel.output_string oc (Objtype.to_spec_string w.Synth.objtype));
           Printf.printf "saved to %s (re-analyze with `rcn analyze %s`)\n" path path)
-        save
+        save;
+      0
   | None ->
       Printf.printf "no witness found within %d evaluations\n" iters;
-      exit 1
+      1
 
 (* ------------------------------------------------------------------ *)
 (* chain (Theorem 13's construction) *)
@@ -256,38 +277,45 @@ let chain name n n' z max_events inputs_text =
 (* ------------------------------------------------------------------ *)
 (* census *)
 
-let census values rws responses cap sample_count seed jobs deadline checkpoint resume =
+let census values rws responses cap sample_count seed jobs deadline checkpoint resume
+    trace stats =
+  with_obs ~command:"census" trace stats @@ fun obs ->
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
   if resume && checkpoint = None then begin
     prerr_endline "--resume needs --checkpoint FILE to resume from";
     exit 2
   end;
   match sample_count with
-  | Some count -> Format.printf "%a@." Census.pp (Census.sample ~cap ~seed ~count space)
+  | Some count ->
+      Format.printf "%a@." Census.pp (Census.sample ~cap ~seed ~count space);
+      0
   | None ->
       let run =
-        Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
-        Engine.census ~cap ?deadline:(resolve_deadline deadline) ?checkpoint ~resume
-          pool space
+        Pool.with_pool ~obs ~jobs:(resolve_jobs jobs) @@ fun pool ->
+        Engine.census ~cap ~obs ?deadline:(resolve_deadline deadline) ?checkpoint
+          ~resume pool space
       in
       Format.printf "%a@." Census.pp run.Engine.entries;
       if run.Engine.resumed > 0 then
         Printf.printf "resumed %d previously decided tables from checkpoint\n"
           run.Engine.resumed;
-      if not run.Engine.complete then begin
+      if run.Engine.complete then 0
+      else begin
         Printf.printf "PARTIAL: %d of %d tables decided%s\n" run.Engine.completed
           run.Engine.total
           (match checkpoint with
           | Some path ->
               Printf.sprintf " (re-run with --checkpoint %s --resume to finish)" path
           | None -> "");
-        exit 3
+        3
       end
 
 (* ------------------------------------------------------------------ *)
 (* inject *)
 
-let inject proto_names n n' seeds z fuel shrink_per_cell report_file require_violation =
+let inject proto_names n n' seeds z fuel shrink_per_cell report_file require_violation
+    trace stats =
+  with_obs ~command:"inject" trace stats @@ fun obs ->
   let targets =
     List.map
       (fun name ->
@@ -297,7 +325,7 @@ let inject proto_names n n' seeds z fuel shrink_per_cell report_file require_vio
       proto_names
   in
   let grid = Inject.default_grid ~z ~fuel ~shrink_per_cell ~seeds () in
-  let report = Inject.run ~grid targets in
+  let report = Inject.run ~obs ~grid targets in
   let text = Inject.report_to_string report in
   print_string text;
   Option.iter
@@ -308,9 +336,10 @@ let inject proto_names n n' seeds z fuel shrink_per_cell report_file require_vio
   let violations = Inject.total_violations report in
   if require_violation && violations = 0 then begin
     prerr_endline "inject: expected at least one violation, found none";
-    exit 1
-  end;
-  if (not require_violation) && violations > 0 then exit 1
+    1
+  end
+  else if (not require_violation) && violations > 0 then 1
+  else 0
 
 (* ------------------------------------------------------------------ *)
 (* robustness *)
@@ -351,6 +380,24 @@ let deadline_t =
            $(b,at-least) lower bounds and a census reports exactly the \
            tables it decided.")
 
+let trace_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL trace (one span/event object per line, flushed as \
+           emitted) to $(docv).")
+
+let stats_t =
+  Arg.(
+    value
+    & opt (some (enum [ ("text", Obs.Stats.Text); ("json", Obs.Stats.Json) ])) None
+    & info [ "stats" ] ~docv:"FORMAT"
+        ~doc:
+          "Print a machine-readable metrics block (counters and histograms) to \
+           stdout after the command: $(b,text) is one line per metric, \
+           $(b,json) a single greppable object tagged $(b,rcn_stats).")
+
 let ty_t = Arg.(required & pos 0 (some objtype_conv) None & info [] ~docv:"TYPE" ~doc:type_arg_doc)
 
 let n_t = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Parameter n of T_{n,n'} / process count.")
@@ -363,7 +410,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Determine (recoverable) consensus numbers of a gallery type")
-    Term.(const analyze $ ty_t $ cap_t $ certs $ jobs_t $ deadline_t)
+    Term.(const analyze $ ty_t $ cap_t $ certs $ jobs_t $ deadline_t $ trace_t $ stats_t)
 
 let gallery_cmd =
   Cmd.v
@@ -424,7 +471,7 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Search for a consensus-number gap witness (experiment E6)")
     Term.(
       const synth $ target $ values $ rws $ responses $ seed $ iters $ save $ portfolio
-      $ jobs_t $ deadline_t)
+      $ jobs_t $ deadline_t $ trace_t $ stats_t)
 
 let trace_cmd =
   let schedule =
@@ -476,7 +523,7 @@ let census_cmd =
        ~doc:"Histogram (discerning, recording) levels over a whole space of small types")
     Term.(
       const census $ values $ rws $ responses $ cap_t $ sample_count $ seed $ jobs_t
-      $ deadline_t $ checkpoint $ resume)
+      $ deadline_t $ checkpoint $ resume $ trace_t $ stats_t)
 
 let inject_cmd =
   let protocols_t =
@@ -513,7 +560,7 @@ let inject_cmd =
           protocols, shrink every violation to a minimal replayable schedule")
     Term.(
       const inject $ protocols_t $ n_t $ n'_t $ seeds $ z_t $ fuel $ shrink_per_cell
-      $ report $ require_violation)
+      $ report $ require_violation $ trace_t $ stats_t)
 
 let robustness_cmd =
   let tys = Arg.(non_empty & pos_all string [] & info [] ~docv:"TYPE" ~doc:type_arg_doc) in

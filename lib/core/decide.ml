@@ -184,28 +184,50 @@ let search_parallel ?domains condition t ~n =
   else begin
     let scheds = Sched.at_most_once ~nprocs:n in
     let check = checker condition in
-    let found : (int * bool array * int array) option Atomic.t = Atomic.make None in
+    (* Deterministic minimal-witness search.  [candidates] enumerates the
+       initial value [u] in the outer loop, so the sequential first
+       witness is the first (team, ops) witness of the *smallest*
+       witnessing [u].  Each domain owns the values congruent to its id
+       mod [domains], records at most one witness per owned [u] into that
+       value's private slot (disjoint writes), and races to lower [best];
+       values at or above the current minimum are pruned.  Every [u]
+       below the final minimum was fully swept and refuted, so the
+       returned certificate is exactly [search]'s — at any domain
+       count. *)
+    let witnesses : (bool array * int array) option array =
+      Array.make t.Objtype.num_values None
+    in
+    let best = Atomic.make t.Objtype.num_values in
+    let exception Witnessed in
     let worker k () =
-      (* Domain [k] owns initial values congruent to [k] mod [domains]. *)
       let u = ref k in
-      while !u < t.Objtype.num_values && Atomic.get found = None do
-        let candidates_for_u =
-          Seq.concat_map
-            (fun team -> Seq.map (fun ops -> (team, ops)) (ops_for_team t team))
-            (partitions n)
-        in
-        Seq.iter
-          (fun (team, ops) ->
-            if Atomic.get found = None && check t scheds ~u:!u ~team ~ops then
-              ignore (Atomic.compare_and_set found None (Some (!u, team, ops))))
-          candidates_for_u;
+      while !u < Atomic.get best do
+        (try
+           Seq.iter
+             (fun (team, ops) ->
+               if check t scheds ~u:!u ~team ~ops then begin
+                 witnesses.(!u) <- Some (team, ops);
+                 let rec lower () =
+                   let b = Atomic.get best in
+                   if !u < b && not (Atomic.compare_and_set best b !u) then
+                     lower ()
+                 in
+                 lower ();
+                 raise Witnessed
+               end)
+             (Seq.concat_map
+                (fun team -> Seq.map (fun ops -> (team, ops)) (ops_for_team t team))
+                (partitions n))
+         with Witnessed -> ());
         u := !u + domains
       done
     in
     let handles = List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
     worker 0 ();
     List.iter Domain.join handles;
-    Option.map
-      (fun (u, team, ops) -> Certificate.make ~objtype:t ~initial:u ~team ~ops)
-      (Atomic.get found)
+    match Atomic.get best with
+    | b when b = t.Objtype.num_values -> None
+    | b ->
+        let team, ops = Option.get witnesses.(b) in
+        Some (Certificate.make ~objtype:t ~initial:b ~team ~ops)
   end

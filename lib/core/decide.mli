@@ -86,8 +86,11 @@ val search_parallel :
   ?domains:int -> condition -> Objtype.t -> n:int -> Certificate.t option
 (** Multicore variant of {!search}: candidate certificates are partitioned
     by initial value across [domains] worker domains (default: the host's
-    recommended domain count, capped at 8).  Semantics match {!search}
-    except that when several witnessing certificates exist the one returned
-    may differ (any witness replay-validates).  The big win is on
+    recommended domain count, capped at 8).  Returns exactly {!search}'s
+    certificate at any domain count: each domain keeps at most the first
+    witness per owned initial value and the domains race to *lower* the
+    minimal witnessing value, so the result is the first witness of the
+    smallest witnessing [u] — the sequential enumeration's first hit
+    (pinned by a 1-vs-4-domain parity test).  The big win is on
     *refutations* — proving a type is not [n]-discerning/-recording scans
     the whole space, which parallelizes almost linearly. *)

@@ -34,7 +34,7 @@ let max_discerning ?cap t = scan Decide.Discerning ?cap t
 let max_recording ?cap t = scan Decide.Recording ?cap t
 
 let analyze ?cap t =
-  let started = Unix.gettimeofday () in
+  let started = Obs.Clock.now () in
   let discerning = max_discerning ?cap t in
   let recording = max_recording ?cap t in
   {
@@ -42,5 +42,5 @@ let analyze ?cap t =
     readable = Objtype.is_readable t;
     discerning;
     recording;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Obs.Clock.now () -. started;
   }

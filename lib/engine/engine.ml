@@ -8,61 +8,119 @@ let default_jobs () =
             (Printf.sprintf "RCN_JOBS=%S: expected a positive integer" s))
   | None -> min 8 (Domain.recommended_domain_count ())
 
-let expired = function
-  | None -> false
-  | Some d -> Unix.gettimeofday () > d
+(* The one deadline predicate: absolute monotonic timestamps from
+   [Obs.Clock], immune to NTP steps. *)
+let expired = Obs.Clock.expired
 
 module Cache = struct
-  type stats = { sched_hits : int; sched_misses : int; hits : int; misses : int }
+  type stats = {
+    sched_hits : int;
+    sched_misses : int;
+    probes : int;
+    hits : int;
+    misses : int;
+    expired : int;
+  }
+
+  (* Counters live in an [Obs.Metrics] registry (the caller's, when the
+     cache is created with [?obs]) so the CLI stats export and
+     [Cache.stats] read the same numbers — one counter implementation. *)
+  type counters = {
+    c_sched_hits : Obs.Metrics.Counter.t;
+    c_sched_misses : Obs.Metrics.Counter.t;
+    c_probes : Obs.Metrics.Counter.t;
+    c_hits : Obs.Metrics.Counter.t;
+    c_misses : Obs.Metrics.Counter.t;
+    c_expired : Obs.Metrics.Counter.t;
+  }
 
   type t = {
     mutex : Mutex.t;
     scheds : (int, Sched.proc list list) Hashtbl.t;
     outcomes : (string * Decide.condition * int, Certificate.t option) Hashtbl.t;
-    mutable stats : stats;
+    c : counters;
   }
 
-  let create () =
+  let create ?obs () =
+    let m = match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create () in
     {
       mutex = Mutex.create ();
       scheds = Hashtbl.create 8;
       outcomes = Hashtbl.create 64;
-      stats = { sched_hits = 0; sched_misses = 0; hits = 0; misses = 0 };
+      c =
+        {
+          c_sched_hits = Obs.Metrics.counter m "engine.cache.sched_hits";
+          c_sched_misses = Obs.Metrics.counter m "engine.cache.sched_misses";
+          c_probes = Obs.Metrics.counter m "engine.cache.probes";
+          c_hits = Obs.Metrics.counter m "engine.cache.hits";
+          c_misses = Obs.Metrics.counter m "engine.cache.misses";
+          c_expired = Obs.Metrics.counter m "engine.cache.expired";
+        };
     }
 
-  let stats t = Mutex.protect t.mutex (fun () -> t.stats)
+  let stats t =
+    {
+      sched_hits = Obs.Metrics.Counter.value t.c.c_sched_hits;
+      sched_misses = Obs.Metrics.Counter.value t.c.c_sched_misses;
+      probes = Obs.Metrics.Counter.value t.c.c_probes;
+      hits = Obs.Metrics.Counter.value t.c.c_hits;
+      misses = Obs.Metrics.Counter.value t.c.c_misses;
+      expired = Obs.Metrics.Counter.value t.c.c_expired;
+    }
 
   let scheds t ~n =
-    Mutex.protect t.mutex (fun () ->
-        match Hashtbl.find_opt t.scheds n with
-        | Some s ->
-            t.stats <- { t.stats with sched_hits = t.stats.sched_hits + 1 };
-            s
-        | None ->
-            let s = Sched.at_most_once ~nprocs:n in
-            Hashtbl.add t.scheds n s;
-            t.stats <- { t.stats with sched_misses = t.stats.sched_misses + 1 };
-            s)
+    let hit, s =
+      Mutex.protect t.mutex (fun () ->
+          match Hashtbl.find_opt t.scheds n with
+          | Some s -> (true, s)
+          | None ->
+              let s = Sched.at_most_once ~nprocs:n in
+              Hashtbl.add t.scheds n s;
+              (false, s))
+    in
+    Obs.Metrics.Counter.incr (if hit then t.c.c_sched_hits else t.c.c_sched_misses);
+    s
 
+  (* Every probe is eventually accounted to exactly one of hits / misses /
+     expired, so the three sum to [probes] once no search is in flight:
+     a probe that finds the key is a hit; one that leads to a completed
+     sweep is a miss if its publish inserted the outcome and a (late) hit
+     if another worker published the same key first — publishing never
+     double-counts a miss; and a probe whose sweep the deadline cut is
+     recorded by [record_expired]. *)
   let probe t ~key =
-    Mutex.protect t.mutex (fun () ->
-        match Hashtbl.find_opt t.outcomes key with
-        | Some outcome ->
-            t.stats <- { t.stats with hits = t.stats.hits + 1 };
-            Some outcome
-        | None -> None)
+    Obs.Metrics.Counter.incr t.c.c_probes;
+    match Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.outcomes key) with
+    | Some outcome ->
+        Obs.Metrics.Counter.incr t.c.c_hits;
+        Some outcome
+    | None -> None
 
   let publish t ~key outcome =
-    Mutex.protect t.mutex (fun () ->
-        if not (Hashtbl.mem t.outcomes key) then Hashtbl.add t.outcomes key outcome;
-        t.stats <- { t.stats with misses = t.stats.misses + 1 })
+    let inserted =
+      Mutex.protect t.mutex (fun () ->
+          if Hashtbl.mem t.outcomes key then false
+          else begin
+            Hashtbl.add t.outcomes key outcome;
+            true
+          end)
+    in
+    Obs.Metrics.Counter.incr (if inserted then t.c.c_misses else t.c.c_hits)
 
+  let record_expired t = Obs.Metrics.Counter.incr t.c.c_expired
 end
 
 type search_outcome =
   | Found of Certificate.t
   | Refuted
   | Expired
+
+(* Resolve the candidate-throughput counter once per search; [None] keeps
+   the uninstrumented paths allocation- and lookup-free. *)
+let candidates_counter obs = Option.map (fun o -> Obs.counter o "engine.candidates") obs
+
+let count_checked counter n =
+  if n > 0 then Option.iter (fun c -> Obs.Metrics.Counter.add c n) counter
 
 (* Deterministic parallel first-witness search: domains claim ranges of the
    materialized candidate array and race to lower [best], the minimal
@@ -72,16 +130,18 @@ type search_outcome =
    [deadline], every worker also polls the clock per candidate and abandons
    the sweep on expiry — a found witness is still genuine, but an expired
    sweep with no witness proves nothing and reports [Expired]. *)
-let search_fanout ?deadline pool scheds condition t ~n =
+let search_fanout ?obs ?deadline pool scheds condition t ~n =
   let cands = Array.of_seq (Decide.candidates t ~n) in
   let total = Array.length cands in
   let best = Atomic.make max_int in
   let timed_out = Atomic.make false in
+  let counter = candidates_counter obs in
   let completed =
     Pool.parallel_for_until pool
       ~should_stop:(fun () -> Atomic.get timed_out)
       total
       (fun lo hi ->
+        let checked = ref 0 in
         let i = ref lo in
         while !i < hi && !i < Atomic.get best && not (Atomic.get timed_out) do
           if expired deadline then begin
@@ -90,6 +150,7 @@ let search_fanout ?deadline pool scheds condition t ~n =
           end
           else begin
             let u, team, ops = cands.(!i) in
+            incr checked;
             if Decide.check condition t scheds ~u ~team ~ops then begin
               let rec lower () =
                 let b = Atomic.get best in
@@ -100,7 +161,8 @@ let search_fanout ?deadline pool scheds condition t ~n =
             end
             else incr i
           end
-        done)
+        done;
+        count_checked counter !checked)
   in
   match Atomic.get best with
   | b when b = max_int ->
@@ -111,46 +173,56 @@ let search_fanout ?deadline pool scheds condition t ~n =
 
 (* Sequential sweep with per-candidate deadline polls; identical
    enumeration order to [Decide.search]. *)
-let search_sequential ~deadline scheds condition t ~n =
+let search_sequential ?obs ~deadline scheds condition t ~n =
+  let counter = candidates_counter obs in
+  let checked = ref 0 in
+  let finish outcome =
+    count_checked counter !checked;
+    outcome
+  in
   let rec loop seq =
     match seq () with
-    | Seq.Nil -> Refuted
+    | Seq.Nil -> finish Refuted
     | Seq.Cons ((u, team, ops), rest) ->
-        if expired deadline then Expired
-        else if Decide.check condition t scheds ~u ~team ~ops then
-          Found (Certificate.make ~objtype:t ~initial:u ~team ~ops)
-        else loop rest
+        if expired deadline then finish Expired
+        else begin
+          incr checked;
+          if Decide.check condition t scheds ~u ~team ~ops then
+            finish (Found (Certificate.make ~objtype:t ~initial:u ~team ~ops))
+          else loop rest
+        end
   in
   loop (Decide.candidates t ~n)
 
-let search_uncached ?scheds ?deadline pool condition t ~n =
+let search_uncached ?scheds ?obs ?deadline pool condition t ~n =
   let scheds =
     match scheds with Some s -> s | None -> Sched.at_most_once ~nprocs:n
   in
   if expired deadline then Expired
   else if Pool.jobs pool = 1 then
-    match deadline with
-    | None -> (
+    match (deadline, obs) with
+    | None, None -> (
         match Decide.search ~scheds condition t ~n with
         | Some c -> Found c
         | None -> Refuted)
-    | Some _ -> search_sequential ~deadline scheds condition t ~n
-  else search_fanout ?deadline pool scheds condition t ~n
+    | _ -> search_sequential ?obs ~deadline scheds condition t ~n
+  else search_fanout ?obs ?deadline pool scheds condition t ~n
 
 let outcome_of_option = function Some c -> Found c | None -> Refuted
 
 (* Expired sweeps are never published to the cache: they are interrupted
-   computations, not results. *)
-let search_within ?cache ?deadline pool condition t ~n =
+   computations, not results — but their probes are still accounted, so
+   the stats invariant holds. *)
+let search_within ?cache ?obs ?deadline pool condition t ~n =
   match cache with
-  | None -> search_uncached ?deadline pool condition t ~n
+  | None -> search_uncached ?obs ?deadline pool condition t ~n
   | Some c -> (
       let key = (Objtype.to_spec_string t, condition, n) in
       match Cache.probe c ~key with
       | Some outcome -> outcome_of_option outcome
       | None -> (
           match
-            search_uncached ~scheds:(Cache.scheds c ~n) ?deadline pool condition t ~n
+            search_uncached ~scheds:(Cache.scheds c ~n) ?obs ?deadline pool condition t ~n
           with
           | Found cert ->
               Cache.publish c ~key (Some cert);
@@ -158,21 +230,37 @@ let search_within ?cache ?deadline pool condition t ~n =
           | Refuted ->
               Cache.publish c ~key None;
               Refuted
-          | Expired -> Expired))
+          | Expired ->
+              Cache.record_expired c;
+              Expired))
 
-let search ?cache pool condition t ~n =
-  match search_within ?cache pool condition t ~n with
+let search ?cache ?obs pool condition t ~n =
+  match search_within ?cache ?obs pool condition t ~n with
   | Found c -> Some c
   | Refuted -> None
   | Expired -> assert false (* no deadline was given *)
 
-let scan ?cache ?(cap = Numbers.default_cap) ?deadline pool condition t =
+let condition_name = function
+  | Decide.Discerning -> "discerning"
+  | Decide.Recording -> "recording"
+
+let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline pool condition t =
   if cap < 2 then invalid_arg "Engine: cap must be at least 2";
   let rec loop n best =
     if n > cap then
       { Analysis.value = cap; status = Analysis.At_least; certificate = best }
     else
-      match search_within ?cache ?deadline pool condition t ~n with
+      let outcome =
+        Obs.with_span ?obs "engine.level"
+          ~attrs:
+            [
+              ("type", t.Objtype.name);
+              ("condition", condition_name condition);
+              ("n", string_of_int n);
+            ]
+          (fun () -> search_within ?cache ?obs ?deadline pool condition t ~n)
+      in
+      match outcome with
       | Found c -> loop (n + 1) (Some c)
       | Refuted -> { Analysis.value = n - 1; status = Analysis.Exact; certificate = best }
       | Expired ->
@@ -183,27 +271,28 @@ let scan ?cache ?(cap = Numbers.default_cap) ?deadline pool condition t =
   in
   loop 2 None
 
-let max_discerning ?cache ?cap ?deadline pool t =
-  scan ?cache ?cap ?deadline pool Decide.Discerning t
+let max_discerning ?cache ?obs ?cap ?deadline pool t =
+  scan ?cache ?obs ?cap ?deadline pool Decide.Discerning t
 
-let max_recording ?cache ?cap ?deadline pool t =
-  scan ?cache ?cap ?deadline pool Decide.Recording t
+let max_recording ?cache ?obs ?cap ?deadline pool t =
+  scan ?cache ?obs ?cap ?deadline pool Decide.Recording t
 
-let analyze ?cache ?cap ?deadline pool t =
-  let started = Unix.gettimeofday () in
-  let discerning = max_discerning ?cache ?cap ?deadline pool t in
-  let recording = max_recording ?cache ?cap ?deadline pool t in
+let analyze ?cache ?obs ?cap ?deadline pool t =
+  Obs.with_span ?obs "engine.analyze" ~attrs:[ ("type", t.Objtype.name) ] @@ fun () ->
+  let started = Obs.Clock.now () in
+  let discerning = max_discerning ?cache ?obs ?cap ?deadline pool t in
+  let recording = max_recording ?cache ?obs ?cap ?deadline pool t in
   {
     Analysis.type_name = t.Objtype.name;
     readable = Objtype.is_readable t;
     discerning;
     recording;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Obs.Clock.now () -. started;
   }
 
-let analyze_all ?cache ?cap ?deadline pool types =
-  let cache = match cache with Some c -> c | None -> Cache.create () in
-  List.map (analyze ~cache ?cap ?deadline pool) types
+let analyze_all ?cache ?obs ?cap ?deadline pool types =
+  let cache = match cache with Some c -> c | None -> Cache.create ?obs () in
+  List.map (analyze ~cache ?obs ?cap ?deadline pool) types
 
 (* Truncated levels of one census table, replaying against the shared
    schedule sets.  Matches [Census.levels] (the same [Decide.search] on the
@@ -240,6 +329,11 @@ module Checkpoint = struct
     Printf.sprintf "rcn-census-checkpoint v1 values=%d rws=%d responses=%d cap=%d total=%d"
       space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap total
 
+  (* Entries come back in file order, so a consumer that keeps the first
+     occurrence of an index (as [census ~resume] does) resolves duplicate
+     lines in favor of the earliest append.  Malformed and torn trailing
+     lines are dropped; out-of-range indices are the consumer's concern
+     (the header already pins [total]). *)
   let load path ~expected =
     if not (Sys.file_exists path) then []
     else
@@ -254,7 +348,7 @@ module Checkpoint = struct
           | Some _ ->
               let rec loop acc =
                 match In_channel.input_line ic with
-                | None -> acc
+                | None -> List.rev acc
                 | Some line -> (
                     match String.split_on_char ' ' (String.trim line) with
                     | [ a; b; c ] -> (
@@ -262,15 +356,19 @@ module Checkpoint = struct
                           (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c)
                         with
                         | Some i, Some d, Some r -> loop ((i, (d, r)) :: acc)
-                        | _ -> acc)
-                    | _ -> acc)
+                        | _ -> loop acc)
+                    | _ -> loop acc)
               in
               loop [])
 end
 
-let census ?cache ?(cap = 4) ?deadline ?checkpoint ?(resume = false) pool space =
-  let cache = match cache with Some c -> c | None -> Cache.create () in
+let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false) pool space =
+  Obs.with_span ?obs "engine.census" @@ fun () ->
+  let cache = match cache with Some c -> c | None -> Cache.create ?obs () in
   let size = Census.space_size space in
+  let c_tables = Option.map (fun o -> Obs.counter o "census.tables") obs in
+  let c_flushes = Option.map (fun o -> Obs.counter o "census.checkpoint_flushes") obs in
+  let c_skips = Option.map (fun o -> Obs.counter o "census.resume_skips") obs in
   (* Warm the schedule memo on the submitting domain so workers only read. *)
   for n = 2 to cap do
     ignore (Cache.scheds cache ~n)
@@ -290,6 +388,7 @@ let census ?cache ?(cap = 4) ?deadline ?checkpoint ?(resume = false) pool space 
           end)
         (Checkpoint.load path ~expected)
   | _ -> ());
+  count_checked c_skips !resumed;
   let writer =
     match checkpoint with
     | None -> None
@@ -328,7 +427,9 @@ let census ?cache ?(cap = 4) ?deadline ?checkpoint ?(resume = false) pool space 
                incr i
              done;
              let fresh = List.rev !fresh in
-             ignore (Atomic.fetch_and_add completed (List.length fresh));
+             let n_fresh = List.length fresh in
+             ignore (Atomic.fetch_and_add completed n_fresh);
+             count_checked c_tables n_fresh;
              match writer with
              | None -> ()
              | Some (oc, m) ->
@@ -338,7 +439,8 @@ let census ?cache ?(cap = 4) ?deadline ?checkpoint ?(resume = false) pool space 
                          let d, r = levels.(i) in
                          Printf.fprintf oc "%d %d %d\n" i d r)
                        fresh;
-                     flush oc))));
+                     flush oc;
+                     Option.iter Obs.Metrics.Counter.incr c_flushes))));
   let histogram = Hashtbl.create 64 in
   Array.iteri
     (fun i key ->
@@ -355,10 +457,13 @@ let census ?cache ?(cap = 4) ?deadline ?checkpoint ?(resume = false) pool space 
     complete = completed = size;
   }
 
-let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?deadline ~portfolio
+let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?obs ?deadline ~portfolio
     pool ~target space =
   if portfolio < 1 then
     invalid_arg "Engine.synth_portfolio: portfolio must be positive";
+  Obs.with_span ?obs "engine.synth" @@ fun () ->
+  let c_climbs = Option.map (fun o -> Obs.counter o "synth.climbs") obs in
+  let c_successes = Option.map (fun o -> Obs.counter o "synth.successes") obs in
   let results = Array.make portfolio None in
   let best = Atomic.make max_int in
   ignore
@@ -372,12 +477,14 @@ let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?deadline ~portfo
               returns the first success in seed order.  An expired deadline
               skips the climb entirely (climbs are the cancellation
               granularity — [Synth.search] itself is not interruptible). *)
-           if k < Atomic.get best && not (expired deadline) then
+           if k < Atomic.get best && not (expired deadline) then begin
+             Option.iter Obs.Metrics.Counter.incr c_climbs;
              match
                Synth.search ~seed:(seed + k) ?max_iterations ?restart_every
                  ~target space
              with
              | Some w ->
+                 Option.iter Obs.Metrics.Counter.incr c_successes;
                  results.(k) <- Some w;
                  let rec lower () =
                    let b = Atomic.get best in
@@ -385,5 +492,6 @@ let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?deadline ~portfo
                  in
                  lower ()
              | None -> ()
+           end
          done));
   match Atomic.get best with b when b = max_int -> None | b -> results.(b)

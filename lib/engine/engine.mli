@@ -24,16 +24,29 @@
 
     {2 Deadlines and resilience}
 
-    Every long-running entry point accepts an optional wall-clock
-    [?deadline] (an absolute [Unix.gettimeofday] timestamp).  An expired
-    deadline makes the search degrade, never lie: scans report the levels
-    they actually established with [Analysis.At_least] status, a census
-    reports exactly which tables it decided, and the synthesis portfolio
-    stops launching climbs.  Deadline-cut runs are the one place results
-    may depend on timing — a certificate found under a deadline is always
-    genuine, but *which* partial result is returned depends on how far
-    the sweep got.  Runs without a deadline are bit-identical to the
-    sequential deciders, as before. *)
+    Every long-running entry point accepts an optional [?deadline]: an
+    absolute *monotonic* timestamp from [Obs.Clock] (build one with
+    [Obs.Clock.after seconds]); wall-clock timestamps from
+    [Unix.gettimeofday] are on a different origin and must not be used.
+    An expired deadline makes the search degrade, never lie: scans report
+    the levels they actually established with [Analysis.At_least] status,
+    a census reports exactly which tables it decided, and the synthesis
+    portfolio stops launching climbs.  Deadline-cut runs are the one place
+    results may depend on timing — a certificate found under a deadline is
+    always genuine, but *which* partial result is returned depends on how
+    far the sweep got.  Runs without a deadline are bit-identical to the
+    sequential deciders, as before.
+
+    {2 Observability}
+
+    Every entry point also accepts [?obs:Obs.t].  With it, the engine
+    emits spans ([engine.analyze], [engine.level], [engine.census],
+    [engine.synth]) to the context's trace sink and feeds its metrics
+    registry: [engine.candidates] (candidates checked),
+    [engine.cache.*] (see {!Cache.stats}), [census.tables],
+    [census.checkpoint_flushes], [census.resume_skips], [synth.climbs]
+    and [synth.successes].  Without it, the uninstrumented fast paths are
+    unchanged. *)
 
 val default_jobs : unit -> int
 (** The [RCN_JOBS] environment variable when set (a positive integer),
@@ -52,13 +65,25 @@ module Cache : sig
   type t
 
   type stats = {
-    sched_hits : int;
-    sched_misses : int;
-    hits : int;  (** search outcomes served from the memo *)
-    misses : int;  (** search outcomes computed *)
+    sched_hits : int;  (** schedule sets served from the memo *)
+    sched_misses : int;  (** schedule sets computed *)
+    probes : int;  (** outcome lookups issued *)
+    hits : int;
+        (** probes answered from the memo, including late hits — sweeps
+            whose result another worker published first *)
+    misses : int;
+        (** outcomes computed and published; equals the number of
+            distinct keys decided, at any job count *)
+    expired : int;  (** probes whose sweep the deadline cut short *)
   }
+  (** Once no search is in flight, [hits + misses + expired = probes] —
+      every probe is accounted to exactly one bucket (pinned by a
+      concurrent test). *)
 
-  val create : unit -> t
+  val create : ?obs:Obs.t -> unit -> t
+  (** With [obs], the cache's counters live in that context's registry
+      under [engine.cache.*], so they appear in the CLI [--stats]
+      export; otherwise a private registry backs {!stats}. *)
 
   val scheds : t -> n:int -> Sched.proc list list
   (** [Sched.at_most_once ~nprocs:n], computed once per [n]. *)
@@ -73,6 +98,7 @@ type search_outcome =
 
 val search_within :
   ?cache:Cache.t ->
+  ?obs:Obs.t ->
   ?deadline:float ->
   Pool.t ->
   Decide.condition ->
@@ -86,6 +112,7 @@ val search_within :
 
 val search :
   ?cache:Cache.t ->
+  ?obs:Obs.t ->
   Pool.t ->
   Decide.condition ->
   Objtype.t ->
@@ -97,24 +124,49 @@ val search :
     outcomes) served from the cache. *)
 
 val max_discerning :
-  ?cache:Cache.t -> ?cap:int -> ?deadline:float -> Pool.t -> Objtype.t -> Analysis.level
+  ?cache:Cache.t ->
+  ?obs:Obs.t ->
+  ?cap:int ->
+  ?deadline:float ->
+  Pool.t ->
+  Objtype.t ->
+  Analysis.level
 
 val max_recording :
-  ?cache:Cache.t -> ?cap:int -> ?deadline:float -> Pool.t -> Objtype.t -> Analysis.level
+  ?cache:Cache.t ->
+  ?obs:Obs.t ->
+  ?cap:int ->
+  ?deadline:float ->
+  Pool.t ->
+  Objtype.t ->
+  Analysis.level
 (** The upward scans of [Numbers], driven by {!search_within}.  A scan cut
     by the deadline returns the highest level it fully established with
     [Analysis.At_least] status (never a fabricated [Exact]); with an
     already-expired deadline that is level 1, the unconditional floor. *)
 
 val analyze :
-  ?cache:Cache.t -> ?cap:int -> ?deadline:float -> Pool.t -> Objtype.t -> Analysis.t
+  ?cache:Cache.t ->
+  ?obs:Obs.t ->
+  ?cap:int ->
+  ?deadline:float ->
+  Pool.t ->
+  Objtype.t ->
+  Analysis.t
 (** [Numbers.analyze ?cap t], parallelized within each decider query.
     Equal (under [Analysis.equal]) to the sequential result, with the
-    same certificates.  With a [deadline], both level scans degrade to
-    honest [At_least] lower bounds when it expires. *)
+    same certificates; [Analysis.elapsed] is measured on [Obs.Clock].
+    With a [deadline], both level scans degrade to honest [At_least]
+    lower bounds when it expires. *)
 
 val analyze_all :
-  ?cache:Cache.t -> ?cap:int -> ?deadline:float -> Pool.t -> Objtype.t list -> Analysis.t list
+  ?cache:Cache.t ->
+  ?obs:Obs.t ->
+  ?cap:int ->
+  ?deadline:float ->
+  Pool.t ->
+  Objtype.t list ->
+  Analysis.t list
 (** {!analyze} over a batch (e.g. the gallery), sharing one cache so
     repeated types and schedule sets are computed once.  A mid-batch
     deadline expiry yields quick [At_least] records for the remaining
@@ -128,8 +180,25 @@ type census_run = {
   complete : bool;  (** [completed = total] *)
 }
 
+(** The census checkpoint file format, exposed for tests and tooling:
+    a header line pinning space, cap and table count, then one
+    ["index discerning recording"] line per decided table. *)
+module Checkpoint : sig
+  val header : space:Synth.space -> cap:int -> total:int -> string
+  (** The exact first line a checkpoint for this census must carry. *)
+
+  val load : string -> expected:string -> (int * (int * int)) list
+  (** Decided [(index, (discerning, recording))] entries, in file order —
+      so a first-occurrence-wins consumer resolves duplicated indices in
+      favor of the earliest append.  A missing file is empty; malformed
+      lines (including a torn trailing line from a killed writer) are
+      dropped; indices are returned as written, even out of range.
+      @raise Invalid_argument when the header differs from [expected]. *)
+end
+
 val census :
   ?cache:Cache.t ->
+  ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
   ?checkpoint:string ->
@@ -155,6 +224,7 @@ val synth_portfolio :
   ?seed:int ->
   ?max_iterations:int ->
   ?restart_every:int ->
+  ?obs:Obs.t ->
   ?deadline:float ->
   portfolio:int ->
   Pool.t ->

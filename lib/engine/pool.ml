@@ -18,6 +18,14 @@ let () =
              worker (Printexc.to_string error))
     | _ -> None)
 
+(* Pre-resolved metric handles, so the hot path never touches the registry. *)
+type obs_handles = {
+  tasks : Obs.Metrics.Counter.t;
+  chunks : Obs.Metrics.Counter.t;
+  abandons : Obs.Metrics.Counter.t;
+  chunk_time : Obs.Metrics.Histogram.t;
+}
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -29,6 +37,7 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   error : exn option Atomic.t;
+  obs : obs_handles option;
 }
 
 let jobs t = t.jobs
@@ -36,15 +45,30 @@ let jobs t = t.jobs
 (* Abandon the ranges nobody has claimed yet; in-flight claims finish.
    [stopped] records that unclaimed work actually existed at that moment,
    distinguishing cooperative cancellation from normal exhaustion. *)
-let abandon task =
+let abandon obs task =
   let next = Atomic.exchange task.next task.total in
-  if next < task.total then Atomic.set task.stopped true
+  if next < task.total then begin
+    Atomic.set task.stopped true;
+    Option.iter (fun h -> Obs.Metrics.Counter.incr h.abandons) obs
+  end
+
+(* Run one claimed chunk, counting it and timing it when instrumented.
+   Worker utilization is [sum pool.chunk_s / (jobs * wall time)]. *)
+let run_chunk obs (f : int -> int -> unit) lo hi =
+  match obs with
+  | None -> f lo hi
+  | Some h ->
+      Obs.Metrics.Counter.incr h.chunks;
+      let t0 = Obs.Clock.now () in
+      Fun.protect
+        ~finally:(fun () -> Obs.Metrics.Histogram.observe h.chunk_time (Obs.Clock.now () -. t0))
+        (fun () -> f lo hi)
 
 let drain pool task ~worker =
   let continue = ref true in
   while !continue do
     if task.should_stop () then begin
-      abandon task;
+      abandon pool.obs task;
       continue := false
     end
     else
@@ -52,12 +76,12 @@ let drain pool task ~worker =
       if lo >= task.total then continue := false
       else begin
         let hi = min task.total (lo + task.chunk) in
-        try task.run lo hi
+        try run_chunk pool.obs task.run lo hi
         with e ->
           ignore
             (Atomic.compare_and_set pool.error None
                (Some (Task_error { lo; hi; worker; error = e })));
-          abandon task
+          abandon pool.obs task
       end
   done
 
@@ -86,8 +110,19 @@ let worker pool ~worker:id () =
     else Condition.wait pool.has_work pool.mutex
   done
 
-let create ~jobs =
+let create ?obs ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be positive";
+  let obs =
+    Option.map
+      (fun o ->
+        {
+          tasks = Obs.counter o "pool.tasks";
+          chunks = Obs.counter o "pool.chunks";
+          abandons = Obs.counter o "pool.abandons";
+          chunk_time = Obs.histogram o "pool.chunk_s";
+        })
+      obs
+  in
   let pool =
     {
       jobs;
@@ -100,6 +135,7 @@ let create ~jobs =
       stop = false;
       workers = [];
       error = Atomic.make None;
+      obs;
     }
   in
   (* Worker [i] identifies itself as [i + 1]; the submitting domain is 0. *)
@@ -115,14 +151,17 @@ let resolve_chunk pool total = function
 
 (* Sequential fallback: chunked so [should_stop] is still polled between
    ranges, and failures carry the same chunk context as the parallel path. *)
-let sequential_drain chunk ~should_stop total f =
+let sequential_drain obs chunk ~should_stop total f =
   let lo = ref 0 in
   let stopped = ref false in
   while (not !stopped) && !lo < total do
-    if should_stop () then stopped := true
+    if should_stop () then begin
+      stopped := true;
+      Option.iter (fun h -> Obs.Metrics.Counter.incr h.abandons) obs
+    end
     else begin
       let hi = min total (!lo + chunk) in
-      (try f !lo hi
+      (try run_chunk obs f !lo hi
        with e -> raise (Task_error { lo = !lo; hi; worker = 0; error = e }));
       lo := hi
     end
@@ -131,33 +170,36 @@ let sequential_drain chunk ~should_stop total f =
 
 let submit pool ?chunk ~should_stop total f =
   if total <= 0 then true
-  else if pool.jobs = 1 then
-    sequential_drain (resolve_chunk pool total chunk) ~should_stop total f
   else begin
-    let chunk = resolve_chunk pool total chunk in
-    Atomic.set pool.error None;
-    let task =
-      { run = f; total; chunk; next = Atomic.make 0; should_stop; stopped = Atomic.make false }
-    in
-    Mutex.lock pool.mutex;
-    pool.task <- Some task;
-    pool.active <- pool.jobs;
-    pool.epoch <- pool.epoch + 1;
-    Condition.broadcast pool.has_work;
-    Mutex.unlock pool.mutex;
-    drain pool task ~worker:0;
-    Mutex.lock pool.mutex;
-    pool.active <- pool.active - 1;
-    if pool.active = 0 then Condition.broadcast pool.finished
-    else
-      while pool.active > 0 do
-        Condition.wait pool.finished pool.mutex
-      done;
-    pool.task <- None;
-    Mutex.unlock pool.mutex;
-    match Atomic.get pool.error with
-    | Some e -> raise e
-    | None -> not (Atomic.get task.stopped)
+    Option.iter (fun h -> Obs.Metrics.Counter.incr h.tasks) pool.obs;
+    if pool.jobs = 1 then
+      sequential_drain pool.obs (resolve_chunk pool total chunk) ~should_stop total f
+    else begin
+      let chunk = resolve_chunk pool total chunk in
+      Atomic.set pool.error None;
+      let task =
+        { run = f; total; chunk; next = Atomic.make 0; should_stop; stopped = Atomic.make false }
+      in
+      Mutex.lock pool.mutex;
+      pool.task <- Some task;
+      pool.active <- pool.jobs;
+      pool.epoch <- pool.epoch + 1;
+      Condition.broadcast pool.has_work;
+      Mutex.unlock pool.mutex;
+      drain pool task ~worker:0;
+      Mutex.lock pool.mutex;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.finished
+      else
+        while pool.active > 0 do
+          Condition.wait pool.finished pool.mutex
+        done;
+      pool.task <- None;
+      Mutex.unlock pool.mutex;
+      match Atomic.get pool.error with
+      | Some e -> raise e
+      | None -> not (Atomic.get task.stopped)
+    end
   end
 
 let parallel_for pool ?chunk total f =
@@ -174,6 +216,6 @@ let shutdown pool =
   List.iter Domain.join pool.workers;
   pool.workers <- []
 
-let with_pool ~jobs f =
-  let pool = create ~jobs in
+let with_pool ?obs ~jobs f =
+  let pool = create ?obs ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

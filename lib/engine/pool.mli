@@ -22,8 +22,16 @@ exception
     {!parallel_for} / {!parallel_for_until} re-raise, so callers can
     report exactly which slice of the iteration space failed. *)
 
-val create : jobs:int -> t
+val create : ?obs:Obs.t -> jobs:int -> unit -> t
 (** Spawn [jobs - 1] worker domains (none when [jobs = 1]).
+
+    With [obs], the pool feeds the context's metrics: [pool.tasks]
+    (submissions), [pool.chunks] (ranges claimed), [pool.abandons]
+    (cooperative cancellations and error bailouts that actually dropped
+    unclaimed work), and the histogram [pool.chunk_s] (per-chunk busy
+    time — worker utilization is its sum over [jobs] times the wall
+    clock).  Handles are resolved once at creation; an uninstrumented
+    pool pays one [option] match per chunk.
     @raise Invalid_argument when [jobs < 1]. *)
 
 val jobs : t -> int
@@ -60,5 +68,5 @@ val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent; the pool must not be
     used afterwards. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?obs:Obs.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, and [shutdown] (also on exception). *)

@@ -115,9 +115,36 @@ let shrink tgt ~inputs ~z ~fuel ~violation sched =
 let binary_inputs n =
   List.init (1 lsl n) (fun mask -> Array.init n (fun i -> (mask lsr i) land 1))
 
-let run ?inputs_list ~grid targets =
+(* Campaign metrics, resolved once per [run]: inject.runs / violations /
+   incomplete / findings count campaign cells, inject.replays counts
+   shrinking replays (the dominant cost), and each protocol's sweep gets
+   an [inject.protocol] span. *)
+type obs_handles = {
+  h_runs : Obs.Metrics.Counter.t;
+  h_violations : Obs.Metrics.Counter.t;
+  h_incomplete : Obs.Metrics.Counter.t;
+  h_findings : Obs.Metrics.Counter.t;
+  h_replays : Obs.Metrics.Counter.t;
+}
+
+let run ?inputs_list ?obs ~grid targets =
+  let handles =
+    Option.map
+      (fun o ->
+        {
+          h_runs = Obs.counter o "inject.runs";
+          h_violations = Obs.counter o "inject.violations";
+          h_incomplete = Obs.counter o "inject.incomplete";
+          h_findings = Obs.counter o "inject.findings";
+          h_replays = Obs.counter o "inject.replays";
+        })
+      obs
+  in
+  let count f = Option.iter (fun h -> Obs.Metrics.Counter.incr (f h)) handles in
   List.map
     (fun (name, (Target p as tgt)) ->
+      Obs.with_span ?obs "inject.protocol" ~attrs:[ ("protocol", name) ]
+      @@ fun () ->
       let nprocs = p.Program.nprocs in
       let inputs_list =
         match inputs_list with Some l -> l | None -> binary_inputs nprocs
@@ -135,6 +162,7 @@ let run ?inputs_list ~grid targets =
                 List.iter
                   (fun inputs ->
                     incr runs;
+                    count (fun h -> h.h_runs);
                     let adv = instantiate spec ~seed ~nprocs in
                     let verdict, executed, out =
                       run_one tgt ~pick:adv ~z:grid.z ~fuel:grid.fuel ~inputs
@@ -142,12 +170,17 @@ let run ?inputs_list ~grid targets =
                     match verdict with
                     | Checker.Violation violation ->
                         incr violations;
+                        count (fun h -> h.h_violations);
                         if !shrunk_here < grid.shrink_per_cell then begin
                           incr shrunk_here;
                           let shrunk, replays =
                             shrink tgt ~inputs ~z:grid.z ~fuel:grid.fuel ~violation
                               executed
                           in
+                          count (fun h -> h.h_findings);
+                          Option.iter
+                            (fun h -> Obs.Metrics.Counter.add h.h_replays replays)
+                            handles;
                           findings :=
                             {
                               protocol = name;
@@ -162,7 +195,11 @@ let run ?inputs_list ~grid targets =
                             :: !findings
                         end
                     | Checker.Ok ->
-                        if out.Exec.all_decided then incr ok else incr incomplete)
+                        if out.Exec.all_decided then incr ok
+                        else begin
+                          incr incomplete;
+                          count (fun h -> h.h_incomplete)
+                        end)
                   inputs_list)
               grid.seeds;
             {

@@ -98,12 +98,22 @@ val shrink :
     @raise Invalid_argument when the input schedule does not replay to
     [violation]. *)
 
-val run : ?inputs_list:int array list -> grid:grid -> (string * target) list -> report
+val run :
+  ?inputs_list:int array list ->
+  ?obs:Obs.t ->
+  grid:grid ->
+  (string * target) list ->
+  report
 (** Run the whole campaign.  [inputs_list] defaults to all binary input
     vectors for each protocol's process count.  Violations are detected on
     every run's final configuration (also mid-fuel ones: disagreement among
     a decided subset counts), and the first [shrink_per_cell] per cell are
-    shrunk into findings. *)
+    shrunk into findings.
+
+    With [obs], the campaign emits an [inject.protocol] span per target
+    and counts [inject.runs], [inject.violations], [inject.incomplete],
+    [inject.findings] and [inject.replays] (shrinking replays, the
+    dominant cost) into the context's registry. *)
 
 val total_violations : report -> int
 val findings : report -> finding list

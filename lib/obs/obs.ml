@@ -1,0 +1,260 @@
+external monotonic_now : unit -> float = "rcn_obs_monotonic_now"
+
+module Clock = struct
+  let now () = monotonic_now ()
+  let after s = now () +. s
+  let expired = function None -> false | Some d -> now () > d
+end
+
+module Metrics = struct
+  module Counter = struct
+    type t = { name : string; v : int Atomic.t }
+
+    let name c = c.name
+    let incr c = ignore (Atomic.fetch_and_add c.v 1)
+    let add c n = ignore (Atomic.fetch_and_add c.v n)
+    let value c = Atomic.get c.v
+  end
+
+  module Histogram = struct
+    type t = {
+      name : string;
+      mutex : Mutex.t;
+      mutable count : int;
+      mutable sum : float;
+      mutable mn : float;
+      mutable mx : float;
+    }
+
+    let name h = h.name
+
+    let observe h x =
+      Mutex.protect h.mutex (fun () ->
+          if h.count = 0 then begin
+            h.mn <- x;
+            h.mx <- x
+          end
+          else begin
+            if x < h.mn then h.mn <- x;
+            if x > h.mx then h.mx <- x
+          end;
+          h.count <- h.count + 1;
+          h.sum <- h.sum +. x)
+
+    let read h f = Mutex.protect h.mutex (fun () -> f h)
+    let count h = read h (fun h -> h.count)
+    let sum h = read h (fun h -> h.sum)
+    let min h = read h (fun h -> h.mn)
+    let max h = read h (fun h -> h.mx)
+    let mean h = read h (fun h -> if h.count = 0 then 0. else h.sum /. float_of_int h.count)
+  end
+
+  type metric = C of Counter.t | H of Histogram.t
+
+  type t = { mutex : Mutex.t; table : (string, metric) Hashtbl.t }
+
+  let create () = { mutex = Mutex.create (); table = Hashtbl.create 32 }
+
+  let counter t name =
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.table name with
+        | Some (C c) -> c
+        | Some (H _) ->
+            invalid_arg (Printf.sprintf "Obs.Metrics.counter: %S is a histogram" name)
+        | None ->
+            let c = { Counter.name; v = Atomic.make 0 } in
+            Hashtbl.add t.table name (C c);
+            c)
+
+  let histogram t name =
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.table name with
+        | Some (H h) -> h
+        | Some (C _) ->
+            invalid_arg (Printf.sprintf "Obs.Metrics.histogram: %S is a counter" name)
+        | None ->
+            let h =
+              { Histogram.name; mutex = Mutex.create (); count = 0; sum = 0.; mn = 0.; mx = 0. }
+            in
+            Hashtbl.add t.table name (H h);
+            h)
+
+  type value =
+    | Count of int
+    | Summary of { count : int; sum : float; min : float; max : float }
+
+  let snapshot t =
+    let metrics =
+      Mutex.protect t.mutex (fun () ->
+          Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [])
+    in
+    metrics
+    |> List.map (fun (name, m) ->
+           match m with
+           | C c -> (name, Count (Counter.value c))
+           | H h ->
+               ( name,
+                 Histogram.read h (fun h ->
+                     Summary { count = h.count; sum = h.sum; min = h.mn; max = h.mx }) ))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end
+
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+module Trace = struct
+  type sink =
+    | Null
+    | Stderr of Mutex.t
+    | Jsonl of { mutex : Mutex.t; mutable oc : out_channel option }
+
+  let null = Null
+  let stderr () = Stderr (Mutex.create ())
+  let jsonl path = Jsonl { mutex = Mutex.create (); oc = Some (open_out path) }
+
+  let close = function
+    | Null | Stderr _ -> ()
+    | Jsonl j ->
+        Mutex.protect j.mutex (fun () ->
+            match j.oc with
+            | None -> ()
+            | Some oc ->
+                close_out oc;
+                j.oc <- None)
+
+  let attrs_text attrs =
+    String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) attrs)
+
+  let attrs_json attrs =
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+           attrs)
+    ^ "}"
+
+  (* [dur = None] marks a punctual event rather than a span. *)
+  let emit sink ~name ~start ~dur ~attrs =
+    match sink with
+    | Null -> ()
+    | Stderr m ->
+        Mutex.protect m (fun () ->
+            (match dur with
+            | Some d -> Printf.eprintf "[rcn-obs] span %s %.6fs%s\n" name d (attrs_text attrs)
+            | None -> Printf.eprintf "[rcn-obs] event %s%s\n" name (attrs_text attrs));
+            flush Stdlib.stderr)
+    | Jsonl j ->
+        Mutex.protect j.mutex (fun () ->
+            match j.oc with
+            | None -> ()
+            | Some oc ->
+                (match dur with
+                | Some d ->
+                    Printf.fprintf oc
+                      "{\"type\":\"span\",\"name\":\"%s\",\"start_s\":%.6f,\"dur_s\":%.6f,\"attrs\":%s}\n"
+                      (json_escape name) start d (attrs_json attrs)
+                | None ->
+                    Printf.fprintf oc
+                      "{\"type\":\"event\",\"name\":\"%s\",\"start_s\":%.6f,\"attrs\":%s}\n"
+                      (json_escape name) start (attrs_json attrs));
+                flush oc)
+end
+
+type t = { metrics : Metrics.t; sink : Trace.sink }
+
+let create ?(sink = Trace.null) () = { metrics = Metrics.create (); sink }
+let metrics t = t.metrics
+let sink t = t.sink
+let counter t name = Metrics.counter t.metrics name
+let histogram t name = Metrics.histogram t.metrics name
+
+let with_span ?obs ?(attrs = []) name f =
+  match obs with
+  | None -> f ()
+  | Some o ->
+      let t0 = Clock.now () in
+      let finish () =
+        let dur = Clock.now () -. t0 in
+        Metrics.Histogram.observe (histogram o ("span." ^ name)) dur;
+        Trace.emit o.sink ~name ~start:t0 ~dur:(Some dur) ~attrs
+      in
+      (match f () with
+      | r ->
+          finish ();
+          r
+      | exception e ->
+          finish ();
+          raise e)
+
+let event ?obs ?(attrs = []) name =
+  match obs with
+  | None -> ()
+  | Some o ->
+      Metrics.Counter.incr (counter o ("event." ^ name));
+      Trace.emit o.sink ~name ~start:(Clock.now ()) ~dur:None ~attrs
+
+module Stats = struct
+  type format = Text | Json
+
+  let render ?command t format =
+    let snap = Metrics.snapshot t.metrics in
+    let counters =
+      List.filter_map
+        (fun (n, v) -> match v with Metrics.Count c -> Some (n, c) | _ -> None)
+        snap
+    in
+    let histograms =
+      List.filter_map
+        (fun (n, v) ->
+          match v with Metrics.Summary s -> Some (n, (s.count, s.sum, s.min, s.max)) | _ -> None)
+        snap
+    in
+    match format with
+    | Text ->
+        let buf = Buffer.create 256 in
+        Option.iter (fun c -> Buffer.add_string buf (Printf.sprintf "stats for %s\n" c)) command;
+        List.iter (fun (n, c) -> Buffer.add_string buf (Printf.sprintf "counter %s %d\n" n c)) counters;
+        List.iter
+          (fun (n, (count, sum, mn, mx)) ->
+            Buffer.add_string buf
+              (Printf.sprintf "histogram %s count=%d sum=%.6fs min=%.6fs max=%.6fs\n" n count sum
+                 mn mx))
+          histograms;
+        Buffer.contents buf
+    | Json ->
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf "{\"rcn_stats\":1";
+        Option.iter
+          (fun c -> Buffer.add_string buf (Printf.sprintf ",\"command\":\"%s\"" (json_escape c)))
+          command;
+        Buffer.add_string buf ",\"counters\":{";
+        List.iteri
+          (fun i (n, c) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape n) c))
+          counters;
+        Buffer.add_string buf "},\"histograms\":{";
+        List.iteri
+          (fun i (n, (count, sum, mn, mx)) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":{\"count\":%d,\"sum_s\":%.6f,\"min_s\":%.6f,\"max_s\":%.6f}"
+                 (json_escape n) count sum mn mx))
+          histograms;
+        Buffer.add_string buf "}}\n";
+        Buffer.contents buf
+end

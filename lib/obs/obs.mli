@@ -1,0 +1,149 @@
+(** Lightweight, thread-safe observability: one monotonic clock, one
+    counter/histogram implementation, and span-based tracing with
+    pluggable sinks — the single instrumentation layer for the decision
+    engine, the census sweep, the synthesis portfolio and the
+    fault-injection campaigns.
+
+    Design constraints, in order:
+
+    - {b Cheap when off.}  Every hook takes the context as an option;
+      [None] costs one pattern match.  A context with the {!Trace.null}
+      sink still accumulates metrics but emits nothing — the mode the
+      E17 overhead budget (< 5% on the E9 workload) is measured in.
+    - {b Safe to share.}  Counters are single atomics, histograms and
+      sinks are mutex-protected; everything may be hammered from every
+      domain of a {!Pool} concurrently.
+    - {b One clock.}  {!Clock.now} is [clock_gettime(CLOCK_MONOTONIC)]
+      via a local C stub.  All engine deadlines and elapsed times are
+      measured on it, so an NTP step can neither expire a deadline early
+      nor produce a negative duration. *)
+
+module Clock : sig
+  val now : unit -> float
+  (** Monotonic seconds since an arbitrary (per-boot) origin.  Only
+      differences and comparisons are meaningful; do not mix with
+      [Unix.gettimeofday] timestamps. *)
+
+  val after : float -> float
+  (** [after s] is the absolute monotonic deadline [s] seconds from now
+      — what the engine's [?deadline] parameters expect. *)
+
+  val expired : float option -> bool
+  (** [expired None] is [false]; [expired (Some d)] is [now () > d].
+      The one deadline predicate in the tree. *)
+end
+
+module Metrics : sig
+  type t
+  (** A registry of named counters and histograms.  Lookups are
+      mutex-protected and idempotent; the returned handles are safe to
+      cache and to update from any domain. *)
+
+  val create : unit -> t
+
+  module Counter : sig
+    type t
+
+    val name : t -> string
+    val incr : t -> unit
+    val add : t -> int -> unit
+    val value : t -> int
+  end
+
+  module Histogram : sig
+    type t
+
+    val name : t -> string
+    val observe : t -> float -> unit
+    val count : t -> int
+    val sum : t -> float
+
+    val min : t -> float
+    (** [0.] when empty *)
+
+    val max : t -> float
+    (** [0.] when empty *)
+
+    val mean : t -> float
+    (** [0.] when empty *)
+  end
+
+  val counter : t -> string -> Counter.t
+  (** The counter registered under this name, created (at zero) on first
+      use.  @raise Invalid_argument if the name holds a histogram. *)
+
+  val histogram : t -> string -> Histogram.t
+  (** Same, for histograms.
+      @raise Invalid_argument if the name holds a counter. *)
+
+  type value =
+    | Count of int
+    | Summary of { count : int; sum : float; min : float; max : float }
+
+  val snapshot : t -> (string * value) list
+  (** Every registered metric, sorted by name.  Individual reads are
+      atomic; the snapshot as a whole is only consistent once writers
+      are quiescent. *)
+end
+
+module Trace : sig
+  type sink
+  (** Where spans and events go.  All sinks are safe for concurrent
+      emission. *)
+
+  val null : sink
+  (** Drop everything (the default). *)
+
+  val stderr : unit -> sink
+  (** One human-readable line per span/event on standard error. *)
+
+  val jsonl : string -> sink
+  (** Append one JSON object per span/event to the given file, flushed
+      per line (truncates an existing file). *)
+
+  val close : sink -> unit
+  (** Flush and close a {!jsonl} sink's channel; a no-op on the others.
+      Emitting to a closed sink is a no-op. *)
+end
+
+type t
+(** An observability context: one metrics registry plus one trace sink. *)
+
+val create : ?sink:Trace.sink -> unit -> t
+(** Fresh context; [sink] defaults to {!Trace.null}. *)
+
+val metrics : t -> Metrics.t
+val sink : t -> Trace.sink
+
+val counter : t -> string -> Metrics.Counter.t
+(** [Metrics.counter (metrics t)]. *)
+
+val histogram : t -> string -> Metrics.Histogram.t
+
+val with_span :
+  ?obs:t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span ?obs name f] runs [f ()]; with [obs] present it times the
+    call on {!Clock}, records the duration in the histogram
+    [span.<name>] of the context's registry, and emits a span record
+    (with the given attributes) to the sink — also when [f] raises.
+    With [obs = None] it is exactly [f ()]. *)
+
+val event : ?obs:t -> ?attrs:(string * string) list -> string -> unit
+(** Punctual occurrence: increments the counter [event.<name>] and emits
+    an event record to the sink.  [None] is a no-op. *)
+
+module Stats : sig
+  type format = Text | Json
+
+  val render : ?command:string -> t -> format -> string
+  (** The machine-readable stats block benches can diff.
+
+      [Json] is a single line
+      [{"rcn_stats":1,"command":...,"counters":{...},"histograms":{...}}]
+      with keys sorted, histogram fields [count]/[sum_s]/[min_s]/[max_s],
+      and a trailing newline — greppable out of mixed CLI output.
+
+      [Text] is one [counter NAME VALUE] or
+      [histogram NAME count=.. sum=..s min=..s max=..s] line per metric,
+      sorted by name. *)
+end

@@ -1,0 +1,28 @@
+/* Monotonic clock stub for Obs.Clock.
+
+   OCaml 5.1's Unix library exposes only gettimeofday (wall time, steps
+   under NTP); the observability layer needs CLOCK_MONOTONIC so deadlines
+   and elapsed times survive clock adjustments.  One tiny stub keeps the
+   tree free of extra opam dependencies. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#if !defined(CLOCK_MONOTONIC)
+#include <sys/time.h>
+#endif
+
+CAMLprim value rcn_obs_monotonic_now(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#else
+  /* Last-resort fallback for platforms without a monotonic clock. */
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+#endif
+}

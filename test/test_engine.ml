@@ -90,7 +90,7 @@ let test_pool_until () =
 let test_pool_validation () =
   check_bool "jobs = 0 rejected" true
     (try
-       ignore (Pool.create ~jobs:0);
+       ignore (Pool.create ~jobs:0 ());
        false
      with Invalid_argument _ -> true);
   Pool.with_pool ~jobs:2 @@ fun pool ->
@@ -232,6 +232,52 @@ let test_census_checkpoint_resume () =
        false
      with Invalid_argument _ -> true)
 
+let with_checkpoint_file lines_then_tail f =
+  let path = Filename.temp_file "rcn-test-ckpt" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Out_channel.with_open_text path (fun oc ->
+      let lines, tail = lines_then_tail in
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines;
+      Option.iter (Out_channel.output_string oc) tail);
+  f path
+
+let test_checkpoint_load_edge_cases () =
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  let header = Engine.Checkpoint.header ~space ~cap:3 ~total:256 in
+  (* Duplicate index lines come back in file order, so a
+     first-occurrence-wins consumer keeps the earliest append — which is
+     what [census ~resume] does with its [finished] guard. *)
+  with_checkpoint_file ([ header; "7 2 1"; "9 3 2"; "7 4 4" ], None) (fun path ->
+      let entries = Engine.Checkpoint.load path ~expected:header in
+      check_bool "file order preserved" true
+        (entries = [ (7, (2, 1)); (9, (3, 2)); (7, (4, 4)) ]);
+      check_bool "first duplicate wins under the resume guard" true
+        (List.assoc 7 entries = (2, 1)));
+  (* A torn trailing line (killed writer) followed by nothing is dropped;
+     the whole lines before it all load. *)
+  with_checkpoint_file ([ header; "3 1 1"; "4 2 2" ], Some "250 3") (fun path ->
+      check_bool "torn tail dropped" true
+        (Engine.Checkpoint.load path ~expected:header
+        = [ (3, (1, 1)); (4, (2, 2)) ]));
+  (* A matching header whose indices exceed [total] loads as written —
+     range checking is the consumer's job, and [census ~resume] skips the
+     out-of-range entries rather than crashing. *)
+  with_checkpoint_file ([ header; "300 2 2"; "5 1 1"; "-1 2 2" ], None) (fun path ->
+      check_bool "out-of-range indices returned as written" true
+        (Engine.Checkpoint.load path ~expected:header
+        = [ (300, (2, 2)); (5, (1, 1)); (-1, (2, 2)) ]));
+  with_checkpoint_file ([ header; "300 2 2"; "-1 2 2" ], None) (fun path ->
+      Pool.with_pool ~jobs:2 @@ fun pool ->
+      let run = Engine.census ~cap:3 ~checkpoint:path ~resume:true pool space in
+      check_int "out-of-range checkpoint entries are skipped, not resumed" 0
+        run.Engine.resumed;
+      check_bool "census still completes" true run.Engine.complete);
+  (* A missing file is an empty resume, not an error. *)
+  check_bool "missing checkpoint loads empty" true
+    (Engine.Checkpoint.load "/nonexistent/rcn-ckpt" ~expected:header = [])
+
 (* ------------------------------------------------------------------ *)
 (* Deadlines: degrade, never lie. *)
 
@@ -239,7 +285,7 @@ let test_expired_deadline_analyze () =
   List.iter
     (fun jobs ->
       Pool.with_pool ~jobs @@ fun pool ->
-      let past = Unix.gettimeofday () -. 5.0 in
+      let past = Obs.Clock.now () -. 5.0 in
       let a = Engine.analyze ~cap:4 ~deadline:past pool Gallery.test_and_set in
       let check_level name (l : Analysis.level) =
         check_int (Printf.sprintf "jobs=%d: %s floor" jobs name) 1 l.Analysis.value;
@@ -260,9 +306,8 @@ let test_deadline_honesty () =
   List.iter
     (fun budget ->
       let a =
-        Engine.analyze ~cap:4
-          ~deadline:(Unix.gettimeofday () +. budget)
-          pool Gallery.x4_witness
+        Engine.analyze ~cap:4 ~deadline:(Obs.Clock.after budget) pool
+          Gallery.x4_witness
       in
       let sub name (cut : Analysis.level) (full : Analysis.level) =
         check_bool
@@ -281,7 +326,7 @@ let test_deadline_honesty () =
 let test_expired_outcome_not_cached () =
   Pool.with_pool ~jobs:1 @@ fun pool ->
   let cache = Engine.Cache.create () in
-  let past = Unix.gettimeofday () -. 1.0 in
+  let past = Obs.Clock.now () -. 1.0 in
   (match
      Engine.search_within ~cache ~deadline:past pool Decide.Discerning
        Gallery.test_and_set ~n:2
@@ -302,7 +347,7 @@ let test_expired_deadline_portfolio () =
   Pool.with_pool ~jobs:2 @@ fun pool ->
   check_bool "expired deadline launches no climbs" true
     (Engine.synth_portfolio ~portfolio:3
-       ~deadline:(Unix.gettimeofday () -. 1.0)
+       ~deadline:(Obs.Clock.now () -. 1.0)
        pool ~target:4 space
     = None)
 
@@ -339,6 +384,70 @@ let test_cache_parity_across_jobs () =
         (Printf.sprintf "jobs=%d cached analysis parity" jobs)
         true (Analysis.equal seq cached))
     job_counts
+
+let test_cache_stats_invariant_concurrent () =
+  (* Many domains hammer one cache with the same handful of queries: races
+     between probe and publish are guaranteed.  Once quiescent, every probe
+     must be accounted to exactly one bucket — hits + misses + expired =
+     probes — and misses must equal the number of distinct keys, never
+     more: a publish that lost the race is a late hit, not a second miss
+     (the double-count this pins against), and Expired probes land in
+     their own bucket rather than vanishing. *)
+  let cache = Engine.Cache.create () in
+  let queries =
+    [
+      (Decide.Discerning, Gallery.test_and_set, 2);
+      (Decide.Discerning, Gallery.test_and_set, 3);
+      (Decide.Recording, Gallery.test_and_set, 2);
+      (Decide.Discerning, Gallery.team_ladder ~cap:2, 2);
+      (Decide.Recording, Gallery.team_ladder ~cap:2, 2);
+    ]
+  in
+  let rounds = 20 in
+  let domains = 4 in
+  let worker () =
+    Pool.with_pool ~jobs:1 @@ fun pool ->
+    for _ = 1 to rounds do
+      List.iter
+        (fun (condition, ty, n) ->
+          ignore (Engine.search_within ~cache pool condition ty ~n))
+        queries
+    done
+  in
+  let handles = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join handles;
+  let s = Engine.Cache.stats cache in
+  check_int "every probe accounted"
+    s.Engine.Cache.probes
+    (s.Engine.Cache.hits + s.Engine.Cache.misses + s.Engine.Cache.expired);
+  check_int "one probe per query" (rounds * domains * List.length queries)
+    s.Engine.Cache.probes;
+  check_int "one miss per distinct key, even under races"
+    (List.length queries) s.Engine.Cache.misses;
+  check_int "no expired probes without a deadline" 0 s.Engine.Cache.expired
+
+let test_cache_expired_probes_accounted () =
+  (* Expired probes used to be counted nowhere; now they are their own
+     bucket and the invariant still sums. *)
+  Pool.with_pool ~jobs:1 @@ fun pool ->
+  let cache = Engine.Cache.create () in
+  let past = Obs.Clock.now () -. 1.0 in
+  for _ = 1 to 3 do
+    match
+      Engine.search_within ~cache ~deadline:past pool Decide.Discerning
+        Gallery.test_and_set ~n:2
+    with
+    | Engine.Expired -> ()
+    | _ -> Alcotest.fail "already-expired deadline must report Expired"
+  done;
+  ignore (Engine.search_within ~cache pool Decide.Discerning Gallery.test_and_set ~n:2);
+  let s = Engine.Cache.stats cache in
+  check_int "expired bucket counts the cut sweeps" 3 s.Engine.Cache.expired;
+  check_int "completed sweep is one miss" 1 s.Engine.Cache.misses;
+  check_int "invariant holds with expired probes"
+    s.Engine.Cache.probes
+    (s.Engine.Cache.hits + s.Engine.Cache.misses + s.Engine.Cache.expired)
 
 (* ------------------------------------------------------------------ *)
 (* Synthesis portfolio *)
@@ -396,6 +505,8 @@ let suite =
     Alcotest.test_case "census parity on the 2/2/2 space" `Slow test_census_parity;
     Alcotest.test_case "census checkpoint / resume round-trip" `Slow
       test_census_checkpoint_resume;
+    Alcotest.test_case "checkpoint load edge cases" `Quick
+      test_checkpoint_load_edge_cases;
     Alcotest.test_case "expired deadline degrades to honest floors" `Quick
       test_expired_deadline_analyze;
     Alcotest.test_case "deadline-cut analyses never overclaim" `Slow
@@ -406,6 +517,10 @@ let suite =
       test_expired_deadline_portfolio;
     Alcotest.test_case "closure cache: second query is free" `Quick test_cache_second_query_is_free;
     Alcotest.test_case "cached analysis parity across jobs" `Slow test_cache_parity_across_jobs;
+    Alcotest.test_case "cache stats invariant under concurrency" `Slow
+      test_cache_stats_invariant_concurrent;
+    Alcotest.test_case "expired probes are accounted" `Quick
+      test_cache_expired_probes_accounted;
     Alcotest.test_case "synthesis portfolio parity" `Slow test_synth_portfolio_parity;
     Alcotest.test_case "RCN_JOBS handling" `Quick test_default_jobs_env;
     QCheck_alcotest.to_alcotest prop_engine_analyze_parity;

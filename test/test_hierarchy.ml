@@ -277,6 +277,47 @@ let test_parallel_search_agrees () =
        false
      with Invalid_argument _ -> true)
 
+let test_parallel_search_deterministic () =
+  (* Not just *a* witness: the parallel decider must return *the*
+     sequential first witness, at every domain count.  The types below
+     have several witnessing certificates (so a first-CAS-wins race would
+     be visible), and repetition gives interleavings a chance to differ. *)
+  let cert_equal (a : Certificate.t) (b : Certificate.t) =
+    a.Certificate.initial = b.Certificate.initial
+    && a.Certificate.team = b.Certificate.team
+    && a.Certificate.ops = b.Certificate.ops
+  in
+  List.iter
+    (fun (ty, n) ->
+      List.iter
+        (fun condition ->
+          match Decide.search condition ty ~n with
+          | None -> ()
+          | Some serial ->
+              List.iter
+                (fun domains ->
+                  for round = 1 to 5 do
+                    match Decide.search_parallel ~domains condition ty ~n with
+                    | None ->
+                        Alcotest.failf "%s n=%d domains=%d: witness lost"
+                          ty.Objtype.name n domains
+                    | Some par ->
+                        check_bool
+                          (Printf.sprintf
+                             "%s n=%d domains=%d round=%d: sequential first witness"
+                             ty.Objtype.name n domains round)
+                          true (cert_equal serial par)
+                  done)
+                [ 1; 4 ])
+        [ Decide.Discerning; Decide.Recording ])
+    [
+      (Gallery.test_and_set, 2);
+      (Gallery.team_ladder ~cap:2, 2);
+      (Gallery.team_ladder ~cap:3, 3);
+      (Gallery.x4_witness, 2);
+      (Gallery.x4_witness, 3);
+    ]
+
 let test_certificates_seq () =
   (* All certificates stream lazily; the first equals the search result. *)
   let ty = Gallery.team_ladder ~cap:2 in
@@ -458,6 +499,8 @@ let suite =
     Alcotest.test_case "decider rejects n < 2" `Quick test_decider_rejects_small_n;
     Alcotest.test_case "lazy certificate stream" `Quick test_certificates_seq;
     Alcotest.test_case "parallel decider agrees with serial" `Slow test_parallel_search_agrees;
+    Alcotest.test_case "parallel decider is deterministic (1 vs 4 domains)" `Slow
+      test_parallel_search_deterministic;
     Alcotest.test_case "robustness report (Theorem 14)" `Quick test_robustness_report;
     Alcotest.test_case "robustness input validation" `Quick test_robustness_rejects_non_readable;
     Alcotest.test_case "Theorem 14 on product objects" `Slow test_product_robustness;

@@ -1,0 +1,203 @@
+(* Tests for the observability layer: monotonic clock, thread-safe
+   counters and histograms, span tracing with the JSONL sink, and the
+   stats export the CLI and CI smoke rely on. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+let test_clock_monotonic () =
+  let prev = ref (Obs.Clock.now ()) in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now () in
+    check_bool "never goes backwards" true (t >= !prev);
+    prev := t
+  done
+
+let test_clock_deadlines () =
+  check_bool "no deadline never expires" false (Obs.Clock.expired None);
+  check_bool "past deadline expired" true
+    (Obs.Clock.expired (Some (Obs.Clock.now () -. 1.0)));
+  check_bool "future deadline live" false (Obs.Clock.expired (Some (Obs.Clock.after 60.0)));
+  let d = Obs.Clock.after 0.5 in
+  let now = Obs.Clock.now () in
+  check_bool "after is now + s" true (d -. now > 0.0 && d -. now <= 0.5 +. 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counter_concurrent () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "test.hits" in
+  let domains = 4 and per_domain = 10_000 in
+  let worker () =
+    let c' = Obs.Metrics.counter m "test.hits" in
+    for _ = 1 to per_domain do
+      Obs.Metrics.Counter.incr c'
+    done;
+    Obs.Metrics.Counter.add c' 5
+  in
+  let handles = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join handles;
+  check_int "no lost increments" (domains * (per_domain + 5))
+    (Obs.Metrics.Counter.value c);
+  check_string "name kept" "test.hits" (Obs.Metrics.Counter.name c)
+
+let test_histogram_concurrent () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "test.lat" in
+  let domains = 4 and per_domain = 5_000 in
+  let worker () =
+    for i = 1 to per_domain do
+      Obs.Metrics.Histogram.observe h (float_of_int i)
+    done
+  in
+  let handles = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join handles;
+  check_int "every observation counted" (domains * per_domain)
+    (Obs.Metrics.Histogram.count h);
+  check_bool "sum exact" true
+    (Obs.Metrics.Histogram.sum h
+    = float_of_int domains *. (float_of_int (per_domain * (per_domain + 1)) /. 2.0));
+  check_bool "min" true (Obs.Metrics.Histogram.min h = 1.0);
+  check_bool "max" true (Obs.Metrics.Histogram.max h = float_of_int per_domain)
+
+let test_histogram_empty () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "test.empty" in
+  check_int "count" 0 (Obs.Metrics.Histogram.count h);
+  check_bool "sum/min/max/mean all zero" true
+    (Obs.Metrics.Histogram.sum h = 0.0
+    && Obs.Metrics.Histogram.min h = 0.0
+    && Obs.Metrics.Histogram.max h = 0.0
+    && Obs.Metrics.Histogram.mean h = 0.0)
+
+let test_registry () =
+  let m = Obs.Metrics.create () in
+  let a = Obs.Metrics.counter m "x" in
+  Obs.Metrics.Counter.incr a;
+  (* Lookups are idempotent: the same handle comes back, not a zeroed one. *)
+  check_int "same counter returned" 1
+    (Obs.Metrics.Counter.value (Obs.Metrics.counter m "x"));
+  check_bool "kind clash rejected" true
+    (try
+       ignore (Obs.Metrics.histogram m "x");
+       false
+     with Invalid_argument _ -> true);
+  ignore (Obs.Metrics.histogram m "y");
+  check_bool "clash the other way too" true
+    (try
+       ignore (Obs.Metrics.counter m "y");
+       false
+     with Invalid_argument _ -> true);
+  Obs.Metrics.Histogram.observe (Obs.Metrics.histogram m "y") 2.0;
+  match Obs.Metrics.snapshot m with
+  | [ ("x", Obs.Metrics.Count 1); ("y", Obs.Metrics.Summary s) ] ->
+      check_bool "summary fields" true (s.count = 1 && s.sum = 2.0)
+  | other -> Alcotest.failf "unexpected snapshot (%d entries)" (List.length other)
+
+(* ------------------------------------------------------------------ *)
+(* Spans, events, sinks *)
+
+let test_with_span () =
+  let obs = Obs.create () in
+  let r = Obs.with_span ~obs "work" (fun () -> 42) in
+  check_int "result passed through" 42 r;
+  let h = Obs.histogram obs "span.work" in
+  check_int "span recorded" 1 (Obs.Metrics.Histogram.count h);
+  check_bool "duration nonnegative" true (Obs.Metrics.Histogram.sum h >= 0.0);
+  (* Also recorded when the body raises, and the exception escapes. *)
+  check_bool "exception propagates" true
+    (try
+       Obs.with_span ~obs "work" (fun () -> failwith "boom")
+     with Failure _ -> true);
+  check_int "raising span still recorded" 2 (Obs.Metrics.Histogram.count h);
+  (* No context: the hook is the identity. *)
+  check_int "None is identity" 7 (Obs.with_span "free" (fun () -> 7))
+
+let test_event () =
+  let obs = Obs.create () in
+  Obs.event ~obs "tick";
+  Obs.event ~obs "tick" ~attrs:[ ("k", "v") ];
+  check_int "events counted" 2
+    (Obs.Metrics.Counter.value (Obs.counter obs "event.tick"));
+  Obs.event "free"
+
+let test_jsonl_sink () =
+  let path = Filename.temp_file "rcn-test-obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let sink = Obs.Trace.jsonl path in
+  let obs = Obs.create ~sink () in
+  ignore (Obs.with_span ~obs "alpha" ~attrs:[ ("q", {|va"lue|}) ] (fun () -> ()));
+  Obs.event ~obs "beta";
+  Obs.Trace.close sink;
+  Obs.event ~obs "gamma";
+  (* emitting after close is a no-op *)
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  check_int "one line per record" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      check_bool "line is a JSON object" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  check_bool "span line carries name and escaped attr" true
+    (let l = List.nth lines 0 in
+     let has s =
+       let n = String.length s and ln = String.length l in
+       let rec at i = i + n <= ln && (String.sub l i n = s || at (i + 1)) in
+       at 0
+     in
+     has {|"name":"alpha"|} && has {|va\"lue|})
+
+(* ------------------------------------------------------------------ *)
+(* Stats export *)
+
+let test_stats_render () =
+  let obs = Obs.create () in
+  Obs.Metrics.Counter.add (Obs.counter obs "b.count") 3;
+  Obs.Metrics.Histogram.observe (Obs.histogram obs "a.time") 0.5;
+  let text = Obs.Stats.render ~command:"demo" obs Obs.Stats.Text in
+  check_bool "text mentions both metrics" true
+    (let has s =
+       let n = String.length s and ln = String.length text in
+       let rec at i = i + n <= ln && (String.sub text i n = s || at (i + 1)) in
+       at 0
+     in
+     has "counter b.count 3" && has "histogram a.time count=1");
+  let json = Obs.Stats.render ~command:"demo" obs Obs.Stats.Json in
+  check_bool "json is a single tagged line" true
+    (String.length json > 0
+    && json.[String.length json - 1] = '\n'
+    && (not (String.contains (String.sub json 0 (String.length json - 1)) '\n'))
+    && String.length json > 14
+    && String.sub json 0 14 = {|{"rcn_stats":1|});
+  check_bool "json carries the command and metrics" true
+    (let has s =
+       let n = String.length s and ln = String.length json in
+       let rec at i = i + n <= ln && (String.sub json i n = s || at (i + 1)) in
+       at 0
+     in
+     has {|"command":"demo"|} && has {|"b.count":3|} && has {|"a.time":{"count":1|})
+
+let suite =
+  [
+    Alcotest.test_case "clock is monotonic" `Quick test_clock_monotonic;
+    Alcotest.test_case "clock deadlines" `Quick test_clock_deadlines;
+    Alcotest.test_case "counters lose no increments across domains" `Quick
+      test_counter_concurrent;
+    Alcotest.test_case "histograms aggregate across domains" `Quick
+      test_histogram_concurrent;
+    Alcotest.test_case "empty histogram reads as zero" `Quick test_histogram_empty;
+    Alcotest.test_case "registry is idempotent and kind-safe" `Quick test_registry;
+    Alcotest.test_case "with_span times, records, re-raises" `Quick test_with_span;
+    Alcotest.test_case "events count" `Quick test_event;
+    Alcotest.test_case "jsonl sink writes one object per line" `Quick test_jsonl_sink;
+    Alcotest.test_case "stats render in both formats" `Quick test_stats_render;
+  ]

@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "rcn"
     [
+      ("obs", Test_obs.suite);
       ("objtype", Test_objtype.suite);
       ("gallery", Test_gallery.suite);
       ("sched", Test_sched.suite);

@@ -1,0 +1,96 @@
+(* stats_check — CI validator for the `rcn … --stats json` block.
+
+   Reads mixed CLI output (stdin, or the files given as arguments), finds
+   the single line tagged {"rcn_stats":1,...}, and checks its shape:
+
+   - exactly one stats line, parseable by the extraction below;
+   - "command", "counters" and "histograms" fields present;
+   - the cache accounting invariant holds:
+       engine.cache.hits + engine.cache.misses + engine.cache.expired
+         = engine.cache.probes
+   - every counter named on the command line as `--require NAME` exists.
+
+   Dependency-free on purpose (the repo vendors no JSON library): the
+   stats line is machine-written with a fixed key order and no whitespace,
+   so integer fields can be extracted by scanning for `"key":`. *)
+
+let substring_index hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = if i + n > h then None else if String.sub hay i n = needle then Some i else at (i + 1) in
+  at 0
+
+let has hay needle = substring_index hay needle <> None
+
+(* The integer immediately following `"key":`, if any. *)
+let int_field line key =
+  match substring_index line (Printf.sprintf "%S:" key) with
+  | None -> None
+  | Some i ->
+      let start = i + String.length key + 3 in
+      let stop = ref start in
+      while
+        !stop < String.length line
+        && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      if !stop = start then None else int_of_string_opt (String.sub line start (!stop - start))
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("stats_check: " ^ m); exit 1) fmt
+
+let () =
+  let required = ref [] and inputs = ref [] in
+  let rec parse = function
+    | "--require" :: name :: rest ->
+        required := name :: !required;
+        parse rest
+    | "--require" :: [] -> fail "--require needs a counter name"
+    | path :: rest ->
+        inputs := path :: !inputs;
+        parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let lines =
+    match List.rev !inputs with
+    | [] -> In_channel.input_lines In_channel.stdin
+    | paths -> List.concat_map (fun p -> In_channel.with_open_text p In_channel.input_lines) paths
+  in
+  let stats_lines =
+    List.filter
+      (fun l ->
+        String.length l >= 14 && String.sub l 0 14 = {|{"rcn_stats":1|})
+      lines
+  in
+  let line =
+    match stats_lines with
+    | [ l ] -> l
+    | [] -> fail "no rcn_stats line found"
+    | ls -> fail "expected exactly one rcn_stats line, found %d" (List.length ls)
+  in
+  if line.[String.length line - 1] <> '}' then fail "stats line is not a closed object";
+  List.iter
+    (fun field -> if not (has line (Printf.sprintf "%S:" field)) then fail "missing %S field" field)
+    [ "command"; "counters"; "histograms" ];
+  let cache_field name =
+    match int_field line ("engine.cache." ^ name) with
+    | Some v when v >= 0 -> v
+    | Some v -> fail "engine.cache.%s is negative (%d)" name v
+    | None -> fail "missing counter engine.cache.%s" name
+  in
+  let probes = cache_field "probes" in
+  let hits = cache_field "hits" in
+  let misses = cache_field "misses" in
+  let expired = cache_field "expired" in
+  if hits + misses + expired <> probes then
+    fail "cache invariant violated: hits %d + misses %d + expired %d <> probes %d" hits
+      misses expired probes;
+  List.iter
+    (fun name -> if int_field line name = None then fail "missing required counter %s" name)
+    !required;
+  Printf.printf
+    "stats_check: ok (probes %d = hits %d + misses %d + expired %d%s)\n" probes hits
+    misses expired
+    (match !required with
+    | [] -> ""
+    | rs -> Printf.sprintf "; required counters present: %s" (String.concat ", " (List.rev rs)))
