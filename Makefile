@@ -1,4 +1,4 @@
-.PHONY: all build test check bench inject-smoke stats-smoke clean
+.PHONY: all build test check bench bench-e18 inject-smoke stats-smoke clean
 
 all: build
 
@@ -23,7 +23,9 @@ check: build test inject-smoke stats-smoke
 stats-smoke: build
 	./_build/default/bin/rcn.exe analyze x4-witness --cap 4 --jobs 2 --stats json \
 	  | tee stats-smoke.out \
-	  | ./_build/default/tools/stats_check.exe --require engine.candidates --require pool.tasks
+	  | ./_build/default/tools/stats_check.exe --require engine.candidates --require pool.tasks \
+	      --require-nonzero decide.trie_nodes --require-nonzero decide.kernel_evals \
+	      --require decide.partitions_pruned
 
 # Fixed-seed fault-injection campaign over the known-broken protocols
 # (register race, test-and-set under crashes, and T_{3,1}'s recoverable
@@ -38,6 +40,12 @@ inject-smoke: build
 bench:
 	dune exec bench/main.exe
 
+# E18 kernel ablation (reference vs tables vs tables+trie on the E9/E11
+# workloads); writes BENCH_e18.json for CI to archive and exits nonzero
+# if the modes disagree or the census speedup drops below the 3x floor.
+bench-e18: build
+	./_build/default/bench/e18.exe
+
 clean:
 	dune clean
-	rm -f inject-report.txt stats-smoke.out
+	rm -f inject-report.txt stats-smoke.out BENCH_e18.json

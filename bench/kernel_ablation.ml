@@ -1,0 +1,107 @@
+(* E18 — kernel ablation: reference checkers vs flat transition tables
+   vs tables + schedule-prefix trie, on the E9 refutation workload and
+   the E11 census workload.  Emits machine-readable BENCH_e18.json (the
+   CI artifact recording the perf trajectory) alongside the printed
+   section.
+
+   The three modes decide identically — the census rows also assert the
+   histograms match — so every ratio below is pure implementation cost.
+   Note the honest wrinkle: tables-only *loses* to the reference on
+   refutation sweeps, because the reference checker early-exits a
+   candidate at the first clashing schedule while the table evaluator
+   folds the whole set before classifying.  The trie + per-(u, ops) memo
+   is what turns full evaluation into a win. *)
+
+let time f =
+  let t0 = Obs.Clock.now () in
+  let r = f () in
+  (r, Obs.Clock.now () -. t0)
+
+let modes =
+  [ ("reference", Kernel.Reference); ("tables", Kernel.Tables); ("trie", Kernel.Trie) ]
+
+type row = {
+  name : string;
+  jobs : int;
+  seconds : (string * float) list;  (* per mode label, same order as [modes] *)
+  identical : bool;  (* all modes produced the same result *)
+}
+
+let speedup row =
+  match (List.assoc_opt "reference" row.seconds, List.assoc_opt "trie" row.seconds) with
+  | Some r, Some t when t > 0.0 -> r /. t
+  | _ -> nan
+
+(* The E9 engine workload: refuting 5-recording on the X_4 gap witness
+   scans the entire candidate space — the decider's worst case and the
+   fan-out's best case. *)
+let refute_workload ~jobs =
+  let x4 = Gallery.x4_witness in
+  let results, seconds =
+    List.fold_left
+      (fun (results, seconds) (label, mode) ->
+        Pool.with_pool ~jobs @@ fun pool ->
+        let r, t =
+          time (fun () -> Engine.search ~kernel:mode pool Decide.Recording x4 ~n:5)
+        in
+        Printf.printf "  refute 5-recording(x4) %-9s jobs=%d: %8.3fs\n%!" label jobs t;
+        (Option.is_none r :: results, (label, t) :: seconds))
+      ([], []) modes
+  in
+  {
+    name = "e9-refute-5recording-x4";
+    jobs;
+    seconds = List.rev seconds;
+    identical = List.for_all (fun refuted -> refuted) results;
+  }
+
+(* The E11 workload: the full census of readable 3-value / 2-RMW /
+   2-response tables at cap 4 — the sweep the kernel exists for. *)
+let census_workload ~jobs =
+  let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
+  let entries, seconds =
+    List.fold_left
+      (fun (entries, seconds) (label, mode) ->
+        Pool.with_pool ~jobs @@ fun pool ->
+        let r, t = time (fun () -> Engine.census ~cap:4 ~kernel:mode pool space) in
+        Printf.printf "  census {3,2,2} cap 4 %-9s jobs=%d: %8.3fs (%d tables)\n%!"
+          label jobs t r.Engine.completed;
+        (r.Engine.entries :: entries, (label, t) :: seconds))
+      ([], []) modes
+  in
+  let identical =
+    match entries with [ a; b; c ] -> a = b && b = c | _ -> false
+  in
+  { name = "e11-census-v3-rw2-resp2-cap4"; jobs; seconds = List.rev seconds; identical }
+
+let json_of_rows rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"bench\":\"e18\",\"schema\":1,\"workloads\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"name\":%S,\"jobs\":%d,\"seconds\":{" row.name row.jobs);
+      List.iteri
+        (fun j (label, t) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "%S:%.6f" label t))
+        row.seconds;
+      Buffer.add_string b
+        (Printf.sprintf "},\"speedup_trie_vs_reference\":%.3f,\"identical\":%b}"
+           (speedup row) row.identical))
+    rows;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let run ?(path = "BENCH_e18.json") () =
+  let title = "E18 — kernel ablation: reference vs tables vs tables+trie" in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let rows = [ refute_workload ~jobs:1; refute_workload ~jobs:4; census_workload ~jobs:4 ] in
+  List.iter
+    (fun row ->
+      Printf.printf "%-30s jobs=%d: trie is %.2fx the reference (identical results: %b)\n"
+        row.name row.jobs (speedup row) row.identical)
+    rows;
+  Out_channel.with_open_text path (fun oc -> output_string oc (json_of_rows rows));
+  Printf.printf "wrote %s\n" path;
+  rows

@@ -404,7 +404,8 @@ let reproduce () =
   e14_open_question_probe ();
   e15_tournament ();
   e16_inject ();
-  e17_obs_overhead ()
+  e17_obs_overhead ();
+  ignore (Kernel_ablation.run ())
 
 (* ================================================================== *)
 (* Part 2 — bechamel timings, one test per experiment + ablations      *)

@@ -10,6 +10,10 @@ let type_arg_doc =
 let objtype_conv =
   Cmdliner.Arg.conv ((fun s -> Gallery.resolve s), fun ppf t -> Objtype.pp ppf t)
 
+let kernel_conv =
+  Cmdliner.Arg.conv
+    (Kernel.mode_of_string, fun ppf m -> Format.pp_print_string ppf (Kernel.mode_to_string m))
+
 (* [--jobs 0] resolves to RCN_JOBS / the host's domain count. *)
 let resolve_jobs j =
   if j = 0 then
@@ -51,11 +55,13 @@ let with_obs ~command trace stats f =
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
-let analyze ty cap certs jobs deadline trace stats =
+let analyze ty cap certs jobs kernel deadline trace stats =
   with_obs ~command:"analyze" trace stats @@ fun obs ->
   Pool.with_pool ~obs ~jobs:(resolve_jobs jobs) @@ fun pool ->
   let cache = Engine.Cache.create ~obs () in
-  let a = Engine.analyze ~cache ~obs ~cap ?deadline:(resolve_deadline deadline) pool ty in
+  let a =
+    Engine.analyze ~cache ~obs ~cap ~kernel ?deadline:(resolve_deadline deadline) pool ty
+  in
   Format.printf "%a@." Analysis.pp a;
   if certs then begin
     (match a.Analysis.discerning.Analysis.certificate with
@@ -72,13 +78,13 @@ let analyze ty cap certs jobs deadline trace stats =
 (* ------------------------------------------------------------------ *)
 (* gallery *)
 
-let gallery cap jobs =
+let gallery cap jobs kernel =
   Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
   Format.printf "%-18s %-9s %-9s %-9s %-9s %-9s@." "type" "readable" "disc" "rec" "cons"
     "rcons";
   List.iter
     (fun a -> Format.printf "%a@." Analysis.pp a)
-    (Engine.analyze_all ~cap pool (List.map snd (Gallery.all ())))
+    (Engine.analyze_all ~cap ~kernel pool (List.map snd (Gallery.all ())))
 
 (* ------------------------------------------------------------------ *)
 (* statemachine (Figure 3) *)
@@ -277,8 +283,8 @@ let chain name n n' z max_events inputs_text =
 (* ------------------------------------------------------------------ *)
 (* census *)
 
-let census values rws responses cap sample_count seed jobs deadline checkpoint resume
-    trace stats =
+let census values rws responses cap sample_count seed jobs kernel deadline checkpoint
+    resume trace stats =
   with_obs ~command:"census" trace stats @@ fun obs ->
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
   if resume && checkpoint = None then begin
@@ -292,7 +298,7 @@ let census values rws responses cap sample_count seed jobs deadline checkpoint r
   | None ->
       let run =
         Pool.with_pool ~obs ~jobs:(resolve_jobs jobs) @@ fun pool ->
-        Engine.census ~cap ~obs ?deadline:(resolve_deadline deadline) ?checkpoint
+        Engine.census ~cap ~obs ~kernel ?deadline:(resolve_deadline deadline) ?checkpoint
           ~resume pool space
       in
       Format.printf "%a@." Census.pp run.Engine.entries;
@@ -370,6 +376,18 @@ let jobs_t =
            every job count).  0 means automatic: $(b,RCN_JOBS) when set, \
            otherwise the host's recommended domain count.")
 
+let kernel_t =
+  Arg.(
+    value & opt kernel_conv Kernel.Trie
+    & info [ "kernel" ] ~docv:"MODE"
+        ~doc:
+          "Decision kernel: $(b,on) (default; compiled transition tables \
+           plus the schedule-prefix trie), $(b,tables) (compiled tables \
+           without the trie — the ablation point), or $(b,off) / \
+           $(b,reference) (the direct reference checkers).  All modes \
+           return bit-identical results at every job count; the escape \
+           hatch exists for benchmarking and for differential debugging.")
+
 let deadline_t =
   Arg.(
     value & opt (some float) None
@@ -410,12 +428,14 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Determine (recoverable) consensus numbers of a gallery type")
-    Term.(const analyze $ ty_t $ cap_t $ certs $ jobs_t $ deadline_t $ trace_t $ stats_t)
+    Term.(
+      const analyze $ ty_t $ cap_t $ certs $ jobs_t $ kernel_t $ deadline_t $ trace_t
+      $ stats_t)
 
 let gallery_cmd =
   Cmd.v
     (Cmd.info "gallery" ~doc:"Analyze every gallery type (experiment E5)")
-    Term.(const gallery $ cap_t $ jobs_t)
+    Term.(const gallery $ cap_t $ jobs_t $ kernel_t)
 
 let statemachine_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz dot instead of ASCII.") in
@@ -523,7 +543,7 @@ let census_cmd =
        ~doc:"Histogram (discerning, recording) levels over a whole space of small types")
     Term.(
       const census $ values $ rws $ responses $ cap_t $ sample_count $ seed $ jobs_t
-      $ deadline_t $ checkpoint $ resume $ trace_t $ stats_t)
+      $ kernel_t $ deadline_t $ checkpoint $ resume $ trace_t $ stats_t)
 
 let inject_cmd =
   let protocols_t =

@@ -14,21 +14,32 @@
     {!Certificate.check_discerning} / {!Certificate.check_recording}
     replays. *)
 
-type condition = Discerning | Recording
+type condition = Kernel.condition = Discerning | Recording
+(** Defined in {!Kernel} (the compiled decision kernel) and re-exported
+    here; use either name. *)
 
 val search :
   ?naive:bool ->
   ?scheds:Sched.proc list list ->
+  ?obs:Obs.t ->
+  ?mode:Kernel.mode ->
   condition ->
   Objtype.t ->
   n:int ->
   Certificate.t option
 (** The least certificate (in enumeration order) witnessing the condition
     for [n] processes, or [None] if the type does not satisfy it.
-    Requires [n >= 2].  [?scheds] supplies a precomputed
-    [Sched.at_most_once ~nprocs:n] (it must be exactly that set) so that
-    callers deciding many types at the same [n] — the engine's census
-    sweep, the closure cache — replay without re-enumerating [S(P)]. *)
+    Requires [n >= 2].
+
+    [mode] selects the implementation (default [Kernel.Trie], the
+    compiled kernel; see {!Kernel.mode}) — all modes return bit-identical
+    results, pinned by the differential test suite.  [~naive:true]
+    implies the reference path (the unpruned space exists only there).
+    [?scheds] supplies a precomputed [Sched.at_most_once ~nprocs:n] (it
+    must be exactly that set) and only affects the reference path; the
+    kernel shares compiled tries per [n] internally.  [?obs] feeds the
+    kernel counters [decide.trie_nodes] / [decide.kernel_evals] /
+    [decide.partitions_pruned]. *)
 
 val is_discerning : Objtype.t -> n:int -> bool
 val is_recording : Objtype.t -> n:int -> bool
@@ -68,10 +79,13 @@ val check :
 
 val count_candidates : ?naive:bool -> Objtype.t -> n:int -> int
 (** Number of candidate certificates the search would enumerate (for the
-    E9 scaling experiment). *)
+    E9 scaling experiment).  Computed in closed form
+    ({!Kernel.count} / {!Kernel.count_naive}), not by enumeration;
+    pinned against a {!candidates} fold for small types in the tests. *)
 
 val search_partitioned :
   ?clean:bool ->
+  ?mode:Kernel.mode ->
   condition ->
   Objtype.t ->
   team:bool array ->
@@ -83,7 +97,12 @@ val search_partitioned :
     tournament construction in [Rcn_protocols]. *)
 
 val search_parallel :
-  ?domains:int -> condition -> Objtype.t -> n:int -> Certificate.t option
+  ?domains:int ->
+  ?mode:Kernel.mode ->
+  condition ->
+  Objtype.t ->
+  n:int ->
+  Certificate.t option
 (** Multicore variant of {!search}: candidate certificates are partitioned
     by initial value across [domains] worker domains (default: the host's
     recommended domain count, capped at 8).  Returns exactly {!search}'s

@@ -1,0 +1,603 @@
+(* The compiled decision kernel.  See kernel.mli for the design overview;
+   the invariants that matter for correctness are spelled out inline. *)
+
+type condition = Discerning | Recording
+type mode = Reference | Tables | Trie
+
+let mode_of_string = function
+  | "on" | "trie" -> Ok Trie
+  | "tables" -> Ok Tables
+  | "off" | "reference" -> Ok Reference
+  | s -> Error (`Msg (Printf.sprintf "unknown kernel mode %S (expected on|tables|off|reference)" s))
+
+let mode_to_string = function Reference -> "reference" | Tables -> "tables" | Trie -> "trie"
+
+(* ------------------------------------------------------------------ *)
+(* Sorted-multiset combinatorics.  A team of k processes in nondecreasing
+   process order receives a nondecreasing (lex-sorted) sequence of k ops
+   drawn from [0 .. m-1]; there are C(m+k-1, k) of them and the reference
+   enumeration ([Decide.sorted_assignments]) emits them in lex order. *)
+
+(* C(m+k-1, k) via the incremental product C(m-1+i, i) — each partial
+   product is itself a binomial, so the division is exact. *)
+let multiset_count m k =
+  let acc = ref 1 in
+  for i = 1 to k do
+    acc := !acc * (m - 1 + i) / i
+  done;
+  !acc
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+(* Fill [buf.(0 .. k-1)] with the [rank]-th (0-based) nondecreasing
+   sequence over [0 .. m-1] in lex order.  Sequences with first element
+   [o] at a given position number C((m-o)+rest-1, rest), so lex unranking
+   is a cumulative scan per position. *)
+let unrank_sorted ~m ~k rank buf =
+  let rank = ref rank and lowest = ref 0 in
+  for pos = 0 to k - 1 do
+    let o = ref !lowest in
+    let placed = ref false in
+    while not !placed do
+      let below = multiset_count (m - !o) (k - pos - 1) in
+      if !rank < below then placed := true
+      else begin
+        rank := !rank - below;
+        incr o
+      end
+    done;
+    buf.(pos) <- !o;
+    lowest := !o
+  done
+
+(* Step [buf.(0 .. k-1)] to its lex successor in place; [false] on wrap
+   (the last sequence, all [m-1]).  Successor: bump the rightmost slot
+   below [m-1] and level everything to its right at the new value. *)
+let next_sorted buf k m =
+  let j = ref (k - 1) in
+  while !j >= 0 && buf.(!j) = m - 1 do
+    decr j
+  done;
+  if !j < 0 then false
+  else begin
+    let v = buf.(!j) + 1 in
+    for i = !j to k - 1 do
+      buf.(i) <- v
+    done;
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form candidate counts (satellite: count_candidates without
+   enumeration).  The pruned space fixes p_0 on team T_0 and, within a
+   team, only sorted op assignments survive the symmetry quotient. *)
+
+let count (ty : Objtype.t) ~n =
+  if n < 2 then invalid_arg "Kernel.count: need n >= 2";
+  let m = ty.Objtype.num_ops in
+  let per_u = ref 0 in
+  for size1 = 1 to n - 1 do
+    (* C(n-1, size1) partitions put [size1] of processes 1..n-1 on T_1. *)
+    per_u := !per_u + (binomial (n - 1) size1 * multiset_count m (n - size1) * multiset_count m size1)
+  done;
+  ty.Objtype.num_values * !per_u
+
+let count_naive (ty : Objtype.t) ~n =
+  if n < 2 then invalid_arg "Kernel.count_naive: need n >= 2";
+  let pow = ref 1 in
+  for _ = 1 to n do
+    pow := !pow * ty.Objtype.num_ops
+  done;
+  ty.Objtype.num_values * ((1 lsl (n - 1)) - 1) * !pow
+
+(* ------------------------------------------------------------------ *)
+(* Shared trie memo.  Tries depend only on the process count, so every
+   type decided at the same [n] — the census case — shares one.  Reads
+   after [warm_trie] are lock-free from the caller's point of view
+   (the table is only mutated under the lock and lookups take it too,
+   but the hit path holds it for a hash probe only). *)
+
+let trie_lock = Mutex.create ()
+let tries : (int, Sched.Trie.t) Hashtbl.t = Hashtbl.create 8
+
+let shared_trie ?obs ~nprocs () =
+  let fresh, trie =
+    Mutex.protect trie_lock (fun () ->
+        match Hashtbl.find_opt tries nprocs with
+        | Some trie -> (false, trie)
+        | None ->
+            let trie = Sched.Trie.of_nprocs ~nprocs in
+            Hashtbl.add tries nprocs trie;
+            (true, trie))
+  in
+  (match obs with
+  | Some obs ->
+      let c = Obs.counter obs "decide.trie_nodes" in
+      if fresh then Obs.Metrics.Counter.add c (Sched.Trie.num_nodes trie)
+  | None -> ());
+  trie
+
+let warm_trie ?obs ~nprocs () = ignore (shared_trie ?obs ~nprocs ())
+
+(* ------------------------------------------------------------------ *)
+(* Compilation. *)
+
+(* One team partition, precompiled.  [team.(i)] follows the reference
+   convention (true = T_1, process 0 always T_0); [t0bits]/[t1bits] are
+   the same split as first-process bitmasks.  [procs0]/[procs1] list each
+   team's members in increasing order — the order the sorted op
+   assignments bind to.  [count0 * count1 = block] candidates live at
+   ranks [start .. start + block - 1] within each initial-value block,
+   T_0's assignment major (the reference nesting: ops0 outer). *)
+type part = {
+  team : bool array;
+  t0bits : int;
+  t1bits : int;
+  size0 : int;
+  size1 : int;
+  procs0 : int array;
+  procs1 : int array;
+  count1 : int;
+  block : int;
+  start : int;
+}
+
+type t = {
+  ty : Objtype.t;
+  n : int;
+  nv : int;
+  no : int;
+  nr : int;
+  next : int array;
+  resp : int array;
+  (* trie arrays, denormalized out of Sched.Trie for the inner loops *)
+  t_nodes : int;
+  t_parent : int array;
+  t_proc : int array;
+  t_first : int array;
+  t_depth : int array;
+  parts : part array;
+  per_u : int;
+  total : int;
+  c_evals : Obs.Metrics.Counter.t option;
+  c_pruned : Obs.Metrics.Counter.t option;
+}
+
+let compile ?obs (ty : Objtype.t) ~n =
+  if n < 2 then invalid_arg "Kernel.compile: need n >= 2";
+  let nv = ty.Objtype.num_values and no = ty.Objtype.num_ops and nr = ty.Objtype.num_responses in
+  let next = Array.make (nv * no) 0 and resp = Array.make (nv * no) 0 in
+  for v = 0 to nv - 1 do
+    for o = 0 to no - 1 do
+      let r, v' = ty.Objtype.delta v o in
+      next.((v * no) + o) <- v';
+      resp.((v * no) + o) <- r
+    done
+  done;
+  let trie = shared_trie ?obs ~nprocs:n () in
+  let nparts = (1 lsl (n - 1)) - 1 in
+  let start = ref 0 in
+  let parts =
+    Array.init nparts (fun idx ->
+        let mask = idx + 1 in
+        let team = Array.init n (fun i -> i > 0 && (mask lsr (i - 1)) land 1 = 1) in
+        let t0 = ref [] and t1 = ref [] in
+        for i = n - 1 downto 0 do
+          if team.(i) then t1 := i :: !t1 else t0 := i :: !t0
+        done;
+        let procs0 = Array.of_list !t0 and procs1 = Array.of_list !t1 in
+        let size0 = Array.length procs0 and size1 = Array.length procs1 in
+        let bits a = Array.fold_left (fun acc i -> acc lor (1 lsl i)) 0 a in
+        let count0 = multiset_count no size0 and count1 = multiset_count no size1 in
+        let block = count0 * count1 in
+        let p =
+          {
+            team;
+            t0bits = bits procs0;
+            t1bits = bits procs1;
+            size0;
+            size1;
+            procs0;
+            procs1;
+            count1;
+            block;
+            start = !start;
+          }
+        in
+        start := !start + block;
+        p)
+  in
+  let per_u = !start in
+  {
+    ty;
+    n;
+    nv;
+    no;
+    nr;
+    next;
+    resp;
+    t_nodes = Sched.Trie.num_nodes trie;
+    t_parent = Sched.Trie.parent trie;
+    t_proc = Sched.Trie.proc trie;
+    t_first = Sched.Trie.first trie;
+    t_depth = Sched.Trie.depth trie;
+    parts;
+    per_u;
+    total = nv * per_u;
+    c_evals = Option.map (fun o -> Obs.counter o "decide.kernel_evals") obs;
+    c_pruned = Option.map (fun o -> Obs.counter o "decide.partitions_pruned") obs;
+  }
+
+let total k = k.total
+
+(* ------------------------------------------------------------------ *)
+(* Scratch. *)
+
+type scratch = {
+  value : int array; (* per trie node: folded final value; value.(0) = u *)
+  resp_at : int array; (* per trie node: response of the node's last step *)
+  rec_mask : int array; (* per final value: bitmask of first-processes *)
+  key_mask : int array; (* per (proc, resp, final) key: same bitmask *)
+  touched : int array; (* stack of keys with a nonzero mask *)
+  path : int array; (* Tables mode: one schedule's processes, root first *)
+  ops : int array; (* current candidate's op per process *)
+  ops0 : int array; (* T_0's sorted assignment (first size0 slots used) *)
+  ops1 : int array; (* T_1's sorted assignment *)
+  proc_resp : int array; (* Tables mode: last response per process *)
+  memo : (int, int array) Hashtbl.t; (* (ops, condition) -> masks *)
+  mutable memo_u : int; (* initial value the memo is valid for *)
+}
+
+let scratch k =
+  {
+    value = Array.make k.t_nodes 0;
+    resp_at = Array.make k.t_nodes 0;
+    rec_mask = Array.make k.nv 0;
+    key_mask = Array.make (k.n * k.nr * k.nv) 0;
+    touched = Array.make (k.n * k.nr * k.nv) 0;
+    path = Array.make k.n 0;
+    ops = Array.make k.n 0;
+    ops0 = Array.make k.n 0;
+    ops1 = Array.make k.n 0;
+    proc_resp = Array.make k.n 0;
+    memo = Hashtbl.create 1024;
+    memo_u = -1;
+  }
+
+(* Memo key: the ops array as a base-[no] number, tagged with the
+   condition (one scratch may serve both in [check]). *)
+let ops_code k (s : scratch) cond =
+  let c = ref (match cond with Recording -> 0 | Discerning -> 1) in
+  for i = k.n - 1 downto 0 do
+    c := (!c * k.no) + s.ops.(i)
+  done;
+  !c
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation: fold every schedule for the current (u, s.ops).
+
+   Trie mode: node values extend their parent's by one transition, so the
+   whole set costs one transition per node.  Tables mode deliberately
+   refolds each schedule end to end (rebuilding its process path by
+   walking parents) — same flat tables, no prefix sharing — to isolate
+   the trie's contribution in the e18 ablation. *)
+
+let eval_rec_trie k s ~u =
+  Array.fill s.rec_mask 0 k.nv 0;
+  s.value.(0) <- u;
+  for i = 1 to k.t_nodes - 1 do
+    let v = k.next.((s.value.(k.t_parent.(i)) * k.no) + s.ops.(k.t_proc.(i))) in
+    s.value.(i) <- v;
+    s.rec_mask.(v) <- s.rec_mask.(v) lor (1 lsl k.t_first.(i))
+  done
+
+let eval_rec_tables k s ~u =
+  Array.fill s.rec_mask 0 k.nv 0;
+  for node = 1 to k.t_nodes - 1 do
+    let d = k.t_depth.(node) in
+    let a = ref node in
+    for j = d - 1 downto 0 do
+      s.path.(j) <- k.t_proc.(!a);
+      a := k.t_parent.(!a)
+    done;
+    let v = ref u in
+    for j = 0 to d - 1 do
+      v := k.next.((!v * k.no) + s.ops.(s.path.(j)))
+    done;
+    s.rec_mask.(!v) <- s.rec_mask.(!v) lor (1 lsl k.t_first.(node))
+  done
+
+(* Discerning needs, per schedule, the set of (process, its response,
+   final value) triples.  In the trie each node's schedule is its root
+   path, and each ancestor contributes its own last step's response, so
+   we walk ancestors per node; total cost is one transition per node
+   plus one ancestor walk per node (= total_steps key updates, the same
+   count the reference pays, but each is an array or-in, not a Hashtbl
+   probe).  Returns the number of touched keys. *)
+let eval_disc_trie k s ~u =
+  s.value.(0) <- u;
+  for i = 1 to k.t_nodes - 1 do
+    let idx = (s.value.(k.t_parent.(i)) * k.no) + s.ops.(k.t_proc.(i)) in
+    s.value.(i) <- k.next.(idx);
+    s.resp_at.(i) <- k.resp.(idx)
+  done;
+  let nt = ref 0 in
+  for i = 1 to k.t_nodes - 1 do
+    let fbit = 1 lsl k.t_first.(i) and f = s.value.(i) in
+    let a = ref i in
+    while !a > 0 do
+      let key = (((k.t_proc.(!a) * k.nr) + s.resp_at.(!a)) * k.nv) + f in
+      if s.key_mask.(key) = 0 then begin
+        s.touched.(!nt) <- key;
+        incr nt
+      end;
+      s.key_mask.(key) <- s.key_mask.(key) lor fbit;
+      a := k.t_parent.(!a)
+    done
+  done;
+  !nt
+
+let eval_disc_tables k s ~u =
+  let nt = ref 0 in
+  for node = 1 to k.t_nodes - 1 do
+    let d = k.t_depth.(node) in
+    let a = ref node in
+    for j = d - 1 downto 0 do
+      s.path.(j) <- k.t_proc.(!a);
+      a := k.t_parent.(!a)
+    done;
+    let v = ref u in
+    for j = 0 to d - 1 do
+      let p = s.path.(j) in
+      let idx = (!v * k.no) + s.ops.(p) in
+      s.proc_resp.(p) <- k.resp.(idx);
+      v := k.next.(idx)
+    done;
+    let fbit = 1 lsl k.t_first.(node) and f = !v in
+    for j = 0 to d - 1 do
+      let p = s.path.(j) in
+      let key = (((p * k.nr) + s.proc_resp.(p)) * k.nv) + f in
+      if s.key_mask.(key) = 0 then begin
+        s.touched.(!nt) <- key;
+        incr nt
+      end;
+      s.key_mask.(key) <- s.key_mask.(key) lor fbit
+    done
+  done;
+  !nt
+
+let reset_keys s nt =
+  for i = 0 to nt - 1 do
+    s.key_mask.(s.touched.(i)) <- 0
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Classification: one evaluation's masks against one partition.
+
+   Recording (reference [check_recording_fast]): every final value must
+   be reached only by first-processes of a single team, and if a
+   nonempty schedule ends at the initial value [u], the *other* team
+   must be a singleton. *)
+
+let classify_rec k (masks : int array) part ~u =
+  let ok = ref true in
+  let v = ref 0 in
+  while !ok && !v < k.nv do
+    let m = masks.(!v) in
+    if m land part.t0bits <> 0 && m land part.t1bits <> 0 then ok := false;
+    incr v
+  done;
+  !ok
+  && (masks.(u) land part.t0bits = 0 || part.size1 = 1)
+  && (masks.(u) land part.t1bits = 0 || part.size0 = 1)
+
+(* Discerning (reference [check_discerning_fast]): every
+   (process, response, final value) triple must be produced only by
+   schedules whose first process is on a single team. *)
+let classify_disc_scratch s nt part =
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < nt do
+    let m = s.key_mask.(s.touched.(!i)) in
+    if m land part.t0bits <> 0 && m land part.t1bits <> 0 then ok := false;
+    incr i
+  done;
+  !ok
+
+let classify_disc_masks (masks : int array) part =
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < Array.length masks do
+    let m = masks.(!i) in
+    if m land part.t0bits <> 0 && m land part.t1bits <> 0 then ok := false;
+    incr i
+  done;
+  !ok
+
+let count_opt = function Some c -> Obs.Metrics.Counter.incr c | None -> ()
+
+(* Decide the candidate currently materialized in [s.ops] against
+   [part], evaluating or reusing the (u, ops) memo as the mode allows. *)
+let check_current ~mode k s cond ~u part =
+  match mode with
+  | Reference -> invalid_arg "Kernel: mode Reference has no compiled path (use Decide)"
+  | Tables -> (
+      count_opt k.c_evals;
+      match cond with
+      | Recording ->
+          eval_rec_tables k s ~u;
+          classify_rec k s.rec_mask part ~u
+      | Discerning ->
+          let nt = eval_disc_tables k s ~u in
+          let ok = classify_disc_scratch s nt part in
+          reset_keys s nt;
+          ok)
+  | Trie -> (
+      if s.memo_u <> u then begin
+        Hashtbl.reset s.memo;
+        s.memo_u <- u
+      end;
+      let code = ops_code k s cond in
+      match Hashtbl.find_opt s.memo code with
+      | Some masks -> (
+          count_opt k.c_pruned;
+          match cond with
+          | Recording -> classify_rec k masks part ~u
+          | Discerning -> classify_disc_masks masks part)
+      | None -> (
+          count_opt k.c_evals;
+          match cond with
+          | Recording ->
+              eval_rec_trie k s ~u;
+              let masks = Array.sub s.rec_mask 0 k.nv in
+              Hashtbl.add s.memo code masks;
+              classify_rec k masks part ~u
+          | Discerning ->
+              let nt = eval_disc_trie k s ~u in
+              let masks = Array.init nt (fun i -> s.key_mask.(s.touched.(i))) in
+              reset_keys s nt;
+              Hashtbl.add s.memo code masks;
+              classify_disc_masks masks part))
+
+(* ------------------------------------------------------------------ *)
+(* Ranked enumeration.  Rank order matches the reference
+   [Decide.candidates] exactly: initial value major, then partitions in
+   mask order, then T_0's sorted assignment, then T_1's. *)
+
+let fill_ops s part =
+  for j = 0 to part.size0 - 1 do
+    s.ops.(part.procs0.(j)) <- s.ops0.(j)
+  done;
+  for j = 0 to part.size1 - 1 do
+    s.ops.(part.procs1.(j)) <- s.ops1.(j)
+  done
+
+let fill_ops1 s part =
+  for j = 0 to part.size1 - 1 do
+    s.ops.(part.procs1.(j)) <- s.ops1.(j)
+  done
+
+let candidate k rank =
+  if rank < 0 || rank >= k.total then invalid_arg "Kernel.candidate: rank out of range";
+  let u = rank / k.per_u and rem = rank mod k.per_u in
+  let pi = ref 0 in
+  while k.parts.(!pi).start + k.parts.(!pi).block <= rem do
+    incr pi
+  done;
+  let part = k.parts.(!pi) in
+  let i = rem - part.start in
+  let ops0 = Array.make (max part.size0 1) 0 and ops1 = Array.make (max part.size1 1) 0 in
+  unrank_sorted ~m:k.no ~k:part.size0 (i / part.count1) ops0;
+  unrank_sorted ~m:k.no ~k:part.size1 (i mod part.count1) ops1;
+  let ops = Array.make k.n 0 in
+  for j = 0 to part.size0 - 1 do
+    ops.(part.procs0.(j)) <- ops0.(j)
+  done;
+  for j = 0 to part.size1 - 1 do
+    ops.(part.procs1.(j)) <- ops1.(j)
+  done;
+  (u, Array.copy part.team, ops)
+
+exception Stopped
+
+let search_range ?(mode = Trie) k s cond ~lo ~hi ~stop =
+  (match mode with
+  | Reference -> invalid_arg "Kernel.search_range: mode Reference has no compiled path"
+  | Tables | Trie -> ());
+  let hi = min hi k.total and lo = max lo 0 in
+  if lo >= hi then (None, 0)
+  else begin
+    let nparts = Array.length k.parts in
+    let checked = ref 0 and witness = ref None in
+    let rank = ref lo in
+    let u = ref (lo / k.per_u) in
+    let rem = ref (lo mod k.per_u) in
+    (try
+       while !witness = None && !rank < hi do
+         (* locate the partition block containing [rem] *)
+         let pi = ref 0 in
+         while k.parts.(!pi).start + k.parts.(!pi).block <= !rem do
+           incr pi
+         done;
+         while !witness = None && !rank < hi && !pi < nparts do
+           let part = k.parts.(!pi) in
+           let i = !rem - part.start in
+           unrank_sorted ~m:k.no ~k:part.size0 (i / part.count1) s.ops0;
+           unrank_sorted ~m:k.no ~k:part.size1 (i mod part.count1) s.ops1;
+           fill_ops s part;
+           let more = ref true in
+           while !witness = None && !rank < hi && !more do
+             if stop !rank then raise Stopped;
+             incr checked;
+             if check_current ~mode k s cond ~u:!u part then witness := Some !rank
+             else begin
+               incr rank;
+               if next_sorted s.ops1 part.size1 k.no then fill_ops1 s part
+               else if next_sorted s.ops0 part.size0 k.no then begin
+                 Array.fill s.ops1 0 part.size1 0;
+                 fill_ops s part
+               end
+               else more := false
+             end
+           done;
+           if !witness = None then begin
+             rem := part.start + part.block;
+             incr pi
+           end
+         done;
+         if !witness = None then begin
+           incr u;
+           rem := 0
+         end
+       done
+     with Stopped -> ());
+    (!witness, !checked)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Single-candidate check, for the fixed-partition search.  Builds a
+   throwaway partition record (rank fields unused) and reuses the
+   scratch memo across calls. *)
+
+let check ?(mode = Trie) k s cond ~u ~team ~ops =
+  (match mode with
+  | Reference -> invalid_arg "Kernel.check: mode Reference has no compiled path"
+  | Tables | Trie -> ());
+  if Array.length team <> k.n || Array.length ops <> k.n then
+    invalid_arg "Kernel.check: team/ops arity mismatch";
+  Array.blit ops 0 s.ops 0 k.n;
+  let t0bits = ref 0 and t1bits = ref 0 and size0 = ref 0 and size1 = ref 0 in
+  for i = 0 to k.n - 1 do
+    if team.(i) then begin
+      t1bits := !t1bits lor (1 lsl i);
+      incr size1
+    end
+    else begin
+      t0bits := !t0bits lor (1 lsl i);
+      incr size0
+    end
+  done;
+  let part =
+    {
+      team;
+      t0bits = !t0bits;
+      t1bits = !t1bits;
+      size0 = !size0;
+      size1 = !size1;
+      procs0 = [||];
+      procs1 = [||];
+      count1 = 0;
+      block = 0;
+      start = 0;
+    }
+  in
+  check_current ~mode k s cond ~u part

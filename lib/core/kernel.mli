@@ -1,0 +1,131 @@
+(** The compiled decision kernel: the hot path of the determining
+    procedure, reduced to integer array reads.
+
+    Deciding the [n]-discerning / [n]-recording conditions replays every
+    at-most-once schedule against every candidate certificate
+    [(u, team, ops)].  The reference checkers in {!Decide} refold each
+    schedule through the memoized [Objtype.delta] closure and classify
+    outcomes through per-candidate [Hashtbl]s.  This module compiles the
+    same decision into three layers of precomputation:
+
+    - {b Flat transition tables.}  [delta] becomes two [int array]s
+      ([next] and [resp], indexed [v * num_ops + op]), so the inner loop
+      is two array reads with no closure call and no tuple allocation.
+    - {b Schedule-prefix trie.}  [Sched.at_most_once] is prefix-closed,
+      so it compiles into a {!Sched.Trie}: one forward pass over the
+      parent-before-child node arrays folds {e all} schedules for a given
+      [(u, ops)], visiting each shared prefix once instead of refolding
+      every schedule end to end.  Tries are memoized per process count
+      (thread-safely) and shared across every type decided at that [n] —
+      the census sweep's best case.
+    - {b Team-independent evaluation.}  The folded final values and
+      responses depend only on [(u, ops)], not on the team partition, so
+      evaluation results are cached per [(u, ops)] within a scratch and
+      each partition is then classified by a cheap pass over flat arrays
+      keyed by final value (bounded by [num_values]) — no [Hashtbl]s in
+      the per-candidate loop.
+
+    Candidates are {e ranked}: the kernel numbers the sequential
+    enumeration order of [Decide.candidates] (initial value major, then
+    team partition, then per-team sorted operation assignments) as a
+    dense [0 .. total - 1] index space, so parallel searches distribute
+    chunked index ranges and keep the deterministic minimum-index
+    (= sequential first) witness guarantee.
+
+    Everything in a compiled {!t} is immutable and safe to share across
+    domains; each worker needs its own {!scratch}. *)
+
+type condition = Discerning | Recording
+(** Re-exported by [Decide]; defined here so the kernel does not depend
+    on it. *)
+
+(** Which implementation decides a query.  [Trie] (the default
+    everywhere) is the full kernel; [Tables] uses the flat transition
+    tables but refolds every schedule end to end per candidate — the
+    ablation point isolating the trie's contribution; [Reference] is the
+    original closure-and-[Hashtbl] checker in [Decide], kept as the
+    differential-testing oracle.  All three return bit-identical
+    certificates. *)
+type mode = Reference | Tables | Trie
+
+val mode_of_string : string -> (mode, [ `Msg of string ]) result
+(** ["on"] / ["trie"] is [Trie], ["tables"] is [Tables], ["off"] /
+    ["reference"] is [Reference] — the CLI's [--kernel] values. *)
+
+val mode_to_string : mode -> string
+
+type t
+(** A kernel compiled for one [(Objtype.t, n)] pair. *)
+
+type scratch
+(** Per-worker mutable evaluation state: node value/response buffers,
+    the flat classification arrays, and the per-[(u, ops)] evaluation
+    memo.  Never share a scratch between domains or between concurrent
+    searches. *)
+
+val compile : ?obs:Obs.t -> Objtype.t -> n:int -> t
+(** Build the flat tables, fetch the memoized trie for [n], and rank the
+    candidate space.  With [obs], resolves the kernel counters
+    [decide.trie_nodes] (nodes of freshly built tries),
+    [decide.kernel_evals] (per-[(u, ops)] schedule evaluations) and
+    [decide.partitions_pruned] (candidates classified from a memoized
+    evaluation, skipping schedule replay entirely) in that context's
+    registry.  @raise Invalid_argument when [n < 2]. *)
+
+val warm_trie : ?obs:Obs.t -> nprocs:int -> unit -> unit
+(** Force the shared trie for [nprocs] into the memo (e.g. before a
+    parallel sweep, so workers only read). *)
+
+val total : t -> int
+(** Number of candidates — [num_values] equal consecutive blocks, one
+    per initial value [u], each of [total / num_values] ranks. *)
+
+val candidate : t -> int -> Objtype.value * bool array * Objtype.op array
+(** Unrank: the candidate at the given index of the sequential
+    enumeration order, with fresh [team] and [ops] arrays (safe to hand
+    to [Certificate.make]).  @raise Invalid_argument out of range. *)
+
+val scratch : t -> scratch
+
+val search_range :
+  ?mode:mode ->
+  t ->
+  scratch ->
+  condition ->
+  lo:int ->
+  hi:int ->
+  stop:(int -> bool) ->
+  int option * int
+(** [search_range k s cond ~lo ~hi ~stop] scans candidate ranks
+    [lo .. hi - 1] in order and returns [(witness, checked)]: the first
+    witnessing rank (if any) and the number of candidates actually
+    checked.  [stop] is polled with the current rank before each
+    candidate; answering [true] abandons the scan (returning [None] for
+    the witness) — the hook parallel workers use for deadline polls and
+    minimum-rank pruning.  [mode] must be [Tables] or [Trie]; the
+    reference path lives in [Decide].
+    @raise Invalid_argument on [mode = Reference]. *)
+
+val check :
+  ?mode:mode ->
+  t ->
+  scratch ->
+  condition ->
+  u:Objtype.value ->
+  team:bool array ->
+  ops:Objtype.op array ->
+  bool
+(** Decide one explicit candidate (used by the fixed-partition search).
+    Equivalent to [Decide.check cond t (Sched.at_most_once ~nprocs:n)]
+    on the same candidate.  @raise Invalid_argument on
+    [mode = Reference]. *)
+
+val count : Objtype.t -> n:int -> int
+(** Closed-form size of the pruned candidate space:
+    [num_values * sum over team splits of products of multiset
+    coefficients] — no enumeration.  Equals [total] of a compiled
+    kernel.  @raise Invalid_argument when [n < 2]. *)
+
+val count_naive : Objtype.t -> n:int -> int
+(** Closed form for the unpruned space ([~naive:true] enumeration):
+    [num_values * (2^(n-1) - 1) * num_ops^n]. *)

@@ -171,6 +171,72 @@ let search_fanout ?obs ?deadline pool scheds condition t ~n =
       let u, team, ops = cands.(b) in
       Found (Certificate.make ~objtype:t ~initial:u ~team ~ops)
 
+(* Kernelized variant of the fan-out: no candidate materialization — the
+   kernel's dense rank space *is* the chunked index space, each worker
+   evaluates its ranges through a private scratch, and the same
+   minimal-rank race gives the same sequential-first-witness guarantee.
+   The kernel is compiled on the submitting domain, so workers share the
+   (immutable) tables and trie and only their scratches are private. *)
+let search_fanout_kernel ?obs ?deadline ~mode pool condition t ~n =
+  let k = Kernel.compile ?obs t ~n in
+  let best = Atomic.make max_int in
+  let timed_out = Atomic.make false in
+  let counter = candidates_counter obs in
+  let completed =
+    Pool.parallel_for_until pool
+      ~should_stop:(fun () -> Atomic.get timed_out)
+      (Kernel.total k)
+      (fun lo hi ->
+        let s = Kernel.scratch k in
+        let stop rank =
+          if expired deadline then begin
+            Atomic.set timed_out true;
+            true
+          end
+          else rank >= Atomic.get best
+        in
+        let witness, checked =
+          Kernel.search_range ~mode k s condition ~lo ~hi ~stop
+        in
+        count_checked counter checked;
+        match witness with
+        | Some r ->
+            let rec lower () =
+              let b = Atomic.get best in
+              if r < b && not (Atomic.compare_and_set best b r) then lower ()
+            in
+            lower ()
+        | None -> ())
+  in
+  match Atomic.get best with
+  | b when b = max_int ->
+      if Atomic.get timed_out || not completed then Expired else Refuted
+  | b ->
+      let u, team, ops = Kernel.candidate k b in
+      Found (Certificate.make ~objtype:t ~initial:u ~team ~ops)
+
+let search_sequential_kernel ?obs ~deadline ~mode condition t ~n =
+  let k = Kernel.compile ?obs t ~n in
+  let s = Kernel.scratch k in
+  let counter = candidates_counter obs in
+  let timed_out = ref false in
+  let stop _ =
+    if expired deadline then begin
+      timed_out := true;
+      true
+    end
+    else false
+  in
+  let witness, checked =
+    Kernel.search_range ~mode k s condition ~lo:0 ~hi:(Kernel.total k) ~stop
+  in
+  count_checked counter checked;
+  match witness with
+  | Some r ->
+      let u, team, ops = Kernel.candidate k r in
+      Found (Certificate.make ~objtype:t ~initial:u ~team ~ops)
+  | None -> if !timed_out then Expired else Refuted
+
 (* Sequential sweep with per-candidate deadline polls; identical
    enumeration order to [Decide.search]. *)
 let search_sequential ?obs ~deadline scheds condition t ~n =
@@ -194,35 +260,47 @@ let search_sequential ?obs ~deadline scheds condition t ~n =
   in
   loop (Decide.candidates t ~n)
 
-let search_uncached ?scheds ?obs ?deadline pool condition t ~n =
-  let scheds =
-    match scheds with Some s -> s | None -> Sched.at_most_once ~nprocs:n
-  in
+let search_uncached ?scheds ?obs ?deadline ?(kernel = Kernel.Trie) pool condition t ~n =
   if expired deadline then Expired
-  else if Pool.jobs pool = 1 then
-    match (deadline, obs) with
-    | None, None -> (
-        match Decide.search ~scheds condition t ~n with
-        | Some c -> Found c
-        | None -> Refuted)
-    | _ -> search_sequential ?obs ~deadline scheds condition t ~n
-  else search_fanout ?obs ?deadline pool scheds condition t ~n
+  else
+    match kernel with
+    | Kernel.Reference -> (
+        let scheds =
+          match scheds with Some s -> s | None -> Sched.at_most_once ~nprocs:n
+        in
+        if Pool.jobs pool = 1 then
+          match (deadline, obs) with
+          | None, None -> (
+              match Decide.search ~scheds ~mode:Kernel.Reference condition t ~n with
+              | Some c -> Found c
+              | None -> Refuted)
+          | _ -> search_sequential ?obs ~deadline scheds condition t ~n
+        else search_fanout ?obs ?deadline pool scheds condition t ~n)
+    | mode ->
+        if Pool.jobs pool = 1 then
+          search_sequential_kernel ?obs ~deadline ~mode condition t ~n
+        else search_fanout_kernel ?obs ?deadline ~mode pool condition t ~n
 
 let outcome_of_option = function Some c -> Found c | None -> Refuted
 
 (* Expired sweeps are never published to the cache: they are interrupted
    computations, not results — but their probes are still accounted, so
-   the stats invariant holds. *)
-let search_within ?cache ?obs ?deadline pool condition t ~n =
+   the stats invariant holds.  The schedule memo only feeds the reference
+   path; the kernel shares its compiled tries internally. *)
+let search_within ?cache ?obs ?deadline ?kernel pool condition t ~n =
   match cache with
-  | None -> search_uncached ?obs ?deadline pool condition t ~n
+  | None -> search_uncached ?obs ?deadline ?kernel pool condition t ~n
   | Some c -> (
       let key = (Objtype.to_spec_string t, condition, n) in
       match Cache.probe c ~key with
       | Some outcome -> outcome_of_option outcome
       | None -> (
+          let scheds =
+            if kernel = Some Kernel.Reference then Some (Cache.scheds c ~n)
+            else None
+          in
           match
-            search_uncached ~scheds:(Cache.scheds c ~n) ?obs ?deadline pool condition t ~n
+            search_uncached ?scheds ?obs ?deadline ?kernel pool condition t ~n
           with
           | Found cert ->
               Cache.publish c ~key (Some cert);
@@ -234,8 +312,8 @@ let search_within ?cache ?obs ?deadline pool condition t ~n =
               Cache.record_expired c;
               Expired))
 
-let search ?cache ?obs pool condition t ~n =
-  match search_within ?cache ?obs pool condition t ~n with
+let search ?cache ?obs ?kernel pool condition t ~n =
+  match search_within ?cache ?obs ?kernel pool condition t ~n with
   | Found c -> Some c
   | Refuted -> None
   | Expired -> assert false (* no deadline was given *)
@@ -244,7 +322,7 @@ let condition_name = function
   | Decide.Discerning -> "discerning"
   | Decide.Recording -> "recording"
 
-let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline pool condition t =
+let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline ?kernel pool condition t =
   if cap < 2 then invalid_arg "Engine: cap must be at least 2";
   let rec loop n best =
     if n > cap then
@@ -258,7 +336,7 @@ let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline pool condition t =
               ("condition", condition_name condition);
               ("n", string_of_int n);
             ]
-          (fun () -> search_within ?cache ?obs ?deadline pool condition t ~n)
+          (fun () -> search_within ?cache ?obs ?deadline ?kernel pool condition t ~n)
       in
       match outcome with
       | Found c -> loop (n + 1) (Some c)
@@ -271,17 +349,17 @@ let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline pool condition t =
   in
   loop 2 None
 
-let max_discerning ?cache ?obs ?cap ?deadline pool t =
-  scan ?cache ?obs ?cap ?deadline pool Decide.Discerning t
+let max_discerning ?cache ?obs ?cap ?deadline ?kernel pool t =
+  scan ?cache ?obs ?cap ?deadline ?kernel pool Decide.Discerning t
 
-let max_recording ?cache ?obs ?cap ?deadline pool t =
-  scan ?cache ?obs ?cap ?deadline pool Decide.Recording t
+let max_recording ?cache ?obs ?cap ?deadline ?kernel pool t =
+  scan ?cache ?obs ?cap ?deadline ?kernel pool Decide.Recording t
 
-let analyze ?cache ?obs ?cap ?deadline pool t =
+let analyze ?cache ?obs ?cap ?deadline ?kernel pool t =
   Obs.with_span ?obs "engine.analyze" ~attrs:[ ("type", t.Objtype.name) ] @@ fun () ->
   let started = Obs.Clock.now () in
-  let discerning = max_discerning ?cache ?obs ?cap ?deadline pool t in
-  let recording = max_recording ?cache ?obs ?cap ?deadline pool t in
+  let discerning = max_discerning ?cache ?obs ?cap ?deadline ?kernel pool t in
+  let recording = max_recording ?cache ?obs ?cap ?deadline ?kernel pool t in
   {
     Analysis.type_name = t.Objtype.name;
     readable = Objtype.is_readable t;
@@ -290,23 +368,27 @@ let analyze ?cache ?obs ?cap ?deadline pool t =
     elapsed = Obs.Clock.now () -. started;
   }
 
-let analyze_all ?cache ?obs ?cap ?deadline pool types =
+let analyze_all ?cache ?obs ?cap ?deadline ?kernel pool types =
   let cache = match cache with Some c -> c | None -> Cache.create ?obs () in
-  List.map (analyze ~cache ?obs ?cap ?deadline pool) types
+  List.map (analyze ~cache ?obs ?cap ?deadline ?kernel pool) types
 
 (* Truncated levels of one census table, replaying against the shared
    schedule sets.  Matches [Census.levels] (the same [Decide.search] on the
    same schedules), without caching per-type outcomes: census tables are
    pairwise distinct, so an outcome memo would only grow. *)
-let census_levels cache ~cap ty =
+let census_levels ?obs cache ~kernel ~cap ty =
   let level condition =
     let rec loop n =
       if n > cap then cap
       else
-        let scheds = Cache.scheds cache ~n in
-        match Decide.search ~scheds condition ty ~n with
-        | Some _ -> loop (n + 1)
-        | None -> n - 1
+        let found =
+          match kernel with
+          | Kernel.Reference ->
+              let scheds = Cache.scheds cache ~n in
+              Decide.search ~scheds ~mode:Kernel.Reference condition ty ~n
+          | mode -> Decide.search ?obs ~mode condition ty ~n
+        in
+        match found with Some _ -> loop (n + 1) | None -> n - 1
     in
     loop 2
   in
@@ -362,16 +444,20 @@ module Checkpoint = struct
               loop [])
 end
 
-let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false) pool space =
+let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false)
+    ?(kernel = Kernel.Trie) pool space =
   Obs.with_span ?obs "engine.census" @@ fun () ->
   let cache = match cache with Some c -> c | None -> Cache.create ?obs () in
   let size = Census.space_size space in
   let c_tables = Option.map (fun o -> Obs.counter o "census.tables") obs in
   let c_flushes = Option.map (fun o -> Obs.counter o "census.checkpoint_flushes") obs in
   let c_skips = Option.map (fun o -> Obs.counter o "census.resume_skips") obs in
-  (* Warm the schedule memo on the submitting domain so workers only read. *)
+  (* Warm the shared per-[n] structures (schedule memo / compiled tries)
+     on the submitting domain so workers only read. *)
   for n = 2 to cap do
-    ignore (Cache.scheds cache ~n)
+    match kernel with
+    | Kernel.Reference -> ignore (Cache.scheds cache ~n)
+    | Kernel.Tables | Kernel.Trie -> Kernel.warm_trie ?obs ~nprocs:n ()
   done;
   let levels = Array.make size (0, 0) in
   let finished = Array.make size false in
@@ -420,7 +506,7 @@ let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false) pool s
              while !i < hi && not (expired deadline) do
                if not finished.(!i) then begin
                  let ty = Synth.to_objtype (Census.genome_of_index space !i) in
-                 levels.(!i) <- census_levels cache ~cap ty;
+                 levels.(!i) <- census_levels ?obs cache ~kernel ~cap ty;
                  finished.(!i) <- true;
                  fresh := !i :: !fresh
                end;

@@ -100,6 +100,7 @@ val search_within :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
   ?deadline:float ->
+  ?kernel:Kernel.mode ->
   Pool.t ->
   Decide.condition ->
   Objtype.t ->
@@ -108,11 +109,18 @@ val search_within :
 (** Deadline-aware witness search.  Without [deadline] this is exactly
     {!search} (and never returns [Expired]); with one, every domain polls
     the clock per candidate and the sweep returns [Expired] as soon as it
-    fires without having found a witness. *)
+    fires without having found a witness.
+
+    [kernel] (default [Kernel.Trie]) selects the decider implementation
+    (see {!Kernel.mode}).  The kernel modes fan the compiled kernel's
+    dense rank space out over the pool — no candidate materialization —
+    and return bit-identical certificates to the reference at any job
+    count (pinned by parity tests at jobs 1/2/4). *)
 
 val search :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
+  ?kernel:Kernel.mode ->
   Pool.t ->
   Decide.condition ->
   Objtype.t ->
@@ -128,6 +136,7 @@ val max_discerning :
   ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
+  ?kernel:Kernel.mode ->
   Pool.t ->
   Objtype.t ->
   Analysis.level
@@ -137,6 +146,7 @@ val max_recording :
   ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
+  ?kernel:Kernel.mode ->
   Pool.t ->
   Objtype.t ->
   Analysis.level
@@ -150,6 +160,7 @@ val analyze :
   ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
+  ?kernel:Kernel.mode ->
   Pool.t ->
   Objtype.t ->
   Analysis.t
@@ -164,6 +175,7 @@ val analyze_all :
   ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
+  ?kernel:Kernel.mode ->
   Pool.t ->
   Objtype.t list ->
   Analysis.t list
@@ -203,6 +215,7 @@ val census :
   ?deadline:float ->
   ?checkpoint:string ->
   ?resume:bool ->
+  ?kernel:Kernel.mode ->
   Pool.t ->
   Synth.space ->
   census_run

@@ -69,6 +69,67 @@ let at_most_once_of procs =
 
 let at_most_once ~nprocs = at_most_once_of (List.init nprocs Fun.id)
 
+(* The at-most-once schedule set is prefix-closed (dropping the last step of
+   a distinct-process sequence leaves a distinct-process sequence), so it
+   compiles into a prefix trie whose nodes are exactly the schedules.  The
+   (length, lex) order of [at_most_once] puts every prefix before its
+   extensions, giving a parent-before-child node numbering for free: one
+   forward pass over the node arrays folds *all* schedules at once, visiting
+   each transition exactly once instead of refolding shared prefixes. *)
+module Trie = struct
+  type t = {
+    nprocs : int;
+    num_nodes : int;
+    parent : int array;
+    proc : int array;
+    first : int array;
+    depth : int array;
+  }
+
+  let of_nprocs ~nprocs =
+    if nprocs < 1 then invalid_arg "Sched.Trie.of_nprocs: need nprocs >= 1";
+    let scheds = at_most_once ~nprocs in
+    let num_nodes = List.length scheds in
+    let parent = Array.make num_nodes (-1) in
+    let proc = Array.make num_nodes (-1) in
+    let first = Array.make num_nodes (-1) in
+    let depth = Array.make num_nodes 0 in
+    let ids = Hashtbl.create (2 * num_nodes) in
+    List.iteri
+      (fun id sched ->
+        Hashtbl.add ids sched id;
+        match sched with
+        | [] -> ()
+        | f :: _ ->
+            let prefix = List.filteri (fun i _ -> i < List.length sched - 1) sched in
+            let last = List.nth sched (List.length sched - 1) in
+            let pid = Hashtbl.find ids prefix in
+            parent.(id) <- pid;
+            proc.(id) <- last;
+            first.(id) <- f;
+            depth.(id) <- depth.(pid) + 1)
+      scheds;
+    { nprocs; num_nodes; parent; proc; first; depth }
+
+  let nprocs t = t.nprocs
+  let num_nodes t = t.num_nodes
+  let parent t = t.parent
+  let proc t = t.proc
+  let first t = t.first
+  let depth t = t.depth
+
+  let total_steps t = Array.fold_left ( + ) 0 t.depth
+
+  (* Reconstruct node [id]'s schedule by walking parents — for tests and
+     witnesses, not the hot path. *)
+  let schedule t id =
+    let rec up id acc = if id <= 0 then acc else up t.parent.(id) (t.proc.(id) :: acc) in
+    if id < 0 || id >= t.num_nodes then invalid_arg "Sched.Trie.schedule: node out of range";
+    up id []
+
+  let schedules t = List.init t.num_nodes (schedule t)
+end
+
 let at_most_once_count n =
   (* sum_{k=0}^{n} n!/(n-k)!, computed with an incrementally maintained
      falling factorial P(n,k). *)

@@ -64,6 +64,54 @@ val at_most_once_of : proc list -> proc list list
 val at_most_once_count : int -> int
 (** Closed-form cardinality of {!at_most_once} for [n] processes. *)
 
+(** {!at_most_once} compiled into a prefix trie.
+
+    The at-most-once set is prefix-closed, so its schedules are in bijection
+    with the nodes of a trie; node ids follow the (length, lex) order of
+    {!at_most_once} — node [0] is the empty schedule and every parent
+    precedes its children — so a single forward pass over the arrays folds
+    every schedule at once, visiting each shared prefix exactly once.  This
+    is the schedule half of the decision kernel ([Kernel] in the core
+    library); everything here is immutable after construction and safe to
+    share across domains. *)
+module Trie : sig
+  type t
+
+  val of_nprocs : nprocs:int -> t
+  (** Compile [at_most_once ~nprocs].  @raise Invalid_argument when
+      [nprocs < 1]. *)
+
+  val nprocs : t -> int
+
+  val num_nodes : t -> int
+  (** [at_most_once_count nprocs] — one node per schedule. *)
+
+  val parent : t -> int array
+  (** [parent.(i)] is the node of schedule [i] minus its last step
+      ([-1] for the root); always [< i]. *)
+
+  val proc : t -> int array
+  (** The process stepping last in node [i]'s schedule ([-1] at the root). *)
+
+  val first : t -> int array
+  (** The first process of node [i]'s schedule ([-1] at the root) — the
+      process whose team classifies the schedule's final value. *)
+
+  val depth : t -> int array
+  (** Schedule length per node. *)
+
+  val total_steps : t -> int
+  (** Sum of all schedule lengths — the step count a trie-less replay of the
+      whole set would pay per candidate. *)
+
+  val schedule : t -> int -> proc list
+  (** Node [id]'s schedule, rebuilt by walking parents (not a hot path).
+      @raise Invalid_argument when [id] is out of range. *)
+
+  val schedules : t -> proc list list
+  (** All schedules in node order — equals [at_most_once ~nprocs]. *)
+end
+
 val nonempty_starting_with : nprocs:int -> first:proc list -> proc list list
 (** The nonempty members of [S(P)] whose first process belongs to [first]. *)
 

@@ -136,6 +136,58 @@ let test_search_parity_gallery () =
       (Gallery.x4_witness, 5);
     ]
 
+let test_kernel_mode_parity () =
+  (* The acceptance pin for the compiled kernel: every mode, at every job
+     count, returns a certificate bit-identical to the sequential
+     reference decider's (or the same refutation). *)
+  List.iter
+    (fun (ty, n) ->
+      List.iter
+        (fun condition ->
+          let reference = Decide.search ~mode:Kernel.Reference condition ty ~n in
+          List.iter
+            (fun mode ->
+              List.iter
+                (fun jobs ->
+                  Pool.with_pool ~jobs @@ fun pool ->
+                  match (reference, Engine.search ~kernel:mode pool condition ty ~n) with
+                  | None, None -> ()
+                  | Some a, Some b ->
+                      check_bool
+                        (Printf.sprintf "%s n=%d %s jobs=%d same witness"
+                           ty.Objtype.name n (Kernel.mode_to_string mode) jobs)
+                        true (cert_equal a b)
+                  | _ ->
+                      Alcotest.failf "%s n=%d %s jobs=%d: outcome mismatch"
+                        ty.Objtype.name n (Kernel.mode_to_string mode) jobs)
+                job_counts)
+            [ Kernel.Reference; Kernel.Tables; Kernel.Trie ])
+        [ Decide.Discerning; Decide.Recording ])
+    [
+      (Gallery.test_and_set, 2);
+      (Gallery.test_and_set, 3);
+      (Gallery.team_ladder ~cap:2, 3);
+      (Gallery.x4_witness, 3);
+    ]
+
+let test_census_kernel_mode_parity () =
+  (* Identical histograms from all three kernel modes on the exhaustible
+     2/2/2 space, at jobs 4 (the fan-out path). *)
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  let seq = Census.exhaustive ~cap:3 space in
+  List.iter
+    (fun mode ->
+      Pool.with_pool ~jobs:4 @@ fun pool ->
+      let run = Engine.census ~cap:3 ~kernel:mode pool space in
+      check_bool
+        (Printf.sprintf "%s census complete" (Kernel.mode_to_string mode))
+        true run.Engine.complete;
+      check_bool
+        (Printf.sprintf "%s histogram identical" (Kernel.mode_to_string mode))
+        true
+        (run.Engine.entries = seq))
+    [ Kernel.Reference; Kernel.Tables; Kernel.Trie ]
+
 let level_parity condition (seq : Analysis.level) (par : Analysis.level) =
   Analysis.equal_level seq par
   &&
@@ -357,13 +409,16 @@ let test_expired_deadline_portfolio () =
 let test_cache_second_query_is_free () =
   Pool.with_pool ~jobs:1 @@ fun pool ->
   let cache = Engine.Cache.create () in
-  let a1 = Engine.analyze ~cache ~cap:3 pool Gallery.test_and_set in
+  (* The schedule memo feeds the reference decider (the kernel shares
+     compiled tries internally), so this pin runs the reference path. *)
+  let kernel = Kernel.Reference in
+  let a1 = Engine.analyze ~cache ~cap:3 ~kernel pool Gallery.test_and_set in
   let s1 = Engine.Cache.stats cache in
   check_bool "first analysis computes outcomes" true (s1.Engine.Cache.misses > 0);
   check_int "no outcome hits yet" 0 s1.Engine.Cache.hits;
   check_int "schedule sets enumerated once per n (n = 2, 3)" 2
     s1.Engine.Cache.sched_misses;
-  let a2 = Engine.analyze ~cache ~cap:3 pool Gallery.test_and_set in
+  let a2 = Engine.analyze ~cache ~cap:3 ~kernel pool Gallery.test_and_set in
   let s2 = Engine.Cache.stats cache in
   check_int "second analysis recomputes nothing" s1.Engine.Cache.misses
     s2.Engine.Cache.misses;
@@ -501,6 +556,10 @@ let suite =
     Alcotest.test_case "pool cooperative cancellation" `Quick test_pool_until;
     Alcotest.test_case "pool argument validation" `Quick test_pool_validation;
     Alcotest.test_case "search parity on gallery anchors" `Slow test_search_parity_gallery;
+    Alcotest.test_case "kernel modes match the reference at jobs 1/2/4" `Slow
+      test_kernel_mode_parity;
+    Alcotest.test_case "census parity across kernel modes" `Slow
+      test_census_kernel_mode_parity;
     Alcotest.test_case "analyze_all parity on the gallery" `Slow test_analyze_all_gallery_parity;
     Alcotest.test_case "census parity on the 2/2/2 space" `Slow test_census_parity;
     Alcotest.test_case "census checkpoint / resume round-trip" `Slow

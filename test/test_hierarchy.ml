@@ -238,6 +238,54 @@ let test_candidate_counts () =
   (* naive count is values * partitions * ops^n = 6 * 3 * 27 *)
   check_int "naive closed form" (6 * 3 * 27) naive
 
+let test_count_closed_form () =
+  (* count_candidates is computed in closed form (binomial products); pin
+     it against an actual fold over the enumeration, pruned and naive, on
+     types spanning value/op/n shapes. *)
+  let len s = Seq.fold_left (fun acc _ -> acc + 1) 0 s in
+  List.iter
+    (fun (ty, n) ->
+      check_int
+        (Printf.sprintf "%s n=%d pruned count" ty.Objtype.name n)
+        (len (Decide.candidates ty ~n))
+        (Decide.count_candidates ty ~n);
+      check_int
+        (Printf.sprintf "%s n=%d naive count" ty.Objtype.name n)
+        (len (Decide.candidates ~naive:true ty ~n))
+        (Decide.count_candidates ~naive:true ty ~n))
+    [
+      (Gallery.test_and_set, 2);
+      (Gallery.test_and_set, 3);
+      (Gallery.test_and_set, 4);
+      (Gallery.register 2, 3);
+      (Gallery.team_ladder ~cap:2, 3);
+      (Gallery.team_ladder ~cap:2, 4);
+    ]
+
+let test_kernel_rank_enumeration () =
+  (* The kernel's rank/unrank must walk exactly the reference enumeration:
+     same total, and candidate i = the i-th element of Decide.candidates.
+     This is the invariant the deterministic chunked fan-out rests on. *)
+  List.iter
+    (fun (ty, n) ->
+      let k = Kernel.compile ty ~n in
+      check_int
+        (Printf.sprintf "%s n=%d total = closed form" ty.Objtype.name n)
+        (Decide.count_candidates ty ~n) (Kernel.total k);
+      let last =
+        Seq.fold_left
+          (fun i (u, team, ops) ->
+            let u', team', ops' = Kernel.candidate k i in
+            check_bool
+              (Printf.sprintf "%s n=%d rank %d matches" ty.Objtype.name n i)
+              true
+              (u = u' && team = team' && ops = ops');
+            i + 1)
+          0 (Decide.candidates ty ~n)
+      in
+      check_int "enumeration exhausts the rank space" (Kernel.total k) last)
+    [ (Gallery.test_and_set, 3); (Gallery.team_ladder ~cap:2, 3); (Gallery.register 2, 4) ]
+
 let test_decider_rejects_small_n () =
   check_bool "n=1 rejected" true
     (try
@@ -475,6 +523,42 @@ let prop_decider_certificates_replay =
           | None -> true)
         [ 2; 3 ])
 
+let prop_kernel_matches_reference =
+  (* The differential pin for the compiled kernel: on random small types
+     (up to 4 values, 3 RMW operations) all three modes agree with the
+     reference checkers on is_discerning / is_recording at n = 2 and 3,
+     and when a witness exists the certificates are byte-identical. *)
+  let space = { Synth.num_values = 4; num_rws = 3; num_responses = 3 } in
+  let arbitrary =
+    QCheck.make
+      ~print:(fun g -> Format.asprintf "%a" Objtype.pp_table (Synth.to_objtype g))
+      (QCheck.Gen.map
+         (fun seed -> Synth.random_genome (Random.State.make [| seed |]) space)
+         QCheck.Gen.int)
+  in
+  let cert_equal (a : Certificate.t option) (b : Certificate.t option) =
+    match (a, b) with
+    | None, None -> true
+    | Some a, Some b ->
+        a.Certificate.initial = b.Certificate.initial
+        && a.Certificate.team = b.Certificate.team
+        && a.Certificate.ops = b.Certificate.ops
+    | _ -> false
+  in
+  QCheck.Test.make ~name:"kernel modes match the reference decider" ~count:60 arbitrary
+    (fun g ->
+      let ty = Synth.to_objtype g in
+      List.for_all
+        (fun n ->
+          List.for_all
+            (fun condition ->
+              let reference = Decide.search ~mode:Kernel.Reference condition ty ~n in
+              let tables = Decide.search ~mode:Kernel.Tables condition ty ~n in
+              let trie = Decide.search ~mode:Kernel.Trie condition ty ~n in
+              cert_equal reference tables && cert_equal reference trie)
+            [ Decide.Discerning; Decide.Recording ])
+        [ 2; 3 ])
+
 let suite =
   [
     Alcotest.test_case "certificate validation" `Quick test_certificate_validation;
@@ -496,6 +580,9 @@ let suite =
     Alcotest.test_case "discerning/recording downward closure" `Slow test_downward_closure;
     Alcotest.test_case "naive and pruned search agree" `Quick test_naive_vs_pruned_search;
     Alcotest.test_case "candidate counting" `Quick test_candidate_counts;
+    Alcotest.test_case "closed-form counts match enumeration" `Quick test_count_closed_form;
+    Alcotest.test_case "kernel rank/unrank walks the reference enumeration" `Quick
+      test_kernel_rank_enumeration;
     Alcotest.test_case "decider rejects n < 2" `Quick test_decider_rejects_small_n;
     Alcotest.test_case "lazy certificate stream" `Quick test_certificates_seq;
     Alcotest.test_case "parallel decider agrees with serial" `Slow test_parallel_search_agrees;
@@ -510,4 +597,5 @@ let suite =
     Alcotest.test_case "recording never exceeds discerning" `Slow test_recording_at_most_discerning;
     Alcotest.test_case "DFFR: readable gap at most 2" `Slow test_dffr_gap_at_most_2;
     QCheck_alcotest.to_alcotest prop_decider_certificates_replay;
+    QCheck_alcotest.to_alcotest prop_kernel_matches_reference;
   ]

@@ -82,6 +82,48 @@ let test_of_string () =
   Alcotest.(check bool) "parses crash-all" true
     (Sched.of_string "C*" = Ok [ Sched.crash_all ])
 
+let test_trie_pins () =
+  (* The compiled prefix trie is just S(P) in disguise: same schedules in
+     node order, one node per schedule, parents strictly before children,
+     and the depth/first/proc arrays agree with the rebuilt schedules. *)
+  List.iter
+    (fun nprocs ->
+      let trie = Sched.Trie.of_nprocs ~nprocs in
+      check_int
+        (Printf.sprintf "nprocs=%d node count" nprocs)
+        (Sched.at_most_once_count nprocs)
+        (Sched.Trie.num_nodes trie);
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "nprocs=%d schedules" nprocs)
+        (Sched.at_most_once ~nprocs)
+        (Sched.Trie.schedules trie);
+      let parent = Sched.Trie.parent trie
+      and proc = Sched.Trie.proc trie
+      and first = Sched.Trie.first trie
+      and depth = Sched.Trie.depth trie in
+      let steps = ref 0 in
+      for i = 0 to Sched.Trie.num_nodes trie - 1 do
+        check_bool (Printf.sprintf "nprocs=%d node %d parent precedes" nprocs i) true
+          (parent.(i) < i);
+        let sched = Sched.Trie.schedule trie i in
+        steps := !steps + List.length sched;
+        check_int (Printf.sprintf "nprocs=%d node %d depth" nprocs i)
+          (List.length sched) depth.(i);
+        match sched with
+        | [] ->
+            check_int "root has no first" (-1) first.(i);
+            check_int "root has no proc" (-1) proc.(i)
+        | hd :: _ ->
+            check_int (Printf.sprintf "nprocs=%d node %d first" nprocs i) hd first.(i);
+            check_int
+              (Printf.sprintf "nprocs=%d node %d last step" nprocs i)
+              (List.nth sched (List.length sched - 1))
+              proc.(i)
+      done;
+      check_int (Printf.sprintf "nprocs=%d total steps" nprocs) !steps
+        (Sched.Trie.total_steps trie))
+    [ 1; 2; 3; 4 ]
+
 let prop_at_most_once_of_ignores_duplicates =
   QCheck.Test.make ~name:"at_most_once_of deduplicates its input" ~count:50
     QCheck.(list_of_size (QCheck.Gen.int_bound 5) (int_bound 3))
@@ -99,5 +141,6 @@ let suite =
     Alcotest.test_case "permutations" `Quick test_permutations;
     Alcotest.test_case "exhaustive interleavings" `Quick test_interleavings;
     Alcotest.test_case "schedule parsing" `Quick test_of_string;
+    Alcotest.test_case "prefix trie mirrors S(P)" `Quick test_trie_pins;
     QCheck_alcotest.to_alcotest prop_at_most_once_of_ignores_duplicates;
   ]

@@ -8,7 +8,10 @@
    - the cache accounting invariant holds:
        engine.cache.hits + engine.cache.misses + engine.cache.expired
          = engine.cache.probes
-   - every counter named on the command line as `--require NAME` exists.
+   - every counter named on the command line as `--require NAME` exists;
+   - every counter named as `--require-nonzero NAME` exists and is > 0
+     (the form the kernel counters are validated with: a smoke run that
+     never compiled a trie or evaluated a candidate is not a smoke run).
 
    Dependency-free on purpose (the repo vendors no JSON library): the
    stats line is machine-written with a fixed key order and no whitespace,
@@ -39,12 +42,15 @@ let int_field line key =
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("stats_check: " ^ m); exit 1) fmt
 
 let () =
-  let required = ref [] and inputs = ref [] in
+  let required = ref [] and required_nonzero = ref [] and inputs = ref [] in
   let rec parse = function
     | "--require" :: name :: rest ->
         required := name :: !required;
         parse rest
-    | "--require" :: [] -> fail "--require needs a counter name"
+    | "--require-nonzero" :: name :: rest ->
+        required_nonzero := name :: !required_nonzero;
+        parse rest
+    | ("--require" | "--require-nonzero") :: [] -> fail "--require needs a counter name"
     | path :: rest ->
         inputs := path :: !inputs;
         parse rest
@@ -88,9 +94,18 @@ let () =
   List.iter
     (fun name -> if int_field line name = None then fail "missing required counter %s" name)
     !required;
+  List.iter
+    (fun name ->
+      match int_field line name with
+      | None -> fail "missing required counter %s" name
+      | Some 0 -> fail "required counter %s is zero" name
+      | Some v when v < 0 -> fail "required counter %s is negative (%d)" name v
+      | Some _ -> ())
+    !required_nonzero;
+  let all_required = List.rev_append !required_nonzero (List.rev !required) in
   Printf.printf
     "stats_check: ok (probes %d = hits %d + misses %d + expired %d%s)\n" probes hits
     misses expired
-    (match !required with
+    (match all_required with
     | [] -> ""
-    | rs -> Printf.sprintf "; required counters present: %s" (String.concat ", " (List.rev rs)))
+    | rs -> Printf.sprintf "; required counters present: %s" (String.concat ", " rs))
