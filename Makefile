@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-e18 inject-smoke stats-smoke clean
+.PHONY: all build test check bench bench-e18 bench-e19 inject-smoke stats-smoke soak-smoke clean
 
 all: build
 
@@ -10,8 +10,8 @@ test:
 
 # What CI runs: full build, the whole test suite (including the engine
 # parity properties), a parallel-engine smoke through the CLI, the
-# fault-injection smoke, and the stats-export smoke.
-check: build test inject-smoke stats-smoke
+# fault-injection smoke, the stats-export smoke, and the kill(-9) soak.
+check: build test inject-smoke stats-smoke soak-smoke
 	dune exec bin/rcn.exe -- analyze test-and-set --cap 3 --jobs 2
 
 # Stats-export smoke: run an instrumented analyze on a gallery type, keep
@@ -46,6 +46,33 @@ bench:
 bench-e18: build
 	./_build/default/bench/e18.exe
 
+# E19 supervision overhead (unsupervised vs supervised vs 1% chunk
+# chaos); writes BENCH_e19.json for CI to archive and exits nonzero if
+# the failure-free retry layer costs more than 2%, a histogram diverges,
+# or the chaos run heals no retries.
+bench-e19: build
+	./_build/default/bench/e19.exe
+
+# Self-healing smoke, two halves (binaries invoked directly — see the
+# stats-smoke note on the _build lock):
+#  1. retry injection: a census where half the chunks fail their first
+#     attempt must still complete, and the stats checker gates on the
+#     retry counter actually moving (the quarantine ledger is archived);
+#  2. the kill(-9) soak: `rcn soak` SIGKILLs a real checkpointing census
+#     child at 5 seeded progress points, resumes it to completion, and
+#     asserts the recovered histogram is bit-identical to an
+#     uninterrupted reference.
+soak-smoke: build
+	./_build/default/bin/rcn.exe census --values 2 --rws 2 --responses 2 --cap 3 \
+	  --jobs 2 --retries 3 --chaos-rate 0.5 --chaos-seed 7 \
+	  --quarantine-report retry-quarantine.json --stats json \
+	  | tee soak-smoke.out \
+	  | ./_build/default/tools/stats_check.exe --require-nonzero supervise.retries \
+	      --require supervise.quarantined --require census.tables
+	./_build/default/bin/rcn.exe soak --values 3 --rws 2 --responses 2 --cap 3 \
+	  --kills 5 --seed 1 --jobs 2 --checkpoint soak-census.ckpt
+
 clean:
 	dune clean
-	rm -f inject-report.txt stats-smoke.out BENCH_e18.json
+	rm -f inject-report.txt stats-smoke.out BENCH_e18.json BENCH_e19.json \
+	  retry-quarantine.json soak-smoke.out soak-census.ckpt

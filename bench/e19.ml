@@ -1,0 +1,38 @@
+(* Standalone entry point for the E19 supervision-overhead bench
+   (make bench-e19): runs the comparison, writes BENCH_e19.json, and
+   fails loudly if the failure-free retry layer costs more than the 2%
+   acceptance ceiling, if a run's histogram diverges, or if the chaos
+   run fails to exercise (and heal) any retries. *)
+
+let overhead_ceiling = 0.02
+let chaos_ceiling = 0.50
+
+let () =
+  let rows = Supervise_overhead.run () in
+  List.iter
+    (fun (row : Supervise_overhead.row) ->
+      if not row.Supervise_overhead.identical then begin
+        Printf.eprintf "e19: %s (jobs=%d) histograms diverge or run incomplete\n"
+          row.Supervise_overhead.name row.Supervise_overhead.jobs;
+        exit 1
+      end;
+      if row.Supervise_overhead.overhead > overhead_ceiling then begin
+        Printf.eprintf "e19: %s (jobs=%d) failure-free overhead %.2f%% exceeds the %.0f%% ceiling\n"
+          row.Supervise_overhead.name row.Supervise_overhead.jobs
+          (100.0 *. row.Supervise_overhead.overhead)
+          (100.0 *. overhead_ceiling);
+        exit 1
+      end;
+      if row.Supervise_overhead.retries = 0 then begin
+        Printf.eprintf "e19: %s (jobs=%d) chaos run healed no retries — injection dead?\n"
+          row.Supervise_overhead.name row.Supervise_overhead.jobs;
+        exit 1
+      end;
+      if row.Supervise_overhead.chaos_overhead > chaos_ceiling then begin
+        Printf.eprintf "e19: %s (jobs=%d) 1%%-chaos recovery cost %.2f%% exceeds the %.0f%% ceiling\n"
+          row.Supervise_overhead.name row.Supervise_overhead.jobs
+          (100.0 *. row.Supervise_overhead.chaos_overhead)
+          (100.0 *. chaos_ceiling);
+        exit 1
+      end)
+    rows

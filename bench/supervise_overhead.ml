@@ -1,0 +1,114 @@
+(* E19 — the self-healing tax: what does running every chunk through the
+   supervision layer cost when nothing fails, and what does recovery cost
+   when 1% of chunks do?  Emits machine-readable BENCH_e19.json (the CI
+   artifact recording the trajectory) alongside the printed section.
+
+   Methodology: each configuration is timed [runs] times and the minimum
+   is kept — the standard floor estimator, robust against scheduler noise
+   that a mean would smear into false regressions.  The failure-free gate
+   is an overhead ceiling; the chaos row is gated on *honesty* (complete,
+   bit-identical histogram, retries actually exercised) with a loose time
+   ceiling, since its cost is dominated by the injected failures, not by
+   the layer. *)
+
+let time f =
+  let t0 = Obs.Clock.now () in
+  let r = f () in
+  (r, Obs.Clock.now () -. t0)
+
+let min_of_runs ~runs f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to runs do
+    let r, t = time f in
+    if t < !best then best := t;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+type row = {
+  name : string;
+  jobs : int;
+  baseline_s : float;  (* unsupervised *)
+  supervised_s : float;  (* supervised, failure-free *)
+  chaos_s : float;  (* supervised, 1% of chunks fail once *)
+  overhead : float;  (* (supervised - baseline) / baseline *)
+  chaos_overhead : float;  (* (chaos - baseline) / baseline *)
+  retries : int;  (* retries healed during the chaos run *)
+  identical : bool;  (* all three runs produced the same histogram *)
+}
+
+(* Sub-millisecond backoffs: the bench measures the layer, not the sleep. *)
+let bench_policy = Supervise.Policy.v ~max_attempts:3 ~base_backoff:1e-4 ~max_backoff:1e-3 ()
+
+let census_workload ~runs ~jobs =
+  let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
+  let census ?supervisor () =
+    Pool.with_pool ~jobs @@ fun pool -> Engine.census ~cap:3 ?supervisor pool space
+  in
+  let base, baseline_s = min_of_runs ~runs (fun () -> census ()) in
+  Printf.printf "  census {3,2,2} cap 3 unsupervised   jobs=%d: %8.3fs\n%!" jobs baseline_s;
+  let sup, supervised_s =
+    min_of_runs ~runs (fun () ->
+        census ~supervisor:(Supervise.create ~policy:bench_policy ()) ())
+  in
+  Printf.printf "  census {3,2,2} cap 3 supervised     jobs=%d: %8.3fs\n%!" jobs supervised_s;
+  (* 1% of chunks fail their first attempt; every failure heals on retry. *)
+  let chaos_sup = ref None in
+  let chaos, chaos_s =
+    min_of_runs ~runs (fun () ->
+        let chaos = Supervise.Chaos.create ~attempts:1 ~rate:0.01 ~seed:19 () in
+        let s = Supervise.create ~policy:bench_policy ~chaos () in
+        chaos_sup := Some s;
+        census ~supervisor:s ())
+  in
+  let retries = Supervise.retries (Option.get !chaos_sup) in
+  Printf.printf "  census {3,2,2} cap 3 1%% chunk chaos jobs=%d: %8.3fs (%d retries healed)\n%!"
+    jobs chaos_s retries;
+  {
+    name = "e19-census-v3-rw2-resp2-cap3";
+    jobs;
+    baseline_s;
+    supervised_s;
+    chaos_s;
+    overhead = (supervised_s -. baseline_s) /. baseline_s;
+    chaos_overhead = (chaos_s -. baseline_s) /. baseline_s;
+    retries;
+    identical =
+      base.Engine.entries = sup.Engine.entries
+      && base.Engine.entries = chaos.Engine.entries
+      && base.Engine.complete && sup.Engine.complete && chaos.Engine.complete;
+  }
+
+let json_of_rows rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"bench\":\"e19\",\"schema\":1,\"workloads\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":%S,\"jobs\":%d,\"baseline_s\":%.6f,\"supervised_s\":%.6f,\"chaos_s\":%.6f,\"overhead\":%.4f,\"chaos_overhead\":%.4f,\"retries\":%d,\"identical\":%b}"
+           row.name row.jobs row.baseline_s row.supervised_s row.chaos_s row.overhead
+           row.chaos_overhead row.retries row.identical))
+    rows;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let run ?(path = "BENCH_e19.json") ?(runs = 3) () =
+  let title = "E19 — supervision overhead: unsupervised vs supervised vs 1% chunk chaos" in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let jobs1 = census_workload ~runs ~jobs:1 in
+  let jobs4 = census_workload ~runs ~jobs:4 in
+  let rows = [ jobs1; jobs4 ] in
+  List.iter
+    (fun row ->
+      Printf.printf
+        "%-30s jobs=%d: overhead %+.2f%%, chaos recovery %+.2f%% (%d retries, identical: %b)\n"
+        row.name row.jobs (100.0 *. row.overhead)
+        (100.0 *. row.chaos_overhead)
+        row.retries row.identical)
+    rows;
+  Out_channel.with_open_text path (fun oc -> output_string oc (json_of_rows rows));
+  Printf.printf "wrote %s\n" path;
+  rows

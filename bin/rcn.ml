@@ -40,40 +40,140 @@ let resolve_deadline = function
    context ([--trace FILE] selects the JSONL sink), run the command body
    (which returns its exit code instead of calling [exit], so the stats
    block still prints on failure paths like a PARTIAL census), render
-   [--stats] to stdout, close the sink, then exit. *)
+   [--stats] to stdout, close the sink, then exit.
+
+   SIGINT and SIGTERM are caught for the duration of the body: telemetry
+   is flushed — the [--stats] block prints what was counted so far and
+   the JSONL sink is closed so no trace line is lost to stdio buffering —
+   and the process exits with the conventional [128 + signal] code.
+   Handlers run at OCaml safe points on the main domain, so the flush
+   never tears a trace line that a worker was emitting. *)
 let with_obs ~command trace stats f =
   let sink =
     match trace with Some path -> Obs.Trace.jsonl path | None -> Obs.Trace.null
   in
   let obs = Obs.create ~sink () in
-  let code =
-    Fun.protect ~finally:(fun () -> Obs.Trace.close sink) (fun () -> f obs)
+  let flushed = Atomic.make false in
+  let flush_telemetry () =
+    if Atomic.compare_and_set flushed false true then begin
+      Option.iter (fun fmt -> print_string (Obs.Stats.render ~command obs fmt)) stats;
+      flush stdout;
+      Obs.Trace.close sink
+    end
   in
-  Option.iter (fun fmt -> print_string (Obs.Stats.render ~command obs fmt)) stats;
+  let handle code _signum =
+    flush_telemetry ();
+    exit code
+  in
+  let restore =
+    List.filter_map
+      (fun (signal, code) ->
+        try
+          let prev = Sys.signal signal (Sys.Signal_handle (handle code)) in
+          Some (signal, prev)
+        with Sys_error _ | Invalid_argument _ -> None)
+      [ (Sys.sigint, 130); (Sys.sigterm, 143) ]
+  in
+  let code =
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun (signal, prev) -> Sys.set_signal signal prev) restore;
+        flush_telemetry ())
+      (fun () -> f obs)
+  in
   if code <> 0 then exit code
+
+(* ------------------------------------------------------------------ *)
+(* supervision: the self-healing layer behind --retries / --heartbeat /
+   --chaos-rate / --quarantine-report.  A supervisor is only built when
+   one of those flags is present — the default paths stay exactly the
+   unsupervised fast paths. *)
+
+type supervise_opts = {
+  retries : int option;  (* --retries: attempts per chunk before quarantine *)
+  quarantine_report : string option;  (* --quarantine-report FILE *)
+  heartbeat : float option;  (* --heartbeat: watchdog stall interval, seconds *)
+  chaos_rate : float option;  (* --chaos-rate: injected failure probability *)
+  chaos_seed : int;
+  chaos_attempts : int;
+}
+
+let make_supervisor ~obs ~jobs opts =
+  if
+    opts.retries = None && opts.quarantine_report = None && opts.heartbeat = None
+    && opts.chaos_rate = None
+  then None
+  else
+    try
+      let policy =
+        match opts.retries with
+        | None -> Supervise.Policy.default
+        | Some k -> Supervise.Policy.v ~max_attempts:k ()
+      in
+      let chaos =
+        Option.map
+          (fun rate ->
+            Supervise.Chaos.create ~attempts:opts.chaos_attempts ~rate
+              ~seed:opts.chaos_seed ())
+          opts.chaos_rate
+      in
+      let watchdog =
+        Option.map
+          (fun interval -> Supervise.Watchdog.create ~obs ~interval ~jobs ())
+          opts.heartbeat
+      in
+      Some (Supervise.create ~policy ?chaos ?watchdog ~obs ())
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 2
+
+(* Emit the machine-readable quarantine ledger and a human summary; a
+   command that quarantined work must not exit 0 as if it had done it. *)
+let finish_supervised opts supervisor code =
+  match supervisor with
+  | None -> code
+  | Some sup ->
+      Option.iter
+        (fun path ->
+          Supervise.write_report sup path;
+          Printf.printf "quarantine report written to %s\n" path)
+        opts.quarantine_report;
+      let q = Supervise.quarantine_count sup in
+      if q > 0 then begin
+        Printf.printf "SUPERVISED: %d chunk%s quarantined (results degraded, not lost)\n" q
+          (if q = 1 then "" else "s");
+        if code = 0 then 3 else code
+      end
+      else code
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
-let analyze ty cap certs jobs kernel deadline trace stats =
+let analyze ty cap certs jobs kernel deadline sup_opts trace stats =
   with_obs ~command:"analyze" trace stats @@ fun obs ->
-  Pool.with_pool ~obs ~jobs:(resolve_jobs jobs) @@ fun pool ->
-  let cache = Engine.Cache.create ~obs () in
-  let a =
-    Engine.analyze ~cache ~obs ~cap ~kernel ?deadline:(resolve_deadline deadline) pool ty
+  let jobs = resolve_jobs jobs in
+  let supervisor = make_supervisor ~obs ~jobs sup_opts in
+  let code =
+    Pool.with_pool ~obs ~jobs @@ fun pool ->
+    let cache = Engine.Cache.create ~obs () in
+    let a =
+      Engine.analyze ~cache ~obs ~cap ~kernel ?deadline:(resolve_deadline deadline)
+        ?supervisor pool ty
+    in
+    Format.printf "%a@." Analysis.pp a;
+    if certs then begin
+      (match a.Analysis.discerning.Analysis.certificate with
+      | Some c -> Format.printf "@.discerning witness:@.%a@." Certificate.pp c
+      | None -> ());
+      match a.Analysis.recording.Analysis.certificate with
+      | Some c ->
+          Format.printf "@.recording witness:@.%a@.clean: %b@." Certificate.pp c
+            (Certificate.is_clean c)
+      | None -> ()
+    end;
+    0
   in
-  Format.printf "%a@." Analysis.pp a;
-  if certs then begin
-    (match a.Analysis.discerning.Analysis.certificate with
-    | Some c -> Format.printf "@.discerning witness:@.%a@." Certificate.pp c
-    | None -> ());
-    match a.Analysis.recording.Analysis.certificate with
-    | Some c ->
-        Format.printf "@.recording witness:@.%a@.clean: %b@." Certificate.pp c
-          (Certificate.is_clean c)
-    | None -> ()
-  end;
-  0
+  finish_supervised sup_opts supervisor code
 
 (* ------------------------------------------------------------------ *)
 (* gallery *)
@@ -219,30 +319,36 @@ let trace name n n' schedule_text inputs_text =
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let synth target values rws responses seed iters save portfolio jobs deadline trace stats =
+let synth target values rws responses seed iters save portfolio jobs deadline sup_opts
+    trace stats =
   with_obs ~command:"synth" trace stats @@ fun obs ->
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
+  let jobs = resolve_jobs jobs in
+  let supervisor = make_supervisor ~obs ~jobs sup_opts in
   let witness =
-    Pool.with_pool ~obs ~jobs:(resolve_jobs jobs) @@ fun pool ->
+    Pool.with_pool ~obs ~jobs @@ fun pool ->
     Engine.synth_portfolio ~seed ~max_iterations:iters ~portfolio ~obs
-      ?deadline:(resolve_deadline deadline) pool ~target space
+      ?deadline:(resolve_deadline deadline) ?supervisor pool ~target space
   in
-  match witness with
-  | Some w ->
-      Printf.printf "witness found after %d evaluations:\n" w.Synth.iterations;
-      Format.printf "%a@." Objtype.pp_table w.Synth.objtype;
-      Printf.printf "consensus number %d, recoverable consensus number %d\n"
-        w.Synth.discerning_level w.Synth.recording_level;
-      Option.iter
-        (fun path ->
-          Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc (Objtype.to_spec_string w.Synth.objtype));
-          Printf.printf "saved to %s (re-analyze with `rcn analyze %s`)\n" path path)
-        save;
-      0
-  | None ->
-      Printf.printf "no witness found within %d evaluations\n" iters;
-      1
+  let code =
+    match witness with
+    | Some w ->
+        Printf.printf "witness found after %d evaluations:\n" w.Synth.iterations;
+        Format.printf "%a@." Objtype.pp_table w.Synth.objtype;
+        Printf.printf "consensus number %d, recoverable consensus number %d\n"
+          w.Synth.discerning_level w.Synth.recording_level;
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Objtype.to_spec_string w.Synth.objtype));
+            Printf.printf "saved to %s (re-analyze with `rcn analyze %s`)\n" path path)
+          save;
+        0
+    | None ->
+        Printf.printf "no witness found within %d evaluations\n" iters;
+        1
+  in
+  finish_supervised sup_opts supervisor code
 
 (* ------------------------------------------------------------------ *)
 (* chain (Theorem 13's construction) *)
@@ -284,11 +390,15 @@ let chain name n n' z max_events inputs_text =
 (* census *)
 
 let census values rws responses cap sample_count seed jobs kernel deadline checkpoint
-    resume trace stats =
+    resume durable sup_opts trace stats =
   with_obs ~command:"census" trace stats @@ fun obs ->
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
   if resume && checkpoint = None then begin
     prerr_endline "--resume needs --checkpoint FILE to resume from";
+    exit 2
+  end;
+  if durable && checkpoint = None then begin
+    prerr_endline "--durable needs --checkpoint FILE to make durable";
     exit 2
   end;
   match sample_count with
@@ -296,25 +406,200 @@ let census values rws responses cap sample_count seed jobs kernel deadline check
       Format.printf "%a@." Census.pp (Census.sample ~cap ~seed ~count space);
       0
   | None ->
+      let jobs = resolve_jobs jobs in
+      let supervisor = make_supervisor ~obs ~jobs sup_opts in
       let run =
-        Pool.with_pool ~obs ~jobs:(resolve_jobs jobs) @@ fun pool ->
-        Engine.census ~cap ~obs ~kernel ?deadline:(resolve_deadline deadline) ?checkpoint
-          ~resume pool space
+        Pool.with_pool ~obs ~jobs @@ fun pool ->
+        Engine.census ~cap ~obs ~kernel ?deadline:(resolve_deadline deadline) ?supervisor
+          ?checkpoint ~resume ~durable pool space
       in
       Format.printf "%a@." Census.pp run.Engine.entries;
       if run.Engine.resumed > 0 then
         Printf.printf "resumed %d previously decided tables from checkpoint\n"
           run.Engine.resumed;
-      if run.Engine.complete then 0
-      else begin
-        Printf.printf "PARTIAL: %d of %d tables decided%s\n" run.Engine.completed
-          run.Engine.total
-          (match checkpoint with
-          | Some path ->
-              Printf.sprintf " (re-run with --checkpoint %s --resume to finish)" path
-          | None -> "");
-        3
-      end
+      let code =
+        if run.Engine.complete then 0
+        else begin
+          Printf.printf "PARTIAL: %d of %d tables decided%s\n" run.Engine.completed
+            run.Engine.total
+            (match checkpoint with
+            | Some path ->
+                Printf.sprintf " (re-run with --checkpoint %s --resume to finish)" path
+            | None -> "");
+          3
+        end
+      in
+      finish_supervised sup_opts supervisor code
+
+(* ------------------------------------------------------------------ *)
+(* soak: the kill(-9) chaos harness.  Spawns a real [rcn census
+   --checkpoint --resume] child, SIGKILLs it at seeded progress points,
+   resumes it until it completes, and asserts the recovered histogram is
+   bit-identical to an uninterrupted in-process reference. *)
+
+(* Completed checkpoint records = complete lines minus the header; a
+   torn trailing line (no newline yet) is not counted, matching what the
+   loader will accept. *)
+let count_records path =
+  if not (Sys.file_exists path) then 0
+  else
+    In_channel.with_open_bin path (fun ic ->
+        let n = ref 0 in
+        let rec loop () =
+          match In_channel.input_char ic with
+          | Some '\n' ->
+              incr n;
+              loop ()
+          | Some _ -> loop ()
+          | None -> ()
+        in
+        loop ();
+        max 0 (!n - 1))
+
+let soak values rws responses cap kills seed jobs kernel checkpoint timeout trace stats =
+  with_obs ~command:"soak" trace stats @@ fun obs ->
+  let jobs = resolve_jobs jobs in
+  if kills < 1 then begin
+    prerr_endline "--kills must be >= 1";
+    exit 2
+  end;
+  if timeout <= 0.0 then begin
+    prerr_endline "--timeout must be positive";
+    exit 2
+  end;
+  let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
+  let path, temp =
+    match checkpoint with
+    | Some p -> (p, false)
+    | None -> (Filename.temp_file "rcn_soak" ".ckpt", true)
+  in
+  if Sys.file_exists path then Sys.remove path;
+  (* The uninterrupted truth the recovered run must reproduce. *)
+  let reference =
+    Pool.with_pool ~obs ~jobs @@ fun pool -> Engine.census ~cap ~obs ~kernel pool space
+  in
+  let total = reference.Engine.total in
+  Printf.printf "soak: %d tables (%d values, %d rws, %d responses), %d kill cycles, seed %d\n%!"
+    total values rws responses kills seed;
+  (* Seeded ascending kill points over the record count, so each cycle
+     makes progress before dying; identical seeds kill at identical
+     progress, making failures replayable. *)
+  let targets =
+    let rng = Random.State.make [| 0x50a4; seed; kills |] in
+    List.init kills (fun _ ->
+        max 1 (int_of_float (float_of_int total *. (0.05 +. Random.State.float rng 0.85))))
+    |> List.sort compare
+  in
+  let child_argv =
+    [|
+      Sys.executable_name; "census";
+      "--values"; string_of_int values;
+      "--rws"; string_of_int rws;
+      "--responses"; string_of_int responses;
+      "--cap"; string_of_int cap;
+      "--jobs"; string_of_int jobs;
+      "--kernel"; Kernel.mode_to_string kernel;
+      "--checkpoint"; path;
+      "--resume"; "--durable";
+    |]
+  in
+  (* Run one child; kill it once the checkpoint reaches [target] records
+     ([max_int] = let it finish).  Progress-based kill points are robust
+     across machine speeds, unlike sleeps. *)
+  let run_cycle ~target =
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    let pid =
+      Unix.create_process Sys.executable_name child_argv devnull devnull Unix.stderr
+    in
+    Unix.close devnull;
+    let t0 = Obs.Clock.now () in
+    let kill_and_reap () =
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid)
+    in
+    let rec watch () =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          if count_records path >= target then begin
+            kill_and_reap ();
+            `Killed (count_records path)
+          end
+          else if Obs.Clock.now () -. t0 > timeout then begin
+            kill_and_reap ();
+            `Timeout
+          end
+          else begin
+            Obs.Clock.sleep 0.005;
+            watch ()
+          end
+      | _, Unix.WEXITED 0 -> `Completed
+      | _, status -> `Failed status
+    in
+    watch ()
+  in
+  let killed = ref 0 in
+  let failed = ref false in
+  List.iteri
+    (fun i target ->
+      if not !failed then
+        match run_cycle ~target with
+        | `Killed at ->
+            incr killed;
+            Printf.printf "cycle %d: killed at %d/%d records\n%!" (i + 1) at total
+        | `Completed ->
+            Printf.printf "cycle %d: census completed before kill point %d\n%!" (i + 1)
+              target
+        | `Timeout ->
+            Printf.printf "cycle %d: TIMEOUT after %.0fs\n%!" (i + 1) timeout;
+            failed := true
+        | `Failed _ ->
+            Printf.printf "cycle %d: child failed\n%!" (i + 1);
+            failed := true)
+    targets;
+  let code =
+    if !failed then 1
+    else
+      match run_cycle ~target:max_int with
+      | `Timeout ->
+          Printf.printf "final run: TIMEOUT after %.0fs\n%!" timeout;
+          1
+      | `Killed _ ->
+          (* unreachable: max_int records never accumulate *)
+          1
+      | `Failed _ ->
+          Printf.printf "final run: child failed\n%!";
+          1
+      | `Completed ->
+          (* Resume the finished checkpoint in-process: every table must
+             come from the file, and the histogram must be bit-identical
+             to the uninterrupted reference. *)
+          let final =
+            Pool.with_pool ~obs ~jobs @@ fun pool ->
+            Engine.census ~cap ~obs ~kernel ~checkpoint:path ~resume:true pool space
+          in
+          if
+            final.Engine.complete
+            && final.Engine.resumed = total
+            && final.Engine.entries = reference.Engine.entries
+          then begin
+            Printf.printf
+              "soak: OK — survived %d kill(-9)s; recovered histogram bit-identical to \
+               reference (%d tables)\n"
+              !killed total;
+            if temp then Sys.remove path;
+            0
+          end
+          else begin
+            Printf.printf
+              "soak: FAIL — recovered run differs from reference (complete=%b resumed=%d/%d \
+               entries_match=%b); checkpoint kept at %s\n"
+              final.Engine.complete final.Engine.resumed total
+              (final.Engine.entries = reference.Engine.entries)
+              path;
+            1
+          end
+  in
+  code
 
 (* ------------------------------------------------------------------ *)
 (* inject *)
@@ -416,6 +701,68 @@ let stats_t =
            stdout after the command: $(b,text) is one line per metric, \
            $(b,json) a single greppable object tagged $(b,rcn_stats).")
 
+let supervise_t =
+  let retries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Self-heal: retry a failing chunk of the fan-out up to $(docv) \
+             attempts (capped exponential backoff with deterministic jitter) \
+             before quarantining it.  Quarantined work degrades the result \
+             honestly — $(b,at-least) floors, a PARTIAL census — instead of \
+             aborting the run.  Any supervision flag enables the layer; \
+             without them the engine aborts on the first failure, as before.")
+  in
+  let quarantine_report =
+    Arg.(
+      value & opt (some string) None
+      & info [ "quarantine-report" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable quarantine ledger (JSON: context, \
+             rank range, attempts, exception per quarantined chunk, plus \
+             retry and watchdog-trip totals) to $(docv).")
+  in
+  let heartbeat =
+    Arg.(
+      value & opt (some float) None
+      & info [ "heartbeat" ] ~docv:"S"
+          ~doc:
+            "Watchdog: workers heartbeat per chunk attempt; a worker silent \
+             for more than $(docv) seconds trips the watchdog, which cancels \
+             the sweep cooperatively and retries it with a halved chunk size \
+             (the final round runs unwatchdogged, so slow work still \
+             completes).")
+  in
+  let chaos_rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "chaos-rate" ] ~docv:"P"
+          ~doc:
+            "Fault injection: make each chunk fail with probability $(docv) \
+             (deterministic in $(b,--chaos-seed)), $(i,before) any real work \
+             runs, so recovered results stay bit-identical.  For exercising \
+             the retry path; see also $(b,--chaos-attempts).")
+  in
+  let chaos_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-seed" ] ~docv:"S" ~doc:"Seed for $(b,--chaos-rate) draws.")
+  in
+  let chaos_attempts =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-attempts" ] ~docv:"A"
+          ~doc:
+            "A chunk picked by $(b,--chaos-rate) fails its first $(docv) \
+             attempts, then succeeds — set it at or above $(b,--retries) to \
+             force quarantine.")
+  in
+  Term.(
+    const (fun retries quarantine_report heartbeat chaos_rate chaos_seed chaos_attempts ->
+        { retries; quarantine_report; heartbeat; chaos_rate; chaos_seed; chaos_attempts })
+    $ retries $ quarantine_report $ heartbeat $ chaos_rate $ chaos_seed $ chaos_attempts)
+
 let ty_t = Arg.(required & pos 0 (some objtype_conv) None & info [] ~docv:"TYPE" ~doc:type_arg_doc)
 
 let n_t = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Parameter n of T_{n,n'} / process count.")
@@ -429,8 +776,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Determine (recoverable) consensus numbers of a gallery type")
     Term.(
-      const analyze $ ty_t $ cap_t $ certs $ jobs_t $ kernel_t $ deadline_t $ trace_t
-      $ stats_t)
+      const analyze $ ty_t $ cap_t $ certs $ jobs_t $ kernel_t $ deadline_t $ supervise_t
+      $ trace_t $ stats_t)
 
 let gallery_cmd =
   Cmd.v
@@ -491,7 +838,7 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Search for a consensus-number gap witness (experiment E6)")
     Term.(
       const synth $ target $ values $ rws $ responses $ seed $ iters $ save $ portfolio
-      $ jobs_t $ deadline_t $ trace_t $ stats_t)
+      $ jobs_t $ deadline_t $ supervise_t $ trace_t $ stats_t)
 
 let trace_cmd =
   let schedule =
@@ -538,12 +885,54 @@ let census_cmd =
            ~doc:"Load previously decided tables from the $(b,--checkpoint) file \
                  and recompute only the missing ones.")
   in
+  let durable =
+    Arg.(value & flag & info [ "durable" ]
+           ~doc:"fsync the $(b,--checkpoint) file after every append, extending \
+                 crash safety from process death ($(b,kill -9)) to machine \
+                 death, at the cost of one disk round trip per flushed chunk.")
+  in
   Cmd.v
     (Cmd.info "census"
        ~doc:"Histogram (discerning, recording) levels over a whole space of small types")
     Term.(
       const census $ values $ rws $ responses $ cap_t $ sample_count $ seed $ jobs_t
-      $ kernel_t $ deadline_t $ checkpoint $ resume $ trace_t $ stats_t)
+      $ kernel_t $ deadline_t $ checkpoint $ resume $ durable $ supervise_t $ trace_t
+      $ stats_t)
+
+let soak_cmd =
+  let values = Arg.(value & opt int 3 & info [ "values" ] ~docv:"V" ~doc:"Values per type.") in
+  let rws = Arg.(value & opt int 2 & info [ "rws" ] ~docv:"R" ~doc:"RMW operations per type.") in
+  let responses = Arg.(value & opt int 2 & info [ "responses" ] ~docv:"K" ~doc:"RMW responses per type.") in
+  let kills =
+    Arg.(value & opt int 5 & info [ "kills" ] ~docv:"N"
+           ~doc:"SIGKILL the census child at $(docv) seeded progress points \
+                 before letting it finish.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
+           ~doc:"Seed for the kill points; identical seeds kill at identical \
+                 checkpoint progress.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Checkpoint file handed to the census child (default: a fresh \
+                 temporary file, removed on success, kept on failure).")
+  in
+  let timeout =
+    Arg.(value & opt float 300.0 & info [ "timeout" ] ~docv:"S"
+           ~doc:"Per-cycle hang guard: a child silent past $(docv) seconds \
+                 fails the soak.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Chaos-soak the census checkpoint path: repeatedly $(b,kill -9) a \
+          real $(b,rcn census --checkpoint --resume --durable) child at seeded \
+          progress points, resume it to completion, and verify the recovered \
+          histogram is bit-identical to an uninterrupted reference")
+    Term.(
+      const soak $ values $ rws $ responses $ cap_t $ kills $ seed $ jobs_t $ kernel_t
+      $ checkpoint $ timeout $ trace_t $ stats_t)
 
 let inject_cmd =
   let protocols_t =
@@ -595,7 +984,7 @@ let main =
        ~doc:"Determining recoverable consensus numbers (PODC 2024 reproduction)")
     [
       analyze_cmd; gallery_cmd; statemachine_cmd; simulate_cmd; certify_cmd; trace_cmd;
-      chain_cmd; synth_cmd; robustness_cmd; census_cmd; inject_cmd;
+      chain_cmd; synth_cmd; robustness_cmd; census_cmd; soak_cmd; inject_cmd;
     ]
 
 let () = exit (Cmd.eval main)

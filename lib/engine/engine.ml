@@ -115,12 +115,58 @@ type search_outcome =
   | Refuted
   | Expired
 
+let condition_name = function
+  | Decide.Discerning -> "discerning"
+  | Decide.Recording -> "recording"
+
 (* Resolve the candidate-throughput counter once per search; [None] keeps
    the uninstrumented paths allocation- and lookup-free. *)
 let candidates_counter obs = Option.map (fun o -> Obs.counter o "engine.candidates") obs
 
 let count_checked counter n =
   if n > 0 then Option.iter (fun c -> Obs.Metrics.Counter.add c n) counter
+
+(* Supervision plumbing around one sweep: [quarantine_fence] tells whether
+   the sweep poisoned any chunk (so a would-be [Refuted] must honestly
+   degrade — a quarantined range was never checked), and [with_watchdog]
+   is the cancel-and-retry driver for stalled workers: each watchdog trip
+   cancels the level and reruns it with a halved chunk size (sweeps are
+   idempotent, so rerunning only re-covers unfinished work), and the final
+   round runs without the watchdog so a genuinely slow level still
+   completes instead of degrading. *)
+let quarantine_fence supervisor =
+  match supervisor with
+  | None -> fun () -> false
+  | Some sup ->
+      let q0 = Supervise.quarantine_count sup in
+      fun () -> Supervise.quarantine_count sup > q0
+
+let watchdog_rounds = 3
+
+let with_watchdog ?supervisor ~chunk sweep =
+  match Option.bind supervisor Supervise.watchdog with
+  | None -> sweep ~chunk ~wd_stop:(fun () -> false)
+  | Some wd ->
+      let rec go round chunk =
+        let fired = Atomic.make false in
+        let wd_stop =
+          if round >= watchdog_rounds then fun () -> false
+          else
+            fun () ->
+              Atomic.get fired
+              || Supervise.Watchdog.stalled wd
+                 && begin
+                      if Atomic.compare_and_set fired false true then
+                        Supervise.Watchdog.trip wd;
+                      true
+                    end
+        in
+        let r = sweep ~chunk ~wd_stop in
+        if Atomic.get fired then go (round + 1) (max 1 (chunk / 2)) else r
+      in
+      go 1 chunk
+
+let default_chunk pool total = max 1 (total / (8 * Pool.jobs pool))
 
 (* Deterministic parallel first-witness search: domains claim ranges of the
    materialized candidate array and race to lower [best], the minimal
@@ -130,15 +176,21 @@ let count_checked counter n =
    [deadline], every worker also polls the clock per candidate and abandons
    the sweep on expiry — a found witness is still genuine, but an expired
    sweep with no witness proves nothing and reports [Expired]. *)
-let search_fanout ?obs ?deadline pool scheds condition t ~n =
+let search_label condition t ~n =
+  Printf.sprintf "search %s %s n=%d" t.Objtype.name (condition_name condition) n
+
+let search_fanout ?obs ?deadline ?supervisor pool scheds condition t ~n =
   let cands = Array.of_seq (Decide.candidates t ~n) in
   let total = Array.length cands in
+  let counter = candidates_counter obs in
+  let label = search_label condition t ~n in
+  with_watchdog ?supervisor ~chunk:(default_chunk pool total) @@ fun ~chunk ~wd_stop ->
+  let tainted = quarantine_fence supervisor in
   let best = Atomic.make max_int in
   let timed_out = Atomic.make false in
-  let counter = candidates_counter obs in
   let completed =
-    Pool.parallel_for_until pool
-      ~should_stop:(fun () -> Atomic.get timed_out)
+    Pool.parallel_for_until pool ~chunk ?supervisor ~label
+      ~should_stop:(fun () -> Atomic.get timed_out || wd_stop ())
       total
       (fun lo hi ->
         let checked = ref 0 in
@@ -166,7 +218,7 @@ let search_fanout ?obs ?deadline pool scheds condition t ~n =
   in
   match Atomic.get best with
   | b when b = max_int ->
-      if Atomic.get timed_out || not completed then Expired else Refuted
+      if Atomic.get timed_out || not completed || tainted () then Expired else Refuted
   | b ->
       let u, team, ops = cands.(b) in
       Found (Certificate.make ~objtype:t ~initial:u ~team ~ops)
@@ -177,14 +229,18 @@ let search_fanout ?obs ?deadline pool scheds condition t ~n =
    minimal-rank race gives the same sequential-first-witness guarantee.
    The kernel is compiled on the submitting domain, so workers share the
    (immutable) tables and trie and only their scratches are private. *)
-let search_fanout_kernel ?obs ?deadline ~mode pool condition t ~n =
+let search_fanout_kernel ?obs ?deadline ?supervisor ~mode pool condition t ~n =
   let k = Kernel.compile ?obs t ~n in
+  let counter = candidates_counter obs in
+  let label = search_label condition t ~n in
+  with_watchdog ?supervisor ~chunk:(default_chunk pool (Kernel.total k))
+  @@ fun ~chunk ~wd_stop ->
+  let tainted = quarantine_fence supervisor in
   let best = Atomic.make max_int in
   let timed_out = Atomic.make false in
-  let counter = candidates_counter obs in
   let completed =
-    Pool.parallel_for_until pool
-      ~should_stop:(fun () -> Atomic.get timed_out)
+    Pool.parallel_for_until pool ~chunk ?supervisor ~label
+      ~should_stop:(fun () -> Atomic.get timed_out || wd_stop ())
       (Kernel.total k)
       (fun lo hi ->
         let s = Kernel.scratch k in
@@ -210,7 +266,7 @@ let search_fanout_kernel ?obs ?deadline ~mode pool condition t ~n =
   in
   match Atomic.get best with
   | b when b = max_int ->
-      if Atomic.get timed_out || not completed then Expired else Refuted
+      if Atomic.get timed_out || not completed || tainted () then Expired else Refuted
   | b ->
       let u, team, ops = Kernel.candidate k b in
       Found (Certificate.make ~objtype:t ~initial:u ~team ~ops)
@@ -260,36 +316,41 @@ let search_sequential ?obs ~deadline scheds condition t ~n =
   in
   loop (Decide.candidates t ~n)
 
-let search_uncached ?scheds ?obs ?deadline ?(kernel = Kernel.Trie) pool condition t ~n =
+(* Supervised queries always take the chunked fan-out path — at [jobs = 1]
+   it degenerates to the pool's supervised sequential drain — so retry,
+   quarantine and watchdog semantics are identical at every job count. *)
+let search_uncached ?scheds ?obs ?deadline ?supervisor ?(kernel = Kernel.Trie) pool
+    condition t ~n =
   if expired deadline then Expired
   else
+    let plain = Pool.jobs pool = 1 && Option.is_none supervisor in
     match kernel with
     | Kernel.Reference -> (
         let scheds =
           match scheds with Some s -> s | None -> Sched.at_most_once ~nprocs:n
         in
-        if Pool.jobs pool = 1 then
+        if plain then
           match (deadline, obs) with
           | None, None -> (
               match Decide.search ~scheds ~mode:Kernel.Reference condition t ~n with
               | Some c -> Found c
               | None -> Refuted)
           | _ -> search_sequential ?obs ~deadline scheds condition t ~n
-        else search_fanout ?obs ?deadline pool scheds condition t ~n)
+        else search_fanout ?obs ?deadline ?supervisor pool scheds condition t ~n)
     | mode ->
-        if Pool.jobs pool = 1 then
-          search_sequential_kernel ?obs ~deadline ~mode condition t ~n
-        else search_fanout_kernel ?obs ?deadline ~mode pool condition t ~n
+        if plain then search_sequential_kernel ?obs ~deadline ~mode condition t ~n
+        else search_fanout_kernel ?obs ?deadline ?supervisor ~mode pool condition t ~n
 
 let outcome_of_option = function Some c -> Found c | None -> Refuted
 
-(* Expired sweeps are never published to the cache: they are interrupted
-   computations, not results — but their probes are still accounted, so
-   the stats invariant holds.  The schedule memo only feeds the reference
-   path; the kernel shares its compiled tries internally. *)
-let search_within ?cache ?obs ?deadline ?kernel pool condition t ~n =
+(* Expired and quarantine-degraded sweeps are never published to the
+   cache: they are interrupted computations, not results — but their
+   probes are still accounted, so the stats invariant holds.  The
+   schedule memo only feeds the reference path; the kernel shares its
+   compiled tries internally. *)
+let search_within ?cache ?obs ?deadline ?supervisor ?kernel pool condition t ~n =
   match cache with
-  | None -> search_uncached ?obs ?deadline ?kernel pool condition t ~n
+  | None -> search_uncached ?obs ?deadline ?supervisor ?kernel pool condition t ~n
   | Some c -> (
       let key = (Objtype.to_spec_string t, condition, n) in
       match Cache.probe c ~key with
@@ -300,7 +361,8 @@ let search_within ?cache ?obs ?deadline ?kernel pool condition t ~n =
             else None
           in
           match
-            search_uncached ?scheds ?obs ?deadline ?kernel pool condition t ~n
+            search_uncached ?scheds ?obs ?deadline ?supervisor ?kernel pool condition t
+              ~n
           with
           | Found cert ->
               Cache.publish c ~key (Some cert);
@@ -316,13 +378,10 @@ let search ?cache ?obs ?kernel pool condition t ~n =
   match search_within ?cache ?obs ?kernel pool condition t ~n with
   | Found c -> Some c
   | Refuted -> None
-  | Expired -> assert false (* no deadline was given *)
+  | Expired -> assert false (* no deadline and no supervisor were given *)
 
-let condition_name = function
-  | Decide.Discerning -> "discerning"
-  | Decide.Recording -> "recording"
-
-let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline ?kernel pool condition t =
+let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline ?supervisor ?kernel pool
+    condition t =
   if cap < 2 then invalid_arg "Engine: cap must be at least 2";
   let rec loop n best =
     if n > cap then
@@ -336,30 +395,32 @@ let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline ?kernel pool conditi
               ("condition", condition_name condition);
               ("n", string_of_int n);
             ]
-          (fun () -> search_within ?cache ?obs ?deadline ?kernel pool condition t ~n)
+          (fun () ->
+            search_within ?cache ?obs ?deadline ?supervisor ?kernel pool condition t ~n)
       in
       match outcome with
       | Found c -> loop (n + 1) (Some c)
       | Refuted -> { Analysis.value = n - 1; status = Analysis.Exact; certificate = best }
       | Expired ->
-          (* The deadline cut the scan short: every level up to [n - 1] was
+          (* The deadline cut the scan short — or quarantined chunks left
+             holes in the sweep: every level up to [n - 1] was
              established, level [n] was not refuted — an honest lower
              bound, never a fabricated [Exact]. *)
           { Analysis.value = n - 1; status = Analysis.At_least; certificate = best }
   in
   loop 2 None
 
-let max_discerning ?cache ?obs ?cap ?deadline ?kernel pool t =
-  scan ?cache ?obs ?cap ?deadline ?kernel pool Decide.Discerning t
+let max_discerning ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t =
+  scan ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool Decide.Discerning t
 
-let max_recording ?cache ?obs ?cap ?deadline ?kernel pool t =
-  scan ?cache ?obs ?cap ?deadline ?kernel pool Decide.Recording t
+let max_recording ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t =
+  scan ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool Decide.Recording t
 
-let analyze ?cache ?obs ?cap ?deadline ?kernel pool t =
+let analyze ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t =
   Obs.with_span ?obs "engine.analyze" ~attrs:[ ("type", t.Objtype.name) ] @@ fun () ->
   let started = Obs.Clock.now () in
-  let discerning = max_discerning ?cache ?obs ?cap ?deadline ?kernel pool t in
-  let recording = max_recording ?cache ?obs ?cap ?deadline ?kernel pool t in
+  let discerning = max_discerning ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t in
+  let recording = max_recording ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t in
   {
     Analysis.type_name = t.Objtype.name;
     readable = Objtype.is_readable t;
@@ -368,9 +429,9 @@ let analyze ?cache ?obs ?cap ?deadline ?kernel pool t =
     elapsed = Obs.Clock.now () -. started;
   }
 
-let analyze_all ?cache ?obs ?cap ?deadline ?kernel pool types =
+let analyze_all ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool types =
   let cache = match cache with Some c -> c | None -> Cache.create ?obs () in
-  List.map (analyze ~cache ?obs ?cap ?deadline ?kernel pool) types
+  List.map (analyze ~cache ?obs ?cap ?deadline ?supervisor ?kernel pool) types
 
 (* Truncated levels of one census table, replaying against the shared
    schedule sets.  Matches [Census.levels] (the same [Decide.search] on the
@@ -444,8 +505,8 @@ module Checkpoint = struct
               loop [])
 end
 
-let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false)
-    ?(kernel = Kernel.Trie) pool space =
+let census ?cache ?obs ?(cap = 4) ?deadline ?supervisor ?checkpoint ?(resume = false)
+    ?(durable = false) ?(kernel = Kernel.Trie) pool space =
   Obs.with_span ?obs "engine.census" @@ fun () ->
   let cache = match cache with Some c -> c | None -> Cache.create ?obs () in
   let size = Census.space_size space in
@@ -475,6 +536,13 @@ let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false)
         (Checkpoint.load path ~expected)
   | _ -> ());
   count_checked c_skips !resumed;
+  (* [commit] makes appended records part of the checkpoint: flush always;
+     with [durable] also fsync, so a chunk acknowledged to the OS survives
+     [kill -9] of the whole machine, not just of the process. *)
+  let commit oc =
+    flush oc;
+    if durable then Unix.fsync (Unix.descr_of_out_channel oc)
+  in
   let writer =
     match checkpoint with
     | None -> None
@@ -488,7 +556,7 @@ let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false)
         in
         if not appending then begin
           output_string oc (expected ^ "\n");
-          flush oc
+          commit oc
         end;
         Some (oc, Mutex.create ())
   in
@@ -496,9 +564,10 @@ let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false)
   Fun.protect
     ~finally:(fun () -> Option.iter (fun (oc, _) -> close_out oc) writer)
     (fun () ->
+      with_watchdog ?supervisor ~chunk:32 @@ fun ~chunk ~wd_stop ->
       ignore
-        (Pool.parallel_for_until pool ~chunk:32
-           ~should_stop:(fun () -> expired deadline)
+        (Pool.parallel_for_until pool ~chunk ?supervisor ~label:"census"
+           ~should_stop:(fun () -> expired deadline || wd_stop ())
            size
            (fun lo hi ->
              let fresh = ref [] in
@@ -525,7 +594,7 @@ let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false)
                          let d, r = levels.(i) in
                          Printf.fprintf oc "%d %d %d\n" i d r)
                        fresh;
-                     flush oc;
+                     commit oc;
                      Option.iter Obs.Metrics.Counter.incr c_flushes))));
   let histogram = Hashtbl.create 64 in
   Array.iteri
@@ -543,8 +612,8 @@ let census ?cache ?obs ?(cap = 4) ?deadline ?checkpoint ?(resume = false)
     complete = completed = size;
   }
 
-let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?obs ?deadline ~portfolio
-    pool ~target space =
+let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?obs ?deadline ?supervisor
+    ~portfolio pool ~target space =
   if portfolio < 1 then
     invalid_arg "Engine.synth_portfolio: portfolio must be positive";
   Obs.with_span ?obs "engine.synth" @@ fun () ->
@@ -553,7 +622,7 @@ let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?obs ?deadline ~p
   let results = Array.make portfolio None in
   let best = Atomic.make max_int in
   ignore
-    (Pool.parallel_for_until pool ~chunk:1
+    (Pool.parallel_for_until pool ~chunk:1 ?supervisor ~label:"synth"
        ~should_stop:(fun () -> expired deadline)
        portfolio
        (fun lo hi ->

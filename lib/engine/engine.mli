@@ -37,6 +37,24 @@
     far the sweep got.  Runs without a deadline are bit-identical to the
     sequential deciders, as before.
 
+    Every entry point that takes [?deadline] also takes
+    [?supervisor:Supervise.t] — the self-healing layer.  Supervised, a
+    chunk of the fan-out that raises is retried under the supervisor's
+    backoff policy instead of aborting the whole sweep, and a chunk that
+    keeps failing is quarantined: recorded in the supervisor's ledger and
+    skipped.  A sweep with quarantined holes degrades exactly like a
+    deadline expiry — the search reports [Expired], scans fall back to
+    honest [Analysis.At_least] floors, a census leaves the affected
+    tables undecided — and is never published to the cache.  A witness
+    found by a supervised sweep is always genuine.  When the supervisor
+    carries a {!Supervise.Watchdog}, the engine also reacts to stalls:
+    a sweep whose workers stop heartbeating past the watchdog interval
+    is cancelled cooperatively and retried with a halved chunk size (up
+    to two watchdogged retries; the final round runs unwatchdogged so a
+    merely-slow workload still completes).  Supervised runs with a
+    transient-failure schedule that eventually succeeds everywhere are
+    bit-identical to unsupervised ones (pinned at jobs 1/2/4).
+
     {2 Observability}
 
     Every entry point also accepts [?obs:Obs.t].  With it, the engine
@@ -100,6 +118,7 @@ val search_within :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
   ?deadline:float ->
+  ?supervisor:Supervise.t ->
   ?kernel:Kernel.mode ->
   Pool.t ->
   Decide.condition ->
@@ -109,7 +128,10 @@ val search_within :
 (** Deadline-aware witness search.  Without [deadline] this is exactly
     {!search} (and never returns [Expired]); with one, every domain polls
     the clock per candidate and the sweep returns [Expired] as soon as it
-    fires without having found a witness.
+    fires without having found a witness.  With [supervisor], failing
+    chunks are retried and eventually quarantined; a no-witness sweep
+    with quarantine holes also returns [Expired] (the unchecked ranges
+    mean "no witness" cannot honestly be claimed).
 
     [kernel] (default [Kernel.Trie]) selects the decider implementation
     (see {!Kernel.mode}).  The kernel modes fan the compiled kernel's
@@ -136,6 +158,7 @@ val max_discerning :
   ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
+  ?supervisor:Supervise.t ->
   ?kernel:Kernel.mode ->
   Pool.t ->
   Objtype.t ->
@@ -146,12 +169,14 @@ val max_recording :
   ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
+  ?supervisor:Supervise.t ->
   ?kernel:Kernel.mode ->
   Pool.t ->
   Objtype.t ->
   Analysis.level
 (** The upward scans of [Numbers], driven by {!search_within}.  A scan cut
-    by the deadline returns the highest level it fully established with
+    by the deadline — or degraded by quarantined chunks under a
+    [supervisor] — returns the highest level it fully established with
     [Analysis.At_least] status (never a fabricated [Exact]); with an
     already-expired deadline that is level 1, the unconditional floor. *)
 
@@ -160,6 +185,7 @@ val analyze :
   ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
+  ?supervisor:Supervise.t ->
   ?kernel:Kernel.mode ->
   Pool.t ->
   Objtype.t ->
@@ -167,14 +193,15 @@ val analyze :
 (** [Numbers.analyze ?cap t], parallelized within each decider query.
     Equal (under [Analysis.equal]) to the sequential result, with the
     same certificates; [Analysis.elapsed] is measured on [Obs.Clock].
-    With a [deadline], both level scans degrade to honest [At_least]
-    lower bounds when it expires. *)
+    With a [deadline] (or quarantined chunks under a [supervisor]), both
+    level scans degrade to honest [At_least] lower bounds. *)
 
 val analyze_all :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
+  ?supervisor:Supervise.t ->
   ?kernel:Kernel.mode ->
   Pool.t ->
   Objtype.t list ->
@@ -213,8 +240,10 @@ val census :
   ?obs:Obs.t ->
   ?cap:int ->
   ?deadline:float ->
+  ?supervisor:Supervise.t ->
   ?checkpoint:string ->
   ?resume:bool ->
+  ?durable:bool ->
   ?kernel:Kernel.mode ->
   Pool.t ->
   Synth.space ->
@@ -230,8 +259,13 @@ val census :
     [resume] (with [checkpoint]) first loads previously decided tables
     from that file and skips them — an interrupted census restarted with
     the same parameters recomputes only the missing tail and produces the
-    identical histogram.  [deadline] stops the sweep cooperatively; the
-    returned record says exactly how far it got. *)
+    identical histogram.  [durable] (default [false]) additionally
+    [fsync]s the checkpoint after every append, extending the crash-safety
+    guarantee from process death to machine death at the cost of one disk
+    round trip per flushed chunk.  [deadline] stops the sweep
+    cooperatively; the returned record says exactly how far it got.
+    [supervisor] heals failing chunks as in {!search_within}; tables in a
+    quarantined chunk stay undecided, so [complete] is honestly [false]. *)
 
 val synth_portfolio :
   ?seed:int ->
@@ -239,6 +273,7 @@ val synth_portfolio :
   ?restart_every:int ->
   ?obs:Obs.t ->
   ?deadline:float ->
+  ?supervisor:Supervise.t ->
   portfolio:int ->
   Pool.t ->
   target:int ->

@@ -5,6 +5,8 @@ type task = {
   next : int Atomic.t;
   should_stop : unit -> bool;
   stopped : bool Atomic.t;
+  supervisor : Supervise.t option;
+  label : string;
 }
 
 exception
@@ -64,6 +66,34 @@ let run_chunk obs (f : int -> int -> unit) lo hi =
         ~finally:(fun () -> Obs.Metrics.Histogram.observe h.chunk_time (Obs.Clock.now () -. t0))
         (fun () -> f lo hi)
 
+(* One claimed range.  Unsupervised, the first exception is recorded and
+   the task abandoned (the historical abort-on-first-exception contract).
+   Supervised, the chunk is retried under the supervisor's policy and —
+   past [max_attempts] — quarantined and skipped: the task itself never
+   aborts, and the caller learns about the hole from the supervisor's
+   ledger. *)
+let run_supervised obs sup ~label ~worker f lo hi =
+  let run lo hi = run_chunk obs f lo hi in
+  match Supervise.watchdog sup with
+  | None -> ignore (Supervise.run_chunk sup ~context:label ~run ~lo ~hi ())
+  | Some wd ->
+      ignore
+        (Supervise.run_chunk sup
+           ~heartbeat:(fun () -> Supervise.Watchdog.beat wd ~worker)
+           ~context:label ~run ~lo ~hi ());
+      Supervise.Watchdog.clear wd ~worker
+
+let run_claimed pool task ~worker lo hi =
+  match task.supervisor with
+  | None -> (
+      try run_chunk pool.obs task.run lo hi
+      with e ->
+        ignore
+          (Atomic.compare_and_set pool.error None
+             (Some (Task_error { lo; hi; worker; error = e })));
+        abandon pool.obs task)
+  | Some sup -> run_supervised pool.obs sup ~label:task.label ~worker task.run lo hi
+
 let drain pool task ~worker =
   let continue = ref true in
   while !continue do
@@ -74,15 +104,7 @@ let drain pool task ~worker =
     else
       let lo = Atomic.fetch_and_add task.next task.chunk in
       if lo >= task.total then continue := false
-      else begin
-        let hi = min task.total (lo + task.chunk) in
-        try run_chunk pool.obs task.run lo hi
-        with e ->
-          ignore
-            (Atomic.compare_and_set pool.error None
-               (Some (Task_error { lo; hi; worker; error = e })));
-          abandon pool.obs task
-      end
+      else run_claimed pool task ~worker lo (min task.total (lo + task.chunk))
   done
 
 (* Workers park on [has_work] until the epoch moves (every worker runs
@@ -150,8 +172,10 @@ let resolve_chunk pool total = function
   | None -> max 1 (total / (8 * pool.jobs))
 
 (* Sequential fallback: chunked so [should_stop] is still polled between
-   ranges, and failures carry the same chunk context as the parallel path. *)
-let sequential_drain obs chunk ~should_stop total f =
+   ranges, and failures carry the same chunk context as the parallel path
+   — including supervised retry and quarantine, so [jobs = 1] runs heal
+   exactly like parallel ones. *)
+let sequential_drain obs chunk ?supervisor ~label ~should_stop total f =
   let lo = ref 0 in
   let stopped = ref false in
   while (not !stopped) && !lo < total do
@@ -161,24 +185,37 @@ let sequential_drain obs chunk ~should_stop total f =
     end
     else begin
       let hi = min total (!lo + chunk) in
-      (try run_chunk obs f !lo hi
-       with e -> raise (Task_error { lo = !lo; hi; worker = 0; error = e }));
+      (match supervisor with
+      | None -> (
+          try run_chunk obs f !lo hi
+          with e -> raise (Task_error { lo = !lo; hi; worker = 0; error = e }))
+      | Some sup -> run_supervised obs sup ~label ~worker:0 f !lo hi);
       lo := hi
     end
   done;
   not !stopped
 
-let submit pool ?chunk ~should_stop total f =
+let submit pool ?chunk ?supervisor ?(label = "pool.task") ~should_stop total f =
   if total <= 0 then true
   else begin
     Option.iter (fun h -> Obs.Metrics.Counter.incr h.tasks) pool.obs;
     if pool.jobs = 1 then
-      sequential_drain pool.obs (resolve_chunk pool total chunk) ~should_stop total f
+      sequential_drain pool.obs (resolve_chunk pool total chunk) ?supervisor ~label
+        ~should_stop total f
     else begin
       let chunk = resolve_chunk pool total chunk in
       Atomic.set pool.error None;
       let task =
-        { run = f; total; chunk; next = Atomic.make 0; should_stop; stopped = Atomic.make false }
+        {
+          run = f;
+          total;
+          chunk;
+          next = Atomic.make 0;
+          should_stop;
+          stopped = Atomic.make false;
+          supervisor;
+          label;
+        }
       in
       Mutex.lock pool.mutex;
       pool.task <- Some task;
@@ -202,11 +239,11 @@ let submit pool ?chunk ~should_stop total f =
     end
   end
 
-let parallel_for pool ?chunk total f =
-  ignore (submit pool ?chunk ~should_stop:never_stop total f)
+let parallel_for pool ?chunk ?supervisor ?label total f =
+  ignore (submit pool ?chunk ?supervisor ?label ~should_stop:never_stop total f)
 
-let parallel_for_until pool ?chunk ~should_stop total f =
-  submit pool ?chunk ~should_stop total f
+let parallel_for_until pool ?chunk ?supervisor ?label ~should_stop total f =
+  submit pool ?chunk ?supervisor ?label ~should_stop total f
 
 let shutdown pool =
   Mutex.lock pool.mutex;

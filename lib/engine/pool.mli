@@ -36,7 +36,14 @@ val create : ?obs:Obs.t -> jobs:int -> unit -> t
 
 val jobs : t -> int
 
-val parallel_for : t -> ?chunk:int -> int -> (int -> int -> unit) -> unit
+val parallel_for :
+  t ->
+  ?chunk:int ->
+  ?supervisor:Supervise.t ->
+  ?label:string ->
+  int ->
+  (int -> int -> unit) ->
+  unit
 (** [parallel_for pool total f] applies [f lo hi] over disjoint ranges
     covering [0 .. total - 1] ([hi] exclusive), concurrently across the
     pool's domains, and returns when all of [total] has been processed.
@@ -47,10 +54,32 @@ val parallel_for : t -> ?chunk:int -> int -> (int -> int -> unit) -> unit
     failure is re-raised in the caller as {!Task_error}, carrying the
     failing chunk range and worker id.  A recorded error is cleared on
     the *next* submission, not when the failing run returns — the pool
-    stays reusable after a failed task (pinned by the test suite). *)
+    stays reusable after a failed task (pinned by the test suite).
+
+    With [supervisor], the abort-on-first-exception contract is replaced
+    by self-healing: a chunk that raises is retried under the
+    supervisor's backoff policy, each attempt re-timed as a chunk, and a
+    chunk that exhausts its attempts is {e quarantined} — recorded in the
+    supervisor's ledger (with [label] as the context) and skipped, never
+    raising {!Task_error} and never abandoning the rest of the range.
+    The return value still only reports claim-completeness; callers must
+    consult [Supervise.quarantine_count] deltas to learn whether every
+    claimed chunk was actually processed.  Chunk bodies must be safe to
+    re-run (the engine's are: atomic minimum races and per-index
+    [finished] guards are idempotent).  When the supervisor carries a
+    watchdog, every worker heartbeats it per attempt and clears it when
+    idle; the pool only feeds the watchdog — reacting to a stall (via
+    [should_stop]) is the caller's business. *)
 
 val parallel_for_until :
-  t -> ?chunk:int -> should_stop:(unit -> bool) -> int -> (int -> int -> unit) -> bool
+  t ->
+  ?chunk:int ->
+  ?supervisor:Supervise.t ->
+  ?label:string ->
+  should_stop:(unit -> bool) ->
+  int ->
+  (int -> int -> unit) ->
+  bool
 (** Cooperatively cancellable {!parallel_for}: every domain polls
     [should_stop] before claiming each chunk, and a [true] answer makes
     the whole pool abandon the unclaimed remainder of the range

@@ -1,9 +1,11 @@
 external monotonic_now : unit -> float = "rcn_obs_monotonic_now"
+external monotonic_sleep : float -> unit = "rcn_obs_sleep"
 
 module Clock = struct
   let now () = monotonic_now ()
   let after s = now () +. s
   let expired = function None -> false | Some d -> now () > d
+  let sleep s = if s > 0.0 then monotonic_sleep s
 end
 
 module Metrics = struct

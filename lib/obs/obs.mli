@@ -31,6 +31,13 @@ module Clock : sig
   val expired : float option -> bool
   (** [expired None] is [false]; [expired (Some d)] is [now () > d].
       The one deadline predicate in the tree. *)
+
+  val sleep : float -> unit
+  (** Block the calling domain for (at least) the given number of seconds;
+      nonpositive durations return immediately.  Interrupted sleeps are
+      resumed with the remaining interval, so a signal cannot silently
+      shorten a supervised backoff pause.  Releases the runtime lock — the
+      other domains of a pool keep running. *)
 end
 
 module Metrics : sig

@@ -7,7 +7,9 @@
 
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>
+#include <caml/threads.h>
 #include <time.h>
+#include <errno.h>
 
 #if !defined(CLOCK_MONOTONIC)
 #include <sys/time.h>
@@ -25,4 +27,24 @@ CAMLprim value rcn_obs_monotonic_now(value unit)
   gettimeofday(&tv, NULL);
   return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
 #endif
+}
+
+/* Interruption-resilient sleep for Obs.Clock.sleep: nanosleep resumed on
+   EINTR with the remaining interval, so supervised backoff pauses are not
+   silently shortened by signals.  Releases the OCaml runtime lock so the
+   other domains of a pool keep working while one backs off. */
+CAMLprim value rcn_obs_sleep(value seconds)
+{
+  double s = Double_val(seconds);
+  if (s > 0) {
+    struct timespec req, rem;
+    req.tv_sec = (time_t)s;
+    req.tv_nsec = (long)((s - (double)req.tv_sec) * 1e9);
+    if (req.tv_nsec > 999999999L) req.tv_nsec = 999999999L;
+    caml_release_runtime_system();
+    while (nanosleep(&req, &rem) == -1 && errno == EINTR)
+      req = rem;
+    caml_acquire_runtime_system();
+  }
+  return Val_unit;
 }

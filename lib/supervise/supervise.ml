@@ -1,0 +1,226 @@
+(* Supervision: retry with capped, deterministically jittered backoff;
+   poison quarantine; heartbeat watchdog; seeded chaos injection.  All
+   randomness is a pure function of (seed, chunk key, attempt) through a
+   fresh [Random.State] — the same discipline as the adversary RNG — so
+   supervised runs replay bit-identically. *)
+
+(* [Random.State.make [| seed; key; ... |]] is deterministic but
+   expensive enough to matter only off the hot path: it is touched on
+   failures and backoffs, never on healthy chunks. *)
+let uniform ~salt ~seed ~key ~attempt =
+  Random.State.float (Random.State.make [| salt; seed; key; attempt |]) 1.0
+
+module Policy = struct
+  type t = {
+    max_attempts : int;
+    base_backoff : float;
+    max_backoff : float;
+    jitter : float;
+    seed : int;
+  }
+
+  let validate t =
+    if t.max_attempts < 1 then invalid_arg "Supervise.Policy: max_attempts must be >= 1";
+    if t.base_backoff < 0.0 || t.max_backoff < 0.0 then
+      invalid_arg "Supervise.Policy: backoffs must be nonnegative";
+    if t.jitter < 0.0 || t.jitter > 1.0 then
+      invalid_arg "Supervise.Policy: jitter must be in [0, 1]";
+    t
+
+  let default =
+    { max_attempts = 3; base_backoff = 0.01; max_backoff = 0.25; jitter = 0.5; seed = 0 }
+
+  let v ?(max_attempts = default.max_attempts) ?(base_backoff = default.base_backoff)
+      ?(max_backoff = default.max_backoff) ?(jitter = default.jitter)
+      ?(seed = default.seed) () =
+    validate { max_attempts; base_backoff; max_backoff; jitter; seed }
+
+  let backoff t ~key ~attempt =
+    let doubled = t.base_backoff *. (2.0 ** float_of_int (attempt - 1)) in
+    let capped = Float.min t.max_backoff doubled in
+    if t.jitter = 0.0 then capped
+    else
+      let u = uniform ~salt:0x6a17 ~seed:t.seed ~key ~attempt in
+      capped *. (1.0 -. (t.jitter *. u))
+end
+
+module Chaos = struct
+  type t = { rate : float; seed : int; attempts : int }
+
+  exception Injected of { key : int; attempt : int }
+
+  let () =
+    Printexc.register_printer (function
+      | Injected { key; attempt } ->
+          Some (Printf.sprintf "Supervise.Chaos.Injected { key = %d; attempt = %d }" key attempt)
+      | _ -> None)
+
+  let create ?(attempts = 1) ~rate ~seed () =
+    if rate < 0.0 || rate > 1.0 then invalid_arg "Supervise.Chaos: rate must be in [0, 1]";
+    if attempts < 1 then invalid_arg "Supervise.Chaos: attempts must be >= 1";
+    { rate; seed; attempts }
+
+  (* The draw depends only on the chunk key, so a chunk picked as a
+     victim fails on every one of its first [attempts] attempts — the
+     deterministic "fail attempts 1..k-1, succeed on k" schedule the
+     retry tests pin. *)
+  let fires t ~key ~attempt =
+    attempt <= t.attempts && uniform ~salt:0xc405 ~seed:t.seed ~key ~attempt:0 < t.rate
+end
+
+module Watchdog = struct
+  type t = {
+    interval : float;
+    now : unit -> float;
+    (* [last.(w) >= 0.] means worker [w] is busy since that beat; [-1.]
+       is idle.  Atomic floats keep cross-domain reads well-defined. *)
+    last : float Atomic.t array;
+    c_trips : Obs.Metrics.Counter.t;
+  }
+
+  let create ?obs ?(now = Obs.Clock.now) ~interval ~jobs () =
+    if interval <= 0.0 then invalid_arg "Supervise.Watchdog: interval must be positive";
+    if jobs < 1 then invalid_arg "Supervise.Watchdog: jobs must be >= 1";
+    let m = match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create () in
+    {
+      interval;
+      now;
+      last = Array.init jobs (fun _ -> Atomic.make (-1.0));
+      c_trips = Obs.Metrics.counter m "supervise.watchdog_trips";
+    }
+
+  let interval t = t.interval
+
+  let beat t ~worker =
+    if worker >= 0 && worker < Array.length t.last then
+      Atomic.set t.last.(worker) (t.now ())
+
+  let clear t ~worker =
+    if worker >= 0 && worker < Array.length t.last then Atomic.set t.last.(worker) (-1.0)
+
+  let stalled t =
+    let horizon = t.now () -. t.interval in
+    Array.exists
+      (fun a ->
+        let b = Atomic.get a in
+        b >= 0.0 && b < horizon)
+      t.last
+
+  let trip t =
+    Obs.Metrics.Counter.incr t.c_trips;
+    Array.iter (fun a -> Atomic.set a (-1.0)) t.last
+
+  let trips t = Obs.Metrics.Counter.value t.c_trips
+end
+
+type quarantine = {
+  q_context : string;
+  q_lo : int;
+  q_hi : int;
+  q_attempts : int;
+  q_error : string;
+}
+
+type t = {
+  policy : Policy.t;
+  chaos : Chaos.t option;
+  wd : Watchdog.t option;
+  mutex : Mutex.t;
+  mutable records : quarantine list;  (* newest first *)
+  c_retries : Obs.Metrics.Counter.t;
+  c_quarantined : Obs.Metrics.Counter.t;
+}
+
+let create ?(policy = Policy.default) ?chaos ?watchdog ?obs () =
+  ignore (Policy.validate policy);
+  let m = match obs with Some o -> Obs.metrics o | None -> Obs.Metrics.create () in
+  {
+    policy;
+    chaos;
+    wd = watchdog;
+    mutex = Mutex.create ();
+    records = [];
+    c_retries = Obs.Metrics.counter m "supervise.retries";
+    c_quarantined = Obs.Metrics.counter m "supervise.quarantined";
+  }
+
+let policy t = t.policy
+let watchdog t = t.wd
+let retries t = Obs.Metrics.Counter.value t.c_retries
+let quarantine_count t = Obs.Metrics.Counter.value t.c_quarantined
+let quarantined t = Mutex.protect t.mutex (fun () -> List.rev t.records)
+
+let no_heartbeat () = ()
+
+let run_chunk t ?(heartbeat = no_heartbeat) ~context ~run ~lo ~hi () =
+  let rec attempt k =
+    heartbeat ();
+    match
+      (match t.chaos with
+      | Some c when Chaos.fires c ~key:lo ~attempt:k ->
+          raise (Chaos.Injected { key = lo; attempt = k })
+      | _ -> ());
+      run lo hi
+    with
+    | () -> true
+    | exception e ->
+        if k >= t.policy.Policy.max_attempts then begin
+          let record =
+            {
+              q_context = context;
+              q_lo = lo;
+              q_hi = hi;
+              q_attempts = k;
+              q_error = Printexc.to_string e;
+            }
+          in
+          Mutex.protect t.mutex (fun () -> t.records <- record :: t.records);
+          Obs.Metrics.Counter.incr t.c_quarantined;
+          false
+        end
+        else begin
+          Obs.Metrics.Counter.incr t.c_retries;
+          Obs.Clock.sleep (Policy.backoff t.policy ~key:lo ~attempt:k);
+          attempt (k + 1)
+        end
+  in
+  attempt 1
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine report *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_json t =
+  let wd_trips = match t.wd with Some wd -> Watchdog.trips wd | None -> 0 in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"rcn_quarantine\":1,\"retries\":%d,\"watchdog_trips\":%d,\"quarantined\":["
+       (retries t) wd_trips);
+  List.iteri
+    (fun i q ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"context\":\"%s\",\"lo\":%d,\"hi\":%d,\"attempts\":%d,\"error\":\"%s\"}"
+           (json_escape q.q_context) q.q_lo q.q_hi q.q_attempts (json_escape q.q_error)))
+    (quarantined t);
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let write_report t path =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (report_json t))

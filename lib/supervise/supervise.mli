@@ -1,0 +1,181 @@
+(** Self-healing supervision for the engine's fan-out: per-chunk retries
+    with capped exponential backoff and deterministic jitter, a poison
+    quarantine for ranges that keep failing, a heartbeat watchdog for
+    stalled workers, and a seeded chaos injector to exercise all of it.
+
+    The paper's subject is computation that survives individual
+    crash-recovery; this module gives the deciders the same discipline: a
+    worker exception no longer aborts a whole census — the chunk is
+    retried, and a chunk that fails [max_attempts] times is {e
+    quarantined} (recorded and skipped) so the run completes with an
+    honestly degraded result instead of dying.  Everything is
+    deterministic given the seeds: backoff jitter and injected failures
+    are pure functions of (seed, chunk, attempt), never of wall-clock or
+    scheduling races, so supervised runs stay reproducible.
+
+    A {!t} is shared by every sweep of an engine run (it is
+    mutex-protected and may be hammered from all of a pool's domains);
+    its ledger — retry and quarantine counts, quarantine records, watchdog
+    trips — accumulates across sweeps and is what [--stats] and
+    [--quarantine-report] render. *)
+
+(** Retry policy: how often to retry a failing chunk, and how long to wait
+    between attempts. *)
+module Policy : sig
+  type t = {
+    max_attempts : int;
+        (** total attempts per chunk before quarantine (>= 1; 1 means
+            never retry) *)
+    base_backoff : float;  (** seconds before the second attempt *)
+    max_backoff : float;  (** cap on the uncapped doubling *)
+    jitter : float;
+        (** fraction of the delay randomized away: the actual pause is
+            [delay * f] with [f] drawn deterministically from
+            [\[1 - jitter, 1\]]; [0] disables jitter *)
+    seed : int;  (** jitter seed *)
+  }
+
+  val default : t
+  (** 3 attempts, 10 ms base, 250 ms cap, jitter 0.5, seed 0. *)
+
+  val v :
+    ?max_attempts:int ->
+    ?base_backoff:float ->
+    ?max_backoff:float ->
+    ?jitter:float ->
+    ?seed:int ->
+    unit ->
+    t
+  (** {!default} with fields overridden.
+      @raise Invalid_argument on [max_attempts < 1], negative backoffs,
+      or jitter outside [\[0, 1\]]. *)
+
+  val backoff : t -> key:int -> attempt:int -> float
+  (** The pause after the [attempt]-th failure of the chunk starting at
+      [key]: [base_backoff * 2^(attempt - 1)], capped at [max_backoff],
+      then jittered.  A pure function of [(seed, key, attempt)] — two runs
+      of the same supervised workload sleep identically. *)
+end
+
+(** Deterministic failure injection, for tests, smokes and benches: a
+    seeded predicate deciding which (chunk, attempt) pairs to fail.  The
+    injected exception is raised {e before} the chunk body runs, so a
+    recovered run's results are bit-identical to a failure-free one. *)
+module Chaos : sig
+  type t
+
+  exception Injected of { key : int; attempt : int }
+
+  val create : ?attempts:int -> rate:float -> seed:int -> unit -> t
+  (** Fail each chunk independently with probability [rate], on its first
+      [attempts] attempts (default 1 — fail once, then recover; set
+      [attempts >= Policy.max_attempts] to force quarantine).  The
+      per-chunk draw reuses the seeded-[Random.State] discipline of the
+      adversary RNG: a pure function of [(seed, key)].
+      @raise Invalid_argument on a rate outside [\[0, 1\]] or
+      [attempts < 1]. *)
+
+  val fires : t -> key:int -> attempt:int -> bool
+end
+
+(** Stalled-worker detection on [Obs.Clock]: every worker heartbeats as it
+    claims work; a worker that is busy but has not beaten for longer than
+    [interval] marks the watchdog stalled, and the engine reacts by
+    cancelling the level and retrying with a smaller chunk size. *)
+module Watchdog : sig
+  type t
+
+  val create :
+    ?obs:Obs.t -> ?now:(unit -> float) -> interval:float -> jobs:int -> unit -> t
+  (** [jobs] is the pool size the watchdog tracks (worker ids
+      [0 .. jobs - 1]).  [now] defaults to [Obs.Clock.now] ([tests inject
+      a fake clock]).  With [obs], trips are counted in that registry
+      under [supervise.watchdog_trips].  The interval should comfortably
+      exceed both the expected chunk time and [Policy.max_backoff],
+      otherwise healthy slow chunks look stalled.
+      @raise Invalid_argument on [interval <= 0] or [jobs < 1]. *)
+
+  val interval : t -> float
+
+  val beat : t -> worker:int -> unit
+  (** The worker is alive and starting (an attempt of) a chunk. *)
+
+  val clear : t -> worker:int -> unit
+  (** The worker finished its chunk and is idle; idle workers never count
+      as stalled. *)
+
+  val stalled : t -> bool
+  (** Some worker is busy and last beat more than [interval] ago. *)
+
+  val trip : t -> unit
+  (** Record a confirmed stall (counts [supervise.watchdog_trips]) and
+      reset every worker to idle, so the retried sweep starts from a
+      clean slate instead of instantly re-tripping. *)
+
+  val trips : t -> int
+end
+
+type quarantine = {
+  q_context : string;  (** which sweep the chunk belonged to *)
+  q_lo : int;
+  q_hi : int;  (** the poisoned candidate-rank range [\[lo, hi)] *)
+  q_attempts : int;  (** attempts spent before giving up *)
+  q_error : string;  (** printed form of the last exception *)
+}
+
+type t
+
+val create :
+  ?policy:Policy.t ->
+  ?chaos:Chaos.t ->
+  ?watchdog:Watchdog.t ->
+  ?obs:Obs.t ->
+  unit ->
+  t
+(** A fresh supervisor.  With [obs], its ledger counters live in that
+    registry ([supervise.retries], [supervise.quarantined]) and so appear
+    in the CLI [--stats] export; otherwise a private registry backs the
+    accessors. *)
+
+val policy : t -> Policy.t
+val watchdog : t -> Watchdog.t option
+
+val run_chunk :
+  t ->
+  ?heartbeat:(unit -> unit) ->
+  context:string ->
+  run:(int -> int -> unit) ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  bool
+(** Run [run lo hi] under the retry policy: on an exception (including
+    injected chaos), wait out the backoff and retry, up to
+    [policy.max_attempts] total attempts; after the last failure the range
+    is quarantined (recorded, counted, and skipped) and the call returns
+    [false].  [true] means the chunk eventually succeeded.  [heartbeat]
+    (default no-op) is invoked at the start of every attempt — the pool
+    wires it to {!Watchdog.beat}.  Thread-safe; the retry sleep blocks
+    only the calling domain.  Chunk bodies must therefore be safe to
+    re-run: engine sweeps are (atomic minimum races and
+    per-index [finished] guards are idempotent), but throughput counters
+    may count retried work twice. *)
+
+val retries : t -> int
+(** Total retried attempts (the [supervise.retries] counter). *)
+
+val quarantine_count : t -> int
+(** Ranges quarantined so far — cheap, for before/after delta checks
+    around one sweep. *)
+
+val quarantined : t -> quarantine list
+(** Quarantine records, in the order they were recorded. *)
+
+val report_json : t -> string
+(** The machine-readable quarantine report: one line
+    [{"rcn_quarantine":1,"retries":..,"watchdog_trips":..,
+    "quarantined":[{"context":..,"lo":..,"hi":..,"attempts":..,
+    "error":..},...]}] with a trailing newline. *)
+
+val write_report : t -> string -> unit
+(** Write {!report_json} to a file (truncating). *)

@@ -330,6 +330,63 @@ let test_checkpoint_load_edge_cases () =
   check_bool "missing checkpoint loads empty" true
     (Engine.Checkpoint.load "/nonexistent/rcn-ckpt" ~expected:header = [])
 
+(* The durability contract, pinned byte by byte: a [kill -9] (or, with
+   --durable, a power cut) can truncate the checkpoint at *any* byte
+   offset inside the record being appended.  Whatever the cut point, the
+   loader must keep every complete record, drop at most the torn one, and
+   a resumed census must reach the identical histogram. *)
+let test_checkpoint_truncate_every_offset () =
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  let seq = Census.exhaustive ~cap:3 space in
+  let path = Filename.temp_file "rcn-test-ckpt" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  (* [durable] exercises the fsync path; the file contents are the same. *)
+  let full = Engine.census ~cap:3 ~checkpoint:path ~durable:true pool space in
+  check_bool "durable checkpointed run complete" true full.Engine.complete;
+  check_bool "durable run matches the sequential census" true
+    (full.Engine.entries = seq);
+  let bytes = In_channel.with_open_bin path In_channel.input_all in
+  let header = List.hd (String.split_on_char '\n' bytes) in
+  let size = String.length bytes in
+  let whole = Engine.Checkpoint.load path ~expected:header in
+  let n_records = List.length whole in
+  (* Find where the last record starts: the byte after the second-to-last
+     newline. *)
+  let last_start =
+    let rec back i = if bytes.[i] = '\n' then i + 1 else back (i - 1) in
+    back (size - 2)
+  in
+  let cut_path = Filename.temp_file "rcn-test-cut" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists cut_path then Sys.remove cut_path)
+  @@ fun () ->
+  for cut = last_start to size do
+    Out_channel.with_open_bin cut_path (fun oc ->
+        Out_channel.output_string oc (String.sub bytes 0 cut));
+    let loaded = Engine.Checkpoint.load cut_path ~expected:header in
+    (* Losing only the trailing newline leaves a complete, parseable
+       record; any shorter cut tears it and the loader must drop it. *)
+    let expect = if cut >= size - 1 then n_records else n_records - 1 in
+    check_int
+      (Printf.sprintf "cut at byte %d keeps every complete record" cut)
+      expect (List.length loaded);
+    check_bool
+      (Printf.sprintf "cut at byte %d is a prefix of the full log" cut)
+      true
+      (loaded = List.filteri (fun i _ -> i < expect) whole)
+  done;
+  (* Resume from a mid-record cut: the torn record is recomputed and the
+     stitched histogram is bit-identical. *)
+  Out_channel.with_open_bin cut_path (fun oc ->
+      Out_channel.output_string oc (String.sub bytes 0 (last_start + 2)));
+  let resumed = Engine.census ~cap:3 ~checkpoint:cut_path ~resume:true pool space in
+  check_bool "resumed-from-torn-tail run complete" true resumed.Engine.complete;
+  check_int "only whole records were resumed" (n_records - 1) resumed.Engine.resumed;
+  check_bool "stitched histogram identical" true (resumed.Engine.entries = seq)
+
 (* ------------------------------------------------------------------ *)
 (* Deadlines: degrade, never lie. *)
 
@@ -566,6 +623,8 @@ let suite =
       test_census_checkpoint_resume;
     Alcotest.test_case "checkpoint load edge cases" `Quick
       test_checkpoint_load_edge_cases;
+    Alcotest.test_case "checkpoint survives truncation at every byte offset" `Slow
+      test_checkpoint_truncate_every_offset;
     Alcotest.test_case "expired deadline degrades to honest floors" `Quick
       test_expired_deadline_analyze;
     Alcotest.test_case "deadline-cut analyses never overclaim" `Slow

@@ -11,6 +11,7 @@ let () =
       ("machine", Test_machine.suite);
       ("hierarchy", Test_hierarchy.suite);
       ("engine", Test_engine.suite);
+      ("supervise", Test_supervise.suite);
       ("explore", Test_explore.suite);
       ("simultaneous", Test_simultaneous.suite);
       ("protocols", Test_protocols.suite);

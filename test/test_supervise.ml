@@ -1,0 +1,349 @@
+(* Tests for the self-healing layer: deterministic backoff and chaos
+   draws, supervised pool retry semantics (bit-identical results at
+   several job counts), poison quarantine degrading analyses to honest
+   floors, and the watchdog's stall-detect / cancel / retry cycle. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let job_counts = [ 1; 2; 4 ]
+
+(* A policy with sub-millisecond backoffs so retry-heavy tests stay fast. *)
+let fast_policy ?(max_attempts = 3) () =
+  Supervise.Policy.v ~max_attempts ~base_backoff:1e-5 ~max_backoff:1e-4 ()
+
+(* ------------------------------------------------------------------ *)
+(* Policy: backoff determinism, doubling, cap, jitter bounds *)
+
+let test_backoff () =
+  let p =
+    Supervise.Policy.v ~max_attempts:5 ~base_backoff:0.01 ~max_backoff:0.05 ~jitter:0.0
+      ~seed:3 ()
+  in
+  let b k = Supervise.Policy.backoff p ~key:42 ~attempt:k in
+  check_bool "deterministic" true (b 2 = b 2);
+  check_bool "attempt 1 is the base" true (b 1 = 0.01);
+  check_bool "attempt 2 doubles" true (b 2 = 0.02);
+  check_bool "attempt 3 doubles again" true (b 3 = 0.04);
+  check_bool "attempt 4 hits the cap" true (b 4 = 0.05);
+  check_bool "attempt 9 still capped" true (b 9 = 0.05);
+  let j =
+    Supervise.Policy.v ~max_attempts:5 ~base_backoff:0.01 ~max_backoff:0.05 ~jitter:0.5
+      ~seed:3 ()
+  in
+  for key = 0 to 20 do
+    for attempt = 1 to 5 do
+      let jb = Supervise.Policy.backoff j ~key ~attempt in
+      let cap = Float.min 0.05 (0.01 *. (2.0 ** float_of_int (attempt - 1))) in
+      check_bool
+        (Printf.sprintf "jitter bounds key=%d attempt=%d" key attempt)
+        true
+        (jb <= cap && jb >= cap *. 0.5);
+      check_bool "jittered draw is deterministic" true
+        (jb = Supervise.Policy.backoff j ~key ~attempt)
+    done
+  done;
+  check_bool "invalid max_attempts rejected" true
+    (try
+       ignore (Supervise.Policy.v ~max_attempts:0 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "invalid jitter rejected" true
+    (try
+       ignore (Supervise.Policy.v ~jitter:1.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: deterministic, rate-faithful, attempt-windowed *)
+
+let test_chaos () =
+  let c = Supervise.Chaos.create ~attempts:2 ~rate:0.5 ~seed:11 () in
+  for key = 0 to 50 do
+    let f1 = Supervise.Chaos.fires c ~key ~attempt:1 in
+    check_bool "repeat draw identical" true (f1 = Supervise.Chaos.fires c ~key ~attempt:1);
+    (* The draw depends only on the chunk, so a victim fails every attempt
+       in its window — the schedule the retry tests rely on. *)
+    check_bool "attempt 2 matches attempt 1" true
+      (f1 = Supervise.Chaos.fires c ~key ~attempt:2);
+    check_bool "past the window never fires" false
+      (Supervise.Chaos.fires c ~key ~attempt:3)
+  done;
+  let never = Supervise.Chaos.create ~rate:0.0 ~seed:11 () in
+  let always = Supervise.Chaos.create ~rate:1.0 ~seed:11 () in
+  for key = 0 to 50 do
+    check_bool "rate 0 never fires" false (Supervise.Chaos.fires never ~key ~attempt:1);
+    check_bool "rate 1 always fires" true (Supervise.Chaos.fires always ~key ~attempt:1)
+  done;
+  let hits = ref 0 in
+  for key = 0 to 999 do
+    if Supervise.Chaos.fires c ~key ~attempt:1 then incr hits
+  done;
+  check_bool "rate 0.5 fires roughly half the time" true (!hits > 350 && !hits < 650);
+  check_bool "invalid rate rejected" true
+    (try
+       ignore (Supervise.Chaos.create ~rate:1.5 ~seed:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Pool retry semantics *)
+
+(* Chaos fails victim chunks on their first two attempts; with three
+   attempts allowed, every chunk eventually runs exactly once, so the
+   supervised sweep covers the range exactly like an unsupervised one. *)
+let test_pool_retry_covers_range () =
+  List.iter
+    (fun jobs ->
+      let chaos = Supervise.Chaos.create ~attempts:2 ~rate:0.4 ~seed:5 () in
+      let sup = Supervise.create ~policy:(fast_policy ()) ~chaos () in
+      Pool.with_pool ~jobs @@ fun pool ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Pool.parallel_for pool ~chunk:7 ~supervisor:sup n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      check_bool
+        (Printf.sprintf "jobs=%d: every index exactly once despite failures" jobs)
+        true
+        (Array.for_all (fun c -> c = 1) hits);
+      check_bool (Printf.sprintf "jobs=%d: retries were exercised" jobs) true
+        (Supervise.retries sup > 0);
+      check_int (Printf.sprintf "jobs=%d: nothing quarantined" jobs) 0
+        (Supervise.quarantine_count sup))
+    job_counts
+
+(* Real exceptions from the body (not just injected ones) retry too, and
+   a supervised pool never raises Task_error. *)
+let test_pool_retry_real_exception () =
+  List.iter
+    (fun jobs ->
+      let sup = Supervise.create ~policy:(fast_policy ()) () in
+      Pool.with_pool ~jobs @@ fun pool ->
+      let attempts = Array.make 100 0 in
+      let m = Mutex.create () in
+      Pool.parallel_for pool ~chunk:10 ~supervisor:sup 100 (fun lo hi ->
+          let k =
+            Mutex.protect m (fun () ->
+                attempts.(lo) <- attempts.(lo) + 1;
+                attempts.(lo))
+          in
+          if lo = 30 && k <= 2 then failwith "flaky";
+          ignore hi);
+      check_int (Printf.sprintf "jobs=%d: flaky chunk ran three times" jobs) 3
+        attempts.(30);
+      check_int (Printf.sprintf "jobs=%d: two retries recorded" jobs) 2
+        (Supervise.retries sup);
+      check_int (Printf.sprintf "jobs=%d: no quarantine" jobs) 0
+        (Supervise.quarantine_count sup))
+    job_counts
+
+let test_pool_quarantine () =
+  List.iter
+    (fun jobs ->
+      let sup = Supervise.create ~policy:(fast_policy ~max_attempts:2 ()) () in
+      Pool.with_pool ~jobs @@ fun pool ->
+      let done_ = Atomic.make 0 in
+      (* One poison chunk fails every attempt; the rest of the range must
+         still be processed — no abort, no Task_error. *)
+      Pool.parallel_for pool ~chunk:10 ~supervisor:sup 100 (fun lo hi ->
+          if lo = 50 then failwith "poison";
+          ignore (Atomic.fetch_and_add done_ (hi - lo)));
+      check_int (Printf.sprintf "jobs=%d: everything else processed" jobs) 90
+        (Atomic.get done_);
+      check_int (Printf.sprintf "jobs=%d: one quarantine" jobs) 1
+        (Supervise.quarantine_count sup);
+      match Supervise.quarantined sup with
+      | [ q ] ->
+          check_int "quarantined lo" 50 q.Supervise.q_lo;
+          check_int "quarantined hi" 60 q.Supervise.q_hi;
+          check_int "attempts exhausted" 2 q.Supervise.q_attempts;
+          check_bool "error captured" true
+            (String.length q.Supervise.q_error > 0)
+      | l -> Alcotest.failf "expected one quarantine record, got %d" (List.length l))
+    job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Engine: transient failures heal to bit-identical analyses;
+   exhausted failures degrade to honest floors. *)
+
+let test_engine_retry_parity () =
+  let seq = Numbers.analyze ~cap:4 Gallery.test_and_set in
+  List.iter
+    (fun jobs ->
+      let chaos = Supervise.Chaos.create ~attempts:2 ~rate:0.5 ~seed:9 () in
+      let sup = Supervise.create ~policy:(fast_policy ()) ~chaos () in
+      Pool.with_pool ~jobs @@ fun pool ->
+      let a = Engine.analyze ~cap:4 ~supervisor:sup pool Gallery.test_and_set in
+      check_bool
+        (Printf.sprintf "jobs=%d: healed analysis equals the sequential one" jobs)
+        true (Analysis.equal a seq);
+      check_int (Printf.sprintf "jobs=%d: nothing quarantined" jobs) 0
+        (Supervise.quarantine_count sup))
+    job_counts
+
+let test_engine_quarantine_degrades () =
+  List.iter
+    (fun jobs ->
+      (* Every chunk fails more often than the policy tolerates: all work
+         is quarantined, and the analysis must fall back to the same
+         honest At_least floor an expired deadline produces. *)
+      let chaos = Supervise.Chaos.create ~attempts:10 ~rate:1.0 ~seed:1 () in
+      let sup = Supervise.create ~policy:(fast_policy ~max_attempts:2 ()) ~chaos () in
+      Pool.with_pool ~jobs @@ fun pool ->
+      let a = Engine.analyze ~cap:4 ~supervisor:sup pool Gallery.test_and_set in
+      let check_level name (l : Analysis.level) =
+        check_int (Printf.sprintf "jobs=%d: %s floor" jobs name) 1 l.Analysis.value;
+        check_bool
+          (Printf.sprintf "jobs=%d: %s is a lower bound" jobs name)
+          true
+          (l.Analysis.status = Analysis.At_least)
+      in
+      check_level "discerning" a.Analysis.discerning;
+      check_level "recording" a.Analysis.recording;
+      check_bool (Printf.sprintf "jobs=%d: quarantines recorded" jobs) true
+        (Supervise.quarantine_count sup > 0))
+    job_counts
+
+let test_quarantined_sweep_not_cached () =
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  let cache = Engine.Cache.create () in
+  let chaos = Supervise.Chaos.create ~attempts:10 ~rate:1.0 ~seed:1 () in
+  let sup = Supervise.create ~policy:(fast_policy ~max_attempts:2 ()) ~chaos () in
+  (match
+     Engine.search_within ~cache ~supervisor:sup pool Decide.Discerning
+       Gallery.test_and_set ~n:2
+   with
+  | Engine.Expired -> ()
+  | _ -> Alcotest.fail "fully quarantined sweep should report Expired");
+  (* The degraded outcome must not poison the cache: the same query
+     without chaos computes the true answer. *)
+  (match
+     Engine.search_within ~cache pool Decide.Discerning Gallery.test_and_set ~n:2
+   with
+  | Engine.Found _ -> ()
+  | _ -> Alcotest.fail "clean retry should find the witness");
+  let stats = Engine.Cache.stats cache in
+  check_bool "degraded probe accounted as expired" true (stats.Engine.Cache.expired >= 1);
+  check_bool "clean probe was a miss, not a poisoned hit" true
+    (stats.Engine.Cache.misses >= 1)
+
+let test_census_quarantine_holes () =
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  let chaos = Supervise.Chaos.create ~attempts:10 ~rate:0.3 ~seed:4 () in
+  let sup = Supervise.create ~policy:(fast_policy ~max_attempts:2 ()) ~chaos () in
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  let run = Engine.census ~cap:3 ~supervisor:sup pool space in
+  check_bool "census with quarantined chunks is honestly incomplete" false
+    run.Engine.complete;
+  check_bool "undecided tables match the quarantine ledger" true
+    (run.Engine.total - run.Engine.completed
+    = List.fold_left
+        (fun acc q -> acc + (q.Supervise.q_hi - q.Supervise.q_lo))
+        0
+        (Supervise.quarantined sup))
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog *)
+
+let test_watchdog_unit () =
+  let t = ref 0.0 in
+  let wd = Supervise.Watchdog.create ~now:(fun () -> !t) ~interval:1.0 ~jobs:2 () in
+  check_bool "idle pool is not stalled" false (Supervise.Watchdog.stalled wd);
+  Supervise.Watchdog.beat wd ~worker:0;
+  t := 0.5;
+  check_bool "recent beat is not a stall" false (Supervise.Watchdog.stalled wd);
+  t := 1.5;
+  check_bool "beat older than the interval is a stall" true
+    (Supervise.Watchdog.stalled wd);
+  Supervise.Watchdog.clear wd ~worker:0;
+  check_bool "cleared worker is idle again" false (Supervise.Watchdog.stalled wd);
+  Supervise.Watchdog.beat wd ~worker:1;
+  t := 3.0;
+  check_bool "other worker stalls too" true (Supervise.Watchdog.stalled wd);
+  Supervise.Watchdog.trip wd;
+  check_int "trip recorded" 1 (Supervise.Watchdog.trips wd);
+  check_bool "trip resets every slot" false (Supervise.Watchdog.stalled wd);
+  check_bool "out-of-range worker ids are ignored" true
+    (Supervise.Watchdog.beat wd ~worker:99;
+     Supervise.Watchdog.clear wd ~worker:(-1);
+     true);
+  check_bool "invalid interval rejected" true
+    (try
+       ignore (Supervise.Watchdog.create ~interval:0.0 ~jobs:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* A pre-stalled watchdog (a beaten slot nothing ever clears) makes the
+   engine cancel the sweep and retry it; the trip resets the slots, so
+   the retry completes and the result is still exactly right. *)
+let test_engine_watchdog_recovers () =
+  List.iter
+    (fun jobs ->
+      let wd = Supervise.Watchdog.create ~interval:0.001 ~jobs:8 () in
+      Supervise.Watchdog.beat wd ~worker:7;
+      Obs.Clock.sleep 0.005;
+      let sup = Supervise.create ~policy:(fast_policy ()) ~watchdog:wd () in
+      Pool.with_pool ~jobs @@ fun pool ->
+      let a = Engine.analyze ~cap:4 ~supervisor:sup pool Gallery.test_and_set in
+      check_bool
+        (Printf.sprintf "jobs=%d: analysis correct after watchdog trips" jobs)
+        true
+        (Analysis.equal a (Numbers.analyze ~cap:4 Gallery.test_and_set));
+      check_bool (Printf.sprintf "jobs=%d: the watchdog actually tripped" jobs) true
+        (Supervise.Watchdog.trips wd >= 1))
+    job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Report *)
+
+let test_report_json () =
+  let sup = Supervise.create ~policy:(fast_policy ~max_attempts:1 ()) () in
+  Pool.with_pool ~jobs:1 @@ fun pool ->
+  Pool.parallel_for pool ~chunk:10 ~supervisor:sup 20 (fun lo _ ->
+      if lo = 10 then failwith "bad \"quote\"");
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let json = Supervise.report_json sup in
+  check_bool "report is tagged" true (contains ~sub:"{\"rcn_quarantine\":1" json);
+  (* Printexc already backslash-escapes the quote; the JSON escaper then
+     escapes both characters again, so the report carries
+     backslash-backslash-backslash-quote. *)
+  check_bool "exception text is escaped" true
+    (contains ~sub:"bad \\\\\\\"quote" json);
+  let path = Filename.temp_file "rcn-test-quarantine" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Supervise.write_report sup path;
+  check_bool "written report round-trips" true
+    (In_channel.with_open_text path In_channel.input_all = json)
+
+let suite =
+  [
+    Alcotest.test_case "backoff: deterministic, doubling, capped, jitter-bounded" `Quick
+      test_backoff;
+    Alcotest.test_case "chaos: deterministic seeded failure schedules" `Quick test_chaos;
+    Alcotest.test_case "supervised pool covers the range despite failures" `Quick
+      test_pool_retry_covers_range;
+    Alcotest.test_case "real exceptions retry and heal" `Quick
+      test_pool_retry_real_exception;
+    Alcotest.test_case "poison chunks quarantine without aborting" `Quick
+      test_pool_quarantine;
+    Alcotest.test_case "healed analyses are bit-identical at jobs 1/2/4" `Slow
+      test_engine_retry_parity;
+    Alcotest.test_case "quarantine degrades to honest floors" `Quick
+      test_engine_quarantine_degrades;
+    Alcotest.test_case "quarantined sweeps are not cached" `Quick
+      test_quarantined_sweep_not_cached;
+    Alcotest.test_case "census leaves honest holes for quarantined chunks" `Slow
+      test_census_quarantine_holes;
+    Alcotest.test_case "watchdog stall detection unit" `Quick test_watchdog_unit;
+    Alcotest.test_case "engine recovers from a watchdog trip" `Slow
+      test_engine_watchdog_recovers;
+    Alcotest.test_case "quarantine report JSON" `Quick test_report_json;
+  ]
