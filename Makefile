@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-e18 bench-e19 inject-smoke stats-smoke soak-smoke clean
+.PHONY: all build test check bench bench-e18 bench-e19 inject-smoke stats-smoke soak-smoke serve-smoke clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # What CI runs: full build, the whole test suite (including the engine
 # parity properties), a parallel-engine smoke through the CLI, the
 # fault-injection smoke, the stats-export smoke, and the kill(-9) soak.
-check: build test inject-smoke stats-smoke soak-smoke
+check: build test inject-smoke stats-smoke soak-smoke serve-smoke
 	dune exec bin/rcn.exe -- analyze test-and-set --cap 3 --jobs 2
 
 # Stats-export smoke: run an instrumented analyze on a gallery type, keep
@@ -36,6 +36,17 @@ stats-smoke: build
 inject-smoke: build
 	dune exec bin/rcn.exe -- inject -n 3 --nprime 1 --seeds 40 \
 	  --report inject-report.txt --require-violation
+
+# Daemon smoke: start `rcn serve` on a Unix socket, talk to it with the
+# dependency-free protocol client, and assert the three serve guarantees
+# through the shipped binaries — repeat queries served byte-identically
+# from the persistent store (gated on nonzero store.hits in the metrics
+# reply), SIGKILL mid-workload recovered by a restart on the same store,
+# and SIGTERM shutting down cleanly (exit 0, socket unlinked).  The
+# daemon's --stats json block and every response land in serve-smoke*
+# files for CI to archive.
+serve-smoke: build
+	bash tools/serve_smoke.sh
 
 bench:
 	dune exec bench/main.exe
@@ -75,4 +86,7 @@ soak-smoke: build
 clean:
 	dune clean
 	rm -f inject-report.txt stats-smoke.out BENCH_e18.json BENCH_e19.json \
-	  retry-quarantine.json soak-smoke.out soak-census.ckpt
+	  retry-quarantine.json soak-smoke.out soak-census.ckpt \
+	  serve-smoke.out serve-smoke-daemon1.out serve-smoke-cold.json \
+	  serve-smoke-warm.json serve-smoke-recovered.json \
+	  serve-smoke-metrics.json serve-smoke.sock serve-smoke.store

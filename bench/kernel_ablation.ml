@@ -42,7 +42,9 @@ let refute_workload ~jobs =
       (fun (results, seconds) (label, mode) ->
         Pool.with_pool ~jobs @@ fun pool ->
         let r, t =
-          time (fun () -> Engine.search ~kernel:mode pool Decide.Recording x4 ~n:5)
+          time (fun () ->
+              Engine.search ~config:(Api.Config.v ~kernel:mode ()) pool Decide.Recording
+                x4 ~n:5)
         in
         Printf.printf "  refute 5-recording(x4) %-9s jobs=%d: %8.3fs\n%!" label jobs t;
         (Option.is_none r :: results, (label, t) :: seconds))
@@ -63,7 +65,10 @@ let census_workload ~jobs =
     List.fold_left
       (fun (entries, seconds) (label, mode) ->
         Pool.with_pool ~jobs @@ fun pool ->
-        let r, t = time (fun () -> Engine.census ~cap:4 ~kernel:mode pool space) in
+        let r, t =
+          time (fun () ->
+              Engine.census ~config:(Api.Config.v ~cap:4 ~kernel:mode ()) pool space)
+        in
         Printf.printf "  census {3,2,2} cap 4 %-9s jobs=%d: %8.3fs (%d tables)\n%!"
           label jobs t r.Engine.completed;
         (r.Engine.entries :: entries, (label, t) :: seconds))

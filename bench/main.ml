@@ -84,7 +84,8 @@ let e5_gallery () =
   Pool.with_pool ~jobs:(Engine.default_jobs ()) @@ fun pool ->
   List.iter
     (fun a -> Format.printf "%a@." Analysis.pp a)
-    (Engine.analyze_all ~cap:5 pool (List.map snd (Gallery.all ())))
+    (Engine.analyze_all ~config:(Api.Config.v ~cap:5 ()) pool
+       (List.map snd (Gallery.all ())))
 
 let e6_witness () =
   section "E6 — the X_4 gap witness (corollary to Theorem 13)";
@@ -127,7 +128,8 @@ let e11_census () =
   Printf.printf "all %d readable types with 3 values, 2 RMW ops, 2 responses (cap 4):\n"
     (Census.space_size space);
   let run jobs =
-    Pool.with_pool ~jobs @@ fun pool -> time (fun () -> Engine.census ~cap:4 pool space)
+    Pool.with_pool ~jobs @@ fun pool ->
+    time (fun () -> Engine.census ~config:(Api.Config.v ~cap:4 ()) pool space)
   in
   let run1, t1 = run 1 in
   let run4, t4 = run 4 in
@@ -200,7 +202,7 @@ let e9_decider_scaling () =
   let jobs_hi = max 2 (Engine.default_jobs ()) in
   let run jobs =
     Pool.with_pool ~jobs @@ fun pool ->
-    time (fun () -> Engine.search pool Decide.Recording x4 ~n:5)
+    time (fun () -> Engine.search ~config:Api.Config.default pool Decide.Recording x4 ~n:5)
   in
   let r1, t1 = run 1 in
   let rn, tn = run jobs_hi in
@@ -210,8 +212,9 @@ let e9_decider_scaling () =
     (Option.is_none r1 = Option.is_none rn);
   let cache = Engine.Cache.create () in
   Pool.with_pool ~jobs:1 @@ fun pool ->
-  let _, cold = time (fun () -> Engine.analyze ~cache ~cap:4 pool x4) in
-  let _, warm = time (fun () -> Engine.analyze ~cache ~cap:4 pool x4) in
+  let cap4 = Api.Config.v ~cap:4 () in
+  let _, cold = time (fun () -> Engine.analyze ~cache ~config:cap4 pool x4) in
+  let _, warm = time (fun () -> Engine.analyze ~cache ~config:cap4 pool x4) in
   let stats = Engine.Cache.stats cache in
   Printf.printf
     "engine closure cache analyze(x4, cap 4): cold %.3fs, warm %.6fs; outcome probes %d = hits %d + misses %d + expired %d, schedule hits %d, misses %d\n"
@@ -318,7 +321,7 @@ let e16_inject () =
      uncut one established, and always flags itself as a lower bound. *)
   Pool.with_pool ~jobs:(Engine.default_jobs ()) @@ fun pool ->
   let x4 = Gallery.x4_witness in
-  let full = Engine.analyze ~cap:4 pool x4 in
+  let full = Engine.analyze ~config:(Api.Config.v ~cap:4 ()) pool x4 in
   let honest (tag : string) (a : Analysis.t) =
     let sub (cut : Analysis.level) (ref_ : Analysis.level) =
       cut.Analysis.value <= ref_.Analysis.value
@@ -332,8 +335,9 @@ let e16_inject () =
       (sub a.Analysis.discerning full.Analysis.discerning
       && sub a.Analysis.recording full.Analysis.recording)
   in
-  honest "expired" (Engine.analyze ~cap:4 ~deadline:(Obs.Clock.now () -. 1.0) pool x4);
-  honest "50ms" (Engine.analyze ~cap:4 ~deadline:(Obs.Clock.after 0.05) pool x4);
+  honest "expired"
+    (Engine.analyze ~config:(Api.Config.v ~cap:4 ~deadline:(-1.0) ()) pool x4);
+  honest "50ms" (Engine.analyze ~config:(Api.Config.v ~cap:4 ~deadline:0.05 ()) pool x4);
   (* Census cut by a deadline, checkpointed, resumed: the stitched-together
      histogram must equal the uninterrupted sequential one. *)
   let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
@@ -341,12 +345,14 @@ let e16_inject () =
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists ckpt then Sys.remove ckpt)
     (fun () ->
+      let cap3 = Api.Config.v ~cap:3 () in
       let cut =
-        Engine.census ~cap:3 ~checkpoint:ckpt ~deadline:(Obs.Clock.after 0.1) pool
-          space
+        Engine.census ~checkpoint:ckpt
+          ~config:(Api.Config.v ~cap:3 ~deadline:0.1 ())
+          pool space
       in
-      let resumed = Engine.census ~cap:3 ~checkpoint:ckpt ~resume:true pool space in
-      let seq = Pool.with_pool ~jobs:1 @@ fun p1 -> Engine.census ~cap:3 p1 space in
+      let resumed = Engine.census ~checkpoint:ckpt ~resume:true ~config:cap3 pool space in
+      let seq = Pool.with_pool ~jobs:1 @@ fun p1 -> Engine.census ~config:cap3 p1 space in
       Printf.printf
         "census cut at 100ms: %d/%d decided; resume recomputed %d; stitched \
          histogram identical to uninterrupted jobs=1: %b\n"
@@ -365,7 +371,7 @@ let e17_obs_overhead () =
   let jobs = max 2 (Engine.default_jobs ()) in
   let sweep ?obs () =
     Pool.with_pool ?obs ~jobs @@ fun pool ->
-    ignore (Engine.search ?obs pool Decide.Recording x4 ~n:5)
+    ignore (Engine.search ?obs ~config:Api.Config.default pool Decide.Recording x4 ~n:5)
   in
   let best_of k f =
     sweep ?obs:None () |> ignore;

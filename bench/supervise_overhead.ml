@@ -44,7 +44,8 @@ let bench_policy = Supervise.Policy.v ~max_attempts:3 ~base_backoff:1e-4 ~max_ba
 let census_workload ~runs ~jobs =
   let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 } in
   let census ?supervisor () =
-    Pool.with_pool ~jobs @@ fun pool -> Engine.census ~cap:3 ?supervisor pool space
+    Pool.with_pool ~jobs @@ fun pool ->
+    Engine.census ?supervisor ~config:(Api.Config.v ~cap:3 ()) pool space
   in
   let base, baseline_s = min_of_runs ~runs (fun () -> census ()) in
   Printf.printf "  census {3,2,2} cap 3 unsupervised   jobs=%d: %8.3fs\n%!" jobs baseline_s;

@@ -16,25 +16,11 @@ let kernel_conv =
 
 (* [--jobs 0] resolves to RCN_JOBS / the host's domain count. *)
 let resolve_jobs j =
-  if j = 0 then
-    try Engine.default_jobs ()
-    with Invalid_argument msg ->
-      prerr_endline msg;
-      exit 2
-  else if j < 0 then begin
-    prerr_endline "--jobs must be nonnegative";
+  try Engine.resolve_jobs j
+  with Invalid_argument msg ->
+    prerr_endline
+      (if j < 0 then "--jobs must be nonnegative" else msg);
     exit 2
-  end
-  else j
-
-(* [--deadline S] is relative seconds on the command line, an absolute
-   monotonic timestamp inside the engine. *)
-let resolve_deadline = function
-  | None -> None
-  | Some s when s <= 0.0 ->
-      prerr_endline "--deadline must be positive";
-      exit 2
-  | Some s -> Some (Obs.Clock.after s)
 
 (* Observability plumbing shared by the long-running commands: build the
    context ([--trace FILE] selects the JSONL sink), run the command body
@@ -84,10 +70,11 @@ let with_obs ~command trace stats f =
   if code <> 0 then exit code
 
 (* ------------------------------------------------------------------ *)
-(* supervision: the self-healing layer behind --retries / --heartbeat /
-   --chaos-rate / --quarantine-report.  A supervisor is only built when
-   one of those flags is present — the default paths stay exactly the
-   unsupervised fast paths. *)
+(* the Request/Response code path.  Every engine subcommand builds an
+   [Api.Request.t], hands it to [Dispatch] — in-process by default, over
+   a daemon's socket with [--connect] — and derives its printing and its
+   exit code from the [Api.Response.t].  CLI and daemon cannot drift:
+   they run the same requests through the same handler. *)
 
 type supervise_opts = {
   retries : int option;  (* --retries: attempts per chunk before quarantine *)
@@ -98,93 +85,105 @@ type supervise_opts = {
   chaos_attempts : int;
 }
 
-let make_supervisor ~obs ~jobs opts =
-  if
-    opts.retries = None && opts.quarantine_report = None && opts.heartbeat = None
-    && opts.chaos_rate = None
-  then None
-  else
-    try
-      let policy =
-        match opts.retries with
-        | None -> Supervise.Policy.default
-        | Some k -> Supervise.Policy.v ~max_attempts:k ()
-      in
-      let chaos =
-        Option.map
-          (fun rate ->
-            Supervise.Chaos.create ~attempts:opts.chaos_attempts ~rate
-              ~seed:opts.chaos_seed ())
-          opts.chaos_rate
-      in
-      let watchdog =
-        Option.map
-          (fun interval -> Supervise.Watchdog.create ~obs ~interval ~jobs ())
-          opts.heartbeat
-      in
-      Some (Supervise.create ~policy ?chaos ?watchdog ~obs ())
-    with Invalid_argument msg ->
+(* Flags to the one serializable config record.  [--quarantine-report]
+   stays CLI-only (where to write a file is not part of the query). *)
+let build_config ~cap ~jobs ~kernel ~deadline sup =
+  (match deadline with
+  | Some s when s <= 0.0 ->
+      prerr_endline "--deadline must be positive";
+      exit 2
+  | _ -> ());
+  let config =
+    Api.Config.v ~jobs ~cap ?deadline ~kernel ?retries:sup.retries
+      ?heartbeat:sup.heartbeat ?chaos_rate:sup.chaos_rate ~chaos_seed:sup.chaos_seed
+      ~chaos_attempts:sup.chaos_attempts ()
+  in
+  match Api.Config.validate config with
+  | Ok () -> config
+  | Error msg ->
       prerr_endline msg;
       exit 2
 
-(* Emit the machine-readable quarantine ledger and a human summary; a
-   command that quarantined work must not exit 0 as if it had done it. *)
-let finish_supervised opts supervisor code =
-  match supervisor with
-  | None -> code
-  | Some sup ->
-      Option.iter
-        (fun path ->
-          Supervise.write_report sup path;
-          Printf.printf "quarantine report written to %s\n" path)
-        opts.quarantine_report;
-      let q = Supervise.quarantine_count sup in
-      if q > 0 then begin
-        Printf.printf "SUPERVISED: %d chunk%s quarantined (results degraded, not lost)\n" q
-          (if q = 1 then "" else "s");
-        if code = 0 then 3 else code
-      end
-      else code
+(* In-process dispatch: a private pool sized by the request's config,
+   the CLI's own [obs] backing the supervisor ledger — exactly what the
+   daemon does per request, minus the store. *)
+let run_local ~obs ~command req =
+  let jobs =
+    resolve_jobs
+      (match Api.Request.config req with
+      | Some c -> c.Api.Config.jobs
+      | None -> 1)
+  in
+  Pool.with_pool ~obs ~jobs @@ fun pool ->
+  let env = Dispatch.env ~supervision_obs:obs ~obs ~command pool in
+  Dispatch.handle env req
+
+let dispatch ~connect ~obs ~command req =
+  match connect with
+  | None -> run_local ~obs ~command req
+  | Some socket -> (
+      match Client.one_shot ~socket req with
+      | Ok resp -> resp
+      | Error msg ->
+          Api.Response.error ~code:Api.Response.err_internal
+            (Printf.sprintf "daemon at %s: %s" socket msg))
+
+(* Shared response epilogue: error reporting, the quarantine ledger, the
+   degradation banner, and the one exit-code policy
+   ([Api.Response.exit_code]) — identical CLI or daemon. *)
+let finish ?quarantine_report (resp : Api.Response.t) on_body =
+  (match resp.Api.Response.body with
+  | Api.Response.Error { code = _; message } -> Printf.eprintf "rcn: %s\n" message
+  | body -> on_body body);
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Api.Response.quarantine_report resp));
+      Printf.printf "quarantine report written to %s\n" path)
+    quarantine_report;
+  (let q = List.length resp.Api.Response.quarantined in
+   if q > 0 then
+     Printf.printf "SUPERVISED: %d chunk%s quarantined (results degraded, not lost)\n" q
+       (if q = 1 then "" else "s"));
+  Api.Response.exit_code resp
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
-let analyze ty cap certs jobs kernel deadline sup_opts trace stats =
+let analyze ty cap certs jobs kernel deadline sup_opts connect trace stats =
   with_obs ~command:"analyze" trace stats @@ fun obs ->
-  let jobs = resolve_jobs jobs in
-  let supervisor = make_supervisor ~obs ~jobs sup_opts in
-  let code =
-    Pool.with_pool ~obs ~jobs @@ fun pool ->
-    let cache = Engine.Cache.create ~obs () in
-    let a =
-      Engine.analyze ~cache ~obs ~cap ~kernel ?deadline:(resolve_deadline deadline)
-        ?supervisor pool ty
-    in
-    Format.printf "%a@." Analysis.pp a;
-    if certs then begin
-      (match a.Analysis.discerning.Analysis.certificate with
-      | Some c -> Format.printf "@.discerning witness:@.%a@." Certificate.pp c
-      | None -> ());
-      match a.Analysis.recording.Analysis.certificate with
-      | Some c ->
-          Format.printf "@.recording witness:@.%a@.clean: %b@." Certificate.pp c
-            (Certificate.is_clean c)
-      | None -> ()
-    end;
-    0
+  let config = build_config ~cap ~jobs ~kernel ~deadline sup_opts in
+  let req =
+    Api.Request.Analyze { spec = Objtype.to_spec_string ty; config }
   in
-  finish_supervised sup_opts supervisor code
+  let resp = dispatch ~connect ~obs ~command:"analyze" req in
+  finish ?quarantine_report:sup_opts.quarantine_report resp (function
+    | Api.Response.Analysis { analysis = a; from_store } ->
+        Format.printf "%a@." Analysis.pp a;
+        if from_store then Printf.printf "(served from the result store)\n";
+        if certs then begin
+          (match a.Analysis.discerning.Analysis.certificate with
+          | Some c -> Format.printf "@.discerning witness:@.%a@." Certificate.pp c
+          | None -> ());
+          match a.Analysis.recording.Analysis.certificate with
+          | Some c ->
+              Format.printf "@.recording witness:@.%a@.clean: %b@." Certificate.pp c
+                (Certificate.is_clean c)
+          | None -> ()
+        end
+    | _ -> prerr_endline "rcn: unexpected response kind")
 
 (* ------------------------------------------------------------------ *)
 (* gallery *)
 
 let gallery cap jobs kernel =
+  let config = Api.Config.v ~cap ~kernel () in
   Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
   Format.printf "%-18s %-9s %-9s %-9s %-9s %-9s@." "type" "readable" "disc" "rec" "cons"
     "rcons";
   List.iter
     (fun a -> Format.printf "%a@." Analysis.pp a)
-    (Engine.analyze_all ~cap ~kernel pool (List.map snd (Gallery.all ())))
+    (Engine.analyze_all ~config pool (List.map snd (Gallery.all ())))
 
 (* ------------------------------------------------------------------ *)
 (* statemachine (Figure 3) *)
@@ -320,19 +319,17 @@ let trace name n n' schedule_text inputs_text =
 (* synth *)
 
 let synth target values rws responses seed iters save portfolio jobs deadline sup_opts
-    trace stats =
+    connect trace stats =
   with_obs ~command:"synth" trace stats @@ fun obs ->
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
-  let jobs = resolve_jobs jobs in
-  let supervisor = make_supervisor ~obs ~jobs sup_opts in
-  let witness =
-    Pool.with_pool ~obs ~jobs @@ fun pool ->
-    Engine.synth_portfolio ~seed ~max_iterations:iters ~portfolio ~obs
-      ?deadline:(resolve_deadline deadline) ?supervisor pool ~target space
+  let config = build_config ~cap:5 ~jobs ~kernel:Kernel.Trie ~deadline sup_opts in
+  let req =
+    Api.Request.Synth
+      { space; target; seed; iterations = iters; restart_every = None; portfolio; config }
   in
-  let code =
-    match witness with
-    | Some w ->
+  let resp = dispatch ~connect ~obs ~command:"synth" req in
+  finish ?quarantine_report:sup_opts.quarantine_report resp (function
+    | Api.Response.Synth { witness = Some w } ->
         Printf.printf "witness found after %d evaluations:\n" w.Synth.iterations;
         Format.printf "%a@." Objtype.pp_table w.Synth.objtype;
         Printf.printf "consensus number %d, recoverable consensus number %d\n"
@@ -342,13 +339,10 @@ let synth target values rws responses seed iters save portfolio jobs deadline su
             Out_channel.with_open_text path (fun oc ->
                 Out_channel.output_string oc (Objtype.to_spec_string w.Synth.objtype));
             Printf.printf "saved to %s (re-analyze with `rcn analyze %s`)\n" path path)
-          save;
-        0
-    | None ->
-        Printf.printf "no witness found within %d evaluations\n" iters;
-        1
-  in
-  finish_supervised sup_opts supervisor code
+          save
+    | Api.Response.Synth { witness = None } ->
+        Printf.printf "no witness found within %d evaluations\n" iters
+    | _ -> prerr_endline "rcn: unexpected response kind")
 
 (* ------------------------------------------------------------------ *)
 (* chain (Theorem 13's construction) *)
@@ -390,7 +384,7 @@ let chain name n n' z max_events inputs_text =
 (* census *)
 
 let census values rws responses cap sample_count seed jobs kernel deadline checkpoint
-    resume durable sup_opts trace stats =
+    resume durable sup_opts connect trace stats =
   with_obs ~command:"census" trace stats @@ fun obs ->
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
   if resume && checkpoint = None then begin
@@ -401,35 +395,26 @@ let census values rws responses cap sample_count seed jobs kernel deadline check
     prerr_endline "--durable needs --checkpoint FILE to make durable";
     exit 2
   end;
-  match sample_count with
-  | Some count ->
-      Format.printf "%a@." Census.pp (Census.sample ~cap ~seed ~count space);
-      0
-  | None ->
-      let jobs = resolve_jobs jobs in
-      let supervisor = make_supervisor ~obs ~jobs sup_opts in
-      let run =
-        Pool.with_pool ~obs ~jobs @@ fun pool ->
-        Engine.census ~cap ~obs ~kernel ?deadline:(resolve_deadline deadline) ?supervisor
-          ?checkpoint ~resume ~durable pool space
-      in
-      Format.printf "%a@." Census.pp run.Engine.entries;
-      if run.Engine.resumed > 0 then
-        Printf.printf "resumed %d previously decided tables from checkpoint\n"
-          run.Engine.resumed;
-      let code =
-        if run.Engine.complete then 0
-        else begin
-          Printf.printf "PARTIAL: %d of %d tables decided%s\n" run.Engine.completed
-            run.Engine.total
+  let config = build_config ~cap ~jobs ~kernel ~deadline sup_opts in
+  let req =
+    Api.Request.Census
+      { space; sample = sample_count; seed; checkpoint; resume; durable; config }
+  in
+  let resp = dispatch ~connect ~obs ~command:"census" req in
+  finish ?quarantine_report:sup_opts.quarantine_report resp (function
+    | Api.Response.Census run ->
+        Format.printf "%a@." Census.pp run.Api.Response.entries;
+        if run.Api.Response.resumed > 0 then
+          Printf.printf "resumed %d previously decided tables from checkpoint\n"
+            run.Api.Response.resumed;
+        if not run.Api.Response.complete then
+          Printf.printf "PARTIAL: %d of %d tables decided%s\n" run.Api.Response.completed
+            run.Api.Response.total
             (match checkpoint with
             | Some path ->
                 Printf.sprintf " (re-run with --checkpoint %s --resume to finish)" path
-            | None -> "");
-          3
-        end
-      in
-      finish_supervised sup_opts supervisor code
+            | None -> "")
+    | _ -> prerr_endline "rcn: unexpected response kind")
 
 (* ------------------------------------------------------------------ *)
 (* soak: the kill(-9) chaos harness.  Spawns a real [rcn census
@@ -474,9 +459,10 @@ let soak values rws responses cap kills seed jobs kernel checkpoint timeout trac
     | None -> (Filename.temp_file "rcn_soak" ".ckpt", true)
   in
   if Sys.file_exists path then Sys.remove path;
+  let config = Api.Config.v ~cap ~kernel () in
   (* The uninterrupted truth the recovered run must reproduce. *)
   let reference =
-    Pool.with_pool ~obs ~jobs @@ fun pool -> Engine.census ~cap ~obs ~kernel pool space
+    Pool.with_pool ~obs ~jobs @@ fun pool -> Engine.census ~obs ~config pool space
   in
   let total = reference.Engine.total in
   Printf.printf "soak: %d tables (%d values, %d rws, %d responses), %d kill cycles, seed %d\n%!"
@@ -575,7 +561,7 @@ let soak values rws responses cap kills seed jobs kernel checkpoint timeout trac
              to the uninterrupted reference. *)
           let final =
             Pool.with_pool ~obs ~jobs @@ fun pool ->
-            Engine.census ~cap ~obs ~kernel ~checkpoint:path ~resume:true pool space
+            Engine.census ~obs ~checkpoint:path ~resume:true ~config pool space
           in
           if
             final.Engine.complete
@@ -645,6 +631,92 @@ let robustness names cap =
   Format.printf "%a@." Robustness.pp_report (Robustness.analyze ~cap types)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the analysis-as-a-service daemon.  Signal handling differs
+   from [with_obs]: SIGINT/SIGTERM request a graceful stop (drain the
+   queue, persist the store, exit 0) instead of exiting 130/143 — a
+   daemon asked to stop and stopping cleanly has succeeded. *)
+
+let serve socket store jobs queue_limit fsync trace stats =
+  let sink =
+    match trace with Some path -> Obs.Trace.jsonl path | None -> Obs.Trace.null
+  in
+  let obs = Obs.create ~sink () in
+  let jobs = resolve_jobs jobs in
+  let daemon =
+    try Serve.create ~jobs ~queue_limit ~fsync ~obs ~socket ~store ()
+    with
+    | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "rcn serve: cannot listen on %s: %s\n" socket
+          (Unix.error_message e);
+        exit 2
+    | Sys_error msg ->
+        Printf.eprintf "rcn serve: cannot open store %s: %s\n" store msg;
+        exit 2
+  in
+  List.iter
+    (fun signal ->
+      try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Serve.stop daemon))
+      with Sys_error _ | Invalid_argument _ -> ())
+    [ Sys.sigint; Sys.sigterm ];
+  Printf.printf "rcn serve: listening on %s (store %s, %d jobs)\n%!" socket store jobs;
+  Serve.run daemon;
+  Option.iter (fun fmt -> print_string (Obs.Stats.render ~command:"serve" obs fmt)) stats;
+  flush stdout;
+  Obs.Trace.close sink
+
+(* ------------------------------------------------------------------ *)
+(* request: print the canonical wire form of a query — what [--connect]
+   would send — for scripting against a daemon with any socket tool. *)
+
+let request kind ty_opt cap values rws responses sample seed target iters portfolio
+    jobs kernel deadline sup_opts =
+  let config () = build_config ~cap ~jobs ~kernel ~deadline sup_opts in
+  let space () =
+    { Synth.num_values = values; num_rws = rws; num_responses = responses }
+  in
+  let req =
+    match kind with
+    | "ping" -> Api.Request.Ping
+    | "metrics" -> Api.Request.Metrics
+    | "analyze" -> (
+        match ty_opt with
+        | Some ty ->
+            Api.Request.Analyze { spec = Objtype.to_spec_string ty; config = config () }
+        | None ->
+            prerr_endline "rcn request analyze needs a TYPE argument";
+            exit 2)
+    | "census" ->
+        Api.Request.Census
+          {
+            space = space ();
+            sample;
+            seed;
+            checkpoint = None;
+            resume = false;
+            durable = false;
+            config = config ();
+          }
+    | "synth" ->
+        Api.Request.Synth
+          {
+            space = space ();
+            target;
+            seed;
+            iterations = iters;
+            restart_every = None;
+            portfolio;
+            config = config ();
+          }
+    | other ->
+        Printf.eprintf
+          "rcn request: unknown kind %S (expected analyze, census, synth, metrics or \
+           ping)\n"
+          other;
+        exit 2
+  in
+  print_endline (Api.Request.to_string req)
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing *)
 
 open Cmdliner
@@ -682,6 +754,16 @@ let deadline_t =
            degrades instead of lying: level scans report honest \
            $(b,at-least) lower bounds and a census reports exactly the \
            tables it decided.")
+
+let connect_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Send the query to a running $(b,rcn serve) daemon over its \
+           Unix-domain socket instead of computing in-process.  Output, \
+           PARTIAL/quarantine semantics and the exit code are identical \
+           either way — both paths run the same Request/Response handler.")
 
 let trace_t =
   Arg.(
@@ -777,7 +859,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Determine (recoverable) consensus numbers of a gallery type")
     Term.(
       const analyze $ ty_t $ cap_t $ certs $ jobs_t $ kernel_t $ deadline_t $ supervise_t
-      $ trace_t $ stats_t)
+      $ connect_t $ trace_t $ stats_t)
 
 let gallery_cmd =
   Cmd.v
@@ -838,7 +920,7 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Search for a consensus-number gap witness (experiment E6)")
     Term.(
       const synth $ target $ values $ rws $ responses $ seed $ iters $ save $ portfolio
-      $ jobs_t $ deadline_t $ supervise_t $ trace_t $ stats_t)
+      $ jobs_t $ deadline_t $ supervise_t $ connect_t $ trace_t $ stats_t)
 
 let trace_cmd =
   let schedule =
@@ -896,8 +978,8 @@ let census_cmd =
        ~doc:"Histogram (discerning, recording) levels over a whole space of small types")
     Term.(
       const census $ values $ rws $ responses $ cap_t $ sample_count $ seed $ jobs_t
-      $ kernel_t $ deadline_t $ checkpoint $ resume $ durable $ supervise_t $ trace_t
-      $ stats_t)
+      $ kernel_t $ deadline_t $ checkpoint $ resume $ durable $ supervise_t $ connect_t
+      $ trace_t $ stats_t)
 
 let soak_cmd =
   let values = Arg.(value & opt int 3 & info [ "values" ] ~docv:"V" ~doc:"Values per type.") in
@@ -971,6 +1053,78 @@ let inject_cmd =
       const inject $ protocols_t $ n_t $ n'_t $ seeds $ z_t $ fuel $ shrink_per_cell
       $ report $ require_violation $ trace_t $ stats_t)
 
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt string "rcn.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on.")
+  in
+  let store =
+    Arg.(
+      value
+      & opt string "rcn.store"
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Persistent content-addressed result store (append log).  Repeat \
+             analyze queries are answered from it byte-identically, across \
+             restarts and crashes.")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission control: refuse engine requests (exit code 75 at the \
+             client) once $(docv) are already queued.  Pings, metrics scrapes \
+             and store hits are always answered.")
+  in
+  let fsync =
+    Arg.(
+      value & flag
+      & info [ "fsync" ]
+          ~doc:
+            "fsync the store after every append, like $(b,census --durable): \
+             crash safety against machine death, one disk round trip per new \
+             result.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis daemon: accept analyze/census/synth requests over a \
+          Unix-domain socket, one engine request at a time on a shared domain \
+          pool, answering repeat analyze queries from the persistent result \
+          store.  SIGTERM stops it cleanly (drain, persist, exit 0).")
+    Term.(const serve $ socket $ store $ jobs_t $ queue_limit $ fsync $ trace_t $ stats_t)
+
+let request_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND" ~doc:"analyze, census, synth, metrics or ping.")
+  in
+  let ty_opt = Arg.(value & pos 1 (some objtype_conv) None & info [] ~docv:"TYPE" ~doc:type_arg_doc) in
+  let values = Arg.(value & opt int 3 & info [ "values" ] ~docv:"V" ~doc:"Values per type (census/synth).") in
+  let rws = Arg.(value & opt int 2 & info [ "rws" ] ~docv:"R" ~doc:"RMW operations (census/synth).") in
+  let responses = Arg.(value & opt int 2 & info [ "responses" ] ~docv:"K" ~doc:"RMW responses (census/synth).") in
+  let sample =
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"N" ~doc:"Census sampling count.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.") in
+  let target = Arg.(value & opt int 4 & info [ "target" ] ~docv:"N" ~doc:"Synth witness consensus number.") in
+  let iters = Arg.(value & opt int 20000 & info [ "iterations" ] ~docv:"I" ~doc:"Synth evaluation budget.") in
+  let portfolio = Arg.(value & opt int 1 & info [ "portfolio" ] ~docv:"P" ~doc:"Synth portfolio size.") in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Print the canonical serve-protocol request (single-line JSON) for a \
+          query — what $(b,--connect) would send — for scripting against a \
+          daemon with any socket tool.")
+    Term.(
+      const request $ kind $ ty_opt $ cap_t $ values $ rws $ responses $ sample $ seed
+      $ target $ iters $ portfolio $ jobs_t $ kernel_t $ deadline_t $ supervise_t)
+
 let robustness_cmd =
   let tys = Arg.(non_empty & pos_all string [] & info [] ~docv:"TYPE" ~doc:type_arg_doc) in
   Cmd.v
@@ -984,7 +1138,8 @@ let main =
        ~doc:"Determining recoverable consensus numbers (PODC 2024 reproduction)")
     [
       analyze_cmd; gallery_cmd; statemachine_cmd; simulate_cmd; certify_cmd; trace_cmd;
-      chain_cmd; synth_cmd; robustness_cmd; census_cmd; soak_cmd; inject_cmd;
+      chain_cmd; synth_cmd; robustness_cmd; census_cmd; soak_cmd; inject_cmd; serve_cmd;
+      request_cmd;
     ]
 
 let () = exit (Cmd.eval main)

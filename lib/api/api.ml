@@ -1,0 +1,514 @@
+(* The serializable Request/Response API.  Field orders below are the
+   wire format — pinned by golden files in the test suite — so codecs
+   always build their objects explicitly, never by patching. *)
+
+let ( let* ) = Result.bind
+
+let opt_json encode = function None -> Wire.Null | Some v -> encode v
+
+(* ------------------------------------------------------------------ *)
+
+module Config = struct
+  type t = {
+    jobs : int;
+    cap : int;
+    deadline : float option;
+    kernel : Kernel.mode;
+    retries : int option;
+    heartbeat : float option;
+    chaos_rate : float option;
+    chaos_seed : int;
+    chaos_attempts : int;
+  }
+
+  let default =
+    {
+      jobs = 1;
+      cap = 5;
+      deadline = None;
+      kernel = Kernel.Trie;
+      retries = None;
+      heartbeat = None;
+      chaos_rate = None;
+      chaos_seed = 0;
+      chaos_attempts = 1;
+    }
+
+  let v ?(jobs = 1) ?(cap = 5) ?deadline ?(kernel = Kernel.Trie) ?retries ?heartbeat
+      ?chaos_rate ?(chaos_seed = 0) ?(chaos_attempts = 1) () =
+    { jobs; cap; deadline; kernel; retries; heartbeat; chaos_rate; chaos_seed;
+      chaos_attempts }
+
+  let validate t =
+    if t.jobs < 0 then Error "jobs must be nonnegative"
+    else if t.cap < 2 then Error "cap must be at least 2"
+    else if (match t.retries with Some k -> k < 1 | None -> false) then
+      Error "retries must be at least 1"
+    else if (match t.heartbeat with Some s -> s <= 0.0 | None -> false) then
+      Error "heartbeat must be positive"
+    else if (match t.chaos_rate with Some p -> p < 0.0 || p > 1.0 | None -> false)
+    then Error "chaos_rate must be within [0, 1]"
+    else if t.chaos_attempts < 1 then Error "chaos_attempts must be at least 1"
+    else Ok ()
+
+  let wants_supervision t =
+    t.retries <> None || t.heartbeat <> None || t.chaos_rate <> None
+
+  let supervisor t ~obs ~jobs =
+    if not (wants_supervision t) then None
+    else
+      let policy =
+        match t.retries with
+        | None -> Supervise.Policy.default
+        | Some k -> Supervise.Policy.v ~max_attempts:k ()
+      in
+      let chaos =
+        Option.map
+          (fun rate ->
+            Supervise.Chaos.create ~attempts:t.chaos_attempts ~rate ~seed:t.chaos_seed
+              ())
+          t.chaos_rate
+      in
+      let watchdog =
+        Option.map
+          (fun interval -> Supervise.Watchdog.create ?obs ~interval ~jobs ())
+          t.heartbeat
+      in
+      Some (Supervise.create ~policy ?chaos ?watchdog ?obs ())
+
+  let to_json t =
+    Wire.Obj
+      [
+        ("jobs", Wire.Int t.jobs);
+        ("cap", Wire.Int t.cap);
+        ("deadline", opt_json (fun s -> Wire.Float s) t.deadline);
+        ("kernel", Wire.String (Kernel.mode_to_string t.kernel));
+        ("retries", opt_json (fun k -> Wire.Int k) t.retries);
+        ("heartbeat", opt_json (fun s -> Wire.Float s) t.heartbeat);
+        ("chaos_rate", opt_json (fun p -> Wire.Float p) t.chaos_rate);
+        ("chaos_seed", Wire.Int t.chaos_seed);
+        ("chaos_attempts", Wire.Int t.chaos_attempts);
+      ]
+
+  let of_json j =
+    let* jobs = Result.bind (Wire.field j "jobs") Wire.to_int in
+    let* cap = Result.bind (Wire.field j "cap") Wire.to_int in
+    let* deadline = Wire.opt_field j "deadline" Wire.to_float in
+    let* kernel_s = Result.bind (Wire.field j "kernel") Wire.to_str in
+    let* kernel =
+      match Kernel.mode_of_string kernel_s with
+      | Ok m -> Ok m
+      | Error (`Msg m) -> Error m
+    in
+    let* retries = Wire.opt_field j "retries" Wire.to_int in
+    let* heartbeat = Wire.opt_field j "heartbeat" Wire.to_float in
+    let* chaos_rate = Wire.opt_field j "chaos_rate" Wire.to_float in
+    let* chaos_seed = Result.bind (Wire.field j "chaos_seed") Wire.to_int in
+    let* chaos_attempts = Result.bind (Wire.field j "chaos_attempts") Wire.to_int in
+    Ok
+      { jobs; cap; deadline; kernel; retries; heartbeat; chaos_rate; chaos_seed;
+        chaos_attempts }
+end
+
+(* ------------------------------------------------------------------ *)
+(* shared sub-codecs *)
+
+let space_fields (space : Synth.space) =
+  [
+    ("values", Wire.Int space.Synth.num_values);
+    ("rws", Wire.Int space.Synth.num_rws);
+    ("responses", Wire.Int space.Synth.num_responses);
+  ]
+
+let space_of_json j =
+  let* num_values = Result.bind (Wire.field j "values") Wire.to_int in
+  let* num_rws = Result.bind (Wire.field j "rws") Wire.to_int in
+  let* num_responses = Result.bind (Wire.field j "responses") Wire.to_int in
+  Ok { Synth.num_values; num_rws; num_responses }
+
+let objtype_of_spec spec =
+  match Objtype.of_spec_string spec with
+  | t -> Ok t
+  | exception Objtype.Ill_formed m -> Error (Printf.sprintf "bad type spec: %s" m)
+
+let certificate_to_json (c : Certificate.t) =
+  Wire.Obj
+    [
+      ("spec", Wire.String (Objtype.to_spec_string c.Certificate.objtype));
+      ("initial", Wire.Int c.Certificate.initial);
+      ( "team",
+        Wire.List (Array.to_list (Array.map (fun b -> Wire.Bool b) c.Certificate.team))
+      );
+      ( "ops",
+        Wire.List (Array.to_list (Array.map (fun o -> Wire.Int o) c.Certificate.ops)) );
+    ]
+
+let certificate_of_json j =
+  let* spec = Result.bind (Wire.field j "spec") Wire.to_str in
+  let* objtype = objtype_of_spec spec in
+  let* initial = Result.bind (Wire.field j "initial") Wire.to_int in
+  let* team_l = Result.bind (Wire.field j "team") Wire.to_list in
+  let* ops_l = Result.bind (Wire.field j "ops") Wire.to_list in
+  let* team =
+    List.fold_left
+      (fun acc b ->
+        let* acc = acc in
+        let* b = Wire.to_bool b in
+        Ok (b :: acc))
+      (Ok []) team_l
+  in
+  let* ops =
+    List.fold_left
+      (fun acc o ->
+        let* acc = acc in
+        let* o = Wire.to_int o in
+        Ok (o :: acc))
+      (Ok []) ops_l
+  in
+  let team = Array.of_list (List.rev team) in
+  let ops = Array.of_list (List.rev ops) in
+  match Certificate.make ~objtype ~initial ~team ~ops with
+  | c -> Ok c
+  | exception Invalid_argument m -> Error (Printf.sprintf "bad certificate: %s" m)
+
+let status_to_json = function
+  | Analysis.Exact -> Wire.String "exact"
+  | Analysis.At_least -> Wire.String "at_least"
+
+let status_of_json j =
+  let* s = Wire.to_str j in
+  match s with
+  | "exact" -> Ok Analysis.Exact
+  | "at_least" -> Ok Analysis.At_least
+  | other -> Error (Printf.sprintf "unknown status %S" other)
+
+let level_to_json (l : Analysis.level) =
+  Wire.Obj
+    [
+      ("value", Wire.Int l.Analysis.value);
+      ("status", status_to_json l.Analysis.status);
+      ("certificate", opt_json certificate_to_json l.Analysis.certificate);
+    ]
+
+let level_of_json j =
+  let* value = Result.bind (Wire.field j "value") Wire.to_int in
+  let* status = Result.bind (Wire.field j "status") status_of_json in
+  let* certificate = Wire.opt_field j "certificate" certificate_of_json in
+  Ok { Analysis.value; status; certificate }
+
+let analysis_to_json (a : Analysis.t) =
+  Wire.Obj
+    [
+      ("type_name", Wire.String a.Analysis.type_name);
+      ("readable", Wire.Bool a.Analysis.readable);
+      ("discerning", level_to_json a.Analysis.discerning);
+      ("recording", level_to_json a.Analysis.recording);
+      ("elapsed", Wire.Float a.Analysis.elapsed);
+    ]
+
+let analysis_of_json j =
+  let* type_name = Result.bind (Wire.field j "type_name") Wire.to_str in
+  let* readable = Result.bind (Wire.field j "readable") Wire.to_bool in
+  let* discerning = Result.bind (Wire.field j "discerning") level_of_json in
+  let* recording = Result.bind (Wire.field j "recording") level_of_json in
+  let* elapsed = Result.bind (Wire.field j "elapsed") Wire.to_float in
+  Ok { Analysis.type_name; readable; discerning; recording; elapsed }
+
+let query_digest ty ~cap =
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "rcn-analyze v1 cap=%d\n%s" cap
+                      (Objtype.to_spec_string ty)))
+
+(* ------------------------------------------------------------------ *)
+
+module Request = struct
+  type t =
+    | Analyze of { spec : string; config : Config.t }
+    | Census of {
+        space : Synth.space;
+        sample : int option;
+        seed : int;
+        checkpoint : string option;
+        resume : bool;
+        durable : bool;
+        config : Config.t;
+      }
+    | Synth of {
+        space : Synth.space;
+        target : int;
+        seed : int;
+        iterations : int;
+        restart_every : int option;
+        portfolio : int;
+        config : Config.t;
+      }
+    | Metrics
+    | Ping
+
+  let config = function
+    | Analyze { config; _ } | Census { config; _ } | Synth { config; _ } -> Some config
+    | Metrics | Ping -> None
+
+  let envelope kind fields =
+    Wire.Obj ((("rcn_request", Wire.Int 1) :: ("kind", Wire.String kind) :: fields))
+
+  let to_json = function
+    | Analyze { spec; config } ->
+        envelope "analyze"
+          [ ("spec", Wire.String spec); ("config", Config.to_json config) ]
+    | Census { space; sample; seed; checkpoint; resume; durable; config } ->
+        envelope "census"
+          (space_fields space
+          @ [
+              ("sample", opt_json (fun n -> Wire.Int n) sample);
+              ("seed", Wire.Int seed);
+              ("checkpoint", opt_json (fun p -> Wire.String p) checkpoint);
+              ("resume", Wire.Bool resume);
+              ("durable", Wire.Bool durable);
+              ("config", Config.to_json config);
+            ])
+    | Synth { space; target; seed; iterations; restart_every; portfolio; config } ->
+        envelope "synth"
+          (space_fields space
+          @ [
+              ("target", Wire.Int target);
+              ("seed", Wire.Int seed);
+              ("iterations", Wire.Int iterations);
+              ("restart_every", opt_json (fun n -> Wire.Int n) restart_every);
+              ("portfolio", Wire.Int portfolio);
+              ("config", Config.to_json config);
+            ])
+    | Metrics -> envelope "metrics" []
+    | Ping -> envelope "ping" []
+
+  let of_json j =
+    let* tag = Result.bind (Wire.field j "rcn_request") Wire.to_int in
+    if tag <> 1 then Error (Printf.sprintf "unsupported rcn_request version %d" tag)
+    else
+      let* kind = Result.bind (Wire.field j "kind") Wire.to_str in
+      match kind with
+      | "analyze" ->
+          let* spec = Result.bind (Wire.field j "spec") Wire.to_str in
+          let* config = Result.bind (Wire.field j "config") Config.of_json in
+          Ok (Analyze { spec; config })
+      | "census" ->
+          let* space = space_of_json j in
+          let* sample = Wire.opt_field j "sample" Wire.to_int in
+          let* seed = Result.bind (Wire.field j "seed") Wire.to_int in
+          let* checkpoint = Wire.opt_field j "checkpoint" Wire.to_str in
+          let* resume = Result.bind (Wire.field j "resume") Wire.to_bool in
+          let* durable = Result.bind (Wire.field j "durable") Wire.to_bool in
+          let* config = Result.bind (Wire.field j "config") Config.of_json in
+          Ok (Census { space; sample; seed; checkpoint; resume; durable; config })
+      | "synth" ->
+          let* space = space_of_json j in
+          let* target = Result.bind (Wire.field j "target") Wire.to_int in
+          let* seed = Result.bind (Wire.field j "seed") Wire.to_int in
+          let* iterations = Result.bind (Wire.field j "iterations") Wire.to_int in
+          let* restart_every = Wire.opt_field j "restart_every" Wire.to_int in
+          let* portfolio = Result.bind (Wire.field j "portfolio") Wire.to_int in
+          let* config = Result.bind (Wire.field j "config") Config.of_json in
+          Ok (Synth { space; target; seed; iterations; restart_every; portfolio; config })
+      | "metrics" -> Ok Metrics
+      | "ping" -> Ok Ping
+      | other -> Error (Printf.sprintf "unknown request kind %S" other)
+
+  let to_string t = Wire.to_string (to_json t)
+  let of_string s = Result.bind (Wire.of_string s) of_json
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Response = struct
+  type census_summary = {
+    entries : Census.entry list;
+    total : int;
+    completed : int;
+    resumed : int;
+    complete : bool;
+  }
+
+  type body =
+    | Analysis of { analysis : Analysis.t; from_store : bool }
+    | Census of census_summary
+    | Synth of { witness : Synth.witness option }
+    | Metrics of Wire.t
+    | Pong
+    | Error of { code : int; message : string }
+
+  type t = {
+    body : body;
+    retries : int;
+    watchdog_trips : int;
+    quarantined : Supervise.quarantine list;
+  }
+
+  let make ?(retries = 0) ?(watchdog_trips = 0) ?(quarantined = []) body =
+    { body; retries; watchdog_trips; quarantined }
+
+  let err_invalid = 2
+  let err_internal = 70
+  let err_busy = 75
+
+  let error ?(code = err_invalid) message = make (Error { code; message })
+
+  let exit_code t =
+    match t.body with
+    | Error { code; _ } -> code
+    | Synth { witness = None } -> 1
+    | Census { complete = false; _ } -> 3
+    | _ -> if t.quarantined <> [] then 3 else 0
+
+  let entry_to_json (e : Census.entry) =
+    Wire.Obj
+      [
+        ("discerning", Wire.Int e.Census.discerning);
+        ("recording", Wire.Int e.Census.recording);
+        ("count", Wire.Int e.Census.count);
+      ]
+
+  let entry_of_json j =
+    let* discerning = Result.bind (Wire.field j "discerning") Wire.to_int in
+    let* recording = Result.bind (Wire.field j "recording") Wire.to_int in
+    let* count = Result.bind (Wire.field j "count") Wire.to_int in
+    Ok { Census.discerning; recording; count }
+
+  let witness_to_json (w : Synth.witness) =
+    Wire.Obj
+      [
+        ("spec", Wire.String (Objtype.to_spec_string w.Synth.objtype));
+        ("discerning", Wire.Int w.Synth.discerning_level);
+        ("recording", Wire.Int w.Synth.recording_level);
+        ("iterations", Wire.Int w.Synth.iterations);
+      ]
+
+  let witness_of_json j =
+    let* spec = Result.bind (Wire.field j "spec") Wire.to_str in
+    let* objtype = objtype_of_spec spec in
+    let* discerning_level = Result.bind (Wire.field j "discerning") Wire.to_int in
+    let* recording_level = Result.bind (Wire.field j "recording") Wire.to_int in
+    let* iterations = Result.bind (Wire.field j "iterations") Wire.to_int in
+    Ok { Synth.objtype; discerning_level; recording_level; iterations }
+
+  let quarantine_to_json (q : Supervise.quarantine) =
+    Wire.Obj
+      [
+        ("context", Wire.String q.Supervise.q_context);
+        ("lo", Wire.Int q.Supervise.q_lo);
+        ("hi", Wire.Int q.Supervise.q_hi);
+        ("attempts", Wire.Int q.Supervise.q_attempts);
+        ("error", Wire.String q.Supervise.q_error);
+      ]
+
+  let quarantine_of_json j =
+    let* q_context = Result.bind (Wire.field j "context") Wire.to_str in
+    let* q_lo = Result.bind (Wire.field j "lo") Wire.to_int in
+    let* q_hi = Result.bind (Wire.field j "hi") Wire.to_int in
+    let* q_attempts = Result.bind (Wire.field j "attempts") Wire.to_int in
+    let* q_error = Result.bind (Wire.field j "error") Wire.to_str in
+    Ok { Supervise.q_context; q_lo; q_hi; q_attempts; q_error }
+
+  let envelope kind fields t =
+    Wire.Obj
+      (("rcn_response", Wire.Int 1) :: ("kind", Wire.String kind)
+      :: fields
+      @ [
+          ("retries", Wire.Int t.retries);
+          ("watchdog_trips", Wire.Int t.watchdog_trips);
+          ("quarantined", Wire.List (List.map quarantine_to_json t.quarantined));
+        ])
+
+  let to_json t =
+    match t.body with
+    | Analysis { analysis; from_store } ->
+        envelope "analysis"
+          [
+            ("from_store", Wire.Bool from_store);
+            ("analysis", analysis_to_json analysis);
+          ]
+          t
+    | Census c ->
+        envelope "census"
+          [
+            ("entries", Wire.List (List.map entry_to_json c.entries));
+            ("total", Wire.Int c.total);
+            ("completed", Wire.Int c.completed);
+            ("resumed", Wire.Int c.resumed);
+            ("complete", Wire.Bool c.complete);
+          ]
+          t
+    | Synth { witness } ->
+        envelope "synth" [ ("witness", opt_json witness_to_json witness) ] t
+    | Metrics stats -> envelope "metrics" [ ("stats", stats) ] t
+    | Pong -> envelope "pong" [] t
+    | Error { code; message } ->
+        envelope "error" [ ("code", Wire.Int code); ("message", Wire.String message) ] t
+
+  let of_json j =
+    let* tag = Result.bind (Wire.field j "rcn_response") Wire.to_int in
+    if tag <> 1 then Error (Printf.sprintf "unsupported rcn_response version %d" tag)
+    else
+      let* kind = Result.bind (Wire.field j "kind") Wire.to_str in
+      let* retries = Result.bind (Wire.field j "retries") Wire.to_int in
+      let* watchdog_trips = Result.bind (Wire.field j "watchdog_trips") Wire.to_int in
+      let* quarantined_l = Result.bind (Wire.field j "quarantined") Wire.to_list in
+      let* quarantined =
+        List.fold_left
+          (fun acc q ->
+            let* acc = acc in
+            let* q = quarantine_of_json q in
+            Ok (q :: acc))
+          (Ok []) quarantined_l
+      in
+      let quarantined = List.rev quarantined in
+      let* body =
+        match kind with
+        | "analysis" ->
+            let* from_store = Result.bind (Wire.field j "from_store") Wire.to_bool in
+            let* analysis = Result.bind (Wire.field j "analysis") analysis_of_json in
+            Ok (Analysis { analysis; from_store })
+        | "census" ->
+            let* entries_l = Result.bind (Wire.field j "entries") Wire.to_list in
+            let* entries =
+              List.fold_left
+                (fun acc e ->
+                  let* acc = acc in
+                  let* e = entry_of_json e in
+                  Ok (e :: acc))
+                (Ok []) entries_l
+            in
+            let entries = List.rev entries in
+            let* total = Result.bind (Wire.field j "total") Wire.to_int in
+            let* completed = Result.bind (Wire.field j "completed") Wire.to_int in
+            let* resumed = Result.bind (Wire.field j "resumed") Wire.to_int in
+            let* complete = Result.bind (Wire.field j "complete") Wire.to_bool in
+            Ok (Census { entries; total; completed; resumed; complete })
+        | "synth" ->
+            let* witness = Wire.opt_field j "witness" witness_of_json in
+            Ok (Synth { witness })
+        | "metrics" ->
+            let* stats = Wire.field j "stats" in
+            Ok (Metrics stats)
+        | "pong" -> Ok Pong
+        | "error" ->
+            let* code = Result.bind (Wire.field j "code") Wire.to_int in
+            let* message = Result.bind (Wire.field j "message") Wire.to_str in
+            Ok (Error { code; message })
+        | other -> Error (Printf.sprintf "unknown response kind %S" other)
+      in
+      Ok { body; retries; watchdog_trips; quarantined }
+
+  let to_string t = Wire.to_string (to_json t)
+  let of_string s = Result.bind (Wire.of_string s) of_json
+
+  let quarantine_report t =
+    Wire.to_string
+      (Wire.Obj
+         [
+           ("rcn_quarantine", Wire.Int 1);
+           ("retries", Wire.Int t.retries);
+           ("watchdog_trips", Wire.Int t.watchdog_trips);
+           ("quarantined", Wire.List (List.map quarantine_to_json t.quarantined));
+         ])
+    ^ "\n"
+end

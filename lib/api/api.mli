@@ -1,0 +1,197 @@
+(** The unified, serializable Request/Response API of the toolkit.
+
+    One {!Config.t} record replaces the optional-argument sprawl
+    ([?jobs ?deadline ?kernel ?retries ?chaos_* ?heartbeat]) that used to
+    be threaded through [Engine.analyze]/[census]/[synth_portfolio]; a
+    {!Request.t} packages a query (analyze / census / synth / metrics /
+    ping) together with its config; a {!Response.t} packages the result,
+    the per-request supervision ledger, and the exit-code semantics.  The
+    CLI subcommands and the [rcn serve] daemon speak exactly these values
+    — a query behaves identically whether it runs in-process or over a
+    socket, including its exit code.
+
+    Every type here has a {e canonical} JSON codec on {!Wire}: encoding
+    is a pure function of the value (pinned field order, no whitespace,
+    bit-exact floats), and [of_* (to_* x)] is the identity.  That
+    canonicality is load-bearing: the serve daemon's content-addressed
+    store keeps encoded [Analysis.t] bytes, and a store hit must replay
+    a byte-identical result.
+
+    Runtime-only values (an [Obs.t] context, a domain pool, an engine
+    cache, a prebuilt supervisor) are deliberately {e not} in the config:
+    they cannot cross a socket.  They remain ordinary arguments of the
+    engine entry points. *)
+
+module Config : sig
+  type t = {
+    jobs : int;
+        (** worker domains; [0] means automatic ([RCN_JOBS] / the host).
+            A daemon serves every request from its own pool and ignores
+            this field. *)
+    cap : int;  (** scan levels up to [cap] (>= 2) *)
+    deadline : float option;
+        (** wall-clock budget in {e relative} seconds (a wire value has
+            no clock origin); each engine entry point resolves it to an
+            absolute monotonic deadline once, on entry.  Nonpositive
+            means already expired. *)
+    kernel : Kernel.mode;
+    retries : int option;  (** attempts per chunk before quarantine *)
+    heartbeat : float option;  (** watchdog stall interval, seconds *)
+    chaos_rate : float option;  (** injected failure probability *)
+    chaos_seed : int;
+    chaos_attempts : int;
+  }
+
+  val default : t
+  (** jobs 1, cap 5, no deadline, [Kernel.Trie], no supervision. *)
+
+  val v :
+    ?jobs:int ->
+    ?cap:int ->
+    ?deadline:float ->
+    ?kernel:Kernel.mode ->
+    ?retries:int ->
+    ?heartbeat:float ->
+    ?chaos_rate:float ->
+    ?chaos_seed:int ->
+    ?chaos_attempts:int ->
+    unit ->
+    t
+  (** {!default} with fields overridden — the one place optional
+      arguments survive, so call sites read like the old signatures. *)
+
+  val validate : t -> (unit, string) result
+  (** Range checks a decoded wire config before it reaches the engine:
+      [jobs >= 0], [cap >= 2], positive heartbeat, chaos rate in
+      [\[0, 1\]], [retries >= 1], [chaos_attempts >= 1]. *)
+
+  val wants_supervision : t -> bool
+  (** Any of [retries]/[heartbeat]/[chaos_rate] present. *)
+
+  val supervisor : t -> obs:Obs.t option -> jobs:int -> Supervise.t option
+  (** The self-healing layer this config asks for, or [None] when
+      {!wants_supervision} is [false].  [jobs] is the resolved pool size
+      (the watchdog tracks that many workers).  With [obs = Some _] the
+      supervisor's ledger counters land in that registry (the CLI path,
+      where one request owns the stats export); [None] gives the
+      supervisor a private registry, which is what the daemon wants —
+      per-request ledgers that other requests cannot inflate.
+      @raise Invalid_argument on out-of-range supervision fields (call
+      {!validate} first on untrusted input). *)
+
+  val to_json : t -> Wire.t
+  val of_json : Wire.t -> (t, string) result
+end
+
+(** {2 Queries} *)
+
+module Request : sig
+  type t =
+    | Analyze of { spec : string; config : Config.t }
+        (** [spec] is a full [Objtype.to_spec_string] serialization —
+            self-contained on the wire; the CLI resolves gallery names
+            before building the request *)
+    | Census of {
+        space : Synth.space;
+        sample : int option;  (** sample N random tables instead of exhausting *)
+        seed : int;  (** sampling seed *)
+        checkpoint : string option;
+        resume : bool;
+        durable : bool;
+        config : Config.t;
+      }
+    | Synth of {
+        space : Synth.space;
+        target : int;
+        seed : int;
+        iterations : int;
+        restart_every : int option;
+        portfolio : int;
+        config : Config.t;
+      }
+    | Metrics  (** the server's [--stats json] block, as a reply *)
+    | Ping
+
+  val config : t -> Config.t option
+  val to_json : t -> Wire.t
+  val of_json : Wire.t -> (t, string) result
+
+  val to_string : t -> string
+  (** Canonical single-line JSON, e.g.
+      [{"rcn_request":1,"kind":"ping"}]. *)
+
+  val of_string : string -> (t, string) result
+end
+
+(** {2 Results} *)
+
+module Response : sig
+  type census_summary = {
+    entries : Census.entry list;
+    total : int;
+    completed : int;
+    resumed : int;
+    complete : bool;
+  }
+
+  type body =
+    | Analysis of { analysis : Analysis.t; from_store : bool }
+    | Census of census_summary
+    | Synth of { witness : Synth.witness option }
+    | Metrics of Wire.t  (** the embedded [rcn_stats] object *)
+    | Pong
+    | Error of { code : int; message : string }
+
+  type t = {
+    body : body;
+    retries : int;  (** chunk retries healed while serving this request *)
+    watchdog_trips : int;
+    quarantined : Supervise.quarantine list;
+        (** this request's quarantine ledger — what degraded, and why *)
+  }
+
+  val make : ?retries:int -> ?watchdog_trips:int -> ?quarantined:Supervise.quarantine list -> body -> t
+
+  val error : ?code:int -> string -> t
+  (** An error response; [code] defaults to {!err_invalid}. *)
+
+  val err_invalid : int
+  (** [2] — malformed or out-of-range request (the CLI usage-error code). *)
+
+  val err_internal : int
+  (** [70] — the engine raised while serving the request. *)
+
+  val err_busy : int
+  (** [75] — admission control rejected the request (queue full). *)
+
+  val exit_code : t -> int
+  (** The one exit-code policy, shared by CLI and daemon clients:
+      [Error] carries its own code; a synthesis that found no witness is
+      [1]; an incomplete census or any quarantined work is PARTIAL [3];
+      everything else is [0]. *)
+
+  val to_json : t -> Wire.t
+  val of_json : Wire.t -> (t, string) result
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+
+  val quarantine_report : t -> string
+  (** The machine-readable per-request quarantine report, in the same
+      [{"rcn_quarantine":1,...}] single-line-plus-newline shape as
+      [Supervise.report_json] — what [--quarantine-report] writes. *)
+end
+
+(** {2 Analysis codec and content addressing} *)
+
+val analysis_to_json : Analysis.t -> Wire.t
+(** Levels with their certificates; a certificate embeds its own type
+    specification so it decodes back to a replayable [Certificate.t]. *)
+
+val analysis_of_json : Wire.t -> (Analysis.t, string) result
+
+val query_digest : Objtype.t -> cap:int -> string
+(** The content address of an analyze query: the hex digest of the
+    type's canonical specification ([Objtype.to_spec_string] — counts,
+    initial value, names, transition table) together with the scan cap.
+    Results are independent of [jobs]/[kernel]/deadline by the engine's
+    determinism guarantees, so (type, cap) is the whole key. *)

@@ -1,0 +1,298 @@
+(* Canonical JSON for the serve protocol.  See wire.mli for the contract;
+   the printer is deliberately boring — the parser is the only part with
+   any subtlety (escapes, number classification, strictness). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printer *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* [%.17g] round-trips every finite double; appending ".0" when the
+   rendering contains no '.', 'e' or 'n' (nan never reaches here) keeps
+   the Float/Int distinction stable across a parse. *)
+let float_repr f =
+  if not (Float.is_finite f) then
+    invalid_arg "Wire.to_string: non-finite float";
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (function '.' | 'e' | 'E' -> true | _ -> false) s then s
+  else s ^ ".0"
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* parser: plain recursive descent over a string with a mutable cursor;
+   errors abort through an exception carrying the offset. *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> error "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then error "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then error "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' -> Buffer.add_char buf '"'; loop ()
+            | '\\' -> Buffer.add_char buf '\\'; loop ()
+            | '/' -> Buffer.add_char buf '/'; loop ()
+            | 'b' -> Buffer.add_char buf '\b'; loop ()
+            | 'f' -> Buffer.add_char buf '\012'; loop ()
+            | 'n' -> Buffer.add_char buf '\n'; loop ()
+            | 'r' -> Buffer.add_char buf '\r'; loop ()
+            | 't' -> Buffer.add_char buf '\t'; loop ()
+            | 'u' ->
+                if !pos + 4 > n then error "truncated \\u escape";
+                let code =
+                  (hex_digit s.[!pos] lsl 12)
+                  lor (hex_digit s.[!pos + 1] lsl 8)
+                  lor (hex_digit s.[!pos + 2] lsl 4)
+                  lor hex_digit s.[!pos + 3]
+                in
+                pos := !pos + 4;
+                (* The protocol only escapes control characters; encode the
+                   code point as UTF-8 so any valid escape still parses. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                end;
+                loop ()
+            | _ -> error "unknown escape")
+        | c when Char.code c < 0x20 -> error "unescaped control character in string"
+        | c -> Buffer.add_char buf c; loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+    do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    let is_float = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text in
+    if is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error (Printf.sprintf "bad number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> error (Printf.sprintf "bad number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> error "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> error "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (off, msg) ->
+      Error (Printf.sprintf "JSON parse error at offset %d: %s" off msg)
+
+(* ------------------------------------------------------------------ *)
+(* accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+  | Obj _ -> "object"
+
+let to_int = function
+  | Int i -> Ok i
+  | v -> Error (Printf.sprintf "expected int, got %s" (type_name v))
+
+let to_float = function
+  | Float f -> Ok f
+  | Int i -> Ok (float_of_int i)
+  | v -> Error (Printf.sprintf "expected float, got %s" (type_name v))
+
+let to_bool = function
+  | Bool b -> Ok b
+  | v -> Error (Printf.sprintf "expected bool, got %s" (type_name v))
+
+let to_str = function
+  | String s -> Ok s
+  | v -> Error (Printf.sprintf "expected string, got %s" (type_name v))
+
+let to_list = function
+  | List l -> Ok l
+  | v -> Error (Printf.sprintf "expected list, got %s" (type_name v))
+
+let field v key =
+  match member key v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let opt_field v key decode =
+  match member key v with
+  | None | Some Null -> Ok None
+  | Some f -> ( match decode f with Ok x -> Ok (Some x) | Error e -> Error e)

@@ -1,0 +1,57 @@
+(** A tiny JSON value type with a {e canonical} printer and a strict
+    parser — the whole wire format of the serve protocol, hand-rolled on
+    purpose: the repo vendors no JSON library, and the protocol needs a
+    printer whose output is a pure function of the value (no whitespace,
+    fields in the order the codec emits them, floats printed with enough
+    digits to round-trip bit-exactly).  Canonicality is what makes the
+    content-addressed store's byte-identical-replay guarantee checkable:
+    [to_string (of_string s |> Result.get_ok) = s] for every string this
+    module printed (pinned by the codec round-trip property tests). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+      (** field order is significant: the printer emits fields exactly as
+          given, and the codecs always build objects in their pinned wire
+          order *)
+
+val to_string : t -> string
+(** Canonical rendering: no whitespace; strings escaped minimally
+    (the double quote, the backslash, and control characters as
+    [\b \t \n \f \r] or [\u00XX]);
+    floats via [%.17g] with [".0"] appended when the result would read
+    back as an integer, so [Float] round-trips as [Float]; [Int] as a
+    plain decimal.  Non-finite floats raise [Invalid_argument] — JSON
+    cannot carry them and the protocol never needs to. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for RFC 8259 JSON texts (whitespace between tokens is
+    accepted, so hand-written requests work too).  Numbers containing
+    [.], [e] or [E] parse as [Float]; the rest as [Int] (falling back to
+    [Float] past [max_int]).  Trailing garbage after the value is an
+    error. *)
+
+(** {2 Accessors} — total, result-returning, for decoding objects. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing fields and non-objects. *)
+
+val to_int : t -> (int, string) result
+val to_float : t -> (float, string) result
+(** Accepts both [Float] and [Int] (a canonical float that happens to be
+    integral still decodes where a float is expected). *)
+
+val to_bool : t -> (bool, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+
+val field : t -> string -> (t, string) result
+(** [member], with a "missing field" error naming the key. *)
+
+val opt_field : t -> string -> (t -> ('a, string) result) -> ('a option, string) result
+(** [Null] and absent both decode to [None]. *)

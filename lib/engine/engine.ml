@@ -8,6 +8,17 @@ let default_jobs () =
             (Printf.sprintf "RCN_JOBS=%S: expected a positive integer" s))
   | None -> min 8 (Domain.recommended_domain_count ())
 
+let resolve_jobs = function
+  | 0 -> default_jobs ()
+  | n when n > 0 -> n
+  | n -> invalid_arg (Printf.sprintf "Engine.resolve_jobs: %d" n)
+
+(* The config's [deadline] is a relative wall-clock budget (a wire value
+   has no clock origin); resolve it into the absolute monotonic timestamp
+   the sweeps poll exactly once, at the public entry point. *)
+let resolve_deadline (config : Api.Config.t) =
+  Option.map Obs.Clock.after config.Api.Config.deadline
+
 (* The one deadline predicate: absolute monotonic timestamps from
    [Obs.Clock], immune to NTP steps. *)
 let expired = Obs.Clock.expired
@@ -348,7 +359,7 @@ let outcome_of_option = function Some c -> Found c | None -> Refuted
    probes are still accounted, so the stats invariant holds.  The
    schedule memo only feeds the reference path; the kernel shares its
    compiled tries internally. *)
-let search_within ?cache ?obs ?deadline ?supervisor ?kernel pool condition t ~n =
+let search_within_abs ?cache ?obs ?deadline ?supervisor ?kernel pool condition t ~n =
   match cache with
   | None -> search_uncached ?obs ?deadline ?supervisor ?kernel pool condition t ~n
   | Some c -> (
@@ -374,8 +385,16 @@ let search_within ?cache ?obs ?deadline ?supervisor ?kernel pool condition t ~n 
               Cache.record_expired c;
               Expired))
 
-let search ?cache ?obs ?kernel pool condition t ~n =
-  match search_within ?cache ?obs ?kernel pool condition t ~n with
+let search_within ?cache ?obs ?supervisor ~(config : Api.Config.t) pool condition t ~n =
+  search_within_abs ?cache ?obs ?deadline:(resolve_deadline config) ?supervisor
+    ~kernel:config.Api.Config.kernel pool condition t ~n
+
+(* Only [config.kernel] applies here: a [search] promises a complete
+   verdict, which a deadline or quarantine hole could not honor. *)
+let search ?cache ?obs ~(config : Api.Config.t) pool condition t ~n =
+  match
+    search_within_abs ?cache ?obs ~kernel:config.Api.Config.kernel pool condition t ~n
+  with
   | Found c -> Some c
   | Refuted -> None
   | Expired -> assert false (* no deadline and no supervisor were given *)
@@ -396,7 +415,8 @@ let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline ?supervisor ?kernel 
               ("n", string_of_int n);
             ]
           (fun () ->
-            search_within ?cache ?obs ?deadline ?supervisor ?kernel pool condition t ~n)
+            search_within_abs ?cache ?obs ?deadline ?supervisor ?kernel pool condition t
+              ~n)
       in
       match outcome with
       | Found c -> loop (n + 1) (Some c)
@@ -410,17 +430,22 @@ let scan ?cache ?obs ?(cap = Numbers.default_cap) ?deadline ?supervisor ?kernel 
   in
   loop 2 None
 
-let max_discerning ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t =
-  scan ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool Decide.Discerning t
+let max_discerning ?cache ?obs ?supervisor ~(config : Api.Config.t) pool t =
+  scan ?cache ?obs ~cap:config.Api.Config.cap ?deadline:(resolve_deadline config)
+    ?supervisor ~kernel:config.Api.Config.kernel pool Decide.Discerning t
 
-let max_recording ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t =
-  scan ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool Decide.Recording t
+let max_recording ?cache ?obs ?supervisor ~(config : Api.Config.t) pool t =
+  scan ?cache ?obs ~cap:config.Api.Config.cap ?deadline:(resolve_deadline config)
+    ?supervisor ~kernel:config.Api.Config.kernel pool Decide.Recording t
 
-let analyze ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t =
+(* [analyze_abs] takes the already-resolved deadline so a batch
+   ([analyze_all]) shares one budget instead of restarting it per type. *)
+let analyze_abs ?cache ?obs ?deadline ?supervisor ~cap ~kernel pool t =
   Obs.with_span ?obs "engine.analyze" ~attrs:[ ("type", t.Objtype.name) ] @@ fun () ->
   let started = Obs.Clock.now () in
-  let discerning = max_discerning ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t in
-  let recording = max_recording ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t in
+  let scan condition = scan ?cache ?obs ~cap ?deadline ?supervisor ~kernel pool condition t in
+  let discerning = scan Decide.Discerning in
+  let recording = scan Decide.Recording in
   {
     Analysis.type_name = t.Objtype.name;
     readable = Objtype.is_readable t;
@@ -429,9 +454,17 @@ let analyze ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool t =
     elapsed = Obs.Clock.now () -. started;
   }
 
-let analyze_all ?cache ?obs ?cap ?deadline ?supervisor ?kernel pool types =
+let analyze ?cache ?obs ?supervisor ~(config : Api.Config.t) pool t =
+  analyze_abs ?cache ?obs ?deadline:(resolve_deadline config) ?supervisor
+    ~cap:config.Api.Config.cap ~kernel:config.Api.Config.kernel pool t
+
+let analyze_all ?cache ?obs ?supervisor ~(config : Api.Config.t) pool types =
   let cache = match cache with Some c -> c | None -> Cache.create ?obs () in
-  List.map (analyze ~cache ?obs ?cap ?deadline ?supervisor ?kernel pool) types
+  let deadline = resolve_deadline config in
+  List.map
+    (analyze_abs ~cache ?obs ?deadline ?supervisor ~cap:config.Api.Config.cap
+       ~kernel:config.Api.Config.kernel pool)
+    types
 
 (* Truncated levels of one census table, replaying against the shared
    schedule sets.  Matches [Census.levels] (the same [Decide.search] on the
@@ -505,8 +538,11 @@ module Checkpoint = struct
               loop [])
 end
 
-let census ?cache ?obs ?(cap = 4) ?deadline ?supervisor ?checkpoint ?(resume = false)
-    ?(durable = false) ?(kernel = Kernel.Trie) pool space =
+let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = false)
+    ~(config : Api.Config.t) pool space =
+  let cap = config.Api.Config.cap in
+  let kernel = config.Api.Config.kernel in
+  let deadline = resolve_deadline config in
   Obs.with_span ?obs "engine.census" @@ fun () ->
   let cache = match cache with Some c -> c | None -> Cache.create ?obs () in
   let size = Census.space_size space in
@@ -612,10 +648,11 @@ let census ?cache ?obs ?(cap = 4) ?deadline ?supervisor ?checkpoint ?(resume = f
     complete = completed = size;
   }
 
-let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?obs ?deadline ?supervisor
-    ~portfolio pool ~target space =
+let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?obs ?supervisor
+    ~(config : Api.Config.t) ~portfolio pool ~target space =
   if portfolio < 1 then
     invalid_arg "Engine.synth_portfolio: portfolio must be positive";
+  let deadline = resolve_deadline config in
   Obs.with_span ?obs "engine.synth" @@ fun () ->
   let c_climbs = Option.map (fun o -> Obs.counter o "synth.climbs") obs in
   let c_successes = Option.map (fun o -> Obs.counter o "synth.successes") obs in

@@ -22,38 +22,50 @@
     The parity test suite pins all three against their sequential
     counterparts at jobs 1, 2 and 4.
 
-    {2 Deadlines and resilience}
+    {2 The configuration record}
 
-    Every long-running entry point accepts an optional [?deadline]: an
-    absolute *monotonic* timestamp from [Obs.Clock] (build one with
-    [Obs.Clock.after seconds]); wall-clock timestamps from
-    [Unix.gettimeofday] are on a different origin and must not be used.
-    An expired deadline makes the search degrade, never lie: scans report
-    the levels they actually established with [Analysis.At_least] status,
-    a census reports exactly which tables it decided, and the synthesis
-    portfolio stops launching climbs.  Deadline-cut runs are the one place
-    results may depend on timing — a certificate found under a deadline is
-    always genuine, but *which* partial result is returned depends on how
-    far the sweep got.  Runs without a deadline are bit-identical to the
-    sequential deciders, as before.
+    Every entry point takes an [Api.Config.t] — the one serializable
+    record that replaced the [?jobs ?deadline ?kernel ?retries ?chaos_*
+    ?heartbeat] optional-argument sprawl.  The engine reads three fields:
 
-    Every entry point that takes [?deadline] also takes
-    [?supervisor:Supervise.t] — the self-healing layer.  Supervised, a
-    chunk of the fan-out that raises is retried under the supervisor's
-    backoff policy instead of aborting the whole sweep, and a chunk that
-    keeps failing is quarantined: recorded in the supervisor's ledger and
-    skipped.  A sweep with quarantined holes degrades exactly like a
-    deadline expiry — the search reports [Expired], scans fall back to
-    honest [Analysis.At_least] floors, a census leaves the affected
-    tables undecided — and is never published to the cache.  A witness
-    found by a supervised sweep is always genuine.  When the supervisor
-    carries a {!Supervise.Watchdog}, the engine also reacts to stalls:
-    a sweep whose workers stop heartbeating past the watchdog interval
-    is cancelled cooperatively and retried with a halved chunk size (up
-    to two watchdogged retries; the final round runs unwatchdogged so a
-    merely-slow workload still completes).  Supervised runs with a
-    transient-failure schedule that eventually succeeds everywhere are
-    bit-identical to unsupervised ones (pinned at jobs 1/2/4).
+    - [cap]: how far the level scans go;
+    - [kernel]: which decider implementation fans out;
+    - [deadline]: a wall-clock budget in {e relative} seconds.  Each
+      entry point resolves it against [Obs.Clock] exactly once, on
+      entry ({!analyze_all} once for the whole batch), into the absolute
+      monotonic deadline the sweeps poll.  An expired deadline makes the
+      search degrade, never lie: scans report the levels they actually
+      established with [Analysis.At_least] status, a census reports
+      exactly which tables it decided, and the synthesis portfolio stops
+      launching climbs.  Deadline-cut runs are the one place results may
+      depend on timing — a certificate found under a deadline is always
+      genuine, but *which* partial result is returned depends on how far
+      the sweep got.  Runs without a deadline are bit-identical to the
+      sequential deciders, as before.
+
+    The config's supervision fields ([retries]/[heartbeat]/[chaos_*])
+    are {e not} read here: a [Supervise.t] is runtime state, so callers
+    build it with [Api.Config.supervisor] and pass it as [?supervisor].
+    Supervised, a chunk of the fan-out that raises is retried under the
+    supervisor's backoff policy instead of aborting the whole sweep, and
+    a chunk that keeps failing is quarantined: recorded in the
+    supervisor's ledger and skipped.  A sweep with quarantined holes
+    degrades exactly like a deadline expiry — the search reports
+    [Expired], scans fall back to honest [Analysis.At_least] floors, a
+    census leaves the affected tables undecided — and is never published
+    to the cache.  A witness found by a supervised sweep is always
+    genuine.  When the supervisor carries a {!Supervise.Watchdog}, the
+    engine also reacts to stalls: a sweep whose workers stop
+    heartbeating past the watchdog interval is cancelled cooperatively
+    and retried with a halved chunk size (up to two watchdogged retries;
+    the final round runs unwatchdogged so a merely-slow workload still
+    completes).  Supervised runs with a transient-failure schedule that
+    eventually succeeds everywhere are bit-identical to unsupervised
+    ones (pinned at jobs 1/2/4).
+
+    Likewise [config.jobs] is not read here — the pool argument {e is}
+    the resolved parallelism; map the config field through
+    {!resolve_jobs} when building the pool.
 
     {2 Observability}
 
@@ -71,6 +83,10 @@ val default_jobs : unit -> int
     otherwise the host's recommended domain count, capped at 8.  The CLI
     maps [--jobs 0] here.
     @raise Invalid_argument when [RCN_JOBS] is set but unusable. *)
+
+val resolve_jobs : int -> int
+(** [Api.Config.jobs] to a pool size: [0] means {!default_jobs}.
+    @raise Invalid_argument on a negative count. *)
 
 (** A memo shared across decider queries: at-most-once schedule sets
     [S(P)] keyed by process count — the expensive closure every replay
@@ -117,32 +133,31 @@ type search_outcome =
 val search_within :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
-  ?deadline:float ->
   ?supervisor:Supervise.t ->
-  ?kernel:Kernel.mode ->
+  config:Api.Config.t ->
   Pool.t ->
   Decide.condition ->
   Objtype.t ->
   n:int ->
   search_outcome
-(** Deadline-aware witness search.  Without [deadline] this is exactly
-    {!search} (and never returns [Expired]); with one, every domain polls
-    the clock per candidate and the sweep returns [Expired] as soon as it
-    fires without having found a witness.  With [supervisor], failing
-    chunks are retried and eventually quarantined; a no-witness sweep
-    with quarantine holes also returns [Expired] (the unchecked ranges
-    mean "no witness" cannot honestly be claimed).
+(** Deadline-aware witness search.  Without [config.deadline] this is
+    exactly {!search} (and never returns [Expired]); with one, every
+    domain polls the clock per candidate and the sweep returns [Expired]
+    as soon as it fires without having found a witness.  With
+    [supervisor], failing chunks are retried and eventually quarantined;
+    a no-witness sweep with quarantine holes also returns [Expired] (the
+    unchecked ranges mean "no witness" cannot honestly be claimed).
 
-    [kernel] (default [Kernel.Trie]) selects the decider implementation
-    (see {!Kernel.mode}).  The kernel modes fan the compiled kernel's
-    dense rank space out over the pool — no candidate materialization —
-    and return bit-identical certificates to the reference at any job
-    count (pinned by parity tests at jobs 1/2/4). *)
+    [config.kernel] selects the decider implementation (see
+    {!Kernel.mode}).  The kernel modes fan the compiled kernel's dense
+    rank space out over the pool — no candidate materialization — and
+    return bit-identical certificates to the reference at any job count
+    (pinned by parity tests at jobs 1/2/4). *)
 
 val search :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
-  ?kernel:Kernel.mode ->
+  config:Api.Config.t ->
   Pool.t ->
   Decide.condition ->
   Objtype.t ->
@@ -151,15 +166,15 @@ val search :
 (** Exactly [Decide.search condition t ~n] — the least witnessing
     certificate in enumeration order, or [None] — computed across the
     pool's domains, with schedules (and, when [cache] is given, whole
-    outcomes) served from the cache. *)
+    outcomes) served from the cache.  Reads only [config.kernel]:
+    deadlines and supervision cannot apply to an entry point whose
+    result promises completeness. *)
 
 val max_discerning :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
-  ?cap:int ->
-  ?deadline:float ->
   ?supervisor:Supervise.t ->
-  ?kernel:Kernel.mode ->
+  config:Api.Config.t ->
   Pool.t ->
   Objtype.t ->
   Analysis.level
@@ -167,49 +182,46 @@ val max_discerning :
 val max_recording :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
-  ?cap:int ->
-  ?deadline:float ->
   ?supervisor:Supervise.t ->
-  ?kernel:Kernel.mode ->
+  config:Api.Config.t ->
   Pool.t ->
   Objtype.t ->
   Analysis.level
-(** The upward scans of [Numbers], driven by {!search_within}.  A scan cut
-    by the deadline — or degraded by quarantined chunks under a
-    [supervisor] — returns the highest level it fully established with
-    [Analysis.At_least] status (never a fabricated [Exact]); with an
-    already-expired deadline that is level 1, the unconditional floor. *)
+(** The upward scans of [Numbers], driven by {!search_within}, up to
+    [config.cap].  A scan cut by the deadline — or degraded by
+    quarantined chunks under a [supervisor] — returns the highest level
+    it fully established with [Analysis.At_least] status (never a
+    fabricated [Exact]); with an already-expired deadline that is level
+    1, the unconditional floor. *)
 
 val analyze :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
-  ?cap:int ->
-  ?deadline:float ->
   ?supervisor:Supervise.t ->
-  ?kernel:Kernel.mode ->
+  config:Api.Config.t ->
   Pool.t ->
   Objtype.t ->
   Analysis.t
-(** [Numbers.analyze ?cap t], parallelized within each decider query.
-    Equal (under [Analysis.equal]) to the sequential result, with the
-    same certificates; [Analysis.elapsed] is measured on [Obs.Clock].
-    With a [deadline] (or quarantined chunks under a [supervisor]), both
-    level scans degrade to honest [At_least] lower bounds. *)
+(** [Numbers.analyze ~cap:config.cap t], parallelized within each
+    decider query.  Equal (under [Analysis.equal]) to the sequential
+    result, with the same certificates; [Analysis.elapsed] is measured
+    on [Obs.Clock].  With a deadline (or quarantined chunks under a
+    [supervisor]), both level scans degrade to honest [At_least] lower
+    bounds. *)
 
 val analyze_all :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
-  ?cap:int ->
-  ?deadline:float ->
   ?supervisor:Supervise.t ->
-  ?kernel:Kernel.mode ->
+  config:Api.Config.t ->
   Pool.t ->
   Objtype.t list ->
   Analysis.t list
 (** {!analyze} over a batch (e.g. the gallery), sharing one cache so
-    repeated types and schedule sets are computed once.  A mid-batch
-    deadline expiry yields quick [At_least] records for the remaining
-    types rather than abandoning them. *)
+    repeated types and schedule sets are computed once.  The deadline is
+    resolved once for the whole batch; a mid-batch expiry yields quick
+    [At_least] records for the remaining types rather than abandoning
+    them. *)
 
 type census_run = {
   entries : Census.entry list;  (** histogram over the *decided* tables *)
@@ -238,20 +250,18 @@ end
 val census :
   ?cache:Cache.t ->
   ?obs:Obs.t ->
-  ?cap:int ->
-  ?deadline:float ->
   ?supervisor:Supervise.t ->
   ?checkpoint:string ->
   ?resume:bool ->
   ?durable:bool ->
-  ?kernel:Kernel.mode ->
+  config:Api.Config.t ->
   Pool.t ->
   Synth.space ->
   census_run
-(** [Census.exhaustive ?cap space] with table indices partitioned across
-    the domains and [S(P)] shared through the cache; when [complete], the
-    histogram is identical to the sequential census at any job count.
-    Default [cap] is 4, matching [Census.exhaustive].
+(** [Census.exhaustive ~cap:config.cap space] with table indices
+    partitioned across the domains and [S(P)] shared through the cache;
+    when [complete], the histogram is identical to the sequential census
+    at any job count.
 
     [checkpoint] appends every decided table's levels to the given file
     (chunk-wise, flushed, safe against [kill -9]; the header pins space,
@@ -262,7 +272,7 @@ val census :
     identical histogram.  [durable] (default [false]) additionally
     [fsync]s the checkpoint after every append, extending the crash-safety
     guarantee from process death to machine death at the cost of one disk
-    round trip per flushed chunk.  [deadline] stops the sweep
+    round trip per flushed chunk.  [config.deadline] stops the sweep
     cooperatively; the returned record says exactly how far it got.
     [supervisor] heals failing chunks as in {!search_within}; tables in a
     quarantined chunk stay undecided, so [complete] is honestly [false]. *)
@@ -272,8 +282,8 @@ val synth_portfolio :
   ?max_iterations:int ->
   ?restart_every:int ->
   ?obs:Obs.t ->
-  ?deadline:float ->
   ?supervisor:Supervise.t ->
+  config:Api.Config.t ->
   portfolio:int ->
   Pool.t ->
   target:int ->
@@ -283,6 +293,8 @@ val synth_portfolio :
     pool, returning the witness of the lowest-seeded successful climb
     (the same one a sequential first-success scan over the seeds would
     return).  [portfolio = 1] is exactly [Synth.search ?seed].  An
-    expired [deadline] skips climbs that have not started (whole climbs
-    are the cancellation granularity), so [None] may then mean "ran out
-    of time" rather than "search space exhausted". *)
+    expired [config.deadline] skips climbs that have not started (whole
+    climbs are the cancellation granularity), so [None] may then mean
+    "ran out of time" rather than "search space exhausted".  Reads only
+    [deadline] from the config — the climb parameters stay keywords
+    because they are synthesis-specific, not engine-wide. *)

@@ -1,0 +1,26 @@
+type t = { fd : Unix.file_descr }
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with exn ->
+     Unix.close fd;
+     raise exn);
+  { fd }
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let call t req =
+  match Frame.write t.fd (Api.Request.to_string req) with
+  | exception exn -> Error (Printf.sprintf "send failed: %s" (Printexc.to_string exn))
+  | () -> (
+      match Frame.read t.fd with
+      | Frame.Frame payload -> Api.Response.of_string payload
+      | Frame.Eof -> Error "connection closed before the response"
+      | Frame.Bad msg -> Error (Printf.sprintf "bad response frame: %s" msg))
+
+let with_client socket f =
+  let t = connect socket in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let one_shot ~socket req = with_client socket (fun t -> call t req)

@@ -1,0 +1,24 @@
+(** The in-tree client of the serve protocol: one framed request, one
+    framed response, any number of times per connection.  This is what
+    the CLI's [--connect] flag and the concurrent serve tests speak;
+    [tools/serve_client.ml] reimplements the same ten lines standalone
+    so the smoke harness depends on nothing from the tree. *)
+
+type t
+
+val connect : string -> t
+(** Connect to a daemon's Unix-domain socket path.
+    @raise Unix.Unix_error when nothing listens there. *)
+
+val close : t -> unit
+
+val call : t -> Api.Request.t -> (Api.Response.t, string) result
+(** Send one request, wait for its response.  [Error] covers transport
+    failures (daemon died, malformed frame) and undecodable responses;
+    protocol-level failures arrive as [Api.Response.Error] responses. *)
+
+val with_client : string -> (t -> 'a) -> 'a
+(** [connect], apply, [close] (also on exception). *)
+
+val one_shot : socket:string -> Api.Request.t -> (Api.Response.t, string) result
+(** A single call on a fresh connection. *)

@@ -1,0 +1,162 @@
+type env = {
+  obs : Obs.t;
+  cache : Engine.Cache.t;
+  pool : Pool.t;
+  store : Store.t option;
+  supervision_obs : Obs.t option;
+  command : string;
+}
+
+let env ?store ?supervision_obs ~obs ~command pool =
+  { obs; cache = Engine.Cache.create ~obs (); pool; store; supervision_obs; command }
+
+let metrics_response ~obs ~command =
+  let line = String.trim (Obs.Stats.render ~command obs Obs.Stats.Json) in
+  match Wire.of_string line with
+  | Ok stats -> Api.Response.make (Api.Response.Metrics stats)
+  | Error msg ->
+      Api.Response.error ~code:Api.Response.err_internal
+        (Printf.sprintf "stats rendering broke its own format: %s" msg)
+
+(* A store hit replays the exact bytes the cold run published — decode
+   them back into the analysis; a record that no longer decodes (a
+   foreign or corrupt store file) is reported, not served. *)
+let store_hit store ~digest =
+  match Store.find store digest with
+  | None -> None
+  | Some payload ->
+      Some
+        (match Result.bind (Wire.of_string payload) Api.analysis_of_json with
+        | Ok analysis ->
+            Api.Response.make (Api.Response.Analysis { analysis; from_store = true })
+        | Error msg ->
+            Api.Response.error ~code:Api.Response.err_internal
+              (Printf.sprintf "store record %s undecodable: %s" digest msg))
+
+let fast_path ~obs ?store ~command (req : Api.Request.t) =
+  match req with
+  | Api.Request.Ping -> Some (Api.Response.make Api.Response.Pong)
+  | Api.Request.Metrics -> Some (metrics_response ~obs ~command)
+  | Api.Request.Analyze { spec; config } -> (
+      match store with
+      | None -> None
+      | Some store -> (
+          match Objtype.of_spec_string spec with
+          | exception Objtype.Ill_formed _ -> None (* let [run] report it *)
+          | ty -> store_hit store ~digest:(Api.query_digest ty ~cap:config.Api.Config.cap)
+          ))
+  | _ -> None
+
+(* The response's supervision ledger, read off the per-request
+   supervisor. *)
+let ledger supervisor =
+  match supervisor with
+  | None -> (0, 0, [])
+  | Some sup ->
+      let trips =
+        match Supervise.watchdog sup with
+        | Some wd -> Supervise.Watchdog.trips wd
+        | None -> 0
+      in
+      (Supervise.retries sup, trips, Supervise.quarantined sup)
+
+let run_analyze env ~spec ~(config : Api.Config.t) =
+  match Objtype.of_spec_string spec with
+  | exception Objtype.Ill_formed msg ->
+      Api.Response.error (Printf.sprintf "bad type spec: %s" msg)
+  | ty -> (
+      let digest = Api.query_digest ty ~cap:config.Api.Config.cap in
+      (* Re-probe under the pool owner: the fast path may have lost a race
+         with the compute that published this digest. *)
+      match Option.bind env.store (fun s -> store_hit s ~digest) with
+      | Some resp -> resp
+      | None ->
+          let supervisor =
+            Api.Config.supervisor config ~obs:env.supervision_obs
+              ~jobs:(Pool.jobs env.pool)
+          in
+          let analysis =
+            Engine.analyze ~cache:env.cache ~obs:env.obs ?supervisor ~config env.pool ty
+          in
+          let retries, watchdog_trips, quarantined = ledger supervisor in
+          (* Only publish pristine results: a deadline- or
+             quarantine-degraded analysis is this run's truth, not the
+             query's. *)
+          if config.Api.Config.deadline = None && quarantined = [] then
+            Option.iter
+              (fun store ->
+                Store.put store ~key:digest
+                  (Wire.to_string (Api.analysis_to_json analysis)))
+              env.store;
+          Api.Response.make ~retries ~watchdog_trips ~quarantined
+            (Api.Response.Analysis { analysis; from_store = false }))
+
+let run_census env ~space ~sample ~seed ~checkpoint ~resume ~durable
+    ~(config : Api.Config.t) =
+  match sample with
+  | Some count ->
+      (* Sampling census: the sequential estimator over random tables —
+         the sweep machinery (checkpoints, resume) is exhaustive-only. *)
+      let entries = Census.sample ~cap:config.Api.Config.cap ~seed ~count space in
+      Api.Response.make
+        (Api.Response.Census
+           { entries; total = count; completed = count; resumed = 0; complete = true })
+  | None ->
+      let supervisor =
+        Api.Config.supervisor config ~obs:env.supervision_obs ~jobs:(Pool.jobs env.pool)
+      in
+      let run =
+        Engine.census ~cache:env.cache ~obs:env.obs ?supervisor ?checkpoint ~resume
+          ~durable ~config env.pool space
+      in
+      let retries, watchdog_trips, quarantined = ledger supervisor in
+      Api.Response.make ~retries ~watchdog_trips ~quarantined
+        (Api.Response.Census
+           {
+             entries = run.Engine.entries;
+             total = run.Engine.total;
+             completed = run.Engine.completed;
+             resumed = run.Engine.resumed;
+             complete = run.Engine.complete;
+           })
+
+let run_synth env ~space ~target ~seed ~iterations ~restart_every ~portfolio
+    ~(config : Api.Config.t) =
+  let supervisor =
+    Api.Config.supervisor config ~obs:env.supervision_obs ~jobs:(Pool.jobs env.pool)
+  in
+  let witness =
+    Engine.synth_portfolio ~seed ~max_iterations:iterations ?restart_every ~obs:env.obs
+      ?supervisor ~config ~portfolio env.pool ~target space
+  in
+  let retries, watchdog_trips, quarantined = ledger supervisor in
+  Api.Response.make ~retries ~watchdog_trips ~quarantined
+    (Api.Response.Synth { witness })
+
+let run env (req : Api.Request.t) =
+  let checked f =
+    match Option.map Api.Config.validate (Api.Request.config req) with
+    | Some (Error msg) -> Api.Response.error msg
+    | Some (Ok ()) | None -> (
+        try f ()
+        with exn ->
+          Api.Response.error ~code:Api.Response.err_internal (Printexc.to_string exn))
+  in
+  match req with
+  | Api.Request.Ping -> Api.Response.make Api.Response.Pong
+  | Api.Request.Metrics -> metrics_response ~obs:env.obs ~command:env.command
+  | Api.Request.Analyze { spec; config } ->
+      checked (fun () -> run_analyze env ~spec ~config)
+  | Api.Request.Census { space; sample; seed; checkpoint; resume; durable; config } ->
+      checked (fun () ->
+          run_census env ~space ~sample ~seed ~checkpoint ~resume ~durable ~config)
+  | Api.Request.Synth { space; target; seed; iterations; restart_every; portfolio; config }
+    ->
+      checked (fun () ->
+          run_synth env ~space ~target ~seed ~iterations ~restart_every ~portfolio
+            ~config)
+
+let handle env req =
+  match fast_path ~obs:env.obs ?store:env.store ~command:env.command req with
+  | Some resp -> resp
+  | None -> run env req

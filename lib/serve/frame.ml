@@ -1,0 +1,61 @@
+let max_frame = 16 * 1024 * 1024
+
+type read_result = Frame of string | Eof | Bad of string
+
+(* The header is at most a handful of bytes, so byte-at-a-time reads cost
+   nothing next to the request they precede. *)
+let read_header fd =
+  let byte = Bytes.create 1 in
+  let acc = Buffer.create 20 in
+  let rec loop () =
+    if Buffer.length acc > 20 then Error "oversized frame header"
+    else
+      match Unix.read fd byte 0 1 with
+      | 0 -> if Buffer.length acc = 0 then Ok None else Error "eof inside frame header"
+      | _ -> (
+          match Bytes.get byte 0 with
+          | '\n' -> Ok (Some (Buffer.contents acc))
+          | c ->
+              Buffer.add_char acc c;
+              loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec loop off =
+    if off = len then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> None
+      | k -> loop (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off
+  in
+  loop 0
+
+let read fd =
+  match read_header fd with
+  | Error "eof inside frame header" -> Bad "eof inside frame header"
+  | Error msg -> Bad msg
+  | Ok None -> Eof
+  | Ok (Some header) -> (
+      match int_of_string_opt header with
+      | None -> Bad (Printf.sprintf "bad frame header %S" header)
+      | Some len when len < 0 || len > max_frame ->
+          Bad (Printf.sprintf "bad frame length %d" len)
+      | Some len -> (
+          match read_exact fd len with
+          | Some payload -> Frame payload
+          | None -> Bad "eof inside frame payload"))
+
+let write fd payload =
+  let s = Printf.sprintf "%d\n%s" (String.length payload) payload in
+  let len = String.length s in
+  let rec loop off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | k -> loop (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off
+  in
+  loop 0

@@ -1,0 +1,26 @@
+(** Length-prefixed frames over a file descriptor — the serve protocol's
+    transport.  A frame is the payload byte count in ASCII decimal, a
+    newline, then exactly that many payload bytes:
+
+    {[ 24\n{"rcn_request":1,...} ]}
+
+    The header is self-delimiting and human-writable ([printf '5\nhello']
+    is a valid frame), the payload is length-delimited so it can carry
+    anything.  Both sides of the protocol exchange one request frame for
+    one response frame, repeatedly, on one connection. *)
+
+val max_frame : int
+(** Upper bound (16 MiB) on an accepted payload; a larger announced
+    length is treated as a malformed frame, so a stray client speaking
+    another protocol cannot make the server allocate unboundedly. *)
+
+type read_result =
+  | Frame of string
+  | Eof  (** clean end of stream at a frame boundary *)
+  | Bad of string  (** malformed header, oversized length, or torn payload *)
+
+val read : Unix.file_descr -> read_result
+
+val write : Unix.file_descr -> string -> unit
+(** Write one frame, looping over partial writes.
+    @raise Unix.Unix_error as the underlying writes do (e.g. [EPIPE]). *)

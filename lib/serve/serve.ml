@@ -1,0 +1,175 @@
+type job = {
+  req : Api.Request.t;
+  job_m : Mutex.t;
+  job_cv : Condition.t;
+  mutable resp : Api.Response.t option;
+}
+
+type t = {
+  obs : Obs.t;
+  socket : string;
+  store : Store.t;
+  jobs : int;
+  queue_limit : int;
+  listen_fd : Unix.file_descr;
+  stopped : bool Atomic.t;
+  queue : job Queue.t;
+  m : Mutex.t;
+  cv : Condition.t;  (* signals the scheduler: new job or shutdown *)
+  c_connections : Obs.Metrics.Counter.t;
+  c_requests : Obs.Metrics.Counter.t;
+  c_busy : Obs.Metrics.Counter.t;
+  c_bad_frames : Obs.Metrics.Counter.t;
+}
+
+let command = "serve"
+
+let create ?jobs ?(queue_limit = 64) ?fsync ?obs ~socket ~store () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let jobs = match jobs with Some j -> j | None -> Engine.default_jobs () in
+  let store = Store.open_store ~obs ?fsync store in
+  if Sys.file_exists socket then Unix.unlink socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 64
+   with exn ->
+     Unix.close listen_fd;
+     raise exn);
+  {
+    obs;
+    socket;
+    store;
+    jobs;
+    queue_limit;
+    listen_fd;
+    stopped = Atomic.make false;
+    queue = Queue.create ();
+    m = Mutex.create ();
+    cv = Condition.create ();
+    c_connections = Obs.counter obs "serve.connections";
+    c_requests = Obs.counter obs "serve.requests";
+    c_busy = Obs.counter obs "serve.busy";
+    c_bad_frames = Obs.counter obs "serve.bad_frames";
+  }
+
+let obs t = t.obs
+let socket t = t.socket
+let stop t = Atomic.set t.stopped true
+
+let busy_response msg =
+  Api.Response.error ~code:Api.Response.err_busy msg
+
+(* Queue an engine request and block until the scheduler resolves it.
+   Admission control and the shutdown fence live under the same mutex as
+   the scheduler's drain, so a job is either answered or refused — never
+   parked on a queue nobody reads. *)
+let submit t req =
+  let job =
+    { req; job_m = Mutex.create (); job_cv = Condition.create (); resp = None }
+  in
+  let admitted =
+    Mutex.protect t.m (fun () ->
+        if Atomic.get t.stopped then false
+        else if Queue.length t.queue >= t.queue_limit then false
+        else begin
+          Queue.push job t.queue;
+          Condition.signal t.cv;
+          true
+        end)
+  in
+  if not admitted then begin
+    Obs.Metrics.Counter.incr t.c_busy;
+    busy_response
+      (if Atomic.get t.stopped then "server shutting down"
+       else Printf.sprintf "admission queue full (%d waiting)" t.queue_limit)
+  end
+  else
+    Mutex.protect job.job_m (fun () ->
+        while job.resp = None do
+          Condition.wait job.job_cv job.job_m
+        done;
+        Option.get job.resp)
+
+let resolve job resp =
+  Mutex.protect job.job_m (fun () ->
+      job.resp <- Some resp;
+      Condition.signal job.job_cv)
+
+(* The scheduler owns the pool: one request at a time, parallel inside. *)
+let scheduler t () =
+  Pool.with_pool ~obs:t.obs ~jobs:t.jobs @@ fun pool ->
+  let env = Dispatch.env ~store:t.store ~obs:t.obs ~command pool in
+  let rec loop () =
+    let next =
+      Mutex.protect t.m (fun () ->
+          let rec wait () =
+            if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+            else if Atomic.get t.stopped then None
+            else begin
+              Condition.wait t.cv t.m;
+              wait ()
+            end
+          in
+          wait ())
+    in
+    match next with
+    | None -> ()
+    | Some job ->
+        resolve job (Dispatch.run env job.req);
+        loop ()
+  in
+  loop ()
+
+let serve_connection t fd =
+  Obs.Metrics.Counter.incr t.c_connections;
+  let respond resp =
+    match Frame.write fd (Api.Response.to_string resp) with
+    | () -> true
+    | exception _ -> false
+  in
+  let rec loop () =
+    match Frame.read fd with
+    | Frame.Eof -> ()
+    | Frame.Bad msg ->
+        Obs.Metrics.Counter.incr t.c_bad_frames;
+        ignore (respond (Api.Response.error msg))
+    | Frame.Frame payload ->
+        Obs.Metrics.Counter.incr t.c_requests;
+        let resp =
+          match Api.Request.of_string payload with
+          | Error msg -> Api.Response.error msg
+          | Ok req -> (
+              match
+                Dispatch.fast_path ~obs:t.obs ~store:t.store ~command req
+              with
+              | Some resp -> resp
+              | None -> submit t req)
+        in
+        if respond resp then loop ()
+  in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) loop
+
+let run t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sched = Thread.create (scheduler t) () in
+  let rec accept_loop () =
+    if not (Atomic.get t.stopped) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ -> ignore (Thread.create (serve_connection t) fd)
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Shutdown: stop accepting, wake the scheduler so it drains the queue
+     and exits, refuse stragglers (the [submit] fence), join, close. *)
+  (try Unix.close t.listen_fd with _ -> ());
+  (try Unix.unlink t.socket with _ -> ());
+  Mutex.protect t.m (fun () -> Condition.broadcast t.cv);
+  Thread.join sched;
+  Store.close t.store

@@ -1,0 +1,60 @@
+(** [rcn serve]: the analysis-as-a-service daemon.
+
+    One process, three kinds of thread:
+
+    - the {e accept loop} (the caller's thread, inside {!run}) polls the
+      listening Unix-domain socket and spawns one thread per connection;
+    - {e connection threads} read request frames, answer
+      {!Dispatch.fast_path} requests (pings, metrics, store hits)
+      inline, and queue everything else;
+    - one {e scheduler thread} owns the domain {!Pool} (which is not
+      reentrant and expects a single submitting thread) and drains the
+      queue one request at a time — engine requests are serialized, and
+      their fan-out parallelism comes from the pool's domains, not from
+      concurrent requests.
+
+    Admission control is the queue bound: when [queue_limit] requests
+    are already waiting, further engine requests are refused immediately
+    with [err_busy] (75) instead of accumulating latency.  Fast-path
+    requests are never refused — a loaded server still answers pings,
+    metrics scrapes, and repeat queries.
+
+    {!stop} only flips an atomic flag, so it is safe to call from a
+    signal handler; the accept loop notices within its poll interval,
+    stops accepting, drains the queued requests, rejects late ones with
+    [err_busy], joins the scheduler, and returns from {!run} — the clean
+    SIGTERM shutdown the smoke test pins.  Results of completed analyze
+    requests are in the {!Store} (opened with [~fsync] passed through),
+    so a SIGKILL instead of SIGTERM loses at most the in-flight request;
+    the restarted daemon recovers the store log and serves the same
+    bytes. *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?queue_limit:int ->
+  ?fsync:bool ->
+  ?obs:Obs.t ->
+  socket:string ->
+  store:string ->
+  unit ->
+  t
+(** Open the store at [store], bind and listen on the Unix-domain socket
+    path [socket] (replacing a stale socket file).  [jobs] defaults to
+    [Engine.default_jobs ()]; [queue_limit] to [64]; [fsync] (default
+    [false]) makes store appends fsync.  The socket exists when [create]
+    returns, so a launcher can wait for the path.  The daemon's counters
+    ([serve.connections], [serve.requests], [serve.busy],
+    [serve.bad_frames], plus the store's and engine's) live in [obs].
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val obs : t -> Obs.t
+val socket : t -> string
+
+val run : t -> unit
+(** Serve until {!stop}; returns after the drain.  Ignores [SIGPIPE]
+    (a client hanging up mid-response must not kill the daemon). *)
+
+val stop : t -> unit
+(** Request shutdown.  Async-signal-safe: only sets a flag. *)

@@ -1,0 +1,148 @@
+(* Append-only content-addressed log.  On-disk format, one record after
+   another, nothing else in the file:
+
+     rcnstore1 <key> <payload_bytes>\n
+     <payload>\n
+
+   The header is plain text (key is a hex digest, never contains spaces);
+   the payload is length-delimited, so it may contain anything.  Recovery
+   needs no index or footer: scan from the top, stop at the first record
+   that does not parse or is cut short, truncate there. *)
+
+let magic = "rcnstore1"
+
+type counters = {
+  hits : Obs.Metrics.Counter.t;
+  misses : Obs.Metrics.Counter.t;
+  puts : Obs.Metrics.Counter.t;
+  loaded : Obs.Metrics.Counter.t;
+  torn : Obs.Metrics.Counter.t;
+}
+
+type t = {
+  path : string;
+  fsync : bool;
+  fd : Unix.file_descr;
+  mutable chan : out_channel option;
+  table : (string, string) Hashtbl.t;
+  c : counters option;
+  lock : Mutex.t;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let count c field =
+  match c with
+  | None -> ()
+  | Some c -> Obs.Metrics.Counter.incr (field c)
+
+(* Replay [contents], filling [table]; returns the offset just past the
+   last complete record. *)
+let replay contents table =
+  let n = String.length contents in
+  let good = ref 0 in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       let nl =
+         match String.index_from_opt contents !pos '\n' with
+         | Some i -> i
+         | None -> raise Exit
+       in
+       let header = String.sub contents !pos (nl - !pos) in
+       let key, len =
+         match String.split_on_char ' ' header with
+         | [ m; key; len ] when m = magic -> (
+             match int_of_string_opt len with
+             | Some len when len >= 0 -> (key, len)
+             | _ -> raise Exit)
+         | _ -> raise Exit
+       in
+       let payload_start = nl + 1 in
+       (* payload plus its trailing newline must be fully present *)
+       if payload_start + len + 1 > n then raise Exit;
+       if contents.[payload_start + len] <> '\n' then raise Exit;
+       let payload = String.sub contents payload_start len in
+       Hashtbl.replace table key payload;
+       pos := payload_start + len + 1;
+       good := !pos
+     done
+   with Exit -> ());
+  !good
+
+let open_store ?obs ?(fsync = false) path =
+  let c =
+    Option.map
+      (fun obs ->
+        {
+          hits = Obs.counter obs "store.hits";
+          misses = Obs.counter obs "store.misses";
+          puts = Obs.counter obs "store.puts";
+          loaded = Obs.counter obs "store.loaded";
+          torn = Obs.counter obs "store.torn_bytes";
+        })
+      obs
+  in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let contents =
+    let ic = Unix.in_channel_of_descr (Unix.dup fd) in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic size)
+  in
+  let table = Hashtbl.create 64 in
+  let good = replay contents table in
+  if good < size then begin
+    Unix.ftruncate fd good;
+    match c with
+    | None -> ()
+    | Some c -> Obs.Metrics.Counter.add c.torn (size - good)
+  end;
+  (match c with
+  | None -> ()
+  | Some c -> Obs.Metrics.Counter.add c.loaded (Hashtbl.length table));
+  ignore (Unix.lseek fd good Unix.SEEK_SET);
+  let chan = Unix.out_channel_of_descr fd in
+  { path; fsync; fd; chan = Some chan; table; c; lock = Mutex.create () }
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some payload ->
+          count t.c (fun c -> c.hits);
+          Some payload
+      | None ->
+          count t.c (fun c -> c.misses);
+          None)
+
+let mem t key = with_lock t (fun () -> Hashtbl.mem t.table key)
+let size t = with_lock t (fun () -> Hashtbl.length t.table)
+let path t = t.path
+
+let put t ~key payload =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        let chan =
+          match t.chan with
+          | Some c -> c
+          | None -> invalid_arg "Store.put: store is closed"
+        in
+        Printf.fprintf chan "%s %s %d\n" magic key (String.length payload);
+        output_string chan payload;
+        output_char chan '\n';
+        flush chan;
+        if t.fsync then Unix.fsync t.fd;
+        Hashtbl.replace t.table key payload;
+        count t.c (fun c -> c.puts)
+      end)
+
+let close t =
+  with_lock t (fun () ->
+      match t.chan with
+      | None -> ()
+      | Some chan ->
+          t.chan <- None;
+          (* closes the underlying fd too *)
+          close_out chan)

@@ -1,0 +1,54 @@
+(** Persistent content-addressed result store: the serve daemon's memory
+    of every analysis it has ever completed.
+
+    The store maps a content address (the hex digest of a query's
+    canonical form — see [Api.query_digest]) to the {e canonical bytes}
+    of its result ([Api.analysis_to_json |> Wire.to_string]).  Keeping
+    bytes rather than values is the point: a store hit replays the exact
+    bytes of the cold run, so "byte-identical certificate" is a checkable
+    guarantee rather than a re-serialization hope.
+
+    Durability follows the census [--durable] checkpoint discipline: one
+    append-only log, a record at a time, flushed (and with [~fsync:true]
+    fsync'd) before the entry becomes visible.  A crash can only ever
+    tear the {e tail} of the log; {!open_store} scans forward, keeps
+    every complete record, truncates the torn tail in place, and resumes
+    appending from there — pinned by a truncation test that corrupts the
+    log at every byte offset.
+
+    First write wins: a [put] on a key already present is a no-op, so a
+    racing duplicate compute can never flip the stored bytes.  All
+    operations are thread-safe (the daemon hits the store from every
+    connection thread). *)
+
+type t
+
+val open_store : ?obs:Obs.t -> ?fsync:bool -> string -> t
+(** Open (creating if missing) the store backed by the given log file.
+    Replays the log, dropping and truncating a torn tail.  [fsync]
+    (default [false]) makes every {!put} fsync before returning.  With
+    [obs], the store's ledger lives in that registry:
+    [store.hits] / [store.misses] (per {!find}), [store.puts] (appended
+    records), [store.loaded] (records recovered on open), and
+    [store.torn_bytes] (tail bytes discarded on open).
+    @raise Sys_error when the path is unopenable. *)
+
+val find : t -> string -> string option
+(** The canonical result bytes stored under this key, counting a hit or
+    a miss. *)
+
+val mem : t -> string -> bool
+(** Presence without touching the hit/miss counters. *)
+
+val put : t -> key:string -> string -> unit
+(** Append and publish a record; no-op (not counted) if the key is
+    already present. *)
+
+val size : t -> int
+(** Number of distinct keys. *)
+
+val path : t -> string
+
+val close : t -> unit
+(** Flush and close the log.  Further [put]s raise; [find] keeps
+    answering from memory. *)

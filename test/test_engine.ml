@@ -118,7 +118,7 @@ let test_search_parity_gallery () =
           List.iter
             (fun jobs ->
               Pool.with_pool ~jobs @@ fun pool ->
-              match (seq, Engine.search pool condition ty ~n) with
+              match (seq, Engine.search ~config:Api.Config.default pool condition ty ~n) with
               | None, None -> ()
               | Some a, Some b ->
                   check_bool
@@ -150,7 +150,11 @@ let test_kernel_mode_parity () =
               List.iter
                 (fun jobs ->
                   Pool.with_pool ~jobs @@ fun pool ->
-                  match (reference, Engine.search ~kernel:mode pool condition ty ~n) with
+                  match
+                    ( reference,
+                      Engine.search ~config:(Api.Config.v ~kernel:mode ()) pool
+                        condition ty ~n )
+                  with
                   | None, None -> ()
                   | Some a, Some b ->
                       check_bool
@@ -178,7 +182,7 @@ let test_census_kernel_mode_parity () =
   List.iter
     (fun mode ->
       Pool.with_pool ~jobs:4 @@ fun pool ->
-      let run = Engine.census ~cap:3 ~kernel:mode pool space in
+      let run = Engine.census ~config:(Api.Config.v ~cap:3 ~kernel:mode ()) pool space in
       check_bool
         (Printf.sprintf "%s census complete" (Kernel.mode_to_string mode))
         true run.Engine.complete;
@@ -219,7 +223,7 @@ let prop_engine_analyze_parity =
       List.for_all
         (fun jobs ->
           Pool.with_pool ~jobs @@ fun pool ->
-          let par = Engine.analyze ~cap:3 pool ty in
+          let par = Engine.analyze ~config:(Api.Config.v ~cap:3 ()) pool ty in
           Analysis.equal seq par
           && level_parity Decide.Discerning seq.Analysis.discerning par.Analysis.discerning
           && level_parity Decide.Recording seq.Analysis.recording par.Analysis.recording)
@@ -229,7 +233,7 @@ let test_analyze_all_gallery_parity () =
   let types = List.map snd (Gallery.all ()) in
   let seq = List.map (Numbers.analyze ~cap:3) types in
   Pool.with_pool ~jobs:4 @@ fun pool ->
-  let par = Engine.analyze_all ~cap:3 pool types in
+  let par = Engine.analyze_all ~config:(Api.Config.v ~cap:3 ()) pool types in
   List.iter2
     (fun (s : Analysis.t) (p : Analysis.t) ->
       check_bool (s.Analysis.type_name ^ " parity") true (Analysis.equal s p))
@@ -243,7 +247,7 @@ let test_census_parity () =
   List.iter
     (fun jobs ->
       Pool.with_pool ~jobs @@ fun pool ->
-      let run = Engine.census ~cap:3 pool space in
+      let run = Engine.census ~config:(Api.Config.v ~cap:3 ()) pool space in
       check_bool (Printf.sprintf "jobs=%d run complete" jobs) true
         (run.Engine.complete && run.Engine.completed = run.Engine.total);
       check_bool
@@ -260,7 +264,7 @@ let test_census_checkpoint_resume () =
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
   @@ fun () ->
   Pool.with_pool ~jobs:2 @@ fun pool ->
-  let full = Engine.census ~cap:3 ~checkpoint:path pool space in
+  let full = Engine.census ~checkpoint:path ~config:(Api.Config.v ~cap:3 ()) pool space in
   check_bool "checkpointed run complete" true full.Engine.complete;
   (* Simulate a kill mid-run: keep the header plus 100 decided-table lines,
      then a torn trailing line with no newline, as a dying write leaves. *)
@@ -270,7 +274,10 @@ let test_census_checkpoint_resume () =
   Out_channel.with_open_text path (fun oc ->
       List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) (header :: kept);
       Out_channel.output_string oc "12 3");
-  let resumed = Engine.census ~cap:3 ~checkpoint:path ~resume:true pool space in
+  let resumed =
+    Engine.census ~checkpoint:path ~resume:true ~config:(Api.Config.v ~cap:3 ()) pool
+      space
+  in
   check_bool "resumed run complete" true resumed.Engine.complete;
   check_int "torn tail dropped, whole lines loaded" 100 resumed.Engine.resumed;
   check_int "each table decided exactly once" (Census.space_size space)
@@ -280,7 +287,10 @@ let test_census_checkpoint_resume () =
   (* A checkpoint from different census parameters is rejected, not merged. *)
   check_bool "stale checkpoint rejected" true
     (try
-       ignore (Engine.census ~cap:4 ~checkpoint:path ~resume:true pool space);
+       ignore
+         (Engine.census ~checkpoint:path ~resume:true
+            ~config:(Api.Config.v ~cap:4 ())
+            pool space);
        false
      with Invalid_argument _ -> true)
 
@@ -322,7 +332,11 @@ let test_checkpoint_load_edge_cases () =
         = [ (300, (2, 2)); (5, (1, 1)); (-1, (2, 2)) ]));
   with_checkpoint_file ([ header; "300 2 2"; "-1 2 2" ], None) (fun path ->
       Pool.with_pool ~jobs:2 @@ fun pool ->
-      let run = Engine.census ~cap:3 ~checkpoint:path ~resume:true pool space in
+      let run =
+        Engine.census ~checkpoint:path ~resume:true
+          ~config:(Api.Config.v ~cap:3 ())
+          pool space
+      in
       check_int "out-of-range checkpoint entries are skipped, not resumed" 0
         run.Engine.resumed;
       check_bool "census still completes" true run.Engine.complete);
@@ -344,7 +358,11 @@ let test_checkpoint_truncate_every_offset () =
   @@ fun () ->
   Pool.with_pool ~jobs:2 @@ fun pool ->
   (* [durable] exercises the fsync path; the file contents are the same. *)
-  let full = Engine.census ~cap:3 ~checkpoint:path ~durable:true pool space in
+  let full =
+    Engine.census ~checkpoint:path ~durable:true
+      ~config:(Api.Config.v ~cap:3 ())
+      pool space
+  in
   check_bool "durable checkpointed run complete" true full.Engine.complete;
   check_bool "durable run matches the sequential census" true
     (full.Engine.entries = seq);
@@ -382,7 +400,11 @@ let test_checkpoint_truncate_every_offset () =
      stitched histogram is bit-identical. *)
   Out_channel.with_open_bin cut_path (fun oc ->
       Out_channel.output_string oc (String.sub bytes 0 (last_start + 2)));
-  let resumed = Engine.census ~cap:3 ~checkpoint:cut_path ~resume:true pool space in
+  let resumed =
+    Engine.census ~checkpoint:cut_path ~resume:true
+      ~config:(Api.Config.v ~cap:3 ())
+      pool space
+  in
   check_bool "resumed-from-torn-tail run complete" true resumed.Engine.complete;
   check_int "only whole records were resumed" (n_records - 1) resumed.Engine.resumed;
   check_bool "stitched histogram identical" true (resumed.Engine.entries = seq)
@@ -394,8 +416,12 @@ let test_expired_deadline_analyze () =
   List.iter
     (fun jobs ->
       Pool.with_pool ~jobs @@ fun pool ->
-      let past = Obs.Clock.now () -. 5.0 in
-      let a = Engine.analyze ~cap:4 ~deadline:past pool Gallery.test_and_set in
+      (* A relative deadline of -5s is already expired on entry. *)
+      let a =
+        Engine.analyze
+          ~config:(Api.Config.v ~cap:4 ~deadline:(-5.0) ())
+          pool Gallery.test_and_set
+      in
       let check_level name (l : Analysis.level) =
         check_int (Printf.sprintf "jobs=%d: %s floor" jobs name) 1 l.Analysis.value;
         check_bool
@@ -415,8 +441,9 @@ let test_deadline_honesty () =
   List.iter
     (fun budget ->
       let a =
-        Engine.analyze ~cap:4 ~deadline:(Obs.Clock.after budget) pool
-          Gallery.x4_witness
+        Engine.analyze
+          ~config:(Api.Config.v ~cap:4 ~deadline:budget ())
+          pool Gallery.x4_witness
       in
       let sub name (cut : Analysis.level) (full : Analysis.level) =
         check_bool
@@ -435,16 +462,17 @@ let test_deadline_honesty () =
 let test_expired_outcome_not_cached () =
   Pool.with_pool ~jobs:1 @@ fun pool ->
   let cache = Engine.Cache.create () in
-  let past = Obs.Clock.now () -. 1.0 in
   (match
-     Engine.search_within ~cache ~deadline:past pool Decide.Discerning
-       Gallery.test_and_set ~n:2
+     Engine.search_within ~cache
+       ~config:(Api.Config.v ~deadline:(-1.0) ())
+       pool Decide.Discerning Gallery.test_and_set ~n:2
    with
   | Engine.Expired -> ()
   | _ -> Alcotest.fail "already-expired deadline must report Expired");
   (* The expired sweep published nothing: the next query computes for real. *)
   (match
-     Engine.search_within ~cache pool Decide.Discerning Gallery.test_and_set ~n:2
+     Engine.search_within ~cache ~config:Api.Config.default pool Decide.Discerning
+       Gallery.test_and_set ~n:2
    with
   | Engine.Found _ -> ()
   | _ -> Alcotest.fail "test-and-set is 2-discerning");
@@ -456,7 +484,7 @@ let test_expired_deadline_portfolio () =
   Pool.with_pool ~jobs:2 @@ fun pool ->
   check_bool "expired deadline launches no climbs" true
     (Engine.synth_portfolio ~portfolio:3
-       ~deadline:(Obs.Clock.now () -. 1.0)
+       ~config:(Api.Config.v ~deadline:(-1.0) ())
        pool ~target:4 space
     = None)
 
@@ -469,13 +497,19 @@ let test_cache_second_query_is_free () =
   (* The schedule memo feeds the reference decider (the kernel shares
      compiled tries internally), so this pin runs the reference path. *)
   let kernel = Kernel.Reference in
-  let a1 = Engine.analyze ~cache ~cap:3 ~kernel pool Gallery.test_and_set in
+  let a1 =
+    Engine.analyze ~cache ~config:(Api.Config.v ~cap:3 ~kernel ()) pool
+      Gallery.test_and_set
+  in
   let s1 = Engine.Cache.stats cache in
   check_bool "first analysis computes outcomes" true (s1.Engine.Cache.misses > 0);
   check_int "no outcome hits yet" 0 s1.Engine.Cache.hits;
   check_int "schedule sets enumerated once per n (n = 2, 3)" 2
     s1.Engine.Cache.sched_misses;
-  let a2 = Engine.analyze ~cache ~cap:3 ~kernel pool Gallery.test_and_set in
+  let a2 =
+    Engine.analyze ~cache ~config:(Api.Config.v ~cap:3 ~kernel ()) pool
+      Gallery.test_and_set
+  in
   let s2 = Engine.Cache.stats cache in
   check_int "second analysis recomputes nothing" s1.Engine.Cache.misses
     s2.Engine.Cache.misses;
@@ -491,7 +525,7 @@ let test_cache_parity_across_jobs () =
     (fun jobs ->
       Pool.with_pool ~jobs @@ fun pool ->
       let cache = Engine.Cache.create () in
-      let cached = Engine.analyze ~cache ~cap:4 pool Gallery.x4_witness in
+      let cached = Engine.analyze ~cache ~config:(Api.Config.v ~cap:4 ()) pool Gallery.x4_witness in
       check_bool
         (Printf.sprintf "jobs=%d cached analysis parity" jobs)
         true (Analysis.equal seq cached))
@@ -522,7 +556,9 @@ let test_cache_stats_invariant_concurrent () =
     for _ = 1 to rounds do
       List.iter
         (fun (condition, ty, n) ->
-          ignore (Engine.search_within ~cache pool condition ty ~n))
+          ignore
+            (Engine.search_within ~cache ~config:Api.Config.default pool condition ty
+               ~n))
         queries
     done
   in
@@ -544,16 +580,18 @@ let test_cache_expired_probes_accounted () =
      bucket and the invariant still sums. *)
   Pool.with_pool ~jobs:1 @@ fun pool ->
   let cache = Engine.Cache.create () in
-  let past = Obs.Clock.now () -. 1.0 in
   for _ = 1 to 3 do
     match
-      Engine.search_within ~cache ~deadline:past pool Decide.Discerning
-        Gallery.test_and_set ~n:2
+      Engine.search_within ~cache
+        ~config:(Api.Config.v ~deadline:(-1.0) ())
+        pool Decide.Discerning Gallery.test_and_set ~n:2
     with
     | Engine.Expired -> ()
     | _ -> Alcotest.fail "already-expired deadline must report Expired"
   done;
-  ignore (Engine.search_within ~cache pool Decide.Discerning Gallery.test_and_set ~n:2);
+  ignore
+    (Engine.search_within ~cache ~config:Api.Config.default pool Decide.Discerning
+       Gallery.test_and_set ~n:2);
   let s = Engine.Cache.stats cache in
   check_int "expired bucket counts the cut sweeps" 3 s.Engine.Cache.expired;
   check_int "completed sweep is one miss" 1 s.Engine.Cache.misses;
@@ -573,8 +611,8 @@ let test_synth_portfolio_parity () =
     (fun jobs ->
       Pool.with_pool ~jobs @@ fun pool ->
       match
-        Engine.synth_portfolio ~seed:1 ~max_iterations:2_000 ~portfolio:3 pool
-          ~target:4 space
+        Engine.synth_portfolio ~seed:1 ~max_iterations:2_000 ~portfolio:3
+          ~config:Api.Config.default pool ~target:4 space
       with
       | None -> Alcotest.fail "portfolio found no witness"
       | Some w ->
@@ -586,7 +624,9 @@ let test_synth_portfolio_parity () =
   check_bool "portfolio = 0 rejected" true
     (try
        Pool.with_pool ~jobs:1 @@ fun pool ->
-       ignore (Engine.synth_portfolio ~portfolio:0 pool ~target:4 space);
+       ignore
+         (Engine.synth_portfolio ~portfolio:0 ~config:Api.Config.default pool ~target:4
+            space);
        false
      with Invalid_argument _ -> true)
 

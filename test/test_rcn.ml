@@ -12,6 +12,9 @@ let () =
       ("hierarchy", Test_hierarchy.suite);
       ("engine", Test_engine.suite);
       ("supervise", Test_supervise.suite);
+      ("api", Test_api.suite);
+      ("store", Test_store.suite);
+      ("serve", Test_serve.suite);
       ("explore", Test_explore.suite);
       ("simultaneous", Test_simultaneous.suite);
       ("protocols", Test_protocols.suite);

@@ -1,0 +1,304 @@
+(* The daemon end to end, in process: a real Unix-socket listener, real
+   connection threads, the scheduler-owned pool, and the persistent
+   store underneath.
+
+   The contracts exercised here are the serve tentpole's acceptance
+   criteria: concurrent clients with mixed requests all get correct
+   answers; a repeat analyze query is served from the store with bytes
+   identical to the cold run; the store log survives a torn tail (the
+   kill -9 shape) and a restarted daemon keeps serving the pinned
+   results; a stopped daemon refuses new work and exits cleanly. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "rcn-serve" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> try Sys.remove (Filename.concat dir n) with _ -> ()) (Sys.readdir dir);
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f dir)
+
+(* Start a daemon, run [f socket], stop the daemon and join its thread.
+   Returns [f]'s result after a clean shutdown. *)
+let with_daemon ?queue_limit ~dir f =
+  let socket = Filename.concat dir "rcn.sock" in
+  let store = Filename.concat dir "rcn.store" in
+  let obs = Obs.create () in
+  let daemon = Serve.create ?queue_limit ~jobs:2 ~obs ~socket ~store () in
+  let runner = Thread.create Serve.run daemon in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.stop daemon;
+        Thread.join runner)
+      (fun () -> f ~obs ~socket)
+  in
+  check_bool "socket removed on shutdown" false (Sys.file_exists socket);
+  result
+
+let analyze_request ?(cap = 3) ty =
+  Api.Request.Analyze
+    { spec = Objtype.to_spec_string ty; config = Api.Config.v ~cap () }
+
+let call socket req =
+  match Client.one_shot ~socket req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "transport failure: %s" e
+
+let analysis_bytes = function
+  | { Api.Response.body = Api.Response.Analysis { analysis; from_store }; _ } ->
+      (Wire.to_string (Api.analysis_to_json analysis), from_store)
+  | r -> Alcotest.failf "not an analysis response: %s" (Api.Response.to_string r)
+
+let test_single_client_basics () =
+  with_tmpdir @@ fun dir ->
+  with_daemon ~dir @@ fun ~obs:_ ~socket ->
+  (match call socket Api.Request.Ping with
+  | { Api.Response.body = Api.Response.Pong; _ } -> ()
+  | r -> Alcotest.failf "ping got %s" (Api.Response.to_string r));
+  (* Cold analyze computes; the repeat is a store hit, byte-identical. *)
+  let cold = call socket (analyze_request Gallery.test_and_set) in
+  let cold_bytes, cold_from_store = analysis_bytes cold in
+  check_bool "cold run is not a store hit" false cold_from_store;
+  let warm = call socket (analyze_request Gallery.test_and_set) in
+  let warm_bytes, warm_from_store = analysis_bytes warm in
+  check_bool "repeat query is served from the store" true warm_from_store;
+  check_string "store replay is byte-identical" cold_bytes warm_bytes;
+  (* A different cap is a different content address: computed, not hit. *)
+  let other = call socket (analyze_request ~cap:2 Gallery.test_and_set) in
+  check_bool "different cap misses the store" false (snd (analysis_bytes other));
+  (* Metrics arrive as an embedded rcn_stats object counting the hit. *)
+  (match call socket Api.Request.Metrics with
+  | { Api.Response.body = Api.Response.Metrics json; _ } -> (
+      check_bool "stats tag present" true
+        (match Wire.member "rcn_stats" json with Some (Wire.Int 1) -> true | _ -> false);
+      match Wire.member "counters" json with
+      | Some (Wire.Obj counters) ->
+          check_bool "store.hits counter is nonzero" true
+            (match List.assoc_opt "store.hits" counters with
+            | Some (Wire.Int n) -> n > 0
+            | _ -> false)
+      | _ -> Alcotest.fail "metrics reply has no counters object")
+  | r -> Alcotest.failf "metrics got %s" (Api.Response.to_string r));
+  (* An invalid config is refused with the CLI's usage exit code. *)
+  let bad =
+    call socket
+      (Api.Request.Analyze
+         {
+           spec = Objtype.to_spec_string Gallery.test_and_set;
+           config = { Api.Config.default with cap = 1 };
+         })
+  in
+  check_int "invalid config is exit 2" 2 (Api.Response.exit_code bad);
+  (* A malformed spec is an error response, not a dead connection. *)
+  let broken =
+    call socket (Api.Request.Analyze { spec = "nonsense"; config = Api.Config.default })
+  in
+  check_bool "malformed spec is an error response" true
+    (match broken.Api.Response.body with Api.Response.Error _ -> true | _ -> false)
+
+let test_mixed_requests_run () =
+  with_tmpdir @@ fun dir ->
+  with_daemon ~dir @@ fun ~obs:_ ~socket ->
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  (match
+     call socket
+       (Api.Request.Census
+          {
+            space;
+            sample = None;
+            seed = 0;
+            checkpoint = None;
+            resume = false;
+            durable = false;
+            config = Api.Config.v ~cap:3 ();
+          })
+   with
+  | { Api.Response.body = Api.Response.Census summary; _ } as r ->
+      check_bool "census complete" true summary.Api.Response.complete;
+      check_int "census covers the space" (Census.space_size space)
+        summary.Api.Response.completed;
+      check_int "complete census exits 0" 0 (Api.Response.exit_code r);
+      check_bool "histogram matches the sequential census" true
+        (summary.Api.Response.entries = Census.exhaustive ~cap:3 space)
+  | r -> Alcotest.failf "census got %s" (Api.Response.to_string r));
+  (* Sampled census: bounded work on a daemon, deterministic for a seed. *)
+  (match
+     call socket
+       (Api.Request.Census
+          {
+            space;
+            sample = Some 16;
+            seed = 5;
+            checkpoint = None;
+            resume = false;
+            durable = false;
+            config = Api.Config.v ~cap:3 ();
+          })
+   with
+  | { Api.Response.body = Api.Response.Census summary; _ } ->
+      check_int "sampled census counts its sample" 16 summary.Api.Response.completed;
+      check_bool "sampled census is complete" true summary.Api.Response.complete
+  | r -> Alcotest.failf "sampled census got %s" (Api.Response.to_string r));
+  match
+    call socket
+      (Api.Request.Synth
+         {
+           space = { Synth.num_values = 5; num_rws = 4; num_responses = 5 };
+           target = 4;
+           seed = 1;
+           iterations = 2000;
+           restart_every = None;
+           portfolio = 2;
+           config = Api.Config.default;
+         })
+  with
+  | { Api.Response.body = Api.Response.Synth { witness = Some w }; _ } ->
+      check_bool "synth witness verifies" true
+        (Synth.verify_witness ~target:4 w.Synth.objtype)
+  | r -> Alcotest.failf "synth got %s" (Api.Response.to_string r)
+
+let test_concurrent_clients () =
+  (* N threads hammer the daemon with interleaved pings, analyzes and
+     repeats.  Every thread must see the same analysis bytes for the
+     same query, and by the end the repeats are store hits. *)
+  with_tmpdir @@ fun dir ->
+  let types = [ Gallery.test_and_set; Gallery.team_ladder ~cap:2; Gallery.register 2 ] in
+  let reference = List.map (Numbers.analyze ~cap:3) types in
+  with_daemon ~dir @@ fun ~obs ~socket ->
+  let n_threads = 6 and rounds = 3 in
+  let failures = Atomic.make 0 in
+  let fail_once () = Atomic.incr failures in
+  (* Every response's canonical bytes, per type, across all threads:
+     the store replay contract says each type has exactly one byte
+     string, whoever asks and whenever.  ([elapsed] is wall-clock, so
+     equality against an out-of-daemon encoding is *not* expected —
+     [Analysis.equal] covers the semantics, the byte sets the replay.) *)
+  let seen = Array.make (List.length types) [] in
+  let seen_m = Mutex.create () in
+  let record j bytes =
+    Mutex.protect seen_m (fun () ->
+        if not (List.mem bytes seen.(j)) then seen.(j) <- bytes :: seen.(j))
+  in
+  let worker i () =
+    Client.with_client socket @@ fun client ->
+    for round = 1 to rounds do
+      (match Client.call client Api.Request.Ping with
+      | Ok { Api.Response.body = Api.Response.Pong; _ } -> ()
+      | _ -> fail_once ());
+      let indexed = List.mapi (fun j ty -> (j, ty)) types in
+      List.iter
+        (fun (j, ty) ->
+          match Client.call client (analyze_request ty) with
+          | Ok
+              ({ Api.Response.body = Api.Response.Analysis { analysis; _ }; _ } as r)
+            ->
+              record j (fst (analysis_bytes r));
+              if not (Analysis.equal analysis (List.nth reference j)) then fail_once ()
+          | _ -> fail_once ())
+        (if (i + round) mod 2 = 0 then indexed else List.rev indexed)
+    done
+  in
+  let threads = List.init n_threads (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join threads;
+  check_int "every concurrent response matched the sequential reference" 0
+    (Atomic.get failures);
+  Array.iteri
+    (fun j bytes ->
+      check_int
+        (Printf.sprintf "type %d: one byte string across every client" j)
+        1 (List.length bytes))
+    seen;
+  let hits = Obs.Metrics.Counter.value (Obs.counter obs "store.hits") in
+  check_bool
+    (Printf.sprintf "repeat queries hit the store (%d hits)" hits)
+    true
+    (hits >= (n_threads * rounds * List.length types) - List.length types);
+  check_int "the store holds one record per distinct query" (List.length types)
+    (Obs.Metrics.Counter.value (Obs.counter obs "store.puts"))
+
+let test_store_survives_restart_and_torn_tail () =
+  with_tmpdir @@ fun dir ->
+  let store_path = Filename.concat dir "rcn.store" in
+  (* First daemon: compute and persist. *)
+  let cold_bytes =
+    with_daemon ~dir @@ fun ~obs:_ ~socket ->
+    fst (analysis_bytes (call socket (analyze_request Gallery.x4_witness)))
+  in
+  (* Crash shape: a torn half-record appended to the log, as a daemon
+     killed mid-put leaves. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 store_path in
+  output_string oc "rcnstore1 deadbeef 999\ntorn";
+  close_out oc;
+  (* Second daemon: recovery must drop the tail, keep the record, and
+     serve the repeat from the store byte-identically. *)
+  with_daemon ~dir @@ fun ~obs ~socket ->
+  let warm = call socket (analyze_request Gallery.x4_witness) in
+  let warm_bytes, from_store = analysis_bytes warm in
+  check_bool "restarted daemon serves from the recovered store" true from_store;
+  check_string "bytes identical across restart and crash" cold_bytes warm_bytes;
+  check_bool "the torn tail was counted" true
+    (Obs.Metrics.Counter.value (Obs.counter obs "store.torn_bytes") > 0)
+
+let test_stopped_daemon_refuses_engine_work () =
+  with_tmpdir @@ fun dir ->
+  let socket = Filename.concat dir "rcn.sock" in
+  let store = Filename.concat dir "rcn.store" in
+  let daemon = Serve.create ~jobs:1 ~socket ~store () in
+  let runner = Thread.create Serve.run daemon in
+  (match call socket Api.Request.Ping with
+  | { Api.Response.body = Api.Response.Pong; _ } -> ()
+  | r -> Alcotest.failf "ping got %s" (Api.Response.to_string r));
+  Serve.stop daemon;
+  Thread.join runner;
+  (* The socket is gone: connecting now fails at the transport. *)
+  check_bool "stopped daemon is unreachable" true
+    (match Client.one_shot ~socket Api.Request.Ping with
+    | Error _ -> true
+    | Ok _ -> false
+    | exception Unix.Unix_error _ -> true)
+
+let test_raw_frame_protocol () =
+  (* Drive the wire by hand (what tools/serve_client.ml does): a frame
+     is the ASCII payload length, a newline, and the payload. *)
+  with_tmpdir @@ fun dir ->
+  with_daemon ~dir @@ fun ~obs:_ ~socket ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let payload = Api.Request.to_string Api.Request.Ping in
+  let frame = Printf.sprintf "%d\n%s" (String.length payload) payload in
+  ignore (Unix.write_substring fd frame 0 (String.length frame));
+  (match Frame.read fd with
+  | Frame.Frame reply ->
+      check_string "raw pong reply" reply
+        (Api.Response.to_string (Api.Response.make Api.Response.Pong))
+  | _ -> Alcotest.fail "no framed reply");
+  (* Garbage payloads get a framed error, not a hangup. *)
+  let junk = "12\nthis-is-junk" in
+  ignore (Unix.write_substring fd junk 0 (String.length junk));
+  match Frame.read fd with
+  | Frame.Frame reply -> (
+      match Api.Response.of_string reply with
+      | Ok { Api.Response.body = Api.Response.Error _; _ } -> ()
+      | _ -> Alcotest.fail "junk should produce an error response")
+  | _ -> Alcotest.fail "no framed error reply"
+
+let suite =
+  [
+    Alcotest.test_case "single client: store hit is byte-identical" `Quick
+      test_single_client_basics;
+    Alcotest.test_case "census and synth over the socket" `Slow test_mixed_requests_run;
+    Alcotest.test_case "concurrent clients, shared store" `Slow test_concurrent_clients;
+    Alcotest.test_case "store survives restart with a torn tail" `Quick
+      test_store_survives_restart_and_torn_tail;
+    Alcotest.test_case "stopped daemon refuses work" `Quick
+      test_stopped_daemon_refuses_engine_work;
+    Alcotest.test_case "raw frame protocol" `Quick test_raw_frame_protocol;
+  ]

@@ -175,7 +175,10 @@ let test_engine_retry_parity () =
       let chaos = Supervise.Chaos.create ~attempts:2 ~rate:0.5 ~seed:9 () in
       let sup = Supervise.create ~policy:(fast_policy ()) ~chaos () in
       Pool.with_pool ~jobs @@ fun pool ->
-      let a = Engine.analyze ~cap:4 ~supervisor:sup pool Gallery.test_and_set in
+      let a =
+        Engine.analyze ~supervisor:sup ~config:(Api.Config.v ~cap:4 ()) pool
+          Gallery.test_and_set
+      in
       check_bool
         (Printf.sprintf "jobs=%d: healed analysis equals the sequential one" jobs)
         true (Analysis.equal a seq);
@@ -192,7 +195,10 @@ let test_engine_quarantine_degrades () =
       let chaos = Supervise.Chaos.create ~attempts:10 ~rate:1.0 ~seed:1 () in
       let sup = Supervise.create ~policy:(fast_policy ~max_attempts:2 ()) ~chaos () in
       Pool.with_pool ~jobs @@ fun pool ->
-      let a = Engine.analyze ~cap:4 ~supervisor:sup pool Gallery.test_and_set in
+      let a =
+        Engine.analyze ~supervisor:sup ~config:(Api.Config.v ~cap:4 ()) pool
+          Gallery.test_and_set
+      in
       let check_level name (l : Analysis.level) =
         check_int (Printf.sprintf "jobs=%d: %s floor" jobs name) 1 l.Analysis.value;
         check_bool
@@ -212,15 +218,16 @@ let test_quarantined_sweep_not_cached () =
   let chaos = Supervise.Chaos.create ~attempts:10 ~rate:1.0 ~seed:1 () in
   let sup = Supervise.create ~policy:(fast_policy ~max_attempts:2 ()) ~chaos () in
   (match
-     Engine.search_within ~cache ~supervisor:sup pool Decide.Discerning
-       Gallery.test_and_set ~n:2
+     Engine.search_within ~cache ~supervisor:sup ~config:Api.Config.default pool
+       Decide.Discerning Gallery.test_and_set ~n:2
    with
   | Engine.Expired -> ()
   | _ -> Alcotest.fail "fully quarantined sweep should report Expired");
   (* The degraded outcome must not poison the cache: the same query
      without chaos computes the true answer. *)
   (match
-     Engine.search_within ~cache pool Decide.Discerning Gallery.test_and_set ~n:2
+     Engine.search_within ~cache ~config:Api.Config.default pool Decide.Discerning
+       Gallery.test_and_set ~n:2
    with
   | Engine.Found _ -> ()
   | _ -> Alcotest.fail "clean retry should find the witness");
@@ -234,7 +241,7 @@ let test_census_quarantine_holes () =
   let chaos = Supervise.Chaos.create ~attempts:10 ~rate:0.3 ~seed:4 () in
   let sup = Supervise.create ~policy:(fast_policy ~max_attempts:2 ()) ~chaos () in
   Pool.with_pool ~jobs:2 @@ fun pool ->
-  let run = Engine.census ~cap:3 ~supervisor:sup pool space in
+  let run = Engine.census ~supervisor:sup ~config:(Api.Config.v ~cap:3 ()) pool space in
   check_bool "census with quarantined chunks is honestly incomplete" false
     run.Engine.complete;
   check_bool "undecided tables match the quarantine ledger" true
@@ -286,7 +293,10 @@ let test_engine_watchdog_recovers () =
       Obs.Clock.sleep 0.005;
       let sup = Supervise.create ~policy:(fast_policy ()) ~watchdog:wd () in
       Pool.with_pool ~jobs @@ fun pool ->
-      let a = Engine.analyze ~cap:4 ~supervisor:sup pool Gallery.test_and_set in
+      let a =
+        Engine.analyze ~supervisor:sup ~config:(Api.Config.v ~cap:4 ()) pool
+          Gallery.test_and_set
+      in
       check_bool
         (Printf.sprintf "jobs=%d: analysis correct after watchdog trips" jobs)
         true

@@ -1,0 +1,75 @@
+(* gen_golden — (re)generate the pinned wire fixtures in test/golden/.
+
+   The golden files pin the canonical serve-protocol encodings: if a
+   code change alters any byte of them, `dune runtest` fails and the
+   change is either a deliberate protocol bump (rerun this tool, commit
+   the diff, and migrate the store) or a canonicality bug.  Every
+   fixture is deterministic — the one wall-clock field (the analysis
+   [elapsed]) is zeroed before encoding. *)
+
+let fixtures () =
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  let analyze_req =
+    Api.Request.Analyze
+      {
+        spec = Objtype.to_spec_string Gallery.test_and_set;
+        config = Api.Config.default;
+      }
+  in
+  let census_req =
+    Api.Request.Census
+      {
+        space;
+        sample = Some 10;
+        seed = 7;
+        checkpoint = None;
+        resume = false;
+        durable = false;
+        config = Api.Config.v ~jobs:2 ~cap:3 ();
+      }
+  in
+  let synth_req =
+    Api.Request.Synth
+      {
+        space = { Synth.num_values = 5; num_rws = 4; num_responses = 5 };
+        target = 4;
+        seed = 1;
+        iterations = 2000;
+        restart_every = None;
+        portfolio = 3;
+        config = Api.Config.v ~deadline:2.5 ~retries:3 ~heartbeat:0.25 ();
+      }
+  in
+  let analysis =
+    { (Numbers.analyze ~cap:3 Gallery.test_and_set) with Analysis.elapsed = 0.0 }
+  in
+  [
+    ("request_ping.json", Api.Request.to_string Api.Request.Ping);
+    ("request_metrics.json", Api.Request.to_string Api.Request.Metrics);
+    ("request_analyze.json", Api.Request.to_string analyze_req);
+    ("request_census.json", Api.Request.to_string census_req);
+    ("request_synth.json", Api.Request.to_string synth_req);
+    ( "response_pong.json",
+      Api.Response.to_string (Api.Response.make Api.Response.Pong) );
+    ( "response_busy.json",
+      Api.Response.to_string
+        (Api.Response.error ~code:Api.Response.err_busy
+           "admission queue full (64 waiting)") );
+    ( "response_analysis.json",
+      Api.Response.to_string
+        (Api.Response.make (Api.Response.Analysis { analysis; from_store = true })) );
+    ( "analysis_tas_cap3.json",
+      Wire.to_string (Api.analysis_to_json analysis) );
+    ("digest_tas_cap5.txt", Api.query_digest Gallery.test_and_set ~cap:5);
+  ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  List.iter
+    (fun (name, contents) ->
+      let path = Filename.concat dir name in
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc contents;
+          output_char oc '\n');
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length contents + 1))
+    (fixtures ())

@@ -1,0 +1,105 @@
+(* serve_client — dependency-free client for the rcn serve protocol.
+
+   Speaks the daemon's framing (ASCII decimal payload length, a newline,
+   then the payload) with nothing but the stdlib and Unix, so the smoke
+   harness exercises the wire format itself rather than the in-tree
+   [Client] module: if these ~80 lines can talk to the daemon, anything
+   can.
+
+     serve_client SOCKET [--repeat N] [REQUEST_JSON]
+
+   The request is the single-line JSON produced by `rcn request …` (read
+   from stdin when not given as an argument).  Each repeat opens a fresh
+   connection, sends the request, and prints the raw response line to
+   stdout.  Exit 0 when every round-trip completed, 1 on any transport
+   failure. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("serve_client: " ^ m); exit 1) fmt
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | 0 -> fail "socket write returned 0"
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_byte fd =
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> None
+    | _ -> Some (Bytes.get b 0)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let read_frame fd =
+  let rec header acc n =
+    if n > 20 then fail "frame header too long"
+    else
+      match read_byte fd with
+      | None -> fail "connection closed before the response"
+      | Some '\n' -> acc
+      | Some c -> header (acc ^ String.make 1 c) (n + 1)
+  in
+  let len =
+    match int_of_string_opt (header "" 0) with
+    | Some l when l >= 0 -> l
+    | _ -> fail "malformed frame header"
+  in
+  let buf = Bytes.create len in
+  let rec body off =
+    if off < len then
+      match Unix.read fd buf off (len - off) with
+      | 0 -> fail "connection closed mid-frame"
+      | r -> body (off + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> body off
+  in
+  body 0;
+  Bytes.to_string buf
+
+let round_trip socket request =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      (try Unix.connect fd (Unix.ADDR_UNIX socket)
+       with Unix.Unix_error (e, _, _) ->
+         fail "cannot connect to %s: %s" socket (Unix.error_message e));
+      write_all fd (Printf.sprintf "%d\n%s" (String.length request) request);
+      print_endline (read_frame fd))
+
+let () =
+  let socket = ref None and repeat = ref 1 and request = ref None in
+  let rec parse = function
+    | "--repeat" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> repeat := n
+        | _ -> fail "--repeat needs a positive integer");
+        parse rest
+    | [ "--repeat" ] -> fail "--repeat needs a positive integer"
+    | arg :: rest ->
+        (if !socket = None then socket := Some arg
+         else if !request = None then request := Some arg
+         else fail "unexpected argument %s" arg);
+        parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let socket = match !socket with Some s -> s | None -> fail "usage: serve_client SOCKET [--repeat N] [REQUEST_JSON]" in
+  let request =
+    match !request with
+    | Some r -> r
+    | None -> (
+        match In_channel.input_line In_channel.stdin with
+        | Some l -> l
+        | None -> fail "no request on stdin")
+  in
+  for _ = 1 to !repeat do
+    round_trip socket request
+  done

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end exercise of the rcn serve daemon over its real
+# Unix socket, using only built binaries (two `dune exec` in one pipeline
+# contend for the _build lock — see the Makefile stats-smoke note).
+#
+# The script asserts the three serve guarantees the test suite pins
+# in-process, but through the shipped binaries:
+#
+#   1. a repeat query is answered from the persistent store
+#      (from_store:true, nonzero store.hits in the metrics reply) and is
+#      byte-identical to the cold run modulo the from_store flag;
+#   2. SIGKILL mid-workload loses nothing that was already persisted: a
+#      restarted daemon on the same store serves the same bytes;
+#   3. SIGTERM is a clean shutdown: exit 0, socket unlinked, stats
+#      printed.
+#
+# Artifacts (archived by CI): serve-smoke.out (daemon stdout including
+# the --stats json block), serve-smoke-{cold,warm,recovered,metrics}.json.
+set -eu
+
+RCN=./_build/default/bin/rcn.exe
+CLIENT=./_build/default/tools/serve_client.exe
+CHECK=./_build/default/tools/stats_check.exe
+
+SOCK=serve-smoke.sock
+STORE=serve-smoke.store
+
+DAEMON_PID=
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  fail "daemon did not create $SOCK"
+}
+
+rm -f "$SOCK" "$STORE" serve-smoke.out \
+  serve-smoke-cold.json serve-smoke-warm.json \
+  serve-smoke-recovered.json serve-smoke-metrics.json
+
+REQ_ANALYZE=$("$RCN" request analyze test-and-set --cap 3 --jobs 2)
+REQ_CENSUS=$("$RCN" request census --values 3 --rws 2 --responses 2 --cap 3 --jobs 2)
+REQ_METRICS=$("$RCN" request metrics)
+
+# --- phase 1: cold/warm against a fresh daemon --------------------------
+"$RCN" serve --socket "$SOCK" --store "$STORE" --jobs 2 --stats json \
+  > serve-smoke-daemon1.out 2>&1 &
+DAEMON_PID=$!
+wait_for_socket
+
+"$CLIENT" "$SOCK" "$REQ_ANALYZE" > serve-smoke-cold.json
+grep -q '"from_store":false' serve-smoke-cold.json \
+  || fail "cold query claimed from_store"
+
+"$CLIENT" "$SOCK" --repeat 2 "$REQ_ANALYZE" > serve-smoke-warm.json
+[ "$(sort -u serve-smoke-warm.json | wc -l)" = 1 ] \
+  || fail "repeat queries disagreed with each other"
+grep -q '"from_store":true' serve-smoke-warm.json \
+  || fail "repeat query was not served from the store"
+
+# Byte-identity cold vs warm: the store replays the exact bytes the cold
+# run produced, so the responses differ only in the from_store flag.
+if ! diff <(sed 's/"from_store":false/"from_store":true/' serve-smoke-cold.json) \
+          <(head -n 1 serve-smoke-warm.json) >/dev/null; then
+  fail "store replay is not byte-identical to the cold run"
+fi
+
+"$CLIENT" "$SOCK" "$REQ_METRICS" > serve-smoke-metrics.json
+"$CHECK" --require-nonzero store.hits --require-nonzero store.puts \
+  < serve-smoke-metrics.json \
+  || fail "metrics reply missing nonzero store counters"
+
+# --- phase 2: SIGKILL mid-workload, restart, recover --------------------
+"$CLIENT" "$SOCK" "$REQ_CENSUS" > /dev/null 2>&1 &
+CENSUS_PID=$!
+sleep 0.3
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+wait "$CENSUS_PID" 2>/dev/null || true
+DAEMON_PID=
+# SIGKILL leaves the socket file behind; remove it so wait_for_socket
+# observes the restarted daemon's bind, not the stale inode.
+rm -f "$SOCK"
+
+"$RCN" serve --socket "$SOCK" --store "$STORE" --jobs 2 --stats json \
+  > serve-smoke.out 2>&1 &
+DAEMON_PID=$!
+wait_for_socket
+
+"$CLIENT" "$SOCK" "$REQ_ANALYZE" > serve-smoke-recovered.json
+grep -q '"from_store":true' serve-smoke-recovered.json \
+  || fail "restarted daemon did not recover the store"
+diff serve-smoke-recovered.json <(head -n 1 serve-smoke-warm.json) >/dev/null \
+  || fail "recovered store served different bytes than before the crash"
+
+# --- phase 3: clean SIGTERM shutdown ------------------------------------
+kill -TERM "$DAEMON_PID"
+STATUS=0
+wait "$DAEMON_PID" || STATUS=$?
+DAEMON_PID=
+[ "$STATUS" = 0 ] || fail "SIGTERM shutdown exited $STATUS"
+[ ! -e "$SOCK" ] || fail "daemon left its socket behind"
+"$CHECK" --require store.hits --require store.loaded < serve-smoke.out \
+  || fail "daemon stats block missing store counters"
+
+echo "serve-smoke: OK"

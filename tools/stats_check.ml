@@ -62,12 +62,10 @@ let () =
     | [] -> In_channel.input_lines In_channel.stdin
     | paths -> List.concat_map (fun p -> In_channel.with_open_text p In_channel.input_lines) paths
   in
-  let stats_lines =
-    List.filter
-      (fun l ->
-        String.length l >= 14 && String.sub l 0 14 = {|{"rcn_stats":1|})
-      lines
-  in
+  (* Substring, not prefix: the daemon's metrics *response* embeds the
+     rcn_stats object inside its envelope, and that line must validate
+     the same way a bare `--stats json` line does. *)
+  let stats_lines = List.filter (fun l -> has l {|{"rcn_stats":1|}) lines in
   let line =
     match stats_lines with
     | [ l ] -> l
