@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-e18 bench-e19 inject-smoke stats-smoke soak-smoke serve-smoke clean
+.PHONY: all build test check bench bench-e18 bench-e19 bench-e20 inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # What CI runs: full build, the whole test suite (including the engine
 # parity properties), a parallel-engine smoke through the CLI, the
 # fault-injection smoke, the stats-export smoke, and the kill(-9) soak.
-check: build test inject-smoke stats-smoke soak-smoke serve-smoke
+check: build test inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke
 	dune exec bin/rcn.exe -- analyze test-and-set --cap 3 --jobs 2
 
 # Stats-export smoke: run an instrumented analyze on a gallery type, keep
@@ -48,6 +48,15 @@ inject-smoke: build
 serve-smoke: build
 	bash tools/serve_smoke.sh
 
+# Distributed-census smoke: a 3-worker census with a SIGKILLed worker
+# and a throttled straggler (respawn and work stealing gated by the
+# dist.* counters, histogram gated bit-identical to the single-process
+# run), then the full `rcn soak --dist` — seeded worker kill(-9)s plus
+# a coordinator kill+resume over the {3,2,2} cap-4 census.  Artifacts
+# (dist-smoke*.out, dist-smoke.ledger) are archived by CI.
+dist-smoke: build
+	bash tools/dist_smoke.sh
+
 bench:
 	dune exec bench/main.exe
 
@@ -63,6 +72,14 @@ bench-e18: build
 # or the chaos run heals no retries.
 bench-e19: build
 	./_build/default/bench/e19.exe
+
+# E20 distributed census (single process vs 2 crash-prone workers vs a
+# faulted run with an injected crash and steal); writes BENCH_e20.json
+# for CI to archive and exits nonzero if any histogram diverges, or —
+# on machines with >= 8 cores — if the clean distributed run is slower
+# than 1.5x the single-process trie census.
+bench-e20: build
+	./_build/default/bench/e20.exe
 
 # Self-healing smoke, two halves (binaries invoked directly — see the
 # stats-smoke note on the _build lock):
@@ -86,7 +103,8 @@ soak-smoke: build
 clean:
 	dune clean
 	rm -f inject-report.txt stats-smoke.out BENCH_e18.json BENCH_e19.json \
-	  retry-quarantine.json soak-smoke.out soak-census.ckpt \
+	  BENCH_e20.json retry-quarantine.json soak-smoke.out soak-census.ckpt \
 	  serve-smoke.out serve-smoke-daemon1.out serve-smoke-cold.json \
 	  serve-smoke-warm.json serve-smoke-recovered.json \
-	  serve-smoke-metrics.json serve-smoke.sock serve-smoke.store
+	  serve-smoke-metrics.json serve-smoke.sock serve-smoke.store \
+	  dist-smoke.out dist-smoke-single.out dist-smoke.ledger

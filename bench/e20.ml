@@ -1,0 +1,138 @@
+(* E20: distributed census throughput and fault recovery
+   (make bench-e20).
+
+   Three runs of the same census — {3,2,2} at cap 4, 46656 tables, trie
+   kernel everywhere:
+
+     single   one process, a domain pool of [jobs] workers
+              (Engine.census, the E18 baseline);
+     dist     the coordinator over [workers] freshly spawned
+              [rcn worker] processes, [jobs] domains each;
+     faulted  the same distributed run with a worker crashed mid-range
+              and a throttled straggler, forcing the respawn + steal
+              machinery through its paces.
+
+   Writes BENCH_e20.json and exits nonzero if any mode's histogram
+   differs from the single-process one (bit-identity is the contract,
+   never waived), or — on machines with enough cores for parallelism to
+   be physical — if the clean distributed run is not at least
+   [speedup_floor] times faster than single.  On a small machine the
+   floor is recorded but not enforced: distributed workers time-slice
+   the same cores, so the ratio measures the scheduler, not the
+   architecture.  [RCN_BIN] overrides the worker binary. *)
+
+let speedup_floor = 1.5
+let floor_core_gate = 8
+
+let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 }
+let cap = 4
+let workers = 2
+let jobs = 4
+
+let rcn_bin =
+  match Sys.getenv_opt "RCN_BIN" with
+  | Some p -> p
+  | None -> Filename.concat (Filename.dirname Sys.executable_name) "../bin/rcn.exe"
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let entries_json entries =
+  Wire.List
+    (List.map
+       (fun (e : Census.entry) ->
+         Wire.List
+           [ Wire.Int e.Census.discerning; Wire.Int e.Census.recording; Wire.Int e.Census.count ])
+       entries)
+
+let () =
+  if not (Sys.file_exists rcn_bin) then begin
+    Printf.eprintf "e20: worker binary %s not found (set RCN_BIN)\n" rcn_bin;
+    exit 1
+  end;
+  let total = Census.space_size space in
+  let cores = Domain.recommended_domain_count () in
+  let config = Api.Config.v ~cap ~jobs ~kernel:Kernel.Trie () in
+  Printf.printf "e20: census {%d,%d,%d} cap %d — %d tables, %d core(s)\n%!"
+    space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap total
+    cores;
+
+  let single, single_s =
+    time (fun () ->
+        let pool = Pool.create ~jobs () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () -> Engine.census ~config pool space))
+  in
+  Printf.printf "e20: single   (jobs=%d)            %6.2f s\n%!" jobs single_s;
+
+  let dist, dist_s =
+    time (fun () -> Dist.census ~rcn:rcn_bin ~workers ~config space)
+  in
+  Printf.printf "e20: dist     (workers=%d, jobs=%d) %6.2f s\n%!" workers jobs dist_s;
+
+  (* Faulted run: slot 1's first process self-SIGKILLs after 2000
+     tables; slot 0 is a mild straggler (200 us per table) so the
+     respawned slot 1 has something to steal.  Deterministic, and the
+     histogram must not care. *)
+  let faulted, faulted_s =
+    time (fun () ->
+        Dist.census ~rcn:rcn_bin ~chunk:(total / 4) ~stride:64
+          ~crash:[ (1, 2000) ] ~throttle:[ (0, 200) ] ~workers ~config space)
+  in
+  Printf.printf "e20: faulted  (crash+steal)        %6.2f s (%d death(s))\n%!"
+    faulted_s faulted.Dist.deaths;
+
+  let identical =
+    single.Engine.complete && dist.Dist.complete && faulted.Dist.complete
+    && dist.Dist.entries = single.Engine.entries
+    && faulted.Dist.entries = single.Engine.entries
+  in
+  let speedup = single_s /. dist_s in
+  let floor_enforced = cores >= floor_core_gate in
+  let json =
+    Wire.Obj
+      [
+        ("bench", Wire.String "e20");
+        ( "space",
+          Wire.List
+            [
+              Wire.Int space.Synth.num_values;
+              Wire.Int space.Synth.num_rws;
+              Wire.Int space.Synth.num_responses;
+            ] );
+        ("cap", Wire.Int cap);
+        ("total", Wire.Int total);
+        ("cores", Wire.Int cores);
+        ("jobs", Wire.Int jobs);
+        ("workers", Wire.Int workers);
+        ("single_s", Wire.Float single_s);
+        ("dist_s", Wire.Float dist_s);
+        ("faulted_s", Wire.Float faulted_s);
+        ("speedup", Wire.Float speedup);
+        ("speedup_floor", Wire.Float speedup_floor);
+        ("floor_enforced", Wire.Bool floor_enforced);
+        ("identical", Wire.Bool identical);
+        ("faulted_deaths", Wire.Int faulted.Dist.deaths);
+        ("entries", entries_json single.Engine.entries);
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_e20.json" (fun oc ->
+      Out_channel.output_string oc (Wire.to_string json);
+      Out_channel.output_char oc '\n');
+  Printf.printf "e20: speedup %.2fx (floor %.1fx %s), identical=%b → BENCH_e20.json\n%!"
+    speedup speedup_floor
+    (if floor_enforced then "enforced" else
+       Printf.sprintf "waived below %d cores" floor_core_gate)
+    identical;
+  if not identical then begin
+    Printf.eprintf "e20: a distributed histogram diverged from the single-process census\n";
+    exit 1
+  end;
+  if floor_enforced && speedup < speedup_floor then begin
+    Printf.eprintf "e20: distributed speedup %.2fx below the %.1fx floor on %d cores\n"
+      speedup speedup_floor cores;
+    exit 1
+  end

@@ -383,38 +383,148 @@ let chain name n n' z max_events inputs_text =
 (* ------------------------------------------------------------------ *)
 (* census *)
 
-let census values rws responses cap sample_count seed jobs kernel deadline checkpoint
-    resume durable sup_opts connect trace stats =
-  with_obs ~command:"census" trace stats @@ fun obs ->
-  let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
-  if resume && checkpoint = None then begin
-    prerr_endline "--resume needs --checkpoint FILE to resume from";
+(* "SLOT:N,SLOT:N" fault-injection specs for the distributed census. *)
+let parse_slot_spec ~flag text =
+  match text with
+  | None -> []
+  | Some text ->
+      List.map
+        (fun part ->
+          match String.split_on_char ':' part with
+          | [ slot; n ] -> (
+              match (int_of_string_opt slot, int_of_string_opt n) with
+              | Some slot, Some n when slot >= 0 && n > 0 -> (slot, n)
+              | _ ->
+                  Printf.eprintf "%s: bad entry %S (want SLOT:N)\n" flag part;
+                  exit 2)
+          | _ ->
+              Printf.eprintf "%s: bad entry %S (want SLOT:N)\n" flag part;
+              exit 2)
+        (String.split_on_char ',' text)
+
+(* The distributed path: Dist.census over worker processes, folded back
+   into the same Api.Response shape so printing, the quarantine banner
+   and the exit-code policy are exactly the single-process ones. *)
+let census_dist ~obs ~space ~config ~workers ~ledger ~resume ~lease_ttl ~chunk
+    ~stride ~crash ~throttle sup_opts =
+  if resume && ledger = None then begin
+    prerr_endline "--resume with --workers needs --ledger FILE to resume from";
     exit 2
   end;
-  if durable && checkpoint = None then begin
-    prerr_endline "--durable needs --checkpoint FILE to make durable";
-    exit 2
-  end;
-  let config = build_config ~cap ~jobs ~kernel ~deadline sup_opts in
-  let req =
-    Api.Request.Census
-      { space; sample = sample_count; seed; checkpoint; resume; durable; config }
+  let resp =
+    match
+      Dist.census ~obs ?ledger ~resume ?lease_ttl ?chunk ?stride
+        ?range_attempts:config.Api.Config.retries ~crash ~throttle ~workers
+        ~config space
+    with
+    | outcome ->
+        Api.Response.make ~quarantined:outcome.Dist.quarantined
+          (Api.Response.Census
+             {
+               Api.Response.entries = outcome.Dist.entries;
+               total = outcome.Dist.total;
+               completed = outcome.Dist.completed;
+               resumed = outcome.Dist.resumed;
+               complete = outcome.Dist.complete;
+             })
+    | exception Invalid_argument msg -> Api.Response.error msg
+    | exception Unix.Unix_error (e, fn, _) ->
+        Api.Response.error ~code:Api.Response.err_internal
+          (Printf.sprintf "%s: %s" fn (Unix.error_message e))
   in
-  let resp = dispatch ~connect ~obs ~command:"census" req in
   finish ?quarantine_report:sup_opts.quarantine_report resp (function
     | Api.Response.Census run ->
         Format.printf "%a@." Census.pp run.Api.Response.entries;
         if run.Api.Response.resumed > 0 then
-          Printf.printf "resumed %d previously decided tables from checkpoint\n"
+          Printf.printf "resumed %d previously decided tables from the ledger\n"
             run.Api.Response.resumed;
         if not run.Api.Response.complete then
-          Printf.printf "PARTIAL: %d of %d tables decided%s\n" run.Api.Response.completed
-            run.Api.Response.total
-            (match checkpoint with
+          Printf.printf "PARTIAL: %d of %d tables decided%s\n"
+            run.Api.Response.completed run.Api.Response.total
+            (match ledger with
             | Some path ->
-                Printf.sprintf " (re-run with --checkpoint %s --resume to finish)" path
+                Printf.sprintf " (re-run with --ledger %s --resume to finish)" path
             | None -> "")
     | _ -> prerr_endline "rcn: unexpected response kind")
+
+let census values rws responses cap sample_count seed jobs kernel deadline checkpoint
+    resume durable workers ledger lease_ttl dist_chunk dist_stride dist_crash
+    dist_throttle sup_opts connect trace stats =
+  with_obs ~command:"census" trace stats @@ fun obs ->
+  let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
+  if workers < 0 then begin
+    prerr_endline "--workers must be nonnegative";
+    exit 2
+  end;
+  if workers > 0 then begin
+    (* the distributed coordinator owns sharding and durability; the
+       single-process conveniences don't compose with it *)
+    List.iter
+      (fun (set, flag) ->
+        if set then begin
+          Printf.eprintf "%s cannot be combined with --workers\n" flag;
+          exit 2
+        end)
+      [
+        (connect <> None, "--connect");
+        (sample_count <> None, "--sample");
+        (checkpoint <> None, "--checkpoint (use --ledger)");
+        (durable, "--durable (the ledger is always fsync'd)");
+      ];
+    let config = build_config ~cap ~jobs ~kernel ~deadline sup_opts in
+    census_dist ~obs ~space ~config ~workers ~ledger ~resume ~lease_ttl
+      ~chunk:dist_chunk ~stride:dist_stride
+      ~crash:(parse_slot_spec ~flag:"--dist-crash" dist_crash)
+      ~throttle:(parse_slot_spec ~flag:"--dist-throttle" dist_throttle)
+      sup_opts
+  end
+  else begin
+    if resume && checkpoint = None then begin
+      prerr_endline "--resume needs --checkpoint FILE to resume from";
+      exit 2
+    end;
+    if durable && checkpoint = None then begin
+      prerr_endline "--durable needs --checkpoint FILE to make durable";
+      exit 2
+    end;
+    let config = build_config ~cap ~jobs ~kernel ~deadline sup_opts in
+    let req =
+      Api.Request.Census
+        { space; sample = sample_count; seed; checkpoint; resume; durable; config }
+    in
+    let resp = dispatch ~connect ~obs ~command:"census" req in
+    finish ?quarantine_report:sup_opts.quarantine_report resp (function
+      | Api.Response.Census run ->
+          Format.printf "%a@." Census.pp run.Api.Response.entries;
+          if run.Api.Response.resumed > 0 then
+            Printf.printf "resumed %d previously decided tables from checkpoint\n"
+              run.Api.Response.resumed;
+          if not run.Api.Response.complete then
+            Printf.printf "PARTIAL: %d of %d tables decided%s\n" run.Api.Response.completed
+              run.Api.Response.total
+              (match checkpoint with
+              | Some path ->
+                  Printf.sprintf " (re-run with --checkpoint %s --resume to finish)" path
+              | None -> "")
+      | _ -> prerr_endline "rcn: unexpected response kind")
+  end
+
+(* ------------------------------------------------------------------ *)
+(* worker: the child process half of `rcn census --workers N`.  Speaks
+   the Api.Worker frame protocol on stdin (the coordinator's socketpair
+   end); never meant to be run by hand. *)
+
+let worker config_json values rws responses stride throttle_us crash_after =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Sys_error _ | Invalid_argument _ -> ());
+  let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
+  match Result.bind (Wire.of_string config_json) Api.Config.of_json with
+  | Error msg ->
+      Printf.eprintf "rcn worker: bad --config: %s\n" msg;
+      exit 2
+  | Ok config ->
+      exit (Dist_worker.run ~stride ~throttle_us ~crash_after ~config ~space
+              ~fd:Unix.stdin ())
 
 (* ------------------------------------------------------------------ *)
 (* soak: the kill(-9) chaos harness.  Spawns a real [rcn census
@@ -441,7 +551,177 @@ let count_records path =
         loop ();
         max 0 (!n - 1))
 
-let soak values rws responses cap kills seed jobs kernel checkpoint timeout trace stats =
+(* Completed lease-ledger results: lines that are "rcndist1 done" record
+   headers.  Payload lines are single-line JSON (or the header string),
+   so the prefix cannot occur mid-record. *)
+let count_done_records path =
+  if not (Sys.file_exists path) then 0
+  else
+    In_channel.with_open_bin path (fun ic ->
+        let n = ref 0 in
+        let rec loop () =
+          match In_channel.input_line ic with
+          | Some line ->
+              if String.length line >= 14 && String.sub line 0 14 = "rcndist1 done "
+              then incr n;
+              loop ()
+          | None -> ()
+        in
+        loop ();
+        !n)
+
+(* Spawn one process and watch a progress counter: SIGKILL it when the
+   counter reaches [target] ([max_int] = let it finish), fail the cycle
+   past [timeout] seconds of wall clock. *)
+let watch_child ~argv ~count ~target ~timeout =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid = Unix.create_process argv.(0) argv devnull devnull Unix.stderr in
+  Unix.close devnull;
+  let t0 = Obs.Clock.now () in
+  let kill_and_reap () =
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid)
+  in
+  let rec watch () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if count () >= target then begin
+          kill_and_reap ();
+          `Killed (count ())
+        end
+        else if Obs.Clock.now () -. t0 > timeout then begin
+          kill_and_reap ();
+          `Timeout
+        end
+        else begin
+          Obs.Clock.sleep 0.005;
+          watch ()
+        end
+    | _, Unix.WEXITED 0 -> `Completed
+    | _, status -> `Failed status
+  in
+  watch ()
+
+(* soak --dist: the kill(-9) soak generalized to whole processes.  Every
+   coordinator incarnation injects one seeded self-SIGKILL per worker
+   slot; the coordinator itself is SIGKILLed at seeded ledger-progress
+   points and resumed from the ledger.  The final audit replays the
+   ledger the way a recovering coordinator would (Dist.plan_of_ledger)
+   and insists on full disjoint coverage with a histogram bit-identical
+   to the uninterrupted in-process census. *)
+let soak_dist ~obs ~space ~values ~rws ~responses ~cap ~kills ~coordinator_kills
+    ~seed ~jobs ~kernel ~ledger ~timeout ~workers =
+  if workers < 1 then begin
+    prerr_endline "--workers must be >= 1 with --dist";
+    exit 2
+  end;
+  if coordinator_kills < 1 then begin
+    prerr_endline "--coordinator-kills must be >= 1";
+    exit 2
+  end;
+  let config = Api.Config.v ~cap ~kernel ~jobs () in
+  let reference =
+    Pool.with_pool ~obs ~jobs @@ fun pool -> Engine.census ~obs ~config pool space
+  in
+  let total = reference.Engine.total in
+  let path, temp =
+    match ledger with
+    | Some p -> (p, false)
+    | None -> (Filename.temp_file "rcn_soak_dist" ".ledger", true)
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let chunk = max 32 (1 + ((total - 1) / max 1 (4 * workers))) in
+  let chunks = (total + chunk - 1) / chunk in
+  Printf.printf
+    "soak --dist: %d tables in %d chunks, %d workers (1 seeded crash each per \
+     incarnation), %d coordinator kill(s), seed %d\n%!"
+    total chunks workers coordinator_kills seed;
+  let rng = Random.State.make [| 0xd157; seed; kills; coordinator_kills |] in
+  (* early enough to fire inside the first lease even in small spaces *)
+  let crash_bound = max 2 (min 200 (chunk / 2)) in
+  let crash_spec () =
+    List.init workers (fun i ->
+        Printf.sprintf "%d:%d" i (1 + Random.State.int rng crash_bound))
+    |> String.concat ","
+  in
+  let targets =
+    List.init coordinator_kills (fun _ ->
+        1 + Random.State.int rng (max 1 (chunks - 1)))
+    |> List.sort compare
+  in
+  let child_argv () =
+    [|
+      Sys.executable_name; "census";
+      "--values"; string_of_int values;
+      "--rws"; string_of_int rws;
+      "--responses"; string_of_int responses;
+      "--cap"; string_of_int cap;
+      "--jobs"; string_of_int jobs;
+      "--kernel"; Kernel.mode_to_string kernel;
+      "--workers"; string_of_int workers;
+      "--ledger"; path;
+      "--resume";
+      "--retries"; "6";
+      "--dist-chunk"; string_of_int chunk;
+      "--dist-stride"; "16";
+      "--dist-crash"; crash_spec ();
+    |]
+  in
+  let count () = count_done_records path in
+  let coord_kills_done = ref 0 in
+  let failed = ref false in
+  List.iteri
+    (fun i target ->
+      if not !failed then
+        match watch_child ~argv:(child_argv ()) ~count ~target ~timeout with
+        | `Killed at ->
+            incr coord_kills_done;
+            Printf.printf "cycle %d: coordinator killed at %d/%d ledger results\n%!"
+              (i + 1) at chunks
+        | `Completed ->
+            Printf.printf "cycle %d: census completed before kill point %d\n%!"
+              (i + 1) target
+        | `Timeout ->
+            Printf.printf "cycle %d: TIMEOUT after %.0fs\n%!" (i + 1) timeout;
+            failed := true
+        | `Failed _ ->
+            Printf.printf "cycle %d: coordinator failed\n%!" (i + 1);
+            failed := true)
+    targets;
+  if !failed then 1
+  else
+    match watch_child ~argv:(child_argv ()) ~count ~target:max_int ~timeout with
+    | `Timeout ->
+        Printf.printf "final run: TIMEOUT after %.0fs\n%!" timeout;
+        1
+    | `Killed _ -> 1
+    | `Failed _ ->
+        Printf.printf "final run: coordinator failed\n%!";
+        1
+    | `Completed ->
+        let expected = Dist_ledger.header ~space ~cap ~total in
+        let plan = Dist.plan_of_ledger ~expected ~total path in
+        let identical = plan.Dist.plan_entries = reference.Engine.entries in
+        let covered = plan.Dist.plan_covered = total && plan.Dist.plan_gaps = [] in
+        if covered && identical && plan.Dist.plan_deaths >= kills then begin
+          Printf.printf
+            "soak --dist: OK — survived %d worker death(s) and %d coordinator \
+             kill(-9)s; ledger-merged histogram bit-identical to the \
+             single-process census (%d tables)\n"
+            plan.Dist.plan_deaths !coord_kills_done total;
+          if temp then Sys.remove path;
+          0
+        end
+        else begin
+          Printf.printf
+            "soak --dist: FAIL — covered=%b identical=%b deaths=%d (wanted >= %d); \
+             ledger kept at %s\n"
+            covered identical plan.Dist.plan_deaths kills path;
+          1
+        end
+
+let soak values rws responses cap kills seed jobs kernel checkpoint timeout dist
+    workers coordinator_kills ledger trace stats =
   with_obs ~command:"soak" trace stats @@ fun obs ->
   let jobs = resolve_jobs jobs in
   if kills < 1 then begin
@@ -453,6 +733,10 @@ let soak values rws responses cap kills seed jobs kernel checkpoint timeout trac
     exit 2
   end;
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
+  if dist then
+    soak_dist ~obs ~space ~values ~rws ~responses ~cap ~kills ~coordinator_kills
+      ~seed ~jobs ~kernel ~ledger ~timeout ~workers
+  else begin
   let path, temp =
     match checkpoint with
     | Some p -> (p, false)
@@ -586,6 +870,24 @@ let soak values rws responses cap kills seed jobs kernel checkpoint timeout trac
           end
   in
   code
+  end
+
+(* ------------------------------------------------------------------ *)
+(* store maintenance *)
+
+let store_compact file trace stats =
+  with_obs ~command:"store-compact" trace stats @@ fun obs ->
+  match Store.compact ~obs file with
+  | kept, dropped ->
+      Printf.printf "compacted %s: %d records kept, %d bytes dropped\n" file
+        kept dropped;
+      0
+  | exception Sys_error msg ->
+      Printf.eprintf "rcn store compact: %s\n" msg;
+      1
+  | exception Unix.Unix_error (e, fn, _) ->
+      Printf.eprintf "rcn store compact: %s: %s\n" fn (Unix.error_message e);
+      1
 
 (* ------------------------------------------------------------------ *)
 (* inject *)
@@ -973,13 +1275,105 @@ let census_cmd =
                  crash safety from process death ($(b,kill -9)) to machine \
                  death, at the cost of one disk round trip per flushed chunk.")
   in
+  let workers =
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+           ~doc:"Distribute the census over $(docv) crash-prone worker \
+                 $(i,processes) (each running its own $(b,--jobs) domain \
+                 pool), coordinated through a crash-safe lease ledger with \
+                 heartbeat leases, work stealing and automatic respawn.  The \
+                 merged histogram is bit-identical to the single-process \
+                 census.  0 (the default) computes in-process.")
+  in
+  let ledger =
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Lease ledger path for $(b,--workers) (default: a temporary \
+                 file).  Every grant, result, expiry, steal and death is \
+                 appended fsync'd; $(b,--resume) replays completed ranges \
+                 from it, so killing the coordinator loses no finished work.")
+  in
+  let lease_ttl =
+    Arg.(value & opt (some float) None & info [ "lease-ttl" ] ~docv:"S"
+           ~doc:"Heartbeat budget per lease (default 30): a worker silent \
+                 past $(docv) seconds is SIGKILLed and its range re-leased.")
+  in
+  let dist_chunk =
+    Arg.(value & opt (some int) None & info [ "dist-chunk" ] ~docv:"N"
+           ~doc:"Ranks per lease (default: the space over 4x the workers).")
+  in
+  let dist_stride =
+    Arg.(value & opt (some int) None & info [ "dist-stride" ] ~docv:"N"
+           ~doc:"Worker batch-and-heartbeat granularity in ranks (default 32).")
+  in
+  let dist_crash =
+    Arg.(value & opt (some string) None & info [ "dist-crash" ] ~docv:"SPEC"
+           ~doc:"Fault injection: $(b,SLOT:K,...) SIGKILLs slot SLOT's \
+                 first-generation worker after K tables (respawned workers \
+                 run clean) — the soak and smoke harness hook.")
+  in
+  let dist_throttle =
+    Arg.(value & opt (some string) None & info [ "dist-throttle" ] ~docv:"SPEC"
+           ~doc:"Straggler injection: $(b,SLOT:US,...) delays slot SLOT's \
+                 first-generation worker by US microseconds per table, \
+                 exercising the work-stealing path.")
+  in
   Cmd.v
     (Cmd.info "census"
        ~doc:"Histogram (discerning, recording) levels over a whole space of small types")
     Term.(
       const census $ values $ rws $ responses $ cap_t $ sample_count $ seed $ jobs_t
-      $ kernel_t $ deadline_t $ checkpoint $ resume $ durable $ supervise_t $ connect_t
-      $ trace_t $ stats_t)
+      $ kernel_t $ deadline_t $ checkpoint $ resume $ durable $ workers $ ledger
+      $ lease_ttl $ dist_chunk $ dist_stride $ dist_crash $ dist_throttle
+      $ supervise_t $ connect_t $ trace_t $ stats_t)
+
+let worker_cmd =
+  let config =
+    Arg.(required & opt (some string) None & info [ "config" ] ~docv:"JSON"
+           ~doc:"The Api.Config record, in its canonical wire form.")
+  in
+  let values = Arg.(value & opt int 3 & info [ "values" ] ~docv:"V" ~doc:"Values per type.") in
+  let rws = Arg.(value & opt int 2 & info [ "rws" ] ~docv:"R" ~doc:"RMW operations per type.") in
+  let responses = Arg.(value & opt int 2 & info [ "responses" ] ~docv:"K" ~doc:"RMW responses per type.") in
+  let stride =
+    Arg.(value & opt int 32 & info [ "stride" ] ~docv:"N"
+           ~doc:"Tables decided between Progress heartbeats.")
+  in
+  let throttle_us =
+    Arg.(value & opt int 0 & info [ "throttle-us" ] ~docv:"US"
+           ~doc:"Sleep $(docv) microseconds per table (straggler injection).")
+  in
+  let crash_after =
+    Arg.(value & opt int 0 & info [ "crash-after" ] ~docv:"K"
+           ~doc:"SIGKILL this process after $(docv) tables (crash injection).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Distributed-census worker process: speaks the Api.Worker frame \
+          protocol on stdin.  Spawned by $(b,rcn census --workers); not \
+          meant to be run by hand.")
+    Term.(
+      const worker $ config $ values $ rws $ responses $ stride $ throttle_us
+      $ crash_after)
+
+let store_cmd =
+  let compact =
+    let file =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+             ~doc:"The store log to compact in place.")
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Rewrite a result-store log, dropping superseded duplicate records \
+            and any torn tail.  Crash-safe: the new log is fully written and \
+            fsync'd to a sibling temp file, then renamed over the original — \
+            a kill at any point leaves a valid log.  Run it on a store no \
+            daemon has open.")
+      Term.(const store_compact $ file $ trace_t $ stats_t)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Maintain the persistent result store")
+    [ compact ]
 
 let soak_cmd =
   let values = Arg.(value & opt int 3 & info [ "values" ] ~docv:"V" ~doc:"Values per type.") in
@@ -1005,16 +1399,43 @@ let soak_cmd =
            ~doc:"Per-cycle hang guard: a child silent past $(docv) seconds \
                  fails the soak.")
   in
+  let dist =
+    Arg.(value & flag & info [ "dist" ]
+           ~doc:"Soak the $(i,distributed) census instead: every coordinator \
+                 incarnation gets one seeded worker SIGKILL per slot, the \
+                 coordinator itself is killed at seeded lease-ledger progress \
+                 points and resumed, and the final ledger replay must cover \
+                 the space disjointly with a histogram bit-identical to the \
+                 single-process census.  $(b,--kills) becomes the minimum \
+                 worker-death count the audit requires.")
+  in
+  let workers =
+    Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker processes per coordinator incarnation (with $(b,--dist)).")
+  in
+  let coordinator_kills =
+    Arg.(value & opt int 1 & info [ "coordinator-kills" ] ~docv:"N"
+           ~doc:"Coordinator kill(-9)+resume cycles (with $(b,--dist)).")
+  in
+  let ledger =
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Lease ledger handed to the coordinator (with $(b,--dist); \
+                 default: a fresh temporary file, removed on success, kept on \
+                 failure).")
+  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
-         "Chaos-soak the census checkpoint path: repeatedly $(b,kill -9) a \
-          real $(b,rcn census --checkpoint --resume --durable) child at seeded \
-          progress points, resume it to completion, and verify the recovered \
-          histogram is bit-identical to an uninterrupted reference")
+         "Chaos-soak the crash-recovery paths: repeatedly $(b,kill -9) a real \
+          census child at seeded progress points, resume it to completion, and \
+          verify the recovered histogram is bit-identical to an uninterrupted \
+          reference.  Plain form kills a $(b,census --checkpoint --resume \
+          --durable) child; $(b,--dist) kills whole worker processes $(i,and) \
+          the distributed-census coordinator.")
     Term.(
       const soak $ values $ rws $ responses $ cap_t $ kills $ seed $ jobs_t $ kernel_t
-      $ checkpoint $ timeout $ trace_t $ stats_t)
+      $ checkpoint $ timeout $ dist $ workers $ coordinator_kills $ ledger $ trace_t
+      $ stats_t)
 
 let inject_cmd =
   let protocols_t =
@@ -1138,8 +1559,8 @@ let main =
        ~doc:"Determining recoverable consensus numbers (PODC 2024 reproduction)")
     [
       analyze_cmd; gallery_cmd; statemachine_cmd; simulate_cmd; certify_cmd; trace_cmd;
-      chain_cmd; synth_cmd; robustness_cmd; census_cmd; soak_cmd; inject_cmd; serve_cmd;
-      request_cmd;
+      chain_cmd; synth_cmd; robustness_cmd; census_cmd; worker_cmd; soak_cmd; inject_cmd;
+      serve_cmd; request_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval main)

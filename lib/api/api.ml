@@ -214,10 +214,59 @@ let analysis_of_json j =
   let* elapsed = Result.bind (Wire.field j "elapsed") Wire.to_float in
   Ok { Analysis.type_name; readable; discerning; recording; elapsed }
 
+let entry_to_json (e : Census.entry) =
+  Wire.Obj
+    [
+      ("discerning", Wire.Int e.Census.discerning);
+      ("recording", Wire.Int e.Census.recording);
+      ("count", Wire.Int e.Census.count);
+    ]
+
+let entry_of_json j =
+  let* discerning = Result.bind (Wire.field j "discerning") Wire.to_int in
+  let* recording = Result.bind (Wire.field j "recording") Wire.to_int in
+  let* count = Result.bind (Wire.field j "count") Wire.to_int in
+  Ok { Census.discerning; recording; count }
+
+let entries_of_json l =
+  let* entries =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* e = entry_of_json e in
+        Ok (e :: acc))
+      (Ok []) l
+  in
+  Ok (List.rev entries)
+
 let query_digest ty ~cap =
   Digest.to_hex
     (Digest.string (Printf.sprintf "rcn-analyze v1 cap=%d\n%s" cap
                       (Objtype.to_spec_string ty)))
+
+(* Census and synth content addresses.  Like [query_digest], only the
+   parameters a result actually depends on are part of the key —
+   jobs/kernel/worker-count are excluded by the engine's (and the
+   distributed merge's) determinism guarantees; sampling and synthesis
+   are deterministic in their seeds, so seed and budget are included. *)
+let census_digest (space : Synth.space) ~cap ~sample ~seed =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "rcn-census v1 values=%d rws=%d responses=%d cap=%d sample=%s seed=%d"
+          space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap
+          (match sample with None -> "none" | Some n -> string_of_int n)
+          seed))
+
+let synth_digest (space : Synth.space) ~target ~seed ~iterations ~restart_every
+    ~portfolio =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf
+          "rcn-synth v1 values=%d rws=%d responses=%d target=%d seed=%d iterations=%d restart_every=%s portfolio=%d"
+          space.Synth.num_values space.Synth.num_rws space.Synth.num_responses target
+          seed iterations
+          (match restart_every with None -> "none" | Some n -> string_of_int n)
+          portfolio))
 
 (* ------------------------------------------------------------------ *)
 
@@ -319,6 +368,99 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+(* The distributed-census wire protocol: what a worker process exchanges
+   with its coordinator over the socketpair (length-prefixed by
+   [Serve.Frame]).  Strictly one [reply] per [msg] — the worker always
+   writes first, then blocks on the answer — so neither side ever has to
+   disambiguate pipelined frames. *)
+module Worker = struct
+  type msg =
+    | Hello of { pid : int }
+    | Progress of { lease : int; at : int }
+    | Result of { lease : int; lo : int; hi : int; entries : Census.entry list }
+
+  type reply =
+    | Assign of { lease : int; lo : int; hi : int }
+    | Continue
+    | Truncate of { hi : int }
+    | Shutdown
+
+  let msg_envelope kind fields =
+    Wire.Obj (("rcn_worker", Wire.Int 1) :: ("kind", Wire.String kind) :: fields)
+
+  let msg_to_json = function
+    | Hello { pid } -> msg_envelope "hello" [ ("pid", Wire.Int pid) ]
+    | Progress { lease; at } ->
+        msg_envelope "progress" [ ("lease", Wire.Int lease); ("at", Wire.Int at) ]
+    | Result { lease; lo; hi; entries } ->
+        msg_envelope "result"
+          [
+            ("lease", Wire.Int lease);
+            ("lo", Wire.Int lo);
+            ("hi", Wire.Int hi);
+            ("entries", Wire.List (List.map entry_to_json entries));
+          ]
+
+  let msg_of_json j =
+    let* tag = Result.bind (Wire.field j "rcn_worker") Wire.to_int in
+    if tag <> 1 then Error (Printf.sprintf "unsupported rcn_worker version %d" tag)
+    else
+      let* kind = Result.bind (Wire.field j "kind") Wire.to_str in
+      match kind with
+      | "hello" ->
+          let* pid = Result.bind (Wire.field j "pid") Wire.to_int in
+          Ok (Hello { pid })
+      | "progress" ->
+          let* lease = Result.bind (Wire.field j "lease") Wire.to_int in
+          let* at = Result.bind (Wire.field j "at") Wire.to_int in
+          Ok (Progress { lease; at })
+      | "result" ->
+          let* lease = Result.bind (Wire.field j "lease") Wire.to_int in
+          let* lo = Result.bind (Wire.field j "lo") Wire.to_int in
+          let* hi = Result.bind (Wire.field j "hi") Wire.to_int in
+          let* entries_l = Result.bind (Wire.field j "entries") Wire.to_list in
+          let* entries = entries_of_json entries_l in
+          Ok (Result { lease; lo; hi; entries })
+      | other -> Error (Printf.sprintf "unknown worker message kind %S" other)
+
+  let reply_envelope kind fields =
+    Wire.Obj (("rcn_worker_reply", Wire.Int 1) :: ("kind", Wire.String kind) :: fields)
+
+  let reply_to_json = function
+    | Assign { lease; lo; hi } ->
+        reply_envelope "assign"
+          [ ("lease", Wire.Int lease); ("lo", Wire.Int lo); ("hi", Wire.Int hi) ]
+    | Continue -> reply_envelope "continue" []
+    | Truncate { hi } -> reply_envelope "truncate" [ ("hi", Wire.Int hi) ]
+    | Shutdown -> reply_envelope "shutdown" []
+
+  let reply_of_json j =
+    let* tag = Result.bind (Wire.field j "rcn_worker_reply") Wire.to_int in
+    if tag <> 1 then
+      Error (Printf.sprintf "unsupported rcn_worker_reply version %d" tag)
+    else
+      let* kind = Result.bind (Wire.field j "kind") Wire.to_str in
+      match kind with
+      | "assign" ->
+          let* lease = Result.bind (Wire.field j "lease") Wire.to_int in
+          let* lo = Result.bind (Wire.field j "lo") Wire.to_int in
+          let* hi = Result.bind (Wire.field j "hi") Wire.to_int in
+          Ok (Assign { lease; lo; hi })
+      | "continue" -> Ok Continue
+      | "truncate" ->
+          let* hi = Result.bind (Wire.field j "hi") Wire.to_int in
+          Ok (Truncate { hi })
+      | "shutdown" -> Ok Shutdown
+      | other -> Error (Printf.sprintf "unknown worker reply kind %S" other)
+
+  let msg_to_string t = Wire.to_string (msg_to_json t)
+  let msg_of_string s = Result.bind (Wire.of_string s) msg_of_json
+  let reply_to_string t = Wire.to_string (reply_to_json t)
+  let reply_of_string s = Result.bind (Wire.of_string s) reply_of_json
+end
+
+(* ------------------------------------------------------------------ *)
+
 module Response = struct
   type census_summary = {
     entries : Census.entry list;
@@ -359,19 +501,29 @@ module Response = struct
     | Census { complete = false; _ } -> 3
     | _ -> if t.quarantined <> [] then 3 else 0
 
-  let entry_to_json (e : Census.entry) =
-    Wire.Obj
-      [
-        ("discerning", Wire.Int e.Census.discerning);
-        ("recording", Wire.Int e.Census.recording);
-        ("count", Wire.Int e.Census.count);
-      ]
+  (* The census-summary fields double as the store payload for memoized
+     census queries ([census_summary_to_json]); keeping one field list
+     guarantees a warm store replay is byte-identical to the cold
+     response. *)
+  let census_fields (c : census_summary) =
+    [
+      ("entries", Wire.List (List.map entry_to_json c.entries));
+      ("total", Wire.Int c.total);
+      ("completed", Wire.Int c.completed);
+      ("resumed", Wire.Int c.resumed);
+      ("complete", Wire.Bool c.complete);
+    ]
 
-  let entry_of_json j =
-    let* discerning = Result.bind (Wire.field j "discerning") Wire.to_int in
-    let* recording = Result.bind (Wire.field j "recording") Wire.to_int in
-    let* count = Result.bind (Wire.field j "count") Wire.to_int in
-    Ok { Census.discerning; recording; count }
+  let census_summary_to_json c = Wire.Obj (census_fields c)
+
+  let census_summary_of_json j =
+    let* entries_l = Result.bind (Wire.field j "entries") Wire.to_list in
+    let* entries = entries_of_json entries_l in
+    let* total = Result.bind (Wire.field j "total") Wire.to_int in
+    let* completed = Result.bind (Wire.field j "completed") Wire.to_int in
+    let* resumed = Result.bind (Wire.field j "resumed") Wire.to_int in
+    let* complete = Result.bind (Wire.field j "complete") Wire.to_bool in
+    Ok { entries; total; completed; resumed; complete }
 
   let witness_to_json (w : Synth.witness) =
     Wire.Obj
@@ -389,6 +541,14 @@ module Response = struct
     let* recording_level = Result.bind (Wire.field j "recording") Wire.to_int in
     let* iterations = Result.bind (Wire.field j "iterations") Wire.to_int in
     Ok { Synth.objtype; discerning_level; recording_level; iterations }
+
+  (* The store payload for memoized synth queries: a no-witness outcome
+     is cached too (re-searching cannot find what is not there). *)
+  let witness_opt_to_json w = opt_json witness_to_json w
+
+  let witness_opt_of_json = function
+    | Wire.Null -> Ok None
+    | j -> Result.map Option.some (witness_of_json j)
 
   let quarantine_to_json (q : Supervise.quarantine) =
     Wire.Obj
@@ -427,16 +587,7 @@ module Response = struct
             ("analysis", analysis_to_json analysis);
           ]
           t
-    | Census c ->
-        envelope "census"
-          [
-            ("entries", Wire.List (List.map entry_to_json c.entries));
-            ("total", Wire.Int c.total);
-            ("completed", Wire.Int c.completed);
-            ("resumed", Wire.Int c.resumed);
-            ("complete", Wire.Bool c.complete);
-          ]
-          t
+    | Census c -> envelope "census" (census_fields c) t
     | Synth { witness } ->
         envelope "synth" [ ("witness", opt_json witness_to_json witness) ] t
     | Metrics stats -> envelope "metrics" [ ("stats", stats) ] t
@@ -468,21 +619,8 @@ module Response = struct
             let* analysis = Result.bind (Wire.field j "analysis") analysis_of_json in
             Ok (Analysis { analysis; from_store })
         | "census" ->
-            let* entries_l = Result.bind (Wire.field j "entries") Wire.to_list in
-            let* entries =
-              List.fold_left
-                (fun acc e ->
-                  let* acc = acc in
-                  let* e = entry_of_json e in
-                  Ok (e :: acc))
-                (Ok []) entries_l
-            in
-            let entries = List.rev entries in
-            let* total = Result.bind (Wire.field j "total") Wire.to_int in
-            let* completed = Result.bind (Wire.field j "completed") Wire.to_int in
-            let* resumed = Result.bind (Wire.field j "resumed") Wire.to_int in
-            let* complete = Result.bind (Wire.field j "complete") Wire.to_bool in
-            Ok (Census { entries; total; completed; resumed; complete })
+            let* c = census_summary_of_json j in
+            Ok (Census c)
         | "synth" ->
             let* witness = Wire.opt_field j "witness" witness_of_json in
             Ok (Synth { witness })

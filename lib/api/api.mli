@@ -123,6 +123,48 @@ module Request : sig
   val of_string : string -> (t, string) result
 end
 
+(** {2 Distributed-census worker protocol}
+
+    The wire messages [lib/dist] exchanges between a census coordinator
+    and its worker processes, over a socketpair carrying [Serve.Frame]
+    length-prefixed frames.  The protocol is strictly half-duplex from
+    the worker's side: the worker writes one {!Worker.msg} and blocks
+    until it reads exactly one {!Worker.reply}, so neither side ever has
+    to disambiguate pipelined frames, and a worker whose coordinator
+    dies sees [EOF]/[EPIPE] at its next exchange and exits.
+
+    Like every codec here, encodings are canonical: pinned field order,
+    no whitespace, [of_* (to_* x) = Ok x]. *)
+
+module Worker : sig
+  type msg =
+    | Hello of { pid : int }  (** the worker's first frame after spawn *)
+    | Progress of { lease : int; at : int }
+        (** heartbeat: every rank of the lease below [at] is decided;
+            renews the lease and gives the coordinator a steal point *)
+    | Result of { lease : int; lo : int; hi : int; entries : Census.entry list }
+        (** the lease's histogram over exactly [\[lo, hi)] — [hi]
+            reflects any {!reply.Truncate} the worker obeyed *)
+
+  type reply =
+    | Assign of { lease : int; lo : int; hi : int }
+        (** decide ranks [\[lo, hi)] under the given lease id *)
+    | Continue  (** heartbeat acknowledged; keep going *)
+    | Truncate of { hi : int }
+        (** work stealing: stop at [hi] (never below the reported [at]);
+            the tail of the range has been re-leased elsewhere *)
+    | Shutdown  (** no work left; exit 0 *)
+
+  val msg_to_json : msg -> Wire.t
+  val msg_of_json : Wire.t -> (msg, string) result
+  val msg_to_string : msg -> string
+  val msg_of_string : string -> (msg, string) result
+  val reply_to_json : reply -> Wire.t
+  val reply_of_json : Wire.t -> (reply, string) result
+  val reply_to_string : reply -> string
+  val reply_of_string : string -> (reply, string) result
+end
+
 (** {2 Results} *)
 
 module Response : sig
@@ -179,6 +221,22 @@ module Response : sig
   (** The machine-readable per-request quarantine report, in the same
       [{"rcn_quarantine":1,...}] single-line-plus-newline shape as
       [Supervise.report_json] — what [--quarantine-report] writes. *)
+
+  (** {3 Store payloads}
+
+      The canonical bytes the serve store keeps for memoized census and
+      synth queries.  [census_summary_to_json] reuses the exact field
+      list of the census response envelope, so a warm store replay is
+      byte-identical to the cold response. *)
+
+  val census_summary_to_json : census_summary -> Wire.t
+  val census_summary_of_json : Wire.t -> (census_summary, string) result
+
+  val witness_opt_to_json : Synth.witness option -> Wire.t
+  (** [None] (an exhausted search) encodes as [null] and is cached like
+      any other outcome. *)
+
+  val witness_opt_of_json : Wire.t -> (Synth.witness option, string) result
 end
 
 (** {2 Analysis codec and content addressing} *)
@@ -195,3 +253,21 @@ val query_digest : Objtype.t -> cap:int -> string
     initial value, names, transition table) together with the scan cap.
     Results are independent of [jobs]/[kernel]/deadline by the engine's
     determinism guarantees, so (type, cap) is the whole key. *)
+
+val census_digest : Synth.space -> cap:int -> sample:int option -> seed:int -> string
+(** The content address of a census query.  [jobs], [kernel] and the
+    worker count are excluded: exhaustive censuses are bit-identical
+    across all of them, and a sampling census is deterministic in
+    ([sample], [seed]), which are part of the key.  Checkpoint/resume
+    runs are never memoized, so those fields do not appear. *)
+
+val synth_digest :
+  Synth.space ->
+  target:int ->
+  seed:int ->
+  iterations:int ->
+  restart_every:int option ->
+  portfolio:int ->
+  string
+(** The content address of a synth query: every parameter the portfolio
+    search's outcome is a deterministic function of. *)

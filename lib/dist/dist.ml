@@ -1,0 +1,616 @@
+(* The distributed census coordinator.
+
+   The rank space [0, total) is sharded into chunks held in a pending
+   queue.  N worker processes (rcn worker) are spawned over socketpairs;
+   each Waiting worker is granted a lease on the next pending chunk.
+   All coordinator state that matters is reconstructible from the
+   fsync'd lease ledger: completed ranges (Done records) are trusted on
+   resume, everything else is re-leased.
+
+   The failure model, in one place:
+
+   - A worker that dies (reaped via waitpid, or EOF on its socket) has
+     its lease revoked and the FULL range re-queued with attempts + 1 —
+     progress heartbeats only renew leases; partial results never
+     survive a death, which is what makes the merge independent of the
+     crash schedule.
+   - A lease whose deadline passes without a heartbeat is expired: the
+     worker is SIGKILLed (it may be alive but wedged) and the range
+     re-queued.
+   - Dead workers respawn with seeded backoff (Supervise.Policy), up to
+     max_spawns per slot; a slot that exhausts its spawns retires.
+   - A range that fails range_attempts grants is quarantined — recorded
+     in the ledger and the outcome, never silently dropped — and the
+     census degrades to an honest partial (exit 3), like any other
+     supervised sweep.
+   - Work stealing: when a worker goes idle with nothing pending, the
+     straggler with the most remaining work is marked; at its next
+     heartbeat the tail above the midpoint is re-queued and the victim
+     truncated.  Stealing only moves undecided work, so it cannot
+     double-count.
+
+   Merging is a plain histogram sum over Done ranges, which a bitmap
+   proves disjoint and complete — hence bit-identical to Engine.census
+   regardless of worker count, crash schedule or steal order. *)
+
+type outcome = {
+  entries : Census.entry list;
+  total : int;
+  completed : int;
+  resumed : int;
+  complete : bool;
+  quarantined : Supervise.quarantine list;
+  deaths : int;
+}
+
+type plan = {
+  plan_total : int;
+  plan_covered : int;
+  plan_entries : Census.entry list;
+  plan_gaps : (int * int) list;
+  plan_deaths : int;
+}
+
+(* Fold the Done records of a replayed ledger into a coverage bitmap and
+   histogram, ignoring any record that is out of range, overlapping, or
+   whose counts do not sum to its width — the paranoid read that makes
+   resume trust only self-consistent results. *)
+let replay_done ~total records =
+  let covered = Bytes.make total '\000' in
+  let hist : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let covered_n = ref 0 in
+  let deaths = ref 0 in
+  let free lo hi =
+    let ok = ref true in
+    for i = lo to hi - 1 do
+      if Bytes.get covered i <> '\000' then ok := false
+    done;
+    !ok
+  in
+  List.iter
+    (function
+      | Dist_ledger.Done { lo; hi; entries }
+        when lo >= 0 && hi <= total && lo < hi && free lo hi
+             && List.fold_left (fun a (_, _, c) -> a + c) 0 entries = hi - lo
+        ->
+          Bytes.fill covered lo (hi - lo) '\001';
+          covered_n := !covered_n + (hi - lo);
+          List.iter
+            (fun (d, r, c) ->
+              Hashtbl.replace hist (d, r)
+                (c + Option.value ~default:0 (Hashtbl.find_opt hist (d, r))))
+            entries
+      | Dist_ledger.Death _ -> incr deaths
+      | _ -> ())
+    records;
+  (covered, hist, !covered_n, !deaths)
+
+let gaps_of covered total =
+  let gaps = ref [] in
+  let i = ref 0 in
+  while !i < total do
+    if Bytes.get covered !i = '\000' then begin
+      let j = ref !i in
+      while !j < total && Bytes.get covered !j = '\000' do
+        incr j
+      done;
+      gaps := (!i, !j) :: !gaps;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !gaps
+
+let plan_of_ledger ~expected ~total path =
+  let records, _torn = Dist_ledger.load path ~expected in
+  let covered, hist, covered_n, deaths = replay_done ~total records in
+  {
+    plan_total = total;
+    plan_covered = covered_n;
+    plan_entries = Census.of_histogram hist;
+    plan_gaps = gaps_of covered total;
+    plan_deaths = deaths;
+  }
+
+(* Coordinator-side per-worker state machine. *)
+
+type lease = {
+  id : int;
+  lo : int;
+  mutable hi : int;
+  mutable at : int;  (** every rank below [at] is decided by the holder *)
+  attempts : int;  (** prior failed grants of this range *)
+  mutable deadline : float;
+  mutable steal_to : int;  (** pending steal point; [-1] when none *)
+}
+
+type slot_state =
+  | Starting  (** spawned; Hello not yet received *)
+  | Waiting  (** idle, blocked on our next reply *)
+  | Busy of lease
+  | Cooling  (** dead; respawn backoff running *)
+  | Finishing  (** sent Shutdown; awaiting exit *)
+  | Retired  (** reaped for good — cleanly done or spawns exhausted *)
+
+type slot = {
+  index : int;
+  mutable pid : int;
+  mutable fd : Unix.file_descr option;
+  mutable state : slot_state;
+  mutable spawns : int;
+  mutable respawn_at : float;
+}
+
+let default_policy =
+  Supervise.Policy.v ~max_attempts:3 ~base_backoff:0.01 ~max_backoff:0.25 ()
+
+let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
+    ?(lease_ttl = 30.) ?chunk ?(stride = 32) ?steal_min ?(range_attempts = 3)
+    ?(max_spawns = 5) ?(policy = default_policy) ?(crash = []) ?(throttle = [])
+    ~workers ~(config : Api.Config.t) space =
+  if workers < 1 then invalid_arg "Dist.census: workers must be positive";
+  if lease_ttl <= 0. then invalid_arg "Dist.census: lease_ttl must be positive";
+  if stride < 1 then invalid_arg "Dist.census: stride must be positive";
+  if range_attempts < 1 then
+    invalid_arg "Dist.census: range_attempts must be positive";
+  if max_spawns < 1 then invalid_arg "Dist.census: max_spawns must be positive";
+  let total = Census.space_size space in
+  let cap = config.Api.Config.cap in
+  let counter name = Option.map (fun o -> Obs.counter o name) obs in
+  let c_granted = counter "dist.leases_granted" in
+  let c_expired = counter "dist.leases_expired" in
+  let c_stolen = counter "dist.leases_stolen" in
+  let c_spawned = counter "dist.workers_spawned" in
+  let c_killed = counter "dist.workers_killed" in
+  let c_respawned = counter "dist.workers_respawned" in
+  let c_quarantined = counter "dist.ranges_quarantined" in
+  let c_resumed = counter "dist.ranks_resumed" in
+  let bump c = Option.iter Obs.Metrics.Counter.incr c in
+  let rcn = match rcn with Some p -> p | None -> Sys.executable_name in
+  let ledger_path, temp_ledger =
+    match ledger with
+    | Some p -> (p, false)
+    | None ->
+        if resume then
+          invalid_arg "Dist.census: resume needs an explicit ledger path";
+        (Filename.temp_file "rcn-dist" ".ledger", true)
+  in
+  let expected = Dist_ledger.header ~space ~cap ~total in
+  let led, replayed =
+    Dist_ledger.open_ledger ?obs ~fsync ~expected ~resume ledger_path
+  in
+  let covered, hist, resumed, _ = replay_done ~total replayed in
+  Option.iter (fun c -> Obs.Metrics.Counter.add c resumed) c_resumed;
+  let completed = ref resumed in
+  let accounted = ref resumed in
+  (* decided or quarantined *)
+  let quarantined = ref [] in
+  let deaths = ref 0 in
+  let chunk =
+    match chunk with
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Dist.census: chunk must be positive"
+    | None -> max stride (1 + ((total - 1) / max 1 (4 * workers)))
+  in
+  let steal_min = match steal_min with Some s -> max 2 s | None -> 2 * stride in
+  (* Pending ranges: (lo, hi, failed grants so far). *)
+  let pending : (int * int * int) Queue.t = Queue.create () in
+  List.iter
+    (fun (lo, hi) ->
+      let i = ref lo in
+      while !i < hi do
+        let j = min (!i + chunk) hi in
+        Queue.add (!i, j, 0) pending;
+        i := j
+      done)
+    (gaps_of covered total);
+  let mark_done ~lo ~hi entries =
+    Bytes.fill covered lo (hi - lo) '\001';
+    completed := !completed + (hi - lo);
+    accounted := !accounted + (hi - lo);
+    List.iter
+      (fun (d, r, c) ->
+        Hashtbl.replace hist (d, r)
+          (c + Option.value ~default:0 (Hashtbl.find_opt hist (d, r))))
+      entries
+  in
+  let range_free ~lo ~hi =
+    lo >= 0 && hi <= total && lo < hi
+    &&
+    let ok = ref true in
+    for i = lo to hi - 1 do
+      if Bytes.get covered i <> '\000' then ok := false
+    done;
+    !ok
+  in
+  let quarantine_range ~lo ~hi ~attempts ~error =
+    Bytes.fill covered lo (hi - lo) '\002';
+    accounted := !accounted + (hi - lo);
+    quarantined :=
+      {
+        Supervise.q_context = "dist.census";
+        q_lo = lo;
+        q_hi = hi;
+        q_attempts = attempts;
+        q_error = error;
+      }
+      :: !quarantined;
+    Dist_ledger.append led (Dist_ledger.Quarantine { lo; hi; attempts; error });
+    bump c_quarantined
+  in
+  let requeue ~lo ~hi ~attempts ~error =
+    if attempts + 1 >= range_attempts then
+      quarantine_range ~lo ~hi ~attempts:(attempts + 1) ~error
+    else Queue.add (lo, hi, attempts + 1) pending
+  in
+  let all_work_done () = !accounted = total in
+  let slots =
+    Array.init workers (fun index ->
+        { index; pid = -1; fd = None; state = Retired; spawns = 0; respawn_at = 0. })
+  in
+  let busy_exists () =
+    Array.exists (fun s -> match s.state with Busy _ -> true | _ -> false) slots
+  in
+  (* Spawn plumbing.  The worker inherits its end of the socketpair as
+     stdin; our end is close-on-exec so sibling workers cannot hold a
+     dead worker's connection open and defeat EOF detection. *)
+  let worker_argv slot =
+    let injected spec = if slot.spawns = 0 then List.assoc_opt slot.index spec else None in
+    let base =
+      [
+        rcn;
+        "worker";
+        "--values";
+        string_of_int space.Synth.num_values;
+        "--rws";
+        string_of_int space.Synth.num_rws;
+        "--responses";
+        string_of_int space.Synth.num_responses;
+        "--stride";
+        string_of_int stride;
+        "--config";
+        Wire.to_string (Api.Config.to_json config);
+      ]
+    in
+    let base =
+      match injected crash with
+      | Some k -> base @ [ "--crash-after"; string_of_int k ]
+      | None -> base
+    in
+    let base =
+      match injected throttle with
+      | Some us -> base @ [ "--throttle-us"; string_of_int us ]
+      | None -> base
+    in
+    Array.of_list base
+  in
+  let spawn slot =
+    let ours, theirs = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_close_on_exec ours;
+    let argv = worker_argv slot in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid = Unix.create_process rcn argv theirs devnull Unix.stderr in
+    Unix.close theirs;
+    Unix.close devnull;
+    slot.pid <- pid;
+    slot.fd <- Some ours;
+    slot.state <- Starting;
+    slot.spawns <- slot.spawns + 1;
+    bump c_spawned
+  in
+  let close_slot_fd slot =
+    match slot.fd with
+    | None -> ()
+    | Some fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        slot.fd <- None
+  in
+  let reply slot r =
+    match slot.fd with
+    | None -> ()
+    | Some fd -> (
+        try Frame.write fd (Api.Worker.reply_to_string r)
+        with Unix.Unix_error _ -> () (* dying worker; the reap will see it *))
+  in
+  let revoke ~error slot lease =
+    Dist_ledger.append led
+      (Dist_ledger.Expire
+         { lease = lease.id; lo = lease.lo; hi = lease.hi; worker = slot.index });
+    bump c_expired;
+    requeue ~lo:lease.lo ~hi:lease.hi ~attempts:lease.attempts ~error
+  in
+  let abandon_or_cool slot =
+    if slot.spawns >= max_spawns then slot.state <- Retired
+    else begin
+      slot.state <- Cooling;
+      slot.respawn_at <-
+        Obs.Clock.now ()
+        +. Supervise.Policy.backoff policy ~key:slot.index ~attempt:slot.spawns
+    end
+  in
+  (* The worker process is known dead (already reaped). *)
+  let on_death slot ~error =
+    incr deaths;
+    Dist_ledger.append led
+      (Dist_ledger.Death { worker = slot.index; pid = slot.pid });
+    let was = slot.state in
+    close_slot_fd slot;
+    slot.pid <- -1;
+    (match was with Busy lease -> revoke ~error slot lease | _ -> ());
+    match was with
+    | Finishing -> slot.state <- Retired
+    | _ -> abandon_or_cool slot
+  in
+  let kill_slot slot ~error =
+    (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    bump c_killed;
+    (try ignore (Unix.waitpid [] slot.pid) with Unix.Unix_error _ -> ());
+    on_death slot ~error
+  in
+  (* Mark the straggler holding the most remaining work for a steal; the
+     split happens at its next heartbeat, which is the only moment the
+     coordinator knows a safe cut point. *)
+  let mark_steal () =
+    let best = ref None in
+    Array.iter
+      (fun s ->
+        match s.state with
+        | Busy l when l.steal_to < 0 ->
+            let remaining = l.hi - l.at in
+            if remaining >= steal_min then begin
+              match !best with
+              | Some (_, r) when r >= remaining -> ()
+              | _ -> best := Some (l, remaining)
+            end
+        | _ -> ())
+      slots;
+    match !best with
+    | Some (l, _) -> l.steal_to <- l.at + ((l.hi - l.at) / 2)
+    | None -> ()
+  in
+  let lease_ctr = ref 0 in
+  let try_assign slot =
+    if not (Queue.is_empty pending) then begin
+      let lo, hi, attempts = Queue.pop pending in
+      incr lease_ctr;
+      let lease =
+        {
+          id = !lease_ctr;
+          lo;
+          hi;
+          at = lo;
+          attempts;
+          deadline = Obs.Clock.now () +. lease_ttl;
+          steal_to = -1;
+        }
+      in
+      slot.state <- Busy lease;
+      Dist_ledger.append led
+        (Dist_ledger.Grant { lease = lease.id; lo; hi; worker = slot.index });
+      bump c_granted;
+      reply slot (Api.Worker.Assign { lease = lease.id; lo; hi })
+    end
+    else if all_work_done () && not (busy_exists ()) then begin
+      reply slot Api.Worker.Shutdown;
+      slot.state <- Finishing
+    end
+    else
+      (* Idle with work still leased elsewhere: set up a steal and stay
+         Waiting; the split lands in [pending] at the victim's next
+         heartbeat and the drain loop hands it over. *)
+      mark_steal ()
+  in
+  let drain_pending () =
+    Array.iter
+      (fun s ->
+        match s.state with
+        | Waiting when not (Queue.is_empty pending) -> try_assign s
+        | _ -> ())
+      slots
+  in
+  let on_progress slot lease_id at =
+    match slot.state with
+    | Busy l when l.id = lease_id ->
+        l.at <- max l.at at;
+        l.deadline <- Obs.Clock.now () +. lease_ttl;
+        if l.steal_to > l.at then begin
+          let cut = l.steal_to in
+          Dist_ledger.append led
+            (Dist_ledger.Steal
+               { lease = l.id; victim = slot.index; at = l.at; hi = l.hi });
+          Queue.add (cut, l.hi, 0) pending;
+          l.hi <- cut;
+          l.steal_to <- -1;
+          bump c_stolen;
+          reply slot (Api.Worker.Truncate { hi = cut });
+          drain_pending ()
+        end
+        else begin
+          (* an overtaken steal point is stale: cancel it *)
+          l.steal_to <- -1;
+          reply slot Api.Worker.Continue
+        end
+    | _ -> reply slot Api.Worker.Continue
+  in
+  let on_result slot lease_id lo hi entries =
+    match slot.state with
+    | Busy l when l.id = lease_id && lo = l.lo && hi = l.hi ->
+        let triples =
+          List.map
+            (fun (e : Census.entry) ->
+              (e.Census.discerning, e.Census.recording, e.Census.count))
+            entries
+        in
+        let width = List.fold_left (fun a (_, _, c) -> a + c) 0 triples in
+        if width <> hi - lo || not (range_free ~lo ~hi) then
+          kill_slot slot ~error:"inconsistent result"
+        else begin
+          Dist_ledger.append led (Dist_ledger.Done { lo; hi; entries = triples });
+          mark_done ~lo ~hi triples;
+          slot.state <- Waiting;
+          try_assign slot
+        end
+    | _ -> kill_slot slot ~error:"result for a lease not held"
+  in
+  let handle_readable slot =
+    match slot.fd with
+    | None -> ()
+    | Some fd -> (
+        match Frame.read fd with
+        | Frame.Frame s -> (
+            match Api.Worker.msg_of_string s with
+            | Ok (Api.Worker.Hello _) -> (
+                match slot.state with
+                | Starting ->
+                    slot.state <- Waiting;
+                    try_assign slot
+                | _ -> kill_slot slot ~error:"unexpected hello")
+            | Ok (Api.Worker.Progress { lease; at }) -> on_progress slot lease at
+            | Ok (Api.Worker.Result { lease; lo; hi; entries }) ->
+                on_result slot lease lo hi entries
+            | Error e -> kill_slot slot ~error:("protocol: " ^ e))
+        | Frame.Eof -> (
+            match slot.state with
+            | Finishing ->
+                (* the expected EOF of a worker told to shut down *)
+                (try ignore (Unix.waitpid [] slot.pid)
+                 with Unix.Unix_error _ -> ());
+                close_slot_fd slot;
+                slot.pid <- -1;
+                slot.state <- Retired
+            | _ -> kill_slot slot ~error:"connection closed")
+        | Frame.Bad m -> kill_slot slot ~error:("bad frame: " ^ m))
+  in
+  let tick () =
+    let now = Obs.Clock.now () in
+    (* reap exits *)
+    Array.iter
+      (fun slot ->
+        if slot.pid >= 0 then
+          match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
+          | 0, _ -> ()
+          | _ -> (
+              match slot.state with
+              | Finishing ->
+                  close_slot_fd slot;
+                  slot.pid <- -1;
+                  slot.state <- Retired
+              | _ -> on_death slot ~error:"worker died")
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> (
+              match slot.state with
+              | Finishing ->
+                  close_slot_fd slot;
+                  slot.pid <- -1;
+                  slot.state <- Retired
+              | _ -> on_death slot ~error:"worker vanished"))
+      slots;
+    (* lease expiry: a missed heartbeat revokes the lease and kills the
+       (possibly wedged) holder *)
+    Array.iter
+      (fun slot ->
+        match slot.state with
+        | Busy l when now > l.deadline -> kill_slot slot ~error:"lease expired"
+        | _ -> ())
+      slots;
+    (* due respawns *)
+    Array.iter
+      (fun slot ->
+        match slot.state with
+        | Cooling when now >= slot.respawn_at ->
+            if all_work_done () then slot.state <- Retired
+            else begin
+              spawn slot;
+              bump c_respawned
+            end
+        | _ -> ())
+      slots;
+    (* livelock guard: no slot can ever run again but work remains *)
+    let runnable =
+      Array.exists
+        (fun s -> match s.state with Retired -> false | _ -> true)
+        slots
+    in
+    if (not runnable) && not (Queue.is_empty pending) then begin
+      Queue.iter
+        (fun (lo, hi, attempts) ->
+          quarantine_range ~lo ~hi ~attempts ~error:"workers exhausted")
+        pending;
+      Queue.clear pending
+    end;
+    drain_pending ();
+    (* termination: once nothing remains, shut the idle fleet down *)
+    if all_work_done () && not (busy_exists ()) then
+      Array.iter
+        (fun slot ->
+          match slot.state with
+          | Waiting -> try_assign slot (* hits the Shutdown branch *)
+          | Cooling -> slot.state <- Retired
+          | _ -> ())
+        slots
+  in
+  let finished () =
+    Array.for_all
+      (fun s -> match s.state with Retired -> true | _ -> false)
+      slots
+    && all_work_done ()
+  in
+  let cleanup () =
+    Array.iter
+      (fun slot ->
+        if slot.pid >= 0 then begin
+          (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] slot.pid) with Unix.Unix_error _ -> ()
+        end;
+        close_slot_fd slot)
+      slots;
+    Dist_ledger.close led;
+    if temp_ledger then try Sys.remove ledger_path with Sys_error _ -> ()
+  in
+  let prev_pipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  let restore_pipe () =
+    match prev_pipe with
+    | Some b -> ( try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ())
+    | None -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      cleanup ();
+      restore_pipe ())
+    (fun () ->
+      if not (all_work_done ()) then Array.iter spawn slots;
+      while not (finished ()) do
+        let fds =
+          Array.fold_left
+            (fun acc s -> match s.fd with Some fd -> fd :: acc | None -> acc)
+            [] slots
+        in
+        let readable =
+          if fds = [] then begin
+            Obs.Clock.sleep 0.01;
+            []
+          end
+          else
+            match Unix.select fds [] [] 0.05 with
+            | r, _, _ -> r
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            match Array.find_opt (fun s -> s.fd = Some fd) slots with
+            | Some slot -> handle_readable slot
+            | None -> ())
+          readable;
+        tick ()
+      done;
+      {
+        entries = Census.of_histogram hist;
+        total;
+        completed = !completed;
+        resumed;
+        complete = !completed = total;
+        quarantined = List.rev !quarantined;
+        deaths = !deaths;
+      })

@@ -1,0 +1,270 @@
+(* Append-only lease ledger of a distributed census.  On-disk format,
+   one record after another, nothing else in the file:
+
+     rcndist1 <kind> <payload_bytes>\n
+     <payload>\n
+
+   — the same scan-forward, truncate-at-first-torn-record discipline as
+   the serve store's rcnstore1 log.  The payload of the header record is
+   the plain header line pinning space, cap and table count; every other
+   payload is canonical single-line Wire JSON, so payloads never contain
+   a newline and a record boundary is always where the scanner thinks it
+   is. *)
+
+let magic = "rcndist1"
+
+let header ~space ~cap ~total =
+  Printf.sprintf "rcn-dist-census v1 values=%d rws=%d responses=%d cap=%d total=%d"
+    space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap
+    total
+
+type record =
+  | Header of string
+  | Grant of { lease : int; lo : int; hi : int; worker : int }
+  | Done of { lo : int; hi : int; entries : (int * int * int) list }
+  | Expire of { lease : int; lo : int; hi : int; worker : int }
+  | Steal of { lease : int; victim : int; at : int; hi : int }
+  | Death of { worker : int; pid : int }
+  | Quarantine of { lo : int; hi : int; attempts : int; error : string }
+
+let kind_of = function
+  | Header _ -> "header"
+  | Grant _ -> "grant"
+  | Done _ -> "done"
+  | Expire _ -> "expire"
+  | Steal _ -> "steal"
+  | Death _ -> "death"
+  | Quarantine _ -> "quarantine"
+
+let lease_fields ~lease ~lo ~hi ~worker =
+  [
+    ("lease", Wire.Int lease);
+    ("lo", Wire.Int lo);
+    ("hi", Wire.Int hi);
+    ("worker", Wire.Int worker);
+  ]
+
+let payload_of = function
+  | Header h -> h
+  | Grant { lease; lo; hi; worker } ->
+      Wire.to_string (Wire.Obj (lease_fields ~lease ~lo ~hi ~worker))
+  | Expire { lease; lo; hi; worker } ->
+      Wire.to_string (Wire.Obj (lease_fields ~lease ~lo ~hi ~worker))
+  | Done { lo; hi; entries } ->
+      Wire.to_string
+        (Wire.Obj
+           [
+             ("lo", Wire.Int lo);
+             ("hi", Wire.Int hi);
+             ( "entries",
+               Wire.List
+                 (List.map
+                    (fun (d, r, c) ->
+                      Wire.List [ Wire.Int d; Wire.Int r; Wire.Int c ])
+                    entries) );
+           ])
+  | Steal { lease; victim; at; hi } ->
+      Wire.to_string
+        (Wire.Obj
+           [
+             ("lease", Wire.Int lease);
+             ("victim", Wire.Int victim);
+             ("at", Wire.Int at);
+             ("hi", Wire.Int hi);
+           ])
+  | Death { worker; pid } ->
+      Wire.to_string
+        (Wire.Obj [ ("worker", Wire.Int worker); ("pid", Wire.Int pid) ])
+  | Quarantine { lo; hi; attempts; error } ->
+      Wire.to_string
+        (Wire.Obj
+           [
+             ("lo", Wire.Int lo);
+             ("hi", Wire.Int hi);
+             ("attempts", Wire.Int attempts);
+             ("error", Wire.String error);
+           ])
+
+let encode r =
+  let p = payload_of r in
+  Printf.sprintf "%s %s %d\n%s\n" magic (kind_of r) (String.length p) p
+
+(* Payload decoding.  A record whose payload does not decode is treated
+   exactly like a torn record: the replayable prefix ends just before
+   it. *)
+
+let ( let* ) = Result.bind
+
+let int_field obj name =
+  match List.assoc_opt name obj with
+  | Some (Wire.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing int field %S" name)
+
+let string_field obj name =
+  match List.assoc_opt name obj with
+  | Some (Wire.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let entries_of_json = function
+  | Wire.List l ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Wire.List [ Wire.Int d; Wire.Int r; Wire.Int c ] :: rest ->
+            go ((d, r, c) :: acc) rest
+        | _ -> Error "malformed entry triple"
+      in
+      go [] l
+  | _ -> Error "entries: expected a list"
+
+let decode_payload kind payload =
+  if kind = "header" then Ok (Header payload)
+  else
+    let* j = Wire.of_string payload in
+    let* obj =
+      match j with Wire.Obj o -> Ok o | _ -> Error "payload: expected object"
+    in
+    match kind with
+    | "grant" | "expire" ->
+        let* lease = int_field obj "lease" in
+        let* lo = int_field obj "lo" in
+        let* hi = int_field obj "hi" in
+        let* worker = int_field obj "worker" in
+        Ok
+          (if kind = "grant" then Grant { lease; lo; hi; worker }
+           else Expire { lease; lo; hi; worker })
+    | "done" ->
+        let* lo = int_field obj "lo" in
+        let* hi = int_field obj "hi" in
+        let* entries =
+          match List.assoc_opt "entries" obj with
+          | Some j -> entries_of_json j
+          | None -> Error "missing entries"
+        in
+        Ok (Done { lo; hi; entries })
+    | "steal" ->
+        let* lease = int_field obj "lease" in
+        let* victim = int_field obj "victim" in
+        let* at = int_field obj "at" in
+        let* hi = int_field obj "hi" in
+        Ok (Steal { lease; victim; at; hi })
+    | "death" ->
+        let* worker = int_field obj "worker" in
+        let* pid = int_field obj "pid" in
+        Ok (Death { worker; pid })
+    | "quarantine" ->
+        let* lo = int_field obj "lo" in
+        let* hi = int_field obj "hi" in
+        let* attempts = int_field obj "attempts" in
+        let* error = string_field obj "error" in
+        Ok (Quarantine { lo; hi; attempts; error })
+    | other -> Error (Printf.sprintf "unknown record kind %S" other)
+
+(* Scan [contents], returning the complete records in file order and the
+   offset just past the last complete record. *)
+let scan contents =
+  let n = String.length contents in
+  let out = ref [] in
+  let good = ref 0 in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       let nl =
+         match String.index_from_opt contents !pos '\n' with
+         | Some i -> i
+         | None -> raise Exit
+       in
+       let header = String.sub contents !pos (nl - !pos) in
+       let kind, len =
+         match String.split_on_char ' ' header with
+         | [ m; kind; len ] when m = magic -> (
+             match int_of_string_opt len with
+             | Some len when len >= 0 -> (kind, len)
+             | _ -> raise Exit)
+         | _ -> raise Exit
+       in
+       let payload_start = nl + 1 in
+       if payload_start + len + 1 > n then raise Exit;
+       if contents.[payload_start + len] <> '\n' then raise Exit;
+       let payload = String.sub contents payload_start len in
+       (match decode_payload kind payload with
+       | Ok r -> out := r :: !out
+       | Error _ -> raise Exit);
+       pos := payload_start + len + 1;
+       good := !pos
+     done
+   with Exit -> ());
+  (List.rev !out, !good)
+
+let check_header ~expected = function
+  | [] -> ()
+  | Header h :: _ ->
+      if h <> expected then
+        invalid_arg
+          (Printf.sprintf
+             "Dist_ledger: ledger belongs to a different census (%S, expected %S)"
+             h expected)
+  | _ -> invalid_arg "Dist_ledger: ledger does not start with a header record"
+
+let load path ~expected =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let contents = In_channel.with_open_bin path In_channel.input_all in
+    let records, good = scan contents in
+    check_header ~expected records;
+    (records, String.length contents - good)
+  end
+
+type t = {
+  fd : Unix.file_descr;
+  chan : out_channel;
+  fsync : bool;
+  mutable closed : bool;
+}
+
+let append t record =
+  if t.closed then invalid_arg "Dist_ledger.append: ledger is closed";
+  output_string t.chan (encode record);
+  flush t.chan;
+  if t.fsync then Unix.fsync t.fd
+
+let open_ledger ?obs ?(fsync = true) ~expected ~resume path =
+  let c_loaded = Option.map (fun o -> Obs.counter o "dist.ledger_loaded") obs in
+  let c_torn =
+    Option.map (fun o -> Obs.counter o "dist.ledger_torn_bytes") obs
+  in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  Unix.set_close_on_exec fd;
+  let size = (Unix.fstat fd).Unix.st_size in
+  let contents =
+    let ic = Unix.in_channel_of_descr (Unix.dup fd) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic size)
+  in
+  let records, good =
+    if resume then begin
+      let records, good = scan contents in
+      (try check_header ~expected records
+       with Invalid_argument _ as e ->
+         Unix.close fd;
+         raise e);
+      (records, good)
+    end
+    else ([], 0)
+  in
+  if good < size then begin
+    Unix.ftruncate fd good;
+    Option.iter (fun c -> Obs.Metrics.Counter.add c (size - good)) c_torn
+  end;
+  Option.iter (fun c -> Obs.Metrics.Counter.add c (List.length records)) c_loaded;
+  ignore (Unix.lseek fd good Unix.SEEK_SET);
+  let chan = Unix.out_channel_of_descr fd in
+  let t = { fd; chan; fsync; closed = false } in
+  if records = [] then append t (Header expected);
+  (t, records)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.chan
+  end

@@ -1,0 +1,75 @@
+(** The crash-safe lease ledger of a distributed census — the
+    coordinator's only durable state.
+
+    An append-only log in the serve store's record discipline
+    ([rcndist1 <kind> <len>\n<payload>\n]); recovery scans from the top
+    and truncates at the first torn or undecodable record, so a
+    [kill -9] mid-append costs at most the record being written.  The
+    first record is always a {!Header} pinning space, cap and table
+    count, so a stale ledger from a different census is rejected rather
+    than merged.
+
+    Only {!record.Done} records carry results; everything else
+    ({!record.Grant}, {!record.Expire}, {!record.Steal},
+    {!record.Death}, {!record.Quarantine}) is an audit trail of the
+    failure model — what was leased, what expired, what was stolen, who
+    died — that resume deliberately ignores: a recovering coordinator
+    trusts only completed ranges and re-leases everything else,
+    including previously quarantined ranges (a fresh incarnation gets a
+    fresh retry budget). *)
+
+type record =
+  | Header of string  (** the exact {!header} line of this census *)
+  | Grant of { lease : int; lo : int; hi : int; worker : int }
+  | Done of { lo : int; hi : int; entries : (int * int * int) list }
+      (** histogram of the decided range: (discerning, recording, count)
+          triples summing to [hi - lo] *)
+  | Expire of { lease : int; lo : int; hi : int; worker : int }
+      (** the lease was revoked — missed heartbeats or worker death *)
+  | Steal of { lease : int; victim : int; at : int; hi : int }
+      (** [\[steal point, hi)] of the lease was re-queued; the victim
+          was truncated at the steal point *)
+  | Death of { worker : int; pid : int }
+  | Quarantine of { lo : int; hi : int; attempts : int; error : string }
+
+val magic : string
+(** ["rcndist1"]. *)
+
+val header : space:Synth.space -> cap:int -> total:int -> string
+
+val encode : record -> string
+(** The exact bytes {!append} writes — exposed so tests can compute
+    record boundaries for truncate-at-every-offset pins. *)
+
+val load : string -> expected:string -> record list * int
+(** All complete records in file order, plus the torn tail byte count.
+    A missing file is [([], 0)]; the replayable prefix ends at the first
+    record that is cut short or does not decode.
+    @raise Invalid_argument when the ledger's header differs from
+    [expected] (or the file is nonempty without a leading header). *)
+
+type t
+
+val open_ledger :
+  ?obs:Obs.t ->
+  ?fsync:bool ->
+  expected:string ->
+  resume:bool ->
+  string ->
+  t * record list
+(** Open (creating if missing) the ledger for appending, returning the
+    replayed records.  With [resume = false] the file is truncated and
+    started fresh; with [resume = true] the complete records are
+    replayed and a torn tail is truncated in place, exactly like
+    [Store.open_store].  Either way the file ends up starting with the
+    [expected] header (appended when absent).  [fsync] (default [true]
+    — the ledger is the only thing that survives a coordinator kill)
+    makes every {!append} fsync.  With [obs], counts
+    [dist.ledger_loaded] (records replayed) and [dist.ledger_torn_bytes].
+    @raise Invalid_argument on a header mismatch. *)
+
+val append : t -> record -> unit
+(** Append one record, flushed (and fsync'd when enabled) before
+    returning. *)
+
+val close : t -> unit

@@ -223,6 +223,16 @@ val analyze_all :
     [At_least] records for the remaining types rather than abandoning
     them. *)
 
+val census_levels :
+  ?obs:Obs.t -> Cache.t -> kernel:Kernel.mode -> cap:int -> Objtype.t -> int * int
+(** One census table's truncated [(discerning, recording)] levels — the
+    same [Decide.search] sweep on the same shared schedule sets that
+    {!census} runs per table, exposed so a distributed-census worker
+    process ([lib/dist]) decides its leased rank range exactly like the
+    in-process sweep decides a chunk.  Deliberately uncached per type:
+    census tables are pairwise distinct, so an outcome memo would only
+    grow. *)
+
 type census_run = {
   entries : Census.entry list;  (** histogram over the *decided* tables *)
   total : int;  (** tables in the space *)

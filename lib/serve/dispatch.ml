@@ -33,6 +33,42 @@ let store_hit store ~digest =
             Api.Response.error ~code:Api.Response.err_internal
               (Printf.sprintf "store record %s undecodable: %s" digest msg))
 
+(* Census and synth results are memoized with the same byte-replay
+   guarantee as analyses: the store keeps the canonical body bytes of
+   the pristine cold run, so a warm query's body is byte-identical to
+   the cold one.  Checkpoint/resume censuses are never memoized — their
+   result is a function of the checkpoint file, not of the query. *)
+
+let census_memoizable ~checkpoint ~resume ~durable ~(config : Api.Config.t) =
+  checkpoint = None && (not resume) && (not durable)
+  && config.Api.Config.deadline = None
+
+let census_store_hit store ~digest =
+  match Store.find store digest with
+  | None -> None
+  | Some payload ->
+      Some
+        (match
+           Result.bind (Wire.of_string payload) Api.Response.census_summary_of_json
+         with
+        | Ok c -> Api.Response.make (Api.Response.Census c)
+        | Error msg ->
+            Api.Response.error ~code:Api.Response.err_internal
+              (Printf.sprintf "store record %s undecodable: %s" digest msg))
+
+let synth_store_hit store ~digest =
+  match Store.find store digest with
+  | None -> None
+  | Some payload ->
+      Some
+        (match
+           Result.bind (Wire.of_string payload) Api.Response.witness_opt_of_json
+         with
+        | Ok witness -> Api.Response.make (Api.Response.Synth { witness })
+        | Error msg ->
+            Api.Response.error ~code:Api.Response.err_internal
+              (Printf.sprintf "store record %s undecodable: %s" digest msg))
+
 let fast_path ~obs ?store ~command (req : Api.Request.t) =
   match req with
   | Api.Request.Ping -> Some (Api.Response.make Api.Response.Pong)
@@ -45,6 +81,22 @@ let fast_path ~obs ?store ~command (req : Api.Request.t) =
           | exception Objtype.Ill_formed _ -> None (* let [run] report it *)
           | ty -> store_hit store ~digest:(Api.query_digest ty ~cap:config.Api.Config.cap)
           ))
+  | Api.Request.Census { space; sample; seed; checkpoint; resume; durable; config }
+    when census_memoizable ~checkpoint ~resume ~durable ~config -> (
+      match store with
+      | None -> None
+      | Some store ->
+          census_store_hit store
+            ~digest:(Api.census_digest space ~cap:config.Api.Config.cap ~sample ~seed))
+  | Api.Request.Synth { space; target; seed; iterations; restart_every; portfolio; config }
+    when config.Api.Config.deadline = None -> (
+      match store with
+      | None -> None
+      | Some store ->
+          synth_store_hit store
+            ~digest:
+              (Api.synth_digest space ~target ~seed ~iterations ~restart_every
+                 ~portfolio))
   | _ -> None
 
 (* The response's supervision ledger, read off the per-request
@@ -93,45 +145,100 @@ let run_analyze env ~spec ~(config : Api.Config.t) =
 
 let run_census env ~space ~sample ~seed ~checkpoint ~resume ~durable
     ~(config : Api.Config.t) =
-  match sample with
-  | Some count ->
-      (* Sampling census: the sequential estimator over random tables —
-         the sweep machinery (checkpoints, resume) is exhaustive-only. *)
-      let entries = Census.sample ~cap:config.Api.Config.cap ~seed ~count space in
-      Api.Response.make
-        (Api.Response.Census
-           { entries; total = count; completed = count; resumed = 0; complete = true })
+  let memoizable = census_memoizable ~checkpoint ~resume ~durable ~config in
+  let digest () =
+    Api.census_digest space ~cap:config.Api.Config.cap ~sample ~seed
+  in
+  (* Re-probe under the pool owner: the fast path may have lost a race
+     with the compute that published this digest. *)
+  match
+    if memoizable then
+      Option.bind env.store (fun s -> census_store_hit s ~digest:(digest ()))
+    else None
+  with
+  | Some resp -> resp
+  | None -> (
+      let publish (c : Api.Response.census_summary) =
+        if memoizable && c.Api.Response.complete then
+          Option.iter
+            (fun store ->
+              Store.put store ~key:(digest ())
+                (Wire.to_string (Api.Response.census_summary_to_json c)))
+            env.store
+      in
+      match sample with
+      | Some count ->
+          (* Sampling census: the sequential estimator over random tables —
+             the sweep machinery (checkpoints, resume) is exhaustive-only.
+             Deterministic in (sample, seed), so always pristine. *)
+          let entries = Census.sample ~cap:config.Api.Config.cap ~seed ~count space in
+          let c =
+            {
+              Api.Response.entries;
+              total = count;
+              completed = count;
+              resumed = 0;
+              complete = true;
+            }
+          in
+          publish c;
+          Api.Response.make (Api.Response.Census c)
+      | None ->
+          let supervisor =
+            Api.Config.supervisor config ~obs:env.supervision_obs
+              ~jobs:(Pool.jobs env.pool)
+          in
+          let run =
+            Engine.census ~cache:env.cache ~obs:env.obs ?supervisor ?checkpoint ~resume
+              ~durable ~config env.pool space
+          in
+          let retries, watchdog_trips, quarantined = ledger supervisor in
+          let c =
+            {
+              Api.Response.entries = run.Engine.entries;
+              total = run.Engine.total;
+              completed = run.Engine.completed;
+              resumed = run.Engine.resumed;
+              complete = run.Engine.complete;
+            }
+          in
+          (* Only publish pristine results: quarantine holes (or an
+             incomplete sweep) are this run's truth, not the query's. *)
+          if quarantined = [] then publish c;
+          Api.Response.make ~retries ~watchdog_trips ~quarantined
+            (Api.Response.Census c))
+
+let run_synth env ~space ~target ~seed ~iterations ~restart_every ~portfolio
+    ~(config : Api.Config.t) =
+  let memoizable = config.Api.Config.deadline = None in
+  let digest () =
+    Api.synth_digest space ~target ~seed ~iterations ~restart_every ~portfolio
+  in
+  match
+    if memoizable then
+      Option.bind env.store (fun s -> synth_store_hit s ~digest:(digest ()))
+    else None
+  with
+  | Some resp -> resp
   | None ->
       let supervisor =
         Api.Config.supervisor config ~obs:env.supervision_obs ~jobs:(Pool.jobs env.pool)
       in
-      let run =
-        Engine.census ~cache:env.cache ~obs:env.obs ?supervisor ?checkpoint ~resume
-          ~durable ~config env.pool space
+      let witness =
+        Engine.synth_portfolio ~seed ~max_iterations:iterations ?restart_every
+          ~obs:env.obs ?supervisor ~config ~portfolio env.pool ~target space
       in
       let retries, watchdog_trips, quarantined = ledger supervisor in
+      (* A no-witness outcome is as deterministic as a witness — both are
+         cached; quarantine holes mean the search was cut, so neither. *)
+      if memoizable && quarantined = [] then
+        Option.iter
+          (fun store ->
+            Store.put store ~key:(digest ())
+              (Wire.to_string (Api.Response.witness_opt_to_json witness)))
+          env.store;
       Api.Response.make ~retries ~watchdog_trips ~quarantined
-        (Api.Response.Census
-           {
-             entries = run.Engine.entries;
-             total = run.Engine.total;
-             completed = run.Engine.completed;
-             resumed = run.Engine.resumed;
-             complete = run.Engine.complete;
-           })
-
-let run_synth env ~space ~target ~seed ~iterations ~restart_every ~portfolio
-    ~(config : Api.Config.t) =
-  let supervisor =
-    Api.Config.supervisor config ~obs:env.supervision_obs ~jobs:(Pool.jobs env.pool)
-  in
-  let witness =
-    Engine.synth_portfolio ~seed ~max_iterations:iterations ?restart_every ~obs:env.obs
-      ?supervisor ~config ~portfolio env.pool ~target space
-  in
-  let retries, watchdog_trips, quarantined = ledger supervisor in
-  Api.Response.make ~retries ~watchdog_trips ~quarantined
-    (Api.Response.Synth { witness })
+        (Api.Response.Synth { witness })
 
 let run env (req : Api.Request.t) =
   let checked f =

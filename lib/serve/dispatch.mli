@@ -33,19 +33,26 @@ val env :
 
 val fast_path :
   obs:Obs.t -> ?store:Store.t -> command:string -> Api.Request.t -> Api.Response.t option
-(** Answer without the pool, from any thread: [Ping], [Metrics], and an
-    [Analyze] whose digest is already in the store (replayed from the
-    stored canonical bytes, [from_store = true]).  [None] means the
-    request needs {!run}. *)
+(** Answer without the pool, from any thread: [Ping], [Metrics], and any
+    memoized query whose digest is already in the store, replayed from
+    the stored canonical bytes — an [Analyze] ([from_store = true]), a
+    [Census] without checkpoint/resume/durable, or a [Synth]; both of
+    the latter only when the config carries no deadline (a deadline-cut
+    result is timing-dependent, so such queries bypass the store
+    entirely).  [None] means the request needs {!run}. *)
 
 val run : env -> Api.Request.t -> Api.Response.t
 (** Execute on the engine.  Must be called from the thread that owns
     [env.pool].  Validates the config ({!Api.Config.validate} — failures
     become [err_invalid] responses, engine exceptions [err_internal]
     ones, never a raise), builds the per-request supervisor, runs the
-    query, and — for an analyze that ran with no deadline and no
-    quarantined chunks — publishes the canonical result bytes to the
-    store. *)
+    query, and publishes the canonical result bytes of pristine outcomes
+    to the store: an analyze / a complete census / a synth (witness or
+    honest exhaustion), each only when run with no deadline and no
+    quarantined chunks, censuses additionally only without
+    checkpoint/resume ([Api.census_digest] / [Api.synth_digest] are the
+    keys).  A warm repeat of a memoized census or synth query replays
+    the stored bytes, so its body is byte-identical to the cold run's. *)
 
 val handle : env -> Api.Request.t -> Api.Response.t
 (** {!fast_path}, falling back to {!run} — the whole CLI code path. *)

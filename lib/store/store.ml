@@ -138,6 +138,87 @@ let put t ~key payload =
         count t.c (fun c -> c.puts)
       end)
 
+(* Offline log rewrite.  The crash-safety argument is rename atomicity:
+   every byte of the replacement log is written and fsync'd into a
+   sibling temp file first, so at any kill point the store path holds
+   either the original log (untouched, including if the temp write
+   dies half way) or the complete compacted one — never a mix.  The
+   rewrite preserves replay semantics exactly: last occurrence of a key
+   wins (what [replay] computes), records land in first-seen key order,
+   torn tails and superseded duplicates are dropped. *)
+let compact ?obs path =
+  let compactions = Option.map (fun o -> Obs.counter o "store.compactions") obs in
+  let dropped_c = Option.map (fun o -> Obs.counter o "store.compacted_bytes") obs in
+  if not (Sys.file_exists path) then (0, 0)
+  else begin
+    let contents = In_channel.with_open_bin path In_channel.input_all in
+    let table = Hashtbl.create 64 in
+    ignore (replay contents table);
+    (* First-seen key order, recomputed with the same scan discipline. *)
+    let order = ref [] in
+    let seen = Hashtbl.create 64 in
+    let pos = ref 0 in
+    let n = String.length contents in
+    (try
+       while !pos < n do
+         let nl =
+           match String.index_from_opt contents !pos '\n' with
+           | Some i -> i
+           | None -> raise Exit
+         in
+         let header = String.sub contents !pos (nl - !pos) in
+         let key, len =
+           match String.split_on_char ' ' header with
+           | [ m; key; len ] when m = magic -> (
+               match int_of_string_opt len with
+               | Some len when len >= 0 -> (key, len)
+               | _ -> raise Exit)
+           | _ -> raise Exit
+         in
+         if nl + 1 + len + 1 > n then raise Exit;
+         if contents.[nl + 1 + len] <> '\n' then raise Exit;
+         if not (Hashtbl.mem seen key) then begin
+           Hashtbl.add seen key ();
+           order := key :: !order
+         end;
+         pos := nl + 1 + len + 1
+       done
+     with Exit -> ());
+    let order = List.rev !order in
+    let tmp = path ^ ".compact.tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    let written =
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let oc = Unix.out_channel_of_descr (Unix.dup fd) in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              List.iter
+                (fun key ->
+                  let payload = Hashtbl.find table key in
+                  Printf.fprintf oc "%s %s %d\n" magic key (String.length payload);
+                  output_string oc payload;
+                  output_char oc '\n')
+                order;
+              flush oc);
+          Unix.fsync fd;
+          (Unix.fstat fd).Unix.st_size)
+    in
+    Unix.rename tmp path;
+    (* Best effort: persist the rename itself (the directory entry). *)
+    (match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+    | dirfd ->
+        (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+        Unix.close dirfd
+    | exception Unix.Unix_error _ -> ());
+    let dropped = String.length contents - written in
+    Option.iter Obs.Metrics.Counter.incr compactions;
+    Option.iter (fun c -> Obs.Metrics.Counter.add c dropped) dropped_c;
+    (List.length order, dropped)
+  end
+
 let close t =
   with_lock t (fun () ->
       match t.chan with

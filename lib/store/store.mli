@@ -49,6 +49,21 @@ val size : t -> int
 
 val path : t -> string
 
+val compact : ?obs:Obs.t -> string -> int * int
+(** [compact path] rewrites the log at [path] offline, dropping
+    superseded duplicate records and any torn tail, and returns
+    [(records kept, bytes dropped)].  Replay semantics are preserved
+    exactly: reopening the compacted log yields the same table as
+    reopening the original.  Crash-safe by construction — the new log is
+    fully written and fsync'd to [path ^ ".compact.tmp"], then renamed
+    over [path] (and the directory fsync'd, best effort), so a process
+    killed at {e any} point leaves either the untouched original or the
+    complete compacted log, never a mix; a leftover temp file from a
+    killed compaction is simply overwritten by the next one.  A missing
+    [path] is [(0, 0)].  Meant for a store no process has open: a live
+    appender would keep writing to the renamed-away inode.  With [obs],
+    counts [store.compactions] and [store.compacted_bytes]. *)
+
 val close : t -> unit
 (** Flush and close the log.  Further [put]s raise; [find] keeps
     answering from memory. *)

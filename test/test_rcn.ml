@@ -15,6 +15,7 @@ let () =
       ("api", Test_api.suite);
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
+      ("dist", Test_dist.suite);
       ("explore", Test_explore.suite);
       ("simultaneous", Test_simultaneous.suite);
       ("protocols", Test_protocols.suite);

@@ -290,6 +290,161 @@ let test_raw_frame_protocol () =
       | _ -> Alcotest.fail "junk should produce an error response")
   | _ -> Alcotest.fail "no framed error reply"
 
+(* Census and synth results are memoized like analyses: the cold run
+   publishes its canonical body bytes to the store, the warm repeat
+   replays them byte-identically, and a deadline-bearing query (whose
+   result is timing-dependent) never touches the store. *)
+let test_census_synth_memoized () =
+  with_tmpdir @@ fun dir ->
+  with_daemon ~dir @@ fun ~obs ~socket ->
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  let census_req ?deadline () =
+    Api.Request.Census
+      {
+        space;
+        sample = None;
+        seed = 0;
+        checkpoint = None;
+        resume = false;
+        durable = false;
+        config = Api.Config.v ~cap:3 ?deadline ();
+      }
+  in
+  let census_bytes = function
+    | { Api.Response.body = Api.Response.Census c; _ } ->
+        Wire.to_string (Api.Response.census_summary_to_json c)
+    | r -> Alcotest.failf "not a census response: %s" (Api.Response.to_string r)
+  in
+  let puts () = Obs.Metrics.Counter.value (Obs.counter obs "store.puts") in
+  let cold = census_bytes (call socket (census_req ())) in
+  check_int "cold census published one record" 1 (puts ());
+  let warm = census_bytes (call socket (census_req ())) in
+  check_string "warm census replays the cold bytes" cold warm;
+  check_int "warm census published nothing" 1 (puts ());
+  (* A sampled run is its own query — and is memoized too, being
+     deterministic in (sample, seed). *)
+  let sampled seed =
+    census_bytes
+      (call socket
+         (Api.Request.Census
+            {
+              space;
+              sample = Some 16;
+              seed;
+              checkpoint = None;
+              resume = false;
+              durable = false;
+              config = Api.Config.v ~cap:3 ();
+            }))
+  in
+  let s_cold = sampled 7 in
+  check_int "sampled census published its own record" 2 (puts ());
+  check_string "sampled census replays byte-identically" s_cold (sampled 7);
+  check_int "sampled replay published nothing" 2 (puts ());
+  (* A deadline-bearing census bypasses the store entirely: no new
+     record even though it completed. *)
+  let deadline = census_bytes (call socket (census_req ~deadline:60.0 ())) in
+  check_int "deadline census is never published" 2 (puts ());
+  check_bool "deadline census still computes" true (String.length deadline > 0);
+  (* Synth: cold computes and publishes; warm replays the witness
+     byte-identically (including its schedule trace). *)
+  let synth_req () =
+    Api.Request.Synth
+      {
+        space = { Synth.num_values = 5; num_rws = 4; num_responses = 5 };
+        target = 4;
+        seed = 1;
+        iterations = 2000;
+        restart_every = None;
+        portfolio = 2;
+        config = Api.Config.default;
+      }
+  in
+  let synth_bytes = function
+    | { Api.Response.body = Api.Response.Synth { witness }; _ } ->
+        Wire.to_string (Api.Response.witness_opt_to_json witness)
+    | r -> Alcotest.failf "not a synth response: %s" (Api.Response.to_string r)
+  in
+  let synth_cold = synth_bytes (call socket (synth_req ())) in
+  check_int "cold synth published one record" 3 (puts ());
+  check_string "warm synth replays the cold bytes" synth_cold
+    (synth_bytes (call socket (synth_req ())));
+  check_int "warm synth published nothing" 3 (puts ())
+
+(* Satellite: the daemon must survive arbitrary bytes on the wire — a
+   fuzzing client can never crash it, hang it, or wedge the listener.
+   Every adversarial connection is drained to EOF under a timeout, and
+   the daemon must still answer a well-formed ping afterwards. *)
+let test_frame_robustness () =
+  with_tmpdir @@ fun dir ->
+  with_daemon ~dir @@ fun ~obs ~socket ->
+  (* Write [bytes], half-close, and drain whatever the daemon replies.
+     Returns true iff the daemon closed the connection (no hang). *)
+  let poke bytes =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+    @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+    (try ignore (Unix.write_substring fd bytes 0 (String.length bytes))
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+     with Unix.Unix_error _ -> ());
+    let buf = Bytes.create 4096 in
+    let rec drain () =
+      match Unix.read fd buf 0 4096 with
+      | 0 -> true
+      | _ -> drain ()
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          false (* timeout: the daemon is hanging on to a dead client *)
+    in
+    drain ()
+  in
+  let alive label =
+    match Client.one_shot ~socket Api.Request.Ping with
+    | Ok { Api.Response.body = Api.Response.Pong; _ } -> ()
+    | _ -> Alcotest.failf "daemon unresponsive after %s" label
+  in
+  (* The known adversarial shapes, each followed by a liveness probe. *)
+  List.iter
+    (fun (label, bytes) ->
+      check_bool (label ^ " is drained to EOF") true (poke bytes);
+      alive label)
+    [
+      ("an immediate EOF", "");
+      ("header garbage", "this is not a frame at all");
+      ("a binary blob", "\x00\xff\x7f\x01\n\x00garbage");
+      ("a truncated payload", "100\nonly a few bytes");
+      ("a negative length", "-5\nxx");
+      ("an oversized length", "999999999\n");
+      ("a non-numeric length", "twelve\npayload");
+      ("an overlong header", String.make 64 '1' ^ "\n");
+      ("junk JSON in a valid frame", "13\nthis-is-junk!");
+      ( "a valid ping then garbage",
+        (let p = Api.Request.to_string Api.Request.Ping in
+         Printf.sprintf "%d\n%s@@broken@@" (String.length p) p) );
+    ];
+  check_bool "bad frames were counted" true
+    (Obs.Metrics.Counter.value (Obs.counter obs "serve.bad_frames") > 0);
+  (* And the property at large: random byte strings, with newlines and
+     digits frequent enough to explore the framing state machine. *)
+  let gen =
+    QCheck.Gen.(
+      string_size ~gen:(frequency [ (8, char); (2, oneofl [ '\n'; '0'; '1'; '9' ]) ])
+        (0 -- 128))
+  in
+  let prop s =
+    if not (poke s) then QCheck.Test.fail_reportf "daemon hung on %S" s;
+    (match Client.one_shot ~socket Api.Request.Ping with
+    | Ok { Api.Response.body = Api.Response.Pong; _ } -> ()
+    | _ -> QCheck.Test.fail_reportf "daemon died after %S" s);
+    true
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:60 ~name:"random bytes never wedge the daemon"
+       (QCheck.make gen) prop)
+
 let suite =
   [
     Alcotest.test_case "single client: store hit is byte-identical" `Quick
@@ -301,4 +456,8 @@ let suite =
     Alcotest.test_case "stopped daemon refuses work" `Quick
       test_stopped_daemon_refuses_engine_work;
     Alcotest.test_case "raw frame protocol" `Quick test_raw_frame_protocol;
+    Alcotest.test_case "census and synth replay from the store" `Slow
+      test_census_synth_memoized;
+    Alcotest.test_case "arbitrary bytes never wedge the daemon" `Slow
+      test_frame_robustness;
   ]

@@ -163,6 +163,137 @@ let test_concurrent_puts_first_wins () =
     (Store.find s2 "contended" = Some "the original");
   Store.close s2
 
+(* Raw log bytes in the store's record shape, for building logs no
+   single live store would write (duplicates, torn tails). *)
+let raw_record key payload =
+  Printf.sprintf "rcnstore1 %s %d\n%s\n" key (String.length payload) payload
+
+let write_raw path chunks =
+  Out_channel.with_open_bin path (fun oc ->
+      List.iter (Out_channel.output_string oc) chunks)
+
+let test_compact_drops_duplicates_and_torn_tail () =
+  with_store_file @@ fun path ->
+  (* Two appenders' worth of history: a duplicate key (replay keeps the
+     last occurrence) and a torn tail (a killed writer). *)
+  write_raw path
+    [
+      raw_record "k1" "first";
+      raw_record "k2" "two";
+      raw_record "k1" "override";
+      "rcnstore1 torn 999\nhalf-writ";
+    ];
+  let original_size = (Unix.stat path).Unix.st_size in
+  let obs = Obs.create () in
+  let kept, dropped = Store.compact ~obs path in
+  check_int "both live keys kept" 2 kept;
+  check_int "dropped = original minus compacted bytes"
+    (original_size - (Unix.stat path).Unix.st_size)
+    dropped;
+  check_bool "something was dropped" true (dropped > 0);
+  check_int "compactions counted" 1
+    (Obs.Metrics.Counter.value (Obs.counter obs "store.compactions"));
+  check_int "dropped bytes counted" dropped
+    (Obs.Metrics.Counter.value (Obs.counter obs "store.compacted_bytes"));
+  (* Replay semantics preserved exactly: same map, now with a clean log. *)
+  let obs2 = Obs.create () in
+  let s = Store.open_store ~obs:obs2 path in
+  check_int "compacted log replays to the same size" 2 (Store.size s);
+  check_bool "last duplicate still wins" true (Store.find s "k1" = Some "override");
+  check_bool "untouched record intact" true (Store.find s "k2" = Some "two");
+  check_int "compacted log has no torn tail" 0
+    (Obs.Metrics.Counter.value (Obs.counter obs2 "store.torn_bytes"));
+  Store.close s;
+  (* Idempotence: a second compaction is a byte-level no-op. *)
+  let before = In_channel.with_open_bin path In_channel.input_all in
+  let kept2, dropped2 = Store.compact path in
+  check_int "second compaction keeps the same records" 2 kept2;
+  check_int "second compaction drops nothing" 0 dropped2;
+  check_bool "second compaction leaves identical bytes" true
+    (In_channel.with_open_bin path In_channel.input_all = before)
+
+let test_compact_edge_cases () =
+  (* A missing store is an empty compaction, not an error. *)
+  with_store_file @@ fun path ->
+  Sys.remove path;
+  check_bool "missing store compacts to (0, 0)" true (Store.compact path = (0, 0));
+  check_bool "compacting a missing store does not create it" false
+    (Sys.file_exists path);
+  (* A leftover temp file from a killed compaction is overwritten. *)
+  write_raw path [ raw_record "k" "v"; raw_record "k" "v2" ];
+  let tmp = path ^ ".compact.tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc "stale junk from a killed compaction");
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let kept, dropped = Store.compact path in
+      check_int "compaction shrugs off the stale temp file" 1 kept;
+      check_bool "the duplicate was dropped" true (dropped > 0);
+      check_bool "the temp file was consumed by the rename" false
+        (Sys.file_exists tmp);
+      let s = Store.open_store path in
+      check_bool "map preserved" true (Store.find s "k" = Some "v2");
+      Store.close s)
+
+(* The crash-safety claim, against the real binary: SIGKILL [rcn store
+   compact] at an arbitrary point; whatever it got to, the log must
+   reopen to exactly the original map, and the next compaction must
+   succeed cleanly.  (The kill may land before, during or after the
+   rename — the invariant holds in every case, which is the point.) *)
+let test_compact_survives_kill () =
+  let rcn = Filename.concat (Filename.dirname Sys.executable_name) "../bin/rcn.exe" in
+  with_store_file @@ fun path ->
+  let n_keys = 500 in
+  let chunks =
+    List.concat_map
+      (fun i ->
+        let k = Printf.sprintf "key%03d" (i mod n_keys) in
+        [ raw_record k (Printf.sprintf "payload %d for %s" i k) ])
+      (List.init (n_keys * 4) Fun.id)
+  in
+  write_raw path (chunks @ [ "rcnstore1 torn 12345\nnope" ]);
+  let expected k =
+    (* last occurrence wins: the highest i mapping to k *)
+    let i = (3 * n_keys) + int_of_string (String.sub k 3 3) in
+    Printf.sprintf "payload %d for %s" i k
+  in
+  let check_map label =
+    let s = Store.open_store path in
+    check_int (label ^ ": all keys present") n_keys (Store.size s);
+    List.iter
+      (fun i ->
+        let k = Printf.sprintf "key%03d" i in
+        check_bool (label ^ ": " ^ k) true (Store.find s k = Some (expected k)))
+      [ 0; 1; n_keys / 2; n_keys - 1 ];
+    Store.close s
+  in
+  check_map "before";
+  let kills = ref 0 in
+  for round = 0 to 4 do
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process rcn
+        [| rcn; "store"; "compact"; path |]
+        Unix.stdin devnull Unix.stderr
+    in
+    Unix.close devnull;
+    (* Stagger the kill across rounds to land at different phases. *)
+    Unix.sleepf (0.004 *. float_of_int round);
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (match Unix.waitpid [] pid with
+    | _, Unix.WSIGNALED s when s = Sys.sigkill -> incr kills
+    | _ -> ());
+    check_map (Printf.sprintf "after kill round %d" round)
+  done;
+  check_bool "at least one round actually killed the child" true (!kills > 0);
+  (* The survivor state always accepts a clean compaction. *)
+  let kept, _ = Store.compact path in
+  check_int "final compaction keeps every key" n_keys kept;
+  check_map "after final compaction";
+  let tmp = path ^ ".compact.tmp" in
+  if Sys.file_exists tmp then Sys.remove tmp
+
 let suite =
   [
     Alcotest.test_case "put / find / reload round-trip" `Quick test_put_find_roundtrip;
@@ -172,4 +303,8 @@ let suite =
     Alcotest.test_case "fsync path" `Quick test_fsync_path;
     Alcotest.test_case "concurrent puts: first write wins" `Quick
       test_concurrent_puts_first_wins;
+    Alcotest.test_case "compact drops duplicates and torn tails" `Quick
+      test_compact_drops_duplicates_and_torn_tail;
+    Alcotest.test_case "compact edge cases" `Quick test_compact_edge_cases;
+    Alcotest.test_case "compact survives kill -9" `Slow test_compact_survives_kill;
   ]

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# dist-smoke: the distributed census failure model end to end, through
+# the shipped binary (built binaries invoked directly — see the Makefile
+# stats-smoke note on the _build lock).
+#
+# A 3-worker census with deterministic fault injection: slot 1's first
+# worker is SIGKILLed after 40 tables (the respawn path) and slot 0 is
+# throttled into a straggler (the work-stealing path).  The run must
+#
+#   1. actually exercise the machinery — gated by nonzero
+#      dist.leases_stolen and dist.workers_respawned in the stats block;
+#   2. merge a histogram bit-identical to the single-process census,
+#      crash schedule and steal order notwithstanding;
+#   3. leave a replayable ledger: the final audit of every grant,
+#      death, steal and result (archived by CI).
+#
+# Then the soak: `rcn soak --dist` runs the {3,2,2} cap-4 census with
+# seeded worker SIGKILLs plus a coordinator kill(-9) and --resume from
+# the ledger, asserting the recovered histogram byte-identical to an
+# in-process reference.
+#
+# Artifacts: dist-smoke.out, dist-smoke-single.out, dist-smoke.ledger.
+set -eu
+
+RCN=./_build/default/bin/rcn.exe
+CHECK=./_build/default/tools/stats_check.exe
+
+SPACE="--values 2 --rws 2 --responses 2 --cap 3"
+
+fail() { echo "dist-smoke: FAIL: $*" >&2; exit 1; }
+
+rm -f dist-smoke.out dist-smoke-single.out dist-smoke.ledger
+
+# Reference histogram: one process, no workers.
+"$RCN" census $SPACE --jobs 1 > dist-smoke-single.out
+
+# Distributed: 3 workers, one big lease per half so the idle third
+# worker (and the respawned second) must steal the straggler's tail.
+"$RCN" census $SPACE --jobs 1 \
+  --workers 3 --ledger dist-smoke.ledger --retries 6 \
+  --dist-chunk 128 --dist-stride 16 \
+  --dist-crash 1:40 --dist-throttle 0:20000 \
+  --stats json > dist-smoke.out
+
+"$CHECK" --require-nonzero dist.leases_stolen \
+  --require-nonzero dist.workers_respawned \
+  --require-nonzero dist.workers_spawned \
+  --require dist.ranges_quarantined \
+  < dist-smoke.out \
+  || fail "stats block did not witness the steal + respawn machinery"
+
+# Bit-identity: the distributed output is the single-process output
+# plus the trailing stats line.
+diff dist-smoke-single.out <(grep -v '"rcn_stats"' dist-smoke.out) >/dev/null \
+  || fail "distributed histogram diverged from the single-process census"
+
+# Worker kill(-9) storm + coordinator kill(-9) + resume, vs an
+# in-process reference (the acceptance soak: {3,2,2} at cap 4, one
+# seeded kill per worker slot per incarnation plus a coordinator kill).
+"$RCN" soak --dist --values 3 --rws 2 --responses 2 --cap 4 --jobs 1 \
+  --workers 3 --kills 3 --coordinator-kills 1 --seed 1 \
+  || fail "dist soak did not recover bit-identically"
+
+echo "dist-smoke: OK"
