@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-e18 bench-e19 bench-e20 inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke clean
+.PHONY: all build test check bench bench-e18 bench-e19 bench-e20 bench-e21 inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke clean
 
 all: build
 
@@ -8,6 +8,12 @@ build:
 test:
 	dune runtest
 
+# Smoke artifacts are scratch output: they land under $(SMOKE_DIR),
+# are removed when the smoke passes, and are kept (and archived by CI,
+# if: failure()) when it does not.  A green `make check` leaves nothing
+# in the repo root.
+SMOKE_DIR := _build/smoke
+
 # What CI runs: full build, the whole test suite (including the engine
 # parity properties), a parallel-engine smoke through the CLI, the
 # fault-injection smoke, the stats-export smoke, and the kill(-9) soak.
@@ -15,27 +21,31 @@ check: build test inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke
 	dune exec bin/rcn.exe -- analyze test-and-set --cap 3 --jobs 2
 
 # Stats-export smoke: run an instrumented analyze on a gallery type, keep
-# the full mixed output for CI to archive, and validate the JSON stats
-# block's shape — in particular the cache accounting invariant
+# the full mixed output for CI to archive on failure, and validate the
+# JSON stats block's shape — in particular the cache accounting invariant
 # hits + misses + expired = probes — with the dependency-free checker.
 # The built binaries are invoked directly: two `dune exec` in one pipeline
 # contend for the _build lock.
 stats-smoke: build
+	mkdir -p $(SMOKE_DIR)
 	./_build/default/bin/rcn.exe analyze x4-witness --cap 4 --jobs 2 --stats json \
-	  | tee stats-smoke.out \
+	  | tee $(SMOKE_DIR)/stats-smoke.out \
 	  | ./_build/default/tools/stats_check.exe --require engine.candidates --require pool.tasks \
 	      --require-nonzero decide.trie_nodes --require-nonzero decide.kernel_evals \
 	      --require decide.partitions_pruned
+	rm -f $(SMOKE_DIR)/stats-smoke.out
 
 # Fixed-seed fault-injection campaign over the known-broken protocols
 # (register race, test-and-set under crashes, and T_{3,1}'s recoverable
 # protocol overloaded by one process).  Seeds 1..40 are enough to reach
 # the overloaded protocol's crash window; --require-violation makes the
-# run fail if the harness ever stops finding them.  The report lands in
-# inject-report.txt for CI to archive.
+# run fail if the harness ever stops finding them.  The report is kept
+# for CI to archive only when the smoke fails.
 inject-smoke: build
+	mkdir -p $(SMOKE_DIR)
 	dune exec bin/rcn.exe -- inject -n 3 --nprime 1 --seeds 40 \
-	  --report inject-report.txt --require-violation
+	  --report $(SMOKE_DIR)/inject-report.txt --require-violation
+	rm -f $(SMOKE_DIR)/inject-report.txt
 
 # Daemon smoke: start `rcn serve` on a Unix socket, talk to it with the
 # dependency-free protocol client, and assert the three serve guarantees
@@ -43,19 +53,21 @@ inject-smoke: build
 # from the persistent store (gated on nonzero store.hits in the metrics
 # reply), SIGKILL mid-workload recovered by a restart on the same store,
 # and SIGTERM shutting down cleanly (exit 0, socket unlinked).  The
-# daemon's --stats json block and every response land in serve-smoke*
-# files for CI to archive.
+# daemon's --stats json block and every response land in
+# $(SMOKE_DIR)/serve, removed on success.
 serve-smoke: build
-	bash tools/serve_smoke.sh
+	SMOKE_DIR=$(SMOKE_DIR) bash tools/serve_smoke.sh
 
 # Distributed-census smoke: a 3-worker census with a SIGKILLed worker
 # and a throttled straggler (respawn and work stealing gated by the
 # dist.* counters, histogram gated bit-identical to the single-process
-# run), then the full `rcn soak --dist` — seeded worker kill(-9)s plus
-# a coordinator kill+resume over the {3,2,2} cap-4 census.  Artifacts
-# (dist-smoke*.out, dist-smoke.ledger) are archived by CI.
+# run), the symmetry-reduced census (single and over workers, gated on
+# nonzero sym.classes and the bit-identical histogram), then the full
+# `rcn soak --dist` — seeded worker kill(-9)s plus a coordinator
+# kill+resume over the {3,2,2} cap-4 census.  Artifacts land in
+# $(SMOKE_DIR)/dist, removed on success.
 dist-smoke: build
-	bash tools/dist_smoke.sh
+	SMOKE_DIR=$(SMOKE_DIR) bash tools/dist_smoke.sh
 
 bench:
 	dune exec bench/main.exe
@@ -81,30 +93,37 @@ bench-e19: build
 bench-e20: build
 	./_build/default/bench/e20.exe
 
+# E21 symmetry reduction (unreduced vs canonical-labeling census on the
+# {3,2,2} cap-4 workload); writes BENCH_e21.json for CI to archive and
+# exits nonzero if the reduced histogram is not bit-identical, the
+# canonizer fails to shrink the space, or the speedup drops below the
+# 3x floor (enforced unconditionally — both runs share one pool size).
+bench-e21: build
+	./_build/default/bench/e21.exe
+
 # Self-healing smoke, two halves (binaries invoked directly — see the
 # stats-smoke note on the _build lock):
 #  1. retry injection: a census where half the chunks fail their first
 #     attempt must still complete, and the stats checker gates on the
-#     retry counter actually moving (the quarantine ledger is archived);
+#     retry counter actually moving (the quarantine ledger is kept for
+#     CI only on failure);
 #  2. the kill(-9) soak: `rcn soak` SIGKILLs a real checkpointing census
 #     child at 5 seeded progress points, resumes it to completion, and
 #     asserts the recovered histogram is bit-identical to an
 #     uninterrupted reference.
 soak-smoke: build
+	mkdir -p $(SMOKE_DIR)
 	./_build/default/bin/rcn.exe census --values 2 --rws 2 --responses 2 --cap 3 \
 	  --jobs 2 --retries 3 --chaos-rate 0.5 --chaos-seed 7 \
-	  --quarantine-report retry-quarantine.json --stats json \
-	  | tee soak-smoke.out \
+	  --quarantine-report $(SMOKE_DIR)/retry-quarantine.json --stats json \
+	  | tee $(SMOKE_DIR)/soak-smoke.out \
 	  | ./_build/default/tools/stats_check.exe --require-nonzero supervise.retries \
 	      --require supervise.quarantined --require census.tables
 	./_build/default/bin/rcn.exe soak --values 3 --rws 2 --responses 2 --cap 3 \
-	  --kills 5 --seed 1 --jobs 2 --checkpoint soak-census.ckpt
+	  --kills 5 --seed 1 --jobs 2 --checkpoint $(SMOKE_DIR)/soak-census.ckpt
+	rm -f $(SMOKE_DIR)/retry-quarantine.json $(SMOKE_DIR)/soak-smoke.out \
+	  $(SMOKE_DIR)/soak-census.ckpt
 
 clean:
 	dune clean
-	rm -f inject-report.txt stats-smoke.out BENCH_e18.json BENCH_e19.json \
-	  BENCH_e20.json retry-quarantine.json soak-smoke.out soak-census.ckpt \
-	  serve-smoke.out serve-smoke-daemon1.out serve-smoke-cold.json \
-	  serve-smoke-warm.json serve-smoke-recovered.json \
-	  serve-smoke-metrics.json serve-smoke.sock serve-smoke.store \
-	  dist-smoke.out dist-smoke-single.out dist-smoke.ledger
+	rm -f BENCH_e18.json BENCH_e19.json BENCH_e20.json BENCH_e21.json

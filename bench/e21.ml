@@ -1,0 +1,123 @@
+(* E21: symmetry-reduced census (make bench-e21).
+
+   Two runs of the same census — {3,2,2} at cap 4, 46656 tables, trie
+   kernel, the E18/E20 workload:
+
+     unreduced  Engine.census with sym off — every table decided
+                (the E18 kernel baseline);
+     reduced    Engine.census with sym on — one representative per
+                canonical-labeling class, verdicts weighted by orbit
+                size.
+
+   Writes BENCH_e21.json and exits nonzero if the reduced histogram is
+   not bit-identical to the unreduced one (exactness is the contract,
+   never waived), if the canonizer fails to shrink the space (classes
+   must be strictly below the table count), or if the reduced run is
+   not at least [speedup_floor] times faster.  Unlike E20's distributed
+   floor, this one is enforced unconditionally: both runs share the
+   same pool size, so the ratio measures the reduction itself, not the
+   host's core count. *)
+
+let speedup_floor = 3.0
+
+let space = { Synth.num_values = 3; num_rws = 2; num_responses = 2 }
+let cap = 4
+let jobs = 4
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let entries_json entries =
+  Wire.List
+    (List.map
+       (fun (e : Census.entry) ->
+         Wire.List
+           [ Wire.Int e.Census.discerning; Wire.Int e.Census.recording; Wire.Int e.Census.count ])
+       entries)
+
+let run ~sym =
+  let config = Api.Config.v ~cap ~jobs ~kernel:Kernel.Trie ~sym () in
+  let obs = Obs.create () in
+  let r, s =
+    time (fun () ->
+        let pool = Pool.create ~jobs () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () -> Engine.census ~obs ~config pool space))
+  in
+  (r, s, obs)
+
+let counter_value obs name =
+  match List.assoc_opt name (Obs.Metrics.snapshot (Obs.metrics obs)) with
+  | Some (Obs.Metrics.Count n) -> n
+  | _ -> 0
+
+let () =
+  let total = Census.space_size space in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "e21: census {%d,%d,%d} cap %d — %d tables, %d core(s)\n%!"
+    space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap total
+    cores;
+
+  let unreduced, unreduced_s, _ = run ~sym:false in
+  Printf.printf "e21: unreduced (jobs=%d)  %6.2f s\n%!" jobs unreduced_s;
+
+  let reduced, reduced_s, obs = run ~sym:true in
+  let classes = counter_value obs "sym.classes" in
+  let orbit_max = counter_value obs "sym.orbit_max" in
+  Printf.printf "e21: reduced   (jobs=%d)  %6.2f s — %d classes, orbit_max %d\n%!"
+    jobs reduced_s classes orbit_max;
+
+  let identical =
+    unreduced.Engine.complete && reduced.Engine.complete
+    && reduced.Engine.entries = unreduced.Engine.entries
+  in
+  let shrunk = classes > 0 && classes < total in
+  let speedup = unreduced_s /. reduced_s in
+  let json =
+    Wire.Obj
+      [
+        ("bench", Wire.String "e21");
+        ( "space",
+          Wire.List
+            [
+              Wire.Int space.Synth.num_values;
+              Wire.Int space.Synth.num_rws;
+              Wire.Int space.Synth.num_responses;
+            ] );
+        ("cap", Wire.Int cap);
+        ("total", Wire.Int total);
+        ("classes", Wire.Int classes);
+        ("orbit_max", Wire.Int orbit_max);
+        ("cores", Wire.Int cores);
+        ("jobs", Wire.Int jobs);
+        ("unreduced_s", Wire.Float unreduced_s);
+        ("reduced_s", Wire.Float reduced_s);
+        ("speedup", Wire.Float speedup);
+        ("speedup_floor", Wire.Float speedup_floor);
+        ("identical", Wire.Bool identical);
+        ("entries", entries_json unreduced.Engine.entries);
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_e21.json" (fun oc ->
+      Out_channel.output_string oc (Wire.to_string json);
+      Out_channel.output_char oc '\n');
+  Printf.printf
+    "e21: %d tables → %d classes, speedup %.2fx (floor %.1fx), identical=%b → BENCH_e21.json\n%!"
+    total classes speedup speedup_floor identical;
+  if not identical then begin
+    Printf.eprintf "e21: the symmetry-reduced histogram diverged from the unreduced census\n";
+    exit 1
+  end;
+  if not shrunk then begin
+    Printf.eprintf "e21: canonizer decided %d classes of %d tables — no reduction\n"
+      classes total;
+    exit 1
+  end;
+  if speedup < speedup_floor then begin
+    Printf.eprintf "e21: reduced speedup %.2fx below the %.1fx floor\n" speedup
+      speedup_floor;
+    exit 1
+  end

@@ -87,7 +87,7 @@ type supervise_opts = {
 
 (* Flags to the one serializable config record.  [--quarantine-report]
    stays CLI-only (where to write a file is not part of the query). *)
-let build_config ~cap ~jobs ~kernel ~deadline sup =
+let build_config ~cap ~jobs ~kernel ~deadline ?(sym = false) sup =
   (match deadline with
   | Some s when s <= 0.0 ->
       prerr_endline "--deadline must be positive";
@@ -96,7 +96,7 @@ let build_config ~cap ~jobs ~kernel ~deadline sup =
   let config =
     Api.Config.v ~jobs ~cap ?deadline ~kernel ?retries:sup.retries
       ?heartbeat:sup.heartbeat ?chaos_rate:sup.chaos_rate ~chaos_seed:sup.chaos_seed
-      ~chaos_attempts:sup.chaos_attempts ()
+      ~chaos_attempts:sup.chaos_attempts ~sym ()
   in
   match Api.Config.validate config with
   | Ok () -> config
@@ -150,9 +150,9 @@ let finish ?quarantine_report (resp : Api.Response.t) on_body =
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
-let analyze ty cap certs jobs kernel deadline sup_opts connect trace stats =
+let analyze ty cap certs jobs kernel deadline sym sup_opts connect trace stats =
   with_obs ~command:"analyze" trace stats @@ fun obs ->
-  let config = build_config ~cap ~jobs ~kernel ~deadline sup_opts in
+  let config = build_config ~cap ~jobs ~kernel ~deadline ~sym sup_opts in
   let req =
     Api.Request.Analyze { spec = Objtype.to_spec_string ty; config }
   in
@@ -447,9 +447,9 @@ let census_dist ~obs ~space ~config ~workers ~ledger ~resume ~lease_ttl ~chunk
             | None -> "")
     | _ -> prerr_endline "rcn: unexpected response kind")
 
-let census values rws responses cap sample_count seed jobs kernel deadline checkpoint
-    resume durable workers ledger lease_ttl dist_chunk dist_stride dist_crash
-    dist_throttle sup_opts connect trace stats =
+let census values rws responses cap sample_count seed jobs kernel deadline sym
+    checkpoint resume durable workers ledger lease_ttl dist_chunk dist_stride
+    dist_crash dist_throttle sup_opts connect trace stats =
   with_obs ~command:"census" trace stats @@ fun obs ->
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
   if workers < 0 then begin
@@ -471,7 +471,7 @@ let census values rws responses cap sample_count seed jobs kernel deadline check
         (checkpoint <> None, "--checkpoint (use --ledger)");
         (durable, "--durable (the ledger is always fsync'd)");
       ];
-    let config = build_config ~cap ~jobs ~kernel ~deadline sup_opts in
+    let config = build_config ~cap ~jobs ~kernel ~deadline ~sym sup_opts in
     census_dist ~obs ~space ~config ~workers ~ledger ~resume ~lease_ttl
       ~chunk:dist_chunk ~stride:dist_stride
       ~crash:(parse_slot_spec ~flag:"--dist-crash" dist_crash)
@@ -487,7 +487,7 @@ let census values rws responses cap sample_count seed jobs kernel deadline check
       prerr_endline "--durable needs --checkpoint FILE to make durable";
       exit 2
     end;
-    let config = build_config ~cap ~jobs ~kernel ~deadline sup_opts in
+    let config = build_config ~cap ~jobs ~kernel ~deadline ~sym sup_opts in
     let req =
       Api.Request.Census
         { space; sample = sample_count; seed; checkpoint; resume; durable; config }
@@ -699,7 +699,7 @@ let soak_dist ~obs ~space ~values ~rws ~responses ~cap ~kills ~coordinator_kills
         Printf.printf "final run: coordinator failed\n%!";
         1
     | `Completed ->
-        let expected = Dist_ledger.header ~space ~cap ~total in
+        let expected = Dist_ledger.header ~space ~cap ~total () in
         let plan = Dist.plan_of_ledger ~expected ~total path in
         let identical = plan.Dist.plan_entries = reference.Engine.entries in
         let covered = plan.Dist.plan_covered = total && plan.Dist.plan_gaps = [] in
@@ -1057,6 +1057,20 @@ let deadline_t =
            $(b,at-least) lower bounds and a census reports exactly the \
            tables it decided.")
 
+let sym_t =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) false
+    & info [ "sym" ] ~docv:"MODE"
+        ~doc:
+          "Symmetry reduction: $(b,on) canonizes transition tables under \
+           the value/operation/response relabeling group and decides one \
+           representative per isomorphism class, weighting each verdict by \
+           its orbit size.  The census histogram is bit-identical to \
+           $(b,off) (the default) while deciding far fewer tables; an \
+           analyze query served from the store may hit a cached isomorphic \
+           type.")
+
 let connect_t =
   Arg.(
     value & opt (some string) None
@@ -1160,8 +1174,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Determine (recoverable) consensus numbers of a gallery type")
     Term.(
-      const analyze $ ty_t $ cap_t $ certs $ jobs_t $ kernel_t $ deadline_t $ supervise_t
-      $ connect_t $ trace_t $ stats_t)
+      const analyze $ ty_t $ cap_t $ certs $ jobs_t $ kernel_t $ deadline_t $ sym_t
+      $ supervise_t $ connect_t $ trace_t $ stats_t)
 
 let gallery_cmd =
   Cmd.v
@@ -1321,8 +1335,8 @@ let census_cmd =
        ~doc:"Histogram (discerning, recording) levels over a whole space of small types")
     Term.(
       const census $ values $ rws $ responses $ cap_t $ sample_count $ seed $ jobs_t
-      $ kernel_t $ deadline_t $ checkpoint $ resume $ durable $ workers $ ledger
-      $ lease_ttl $ dist_chunk $ dist_stride $ dist_crash $ dist_throttle
+      $ kernel_t $ deadline_t $ sym_t $ checkpoint $ resume $ durable $ workers
+      $ ledger $ lease_ttl $ dist_chunk $ dist_stride $ dist_crash $ dist_throttle
       $ supervise_t $ connect_t $ trace_t $ stats_t)
 
 let worker_cmd =

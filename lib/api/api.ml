@@ -19,6 +19,7 @@ module Config = struct
     chaos_rate : float option;
     chaos_seed : int;
     chaos_attempts : int;
+    sym : bool;
   }
 
   let default =
@@ -32,12 +33,13 @@ module Config = struct
       chaos_rate = None;
       chaos_seed = 0;
       chaos_attempts = 1;
+      sym = false;
     }
 
   let v ?(jobs = 1) ?(cap = 5) ?deadline ?(kernel = Kernel.Trie) ?retries ?heartbeat
-      ?chaos_rate ?(chaos_seed = 0) ?(chaos_attempts = 1) () =
+      ?chaos_rate ?(chaos_seed = 0) ?(chaos_attempts = 1) ?(sym = false) () =
     { jobs; cap; deadline; kernel; retries; heartbeat; chaos_rate; chaos_seed;
-      chaos_attempts }
+      chaos_attempts; sym }
 
   let validate t =
     if t.jobs < 0 then Error "jobs must be nonnegative"
@@ -88,6 +90,7 @@ module Config = struct
         ("chaos_rate", opt_json (fun p -> Wire.Float p) t.chaos_rate);
         ("chaos_seed", Wire.Int t.chaos_seed);
         ("chaos_attempts", Wire.Int t.chaos_attempts);
+        ("sym", Wire.Bool t.sym);
       ]
 
   let of_json j =
@@ -105,9 +108,14 @@ module Config = struct
     let* chaos_rate = Wire.opt_field j "chaos_rate" Wire.to_float in
     let* chaos_seed = Result.bind (Wire.field j "chaos_seed") Wire.to_int in
     let* chaos_attempts = Result.bind (Wire.field j "chaos_attempts") Wire.to_int in
+    (* [sym] postdates the v1 config wire format: absent means off, so
+       configs encoded by older builds still decode. *)
+    let* sym =
+      match Wire.field j "sym" with Error _ -> Ok false | Ok b -> Wire.to_bool b
+    in
     Ok
       { jobs; cap; deadline; kernel; retries; heartbeat; chaos_rate; chaos_seed;
-        chaos_attempts }
+        chaos_attempts; sym }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -243,6 +251,25 @@ let query_digest ty ~cap =
   Digest.to_hex
     (Digest.string (Printf.sprintf "rcn-analyze v1 cap=%d\n%s" cap
                       (Objtype.to_spec_string ty)))
+
+(* The symmetry-aware content address: the key material is the
+   *canonical form* of the type's transition table under the
+   value/op/response permutation group, with the name and labels
+   dropped, so isomorphic queries collide on purpose (their levels are
+   equal by orbit invariance; the certificates a hit replays embed the
+   stored representative's own spec and replay-validate on their own
+   terms).  The default initial value is excluded too: the deciders
+   quantify over every initial value, so levels cannot depend on it.  A
+   distinct version tag keeps the keyspace disjoint from the exact
+   [query_digest]. *)
+let query_digest_canonical ty ~cap =
+  let v = ty.Objtype.num_values
+  and o = ty.Objtype.num_ops
+  and r = ty.Objtype.num_responses in
+  let s = Sym.make ~values:v ~ops:o ~responses:r in
+  let tbl = Array.init (v * o) (fun i -> ty.Objtype.delta (i / o) (i mod o)) in
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "rcn-analyze v2 cap=%d\n%s" cap (Sym.digest s tbl)))
 
 (* Census and synth content addresses.  Like [query_digest], only the
    parameters a result actually depends on are part of the key —
@@ -380,7 +407,7 @@ module Worker = struct
     | Result of { lease : int; lo : int; hi : int; entries : Census.entry list }
 
   type reply =
-    | Assign of { lease : int; lo : int; hi : int }
+    | Assign of { lease : int; lo : int; hi : int; budget : float option }
     | Continue
     | Truncate of { hi : int }
     | Shutdown
@@ -427,9 +454,13 @@ module Worker = struct
     Wire.Obj (("rcn_worker_reply", Wire.Int 1) :: ("kind", Wire.String kind) :: fields)
 
   let reply_to_json = function
-    | Assign { lease; lo; hi } ->
+    | Assign { lease; lo; hi; budget } ->
+        (* [budget] postdates the v1 frame format and is encoded only
+           when present, so budget-free assignments keep their pinned
+           bytes. *)
         reply_envelope "assign"
-          [ ("lease", Wire.Int lease); ("lo", Wire.Int lo); ("hi", Wire.Int hi) ]
+          ([ ("lease", Wire.Int lease); ("lo", Wire.Int lo); ("hi", Wire.Int hi) ]
+          @ match budget with None -> [] | Some s -> [ ("budget", Wire.Float s) ])
     | Continue -> reply_envelope "continue" []
     | Truncate { hi } -> reply_envelope "truncate" [ ("hi", Wire.Int hi) ]
     | Shutdown -> reply_envelope "shutdown" []
@@ -445,7 +476,8 @@ module Worker = struct
           let* lease = Result.bind (Wire.field j "lease") Wire.to_int in
           let* lo = Result.bind (Wire.field j "lo") Wire.to_int in
           let* hi = Result.bind (Wire.field j "hi") Wire.to_int in
-          Ok (Assign { lease; lo; hi })
+          let* budget = Wire.opt_field j "budget" Wire.to_float in
+          Ok (Assign { lease; lo; hi; budget })
       | "continue" -> Ok Continue
       | "truncate" ->
           let* hi = Result.bind (Wire.field j "hi") Wire.to_int in

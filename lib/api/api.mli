@@ -40,6 +40,10 @@ module Config : sig
     chaos_rate : float option;  (** injected failure probability *)
     chaos_seed : int;
     chaos_attempts : int;
+    sym : bool;
+        (** symmetry reduction: decide one canonical representative per
+            isomorphism class and weight it by its orbit size.  Absent
+            on the wire means [false], so v1 configs still decode. *)
   }
 
   val default : t
@@ -55,6 +59,7 @@ module Config : sig
     ?chaos_rate:float ->
     ?chaos_seed:int ->
     ?chaos_attempts:int ->
+    ?sym:bool ->
     unit ->
     t
   (** {!default} with fields overridden — the one place optional
@@ -147,8 +152,13 @@ module Worker : sig
             reflects any {!reply.Truncate} the worker obeyed *)
 
   type reply =
-    | Assign of { lease : int; lo : int; hi : int }
-        (** decide ranks [\[lo, hi)] under the given lease id *)
+    | Assign of { lease : int; lo : int; hi : int; budget : float option }
+        (** decide ranks [\[lo, hi)] under the given lease id.
+            [budget] is the wall-clock seconds remaining in the whole
+            census at grant time, resolved once by the coordinator —
+            never by the worker, whose (re)spawn time must not restart
+            the user's deadline.  Encoded only when present, so
+            budget-free assignments keep their pinned v1 bytes. *)
     | Continue  (** heartbeat acknowledged; keep going *)
     | Truncate of { hi : int }
         (** work stealing: stop at [hi] (never below the reported [at]);
@@ -253,6 +263,17 @@ val query_digest : Objtype.t -> cap:int -> string
     initial value, names, transition table) together with the scan cap.
     Results are independent of [jobs]/[kernel]/deadline by the engine's
     determinism guarantees, so (type, cap) is the whole key. *)
+
+val query_digest_canonical : Objtype.t -> cap:int -> string
+(** The symmetry-aware content address ([--sym on]): keyed by the
+    {e canonical form} of the transition table under the
+    value/op/response permutation group ([Sym.digest]), names, labels
+    and the default initial value dropped — all isomorphic queries at a
+    cap share one address, and their levels are equal by orbit
+    invariance.  A store hit replays the first-seen representative's
+    analysis: its certificates embed that representative's own spec and
+    replay-validate against it.  Version-tagged disjoint from
+    {!query_digest}. *)
 
 val census_digest : Synth.space -> cap:int -> sample:int option -> seed:int -> string
 (** The content address of a census query.  [jobs], [kernel] and the

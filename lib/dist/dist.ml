@@ -53,9 +53,12 @@ type plan = {
 
 (* Fold the Done records of a replayed ledger into a coverage bitmap and
    histogram, ignoring any record that is out of range, overlapping, or
-   whose counts do not sum to its width — the paranoid read that makes
-   resume trust only self-consistent results. *)
-let replay_done ~total records =
+   whose counts do not sum to its weight — the paranoid read that makes
+   resume trust only self-consistent results.  [weight ~lo ~hi] is the
+   number of tables the range accounts for: its width normally, the sum
+   of its orbit sizes under symmetry reduction (where ranks are
+   canonical classes and one verdict counts a whole orbit). *)
+let replay_done ~total ~weight records =
   let covered = Bytes.make total '\000' in
   let hist : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   let covered_n = ref 0 in
@@ -71,10 +74,10 @@ let replay_done ~total records =
     (function
       | Dist_ledger.Done { lo; hi; entries }
         when lo >= 0 && hi <= total && lo < hi && free lo hi
-             && List.fold_left (fun a (_, _, c) -> a + c) 0 entries = hi - lo
+             && List.fold_left (fun a (_, _, c) -> a + c) 0 entries = weight ~lo ~hi
         ->
           Bytes.fill covered lo (hi - lo) '\001';
-          covered_n := !covered_n + (hi - lo);
+          covered_n := !covered_n + weight ~lo ~hi;
           List.iter
             (fun (d, r, c) ->
               Hashtbl.replace hist (d, r)
@@ -103,7 +106,9 @@ let gaps_of covered total =
 
 let plan_of_ledger ~expected ~total path =
   let records, _torn = Dist_ledger.load path ~expected in
-  let covered, hist, covered_n, deaths = replay_done ~total records in
+  let covered, hist, covered_n, deaths =
+    replay_done ~total ~weight:(fun ~lo ~hi -> hi - lo) records
+  in
   {
     plan_total = total;
     plan_covered = covered_n;
@@ -165,7 +170,50 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
   let c_respawned = counter "dist.workers_respawned" in
   let c_quarantined = counter "dist.ranges_quarantined" in
   let c_resumed = counter "dist.ranks_resumed" in
+  let c_cut = counter "dist.deadline_truncations" in
   let bump c = Option.iter Obs.Metrics.Counter.incr c in
+  (* The wall-clock budget is resolved against the monotonic clock
+     exactly once, here.  Workers never see [config.deadline]: each
+     assignment carries the seconds *remaining* at grant time, so a
+     worker (re)spawned late in the run inherits the tail of the budget
+     instead of restarting it. *)
+  let deadline_abs = Option.map Obs.Clock.after config.Api.Config.deadline in
+  let expired () = Obs.Clock.expired deadline_abs in
+  (* Symmetry reduction: the rank space the leases shard is the space of
+     canonical-class ranks, and each rank [i] accounts for [orbits.(i)]
+     tables.  The scan is deterministic, so every worker derives the
+     identical representative list on its own — assignments stay plain
+     [lo, hi) rank ranges on the wire. *)
+  let sym_orbits =
+    if config.Api.Config.sym then
+      let s =
+        Sym.make ~values:space.Synth.num_values ~ops:space.Synth.num_rws
+          ~responses:space.Synth.num_responses
+      in
+      let reps, orbits = Sym.classes s in
+      (match obs with
+      | None -> ()
+      | Some o ->
+          Obs.Metrics.Counter.add (Obs.counter o "sym.classes") (Array.length reps);
+          Obs.Metrics.Counter.add (Obs.counter o "sym.orbit_max")
+            (Array.fold_left max 0 orbits));
+      Some orbits
+    else None
+  in
+  let ranks = match sym_orbits with Some orbits -> Array.length orbits | None -> total in
+  (* weight-prefix sums: [wsum.(i)] tables live below rank [i] *)
+  let wsum =
+    match sym_orbits with
+    | None -> [||]
+    | Some orbits ->
+        let pre = Array.make (ranks + 1) 0 in
+        Array.iteri (fun i w -> pre.(i + 1) <- pre.(i) + w) orbits;
+        assert (pre.(ranks) = total);
+        pre
+  in
+  let weight_of ~lo ~hi =
+    match sym_orbits with None -> hi - lo | Some _ -> wsum.(hi) - wsum.(lo)
+  in
   let rcn = match rcn with Some p -> p | None -> Sys.executable_name in
   let ledger_path, temp_ledger =
     match ledger with
@@ -175,22 +223,28 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
           invalid_arg "Dist.census: resume needs an explicit ledger path";
         (Filename.temp_file "rcn-dist" ".ledger", true)
   in
-  let expected = Dist_ledger.header ~space ~cap ~total in
+  let expected =
+    Dist_ledger.header
+      ?sym_classes:(match sym_orbits with Some _ -> Some ranks | None -> None)
+      ~space ~cap ~total ()
+  in
   let led, replayed =
     Dist_ledger.open_ledger ?obs ~fsync ~expected ~resume ledger_path
   in
-  let covered, hist, resumed, _ = replay_done ~total replayed in
+  let covered, hist, resumed, _ =
+    replay_done ~total:ranks ~weight:weight_of replayed
+  in
   Option.iter (fun c -> Obs.Metrics.Counter.add c resumed) c_resumed;
   let completed = ref resumed in
   let accounted = ref resumed in
-  (* decided or quarantined *)
+  (* decided or quarantined, in table units *)
   let quarantined = ref [] in
   let deaths = ref 0 in
   let chunk =
     match chunk with
     | Some c when c >= 1 -> c
     | Some _ -> invalid_arg "Dist.census: chunk must be positive"
-    | None -> max stride (1 + ((total - 1) / max 1 (4 * workers)))
+    | None -> max stride (1 + ((ranks - 1) / max 1 (4 * workers)))
   in
   let steal_min = match steal_min with Some s -> max 2 s | None -> 2 * stride in
   (* Pending ranges: (lo, hi, failed grants so far). *)
@@ -203,11 +257,11 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
         Queue.add (!i, j, 0) pending;
         i := j
       done)
-    (gaps_of covered total);
+    (gaps_of covered ranks);
   let mark_done ~lo ~hi entries =
     Bytes.fill covered lo (hi - lo) '\001';
-    completed := !completed + (hi - lo);
-    accounted := !accounted + (hi - lo);
+    completed := !completed + weight_of ~lo ~hi;
+    accounted := !accounted + weight_of ~lo ~hi;
     List.iter
       (fun (d, r, c) ->
         Hashtbl.replace hist (d, r)
@@ -215,7 +269,7 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
       entries
   in
   let range_free ~lo ~hi =
-    lo >= 0 && hi <= total && lo < hi
+    lo >= 0 && hi <= ranks && lo < hi
     &&
     let ok = ref true in
     for i = lo to hi - 1 do
@@ -225,7 +279,7 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
   in
   let quarantine_range ~lo ~hi ~attempts ~error =
     Bytes.fill covered lo (hi - lo) '\002';
-    accounted := !accounted + (hi - lo);
+    accounted := !accounted + weight_of ~lo ~hi;
     quarantined :=
       {
         Supervise.q_context = "dist.census";
@@ -239,7 +293,13 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
     bump c_quarantined
   in
   let requeue ~lo ~hi ~attempts ~error =
-    if attempts + 1 >= range_attempts then
+    if lo >= hi then () (* a lease truncated to nothing holds no work *)
+    else if expired () then
+      (* Past the deadline nothing is re-granted; leave the range in
+         [pending] unescalated so it shows as an honest gap (resumable),
+         not a spurious quarantine. *)
+      Queue.add (lo, hi, attempts) pending
+    else if attempts + 1 >= range_attempts then
       quarantine_range ~lo ~hi ~attempts:(attempts + 1) ~error
     else Queue.add (lo, hi, attempts + 1) pending
   in
@@ -269,7 +329,11 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
         "--stride";
         string_of_int stride;
         "--config";
-        Wire.to_string (Api.Config.to_json config);
+        (* The deadline is stripped: a worker must never resolve the
+           user's budget against its own spawn time (that is exactly the
+           respawn-resets-the-deadline bug).  What remains of the budget
+           travels in each Assign instead. *)
+        Wire.to_string (Api.Config.to_json { config with Api.Config.deadline = None });
       ]
     in
     let base =
@@ -370,7 +434,14 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
   in
   let lease_ctr = ref 0 in
   let try_assign slot =
-    if not (Queue.is_empty pending) then begin
+    if expired () then begin
+      (* Budget exhausted: nothing is granted anymore, idle workers are
+         sent home, and busy ones get truncated at their next
+         heartbeat. *)
+      reply slot Api.Worker.Shutdown;
+      slot.state <- Finishing
+    end
+    else if not (Queue.is_empty pending) then begin
       let lo, hi, attempts = Queue.pop pending in
       incr lease_ctr;
       let lease =
@@ -388,7 +459,10 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
       Dist_ledger.append led
         (Dist_ledger.Grant { lease = lease.id; lo; hi; worker = slot.index });
       bump c_granted;
-      reply slot (Api.Worker.Assign { lease = lease.id; lo; hi })
+      let budget =
+        Option.map (fun d -> Float.max 0. (d -. Obs.Clock.now ())) deadline_abs
+      in
+      reply slot (Api.Worker.Assign { lease = lease.id; lo; hi; budget })
     end
     else if all_work_done () && not (busy_exists ()) then begin
       reply slot Api.Worker.Shutdown;
@@ -413,7 +487,22 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
     | Busy l when l.id = lease_id ->
         l.at <- max l.at at;
         l.deadline <- Obs.Clock.now () +. lease_ttl;
-        if l.steal_to > l.at then begin
+        if expired () then begin
+          (* Deadline cut: truncate the lease at the progress point.
+             Decided work below [at] still comes back in the Result; the
+             abandoned tail is recorded and stays an honest gap. *)
+          let cut = l.at in
+          if cut < l.hi then begin
+            Dist_ledger.append led
+              (Dist_ledger.Expire
+                 { lease = l.id; lo = cut; hi = l.hi; worker = slot.index });
+            bump c_cut
+          end;
+          l.hi <- cut;
+          l.steal_to <- -1;
+          reply slot (Api.Worker.Truncate { hi = cut })
+        end
+        else if l.steal_to > l.at then begin
           let cut = l.steal_to in
           Dist_ledger.append led
             (Dist_ledger.Steal
@@ -434,6 +523,15 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
   in
   let on_result slot lease_id lo hi entries =
     match slot.state with
+    | Busy l when l.id = lease_id && lo = l.lo && hi = l.hi && lo = hi ->
+        (* A deadline truncation at the lease's own [lo] leaves nothing
+           to report: no Done record, no coverage — just hand the worker
+           its Shutdown via [try_assign]. *)
+        if entries <> [] then kill_slot slot ~error:"inconsistent result"
+        else begin
+          slot.state <- Waiting;
+          try_assign slot
+        end
     | Busy l when l.id = lease_id && lo = l.lo && hi = l.hi ->
         let triples =
           List.map
@@ -442,7 +540,7 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
             entries
         in
         let width = List.fold_left (fun a (_, _, c) -> a + c) 0 triples in
-        if width <> hi - lo || not (range_free ~lo ~hi) then
+        if width <> weight_of ~lo ~hi || not (range_free ~lo ~hi) then
           kill_slot slot ~error:"inconsistent result"
         else begin
           Dist_ledger.append led (Dist_ledger.Done { lo; hi; entries = triples });
@@ -512,25 +610,29 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
         | Busy l when now > l.deadline -> kill_slot slot ~error:"lease expired"
         | _ -> ())
       slots;
-    (* due respawns *)
+    (* due respawns — pointless once the budget is spent: a respawned
+       worker would only be shut down again, and respawning must never
+       stretch the user's wall clock *)
     Array.iter
       (fun slot ->
         match slot.state with
         | Cooling when now >= slot.respawn_at ->
-            if all_work_done () then slot.state <- Retired
+            if all_work_done () || expired () then slot.state <- Retired
             else begin
               spawn slot;
               bump c_respawned
             end
         | _ -> ())
       slots;
-    (* livelock guard: no slot can ever run again but work remains *)
+    (* livelock guard: no slot can ever run again but work remains.  Not
+       past the deadline — an out-of-time range is a gap, not a
+       quarantine. *)
     let runnable =
       Array.exists
         (fun s -> match s.state with Retired -> false | _ -> true)
         slots
     in
-    if (not runnable) && not (Queue.is_empty pending) then begin
+    if (not runnable) && (not (expired ())) && not (Queue.is_empty pending) then begin
       Queue.iter
         (fun (lo, hi, attempts) ->
           quarantine_range ~lo ~hi ~attempts ~error:"workers exhausted")
@@ -538,8 +640,9 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
       Queue.clear pending
     end;
     drain_pending ();
-    (* termination: once nothing remains, shut the idle fleet down *)
-    if all_work_done () && not (busy_exists ()) then
+    (* termination: once nothing remains — or the budget is spent — shut
+       the idle fleet down *)
+    if expired () || (all_work_done () && not (busy_exists ())) then
       Array.iter
         (fun slot ->
           match slot.state with
@@ -552,7 +655,7 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
     Array.for_all
       (fun s -> match s.state with Retired -> true | _ -> false)
       slots
-    && all_work_done ()
+    && (all_work_done () || expired ())
   in
   let cleanup () =
     Array.iter
@@ -580,7 +683,7 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
       cleanup ();
       restore_pipe ())
     (fun () ->
-      if not (all_work_done ()) then Array.iter spawn slots;
+      if (not (all_work_done ())) && not (expired ()) then Array.iter spawn slots;
       while not (finished ()) do
         let fds =
           Array.fold_left

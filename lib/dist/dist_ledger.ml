@@ -5,7 +5,7 @@
      <payload>\n
 
    — the same scan-forward, truncate-at-first-torn-record discipline as
-   the serve store's rcnstore1 log.  The payload of the header record is
+   the serve store's rcnstore log.  The payload of the header record is
    the plain header line pinning space, cap and table count; every other
    payload is canonical single-line Wire JSON, so payloads never contain
    a newline and a record boundary is always where the scanner thinks it
@@ -13,10 +13,19 @@
 
 let magic = "rcndist1"
 
-let header ~space ~cap ~total =
-  Printf.sprintf "rcn-dist-census v1 values=%d rws=%d responses=%d cap=%d total=%d"
-    space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap
-    total
+(* A symmetry-reduced census grants leases over canonical-class ranks,
+   not table indices; the [sym_classes] suffix pins the rank space so
+   resume never mixes the two interpretations of [lo, hi).  Without it
+   the v1 header bytes are unchanged. *)
+let header ?sym_classes ~space ~cap ~total () =
+  let base =
+    Printf.sprintf "rcn-dist-census v1 values=%d rws=%d responses=%d cap=%d total=%d"
+      space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap
+      total
+  in
+  match sym_classes with
+  | None -> base
+  | Some n -> Printf.sprintf "%s sym=1 classes=%d" base n
 
 type record =
   | Header of string

@@ -35,7 +35,12 @@ type record =
 val magic : string
 (** ["rcndist1"]. *)
 
-val header : space:Synth.space -> cap:int -> total:int -> string
+val header : ?sym_classes:int -> space:Synth.space -> cap:int -> total:int -> unit -> string
+(** The exact header payload a ledger for this census must carry.
+    [sym_classes] (a symmetry-reduced census) appends a [sym=1
+    classes=N] suffix pinning the canonical-rank space, so resume never
+    reinterprets class ranks as table indices or vice versa; without it
+    the v1 bytes are unchanged. *)
 
 val encode : record -> string
 (** The exact bytes {!append} writes — exposed so tests can compute

@@ -43,8 +43,23 @@ let run ?obs ?(stride = 32) ?(throttle_us = 0) ?(crash_after = 0)
     | Frame.Eof -> raise (Bye 0) (* coordinator is gone: orphan, exit *)
     | Frame.Bad _ -> raise (Bye 70)
   in
+  (* Under symmetry reduction the coordinator leases canonical-class
+     ranks: the worker derives the same deterministic representative
+     list, decides [reps.(rank)] and weights the verdict by
+     [orbits.(rank)] — exactly the sym sweep of [Engine.census]. *)
+  let sym_classes =
+    if config.Api.Config.sym then
+      Some
+        (Sym.classes
+           (Sym.make ~values:space.Synth.num_values ~ops:space.Synth.num_rws
+              ~responses:space.Synth.num_responses))
+    else None
+  in
   let tables = Atomic.make 0 in
-  let decide idx =
+  let decide rank =
+    let idx =
+      match sym_classes with Some (reps, _) -> reps.(rank) | None -> rank
+    in
     let ty = Synth.to_objtype (Census.genome_of_index space idx) in
     let levels = Engine.census_levels ?obs cache ~kernel ~cap ty in
     if throttle_us > 0 then
@@ -53,34 +68,47 @@ let run ?obs ?(stride = 32) ?(throttle_us = 0) ?(crash_after = 0)
       crash_self ();
     levels
   in
-  let process pool ~lease ~lo ~hi =
+  let weight rank =
+    match sym_classes with Some (_, orbits) -> orbits.(rank) | None -> 1
+  in
+  let process pool ~lease ~lo ~hi ~stop_at =
     let hist : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
-    let bump key =
+    let bump key w =
       Hashtbl.replace hist key
-        (1 + Option.value ~default:0 (Hashtbl.find_opt hist key))
+        (w + Option.value ~default:0 (Hashtbl.find_opt hist key))
     in
     let cur = ref lo in
     let stop = ref hi in
+    let exchange () =
+      (* one Progress, one reply — the lease renewal, the steal point,
+         and (past the assignment's budget) the deadline cut *)
+      send (Api.Worker.Progress { lease; at = !cur });
+      match recv () with
+      | Api.Worker.Continue -> ()
+      | Api.Worker.Truncate { hi } ->
+          (* the coordinator never cuts below the progress point it is
+             answering, but clamp defensively: decided work stays. *)
+          stop := max !cur (min !stop hi)
+      | Api.Worker.Shutdown -> raise (Bye 0)
+      | Api.Worker.Assign _ -> raise (Bye 70)
+    in
     while !cur < !stop do
-      let base = !cur in
-      let next = min (base + stride) !stop in
-      let batch = Array.make (next - base) (0, 0) in
-      Pool.parallel_for pool ~chunk:4 (next - base) (fun a b ->
-          for k = a to b - 1 do
-            batch.(k) <- decide (base + k)
-          done);
-      Array.iter bump batch;
-      cur := next;
+      if Obs.Clock.expired stop_at then
+        (* Over budget: report where we are and obey the coordinator's
+           answer.  A Continue (the coordinator's clock disagrees) runs
+           one more batch rather than spinning on the exchange. *)
+        exchange ();
       if !cur < !stop then begin
-        send (Api.Worker.Progress { lease; at = !cur });
-        match recv () with
-        | Api.Worker.Continue -> ()
-        | Api.Worker.Truncate { hi } ->
-            (* the coordinator never cuts below the progress point it is
-               answering, but clamp defensively: decided work stays. *)
-            stop := max !cur (min !stop hi)
-        | Api.Worker.Shutdown -> raise (Bye 0)
-        | Api.Worker.Assign _ -> raise (Bye 70)
+        let base = !cur in
+        let next = min (base + stride) !stop in
+        let batch = Array.make (next - base) (0, 0) in
+        Pool.parallel_for pool ~chunk:4 (next - base) (fun a b ->
+            for k = a to b - 1 do
+              batch.(k) <- decide (base + k)
+            done);
+        Array.iteri (fun k lv -> bump lv (weight (base + k))) batch;
+        cur := next;
+        if !cur < !stop && not (Obs.Clock.expired stop_at) then exchange ()
       end
     done;
     send
@@ -92,8 +120,12 @@ let run ?obs ?(stride = 32) ?(throttle_us = 0) ?(crash_after = 0)
     send (Api.Worker.Hello { pid = Unix.getpid () });
     let rec loop () =
       match recv () with
-      | Api.Worker.Assign { lease; lo; hi } ->
-          process pool ~lease ~lo ~hi;
+      | Api.Worker.Assign { lease; lo; hi; budget } ->
+          (* [budget] is the whole census' remaining seconds at grant
+             time, resolved by the coordinator: anchoring it here, at
+             receipt, keeps the absolute cutoff aligned across every
+             (re)spawn instead of restarting per process. *)
+          process pool ~lease ~lo ~hi ~stop_at:(Option.map Obs.Clock.after budget);
           loop ()
       | Api.Worker.Shutdown -> 0
       | Api.Worker.Continue | Api.Worker.Truncate _ -> 70

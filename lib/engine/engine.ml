@@ -505,6 +505,12 @@ module Checkpoint = struct
     Printf.sprintf "rcn-census-checkpoint v1 values=%d rws=%d responses=%d cap=%d total=%d"
       space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap total
 
+  (* A symmetry-reduced census records canonical-class ranks, not table
+     indices — the suffix makes its checkpoints reject cross-mode resume
+     in both directions. *)
+  let header_sym ~space ~cap ~total ~classes =
+    Printf.sprintf "%s sym=1 classes=%d" (header ~space ~cap ~total) classes
+
   (* Entries come back in file order, so a consumer that keeps the first
      occurrence of an index (as [census ~resume] does) resolves duplicate
      lines in favor of the earliest append.  Malformed and torn trailing
@@ -549,6 +555,38 @@ let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = fal
   let c_tables = Option.map (fun o -> Obs.counter o "census.tables") obs in
   let c_flushes = Option.map (fun o -> Obs.counter o "census.checkpoint_flushes") obs in
   let c_skips = Option.map (fun o -> Obs.counter o "census.resume_skips") obs in
+  (* Symmetry reduction: enumerate the canonical representative of every
+     isomorphism class once, decide only those, and let each verdict
+     count [orbit] tables in the histogram.  The scan is sequential and
+     deterministic, so every process that performs it (this engine, the
+     distributed coordinator, each worker) derives the identical
+     rank space. *)
+  let sym_classes =
+    if config.Api.Config.sym then begin
+      let t0 = Obs.Clock.now () in
+      let s =
+        Sym.make ~values:space.Synth.num_values ~ops:space.Synth.num_rws
+          ~responses:space.Synth.num_responses
+      in
+      let reps, orbits = Sym.classes s in
+      (match obs with
+      | None -> ()
+      | Some o ->
+          Obs.Metrics.Counter.add (Obs.counter o "sym.classes") (Array.length reps);
+          Obs.Metrics.Counter.add (Obs.counter o "sym.orbit_max")
+            (Array.fold_left max 0 orbits);
+          Obs.Metrics.Counter.add (Obs.counter o "sym.canon_ns")
+            (int_of_float ((Obs.Clock.now () -. t0) *. 1e9)));
+      Some (reps, orbits)
+    end
+    else None
+  in
+  (* The sweep below runs over "ranks": table indices normally, class
+     ranks under [--sym].  [resumed]/[completed]/the histogram stay in
+     table units either way, so summaries are mode-independent. *)
+  let ranks = match sym_classes with Some (reps, _) -> Array.length reps | None -> size in
+  let index_of_rank i = match sym_classes with Some (reps, _) -> reps.(i) | None -> i in
+  let weight i = match sym_classes with Some (_, orbits) -> orbits.(i) | None -> 1 in
   (* Warm the shared per-[n] structures (schedule memo / compiled tries)
      on the submitting domain so workers only read. *)
   for n = 2 to cap do
@@ -556,18 +594,22 @@ let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = fal
     | Kernel.Reference -> ignore (Cache.scheds cache ~n)
     | Kernel.Tables | Kernel.Trie -> Kernel.warm_trie ?obs ~nprocs:n ()
   done;
-  let levels = Array.make size (0, 0) in
-  let finished = Array.make size false in
+  let levels = Array.make ranks (0, 0) in
+  let finished = Array.make ranks false in
   let resumed = ref 0 in
-  let expected = Checkpoint.header ~space ~cap ~total:size in
+  let expected =
+    match sym_classes with
+    | Some _ -> Checkpoint.header_sym ~space ~cap ~total:size ~classes:ranks
+    | None -> Checkpoint.header ~space ~cap ~total:size
+  in
   (match checkpoint with
   | Some path when resume ->
       List.iter
         (fun (i, lv) ->
-          if i >= 0 && i < size && not finished.(i) then begin
+          if i >= 0 && i < ranks && not finished.(i) then begin
             levels.(i) <- lv;
             finished.(i) <- true;
-            incr resumed
+            resumed := !resumed + weight i
           end)
         (Checkpoint.load path ~expected)
   | _ -> ());
@@ -604,13 +646,15 @@ let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = fal
       ignore
         (Pool.parallel_for_until pool ~chunk ?supervisor ~label:"census"
            ~should_stop:(fun () -> expired deadline || wd_stop ())
-           size
+           ranks
            (fun lo hi ->
              let fresh = ref [] in
              let i = ref lo in
              while !i < hi && not (expired deadline) do
                if not finished.(!i) then begin
-                 let ty = Synth.to_objtype (Census.genome_of_index space !i) in
+                 let ty =
+                   Synth.to_objtype (Census.genome_of_index space (index_of_rank !i))
+                 in
                  levels.(!i) <- census_levels ?obs cache ~kernel ~cap ty;
                  finished.(!i) <- true;
                  fresh := !i :: !fresh
@@ -619,7 +663,9 @@ let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = fal
              done;
              let fresh = List.rev !fresh in
              let n_fresh = List.length fresh in
-             ignore (Atomic.fetch_and_add completed n_fresh);
+             ignore
+               (Atomic.fetch_and_add completed
+                  (List.fold_left (fun acc i -> acc + weight i) 0 fresh));
              count_checked c_tables n_fresh;
              match writer with
              | None -> ()
@@ -637,7 +683,7 @@ let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = fal
     (fun i key ->
       if finished.(i) then
         Hashtbl.replace histogram key
-          (1 + Option.value ~default:0 (Hashtbl.find_opt histogram key)))
+          (weight i + Option.value ~default:0 (Hashtbl.find_opt histogram key)))
     levels;
   let completed = Atomic.get completed in
   {

@@ -18,6 +18,17 @@ let metrics_response ~obs ~command =
       Api.Response.error ~code:Api.Response.err_internal
         (Printf.sprintf "stats rendering broke its own format: %s" msg)
 
+(* The analyze store key.  Under [--sym on] the key is the canonical
+   form's digest, so isomorphic queries (same table up to value /
+   operation / response relabeling) share one record; the cached
+   analysis is the representative's — levels are orbit invariants,
+   certificates may witness a relabeled twin.  Without [sym] the key
+   pins the exact spec, as always. *)
+let analyze_digest ~(config : Api.Config.t) ty =
+  if config.Api.Config.sym then
+    Api.query_digest_canonical ty ~cap:config.Api.Config.cap
+  else Api.query_digest ty ~cap:config.Api.Config.cap
+
 (* A store hit replays the exact bytes the cold run published — decode
    them back into the analysis; a record that no longer decodes (a
    foreign or corrupt store file) is reported, not served. *)
@@ -79,8 +90,7 @@ let fast_path ~obs ?store ~command (req : Api.Request.t) =
       | Some store -> (
           match Objtype.of_spec_string spec with
           | exception Objtype.Ill_formed _ -> None (* let [run] report it *)
-          | ty -> store_hit store ~digest:(Api.query_digest ty ~cap:config.Api.Config.cap)
-          ))
+          | ty -> store_hit store ~digest:(analyze_digest ~config ty)))
   | Api.Request.Census { space; sample; seed; checkpoint; resume; durable; config }
     when census_memoizable ~checkpoint ~resume ~durable ~config -> (
       match store with
@@ -117,7 +127,7 @@ let run_analyze env ~spec ~(config : Api.Config.t) =
   | exception Objtype.Ill_formed msg ->
       Api.Response.error (Printf.sprintf "bad type spec: %s" msg)
   | ty -> (
-      let digest = Api.query_digest ty ~cap:config.Api.Config.cap in
+      let digest = analyze_digest ~config ty in
       (* Re-probe under the pool owner: the fast path may have lost a race
          with the compute that published this digest. *)
       match Option.bind env.store (fun s -> store_hit s ~digest) with

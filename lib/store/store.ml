@@ -1,15 +1,21 @@
 (* Append-only content-addressed log.  On-disk format, one record after
    another, nothing else in the file:
 
-     rcnstore1 <key> <payload_bytes>\n
+     rcnstore2 <key> <payload_bytes>\n
      <payload>\n
 
    The header is plain text (key is a hex digest, never contains spaces);
    the payload is length-delimited, so it may contain anything.  Recovery
    needs no index or footer: scan from the top, stop at the first record
-   that does not parse or is cut short, truncate there. *)
+   that does not parse or is cut short, truncate there.
 
-let magic = "rcnstore1"
+   rcnstore2 bumped the magic when analyze keys became canonical under
+   --sym (and configs started carrying the flag): an rcnstore1 file's
+   records simply fail the magic check, so the scanner keeps none of
+   them and the first put truncates the old log — stale keys are
+   ignored cleanly rather than migrated. *)
+
+let magic = "rcnstore2"
 
 type counters = {
   hits : Obs.Metrics.Counter.t;

@@ -1,0 +1,342 @@
+(* Canonical labeling of transition tables under
+   S_values x S_ops x S_responses.  See sym.mli for the contract; the
+   shape of the algorithm:
+
+     1. iterated color refinement over the three sorts (values, ops,
+        responses) until the partition stabilizes — signatures are
+        isomorphism-invariant, so the final coloring is too, and dense
+        color ids assigned in signature order are themselves canonical;
+     2. enumerate every *class-respecting* placement of values and ops
+        into canonical positions (color blocks in color order, any
+        order within a block) — any relabeling that maps the table onto
+        a canonical form is class-respecting, so nothing is missed;
+     3. per placement, label responses greedily in first-appearance
+        order (lexicographically optimal once value/op positions are
+        fixed) and compare the resulting digit string cell by cell
+        against the best so far, aborting on the first losing digit;
+     4. the number m of placements achieving the minimum, times
+        (responses - used)! for the response labels the table never
+        mentions, is the stabilizer order; orbit-stabilizer gives the
+        orbit size.
+
+   Refinement does the heavy lifting: on random tables most colors are
+   singletons and step 2 enumerates a handful of placements.  The
+   worst case (the fully symmetric table) enumerates values! * ops!
+   placements, which is why census spaces keep dimensions small. *)
+
+type t = {
+  values : int;
+  ops : int;
+  responses : int;
+  cells : int;
+  base : int;  (* responses * values: digits per cell *)
+  group : int;  (* values! * ops! * responses! *)
+  size : int;  (* base ^ cells *)
+}
+
+let rec fact n = if n <= 1 then 1 else n * fact (n - 1)
+
+let make ~values ~ops ~responses =
+  if values < 1 || ops < 1 || responses < 1 then
+    invalid_arg "Sym.make: dimensions must be positive";
+  let cells = values * ops in
+  let base = responses * values in
+  let size =
+    let acc = ref 1 in
+    for _ = 1 to cells do
+      if !acc > max_int / base then
+        invalid_arg "Sym.make: space size overflows";
+      acc := !acc * base
+    done;
+    !acc
+  in
+  { values; ops; responses; cells; base; group = fact values * fact ops * fact responses; size }
+
+let values t = t.values
+let ops t = t.ops
+let responses t = t.responses
+let cells t = t.cells
+let group_order t = t.group
+let space_size t = t.size
+
+let check t tbl =
+  if Array.length tbl <> t.cells then invalid_arg "Sym: bad table length";
+  Array.iter
+    (fun (r, v) ->
+      if r < 0 || r >= t.responses || v < 0 || v >= t.values then
+        invalid_arg "Sym: table entry out of range")
+    tbl
+
+let table_of_index t idx =
+  if idx < 0 || idx >= t.size then invalid_arg "Sym.table_of_index";
+  let tbl = Array.make t.cells (0, 0) in
+  let rem = ref idx in
+  for i = 0 to t.cells - 1 do
+    let digit = !rem mod t.base in
+    tbl.(i) <- (digit / t.values, digit mod t.values);
+    rem := !rem / t.base
+  done;
+  tbl
+
+let index_of_table t tbl =
+  check t tbl;
+  let idx = ref 0 in
+  for i = t.cells - 1 downto 0 do
+    let r, v = tbl.(i) in
+    idx := (!idx * t.base) + (r * t.values) + v
+  done;
+  !idx
+
+(* --- color refinement ----------------------------------------------- *)
+
+(* Reassign dense colors from signatures: equal signature, equal color;
+   colors ordered by signature.  Returns the class count. *)
+let recolor sigs col =
+  let n = Array.length sigs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare sigs.(a) sigs.(b)) order;
+  let c = ref 0 in
+  Array.iteri
+    (fun k i ->
+      if k > 0 && compare sigs.(order.(k - 1)) sigs.(i) <> 0 then incr c;
+      col.(i) <- !c)
+    order;
+  !c + 1
+
+let refine t tbl =
+  let v = t.values and o = t.ops and r = t.responses in
+  let vc = Array.make v 0 and oc = Array.make o 0 and rc = Array.make r 0 in
+  let round () =
+    let vsig =
+      Array.init v (fun x ->
+          ( vc.(x),
+            List.sort compare
+              (List.init o (fun op ->
+                   let rs, y = tbl.((x * o) + op) in
+                   (oc.(op), rc.(rs), vc.(y)))) ))
+    in
+    let osig =
+      Array.init o (fun op ->
+          ( oc.(op),
+            List.sort compare
+              (List.init v (fun x ->
+                   let rs, y = tbl.((x * o) + op) in
+                   (vc.(x), rc.(rs), vc.(y)))) ))
+    in
+    let rsig =
+      Array.init r (fun r0 ->
+          let occs = ref [] in
+          for x = 0 to v - 1 do
+            for op = 0 to o - 1 do
+              let rs, y = tbl.((x * o) + op) in
+              if rs = r0 then occs := (vc.(x), oc.(op), vc.(y)) :: !occs
+            done
+          done;
+          (rc.(r0), List.sort compare !occs))
+    in
+    let nv = recolor vsig vc and no = recolor osig oc and nr = recolor rsig rc in
+    (nv, no, nr)
+  in
+  let rec go prev =
+    let next = round () in
+    if next <> prev then go next
+  in
+  go (-1, -1, -1);
+  (vc, oc)
+
+(* Call [f] on every placement perm with perm.(position) = old id such
+   that positions walk the color classes in color order and each class's
+   members fill its block in every order.  [perm] is reused in place —
+   callers must not retain it. *)
+let iter_class_perms colors f =
+  let n = Array.length colors in
+  let k = 1 + Array.fold_left max (-1) colors in
+  let members = Array.make k [] in
+  for i = n - 1 downto 0 do
+    members.(colors.(i)) <- i :: members.(colors.(i))
+  done;
+  let perm = Array.make n 0 in
+  let rec fill_class c pos remaining =
+    match remaining with
+    | [] -> next_class (c + 1) pos
+    | _ ->
+        List.iter
+          (fun x ->
+            perm.(pos) <- x;
+            fill_class c (pos + 1) (List.filter (fun y -> y <> x) remaining))
+          remaining
+  and next_class c pos = if c = k then f perm else fill_class c pos members.(c)
+  in
+  next_class 0 0
+
+type canon = { form : (int * int) array; index : int; orbit : int; aut : int }
+
+let canonize t tbl =
+  check t tbl;
+  let v = t.values and o = t.ops and r = t.responses in
+  let vc, oc = refine t tbl in
+  let used =
+    let seen = Array.make r false in
+    Array.iter (fun (rs, _) -> seen.(rs) <- true) tbl;
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 seen
+  in
+  let best = Array.make t.cells max_int in
+  let cand = Array.make t.cells 0 in
+  let m = ref 0 in
+  let pos_of = Array.make v 0 in
+  let rho = Array.make r (-1) in
+  let try_pair vperm operm =
+    for i = 0 to v - 1 do
+      pos_of.(vperm.(i)) <- i
+    done;
+    Array.fill rho 0 r (-1);
+    let used_r = ref 0 in
+    (* 0 while equal to [best]; -1 once strictly below *)
+    let cmp = ref 0 in
+    try
+      let i = ref 0 in
+      for x' = 0 to v - 1 do
+        let row = vperm.(x') * o in
+        for op' = 0 to o - 1 do
+          let rs, y = tbl.(row + operm.(op')) in
+          if rho.(rs) < 0 then begin
+            rho.(rs) <- !used_r;
+            incr used_r
+          end;
+          let digit = (rho.(rs) * v) + pos_of.(y) in
+          if !cmp = 0 then
+            if digit > best.(!i) then raise Exit
+            else if digit < best.(!i) then cmp := -1;
+          cand.(!i) <- digit;
+          incr i
+        done
+      done;
+      if !cmp < 0 then begin
+        Array.blit cand 0 best 0 t.cells;
+        m := 1
+      end
+      else incr m
+    with Exit -> ()
+  in
+  iter_class_perms vc (fun vperm ->
+      (* vperm is reused in place across op placements below, but only
+         read inside try_pair before the next mutation — safe. *)
+      iter_class_perms oc (fun operm -> try_pair vperm operm));
+  let aut = !m * fact (r - used) in
+  if t.group mod aut <> 0 then invalid_arg "Sym.canonize: internal error (stabilizer)";
+  let form = Array.map (fun d -> (d / v, d mod v)) best in
+  { form; index = index_of_table t form; orbit = t.group / aut; aut }
+
+let canonize_index t idx = canonize t (table_of_index t idx)
+let is_rep t idx = (canonize_index t idx).index = idx
+
+let digest t tbl =
+  let c = canonize t tbl in
+  let buf = Buffer.create (32 + (3 * t.cells)) in
+  Buffer.add_string buf
+    (Printf.sprintf "rcn-sym v1 values=%d ops=%d responses=%d\n" t.values t.ops t.responses);
+  Array.iter (fun (r, v) -> Buffer.add_string buf (Printf.sprintf " %d:%d" r v)) c.form;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Forward declaration: [classes] wants the group-element lists that the
+   brute-force section below builds. *)
+let permutations n =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l -> (x :: l) :: List.map (fun r -> y :: r) (insert x ys)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert x) (perms xs)
+  in
+  List.map Array.of_list (perms (List.init n Fun.id))
+
+(* Orbit sweep, not a canonize-per-index scan: canonizing all [size]
+   tables costs a refinement + placement search each, which dominates a
+   reduced census.  Instead, walk indices ascending and, at each index
+   not yet claimed by an earlier orbit, enumerate its whole orbit by
+   applying every group element once — marking every member so later
+   sweep positions skip it, and counting the distinct images (the orbit
+   size, definitionally).  Only the one orbit seed is canonized, to name
+   the class by its canonical index.  Total work is classes
+   canonizations plus classes * |G| cheap table maps, instead of size
+   canonizations.  (The canonical index is *not* simply the least index
+   in the orbit — canonize restricts its search to class-respecting
+   placements, so its minimum is over a refinement-invariant subset of
+   images, not the whole orbit — which is why the seed must still go
+   through canonize.) *)
+let classes t =
+  let pvs = permutations t.values in
+  let pops = permutations t.ops in
+  let prs = permutations t.responses in
+  let mark = Bytes.make t.size '\000' in
+  let tbl = Array.make t.cells (0, 0) in
+  let digits = Array.make t.cells 0 in
+  let acc = ref [] in
+  for idx = 0 to t.size - 1 do
+    if Bytes.get mark idx = '\000' then begin
+      let rem = ref idx in
+      for i = 0 to t.cells - 1 do
+        let d = !rem mod t.base in
+        tbl.(i) <- (d / t.values, d mod t.values);
+        rem := !rem / t.base
+      done;
+      let distinct = ref 0 in
+      List.iter
+        (fun pv ->
+          List.iter
+            (fun po ->
+              List.iter
+                (fun pr ->
+                  for x = 0 to t.values - 1 do
+                    let row = x * t.ops in
+                    let row' = pv.(x) * t.ops in
+                    for op = 0 to t.ops - 1 do
+                      let rs, y = tbl.(row + op) in
+                      digits.(row' + po.(op)) <- (pr.(rs) * t.values) + pv.(y)
+                    done
+                  done;
+                  let img = ref 0 in
+                  for i = t.cells - 1 downto 0 do
+                    img := (!img * t.base) + digits.(i)
+                  done;
+                  if Bytes.get mark !img = '\000' then begin
+                    Bytes.set mark !img '\001';
+                    incr distinct
+                  end)
+                prs)
+            pops)
+        pvs;
+      let c = canonize t tbl in
+      acc := (c.index, !distinct) :: !acc
+    end
+  done;
+  let pairs = Array.of_list !acc in
+  Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+  (Array.map fst pairs, Array.map snd pairs)
+
+(* --- brute-force oracles (tests) ------------------------------------ *)
+
+let apply t tbl ~pv ~po ~pr =
+  check t tbl;
+  let out = Array.make t.cells (0, 0) in
+  for x = 0 to t.values - 1 do
+    for op = 0 to t.ops - 1 do
+      let rs, y = tbl.((x * t.ops) + op) in
+      out.((pv.(x) * t.ops) + po.(op)) <- (pr.(rs), pv.(y))
+    done
+  done;
+  out
+
+let orbit_brute t tbl =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun pv ->
+      List.iter
+        (fun po ->
+          List.iter
+            (fun pr -> Hashtbl.replace seen (index_of_table t (apply t tbl ~pv ~po ~pr)) ())
+            (permutations t.responses))
+        (permutations t.ops))
+    (permutations t.values);
+  Hashtbl.length seen

@@ -1,0 +1,103 @@
+(** Canonical labeling of transition tables under the value/op/response
+    permutation group — the symmetry quotient behind [--sym].
+
+    A table over [values] values, [ops] operations and [responses]
+    responses is the array [t] of [(response, value)] cells with cell
+    [(x, op)] at index [x * ops + op] — exactly the census genome layout
+    ([Census.genome_of_index]) and, with [ops = num_ops], an
+    [Objtype.t]'s memoized delta.  The group
+
+      G  =  S_values x S_ops x S_responses
+
+    acts by [(pi, sigma, rho) . T = T'] with
+    [T'[pi x][sigma op] = (rho r, pi y)] when [T[x][op] = (r, y)].
+    Two tables in the same orbit are isomorphic objects: the paper's
+    levels (max discerning / max recording) quantify over every initial
+    value, every operation assignment and every process team, and
+    responses matter only up to injective relabeling, so both levels are
+    orbit invariants.  Deciding one representative per orbit and
+    weighting it by the orbit size reproduces the exhaustive census
+    histogram bit-identically.
+
+    The canonizer is refinement + backtracking: an iterated color
+    refinement over the three sorts prunes the candidate relabelings to
+    the class-respecting ones, a backtracking scan of those (with greedy
+    first-appearance response labeling, which is optimal per candidate)
+    selects the lexicographically least key among them.  The canonical
+    form is a fixed representative of the orbit — every member canonizes
+    to the same form, index, digest and orbit size — and the
+    automorphism count falls out of the same scan, giving the orbit size
+    by orbit-stabilizer.  Pinned against brute-force orbit enumeration
+    on small spaces in the test suite. *)
+
+type t
+(** A canonizer for one table shape (fixed [values]/[ops]/[responses]). *)
+
+val make : values:int -> ops:int -> responses:int -> t
+(** @raise Invalid_argument when a dimension is nonpositive or the space
+    size overflows [max_int] (same limit as [Census.space_size]). *)
+
+val values : t -> int
+val ops : t -> int
+val responses : t -> int
+
+val cells : t -> int
+(** [values * ops], the table length. *)
+
+val group_order : t -> int
+(** [values! * ops! * responses!]. *)
+
+val space_size : t -> int
+(** [(responses * values) ^ cells] — the number of tables of this shape;
+    agrees with [Census.space_size] on census spaces. *)
+
+val table_of_index : t -> int -> (int * int) array
+(** The rank/unrank bijection of [Census.genome_of_index]: cell [i] is
+    the [i]-th least-significant base-[responses * values] digit of the
+    index, a digit [(r, v)] encoding as [r * values + v]. *)
+
+val index_of_table : t -> (int * int) array -> int
+(** Inverse of {!table_of_index}.
+    @raise Invalid_argument on a malformed table. *)
+
+type canon = {
+  form : (int * int) array;  (** the canonical table of the orbit *)
+  index : int;  (** rank of [form] — equal across the whole orbit *)
+  orbit : int;  (** orbit size; orbit sizes over all classes sum to {!space_size} *)
+  aut : int;  (** automorphism count; [orbit * aut = group_order] *)
+}
+
+val canonize : t -> (int * int) array -> canon
+(** @raise Invalid_argument on a malformed table. *)
+
+val canonize_index : t -> int -> canon
+
+val is_rep : t -> int -> bool
+(** [is_rep t i] holds when rank [i] is its own canonical index — the
+    one representative its orbit contains. *)
+
+val digest : t -> (int * int) array -> string
+(** MD5 hex of a version-tagged encoding of the canonical form: equal
+    exactly on isomorphic tables.  The store key material behind
+    [Api.query_digest_canonical]. *)
+
+val classes : t -> int array * int array
+(** [(reps, orbits)]: the canonical representatives of every orbit in
+    increasing rank order, with [orbits.(i)] the orbit size of
+    [reps.(i)].  A full scan of the space — O(size) canonizations — so
+    meant for census-sized spaces, not for one-off queries. *)
+
+(** {1 Brute-force oracles (for tests)} *)
+
+val orbit_brute : t -> (int * int) array -> int
+(** Orbit size by enumerating all [group_order] images — exponential,
+    test-only. *)
+
+val apply : t -> (int * int) array -> pv:int array -> po:int array -> pr:int array -> (int * int) array
+(** The group action itself: [apply t tbl ~pv ~po ~pr] is
+    [(pv, po, pr) . tbl] with each permutation given as an
+    [old -> new] array. *)
+
+val permutations : int -> int array list
+(** All [n!] permutations of [0 .. n-1], each as an [old -> new] array.
+    Test-only helper for the brute oracles. *)

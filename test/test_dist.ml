@@ -59,7 +59,8 @@ let test_worker_codec () =
     ];
   List.iter roundtrip_reply
     [
-      Api.Worker.Assign { lease = 3; lo = 0; hi = 2 };
+      Api.Worker.Assign { lease = 3; lo = 0; hi = 2; budget = None };
+      Api.Worker.Assign { lease = 4; lo = 2; hi = 9; budget = Some 1.5 };
       Api.Worker.Continue;
       Api.Worker.Truncate { hi = 5 };
       Api.Worker.Shutdown;
@@ -78,7 +79,8 @@ let test_worker_codec () =
     (Api.Worker.msg_to_string (Api.Worker.Result { lease = 3; lo = 0; hi = 2; entries }));
   check_string "assign bytes"
     {|{"rcn_worker_reply":1,"kind":"assign","lease":3,"lo":0,"hi":2}|}
-    (Api.Worker.reply_to_string (Api.Worker.Assign { lease = 3; lo = 0; hi = 2 }));
+    (Api.Worker.reply_to_string
+       (Api.Worker.Assign { lease = 3; lo = 0; hi = 2; budget = None }));
   check_string "continue bytes" {|{"rcn_worker_reply":1,"kind":"continue"}|}
     (Api.Worker.reply_to_string Api.Worker.Continue);
   check_string "truncate bytes" {|{"rcn_worker_reply":1,"kind":"truncate","hi":5}|}
@@ -101,7 +103,7 @@ let test_worker_codec () =
 
 let test_ledger_header () =
   with_ledger_file @@ fun path ->
-  let h = Dist_ledger.header ~space ~cap ~total in
+  let h = Dist_ledger.header ~space ~cap ~total () in
   let t, replayed = Dist_ledger.open_ledger ~expected:h ~resume:false path in
   check_bool "fresh ledger replays nothing" true (replayed = []);
   Dist_ledger.append t (Dist_ledger.Grant { lease = 1; lo = 0; hi = 64; worker = 0 });
@@ -115,7 +117,7 @@ let test_ledger_header () =
         (List.length records) torn);
   (* A ledger from a different census is rejected, not merged. *)
   let foreign =
-    Dist_ledger.header ~space:{ space with Synth.num_values = 3 } ~cap ~total
+    Dist_ledger.header ~space:{ space with Synth.num_values = 3 } ~cap ~total ()
   in
   check_bool "load rejects a foreign ledger" true
     (try
@@ -155,7 +157,7 @@ let test_ledger_header () =
 
 let test_ledger_truncate_every_offset () =
   with_ledger_file @@ fun path ->
-  let h = Dist_ledger.header ~space ~cap ~total in
+  let h = Dist_ledger.header ~space ~cap ~total () in
   let obs = Obs.create () in
   let outcome =
     Dist.census ~obs ~rcn:rcn_bin ~ledger:path ~fsync:false ~chunk:64
@@ -344,6 +346,66 @@ let test_quarantine_partial () =
         (match r with Some r -> e.Census.count <= r.Census.count | None -> false))
     o.Dist.entries
 
+(* ---------------------------------------------------------------- *)
+(* Symmetry reduction across processes: the coordinator shards
+   canonical-class ranks, workers decide one representative per class
+   and weight by orbit size — and the merged histogram must still be
+   bit-identical, crash or no crash. *)
+
+let test_sym_census_bit_identical () =
+  let obs = Obs.create () in
+  let sym_config = Api.Config.v ~cap ~jobs:1 ~sym:true () in
+  let o =
+    Dist.census ~obs ~rcn:rcn_bin ~stride:4 ~crash:[ (0, 3) ] ~workers:2
+      ~config:sym_config space
+  in
+  check_identical "sym census over two workers" o;
+  check_bool "the injected crash was observed" true (o.Dist.deaths >= 1);
+  let classes = counter obs "sym.classes" in
+  check_bool "sym.classes nonzero" true (classes > 0);
+  check_bool "strictly fewer classes than tables" true (classes < total)
+
+(* ---------------------------------------------------------------- *)
+(* The deadline regression (once a bug): the wall-clock budget is
+   resolved once at the coordinator and shipped as remaining seconds in
+   each Assign, so a worker death + respawn mid-run must not extend the
+   run.  Two throttled stragglers (50 ms per table — the full census
+   would take ~6.4 s), slot 1 killed early; its clean respawn finishes
+   slot 1's range, then the deadline cuts slot 0 mid-lease.  The census
+   must come back honestly PARTIAL, with everything decided before the
+   cut, well inside the budget plus shutdown slack. *)
+
+let test_deadline_survives_respawn () =
+  let deadline = 1.2 in
+  let obs = Obs.create () in
+  let dl_config = Api.Config.v ~cap ~jobs:1 ~deadline () in
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Dist.census ~obs ~rcn:rcn_bin ~chunk:128 ~stride:8 ~steal_min:10_000
+      ~throttle:[ (0, 50_000); (1, 50_000) ]
+      ~crash:[ (1, 8) ] ~workers:2 ~config:dl_config space
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check_bool "census is honestly incomplete" false o.Dist.complete;
+  check_bool "something was decided" true (o.Dist.completed > 0);
+  check_bool "not everything was decided" true (o.Dist.completed < total);
+  check_int "histogram sums to completed" o.Dist.completed
+    (List.fold_left (fun a e -> a + e.Census.count) 0 o.Dist.entries);
+  check_bool "the kill was observed as a death" true (o.Dist.deaths >= 1);
+  check_bool "the dead slot respawned" true
+    (counter obs "dist.workers_respawned" >= 1);
+  check_bool "the deadline cut a lease" true
+    (counter obs "dist.deadline_truncations" >= 1);
+  check_bool "an out-of-time range is a gap, not a quarantine" true
+    (o.Dist.quarantined = []);
+  (* The teeth of the regression: with a per-respawn budget the run
+     would stretch toward the 6.4 s unthrottled-range time; resolved
+     once, it ends within the budget plus batch + shutdown slack. *)
+  check_bool
+    (Printf.sprintf "finished within budget (%.2f s elapsed)" elapsed)
+    true
+    (elapsed < deadline +. 2.8)
+
 let test_bad_parameters () =
   let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
   check_bool "workers = 0 rejected" true
@@ -367,6 +429,10 @@ let suite =
     Alcotest.test_case "missed heartbeats expire the lease" `Slow test_lease_expiry;
     Alcotest.test_case "a doomed range is quarantined, honestly" `Slow
       test_quarantine_partial;
+    Alcotest.test_case "sym census over workers is bit-identical" `Slow
+      test_sym_census_bit_identical;
+    Alcotest.test_case "deadline survives a worker respawn" `Slow
+      test_deadline_survives_respawn;
     Alcotest.test_case "nonsensical parameters are rejected" `Quick
       test_bad_parameters;
   ]

@@ -16,6 +16,7 @@ let () =
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
       ("dist", Test_dist.suite);
+      ("sym", Test_sym.suite);
       ("explore", Test_explore.suite);
       ("simultaneous", Test_simultaneous.suite);
       ("protocols", Test_protocols.suite);

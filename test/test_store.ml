@@ -74,13 +74,13 @@ let test_truncate_every_offset () =
   let size = String.length bytes in
   (* Record boundaries: offsets after which a prefix holds k complete
      records.  Recompute them from the known record shape:
-     "rcnstore1 <key> <len>\n<payload>\n". *)
+     "rcnstore2 <key> <len>\n<payload>\n". *)
   let boundaries =
     let ends, _ =
       List.fold_left
         (fun (ends, off) (k, v) ->
           let len =
-            String.length (Printf.sprintf "rcnstore1 %s %d\n" k (String.length v))
+            String.length (Printf.sprintf "rcnstore2 %s %d\n" k (String.length v))
             + String.length v + 1
           in
           (ends @ [ off + len ], off + len))
@@ -166,7 +166,7 @@ let test_concurrent_puts_first_wins () =
 (* Raw log bytes in the store's record shape, for building logs no
    single live store would write (duplicates, torn tails). *)
 let raw_record key payload =
-  Printf.sprintf "rcnstore1 %s %d\n%s\n" key (String.length payload) payload
+  Printf.sprintf "rcnstore2 %s %d\n%s\n" key (String.length payload) payload
 
 let write_raw path chunks =
   Out_channel.with_open_bin path (fun oc ->
@@ -181,7 +181,7 @@ let test_compact_drops_duplicates_and_torn_tail () =
       raw_record "k1" "first";
       raw_record "k2" "two";
       raw_record "k1" "override";
-      "rcnstore1 torn 999\nhalf-writ";
+      "rcnstore2 torn 999\nhalf-writ";
     ];
   let original_size = (Unix.stat path).Unix.st_size in
   let obs = Obs.create () in
@@ -236,6 +236,35 @@ let test_compact_edge_cases () =
       check_bool "map preserved" true (Store.find s "k" = Some "v2");
       Store.close s)
 
+(* Format versioning: a log written by the previous magic (rcnstore1 —
+   before analyze keys went canonical under --sym) must be ignored
+   cleanly, exactly like a torn tail: nothing replayed, the old bytes
+   truncated away on the first append, and the store fully usable. *)
+let test_old_format_ignored () =
+  with_store_file @@ fun path ->
+  let old_record key payload =
+    Printf.sprintf "rcnstore1 %s %d\n%s\n" key (String.length payload) payload
+  in
+  write_raw path [ old_record "stale" "v1 bytes"; old_record "older" "more" ];
+  let obs = Obs.create () in
+  let s = Store.open_store ~obs path in
+  check_int "no v1 record replayed" 0 (Store.size s);
+  check_bool "v1 keys invisible" true (Store.find s "stale" = None);
+  check_bool "old bytes counted as torn" true
+    (Obs.Metrics.Counter.value (Obs.counter obs "store.torn_bytes") > 0);
+  Store.put s ~key:"fresh" "v2 bytes";
+  Store.close s;
+  let s2 = Store.open_store path in
+  check_int "only the v2 record survives" 1 (Store.size s2);
+  check_bool "v2 record replays" true (Store.find s2 "fresh" = Some "v2 bytes");
+  Store.close s2;
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  check_bool "v1 bytes gone from the log" false
+    (let re = "rcnstore1" in
+     let n = String.length contents and m = String.length re in
+     let rec probe i = i + m <= n && (String.sub contents i m = re || probe (i + 1)) in
+     probe 0)
+
 (* The crash-safety claim, against the real binary: SIGKILL [rcn store
    compact] at an arbitrary point; whatever it got to, the log must
    reopen to exactly the original map, and the next compaction must
@@ -252,7 +281,7 @@ let test_compact_survives_kill () =
         [ raw_record k (Printf.sprintf "payload %d for %s" i k) ])
       (List.init (n_keys * 4) Fun.id)
   in
-  write_raw path (chunks @ [ "rcnstore1 torn 12345\nnope" ]);
+  write_raw path (chunks @ [ "rcnstore2 torn 12345\nnope" ]);
   let expected k =
     (* last occurrence wins: the highest i mapping to k *)
     let i = (3 * n_keys) + int_of_string (String.sub k 3 3) in
@@ -306,5 +335,7 @@ let suite =
     Alcotest.test_case "compact drops duplicates and torn tails" `Quick
       test_compact_drops_duplicates_and_torn_tail;
     Alcotest.test_case "compact edge cases" `Quick test_compact_edge_cases;
+    Alcotest.test_case "previous-format log ignored cleanly" `Quick
+      test_old_format_ignored;
     Alcotest.test_case "compact survives kill -9" `Slow test_compact_survives_kill;
   ]

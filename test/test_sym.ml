@@ -1,0 +1,233 @@
+(* Canonical labeling: the canonizer against brute-force orbit
+   enumeration on small spaces, the qcheck invariance property, and the
+   closed-form partition pin (orbit sizes sum to the candidate count). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spaces = [ (2, 2, 2); (3, 2, 2); (2, 3, 2); (2, 2, 3) ]
+
+(* --- hand-pinned orbits ---------------------------------------------- *)
+
+(* The constant table T(x,op) = (0,0) on {2,2,2}: its stabilizer is
+   {(id, sigma, rho) | rho 0 = 0}, order 2!*1 = 2 with both responses
+   used... response 1 is unused, so rho is free on it: order 2!*1! = 2
+   from sigma alone times 1! for the unused response — |Aut| = 4,
+   orbit = 8/4... brute: images are the 4 constant tables (r,v), so
+   orbit = 4 and |Aut| = 2. *)
+let test_constant_table () =
+  let t = Sym.make ~values:2 ~ops:2 ~responses:2 in
+  let tbl = Array.make 4 (0, 0) in
+  let c = Sym.canonize t tbl in
+  check_int "orbit" (Sym.orbit_brute t tbl) c.Sym.orbit;
+  check_int "orbit is 4" 4 c.Sym.orbit;
+  check_int "aut * orbit = group" (Sym.group_order t) (c.Sym.aut * c.Sym.orbit);
+  (* the constant table is fully determined by one cell: canonical form
+     must itself be constant *)
+  Array.iter
+    (fun (r, v) ->
+      check_int "form resp" (fst c.Sym.form.(0)) r;
+      check_int "form val" (snd c.Sym.form.(0)) v)
+    c.Sym.form
+
+(* A rigid table: distinct rows and columns leave no symmetry, so the
+   orbit is the whole group. *)
+let test_rigid_table () =
+  let t = Sym.make ~values:2 ~ops:2 ~responses:2 in
+  (* T(0,0)=(0,0) T(0,1)=(1,0) T(1,0)=(0,0) T(1,1)=(0,1) *)
+  let tbl = [| (0, 0); (1, 0); (0, 0); (0, 1) |] in
+  let c = Sym.canonize t tbl in
+  check_int "orbit" (Sym.orbit_brute t tbl) c.Sym.orbit;
+  check_int "orbit is the group" (Sym.group_order t) c.Sym.orbit;
+  check_int "aut trivial" 1 c.Sym.aut
+
+(* --- bijection ------------------------------------------------------- *)
+
+let test_bijection () =
+  List.iter
+    (fun (v, o, r) ->
+      let t = Sym.make ~values:v ~ops:o ~responses:r in
+      let size = Sym.space_size t in
+      check_int "space size matches census"
+        (Census.space_size { Synth.num_values = v; num_rws = o; num_responses = r })
+        size;
+      for idx = 0 to min (size - 1) 500 do
+        check_int "unrank . rank" idx (Sym.index_of_table t (Sym.table_of_index t idx))
+      done;
+      (* the bijection is the census genome layout *)
+      for idx = 0 to min (size - 1) 200 do
+        let g =
+          Census.genome_of_index { Synth.num_values = v; num_rws = o; num_responses = r } idx
+        in
+        check_bool "same layout as genome_of_index" true
+          (Sym.table_of_index t idx = Synth.table g)
+      done)
+    spaces
+
+(* --- exhaustive agreement with the brute oracle on {2,2,2} ----------- *)
+
+let test_brute_agreement () =
+  let t = Sym.make ~values:2 ~ops:2 ~responses:2 in
+  for idx = 0 to Sym.space_size t - 1 do
+    let tbl = Sym.table_of_index t idx in
+    let c = Sym.canonize t tbl in
+    check_int "orbit matches brute enumeration" (Sym.orbit_brute t tbl) c.Sym.orbit;
+    (* idempotence: the canonical form canonizes to itself *)
+    let c' = Sym.canonize t c.Sym.form in
+    check_int "canonical form is a fixpoint" c.Sym.index c'.Sym.index
+  done
+
+(* --- classes: partition of the space --------------------------------- *)
+
+let test_classes_partition () =
+  List.iter
+    (fun (v, o, r) ->
+      let t = Sym.make ~values:v ~ops:o ~responses:r in
+      let reps, orbits = Sym.classes t in
+      let n = Array.length reps in
+      check_int "reps and orbits align" n (Array.length orbits);
+      check_bool "strictly fewer classes than candidates" true (n < Sym.space_size t);
+      check_int "orbit sizes sum to the closed-form candidate count" (Sym.space_size t)
+        (Array.fold_left ( + ) 0 orbits);
+      Array.iteri
+        (fun i rep ->
+          if i > 0 then check_bool "reps ascend" true (reps.(i - 1) < rep);
+          check_bool "rep is its own canonical index" true (Sym.is_rep t rep))
+        reps)
+    spaces
+
+(* Every index canonizes to a rep of its class, and class membership is
+   consistent: members counted per rep equal the rep's orbit. *)
+let test_classes_cover () =
+  let t = Sym.make ~values:2 ~ops:2 ~responses:2 in
+  let reps, orbits = Sym.classes t in
+  let count = Hashtbl.create 16 in
+  for idx = 0 to Sym.space_size t - 1 do
+    let c = Sym.canonize_index t idx in
+    Hashtbl.replace count c.Sym.index (1 + Option.value ~default:0 (Hashtbl.find_opt count c.Sym.index))
+  done;
+  check_int "every index lands on a rep" (Array.length reps) (Hashtbl.length count);
+  Array.iteri
+    (fun i rep ->
+      check_int "class population = orbit size" orbits.(i)
+        (Option.value ~default:0 (Hashtbl.find_opt count rep)))
+    reps
+
+(* --- qcheck: invariance under random relabelings --------------------- *)
+
+let perm_gen n st =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = QCheck.Gen.int_bound i st in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let prop_canonize_invariant =
+  let gen st =
+    let v, o, r = List.nth spaces (QCheck.Gen.int_bound (List.length spaces - 1) st) in
+    let tbl =
+      Array.init (v * o) (fun _ -> (QCheck.Gen.int_bound (r - 1) st, QCheck.Gen.int_bound (v - 1) st))
+    in
+    ((v, o, r), tbl, perm_gen v st, perm_gen o st, perm_gen r st)
+  in
+  let print ((v, o, r), tbl, pv, po, pr) =
+    let arr a = String.concat "," (Array.to_list (Array.map string_of_int a)) in
+    Printf.sprintf "space=%d/%d/%d tbl=[%s] pv=[%s] po=[%s] pr=[%s]" v o r
+      (String.concat ";" (Array.to_list (Array.map (fun (a, b) -> Printf.sprintf "%d:%d" a b) tbl)))
+      (arr pv) (arr po) (arr pr)
+  in
+  QCheck.Test.make ~name:"permuted tables canonize to identical forms and digests" ~count:300
+    (QCheck.make ~print gen)
+    (fun ((v, o, r), tbl, pv, po, pr) ->
+      let t = Sym.make ~values:v ~ops:o ~responses:r in
+      let c = Sym.canonize t tbl in
+      let c' = Sym.canonize t (Sym.apply t tbl ~pv ~po ~pr) in
+      c.Sym.index = c'.Sym.index
+      && c.Sym.form = c'.Sym.form
+      && c.Sym.orbit = c'.Sym.orbit
+      && c.Sym.aut = c'.Sym.aut
+      && Sym.digest t tbl = Sym.digest t (Sym.apply t tbl ~pv ~po ~pr))
+
+(* --- canonical digests ----------------------------------------------- *)
+
+let test_digest () =
+  let t = Sym.make ~values:2 ~ops:2 ~responses:2 in
+  let a = [| (0, 0); (1, 0); (0, 0); (0, 1) |] in
+  (* a with values swapped *)
+  let b = Sym.apply t a ~pv:[| 1; 0 |] ~po:[| 0; 1 |] ~pr:[| 0; 1 |] in
+  check_bool "isomorphic tables share a digest" true (Sym.digest t a = Sym.digest t b);
+  let c = Array.make 4 (0, 0) in
+  check_bool "non-isomorphic tables differ" true (Sym.digest t a <> Sym.digest t c)
+
+(* The serve-store key under --sym: isomorphic types hash to one
+   canonical digest (the exact-spec digest tells them apart), and cap
+   stays part of the key. *)
+let test_canonical_query_digest () =
+  let t = Sym.make ~values:2 ~ops:2 ~responses:2 in
+  let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
+  let tbl = [| (0, 0); (1, 0); (0, 0); (0, 1) |] in
+  (* the rigid table: any nontrivial relabeling yields a distinct twin *)
+  let tbl' = Sym.apply t tbl ~pv:[| 1; 0 |] ~po:[| 1; 0 |] ~pr:[| 0; 1 |] in
+  let ty a = Synth.to_objtype (Census.genome_of_index space (Sym.index_of_table t a)) in
+  check_bool "isomorphic types share the canonical digest" true
+    (Api.query_digest_canonical (ty tbl) ~cap:4
+    = Api.query_digest_canonical (ty tbl') ~cap:4);
+  check_bool "exact-spec digests still tell them apart" true
+    (Api.query_digest (ty tbl) ~cap:4 <> Api.query_digest (ty tbl') ~cap:4);
+  check_bool "cap is part of the canonical key" true
+    (Api.query_digest_canonical (ty tbl) ~cap:4
+    <> Api.query_digest_canonical (ty tbl) ~cap:5)
+
+(* --- Engine.census under symmetry reduction -------------------------- *)
+
+(* The acceptance pin: the reduced census returns the bit-identical
+   histogram while deciding strictly fewer candidates.  The summary is
+   in table units either way, so the two runs must agree on every
+   field. *)
+let census_sym_identity ~space ~cap () =
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  let run ~sym =
+    let obs = Obs.create () in
+    let config = Api.Config.v ~cap ~kernel:Kernel.Trie ~sym () in
+    (Engine.census ~obs ~config pool space, obs)
+  in
+  let off, _ = run ~sym:false in
+  let on, obs = run ~sym:true in
+  check_bool "both runs complete" true (off.Engine.complete && on.Engine.complete);
+  check_bool "bit-identical histogram" true (on.Engine.entries = off.Engine.entries);
+  check_int "totals agree (table units)" off.Engine.total on.Engine.total;
+  check_int "completed covers the space (table units)" (Census.space_size space)
+    on.Engine.completed;
+  let classes = Obs.Metrics.Counter.value (Obs.counter obs "sym.classes") in
+  check_bool "sym.classes nonzero" true (classes > 0);
+  check_bool "strictly fewer decisions than candidates" true
+    (classes < Census.space_size space);
+  check_int "decisions = classes" classes
+    (Obs.Metrics.Counter.value (Obs.counter obs "census.tables"))
+
+let test_census_sym_small () =
+  census_sym_identity ~space:{ Synth.num_values = 2; num_rws = 2; num_responses = 2 }
+    ~cap:3 ()
+
+(* {3,2,2} at cap 4 — the E21 workload, the issue's acceptance pin. *)
+let test_census_sym_322 () =
+  census_sym_identity ~space:{ Synth.num_values = 3; num_rws = 2; num_responses = 2 }
+    ~cap:4 ()
+
+let suite =
+  [
+    ("constant table orbit", `Quick, test_constant_table);
+    ("rigid table orbit", `Quick, test_rigid_table);
+    ("rank/unrank bijection matches census genomes", `Quick, test_bijection);
+    ("canonize agrees with brute force on {2,2,2}", `Quick, test_brute_agreement);
+    ("orbit sizes sum to the candidate count", `Quick, test_classes_partition);
+    ("classes cover the space", `Quick, test_classes_cover);
+    ("canonical digests", `Quick, test_digest);
+    ("canonical analyze store keys", `Quick, test_canonical_query_digest);
+    ("sym census bit-identical on {2,2,2}", `Quick, test_census_sym_small);
+    ("sym census bit-identical on {3,2,2} cap 4", `Slow, test_census_sym_322);
+    QCheck_alcotest.to_alcotest prop_canonize_invariant;
+  ]

@@ -14,21 +14,32 @@
 #   3. SIGTERM is a clean shutdown: exit 0, socket unlinked, stats
 #      printed.
 #
-# Artifacts (archived by CI): serve-smoke.out (daemon stdout including
-# the --stats json block), serve-smoke-{cold,warm,recovered,metrics}.json.
+# Artifacts land in a scratch directory ($SMOKE_DIR/serve, default
+# _build/smoke/serve), removed on success and kept for CI to archive on
+# failure — a green run leaves nothing behind.
 set -eu
 
 RCN=./_build/default/bin/rcn.exe
 CLIENT=./_build/default/tools/serve_client.exe
 CHECK=./_build/default/tools/stats_check.exe
 
-SOCK=serve-smoke.sock
-STORE=serve-smoke.store
+OUT="${SMOKE_DIR:-_build/smoke}/serve"
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+SOCK=$OUT/serve-smoke.sock
+STORE=$OUT/serve-smoke.store
 
 DAEMON_PID=
 cleanup() {
+  code=$?
   [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
   rm -f "$SOCK"
+  if [ "$code" -eq 0 ]; then
+    rm -rf "$OUT"
+  else
+    echo "serve-smoke: artifacts kept in $OUT" >&2
+  fi
 }
 trap cleanup EXIT
 
@@ -42,40 +53,36 @@ wait_for_socket() {
   fail "daemon did not create $SOCK"
 }
 
-rm -f "$SOCK" "$STORE" serve-smoke.out \
-  serve-smoke-cold.json serve-smoke-warm.json \
-  serve-smoke-recovered.json serve-smoke-metrics.json
-
 REQ_ANALYZE=$("$RCN" request analyze test-and-set --cap 3 --jobs 2)
 REQ_CENSUS=$("$RCN" request census --values 3 --rws 2 --responses 2 --cap 3 --jobs 2)
 REQ_METRICS=$("$RCN" request metrics)
 
 # --- phase 1: cold/warm against a fresh daemon --------------------------
 "$RCN" serve --socket "$SOCK" --store "$STORE" --jobs 2 --stats json \
-  > serve-smoke-daemon1.out 2>&1 &
+  > "$OUT/serve-smoke-daemon1.out" 2>&1 &
 DAEMON_PID=$!
 wait_for_socket
 
-"$CLIENT" "$SOCK" "$REQ_ANALYZE" > serve-smoke-cold.json
-grep -q '"from_store":false' serve-smoke-cold.json \
+"$CLIENT" "$SOCK" "$REQ_ANALYZE" > "$OUT/serve-smoke-cold.json"
+grep -q '"from_store":false' "$OUT/serve-smoke-cold.json" \
   || fail "cold query claimed from_store"
 
-"$CLIENT" "$SOCK" --repeat 2 "$REQ_ANALYZE" > serve-smoke-warm.json
-[ "$(sort -u serve-smoke-warm.json | wc -l)" = 1 ] \
+"$CLIENT" "$SOCK" --repeat 2 "$REQ_ANALYZE" > "$OUT/serve-smoke-warm.json"
+[ "$(sort -u "$OUT/serve-smoke-warm.json" | wc -l)" = 1 ] \
   || fail "repeat queries disagreed with each other"
-grep -q '"from_store":true' serve-smoke-warm.json \
+grep -q '"from_store":true' "$OUT/serve-smoke-warm.json" \
   || fail "repeat query was not served from the store"
 
 # Byte-identity cold vs warm: the store replays the exact bytes the cold
 # run produced, so the responses differ only in the from_store flag.
-if ! diff <(sed 's/"from_store":false/"from_store":true/' serve-smoke-cold.json) \
-          <(head -n 1 serve-smoke-warm.json) >/dev/null; then
+if ! diff <(sed 's/"from_store":false/"from_store":true/' "$OUT/serve-smoke-cold.json") \
+          <(head -n 1 "$OUT/serve-smoke-warm.json") >/dev/null; then
   fail "store replay is not byte-identical to the cold run"
 fi
 
-"$CLIENT" "$SOCK" "$REQ_METRICS" > serve-smoke-metrics.json
+"$CLIENT" "$SOCK" "$REQ_METRICS" > "$OUT/serve-smoke-metrics.json"
 "$CHECK" --require-nonzero store.hits --require-nonzero store.puts \
-  < serve-smoke-metrics.json \
+  < "$OUT/serve-smoke-metrics.json" \
   || fail "metrics reply missing nonzero store counters"
 
 # --- phase 2: SIGKILL mid-workload, restart, recover --------------------
@@ -91,14 +98,14 @@ DAEMON_PID=
 rm -f "$SOCK"
 
 "$RCN" serve --socket "$SOCK" --store "$STORE" --jobs 2 --stats json \
-  > serve-smoke.out 2>&1 &
+  > "$OUT/serve-smoke.out" 2>&1 &
 DAEMON_PID=$!
 wait_for_socket
 
-"$CLIENT" "$SOCK" "$REQ_ANALYZE" > serve-smoke-recovered.json
-grep -q '"from_store":true' serve-smoke-recovered.json \
+"$CLIENT" "$SOCK" "$REQ_ANALYZE" > "$OUT/serve-smoke-recovered.json"
+grep -q '"from_store":true' "$OUT/serve-smoke-recovered.json" \
   || fail "restarted daemon did not recover the store"
-diff serve-smoke-recovered.json <(head -n 1 serve-smoke-warm.json) >/dev/null \
+diff "$OUT/serve-smoke-recovered.json" <(head -n 1 "$OUT/serve-smoke-warm.json") >/dev/null \
   || fail "recovered store served different bytes than before the crash"
 
 # --- phase 3: clean SIGTERM shutdown ------------------------------------
@@ -108,7 +115,7 @@ wait "$DAEMON_PID" || STATUS=$?
 DAEMON_PID=
 [ "$STATUS" = 0 ] || fail "SIGTERM shutdown exited $STATUS"
 [ ! -e "$SOCK" ] || fail "daemon left its socket behind"
-"$CHECK" --require store.hits --require store.loaded < serve-smoke.out \
+"$CHECK" --require store.hits --require store.loaded < "$OUT/serve-smoke.out" \
   || fail "daemon stats block missing store counters"
 
 echo "serve-smoke: OK"
