@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-e18 bench-e19 bench-e20 bench-e21 inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke clean
+.PHONY: all build test check bench bench-e18 bench-e19 bench-e20 bench-e21 bench-e22 inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke synth-smoke clean
 
 all: build
 
@@ -101,6 +101,31 @@ bench-e20: build
 bench-e21: build
 	./_build/default/bench/e21.exe
 
+# E22 incremental decision kernel (warm-start vs from-scratch synthesis
+# on the E6 target-4 workload); writes BENCH_e22.json for CI to archive
+# and exits nonzero if the fitness trajectories diverge between the two
+# modes (the patched-kernel exactness contract), if the incremental run
+# never exercised the patch path, or if the speedup drops below the 3x
+# floor.
+bench-e22: build
+	./_build/default/bench/e22.exe
+
+# Synthesis smoke: a small climb whose candidate stream must actually
+# exercise the incremental machinery — nonzero fitness evaluations,
+# symmetry-memo skips, kernel patches and surviving (reused) memo
+# entries.  The search legitimately may or may not find a witness at
+# this budget; only a crash or a dead counter fails the smoke.
+synth-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	./_build/default/bin/rcn.exe synth --target 4 --values 3 --rws 2 --responses 2 \
+	  --iterations 600 --seed 1 --stats json \
+	  | tee $(SMOKE_DIR)/synth-smoke.out \
+	  | ./_build/default/tools/stats_check.exe \
+	      --require-nonzero synth.evals --require-nonzero synth.sym_skips \
+	      --require-nonzero kernel.patches --require-nonzero kernel.masks_reused \
+	      --require-nonzero kernel.masks_invalidated
+	rm -f $(SMOKE_DIR)/synth-smoke.out
+
 # Self-healing smoke, two halves (binaries invoked directly — see the
 # stats-smoke note on the _build lock):
 #  1. retry injection: a census where half the chunks fail their first
@@ -126,4 +151,4 @@ soak-smoke: build
 
 clean:
 	dune clean
-	rm -f BENCH_e18.json BENCH_e19.json BENCH_e20.json BENCH_e21.json
+	rm -f BENCH_e18.json BENCH_e19.json BENCH_e20.json BENCH_e21.json BENCH_e22.json

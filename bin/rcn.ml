@@ -318,11 +318,12 @@ let trace name n n' schedule_text inputs_text =
 (* ------------------------------------------------------------------ *)
 (* synth *)
 
-let synth target values rws responses seed iters save portfolio jobs deadline sup_opts
-    connect trace stats =
+let synth target values rws responses seed iters incremental save portfolio jobs
+    deadline sup_opts connect trace stats =
   with_obs ~command:"synth" trace stats @@ fun obs ->
   let space = { Synth.num_values = values; num_rws = rws; num_responses = responses } in
   let config = build_config ~cap:5 ~jobs ~kernel:Kernel.Trie ~deadline sup_opts in
+  let config = { config with Api.Config.incremental } in
   let req =
     Api.Request.Synth
       { space; target; seed; iterations = iters; restart_every = None; portfolio; config }
@@ -1224,6 +1225,19 @@ let synth_cmd =
   let responses = Arg.(value & opt int 5 & info [ "responses" ] ~docv:"K" ~doc:"RMW responses.") in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.") in
   let iters = Arg.(value & opt int 20000 & info [ "iterations" ] ~docv:"I" ~doc:"Fitness evaluation budget.") in
+  let incremental =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) true
+      & info [ "incremental" ] ~docv:"MODE"
+          ~doc:
+            "Warm-start neighborhood search: $(b,on) (the default) holds one \
+             compiled decision kernel per fitness level across the whole climb \
+             and applies each mutation as a one-cell table patch with delta \
+             invalidation; $(b,off) recompiles kernels on every candidate — \
+             the ablation baseline.  The fitness trajectory and the witness \
+             are bit-identical in both modes at a fixed seed.")
+  in
   let save =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"Write the witness's specification to $(docv).")
   in
@@ -1235,8 +1249,9 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth" ~doc:"Search for a consensus-number gap witness (experiment E6)")
     Term.(
-      const synth $ target $ values $ rws $ responses $ seed $ iters $ save $ portfolio
-      $ jobs_t $ deadline_t $ supervise_t $ connect_t $ trace_t $ stats_t)
+      const synth $ target $ values $ rws $ responses $ seed $ iters $ incremental
+      $ save $ portfolio $ jobs_t $ deadline_t $ supervise_t $ connect_t $ trace_t
+      $ stats_t)
 
 let trace_cmd =
   let schedule =

@@ -20,6 +20,7 @@ module Config = struct
     chaos_seed : int;
     chaos_attempts : int;
     sym : bool;
+    incremental : bool;
   }
 
   let default =
@@ -34,12 +35,14 @@ module Config = struct
       chaos_seed = 0;
       chaos_attempts = 1;
       sym = false;
+      incremental = true;
     }
 
   let v ?(jobs = 1) ?(cap = 5) ?deadline ?(kernel = Kernel.Trie) ?retries ?heartbeat
-      ?chaos_rate ?(chaos_seed = 0) ?(chaos_attempts = 1) ?(sym = false) () =
+      ?chaos_rate ?(chaos_seed = 0) ?(chaos_attempts = 1) ?(sym = false)
+      ?(incremental = true) () =
     { jobs; cap; deadline; kernel; retries; heartbeat; chaos_rate; chaos_seed;
-      chaos_attempts; sym }
+      chaos_attempts; sym; incremental }
 
   let validate t =
     if t.jobs < 0 then Error "jobs must be nonnegative"
@@ -91,6 +94,7 @@ module Config = struct
         ("chaos_seed", Wire.Int t.chaos_seed);
         ("chaos_attempts", Wire.Int t.chaos_attempts);
         ("sym", Wire.Bool t.sym);
+        ("incremental", Wire.Bool t.incremental);
       ]
 
   let of_json j =
@@ -113,9 +117,18 @@ module Config = struct
     let* sym =
       match Wire.field j "sym" with Error _ -> Ok false | Ok b -> Wire.to_bool b
     in
+    (* [incremental] likewise postdates the wire format, but defaults
+       *on*: the warm-start search is the standard path, and a config
+       encoded before the flag existed should decode to the same
+       behavior it would get today. *)
+    let* incremental =
+      match Wire.field j "incremental" with
+      | Error _ -> Ok true
+      | Ok b -> Wire.to_bool b
+    in
     Ok
       { jobs; cap; deadline; kernel; retries; heartbeat; chaos_rate; chaos_seed;
-        chaos_attempts; sym }
+        chaos_attempts; sym; incremental }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -284,12 +297,38 @@ let census_digest (space : Synth.space) ~cap ~sample ~seed =
           (match sample with None -> "none" | Some n -> string_of_int n)
           seed))
 
+(* v2: the reroll-until-different mutation draw and the per-search
+   symmetry memo changed the deterministic trajectory a given seed
+   produces, so v1 records describe a search this build no longer
+   runs — the bump retires them instead of replaying stale results. *)
 let synth_digest (space : Synth.space) ~target ~seed ~iterations ~restart_every
     ~portfolio =
   Digest.to_hex
     (Digest.string
        (Printf.sprintf
-          "rcn-synth v1 values=%d rws=%d responses=%d target=%d seed=%d iterations=%d restart_every=%s portfolio=%d"
+          "rcn-synth v2 values=%d rws=%d responses=%d target=%d seed=%d iterations=%d restart_every=%s portfolio=%d"
+          space.Synth.num_values space.Synth.num_rws space.Synth.num_responses target
+          seed iterations
+          (match restart_every with None -> "none" | Some n -> string_of_int n)
+          portfolio))
+
+(* The canonical synth store key ([query_digest_canonical]'s sibling).
+   A synth request carries no transition table — its space is three
+   dimensions — so the orbit quotient that canonizes analyze keys is
+   trivial here; what the canonical key collapses is *spellings of the
+   same run*: [restart_every = None] and
+   [restart_every = Some Synth.default_restart_every] execute
+   identically, so they share a record.  A distinct version tag keeps
+   the keyspace disjoint from the exact [synth_digest]. *)
+let synth_digest_canonical (space : Synth.space) ~target ~seed ~iterations
+    ~restart_every ~portfolio =
+  let restart_every =
+    Some (Option.value restart_every ~default:Synth.default_restart_every)
+  in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf
+          "rcn-synth v3 values=%d rws=%d responses=%d target=%d seed=%d iterations=%d restart_every=%s portfolio=%d"
           space.Synth.num_values space.Synth.num_rws space.Synth.num_responses target
           seed iterations
           (match restart_every with None -> "none" | Some n -> string_of_int n)

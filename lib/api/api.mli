@@ -44,6 +44,15 @@ module Config : sig
         (** symmetry reduction: decide one canonical representative per
             isomorphism class and weight it by its orbit size.  Absent
             on the wire means [false], so v1 configs still decode. *)
+    incremental : bool;
+        (** warm-start synthesis: hold one kernel + scratch per fitness
+            level across the whole climb and apply mutations with
+            [Kernel.patch] instead of recompiling per candidate.  The
+            fitness trajectory and result are bit-identical either way
+            (enforced by bench e22), so this is a pure performance
+            switch — [false] is the ablation baseline.  Absent on the
+            wire means [true]: configs encoded before the flag existed
+            decode to today's standard path. *)
   }
 
   val default : t
@@ -60,6 +69,7 @@ module Config : sig
     ?chaos_seed:int ->
     ?chaos_attempts:int ->
     ?sym:bool ->
+    ?incremental:bool ->
     unit ->
     t
   (** {!default} with fields overridden — the one place optional
@@ -291,4 +301,24 @@ val synth_digest :
   portfolio:int ->
   string
 (** The content address of a synth query: every parameter the portfolio
-    search's outcome is a deterministic function of. *)
+    search's outcome is a deterministic function of.  [incremental] and
+    [kernel] are excluded — the warm-start and from-scratch searches
+    produce bit-identical results (the bench-e22 invariant).  v2: the
+    reroll mutation draw and the symmetry memo changed the trajectory
+    of every seed, retiring v1 records. *)
+
+val synth_digest_canonical :
+  Synth.space ->
+  target:int ->
+  seed:int ->
+  iterations:int ->
+  restart_every:int option ->
+  portfolio:int ->
+  string
+(** The canonical synth store key ([--sym on], {!query_digest_canonical}'s
+    sibling).  A synth request carries no transition table, so the orbit
+    quotient is trivial; what this key collapses is spellings of the
+    same run: [restart_every = None] and
+    [restart_every = Some Synth.default_restart_every] execute
+    identically and share a record.  Version-tagged disjoint from
+    {!synth_digest}. *)

@@ -44,6 +44,17 @@ val search :
 val is_discerning : Objtype.t -> n:int -> bool
 val is_recording : Objtype.t -> n:int -> bool
 
+val holds : ?mode:Kernel.mode -> Kernel.t -> Kernel.scratch -> condition -> bool
+(** Decide the condition against a caller-owned kernel and scratch —
+    [is_discerning] / [is_recording] without the per-call compile.  The
+    verdict is for the kernel's {e current} tables, so this is the
+    decision point for incremental synthesis: hold one kernel + scratch
+    per fitness level across a climb, mutate candidates with
+    [Kernel.patch] / [Kernel.unpatch] between calls, and the scratch's
+    delta-invalidated memo carries over.  [mode] must be [Tables] or
+    [Trie] ([Kernel.search_range]'s restriction).
+    @raise Invalid_argument on [mode = Reference]. *)
+
 val certificates :
   ?naive:bool ->
   ?scheds:Sched.proc list list ->

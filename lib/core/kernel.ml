@@ -170,6 +170,9 @@ type t = {
   total : int;
   c_evals : Obs.Metrics.Counter.t option;
   c_pruned : Obs.Metrics.Counter.t option;
+  c_patches : Obs.Metrics.Counter.t option;
+  c_invalidated : Obs.Metrics.Counter.t option;
+  c_reused : Obs.Metrics.Counter.t option;
 }
 
 let compile ?obs (ty : Objtype.t) ~n =
@@ -235,12 +238,32 @@ let compile ?obs (ty : Objtype.t) ~n =
     total = nv * per_u;
     c_evals = Option.map (fun o -> Obs.counter o "decide.kernel_evals") obs;
     c_pruned = Option.map (fun o -> Obs.counter o "decide.partitions_pruned") obs;
+    c_patches = Option.map (fun o -> Obs.counter o "kernel.patches") obs;
+    c_invalidated = Option.map (fun o -> Obs.counter o "kernel.masks_invalidated") obs;
+    c_reused = Option.map (fun o -> Obs.counter o "kernel.masks_reused") obs;
   }
 
 let total k = k.total
 
 (* ------------------------------------------------------------------ *)
 (* Scratch. *)
+
+(* One memoized evaluation: the final-value (or discerning-key) masks of
+   a given [(u, ops, condition)], plus the delta-invalidation metadata —
+   [cells] is a bitset over the [nv * no] transition-table cells the trie
+   fold read to produce [masks], recorded while [track] is on.  [patch]
+   flips [valid] off for every entry watching the edited cell; [version]
+   distinguishes successive recomputations of the same slot so the
+   rank-indexed verdict cache below can tell a revalidated entry from
+   the one it cached. *)
+type entry = {
+  mutable masks : int array;
+  mutable cells : int array; (* bitset: cell [c] at word [c lsr 5], bit [c land 31] *)
+  mutable valid : bool;
+  mutable version : int;
+}
+
+let dummy_entry = { masks = [||]; cells = [||]; valid = false; version = -1 }
 
 type scratch = {
   value : int array; (* per trie node: folded final value; value.(0) = u *)
@@ -253,8 +276,31 @@ type scratch = {
   ops0 : int array; (* T_0's sorted assignment (first size0 slots used) *)
   ops1 : int array; (* T_1's sorted assignment *)
   proc_resp : int array; (* Tables mode: last response per process *)
-  memo : (int, int array) Hashtbl.t; (* (ops, condition) -> masks *)
-  mutable memo_u : int; (* initial value the memo is valid for *)
+  memo : (int, entry) Hashtbl.t; (* (u, ops, condition) -> entry *)
+  watch : entry list array; (* per cell: entries whose masks read it *)
+  cur_cells : int array; (* bitset buffer for the eval in progress *)
+  cell_words : int; (* length of [cur_cells] *)
+  mutable track : bool; (* record cells / maintain [watch]? on after the first patch *)
+  mutable patches_seen : int;
+  mutable patch_events : int;
+      (* bumped by every bucket-clearing event (patch, unpatch) and
+         never rolled back — the guard telling an unpatch whether its
+         window was quiet enough to restore snapshots (see [unpatch]) *)
+  mutable vclock : int; (* issues entry versions; never reissued, so a
+                           rolled-back version can't collide with a later
+                           re-evaluation's in the verdict cache *)
+  mutable last : entry; (* entry behind the most recent Trie classification *)
+  (* Rank-indexed verdict cache, allocated at the first patch: slot
+     [cond * total + rank] remembers which entry (at which version)
+     classified that candidate and what it answered, so a re-scan after
+     a patch costs one validity check per untouched candidate. *)
+  mutable v_entry : entry array;
+  mutable v_version : int array;
+  mutable v_bool : Bytes.t;
+  hint : int array;
+      (* [exists]'s last witnessing rank per condition (Recording at 0,
+         Discerning at 1), -1 when the last scan refuted.  Always
+         re-verified before being trusted, so staleness is harmless. *)
 }
 
 let scratch k =
@@ -270,17 +316,30 @@ let scratch k =
     ops1 = Array.make k.n 0;
     proc_resp = Array.make k.n 0;
     memo = Hashtbl.create 1024;
-    memo_u = -1;
+    watch = Array.make (k.nv * k.no) [];
+    cur_cells = Array.make (((k.nv * k.no) + 31) / 32) 0;
+    cell_words = ((k.nv * k.no) + 31) / 32;
+    track = false;
+    patches_seen = 0;
+    patch_events = 0;
+    vclock = 0;
+    last = dummy_entry;
+    v_entry = [||];
+    v_version = [||];
+    v_bool = Bytes.empty;
+    hint = [| -1; -1 |];
   }
 
 (* Memo key: the ops array as a base-[no] number, tagged with the
-   condition (one scratch may serve both in [check]). *)
-let ops_code k (s : scratch) cond =
+   condition (one scratch may serve both in [check]) and the initial
+   value — entries for every [u] coexist, so a patched scratch never
+   throws evaluations away wholesale. *)
+let memo_code k (s : scratch) cond ~u =
   let c = ref (match cond with Recording -> 0 | Discerning -> 1) in
   for i = k.n - 1 downto 0 do
     c := (!c * k.no) + s.ops.(i)
   done;
-  !c
+  (!c * k.nv) + u
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation: fold every schedule for the current (u, s.ops).
@@ -294,11 +353,20 @@ let ops_code k (s : scratch) cond =
 let eval_rec_trie k s ~u =
   Array.fill s.rec_mask 0 k.nv 0;
   s.value.(0) <- u;
-  for i = 1 to k.t_nodes - 1 do
-    let v = k.next.((s.value.(k.t_parent.(i)) * k.no) + s.ops.(k.t_proc.(i))) in
-    s.value.(i) <- v;
-    s.rec_mask.(v) <- s.rec_mask.(v) lor (1 lsl k.t_first.(i))
-  done
+  if s.track then
+    for i = 1 to k.t_nodes - 1 do
+      let idx = (s.value.(k.t_parent.(i)) * k.no) + s.ops.(k.t_proc.(i)) in
+      s.cur_cells.(idx lsr 5) <- s.cur_cells.(idx lsr 5) lor (1 lsl (idx land 31));
+      let v = k.next.(idx) in
+      s.value.(i) <- v;
+      s.rec_mask.(v) <- s.rec_mask.(v) lor (1 lsl k.t_first.(i))
+    done
+  else
+    for i = 1 to k.t_nodes - 1 do
+      let v = k.next.((s.value.(k.t_parent.(i)) * k.no) + s.ops.(k.t_proc.(i))) in
+      s.value.(i) <- v;
+      s.rec_mask.(v) <- s.rec_mask.(v) lor (1 lsl k.t_first.(i))
+    done
 
 let eval_rec_tables k s ~u =
   Array.fill s.rec_mask 0 k.nv 0;
@@ -325,11 +393,19 @@ let eval_rec_tables k s ~u =
    probe).  Returns the number of touched keys. *)
 let eval_disc_trie k s ~u =
   s.value.(0) <- u;
-  for i = 1 to k.t_nodes - 1 do
-    let idx = (s.value.(k.t_parent.(i)) * k.no) + s.ops.(k.t_proc.(i)) in
-    s.value.(i) <- k.next.(idx);
-    s.resp_at.(i) <- k.resp.(idx)
-  done;
+  if s.track then
+    for i = 1 to k.t_nodes - 1 do
+      let idx = (s.value.(k.t_parent.(i)) * k.no) + s.ops.(k.t_proc.(i)) in
+      s.cur_cells.(idx lsr 5) <- s.cur_cells.(idx lsr 5) lor (1 lsl (idx land 31));
+      s.value.(i) <- k.next.(idx);
+      s.resp_at.(i) <- k.resp.(idx)
+    done
+  else
+    for i = 1 to k.t_nodes - 1 do
+      let idx = (s.value.(k.t_parent.(i)) * k.no) + s.ops.(k.t_proc.(i)) in
+      s.value.(i) <- k.next.(idx);
+      s.resp_at.(i) <- k.resp.(idx)
+    done;
   let nt = ref 0 in
   for i = 1 to k.t_nodes - 1 do
     let fbit = 1 lsl k.t_first.(i) and f = s.value.(i) in
@@ -424,6 +500,20 @@ let classify_disc_masks (masks : int array) part =
   !ok
 
 let count_opt = function Some c -> Obs.Metrics.Counter.incr c | None -> ()
+let add_opt c n = match c with Some c -> Obs.Metrics.Counter.add c n | None -> ()
+
+(* Register [e] in the watch buckets of every cell its last evaluation
+   read.  Buckets are cleared when their cell is patched; an entry may
+   linger in a bucket for a cell it no longer reads (it was invalidated
+   and re-evaluated down a different path) — invalidation is idempotent
+   and conservative, so stale registrations only cost a spurious
+   re-evaluation, never a wrong answer. *)
+let register_watch k (s : scratch) (e : entry) =
+  let cells = k.nv * k.no in
+  for c = 0 to cells - 1 do
+    if e.cells.(c lsr 5) land (1 lsl (c land 31)) <> 0 then
+      s.watch.(c) <- e :: s.watch.(c)
+  done
 
 (* Decide the candidate currently materialized in [s.ops] against
    [part], evaluating or reusing the (u, ops) memo as the mode allows. *)
@@ -442,31 +532,202 @@ let check_current ~mode k s cond ~u part =
           reset_keys s nt;
           ok)
   | Trie -> (
-      if s.memo_u <> u then begin
-        Hashtbl.reset s.memo;
-        s.memo_u <- u
-      end;
-      let code = ops_code k s cond in
+      let code = memo_code k s cond ~u in
       match Hashtbl.find_opt s.memo code with
-      | Some masks -> (
+      | Some e when e.valid -> (
           count_opt k.c_pruned;
+          if s.patches_seen > 0 then count_opt k.c_reused;
+          s.last <- e;
           match cond with
-          | Recording -> classify_rec k masks part ~u
-          | Discerning -> classify_disc_masks masks part)
-      | None -> (
+          | Recording -> classify_rec k e.masks part ~u
+          | Discerning -> classify_disc_masks e.masks part)
+      | stale ->
           count_opt k.c_evals;
-          match cond with
-          | Recording ->
-              eval_rec_trie k s ~u;
-              let masks = Array.sub s.rec_mask 0 k.nv in
-              Hashtbl.add s.memo code masks;
-              classify_rec k masks part ~u
-          | Discerning ->
-              let nt = eval_disc_trie k s ~u in
-              let masks = Array.init nt (fun i -> s.key_mask.(s.touched.(i))) in
-              reset_keys s nt;
-              Hashtbl.add s.memo code masks;
-              classify_disc_masks masks part))
+          if s.track then Array.fill s.cur_cells 0 s.cell_words 0;
+          let masks =
+            match cond with
+            | Recording ->
+                eval_rec_trie k s ~u;
+                Array.sub s.rec_mask 0 k.nv
+            | Discerning ->
+                let nt = eval_disc_trie k s ~u in
+                let m = Array.init nt (fun i -> s.key_mask.(s.touched.(i))) in
+                reset_keys s nt;
+                m
+          in
+          let cells = if s.track then Array.copy s.cur_cells else [||] in
+          let e =
+            match stale with
+            | Some e when e.masks = masks ->
+                (* The edit did not change this evaluation's masks, so
+                   every verdict derived from them stands: revalidate at
+                   the *old* version and the rank verdict cache serves
+                   all covering candidates again without
+                   re-classification.  (Verdicts depend only on the
+                   masks; the read-cell set may still differ.) *)
+                e.cells <- cells;
+                e.valid <- true;
+                e
+            | stale ->
+                s.vclock <- s.vclock + 1;
+                (match stale with
+                | Some e ->
+                    e.masks <- masks;
+                    e.cells <- cells;
+                    e.valid <- true;
+                    e.version <- s.vclock;
+                    e
+                | None ->
+                    let e = { masks; cells; valid = true; version = s.vclock } in
+                    Hashtbl.add s.memo code e;
+                    e)
+          in
+          if s.track then register_watch k s e;
+          s.last <- e;
+          (match cond with
+          | Recording -> classify_rec k e.masks part ~u
+          | Discerning -> classify_disc_masks e.masks part))
+
+(* ------------------------------------------------------------------ *)
+(* Patching.  A patch rewrites one transition-table cell in place and
+   invalidates exactly the memoized evaluations registered as watching
+   that cell.  The very first patch on a scratch has no cell metadata to
+   consult (tracking was off), so it invalidates the whole memo once and
+   switches tracking on; every later patch is O(watchers of the cell).
+
+   Each entry a patch invalidates is first snapshotted (masks, read-cell
+   bitset and version) into the patch token, which also records the
+   patch-event counter at creation.  [unpatch] with a *quiet window* —
+   no bucket-clearing event since the token's own patch — restores the
+   table to exactly the state the snapshots were computed under, so it
+   (a) invalidates the *window* entries, the ones evaluated under the
+   mutant that read [c] (precisely the current watchers of [c]: the
+   patch emptied that bucket, so everything in it registered during the
+   window; a window evaluation that did not read [c] folds identically
+   on both tables and stays valid), then (b) swaps every snapshot back
+   in, valid, at its original version — a rejected mutation costs zero
+   re-evaluations on the way back, and restoring the version revives
+   the per-rank verdict cache.  Snapshots live in the token, not the
+   entry, so nested live tokens saving the same entry cannot clobber
+   one another, and versions come off a never-reissued scratch clock so
+   a rolled-back version cannot collide with a later re-evaluation's in
+   the verdict cache.
+
+   The quiet-window guard is what keeps restoration sound: a valid
+   entry is registered in the watch bucket of every cell it reads, and
+   an inner patch on another cell [c'] clears that bucket — dropping
+   any entry this token snapshotted (it is invalid at that point, so
+   the inner token does not save it).  Restoring such an entry to valid
+   would leave it unwatched on [c'], immune to later invalidation, and
+   silently stale.  So any intervening event — an inner patch/unpatch
+   pair, an out-of-LIFO-order unpatch — makes the token fall back to
+   plain invalidation of [c]'s current watchers: the snapshots are
+   discarded and the affected evaluations simply rerun on demand
+   (correct, just slower).  Either way the kernel answers as a fresh
+   compile of the restored table — the differential property pins
+   this. *)
+
+type patch = {
+  p_cell : int;
+  p_resp : int;
+  p_next : int;
+  p_stamp : int;
+  p_events : int;
+  p_saved : (entry * int array * int array * int) list;
+      (* (entry, masks, cells, version) at patch time *)
+}
+
+(* Snapshot and invalidate every valid watcher of [c]; returns the
+   snapshots.  First patch on a scratch: whole-memo invalidation (no
+   snapshots — nothing would restore them) + tracking on. *)
+let invalidate k s c =
+  let n = ref 0 in
+  let saved = ref [] in
+  if not s.track then begin
+    s.track <- true;
+    Hashtbl.iter
+      (fun _ e ->
+        if e.valid then begin
+          e.valid <- false;
+          incr n
+        end)
+      s.memo;
+    s.v_entry <- Array.make (2 * k.total) dummy_entry;
+    s.v_version <- Array.make (2 * k.total) (-1);
+    s.v_bool <- Bytes.make (2 * k.total) '\000'
+  end
+  else begin
+    List.iter
+      (fun e ->
+        if e.valid then begin
+          saved := (e, e.masks, e.cells, e.version) :: !saved;
+          e.valid <- false;
+          incr n
+        end)
+      s.watch.(c);
+    s.watch.(c) <- []
+  end;
+  s.patches_seen <- s.patches_seen + 1;
+  s.patch_events <- s.patch_events + 1;
+  count_opt k.c_patches;
+  add_opt k.c_invalidated !n;
+  !saved
+
+let patch k s ~cell:(v, o) ~entry:(r, v') =
+  if v < 0 || v >= k.nv || o < 0 || o >= k.no then
+    invalid_arg "Kernel.patch: cell out of range";
+  if r < 0 || r >= k.nr || v' < 0 || v' >= k.nv then
+    invalid_arg "Kernel.patch: entry out of range";
+  let c = (v * k.no) + o in
+  let p_resp = k.resp.(c) and p_next = k.next.(c) in
+  let p_stamp = s.patches_seen in
+  let p_events = s.patch_events in
+  k.resp.(c) <- r;
+  k.next.(c) <- v';
+  let p_saved = invalidate k s c in
+  { p_cell = c; p_resp; p_next; p_stamp; p_events; p_saved }
+
+let unpatch k s { p_cell = c; p_resp; p_next; p_stamp; p_events; p_saved } =
+  k.resp.(c) <- p_resp;
+  k.next.(c) <- p_next;
+  if s.track && s.patch_events = p_events + 1 then begin
+    (* Quiet-window fast path (see the comment above): the only event
+       since the token's creation is its own patch, so no watch bucket
+       lost a snapshotted entry and restoration is sound.  Window
+       entries first, then the snapshots; the patch clock rolls back so
+       the hot reject cycle reads as zero net patches.  Restored
+       entries still watch [c] — re-register them, since the patch
+       cleared that bucket. *)
+    let n = ref 0 in
+    List.iter
+      (fun e ->
+        if e.valid then begin
+          e.valid <- false;
+          incr n
+        end)
+      s.watch.(c);
+    s.watch.(c) <- [];
+    List.iter
+      (fun (e, masks, cells, version) ->
+        e.masks <- masks;
+        e.cells <- cells;
+        e.version <- version;
+        e.valid <- true;
+        s.watch.(c) <- e :: s.watch.(c))
+      p_saved;
+    s.patches_seen <- p_stamp;
+    s.patch_events <- s.patch_events + 1;
+    count_opt k.c_patches;
+    add_opt k.c_invalidated !n;
+    add_opt k.c_reused (List.length p_saved)
+  end
+  else ignore (invalidate k s c)
+
+let to_objtype ?name k =
+  let name = match name with Some n -> n | None -> k.ty.Objtype.name in
+  let next = Array.copy k.next and resp = Array.copy k.resp in
+  Objtype.make ~name ~num_values:k.nv ~num_ops:k.no ~num_responses:k.nr (fun v o ->
+      (resp.((v * k.no) + o), next.((v * k.no) + o)))
 
 (* ------------------------------------------------------------------ *)
 (* Ranked enumeration.  Rank order matches the reference
@@ -521,6 +782,14 @@ let search_range ?(mode = Trie) k s cond ~lo ~hi ~stop =
     let rank = ref lo in
     let u = ref (lo / k.per_u) in
     let rem = ref (lo mod k.per_u) in
+    (* The rank-indexed verdict cache (live once the scratch has been
+       patched, Trie mode only): a candidate whose entry survived the
+       patches since it was classified is answered by one validity
+       check, no memo probe and no re-classification.  Counter traffic
+       on this path is tallied locally and flushed once per scan. *)
+    let vact = mode = Trie && s.v_version <> [||] in
+    let vbase = (match cond with Recording -> 0 | Discerning -> 1) * k.total in
+    let fast_hits = ref 0 in
     (try
        while !witness = None && !rank < hi do
          (* locate the partition block containing [rem] *)
@@ -538,7 +807,26 @@ let search_range ?(mode = Trie) k s cond ~lo ~hi ~stop =
            while !witness = None && !rank < hi && !more do
              if stop !rank then raise Stopped;
              incr checked;
-             if check_current ~mode k s cond ~u:!u part then witness := Some !rank
+             let verdict =
+               if vact then begin
+                 let vi = vbase + !rank in
+                 let e = s.v_entry.(vi) in
+                 if e.valid && s.v_version.(vi) = e.version then begin
+                   incr fast_hits;
+                   Bytes.unsafe_get s.v_bool vi = '\001'
+                 end
+                 else begin
+                   let ok = check_current ~mode k s cond ~u:!u part in
+                   let e = s.last in
+                   s.v_entry.(vi) <- e;
+                   s.v_version.(vi) <- e.version;
+                   Bytes.set s.v_bool vi (if ok then '\001' else '\000');
+                   ok
+                 end
+               end
+               else check_current ~mode k s cond ~u:!u part
+             in
+             if verdict then witness := Some !rank
              else begin
                incr rank;
                if next_sorted s.ops1 part.size1 k.no then fill_ops1 s part
@@ -560,8 +848,67 @@ let search_range ?(mode = Trie) k s cond ~lo ~hi ~stop =
          end
        done
      with Stopped -> ());
+    add_opt k.c_pruned !fast_hits;
+    add_opt k.c_reused !fast_hits;
     (!witness, !checked)
   end
+
+(* Re-verify one rank (through the verdict cache when it is live). *)
+let check_rank ~mode k s cond rank =
+  let u = rank / k.per_u and rem = rank mod k.per_u in
+  let pi = ref 0 in
+  while k.parts.(!pi).start + k.parts.(!pi).block <= rem do
+    incr pi
+  done;
+  let part = k.parts.(!pi) in
+  let vact = mode = Trie && s.v_version <> [||] in
+  let vi = ((match cond with Recording -> 0 | Discerning -> 1) * k.total) + rank in
+  if
+    vact
+    &&
+    let e = s.v_entry.(vi) in
+    e.valid && s.v_version.(vi) = e.version
+  then begin
+    add_opt k.c_pruned 1;
+    add_opt k.c_reused 1;
+    Bytes.unsafe_get s.v_bool vi = '\001'
+  end
+  else begin
+    let i = rem - part.start in
+    unrank_sorted ~m:k.no ~k:part.size0 (i / part.count1) s.ops0;
+    unrank_sorted ~m:k.no ~k:part.size1 (i mod part.count1) s.ops1;
+    fill_ops s part;
+    let ok = check_current ~mode k s cond ~u part in
+    if vact then begin
+      let e = s.last in
+      s.v_entry.(vi) <- e;
+      s.v_version.(vi) <- e.version;
+      Bytes.set s.v_bool vi (if ok then '\001' else '\000')
+    end;
+    ok
+  end
+
+(* Existence of a witness, any rank.  Unlike [search_range] (which the
+   minimal-certificate searches need), existence is free to check the
+   previous scan's witness first: a patch rarely breaks it, so the
+   common case is one verdict-cache probe (or one re-evaluation)
+   instead of a scan of the whole prefix below the witness — the
+   decision point [Decide.holds] sits on the synthesizer's hot path. *)
+let exists ?(mode = Trie) k s cond =
+  (match mode with
+  | Reference -> invalid_arg "Kernel.exists: mode Reference has no compiled path"
+  | Tables | Trie -> ());
+  let slot = match cond with Recording -> 0 | Discerning -> 1 in
+  let h = s.hint.(slot) in
+  if h >= 0 && check_rank ~mode k s cond h then true
+  else
+    match search_range ~mode k s cond ~lo:0 ~hi:k.total ~stop:(fun _ -> false) with
+    | Some r, _ ->
+        s.hint.(slot) <- r;
+        true
+    | None, _ ->
+        s.hint.(slot) <- -1;
+        false
 
 (* ------------------------------------------------------------------ *)
 (* Single-candidate check, for the fixed-partition search.  Builds a

@@ -33,7 +33,13 @@
     (= sequential first) witness guarantee.
 
     Everything in a compiled {!t} is immutable and safe to share across
-    domains; each worker needs its own {!scratch}. *)
+    domains; each worker needs its own {!scratch}.  The one exception is
+    the {e patched} kernel: {!patch} / {!unpatch} mutate the flat tables
+    in place for the synthesizer's warm-start neighborhood search.  A
+    kernel that has been patched is paired with the single scratch the
+    patches were applied through and must stay confined to one domain —
+    never share it, and never use a second scratch on it (the other
+    scratch's memo would silently describe the pre-patch tables). *)
 
 type condition = Discerning | Recording
 (** Re-exported by [Decide]; defined here so the kernel does not depend
@@ -106,6 +112,17 @@ val search_range :
     reference path lives in [Decide].
     @raise Invalid_argument on [mode = Reference]. *)
 
+val exists : ?mode:mode -> t -> scratch -> condition -> bool
+(** Does {e any} candidate witness the condition?  Same verdict as
+    [search_range ~lo:0 ~hi:(total k)] being [Some _], but free to
+    short-circuit: the scratch remembers the last witnessing rank per
+    condition and re-verifies it first (through the verdict cache), so
+    on a patched kernel whose witness survived the edit this costs one
+    probe instead of a scan of the prefix below the witness.  The hot
+    decision point of the incremental synthesizer ([Decide.holds]).
+    [mode] must be [Tables] or [Trie].
+    @raise Invalid_argument on [mode = Reference]. *)
+
 val check :
   ?mode:mode ->
   t ->
@@ -119,6 +136,52 @@ val check :
     Equivalent to [Decide.check cond t (Sched.at_most_once ~nprocs:n)]
     on the same candidate.  @raise Invalid_argument on
     [mode = Reference]. *)
+
+(** {2 Incremental patching}
+
+    The synthesizer's hill climb moves between transition tables that
+    differ in one cell.  Instead of recompiling a kernel per candidate,
+    {!patch} edits one cell of the live tables and {e delta-invalidates}
+    the scratch's evaluation memo: every memoized per-[(u, ops)] mask
+    records (as a small bitset, while tracking is on) which table cells
+    its trie fold read, and a patch flips off exactly the entries
+    watching the edited cell — [O(invalidated entries)], not a memo
+    reset.  A rank-indexed verdict cache making re-scans O(1) per
+    untouched candidate rides on the same validity bits.  {!unpatch}
+    restores the previous entry from the returned token, so a rejected
+    mutation costs two cell writes plus the invalidations.  The
+    snapshot-reviving fast path applies when nothing else was patched
+    between a token's creation and its unpatch (the synthesizer's
+    reject cycle); any intervening patch/unpatch — nested tokens,
+    out-of-LIFO-order release — degrades that token to plain
+    invalidation, still correct, just re-evaluating on demand.
+
+    The first patch on a scratch invalidates its whole memo once (cells
+    were not yet being tracked) and switches tracking on.
+
+    Correctness contract, pinned by the qcheck differential suite: after
+    {e any} sequence of patch/unpatch, the kernel answers {!search_range}
+    and {!check} byte-identically to a fresh {!compile} of the mutated
+    type ({!to_objtype}). *)
+
+type patch
+(** Undo token: the previous contents of a patched cell. *)
+
+val patch :
+  t -> scratch -> cell:Objtype.value * Objtype.op -> entry:Objtype.response * Objtype.value -> patch
+(** [patch k s ~cell:(v, op) ~entry:(r, v')] makes [delta v op = (r, v')]
+    in the compiled tables and invalidates the affected evaluations in
+    [s]'s memo.  With [obs] (at {!compile}) counts [kernel.patches] and
+    [kernel.masks_invalidated]; memo hits that survive a patch count as
+    [kernel.masks_reused].  @raise Invalid_argument out of range. *)
+
+val unpatch : t -> scratch -> patch -> unit
+(** Restore the cell a {!patch} call rewrote (same invalidation cost). *)
+
+val to_objtype : ?name:string -> t -> Objtype.t
+(** The type the kernel's {e current} tables decide — after patches, the
+    mutated type (the [ty] passed to {!compile} is stale then).  Default
+    [name] is the compiled type's. *)
 
 val count : Objtype.t -> n:int -> int
 (** Closed-form size of the pruned candidate space:

@@ -719,7 +719,7 @@ let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?obs ?supervisor
              Option.iter Obs.Metrics.Counter.incr c_climbs;
              match
                Synth.search ~seed:(seed + k) ?max_iterations ?restart_every
-                 ~target space
+                 ~incremental:config.Api.Config.incremental ?obs ~target space
              with
              | Some w ->
                  Option.iter Obs.Metrics.Counter.incr c_successes;

@@ -305,6 +305,9 @@ val synth_portfolio :
     return).  [portfolio = 1] is exactly [Synth.search ?seed].  An
     expired [config.deadline] skips climbs that have not started (whole
     climbs are the cancellation granularity), so [None] may then mean
-    "ran out of time" rather than "search space exhausted".  Reads only
-    [deadline] from the config — the climb parameters stay keywords
-    because they are synthesis-specific, not engine-wide. *)
+    "ran out of time" rather than "search space exhausted".  Reads
+    [deadline] and [incremental] from the config (the latter selects
+    [Synth.search]'s warm-start vs from-scratch mode — same results
+    either way); the climb parameters stay keywords because they are
+    synthesis-specific, not engine-wide.  [obs] additionally feeds each
+    climb's [synth.evals] / [synth.sym_skips] and kernel patch counters. *)

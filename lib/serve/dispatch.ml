@@ -29,6 +29,16 @@ let analyze_digest ~(config : Api.Config.t) ty =
     Api.query_digest_canonical ty ~cap:config.Api.Config.cap
   else Api.query_digest ty ~cap:config.Api.Config.cap
 
+(* The synth store key follows the same [--sym on] selection: the
+   canonical key collapses parameter spellings that provably run the
+   same search (defaulted vs explicit [restart_every]). *)
+let synth_digest ~(config : Api.Config.t) space ~target ~seed ~iterations
+    ~restart_every ~portfolio =
+  if config.Api.Config.sym then
+    Api.synth_digest_canonical space ~target ~seed ~iterations ~restart_every
+      ~portfolio
+  else Api.synth_digest space ~target ~seed ~iterations ~restart_every ~portfolio
+
 (* A store hit replays the exact bytes the cold run published — decode
    them back into the analysis; a record that no longer decodes (a
    foreign or corrupt store file) is reported, not served. *)
@@ -105,7 +115,7 @@ let fast_path ~obs ?store ~command (req : Api.Request.t) =
       | Some store ->
           synth_store_hit store
             ~digest:
-              (Api.synth_digest space ~target ~seed ~iterations ~restart_every
+              (synth_digest ~config space ~target ~seed ~iterations ~restart_every
                  ~portfolio))
   | _ -> None
 
@@ -222,7 +232,7 @@ let run_synth env ~space ~target ~seed ~iterations ~restart_every ~portfolio
     ~(config : Api.Config.t) =
   let memoizable = config.Api.Config.deadline = None in
   let digest () =
-    Api.synth_digest space ~target ~seed ~iterations ~restart_every ~portfolio
+    synth_digest ~config space ~target ~seed ~iterations ~restart_every ~portfolio
   in
   match
     if memoizable then

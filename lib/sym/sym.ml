@@ -30,34 +30,56 @@ type t = {
   responses : int;
   cells : int;
   base : int;  (* responses * values: digits per cell *)
-  group : int;  (* values! * ops! * responses! *)
-  size : int;  (* base ^ cells *)
+  group : int option;  (* values! * ops! * responses!; [None] on overflow *)
+  size : int option;  (* base ^ cells; [None] when it overflows [max_int] *)
 }
 
 let rec fact n = if n <= 1 then 1 else n * fact (n - 1)
+
+(* values! * ops! * responses! with overflow detection: multiply the
+   factors [2 .. d] of each dimension one by one, saturating to [None]
+   (the synthesizer's symmetry memo canonizes in spaces whose group
+   order far exceeds [max_int]). *)
+let group_checked dims =
+  List.fold_left
+    (fun acc d ->
+      let acc = ref acc in
+      for f = 2 to d do
+        acc := (match !acc with Some a when a <= max_int / f -> Some (a * f) | _ -> None)
+      done;
+      !acc)
+    (Some 1) dims
 
 let make ~values ~ops ~responses =
   if values < 1 || ops < 1 || responses < 1 then
     invalid_arg "Sym.make: dimensions must be positive";
   let cells = values * ops in
   let base = responses * values in
+  (* Canonization and digests never rank, so an overflowing space is
+     fine — only the index-side API ([space_size], [table_of_index],
+     [index_of_table], [is_rep], [classes]) requires a rankable space. *)
   let size =
-    let acc = ref 1 in
+    let acc = ref (Some 1) in
     for _ = 1 to cells do
-      if !acc > max_int / base then
-        invalid_arg "Sym.make: space size overflows";
-      acc := !acc * base
+      acc :=
+        match !acc with
+        | Some a when a <= max_int / base -> Some (a * base)
+        | _ -> None
     done;
     !acc
   in
-  { values; ops; responses; cells; base; group = fact values * fact ops * fact responses; size }
+  { values; ops; responses; cells; base; group = group_checked [ values; ops; responses ]; size }
 
 let values t = t.values
 let ops t = t.ops
 let responses t = t.responses
 let cells t = t.cells
-let group_order t = t.group
-let space_size t = t.size
+let group_order t =
+  match t.group with
+  | Some g -> g
+  | None -> invalid_arg "Sym.group_order: overflows max_int"
+let unranked = "Sym: space size overflows max_int (unrankable space)"
+let space_size t = match t.size with Some s -> s | None -> invalid_arg unranked
 
 let check t tbl =
   if Array.length tbl <> t.cells then invalid_arg "Sym: bad table length";
@@ -68,7 +90,7 @@ let check t tbl =
     tbl
 
 let table_of_index t idx =
-  if idx < 0 || idx >= t.size then invalid_arg "Sym.table_of_index";
+  if idx < 0 || idx >= space_size t then invalid_arg "Sym.table_of_index";
   let tbl = Array.make t.cells (0, 0) in
   let rem = ref idx in
   for i = 0 to t.cells - 1 do
@@ -80,6 +102,7 @@ let table_of_index t idx =
 
 let index_of_table t tbl =
   check t tbl;
+  if t.size = None then invalid_arg unranked;
   let idx = ref 0 in
   for i = t.cells - 1 downto 0 do
     let r, v = tbl.(i) in
@@ -223,9 +246,16 @@ let canonize t tbl =
          read inside try_pair before the next mutation — safe. *)
       iter_class_perms oc (fun operm -> try_pair vperm operm));
   let aut = !m * fact (r - used) in
-  if t.group mod aut <> 0 then invalid_arg "Sym.canonize: internal error (stabilizer)";
+  let orbit =
+    match t.group with
+    | Some g ->
+        if g mod aut <> 0 then invalid_arg "Sym.canonize: internal error (stabilizer)";
+        g / aut
+    | None -> -1
+  in
   let form = Array.map (fun d -> (d / v, d mod v)) best in
-  { form; index = index_of_table t form; orbit = t.group / aut; aut }
+  let index = match t.size with Some _ -> index_of_table t form | None -> -1 in
+  { form; index; orbit; aut }
 
 let canonize_index t idx = canonize t (table_of_index t idx)
 let is_rep t idx = (canonize_index t idx).index = idx
@@ -269,11 +299,12 @@ let classes t =
   let pvs = permutations t.values in
   let pops = permutations t.ops in
   let prs = permutations t.responses in
-  let mark = Bytes.make t.size '\000' in
+  let size = space_size t in
+  let mark = Bytes.make size '\000' in
   let tbl = Array.make t.cells (0, 0) in
   let digits = Array.make t.cells 0 in
   let acc = ref [] in
-  for idx = 0 to t.size - 1 do
+  for idx = 0 to size - 1 do
     if Bytes.get mark idx = '\000' then begin
       let rem = ref idx in
       for i = 0 to t.cells - 1 do

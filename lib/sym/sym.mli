@@ -34,8 +34,13 @@ type t
 (** A canonizer for one table shape (fixed [values]/[ops]/[responses]). *)
 
 val make : values:int -> ops:int -> responses:int -> t
-(** @raise Invalid_argument when a dimension is nonpositive or the space
-    size overflows [max_int] (same limit as [Census.space_size]). *)
+(** @raise Invalid_argument when a dimension is nonpositive.  A shape
+    whose space size overflows [max_int] (the [Census.space_size] limit)
+    is {e unrankable}: {!canonize}, {!digest} and the group oracles all
+    work, but the index-side API ({!space_size}, {!table_of_index},
+    {!index_of_table}, {!is_rep}, {!classes}) raises — the synthesizer's
+    symmetry memo canonizes tables from spaces far past any rankable
+    census. *)
 
 val values : t -> int
 val ops : t -> int
@@ -45,11 +50,15 @@ val cells : t -> int
 (** [values * ops], the table length. *)
 
 val group_order : t -> int
-(** [values! * ops! * responses!]. *)
+(** [values! * ops! * responses!].
+    @raise Invalid_argument when that product overflows [max_int]
+    (canonization and digests still work in such spaces; only the orbit
+    accounting is unavailable). *)
 
 val space_size : t -> int
 (** [(responses * values) ^ cells] — the number of tables of this shape;
-    agrees with [Census.space_size] on census spaces. *)
+    agrees with [Census.space_size] on census spaces.
+    @raise Invalid_argument on an unrankable space. *)
 
 val table_of_index : t -> int -> (int * int) array
 (** The rank/unrank bijection of [Census.genome_of_index]: cell [i] is
@@ -58,12 +67,13 @@ val table_of_index : t -> int -> (int * int) array
 
 val index_of_table : t -> (int * int) array -> int
 (** Inverse of {!table_of_index}.
-    @raise Invalid_argument on a malformed table. *)
+    @raise Invalid_argument on a malformed table or an unrankable
+    space. *)
 
 type canon = {
   form : (int * int) array;  (** the canonical table of the orbit *)
-  index : int;  (** rank of [form] — equal across the whole orbit *)
-  orbit : int;  (** orbit size; orbit sizes over all classes sum to {!space_size} *)
+  index : int;  (** rank of [form] — equal across the whole orbit; [-1] on an unrankable space *)
+  orbit : int;  (** orbit size; orbit sizes over all classes sum to {!space_size}; [-1] when {!group_order} overflows *)
   aut : int;  (** automorphism count; [orbit * aut = group_order] *)
 }
 

@@ -45,12 +45,77 @@ let random_genome rng space =
           (Random.State.int rng space.num_responses, Random.State.int rng space.num_values));
   }
 
+(* One mutation draw: a table index and a *different* entry for it.
+   Rerolling until the entry changes never burns a fitness evaluation on
+   an identical genome (a space has at least 2 values and 2 responses,
+   so at least 3 other entries always exist). *)
+let mutate_draw rng g =
+  let i = Random.State.int rng (Array.length g.table) in
+  let prev = g.table.(i) in
+  let rec draw () =
+    let e =
+      (Random.State.int rng g.space.num_responses, Random.State.int rng g.space.num_values)
+    in
+    if e = prev then draw () else e
+  in
+  (i, draw ())
+
 let mutate rng g =
+  let i, e = mutate_draw rng g in
   let table = Array.copy g.table in
-  let i = Random.State.int rng (Array.length table) in
-  table.(i) <-
-    (Random.State.int rng g.space.num_responses, Random.State.int rng g.space.num_values);
+  table.(i) <- e;
   { g with table }
+
+(* Orbit-invariant fingerprint of an RMW table: a cheap O(cells) hash
+   that is equal on every member of an isomorphism class under
+   S_values x S_rws x S_responses.  Per cell it keeps only relabeling-
+   invariant features — self-loop flag, the global occurrence count of
+   the cell's response, the global in-degree of the cell's successor —
+   sorts them within each row (coarser than the one global op
+   permutation, hence still invariant), tags rows with their
+   within-row distinct-response/successor counts, and hashes the sorted
+   multiset of row codes.  Soundness needs invariance only: unequal
+   fingerprints prove non-isomorphic, equal fingerprints fall through
+   to the exact canonical-digest comparison.  The point is cost: the
+   symmetry memo's common case is a *fresh* candidate, and this filter
+   decides freshness without running the canonizer (~2us vs ~70-130us
+   per Sym.digest on 9..13-value spaces — the dominant cost of the
+   whole incremental search loop before the filter existed). *)
+let fingerprint space (tbl : (int * int) array) =
+  let v = space.num_values and o = space.num_rws in
+  let resp_count = Array.make space.num_responses 0 in
+  let indeg = Array.make v 0 in
+  Array.iter
+    (fun (r, y) ->
+      resp_count.(r) <- resp_count.(r) + 1;
+      indeg.(y) <- indeg.(y) + 1)
+    tbl;
+  let mix h c = (h * 1000003) + c in
+  let cell_codes = Array.make o 0 in
+  let row_codes = Array.make v 0 in
+  for x = 0 to v - 1 do
+    let base = x * o in
+    let ndr = ref 0 and ndy = ref 0 in
+    for op = 0 to o - 1 do
+      let r, y = tbl.(base + op) in
+      let fresh_r = ref true and fresh_y = ref true in
+      for op' = 0 to op - 1 do
+        let r', y' = tbl.(base + op') in
+        if r' = r then fresh_r := false;
+        if y' = y then fresh_y := false
+      done;
+      if !fresh_r then incr ndr;
+      if !fresh_y then incr ndy;
+      cell_codes.(op) <-
+        (((Bool.to_int (y = x) * (v * o)) + resp_count.(r)) * ((v * o) + 1)) + indeg.(y)
+    done;
+    Array.sort compare cell_codes;
+    let h = ref (mix !ndr !ndy) in
+    Array.iter (fun c -> h := mix !h c) cell_codes;
+    row_codes.(x) <- !h
+  done;
+  Array.sort compare row_codes;
+  Array.fold_left mix 0 row_codes
 
 let seed_ladder space =
   check_space space;
@@ -144,15 +209,141 @@ let verify_witness ~target ty =
   Numbers.equal_bound (Numbers.bound_of_level disc) (Numbers.Exact target)
   && Numbers.equal_bound (Numbers.bound_of_level record) (Numbers.Exact (target - 2))
 
-let search ?(seed = 0) ?(max_iterations = 50_000) ?(restart_every = 2_000) ~target space =
+let default_max_iterations = 50_000
+let default_restart_every = 2_000
+
+(* One long-lived kernel + scratch per fitness level, held across the
+   whole search.  The climb mutates all levels with [Kernel.patch]
+   (cell [i] of the genome table is transition-table cell
+   [(i / num_rws, i mod num_rws)] — the Read column is never edited),
+   reverts rejected candidates with [Kernel.unpatch], and restarts
+   re-seed by bulk-patching the table diff; [table] mirrors what the
+   kernels currently encode. *)
+type level = { lk : Kernel.t; ls : Kernel.scratch }
+type warm = { levels : level array; table : (int * int) array }
+
+let search ?(seed = 0) ?(max_iterations = default_max_iterations)
+    ?(restart_every = default_restart_every) ?(incremental = true) ?obs ?on_score
+    ~target space =
   check_space space;
+  if target < 4 then invalid_arg "Synth.search: target must be at least 4";
   let rng =
     Random.State.make [| seed; space.num_values; space.num_rws; space.num_responses; target |]
   in
-  let evaluations = ref 0 in
-  let eval g =
-    incr evaluations;
-    fitness ~target g
+  let c_evals = Option.map (fun o -> Obs.counter o "synth.evals") obs in
+  let c_skips = Option.map (fun o -> Obs.counter o "synth.sym_skips") obs in
+  let bump = function Some c -> Obs.Metrics.Counter.incr c | None -> () in
+  (* The per-search symmetry memo: the fitness components quantify over
+     every initial value, operation assignment, team and response
+     relabeling, so they are orbit invariants of the RMW table under
+     S_values x S_rws x S_responses (a table isomorphism extends to the
+     induced readable type: the Read column transforms covariantly).
+     Candidates whose canonical digest was already scored skip the
+     evaluation — in both modes, so trajectories stay aligned. *)
+  let symc =
+    Sym.make ~values:space.num_values ~ops:space.num_rws ~responses:space.num_responses
+  in
+  (* Memo buckets keyed by the cheap {!fingerprint}; within a bucket,
+     candidates are distinguished by exact canonical digest (computed
+     lazily, at most once per evaluated candidate — a fresh candidate
+     landing in an empty bucket never pays the canonizer at all).
+     Genome tables are never mutated after construction, so bucket
+     entries alias them. *)
+  let buckets : (int, (string option ref * (int * int) array * int) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let digest_of (dg, tbl, _) =
+    match !dg with
+    | Some d -> d
+    | None ->
+        let d = Sym.digest symc tbl in
+        dg := Some d;
+        d
+  in
+  (* Candidate scorings, evaluated or skipped — the budget [iterations]
+     counts both, so a run's cost is bounded either way. *)
+  let considered = ref 0 in
+  let warm = ref None in
+  let cell_of i = (i / space.num_rws, i mod space.num_rws) in
+  (* Align the warm kernels with [g] — first call compiles them, later
+     calls (restarts) patch the diff. *)
+  let sync (g : genome) =
+    if incremental then
+      match !warm with
+      | None ->
+          let ty = to_objtype g in
+          let levels =
+            Array.map
+              (fun n ->
+                let lk = Kernel.compile ?obs ty ~n in
+                { lk; ls = Kernel.scratch lk })
+              [| target - 2; target - 1; target |]
+          in
+          warm := Some { levels; table = Array.copy g.table }
+      | Some w ->
+          Array.iteri
+            (fun i e ->
+              if w.table.(i) <> e then begin
+                Array.iter
+                  (fun l -> ignore (Kernel.patch l.lk l.ls ~cell:(cell_of i) ~entry:e))
+                  w.levels;
+                w.table.(i) <- e
+              end)
+            g.table
+  in
+  (* The fitness cascade of [fitness], decided against the warm kernels.
+     [ensure l] brings level [l] up to the candidate being scored —
+     levels are patched lazily, at their first consultation, so a
+     cascade that short-circuits (or a symmetry skip) never pays the
+     patch/unpatch bookkeeping of the levels it does not read. *)
+  let fitness_warm ensure =
+    let w = match !warm with Some w -> w | None -> assert false in
+    let holds i cond =
+      ensure i;
+      Decide.holds w.levels.(i).lk w.levels.(i).ls cond
+    in
+    let score = ref 0 in
+    let pass w cond = if cond then score := !score + w in
+    let rec_lo = holds 0 Kernel.Recording in
+    pass weights.(0) rec_lo;
+    if rec_lo then begin
+      let rec_hi = holds 1 Kernel.Recording in
+      pass weights.(1) (not rec_hi);
+      if not rec_hi then begin
+        let disc_lo = holds 1 Kernel.Discerning in
+        pass weights.(2) disc_lo;
+        if disc_lo then pass weights.(3) (holds 2 Kernel.Discerning)
+      end
+    end;
+    !score
+  in
+  let no_ensure (_ : int) = () in
+  let score ?(ensure = no_ensure) (g : genome) =
+    incr considered;
+    let eval () =
+      bump c_evals;
+      if incremental then fitness_warm ensure else fitness ~target g
+    in
+    let sc =
+      let fp = fingerprint space g.table in
+      match Hashtbl.find_opt buckets fp with
+      | None ->
+          let sc = eval () in
+          Hashtbl.add buckets fp (ref [ (ref None, g.table, sc) ]);
+          sc
+      | Some lst -> (
+          let dg = Sym.digest symc g.table in
+          match List.find_opt (fun e -> String.equal (digest_of e) dg) !lst with
+          | Some (_, _, sc) ->
+              bump c_skips;
+              sc
+          | None ->
+              let sc = eval () in
+              lst := (ref (Some dg), g.table, sc) :: !lst;
+              sc)
+    in
+    (match on_score with Some f -> f sc | None -> ());
+    sc
   in
   let seeds =
     ref
@@ -160,8 +351,8 @@ let search ?(seed = 0) ?(max_iterations = 50_000) ?(restart_every = 2_000) ~targ
          (fun mk -> try Some (mk space) with Invalid_argument _ -> None)
          [ seed_crossing; seed_ladder ])
   in
-  let rec climb current current_score stale =
-    if !evaluations >= max_iterations then None
+  let rec climb (current : genome) current_score stale =
+    if !considered >= max_iterations then None
     else if current_score = max_fitness then begin
       let ty = to_objtype ~name:(Printf.sprintf "x%d-witness" target) current in
       if verify_witness ~target ty then
@@ -170,26 +361,76 @@ let search ?(seed = 0) ?(max_iterations = 50_000) ?(restart_every = 2_000) ~targ
             objtype = ty;
             discerning_level = target;
             recording_level = target - 2;
-            iterations = !evaluations;
+            iterations = !considered;
           }
       else restart ()
     end
     else if stale >= restart_every then restart ()
-    else
-      let candidate = mutate rng current in
-      let s = eval candidate in
-      if s > current_score then climb candidate s 0
-      else if s = current_score && Random.State.bool rng then climb candidate s (stale + 1)
-      else climb current current_score (stale + 1)
+    else begin
+      let i, entry = mutate_draw rng current in
+      let table = Array.copy current.table in
+      table.(i) <- entry;
+      let candidate = { current with table } in
+      (* Invariant at candidate boundaries: every level encodes
+         [w.table] (the accepted genome).  During scoring, level [l]
+         additionally carries the candidate's cell edit iff
+         [toks.(l) <> None]. *)
+      let toks = [| None; None; None |] in
+      let ensure l =
+        match !warm with
+        | Some w when toks.(l) = None ->
+            toks.(l) <-
+              Some (Kernel.patch w.levels.(l).lk w.levels.(l).ls ~cell:(cell_of i) ~entry)
+        | _ -> ()
+      in
+      let s =
+        if incremental then score ~ensure candidate else score candidate
+      in
+      let accept () =
+        if incremental then
+          match !warm with
+          | Some w ->
+              Array.iteri (fun l _ -> ensure l) w.levels;
+              w.table.(i) <- entry
+          | None -> ()
+      in
+      let reject () =
+        if incremental then
+          match !warm with
+          | Some w ->
+              Array.iteri
+                (fun l tok ->
+                  match tok with
+                  | Some t -> Kernel.unpatch w.levels.(l).lk w.levels.(l).ls t
+                  | None -> ())
+                toks
+          | None -> ()
+      in
+      if s > current_score then begin
+        accept ();
+        climb candidate s 0
+      end
+      else if s = current_score && Random.State.bool rng then begin
+        accept ();
+        climb candidate s (stale + 1)
+      end
+      else begin
+        reject ();
+        climb current current_score (stale + 1)
+      end
+    end
   and restart () =
-    if !evaluations >= max_iterations then None
-    else
-      match !seeds with
-      | g :: rest ->
-          seeds := rest;
-          climb g (eval g) 0
-      | [] ->
-          let g = random_genome rng space in
-          climb g (eval g) 0
+    if !considered >= max_iterations then None
+    else begin
+      let g =
+        match !seeds with
+        | g :: rest ->
+            seeds := rest;
+            g
+        | [] -> random_genome rng space
+      in
+      sync g;
+      climb g (score g) 0
+    end
   in
   restart ()

@@ -47,7 +47,9 @@ val table : genome -> (Objtype.response * Objtype.value) array
 
 val random_genome : Random.State.t -> space -> genome
 val mutate : Random.State.t -> genome -> genome
-(** One random table entry replaced with a random (response, value). *)
+(** One random table entry replaced with a random {e different}
+    (response, value) — the draw rerolls until the entry changes, so a
+    mutation never reproduces its argument. *)
 
 val seed_ladder : space -> genome
 (** A deterministic seed: the team-ladder transition structure embedded in
@@ -73,17 +75,51 @@ type witness = {
   iterations : int;  (** fitness evaluations spent *)
 }
 
+val default_max_iterations : int
+(** 50_000 — {!search}'s default candidate budget. *)
+
+val default_restart_every : int
+(** 2_000 — {!search}'s default stale-step restart threshold. *)
+
 val search :
   ?seed:int ->
   ?max_iterations:int ->
   ?restart_every:int ->
+  ?incremental:bool ->
+  ?obs:Obs.t ->
+  ?on_score:(int -> unit) ->
   target:int ->
   space ->
   witness option
 (** Hill-climb until a verified witness is found or [max_iterations]
-    (default 50_000) fitness evaluations are exhausted.  [restart_every]
-    (default 2_000) non-improving steps trigger a restart from a fresh
-    random genome (the ladder seed is used for the first climb). *)
+    (default {!default_max_iterations}) candidates have been scored.
+    [restart_every] (default {!default_restart_every}) non-improving
+    steps trigger a restart from a fresh random genome (the deterministic
+    seeds are used for the first climbs).
+
+    With [incremental] (the default), the search is a warm-start
+    neighborhood search: one long-lived [Kernel.t] + scratch per fitness
+    level ([target - 2 .. target]) is held across the whole run, each
+    mutation is applied as a [Kernel.patch] (and a rejected one reverted
+    with [Kernel.unpatch]), restarts re-seed by bulk patch, and the
+    delta-invalidated evaluation memos carry over between candidates.
+    [~incremental:false] recompiles kernels per fitness call — the
+    ablation baseline.  Both modes draw identically from the RNG and
+    score identical candidate sequences, so at a fixed seed the fitness
+    trajectory (observable via [on_score], called with every candidate's
+    score in order) and the result are bit-identical — enforced by bench
+    e22 and the test suite.
+
+    Candidates whose RMW table is isomorphic (under value/op/response
+    relabeling, [Sym]) to one already scored in this search skip the
+    evaluation and replay the memoized score — sound because both
+    fitness components are orbit invariants.  [obs] resolves the
+    counters [synth.evals] (fitness evaluations actually run),
+    [synth.sym_skips] (candidates served by the symmetry memo) and the
+    kernel's [kernel.patches] / [kernel.masks_invalidated] /
+    [kernel.masks_reused].
+
+    @raise Invalid_argument when [target < 4] or the space is degenerate. *)
 
 val verify_witness : target:int -> Objtype.t -> bool
 (** Readable, max-discerning exactly [target], max-recording exactly

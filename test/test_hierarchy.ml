@@ -559,6 +559,80 @@ let prop_kernel_matches_reference =
             [ Decide.Discerning; Decide.Recording ])
         [ 2; 3 ])
 
+let prop_patched_kernel_matches_fresh_compile =
+  (* The incremental-patching contract (the synthesizer's warm-start
+     search leans on it): after any LIFO patch/unpatch sequence, the
+     patched kernel answers every query byte-identically to a fresh
+     compile of the mutated type — both conditions, Tables and Trie, at
+     n = 2 and 3.  The shadow table tracks what the kernel's cells must
+     currently hold; interrogations mid-sequence exercise memo churn
+     (entries invalidated by one edit, revalidated by its revert). *)
+  let arbitrary = QCheck.make ~print:string_of_int QCheck.Gen.int in
+  QCheck.Test.make ~name:"patched kernel matches a fresh compile" ~count:40 arbitrary
+    (fun case_seed ->
+      let rng = Random.State.make [| case_seed; 0xe22 |] in
+      let nv = 2 + Random.State.int rng 3 in
+      let no = 2 + Random.State.int rng 2 in
+      let nr = 2 + Random.State.int rng 2 in
+      let tbl =
+        Array.init (nv * no) (fun _ ->
+            (Random.State.int rng nr, Random.State.int rng nv))
+      in
+      let mk t =
+        Objtype.make ~name:"patched" ~num_values:nv ~num_ops:no ~num_responses:nr
+          (fun v o -> t.((v * no) + o))
+      in
+      List.for_all
+        (fun n ->
+          let k = Kernel.compile (mk tbl) ~n in
+          let s = Kernel.scratch k in
+          (* Populate the memo before the first patch so delta
+             invalidation has live entries to hit. *)
+          ignore (Kernel.exists k s Kernel.Discerning);
+          ignore (Kernel.exists k s Kernel.Recording);
+          let shadow = Array.copy tbl in
+          let stack = ref [] in
+          let agrees () =
+            let mutated = mk (Array.copy shadow) in
+            Objtype.equal_behaviour (Kernel.to_objtype k) mutated
+            &&
+            let fresh = Kernel.compile mutated ~n in
+            let fs = Kernel.scratch fresh in
+            List.for_all
+              (fun cond ->
+                Kernel.exists k s cond = Kernel.exists fresh fs cond
+                && List.for_all
+                     (fun mode ->
+                       let stop _ = false in
+                       Kernel.search_range ~mode k s cond ~lo:0
+                         ~hi:(Kernel.total k) ~stop
+                       = Kernel.search_range ~mode fresh fs cond ~lo:0
+                           ~hi:(Kernel.total fresh) ~stop)
+                     [ Kernel.Tables; Kernel.Trie ])
+              [ Kernel.Discerning; Kernel.Recording ]
+          in
+          let ok = ref true in
+          for _step = 0 to 31 do
+            (if !stack = [] || Random.State.int rng 3 > 0 then begin
+               let v = Random.State.int rng nv and o = Random.State.int rng no in
+               let r = Random.State.int rng nr and v' = Random.State.int rng nv in
+               let c = (v * no) + o in
+               let tok = Kernel.patch k s ~cell:(v, o) ~entry:(r, v') in
+               stack := (tok, c, shadow.(c)) :: !stack;
+               shadow.(c) <- (r, v')
+             end
+             else
+               match !stack with
+               | (tok, c, prev) :: rest ->
+                   Kernel.unpatch k s tok;
+                   shadow.(c) <- prev;
+                   stack := rest
+               | [] -> ());
+            if Random.State.int rng 4 = 0 then ok := !ok && agrees ()
+          done;
+          !ok && agrees ())
+        [ 2; 3 ])
+
 let suite =
   [
     Alcotest.test_case "certificate validation" `Quick test_certificate_validation;
@@ -598,4 +672,5 @@ let suite =
     Alcotest.test_case "DFFR: readable gap at most 2" `Slow test_dffr_gap_at_most_2;
     QCheck_alcotest.to_alcotest prop_decider_certificates_replay;
     QCheck_alcotest.to_alcotest prop_kernel_matches_reference;
+    QCheck_alcotest.to_alcotest prop_patched_kernel_matches_fresh_compile;
   ]
