@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-e18 bench-e19 bench-e20 bench-e21 bench-e22 inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke synth-smoke clean
+.PHONY: all build test check bench bench-e18 bench-e19 bench-e20 bench-e21 bench-e22 inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke synth-smoke crash-smoke clean
 
 all: build
 
@@ -17,7 +17,7 @@ SMOKE_DIR := _build/smoke
 # What CI runs: full build, the whole test suite (including the engine
 # parity properties), a parallel-engine smoke through the CLI, the
 # fault-injection smoke, the stats-export smoke, and the kill(-9) soak.
-check: build test inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke
+check: build test inject-smoke stats-smoke soak-smoke serve-smoke dist-smoke crash-smoke
 	dune exec bin/rcn.exe -- analyze test-and-set --cap 3 --jobs 2
 
 # Stats-export smoke: run an instrumented analyze on a gallery type, keep
@@ -46,6 +46,22 @@ inject-smoke: build
 	dune exec bin/rcn.exe -- inject -n 3 --nprime 1 --seeds 40 \
 	  --report $(SMOKE_DIR)/inject-report.txt --require-violation
 	rm -f $(SMOKE_DIR)/inject-report.txt
+
+# Crash-recovery smoke: the bounded crashtest sweep over all three
+# durable artifacts (store log, lease ledger, census checkpoint) — a
+# crash / I/O error / torn write / lying fsync injected at every
+# operation boundary, recovery re-run and audited after each plan.
+# Gated twice: the sweep's own exit code, and the stats block showing a
+# nonzero plan count with exactly zero invariant violations.  Violating
+# plans leave their artifacts under $(SMOKE_DIR)/crashtest for CI to
+# archive; a green sweep removes them.
+crash-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	./_build/default/bin/rcn.exe crashtest --dir $(SMOKE_DIR)/crashtest --stats json \
+	  | tee $(SMOKE_DIR)/crash-smoke.out \
+	  | ./_build/default/tools/stats_check.exe \
+	      --require-nonzero crashtest.plans --require-zero crashtest.violations
+	rm -f $(SMOKE_DIR)/crash-smoke.out
 
 # Daemon smoke: start `rcn serve` on a Unix socket, talk to it with the
 # dependency-free protocol client, and assert the three serve guarantees

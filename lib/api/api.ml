@@ -561,6 +561,7 @@ module Response = struct
 
   let err_invalid = 2
   let err_internal = 70
+  let err_storage = 74
   let err_busy = 75
 
   let error ?(code = err_invalid) message = make (Error { code; message })

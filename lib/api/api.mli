@@ -223,6 +223,12 @@ module Response : sig
   val err_internal : int
   (** [70] — the engine raised while serving the request. *)
 
+  val err_storage : int
+  (** [74] — durable storage failed or is corrupt ([EX_IOERR]): the
+      store/ledger/checkpoint raised [Fsio.Io_error] or [Fsio.Corrupt].
+      The daemon answers this instead of crashing; the store flips to
+      read-only degraded mode and keeps serving unmemoized. *)
+
   val err_busy : int
   (** [75] — admission control rejected the request (queue full). *)
 

@@ -408,7 +408,8 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
   let kill_slot slot ~error =
     (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
     bump c_killed;
-    (try ignore (Unix.waitpid [] slot.pid) with Unix.Unix_error _ -> ());
+    (try ignore (Fsio.Retry.eintr (fun () -> Unix.waitpid [] slot.pid))
+     with Unix.Unix_error _ -> ());
     on_death slot ~error
   in
   (* Mark the straggler holding the most remaining work for a steal; the
@@ -571,7 +572,7 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
             match slot.state with
             | Finishing ->
                 (* the expected EOF of a worker told to shut down *)
-                (try ignore (Unix.waitpid [] slot.pid)
+                (try ignore (Fsio.Retry.eintr (fun () -> Unix.waitpid [] slot.pid))
                  with Unix.Unix_error _ -> ());
                 close_slot_fd slot;
                 slot.pid <- -1;
@@ -585,7 +586,7 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
     Array.iter
       (fun slot ->
         if slot.pid >= 0 then
-          match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
+          match Fsio.Retry.eintr (fun () -> Unix.waitpid [ Unix.WNOHANG ] slot.pid) with
           | 0, _ -> ()
           | _ -> (
               match slot.state with
@@ -662,7 +663,8 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
       (fun slot ->
         if slot.pid >= 0 then begin
           (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
-          try ignore (Unix.waitpid [] slot.pid) with Unix.Unix_error _ -> ()
+          try ignore (Fsio.Retry.eintr (fun () -> Unix.waitpid [] slot.pid))
+          with Unix.Unix_error _ -> ()
         end;
         close_slot_fd slot)
       slots;
@@ -708,12 +710,29 @@ let census ?obs ?rcn ?ledger ?(resume = false) ?(fsync = true)
           readable;
         tick ()
       done;
+      (* A degraded ledger means results past the failure point were
+         never made durable: the run is reported PARTIAL via a
+         synthetic quarantine entry, the same honesty channel as a
+         poisoned range — never a silent success. *)
+      let quarantined =
+        match Dist_ledger.degraded led with
+        | None -> List.rev !quarantined
+        | Some reason ->
+            {
+              Supervise.q_context = "dist.ledger";
+              q_lo = 0;
+              q_hi = 0;
+              q_attempts = 1;
+              q_error = "ledger append failed: " ^ reason;
+            }
+            :: List.rev !quarantined
+      in
       {
         entries = Census.of_histogram hist;
         total;
         completed = !completed;
         resumed;
-        complete = !completed = total;
-        quarantined = List.rev !quarantined;
+        complete = (!completed = total) && Dist_ledger.degraded led = None;
+        quarantined;
         deaths = !deaths;
       })

@@ -1,17 +1,23 @@
 (* Append-only lease ledger of a distributed census.  On-disk format,
-   one record after another, nothing else in the file:
+   one record after another, nothing else in the file (the shared
+   Fsio.Record discipline):
 
-     rcndist1 <kind> <payload_bytes>\n
+     rcndist2 <kind> <payload_bytes> <crc32hex>\n
      <payload>\n
 
-   — the same scan-forward, truncate-at-first-torn-record discipline as
-   the serve store's rcnstore log.  The payload of the header record is
-   the plain header line pinning space, cap and table count; every other
-   payload is canonical single-line Wire JSON, so payloads never contain
-   a newline and a record boundary is always where the scanner thinks it
-   is. *)
+   — the same scan-forward discipline as the serve store's rcnstore log:
+   a torn tail is truncated, a CRC-failing complete record is hard
+   corruption.  The payload of the header record is the plain header
+   line pinning space, cap and table count; every other payload is
+   canonical single-line Wire JSON, so payloads never contain a newline
+   and a record boundary is always where the scanner thinks it is.
 
-let magic = "rcndist1"
+   rcndist2 bumped the magic when records grew the CRC field: an
+   rcndist1 file's records fail the magic check, so the scanner keeps
+   none of them — the ledger restarts from scratch rather than being
+   misparsed, the same policy as the rcnstore3 bump. *)
+
+let magic = "rcndist2"
 
 (* A symmetry-reduced census grants leases over canonical-class ranks,
    not table indices; the [sym_classes] suffix pins the rank space so
@@ -94,9 +100,7 @@ let payload_of = function
              ("error", Wire.String error);
            ])
 
-let encode r =
-  let p = payload_of r in
-  Printf.sprintf "%s %s %d\n%s\n" magic (kind_of r) (String.length p) p
+let encode r = Fsio.Record.encode ~magic ~tag:(kind_of r) (payload_of r)
 
 (* Payload decoding.  A record whose payload does not decode is treated
    exactly like a torn record: the replayable prefix ends just before
@@ -168,41 +172,31 @@ let decode_payload kind payload =
         Ok (Quarantine { lo; hi; attempts; error })
     | other -> Error (Printf.sprintf "unknown record kind %S" other)
 
-(* Scan [contents], returning the complete records in file order and the
-   offset just past the last complete record. *)
-let scan contents =
-  let n = String.length contents in
+(* Scan [contents], returning the complete records in file order and
+   the offset just past the last complete record.  The framing layer
+   (Fsio.Record.scan) decides torn vs corrupt; a record whose CRC
+   checks out but whose payload does not decode is corruption too —
+   the bytes were acknowledged whole, so losing them must be loud.
+   @raise Fsio.Corrupt *)
+let scan ~path contents =
+  let framed, good, verdict = Fsio.Record.scan ~magic contents in
+  (match verdict with
+  | Fsio.Record.Complete | Fsio.Record.Torn _ -> ()
+  | Fsio.Record.Corrupt_at { offset; reason } ->
+      raise (Fsio.Corrupt { path; offset; reason }));
   let out = ref [] in
-  let good = ref 0 in
   let pos = ref 0 in
-  (try
-     while !pos < n do
-       let nl =
-         match String.index_from_opt contents !pos '\n' with
-         | Some i -> i
-         | None -> raise Exit
-       in
-       let header = String.sub contents !pos (nl - !pos) in
-       let kind, len =
-         match String.split_on_char ' ' header with
-         | [ m; kind; len ] when m = magic -> (
-             match int_of_string_opt len with
-             | Some len when len >= 0 -> (kind, len)
-             | _ -> raise Exit)
-         | _ -> raise Exit
-       in
-       let payload_start = nl + 1 in
-       if payload_start + len + 1 > n then raise Exit;
-       if contents.[payload_start + len] <> '\n' then raise Exit;
-       let payload = String.sub contents payload_start len in
-       (match decode_payload kind payload with
-       | Ok r -> out := r :: !out
-       | Error _ -> raise Exit);
-       pos := payload_start + len + 1;
-       good := !pos
-     done
-   with Exit -> ());
-  (List.rev !out, !good)
+  List.iter
+    (fun (kind, payload) ->
+      (match decode_payload kind payload with
+      | Ok r -> out := r :: !out
+      | Error reason ->
+          raise
+            (Fsio.Corrupt
+               { path; offset = !pos; reason = "payload: " ^ reason }));
+      pos := !pos + String.length (Fsio.Record.encode ~magic ~tag:kind payload))
+    framed;
+  (List.rev !out, good)
 
 let check_header ~expected = function
   | [] -> ()
@@ -218,62 +212,87 @@ let load path ~expected =
   if not (Sys.file_exists path) then ([], 0)
   else begin
     let contents = In_channel.with_open_bin path In_channel.input_all in
-    let records, good = scan contents in
+    let records, good = scan ~path contents in
     check_header ~expected records;
     (records, String.length contents - good)
   end
 
 type t = {
-  fd : Unix.file_descr;
-  chan : out_channel;
+  log : Fsio.t;
   fsync : bool;
   mutable closed : bool;
+  mutable degraded_reason : string option;
+  c_degraded : Obs.Metrics.Counter.t option;
+  c_dropped : Obs.Metrics.Counter.t option;
 }
 
+let degraded t = t.degraded_reason
+
+(* An append failure does not kill the census: the ledger flips to a
+   sticky degraded mode and every later append is dropped (counted).
+   The coordinator checks [degraded] at the end and reports the run
+   PARTIAL — honest At_least semantics, exactly like a quarantined
+   range — instead of crashing with work in flight.  Fsio's append
+   atomicity means the failed record left the file byte-identical, so
+   resume replays a clean prefix. *)
 let append t record =
   if t.closed then invalid_arg "Dist_ledger.append: ledger is closed";
-  output_string t.chan (encode record);
-  flush t.chan;
-  if t.fsync then Unix.fsync t.fd
+  match t.degraded_reason with
+  | Some _ -> Option.iter Obs.Metrics.Counter.incr t.c_dropped
+  | None -> (
+      match
+        Fsio.append t.log (encode record);
+        if t.fsync then Fsio.fsync t.log
+      with
+      | () -> ()
+      | exception (Fsio.Io_error _ as e) ->
+          t.degraded_reason <- Fsio.error_message e;
+          Option.iter Obs.Metrics.Counter.incr t.c_degraded)
 
-let open_ledger ?obs ?(fsync = true) ~expected ~resume path =
+let open_ledger ?obs ?(fsync = true) ?injector ~expected ~resume path =
   let c_loaded = Option.map (fun o -> Obs.counter o "dist.ledger_loaded") obs in
   let c_torn =
     Option.map (fun o -> Obs.counter o "dist.ledger_torn_bytes") obs
   in
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  Unix.set_close_on_exec fd;
-  let size = (Unix.fstat fd).Unix.st_size in
-  let contents =
-    let ic = Unix.in_channel_of_descr (Unix.dup fd) in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic size)
+  let c_degraded =
+    Option.map (fun o -> Obs.counter o "dist.ledger_degraded") obs
   in
-  let records, good =
-    if resume then begin
-      let records, good = scan contents in
-      (try check_header ~expected records
-       with Invalid_argument _ as e ->
-         Unix.close fd;
-         raise e);
-      (records, good)
-    end
-    else ([], 0)
+  let c_dropped =
+    Option.map (fun o -> Obs.counter o "dist.ledger_dropped") obs
   in
-  if good < size then begin
-    Unix.ftruncate fd good;
-    Option.iter (fun c -> Obs.Metrics.Counter.add c (size - good)) c_torn
-  end;
-  Option.iter (fun c -> Obs.Metrics.Counter.add c (List.length records)) c_loaded;
-  ignore (Unix.lseek fd good Unix.SEEK_SET);
-  let chan = Unix.out_channel_of_descr fd in
-  let t = { fd; chan; fsync; closed = false } in
-  if records = [] then append t (Header expected);
-  (t, records)
+  let log = Fsio.open_log ?injector path in
+  match
+    let contents = Fsio.contents log in
+    let size = String.length contents in
+    let records, good =
+      if resume then begin
+        let records, good = scan ~path contents in
+        check_header ~expected records;
+        (records, good)
+      end
+      else ([], 0)
+    in
+    (records, good, size)
+  with
+  | exception e ->
+      (try Fsio.close log with Fsio.Io_error _ -> ());
+      raise e
+  | records, good, size ->
+      if good < size then begin
+        Fsio.truncate log good;
+        Option.iter (fun c -> Obs.Metrics.Counter.add c (size - good)) c_torn
+      end;
+      Option.iter
+        (fun c -> Obs.Metrics.Counter.add c (List.length records))
+        c_loaded;
+      let t =
+        { log; fsync; closed = false; degraded_reason = None; c_degraded; c_dropped }
+      in
+      if records = [] then append t (Header expected);
+      (t, records)
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    close_out t.chan
+    Fsio.close t.log
   end

@@ -1,10 +1,13 @@
 (** The crash-safe lease ledger of a distributed census — the
     coordinator's only durable state.
 
-    An append-only log in the serve store's record discipline
-    ([rcndist1 <kind> <len>\n<payload>\n]); recovery scans from the top
-    and truncates at the first torn or undecodable record, so a
-    [kill -9] mid-append costs at most the record being written.  The
+    An append-only log in the shared [Fsio.Record] discipline
+    ([rcndist2 <kind> <len> <crc32hex>\n<payload>\n]); recovery scans
+    from the top and truncates a torn tail, so a [kill -9] mid-append
+    costs at most the record being written — while a structurally
+    complete record that fails its CRC (or decodes to garbage) is
+    {e corruption} and raises [Fsio.Corrupt] with the offset, never a
+    silent truncation of acknowledged data.  The
     first record is always a {!Header} pinning space, cap and table
     count, so a stale ledger from a different census is rejected rather
     than merged.
@@ -33,7 +36,9 @@ type record =
   | Quarantine of { lo : int; hi : int; attempts : int; error : string }
 
 val magic : string
-(** ["rcndist1"]. *)
+(** ["rcndist2"] — bumped from [rcndist1] when records grew the CRC
+    field; old-format records fail the magic check and are dropped
+    wholesale on replay, like a torn tail. *)
 
 val header : ?sym_classes:int -> space:Synth.space -> cap:int -> total:int -> unit -> string
 (** The exact header payload a ledger for this census must carry.
@@ -49,7 +54,8 @@ val encode : record -> string
 val load : string -> expected:string -> record list * int
 (** All complete records in file order, plus the torn tail byte count.
     A missing file is [([], 0)]; the replayable prefix ends at the first
-    record that is cut short or does not decode.
+    record that is cut short at end of file.
+    @raise Fsio.Corrupt on a complete record failing CRC or decode.
     @raise Invalid_argument when the ledger's header differs from
     [expected] (or the file is nonempty without a leading header). *)
 
@@ -58,6 +64,7 @@ type t
 val open_ledger :
   ?obs:Obs.t ->
   ?fsync:bool ->
+  ?injector:Fsio.Injector.t ->
   expected:string ->
   resume:bool ->
   string ->
@@ -69,12 +76,24 @@ val open_ledger :
     [Store.open_store].  Either way the file ends up starting with the
     [expected] header (appended when absent).  [fsync] (default [true]
     — the ledger is the only thing that survives a coordinator kill)
-    makes every {!append} fsync.  With [obs], counts
-    [dist.ledger_loaded] (records replayed) and [dist.ledger_torn_bytes].
+    makes every {!append} fsync.  [injector] routes every I/O operation
+    through a seeded fault plan (the [rcn crashtest] harness).  With
+    [obs], counts [dist.ledger_loaded] (records replayed),
+    [dist.ledger_torn_bytes], [dist.ledger_degraded] (flipped on the
+    first failed append) and [dist.ledger_dropped] (appends dropped
+    while degraded).
+    @raise Fsio.Corrupt on mid-log corruption.
     @raise Invalid_argument on a header mismatch. *)
 
 val append : t -> record -> unit
 (** Append one record, flushed (and fsync'd when enabled) before
-    returning. *)
+    returning.  An append that fails flips the ledger to a sticky
+    {e degraded} mode instead of raising: the failed and all later
+    records are dropped (counted), and {!degraded} reports the reason —
+    the coordinator finishes the census and reports it PARTIAL, the
+    same honesty discipline as a quarantined range. *)
+
+val degraded : t -> string option
+(** The sticky append-failure reason, if the ledger is degraded. *)
 
 val close : t -> unit

@@ -494,15 +494,24 @@ type census_run = {
   completed : int;
   resumed : int;
   complete : bool;
+  storage_error : string option;
 }
 
 (* Census checkpoints: a header line pinning the space, cap and size, then
-   one "index discerning recording" line per decided table.  Lines are
-   appended chunk-wise under a mutex and flushed, so a process killed
-   mid-run leaves at most one torn trailing line, which the loader drops. *)
+   one "index discerning recording crc32hex" line per decided table.
+   Lines are appended chunk-wise under a mutex and flushed, so a process
+   killed mid-run leaves at most one torn trailing line, which the
+   loader drops (and the writer truncates before resuming appends).
+
+   v2 added the per-line CRC, so replay distinguishes the torn tail
+   (truncate) from a complete line that is malformed or fails its CRC —
+   that is mid-file corruption, and the loader raises [Fsio.Corrupt]
+   with the offset instead of silently skipping decided work.  A v1
+   checkpoint fails the header comparison and is rejected like any
+   other census mismatch. *)
 module Checkpoint = struct
   let header ~space ~cap ~total =
-    Printf.sprintf "rcn-census-checkpoint v1 values=%d rws=%d responses=%d cap=%d total=%d"
+    Printf.sprintf "rcn-census-checkpoint v2 values=%d rws=%d responses=%d cap=%d total=%d"
       space.Synth.num_values space.Synth.num_rws space.Synth.num_responses cap total
 
   (* A symmetry-reduced census records canonical-class ranks, not table
@@ -511,41 +520,93 @@ module Checkpoint = struct
   let header_sym ~space ~cap ~total ~classes =
     Printf.sprintf "%s sym=1 classes=%d" (header ~space ~cap ~total) classes
 
+  let line i d r =
+    let body = Printf.sprintf "%d %d %d" i d r in
+    Printf.sprintf "%s %s\n" body (Fsio.Crc32.to_hex (Fsio.Crc32.string body))
+
+  (* Parse the whole file: [(entries, good)] where [good] is the offset
+     just past the last complete valid line (what a resuming writer
+     truncates to).  A torn (unterminated) last line is dropped; a
+     {e terminated} line that is malformed or fails its CRC raises
+     [Fsio.Corrupt] — it was acknowledged whole, so it can only be
+     corruption, never a crash artifact. *)
+  let parse ~path ~expected contents =
+    let n = String.length contents in
+    match String.index_opt contents '\n' with
+    | None -> ([], 0) (* torn (or empty) header: nothing recoverable *)
+    | Some hnl ->
+        let h = String.sub contents 0 hnl in
+        if String.trim h <> expected then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.census: checkpoint %s belongs to a different census\n  found:    %s\n  expected: %s"
+               path (String.trim h) expected);
+        let acc = ref [] in
+        let good = ref (hnl + 1) in
+        let pos = ref (hnl + 1) in
+        (try
+           while !pos < n do
+             match String.index_from_opt contents !pos '\n' with
+             | None -> raise Exit (* torn last line: drop *)
+             | Some nl ->
+                 let line = String.sub contents !pos (nl - !pos) in
+                 (match String.split_on_char ' ' (String.trim line) with
+                 | [ a; b; c; crc ] -> (
+                     match
+                       ( int_of_string_opt a,
+                         int_of_string_opt b,
+                         int_of_string_opt c )
+                     with
+                     | Some i, Some d, Some r ->
+                         let body = Printf.sprintf "%d %d %d" i d r in
+                         if
+                           crc
+                           <> Fsio.Crc32.to_hex (Fsio.Crc32.string body)
+                         then
+                           raise
+                             (Fsio.Corrupt
+                                {
+                                  path;
+                                  offset = !pos;
+                                  reason = "checkpoint line CRC mismatch";
+                                });
+                         acc := (i, (d, r)) :: !acc
+                     | _ ->
+                         raise
+                           (Fsio.Corrupt
+                              {
+                                path;
+                                offset = !pos;
+                                reason = "malformed checkpoint line";
+                              }))
+                 | _ ->
+                     raise
+                       (Fsio.Corrupt
+                          {
+                            path;
+                            offset = !pos;
+                            reason = "malformed checkpoint line";
+                          }));
+                 pos := nl + 1;
+                 good := !pos
+           done
+         with Exit -> ());
+        (List.rev !acc, !good)
+
   (* Entries come back in file order, so a consumer that keeps the first
      occurrence of an index (as [census ~resume] does) resolves duplicate
-     lines in favor of the earliest append.  Malformed and torn trailing
-     lines are dropped; out-of-range indices are the consumer's concern
-     (the header already pins [total]). *)
+     lines in favor of the earliest append.  Torn trailing lines are
+     dropped; out-of-range indices are the consumer's concern (the
+     header already pins [total]).  @raise Fsio.Corrupt *)
   let load path ~expected =
     if not (Sys.file_exists path) then []
     else
-      In_channel.with_open_text path (fun ic ->
-          match In_channel.input_line ic with
-          | None -> []
-          | Some h when String.trim h <> expected ->
-              invalid_arg
-                (Printf.sprintf
-                   "Engine.census: checkpoint %s belongs to a different census\n  found:    %s\n  expected: %s"
-                   path (String.trim h) expected)
-          | Some _ ->
-              let rec loop acc =
-                match In_channel.input_line ic with
-                | None -> List.rev acc
-                | Some line -> (
-                    match String.split_on_char ' ' (String.trim line) with
-                    | [ a; b; c ] -> (
-                        match
-                          (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c)
-                        with
-                        | Some i, Some d, Some r -> loop ((i, (d, r)) :: acc)
-                        | _ -> loop acc)
-                    | _ -> loop acc)
-              in
-              loop [])
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      fst (parse ~path ~expected contents)
 end
 
 let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = false)
-    ~(config : Api.Config.t) pool space =
+    ?injector ~(config : Api.Config.t) pool space =
   let cap = config.Api.Config.cap in
   let kernel = config.Api.Config.kernel in
   let deadline = resolve_deadline config in
@@ -614,33 +675,48 @@ let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = fal
         (Checkpoint.load path ~expected)
   | _ -> ());
   count_checked c_skips !resumed;
-  (* [commit] makes appended records part of the checkpoint: flush always;
-     with [durable] also fsync, so a chunk acknowledged to the OS survives
-     [kill -9] of the whole machine, not just of the process. *)
-  let commit oc =
-    flush oc;
-    if durable then Unix.fsync (Unix.descr_of_out_channel oc)
-  in
+  (* The checkpoint writer appends through Fsio: whole-chunk appends,
+     fsync'd when [durable].  A failed append flips the run into a
+     sticky storage-degraded mode — the census finishes in memory and
+     reports [storage_error], which callers surface exactly like a
+     quarantined chunk (honest At_least / PARTIAL), never a crash and
+     never a silent success. *)
+  let storage_error = ref None in
   let writer =
     match checkpoint with
     | None -> None
     | Some path ->
-        let appending = resume && Sys.file_exists path in
-        let oc =
-          open_out_gen
-            (if appending then [ Open_wronly; Open_append ]
-             else [ Open_wronly; Open_creat; Open_trunc ])
-            0o644 path
-        in
-        if not appending then begin
-          output_string oc (expected ^ "\n");
-          commit oc
-        end;
-        Some (oc, Mutex.create ())
+        let log = Fsio.open_log ?injector path in
+        (match
+           let contents = Fsio.contents log in
+           if resume then begin
+             let _, good = Checkpoint.parse ~path ~expected contents in
+             (* Truncate the torn tail {e before} appending: the v1
+                writer reopened in append mode, so its first fresh line
+                could glue onto a torn half-line and lose both. *)
+             if good < String.length contents then Fsio.truncate log good;
+             good
+           end
+           else begin
+             if String.length contents > 0 then Fsio.truncate log 0;
+             0
+           end
+         with
+        | exception e ->
+            (try Fsio.close log with Fsio.Io_error _ -> ());
+            raise e
+        | 0 ->
+            Fsio.append log (expected ^ "\n");
+            if durable then Fsio.fsync log
+        | _ -> ());
+        Some (log, Mutex.create ())
   in
   let completed = Atomic.make !resumed in
   Fun.protect
-    ~finally:(fun () -> Option.iter (fun (oc, _) -> close_out oc) writer)
+    ~finally:(fun () ->
+      Option.iter
+        (fun (log, _) -> try Fsio.close log with Fsio.Io_error _ -> ())
+        writer)
     (fun () ->
       with_watchdog ?supervisor ~chunk:32 @@ fun ~chunk ~wd_stop ->
       ignore
@@ -669,15 +745,24 @@ let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = fal
              count_checked c_tables n_fresh;
              match writer with
              | None -> ()
-             | Some (oc, m) ->
-                 Mutex.protect m (fun () ->
-                     List.iter
-                       (fun i ->
-                         let d, r = levels.(i) in
-                         Printf.fprintf oc "%d %d %d\n" i d r)
-                       fresh;
-                     commit oc;
-                     Option.iter Obs.Metrics.Counter.incr c_flushes))));
+             | Some (log, m) ->
+                 if fresh <> [] then
+                   Mutex.protect m (fun () ->
+                       if !storage_error = None then
+                         match
+                           let buf = Buffer.create 64 in
+                           List.iter
+                             (fun i ->
+                               let d, r = levels.(i) in
+                               Buffer.add_string buf (Checkpoint.line i d r))
+                             fresh;
+                           Fsio.append log (Buffer.contents buf);
+                           if durable then Fsio.fsync log
+                         with
+                         | () ->
+                             Option.iter Obs.Metrics.Counter.incr c_flushes
+                         | exception (Fsio.Io_error _ as e) ->
+                             storage_error := Fsio.error_message e))));
   let histogram = Hashtbl.create 64 in
   Array.iteri
     (fun i key ->
@@ -692,6 +777,7 @@ let census ?cache ?obs ?supervisor ?checkpoint ?(resume = false) ?(durable = fal
     completed;
     resumed = !resumed;
     complete = completed = size;
+    storage_error = !storage_error;
   }
 
 let synth_portfolio ?(seed = 0) ?max_iterations ?restart_every ?obs ?supervisor

@@ -239,21 +239,45 @@ type census_run = {
   completed : int;  (** tables decided, including resumed ones *)
   resumed : int;  (** tables loaded from the checkpoint file *)
   complete : bool;  (** [completed = total] *)
+  storage_error : string option;
+      (** the checkpoint writer's sticky append failure, if any: decided
+          tables past the failure were never made durable, so callers
+          must report the run degraded (like a quarantined chunk) even
+          when [complete] *)
 }
 
-(** The census checkpoint file format, exposed for tests and tooling:
-    a header line pinning space, cap and table count, then one
-    ["index discerning recording"] line per decided table. *)
+(** The census checkpoint file format (v2), exposed for tests and
+    tooling: a header line pinning space, cap and table count, then one
+    ["index discerning recording crc32hex"] line per decided table.  The
+    per-line CRC lets the loader tell a torn trailing line (a killed
+    writer — dropped, and truncated by a resuming writer) from a
+    complete line that is malformed or fails its CRC (mid-file
+    corruption — a hard [Fsio.Corrupt] with the offset, never silently
+    skipped).  A v1 checkpoint fails the header comparison and is
+    rejected like any other census mismatch. *)
 module Checkpoint : sig
   val header : space:Synth.space -> cap:int -> total:int -> string
   (** The exact first line a checkpoint for this census must carry. *)
 
+  val line : int -> int -> int -> string
+  (** The exact bytes the writer appends for one decided table
+      (newline-terminated) — exposed so tests can compute torn-tail
+      boundaries and corrupt lines precisely. *)
+
+  val parse :
+    path:string -> expected:string -> string -> (int * (int * int)) list * int
+  (** Parse checkpoint file [contents]: the decided entries in file
+      order plus the offset just past the last complete valid line (what
+      a resuming writer truncates to).  [path] only labels errors.
+      @raise Fsio.Corrupt on a complete line failing its CRC or shape.
+      @raise Invalid_argument when the header differs from [expected]. *)
+
   val load : string -> expected:string -> (int * (int * int)) list
   (** Decided [(index, (discerning, recording))] entries, in file order —
       so a first-occurrence-wins consumer resolves duplicated indices in
-      favor of the earliest append.  A missing file is empty; malformed
-      lines (including a torn trailing line from a killed writer) are
-      dropped; indices are returned as written, even out of range.
+      favor of the earliest append.  A missing file is empty; a torn
+      trailing line from a killed writer is dropped.
+      @raise Fsio.Corrupt on mid-file corruption.
       @raise Invalid_argument when the header differs from [expected]. *)
 end
 
@@ -264,6 +288,7 @@ val census :
   ?checkpoint:string ->
   ?resume:bool ->
   ?durable:bool ->
+  ?injector:Fsio.Injector.t ->
   config:Api.Config.t ->
   Pool.t ->
   Synth.space ->
@@ -285,7 +310,14 @@ val census :
     round trip per flushed chunk.  [config.deadline] stops the sweep
     cooperatively; the returned record says exactly how far it got.
     [supervisor] heals failing chunks as in {!search_within}; tables in a
-    quarantined chunk stay undecided, so [complete] is honestly [false]. *)
+    quarantined chunk stay undecided, so [complete] is honestly [false].
+
+    Checkpoint I/O goes through {!Fsio} ([injector] routes it through a
+    fault plan for the crashtest harness).  A checkpoint append that
+    fails does {e not} abort the sweep: the writer goes sticky-degraded,
+    the census finishes in memory, and [storage_error] reports the
+    failure so callers degrade the run to honest At_least/PARTIAL
+    exactly like a quarantined chunk. *)
 
 val synth_portfolio :
   ?seed:int ->

@@ -1,0 +1,447 @@
+(* Durable-I/O layer: whole-record appends over raw file descriptors,
+   with an optional deterministic fault injector sharing the same code
+   path.  See fsio.mli for the model; the invariants that matter:
+
+   - append is all-or-nothing as far as the file is concerned: the
+     record is written by one retry loop from one buffer, and any
+     failure rolls the file back to the pre-append offset;
+   - a failed handle is sticky: later appends/fsyncs report EROFS
+     without touching the file, so a half-written record can never be
+     followed by more bytes (the mid-log interleaving bug buffered
+     channels had);
+   - every blocking syscall retries EINTR;
+   - the injector is consulted before the real operation, by global
+     operation index, so fault schedules are exact and reproducible. *)
+
+exception Crashed
+exception Io_error of { op : string; path : string; error : Unix.error }
+exception Corrupt of { path : string; offset : int; reason : string }
+
+let error_message = function
+  | Io_error { op; path; error } ->
+      Some (Printf.sprintf "%s: %s failed: %s" path op (Unix.error_message error))
+  | Corrupt { path; offset; reason } ->
+      Some (Printf.sprintf "%s: corrupt record at offset %d: %s" path offset reason)
+  | Crashed -> Some "simulated crash"
+  | _ -> None
+
+type fault =
+  | Crash of { lose_volatile : bool }
+  | Err of Unix.error
+  | Short_write of { bytes : int; error : Unix.error }
+  | Torn_write of { bytes : int }
+  | Fsync_lie
+
+module Retry = struct
+  let rec eintr f =
+    try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+end
+
+type t = {
+  h_path : string;
+  mutable fd : Unix.file_descr option;
+  injector : injector option;
+  mutable offset : int;
+  mutable durable_bytes : int;
+  mutable failure : (string * Unix.error) option;
+}
+
+and injector = {
+  mutable count : int;
+  plan : (int, fault) Hashtbl.t;
+  mutable handles : t list;
+  mutable i_trace : (int * string) list;  (* reverse order *)
+  mutable lies : int;
+}
+
+module Injector = struct
+  type t = injector
+
+  let of_plan l =
+    let plan = Hashtbl.create 16 in
+    List.iter (fun (i, f) -> Hashtbl.replace plan i f) l;
+    { count = 0; plan; handles = []; i_trace = []; lies = 0 }
+
+  (* A pinned 32-bit LCG (Numerical Recipes constants): the plan derived
+     from a seed must never depend on the OCaml stdlib's Random
+     algorithm. *)
+  let lcg s = ((s * 1664525) + 1013904223) land 0xffffffff
+
+  let seeded ~seed ~rate ~horizon =
+    if rate < 0.0 || rate > 1.0 then invalid_arg "Fsio.Injector.seeded: rate";
+    let s = ref (lcg (lcg (seed land 0xffffffff))) in
+    let next () =
+      s := lcg !s;
+      (* high bits only: the low bits of an LCG cycle fast *)
+      !s lsr 8
+    in
+    let plan = ref [] in
+    for i = 0 to horizon - 1 do
+      let draw = float_of_int (next ()) /. 16777216.0 in
+      if draw < rate then begin
+        let fault =
+          match next () mod 6 with
+          | 0 -> Crash { lose_volatile = false }
+          | 1 -> Crash { lose_volatile = true }
+          | 2 -> Err (if next () land 1 = 0 then Unix.ENOSPC else Unix.EIO)
+          | 3 -> Short_write { bytes = 1 + (next () mod 16); error = Unix.ENOSPC }
+          | 4 -> Torn_write { bytes = 1 + (next () mod 16) }
+          | _ -> Fsync_lie
+        in
+        plan := (i, fault) :: !plan
+      end
+    done;
+    of_plan !plan
+
+  let ops t = t.count
+  let trace t = List.rev t.i_trace
+  let lie_count t = t.lies
+end
+
+let path t = t.h_path
+let size t = t.offset
+let durable t = t.durable_bytes
+let failed t = t.failure
+
+let io_error ~op ~path error = raise (Io_error { op; path; error })
+
+(* The simulated process dies: close every registered handle, dropping
+   un-fsync'd bytes first when the crash loses the volatile cache. *)
+let crash_now inj ~lose_volatile =
+  List.iter
+    (fun h ->
+      (match h.fd with
+      | Some fd ->
+          if lose_volatile && h.durable_bytes < h.offset then
+            (try Retry.eintr (fun () -> Unix.ftruncate fd h.durable_bytes)
+             with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      h.fd <- None;
+      h.failure <- Some ("crash", Unix.EIO))
+    inj.handles;
+  raise Crashed
+
+(* What [inject] hands back for the caller to apply itself; crashes are
+   applied inside [inject] (they concern every handle, not just the one
+   performing the operation). *)
+type applied =
+  | A_err of Unix.error
+  | A_short of { bytes : int; error : Unix.error }
+  | A_torn of { bytes : int }
+  | A_lie
+
+let inject injector ~op =
+  match injector with
+  | None -> None
+  | Some inj -> (
+      let i = inj.count in
+      inj.count <- i + 1;
+      inj.i_trace <- (i, op) :: inj.i_trace;
+      match Hashtbl.find_opt inj.plan i with
+      | Some (Crash { lose_volatile }) -> crash_now inj ~lose_volatile
+      | Some (Err e) -> Some (A_err e)
+      | Some (Short_write { bytes; error }) -> Some (A_short { bytes; error })
+      | Some (Torn_write { bytes }) -> Some (A_torn { bytes })
+      | Some Fsync_lie -> Some A_lie
+      | None -> None)
+
+let register injector h =
+  match injector with None -> () | Some inj -> inj.handles <- h :: inj.handles
+
+let deregister injector h =
+  match injector with
+  | None -> ()
+  | Some inj -> inj.handles <- List.filter (fun x -> x != h) inj.handles
+
+let open_log ?injector path =
+  (match inject injector ~op:"open" with
+  | Some (A_err e) -> io_error ~op:"open" ~path e
+  | Some (A_short _ | A_torn _ | A_lie) | None -> ());
+  match
+    Retry.eintr (fun () -> Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644)
+  with
+  | exception Unix.Unix_error (e, _, _) -> io_error ~op:"open" ~path e
+  | fd ->
+      Unix.set_close_on_exec fd;
+      let size = (Unix.fstat fd).Unix.st_size in
+      ignore (Unix.lseek fd size Unix.SEEK_SET);
+      let t =
+        {
+          h_path = path;
+          fd = Some fd;
+          injector;
+          offset = size;
+          durable_bytes = size;
+          failure = None;
+        }
+      in
+      register injector t;
+      t
+
+let live t ~op =
+  match t.fd with
+  | Some fd -> fd
+  | None -> io_error ~op ~path:t.h_path Unix.EBADF
+
+let sticky t ~op =
+  match t.failure with
+  | Some _ -> io_error ~op ~path:t.h_path Unix.EROFS
+  | None -> ()
+
+let contents t =
+  let fd = live t ~op:"read" in
+  (match inject t.injector ~op:"read" with
+  | Some (A_err e) -> io_error ~op:"read" ~path:t.h_path e
+  | Some (A_short _ | A_torn _ | A_lie) | None -> ());
+  match
+    let size = (Unix.fstat fd).Unix.st_size in
+    let buf = Bytes.create size in
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    let off = ref 0 in
+    while !off < size do
+      match Retry.eintr (fun () -> Unix.read fd buf !off (size - !off)) with
+      | 0 -> raise (Unix.Unix_error (Unix.EIO, "read", t.h_path))
+      | k -> off := !off + k
+    done;
+    ignore (Unix.lseek fd t.offset Unix.SEEK_SET);
+    Bytes.unsafe_to_string buf
+  with
+  | s -> s
+  | exception Unix.Unix_error (e, _, _) -> io_error ~op:"read" ~path:t.h_path e
+
+let truncate t n =
+  sticky t ~op:"truncate";
+  let fd = live t ~op:"truncate" in
+  (match inject t.injector ~op:"truncate" with
+  | Some (A_err e) -> io_error ~op:"truncate" ~path:t.h_path e
+  | Some (A_short _ | A_torn _ | A_lie) | None -> ());
+  match
+    Retry.eintr (fun () ->
+        Unix.ftruncate fd n;
+        ignore (Unix.lseek fd n Unix.SEEK_SET))
+  with
+  | () ->
+      t.offset <- n;
+      if t.durable_bytes > n then t.durable_bytes <- n
+  | exception Unix.Unix_error (e, _, _) -> io_error ~op:"truncate" ~path:t.h_path e
+
+(* One buffer, one retry loop.  [limit] caps the bytes that actually
+   reach the file (the short/torn-write injections); the loop still
+   fails afterwards, so a limit below the record length can never be
+   mistaken for success. *)
+let write_all fd s ~limit =
+  let len = min limit (String.length s) in
+  let off = ref 0 in
+  while !off < len do
+    match Retry.eintr (fun () -> Unix.write_substring fd s !off (len - !off)) with
+    | 0 -> raise (Unix.Unix_error (Unix.EIO, "write", ""))
+    | k -> off := !off + k
+  done;
+  !off
+
+let append t s =
+  sticky t ~op:"append";
+  let fd = live t ~op:"append" in
+  let start = t.offset in
+  let rollback () =
+    try
+      Retry.eintr (fun () ->
+          Unix.ftruncate fd start;
+          ignore (Unix.lseek fd start Unix.SEEK_SET))
+    with Unix.Unix_error _ -> ()
+    (* rollback itself failed: the partial record stays, but the sticky
+       failure below guarantees nothing is ever appended after it — the
+       file ends in a torn tail, which replay truncates *)
+  in
+  let fail error =
+    rollback ();
+    t.offset <- start;
+    t.failure <- Some ("append", error);
+    io_error ~op:"append" ~path:t.h_path error
+  in
+  match inject t.injector ~op:"append" with
+  | Some (A_err e) -> fail e
+  | Some (A_short { bytes; error }) ->
+      (try ignore (write_all fd s ~limit:bytes) with Unix.Unix_error _ -> ());
+      fail error
+  | Some (A_torn { bytes }) -> (
+      (try ignore (write_all fd s ~limit:bytes) with Unix.Unix_error _ -> ());
+      t.offset <- start + min bytes (String.length s);
+      (* mid-write death: no rollback — this is the torn-tail shape *)
+      match t.injector with
+      | Some inj -> crash_now inj ~lose_volatile:false
+      | None -> assert false)
+  | Some A_lie | None -> (
+      match write_all fd s ~limit:max_int with
+      | n -> t.offset <- start + n
+      | exception Unix.Unix_error (e, _, _) -> fail e)
+
+let flush _t = ()
+
+let fsync t =
+  sticky t ~op:"fsync";
+  let fd = live t ~op:"fsync" in
+  match inject t.injector ~op:"fsync" with
+  | Some (A_err e) ->
+      (* fsyncgate: after a failed fsync the dirty pages are gone — model
+         the loss immediately so replay sees what a crash would see, and
+         poison the handle: durability can no longer be promised. *)
+      (try
+         Retry.eintr (fun () ->
+             Unix.ftruncate fd t.durable_bytes;
+             ignore (Unix.lseek fd t.durable_bytes Unix.SEEK_SET))
+       with Unix.Unix_error _ -> ());
+      t.offset <- t.durable_bytes;
+      t.failure <- Some ("fsync", e);
+      io_error ~op:"fsync" ~path:t.h_path e
+  | Some A_lie -> (
+      match t.injector with
+      | Some inj -> inj.lies <- inj.lies + 1 (* acknowledged, not durable *)
+      | None -> assert false)
+  | Some (A_short _ | A_torn _) | None -> (
+      match Retry.eintr (fun () -> Unix.fsync fd) with
+      | () -> t.durable_bytes <- t.offset
+      | exception Unix.Unix_error (e, _, _) ->
+          t.failure <- Some ("fsync", e);
+          io_error ~op:"fsync" ~path:t.h_path e)
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd -> (
+      deregister t.injector t;
+      t.fd <- None;
+      (match inject t.injector ~op:"close" with
+      | Some (A_err e) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          io_error ~op:"close" ~path:t.h_path e
+      | Some (A_short _ | A_torn _ | A_lie) | None -> ());
+      match Unix.close fd with
+      | () -> ()
+      | exception Unix.Unix_error (e, _, _) -> io_error ~op:"close" ~path:t.h_path e)
+
+let rename ?injector ~src dst =
+  (match inject injector ~op:"rename" with
+  | Some (A_err e) -> io_error ~op:"rename" ~path:dst e
+  | Some (A_short _ | A_torn _ | A_lie) | None -> ());
+  try Retry.eintr (fun () -> Unix.rename src dst)
+  with Unix.Unix_error (e, _, _) -> io_error ~op:"rename" ~path:dst e
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Retry.eintr (fun () -> Unix.fsync fd) with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+module Crc32 = struct
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c))
+
+  let string s =
+    let table = Lazy.force table in
+    let crc = ref 0xffffffff in
+    String.iter
+      (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8))
+      s;
+    !crc lxor 0xffffffff
+
+  let to_hex v = Printf.sprintf "%08x" (v land 0xffffffff)
+end
+
+module Record = struct
+  let crc ~tag payload = Crc32.string (tag ^ "\n" ^ payload)
+
+  let encode ~magic ~tag payload =
+    if String.exists (fun c -> c = ' ' || c = '\n') tag then
+      invalid_arg "Fsio.Record.encode: tag contains a space or newline";
+    Printf.sprintf "%s %s %d %s\n%s\n" magic tag (String.length payload)
+      (Crc32.to_hex (crc ~tag payload))
+      payload
+
+  type verdict =
+    | Complete
+    | Torn of { offset : int }
+    | Corrupt_at of { offset : int; reason : string }
+
+  let is_hex8 s =
+    String.length s = 8
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         s
+
+  let scan ~magic contents =
+    let n = String.length contents in
+    let out = ref [] in
+    let good = ref 0 in
+    let verdict = ref Complete in
+    let pos = ref 0 in
+    (try
+       while !pos < n do
+         match String.index_from_opt contents !pos '\n' with
+         | None ->
+             (* header cut short at EOF: a crash mid-append *)
+             verdict := Torn { offset = !pos };
+             raise Exit
+         | Some nl -> (
+             let header = String.sub contents !pos (nl - !pos) in
+             match String.split_on_char ' ' header with
+             | m :: rest when m = magic -> (
+                 match rest with
+                 | [ tag; len; crc_hex ] -> (
+                     match int_of_string_opt len with
+                     | Some len when len >= 0 && is_hex8 crc_hex ->
+                         let payload_start = nl + 1 in
+                         if payload_start + len + 1 > n then begin
+                           (* the record extends past EOF: torn tail *)
+                           verdict := Torn { offset = !pos };
+                           raise Exit
+                         end
+                         else if contents.[payload_start + len] <> '\n' then begin
+                           verdict :=
+                             Corrupt_at
+                               { offset = !pos; reason = "record terminator missing" };
+                           raise Exit
+                         end
+                         else begin
+                           let payload = String.sub contents payload_start len in
+                           let expect = Crc32.to_hex (crc ~tag payload) in
+                           if expect <> crc_hex then begin
+                             verdict :=
+                               Corrupt_at
+                                 {
+                                   offset = !pos;
+                                   reason =
+                                     Printf.sprintf "crc mismatch (stored %s, computed %s)"
+                                       crc_hex expect;
+                                 };
+                             raise Exit
+                           end;
+                           out := (tag, payload) :: !out;
+                           pos := payload_start + len + 1;
+                           good := !pos
+                         end
+                     | _ ->
+                         verdict :=
+                           Corrupt_at { offset = !pos; reason = "malformed record header" };
+                         raise Exit)
+                 | _ ->
+                     verdict :=
+                       Corrupt_at { offset = !pos; reason = "malformed record header" };
+                     raise Exit)
+             | _ ->
+                 (* alien magic: an older format generation (or garbage) —
+                    dropped wholesale, like a torn tail *)
+                 verdict := Torn { offset = !pos };
+                 raise Exit)
+       done
+     with Exit -> ());
+    (List.rev !out, !good, !verdict)
+end

@@ -1,0 +1,202 @@
+(** The durable-I/O layer every on-disk artifact (serve store, dist
+    ledger, census checkpoints) appends through — and the seeded fault
+    injector that lets `rcn crashtest` drive those artifacts through
+    every crash, error and fsync-loss shape the recovery code claims to
+    survive.
+
+    Two backends share one code path: {e Real} (no injector) performs
+    plain Unix I/O; {e Faulty} (a handle opened with [?injector]) runs
+    the same syscalls against the same file but consults a deterministic
+    fault plan before each operation, so a planned ENOSPC, short write,
+    lying fsync or whole-process crash happens at an exact, reproducible
+    operation boundary.  Determinism is the contract: the same plan
+    against the same workload yields byte-identical post-crash file
+    images.
+
+    Appends are {e whole-record}: one buffer, one [Unix.write] retry
+    loop — never a buffered [out_channel], whose post-error state is
+    undefined and whose next flush can interleave a partial record into
+    the middle of a log.  An append either writes every byte or (via a
+    rollback [ftruncate] to the pre-append offset) leaves the file
+    byte-identical, and a failed handle is {e sticky}: every later
+    append fails immediately with [EROFS] instead of touching the
+    file. *)
+
+exception Crashed
+(** A planned [Crash] (or [Torn_write]) fired: the simulated process is
+    dead.  Every handle registered with the injector has been closed
+    (and, for a power-loss crash, truncated to its durable prefix).
+    Never raised by the Real backend — a crash-test driver catches it,
+    reopens the artifact and checks the recovery invariants. *)
+
+exception Io_error of { op : string; path : string; error : Unix.error }
+(** An operation failed — really, or by injection.  [op] is the
+    operation name ([open]/[read]/[append]/[fsync]/[truncate]/[rename]/
+    [close]); a sticky-failed handle reports [EROFS]. *)
+
+exception Corrupt of { path : string; offset : int; reason : string }
+(** Replay found a record that is structurally complete but wrong —
+    a CRC mismatch, a malformed header with the right magic, a missing
+    terminator.  Unlike a torn tail this is {e never} silently
+    truncated: data after the corruption would be lost without anyone
+    noticing.  [offset] is the byte position of the bad record. *)
+
+val error_message : exn -> string option
+(** A printable one-line form of the three exceptions above; [None] for
+    anything else. *)
+
+(** {2 Fault injection} *)
+
+type fault =
+  | Crash of { lose_volatile : bool }
+      (** die at this operation boundary (before the op runs).
+          [lose_volatile = false] is [kill -9]: everything written
+          survives.  [lose_volatile = true] is power loss: every byte
+          not covered by a successful, non-lying fsync is gone. *)
+  | Err of Unix.error  (** the operation fails with this errno *)
+  | Short_write of { bytes : int; error : Unix.error }
+      (** an append persists only a prefix, then fails (the handle rolls
+          back and goes sticky-failed, like any append error) *)
+  | Torn_write of { bytes : int }
+      (** the process dies {e mid-write}: a prefix of the record reaches
+          the file and [Crashed] is raised with no rollback — the shape
+          that leaves a torn tail for replay to truncate *)
+  | Fsync_lie
+      (** fsync returns success without making anything durable — the
+          "fsyncgate" write-back-loss shape.  A later power-loss crash
+          drops the bytes this fsync pretended to persist. *)
+
+module Injector : sig
+  type t
+
+  val of_plan : (int * fault) list -> t
+  (** Faults keyed by global operation index (0-based, counted across
+      every handle and module-level operation using this injector).
+      Duplicate indices keep the last binding. *)
+
+  val seeded : seed:int -> rate:float -> horizon:int -> t
+  (** A deterministic plan derived from [seed] by a pinned LCG: each of
+      the first [horizon] operation slots independently draws a fault
+      with probability [rate].  Same seed, same plan — always. *)
+
+  val ops : t -> int
+  (** Operations executed (or intercepted) so far. *)
+
+  val trace : t -> (int * string) list
+  (** The [(index, op name)] trace of every operation seen so far, in
+      execution order — how a crash-test driver learns which indices are
+      appends or fsyncs before enumerating plans. *)
+
+  val lie_count : t -> int
+  (** Fsync lies told so far — a workload brackets an append+fsync with
+      this to learn whether its acknowledgment was honest. *)
+end
+
+(** {2 Handles} *)
+
+type t
+
+val open_log : ?injector:Injector.t -> string -> t
+(** Open (creating if missing) an append-only log for reading and
+    appending, positioned at its current end.  Pre-existing bytes count
+    as durable.  @raise Io_error when opening fails. *)
+
+val path : t -> string
+
+val size : t -> int
+(** The logical size — the current append offset. *)
+
+val durable : t -> int
+(** Bytes guaranteed to survive power loss: advanced by every honest
+    {!fsync}.  (Maintained for Real handles too; meaningful for tests.) *)
+
+val contents : t -> string
+(** The whole current file, offset preserved. *)
+
+val append : t -> string -> unit
+(** Whole-record append: one buffer, one write loop.  On any failure the
+    file is rolled back ([ftruncate]) to the pre-append offset and the
+    handle goes sticky-failed; later appends raise [EROFS] without
+    touching the file.  @raise Io_error *)
+
+val flush : t -> unit
+(** A no-op — the layer is unbuffered by construction; kept so callers
+    written against buffered channels port without dropping a step. *)
+
+val fsync : t -> unit
+(** Persist appended bytes.  On failure ("fsyncgate") the un-fsync'd
+    volatile bytes must be presumed lost: the file is truncated back to
+    the durable prefix and the handle goes sticky-failed.
+    @raise Io_error *)
+
+val truncate : t -> int -> unit
+(** Truncate to [n] bytes (dropping a torn tail during replay) and
+    position the append offset there.  @raise Io_error *)
+
+val close : t -> unit
+(** Close the handle (idempotent).  Errors on the final close are
+    reported, not swallowed.  @raise Io_error *)
+
+val failed : t -> (string * Unix.error) option
+(** The sticky failure, if the handle is degraded: [(op, errno)] of the
+    first error. *)
+
+val rename : ?injector:Injector.t -> src:string -> string -> unit
+(** Atomic replace, the compaction commit point.  @raise Io_error *)
+
+val fsync_dir : string -> unit
+(** Best-effort fsync of a directory (persisting a rename); errors are
+    swallowed — not every filesystem supports it. *)
+
+(** {2 EINTR discipline} *)
+
+module Retry : sig
+  val eintr : (unit -> 'a) -> 'a
+  (** Re-run [f] for as long as it raises [Unix_error (EINTR, _, _)] —
+      the wrapper every blocking syscall in this layer (and the waitpid
+      call sites in [lib/dist] / [bin/rcn]) goes through. *)
+end
+
+(** {2 Record framing} *)
+
+module Crc32 : sig
+  val string : string -> int
+  (** CRC-32 (polynomial 0xEDB88320) of the whole string, as a
+      non-negative int. *)
+
+  val to_hex : int -> string
+  (** Fixed-width lowercase 8-digit hex. *)
+end
+
+(** The one record discipline the store and the ledger share:
+
+    {[<magic> <tag> <payload_bytes> <crc32hex>\n<payload>\n]}
+
+    where the CRC covers [tag ^ "\n" ^ payload] — so a bit flip in the
+    key/kind or the payload is caught, and a flipped length field either
+    breaks the terminator or breaks the CRC.  Replay distinguishes two
+    failure shapes: a record cut short {e at end of file} is a torn tail
+    (a crash mid-append — truncate and carry on), while a structurally
+    complete record that fails validation is corruption (hard error,
+    with the offset).  A complete header line whose magic is not
+    [magic] ends the scan like a torn tail: that is how a log from an
+    older format generation is dropped wholesale rather than
+    misparsed. *)
+module Record : sig
+  val encode : magic:string -> tag:string -> string -> string
+  (** [tag] must contain no space or newline.  @raise Invalid_argument *)
+
+  type verdict =
+    | Complete  (** the file ends exactly at a record boundary *)
+    | Torn of { offset : int }
+        (** a record is cut short at EOF (or an alien magic was hit):
+            the replayable prefix ends at [offset] — truncate there *)
+    | Corrupt_at of { offset : int; reason : string }
+        (** a complete record failed validation at [offset] — the caller
+            must raise {!Corrupt}, never truncate *)
+
+  val scan : magic:string -> string -> (string * string) list * int * verdict
+  (** [(records, good, verdict)]: the [(tag, payload)] records of the
+      longest valid prefix, in file order, and the offset just past the
+      last good record. *)
+end

@@ -213,6 +213,23 @@ let run_census env ~space ~sample ~seed ~checkpoint ~resume ~durable
               ~durable ~config env.pool space
           in
           let retries, watchdog_trips, quarantined = ledger supervisor in
+          (* A checkpoint-writer failure degrades the run the same way a
+             quarantined chunk does: a synthetic quarantine entry turns
+             the exit PARTIAL and names the storage failure — decided
+             tables past the failure were never made durable. *)
+          let quarantined =
+            match run.Engine.storage_error with
+            | None -> quarantined
+            | Some msg ->
+                {
+                  Supervise.q_context = "census.checkpoint";
+                  q_lo = 0;
+                  q_hi = 0;
+                  q_attempts = 1;
+                  q_error = "checkpoint append failed: " ^ msg;
+                }
+                :: quarantined
+          in
           let c =
             {
               Api.Response.entries = run.Engine.entries;
@@ -265,9 +282,17 @@ let run env (req : Api.Request.t) =
     match Option.map Api.Config.validate (Api.Request.config req) with
     | Some (Error msg) -> Api.Response.error msg
     | Some (Ok ()) | None -> (
-        try f ()
-        with exn ->
-          Api.Response.error ~code:Api.Response.err_internal (Printexc.to_string exn))
+        try f () with
+        | (Fsio.Io_error _ | Fsio.Corrupt _) as e ->
+            (* Durable storage failed mid-request: the store has already
+               flipped to sticky read-only, so the daemon stays up and
+               answers honestly instead of crashing. *)
+            Api.Response.error ~code:Api.Response.err_storage
+              (Option.value ~default:(Printexc.to_string e)
+                 (Fsio.error_message e))
+        | exn ->
+            Api.Response.error ~code:Api.Response.err_internal
+              (Printexc.to_string exn))
   in
   match req with
   | Api.Request.Ping -> Api.Response.make Api.Response.Pong
@@ -287,3 +312,6 @@ let handle env req =
   match fast_path ~obs:env.obs ?store:env.store ~command:env.command req with
   | Some resp -> resp
   | None -> run env req
+  | exception ((Fsio.Io_error _ | Fsio.Corrupt _) as e) ->
+      Api.Response.error ~code:Api.Response.err_storage
+        (Option.value ~default:(Printexc.to_string e) (Fsio.error_message e))

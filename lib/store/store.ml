@@ -1,21 +1,23 @@
-(* Append-only content-addressed log.  On-disk format, one record after
-   another, nothing else in the file:
+(* Append-only content-addressed log over the Fsio durable-I/O layer.
+   On-disk format, one record after another, nothing else in the file
+   (the shared Fsio.Record discipline):
 
-     rcnstore2 <key> <payload_bytes>\n
+     rcnstore3 <key> <payload_bytes> <crc32hex>\n
      <payload>\n
 
-   The header is plain text (key is a hex digest, never contains spaces);
-   the payload is length-delimited, so it may contain anything.  Recovery
-   needs no index or footer: scan from the top, stop at the first record
-   that does not parse or is cut short, truncate there.
+   The header is plain text (key is a hex digest, never contains
+   spaces); the payload is length-delimited, so it may contain anything;
+   the CRC covers key + payload so replay can tell a torn tail (crash
+   mid-append: truncate, carry on) from mid-log corruption (hard error
+   with the offset, never silently dropped).
 
-   rcnstore2 bumped the magic when analyze keys became canonical under
-   --sym (and configs started carrying the flag): an rcnstore1 file's
-   records simply fail the magic check, so the scanner keeps none of
-   them and the first put truncates the old log — stale keys are
-   ignored cleanly rather than migrated. *)
+   rcnstore3 bumped the magic when records grew the CRC field (rcnstore2
+   had bumped it for canonical --sym keys): an older file's records fail
+   the magic check, so the scanner keeps none of them and the log is
+   truncated like a torn tail — stale keys are dropped cleanly rather
+   than migrated, the policy pinned since the rcnstore2 bump. *)
 
-let magic = "rcnstore2"
+let magic = "rcnstore3"
 
 type counters = {
   hits : Obs.Metrics.Counter.t;
@@ -23,16 +25,19 @@ type counters = {
   puts : Obs.Metrics.Counter.t;
   loaded : Obs.Metrics.Counter.t;
   torn : Obs.Metrics.Counter.t;
+  readonly_c : Obs.Metrics.Counter.t;
+  dropped_puts : Obs.Metrics.Counter.t;
 }
 
 type t = {
   path : string;
   fsync : bool;
-  fd : Unix.file_descr;
-  mutable chan : out_channel option;
+  log : Fsio.t;
   table : (string, string) Hashtbl.t;
   c : counters option;
   lock : Mutex.t;
+  mutable readonly : bool;
+  mutable closed : bool;
 }
 
 let with_lock t f =
@@ -45,40 +50,18 @@ let count c field =
   | Some c -> Obs.Metrics.Counter.incr (field c)
 
 (* Replay [contents], filling [table]; returns the offset just past the
-   last complete record. *)
-let replay contents table =
-  let n = String.length contents in
-  let good = ref 0 in
-  let pos = ref 0 in
-  (try
-     while !pos < n do
-       let nl =
-         match String.index_from_opt contents !pos '\n' with
-         | Some i -> i
-         | None -> raise Exit
-       in
-       let header = String.sub contents !pos (nl - !pos) in
-       let key, len =
-         match String.split_on_char ' ' header with
-         | [ m; key; len ] when m = magic -> (
-             match int_of_string_opt len with
-             | Some len when len >= 0 -> (key, len)
-             | _ -> raise Exit)
-         | _ -> raise Exit
-       in
-       let payload_start = nl + 1 in
-       (* payload plus its trailing newline must be fully present *)
-       if payload_start + len + 1 > n then raise Exit;
-       if contents.[payload_start + len] <> '\n' then raise Exit;
-       let payload = String.sub contents payload_start len in
-       Hashtbl.replace table key payload;
-       pos := payload_start + len + 1;
-       good := !pos
-     done
-   with Exit -> ());
-  !good
+   last complete record.  A torn tail is the caller's to truncate; a
+   complete-but-invalid record is corruption and raised, never eaten. *)
+let replay ~path contents table =
+  let records, good, verdict = Fsio.Record.scan ~magic contents in
+  (match verdict with
+  | Fsio.Record.Complete | Fsio.Record.Torn _ -> ()
+  | Fsio.Record.Corrupt_at { offset; reason } ->
+      raise (Fsio.Corrupt { path; offset; reason }));
+  List.iter (fun (key, payload) -> Hashtbl.replace table key payload) records;
+  good
 
-let open_store ?obs ?(fsync = false) path =
+let open_store ?obs ?(fsync = false) ?injector path =
   let c =
     Option.map
       (fun obs ->
@@ -88,30 +71,42 @@ let open_store ?obs ?(fsync = false) path =
           puts = Obs.counter obs "store.puts";
           loaded = Obs.counter obs "store.loaded";
           torn = Obs.counter obs "store.torn_bytes";
+          readonly_c = Obs.counter obs "store.readonly";
+          dropped_puts = Obs.counter obs "store.dropped_puts";
         })
       obs
   in
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let size = (Unix.fstat fd).Unix.st_size in
-  let contents =
-    let ic = Unix.in_channel_of_descr (Unix.dup fd) in
-    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
-        really_input_string ic size)
-  in
-  let table = Hashtbl.create 64 in
-  let good = replay contents table in
-  if good < size then begin
-    Unix.ftruncate fd good;
-    match c with
-    | None -> ()
-    | Some c -> Obs.Metrics.Counter.add c.torn (size - good)
-  end;
-  (match c with
-  | None -> ()
-  | Some c -> Obs.Metrics.Counter.add c.loaded (Hashtbl.length table));
-  ignore (Unix.lseek fd good Unix.SEEK_SET);
-  let chan = Unix.out_channel_of_descr fd in
-  { path; fsync; fd; chan = Some chan; table; c; lock = Mutex.create () }
+  let log = Fsio.open_log ?injector path in
+  match
+    let contents = Fsio.contents log in
+    let size = String.length contents in
+    let table = Hashtbl.create 64 in
+    let good = replay ~path contents table in
+    (table, size, good)
+  with
+  | exception e ->
+      (try Fsio.close log with Fsio.Io_error _ -> ());
+      raise e
+  | table, size, good ->
+      if good < size then begin
+        Fsio.truncate log good;
+        match c with
+        | None -> ()
+        | Some c -> Obs.Metrics.Counter.add c.torn (size - good)
+      end;
+      (match c with
+      | None -> ()
+      | Some c -> Obs.Metrics.Counter.add c.loaded (Hashtbl.length table));
+      {
+        path;
+        fsync;
+        log;
+        table;
+        c;
+        lock = Mutex.create ();
+        readonly = false;
+        closed = false;
+      }
 
 let find t key =
   with_lock t (fun () ->
@@ -126,22 +121,30 @@ let find t key =
 let mem t key = with_lock t (fun () -> Hashtbl.mem t.table key)
 let size t = with_lock t (fun () -> Hashtbl.length t.table)
 let path t = t.path
+let readonly t = with_lock t (fun () -> t.readonly)
 
+(* First append failure flips the store to sticky read-only and
+   re-raises so the caller can answer err_storage; after that, puts
+   silently drop (counted) — the daemon keeps serving, just without
+   memoization.  The record either lands whole or not at all (Fsio's
+   append atomicity), so degraded mode can never leave a half record
+   for replay to trip on. *)
 let put t ~key payload =
   with_lock t (fun () ->
-      if not (Hashtbl.mem t.table key) then begin
-        let chan =
-          match t.chan with
-          | Some c -> c
-          | None -> invalid_arg "Store.put: store is closed"
-        in
-        Printf.fprintf chan "%s %s %d\n" magic key (String.length payload);
-        output_string chan payload;
-        output_char chan '\n';
-        flush chan;
-        if t.fsync then Unix.fsync t.fd;
-        Hashtbl.replace t.table key payload;
-        count t.c (fun c -> c.puts)
+      if t.closed then invalid_arg "Store.put: store is closed";
+      if t.readonly then count t.c (fun c -> c.dropped_puts)
+      else if not (Hashtbl.mem t.table key) then begin
+        match
+          Fsio.append t.log (Fsio.Record.encode ~magic ~tag:key payload);
+          if t.fsync then Fsio.fsync t.log
+        with
+        | () ->
+            Hashtbl.replace t.table key payload;
+            count t.c (fun c -> c.puts)
+        | exception (Fsio.Io_error _ as e) ->
+            t.readonly <- true;
+            count t.c (fun c -> c.readonly_c);
+            raise e
       end)
 
 (* Offline log rewrite.  The crash-safety argument is rename atomicity:
@@ -151,85 +154,82 @@ let put t ~key payload =
    dies half way) or the complete compacted one — never a mix.  The
    rewrite preserves replay semantics exactly: last occurrence of a key
    wins (what [replay] computes), records land in first-seen key order,
-   torn tails and superseded duplicates are dropped. *)
-let compact ?obs path =
+   torn tails and superseded duplicates are dropped.  With [max_bytes],
+   oldest-first-seen records are evicted until the rewritten log fits
+   the budget — the same argument covers eviction, since it only
+   changes which records the temp file holds. *)
+let compact ?obs ?injector ?max_bytes path =
   let compactions = Option.map (fun o -> Obs.counter o "store.compactions") obs in
   let dropped_c = Option.map (fun o -> Obs.counter o "store.compacted_bytes") obs in
+  let evicted_c = Option.map (fun o -> Obs.counter o "store.evicted") obs in
   if not (Sys.file_exists path) then (0, 0)
   else begin
     let contents = In_channel.with_open_bin path In_channel.input_all in
+    let records, _good, verdict = Fsio.Record.scan ~magic contents in
+    (match verdict with
+    | Fsio.Record.Complete | Fsio.Record.Torn _ -> ()
+    | Fsio.Record.Corrupt_at { offset; reason } ->
+        raise (Fsio.Corrupt { path; offset; reason }));
+    (* Last occurrence of a key wins; keys kept in first-seen order. *)
     let table = Hashtbl.create 64 in
-    ignore (replay contents table);
-    (* First-seen key order, recomputed with the same scan discipline. *)
     let order = ref [] in
-    let seen = Hashtbl.create 64 in
-    let pos = ref 0 in
-    let n = String.length contents in
-    (try
-       while !pos < n do
-         let nl =
-           match String.index_from_opt contents !pos '\n' with
-           | Some i -> i
-           | None -> raise Exit
-         in
-         let header = String.sub contents !pos (nl - !pos) in
-         let key, len =
-           match String.split_on_char ' ' header with
-           | [ m; key; len ] when m = magic -> (
-               match int_of_string_opt len with
-               | Some len when len >= 0 -> (key, len)
-               | _ -> raise Exit)
-           | _ -> raise Exit
-         in
-         if nl + 1 + len + 1 > n then raise Exit;
-         if contents.[nl + 1 + len] <> '\n' then raise Exit;
-         if not (Hashtbl.mem seen key) then begin
-           Hashtbl.add seen key ();
-           order := key :: !order
-         end;
-         pos := nl + 1 + len + 1
-       done
-     with Exit -> ());
+    List.iter
+      (fun (key, payload) ->
+        if not (Hashtbl.mem table key) then order := key :: !order;
+        Hashtbl.replace table key payload)
+      records;
     let order = List.rev !order in
-    let tmp = path ^ ".compact.tmp" in
-    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-    let written =
-      Fun.protect
-        ~finally:(fun () -> Unix.close fd)
-        (fun () ->
-          let oc = Unix.out_channel_of_descr (Unix.dup fd) in
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () ->
-              List.iter
-                (fun key ->
-                  let payload = Hashtbl.find table key in
-                  Printf.fprintf oc "%s %s %d\n" magic key (String.length payload);
-                  output_string oc payload;
-                  output_char oc '\n')
-                order;
-              flush oc);
-          Unix.fsync fd;
-          (Unix.fstat fd).Unix.st_size)
+    (* Eviction: drop oldest-first-seen keys until the suffix fits the
+       byte budget.  Record sizes are computed on the encoded form, so
+       the budget bounds the actual rewritten file size. *)
+    let encoded key = Fsio.Record.encode ~magic ~tag:key (Hashtbl.find table key) in
+    let keep =
+      match max_bytes with
+      | None -> order
+      | Some budget ->
+          let total =
+            List.fold_left (fun a k -> a + String.length (encoded k)) 0 order
+          in
+          let rec drop excess = function
+            | k :: rest when excess > 0 ->
+                drop (excess - String.length (encoded k)) rest
+            | l -> l
+          in
+          let kept = drop (total - budget) order in
+          (match evicted_c with
+          | None -> ()
+          | Some c ->
+              Obs.Metrics.Counter.add c (List.length order - List.length kept));
+          kept
     in
-    Unix.rename tmp path;
+    let tmp = path ^ ".compact.tmp" in
+    if Sys.file_exists tmp then Sys.remove tmp;
+    let log = Fsio.open_log ?injector tmp in
+    let written =
+      match
+        List.iter (fun key -> Fsio.append log (encoded key)) keep;
+        Fsio.fsync log;
+        Fsio.size log
+      with
+      | n ->
+          Fsio.close log;
+          n
+      | exception e ->
+          (try Fsio.close log with Fsio.Io_error _ -> ());
+          raise e
+    in
+    Fsio.rename ?injector ~src:tmp path;
     (* Best effort: persist the rename itself (the directory entry). *)
-    (match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
-    | dirfd ->
-        (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
-        Unix.close dirfd
-    | exception Unix.Unix_error _ -> ());
+    Fsio.fsync_dir (Filename.dirname path);
     let dropped = String.length contents - written in
     Option.iter Obs.Metrics.Counter.incr compactions;
     Option.iter (fun c -> Obs.Metrics.Counter.add c dropped) dropped_c;
-    (List.length order, dropped)
+    (List.length keep, dropped)
   end
 
 let close t =
   with_lock t (fun () ->
-      match t.chan with
-      | None -> ()
-      | Some chan ->
-          t.chan <- None;
-          (* closes the underlying fd too *)
-          close_out chan)
+      if not t.closed then begin
+        t.closed <- true;
+        Fsio.close t.log
+      end)

@@ -9,12 +9,23 @@
     guarantee rather than a re-serialization hope.
 
     Durability follows the census [--durable] checkpoint discipline: one
-    append-only log, a record at a time, flushed (and with [~fsync:true]
-    fsync'd) before the entry becomes visible.  A crash can only ever
-    tear the {e tail} of the log; {!open_store} scans forward, keeps
-    every complete record, truncates the torn tail in place, and resumes
-    appending from there — pinned by a truncation test that corrupts the
-    log at every byte offset.
+    append-only log, a record at a time, appended whole through {!Fsio}
+    (and with [~fsync:true] fsync'd) before the entry becomes visible.
+    A crash can only ever tear the {e tail} of the log; {!open_store}
+    scans forward, keeps every complete record, truncates the torn tail
+    in place, and resumes appending from there — pinned by a truncation
+    test that corrupts the log at every byte offset.  Each record
+    carries a CRC32, so a structurally complete record that fails
+    validation is {e corruption} and raises [Fsio.Corrupt] with the
+    offset rather than silently truncating acknowledged data.
+
+    An append that fails (ENOSPC, EIO, failed fsync) flips the store to
+    a sticky {e read-only degraded mode}: the failing [put] re-raises
+    [Fsio.Io_error] (once — so the daemon can answer [err_storage]),
+    every later [put] silently drops (counted), and [find] keeps
+    answering from memory.  The failed append leaves the log
+    byte-identical (Fsio's whole-record atomicity), so a degraded store
+    reopens clean.
 
     First write wins: a [put] on a key already present is a no-op, so a
     racing duplicate compute can never flip the stored bytes.  All
@@ -23,15 +34,19 @@
 
 type t
 
-val open_store : ?obs:Obs.t -> ?fsync:bool -> string -> t
+val open_store : ?obs:Obs.t -> ?fsync:bool -> ?injector:Fsio.Injector.t -> string -> t
 (** Open (creating if missing) the store backed by the given log file.
     Replays the log, dropping and truncating a torn tail.  [fsync]
-    (default [false]) makes every {!put} fsync before returning.  With
-    [obs], the store's ledger lives in that registry:
-    [store.hits] / [store.misses] (per {!find}), [store.puts] (appended
-    records), [store.loaded] (records recovered on open), and
-    [store.torn_bytes] (tail bytes discarded on open).
-    @raise Sys_error when the path is unopenable. *)
+    (default [false]) makes every {!put} fsync before returning.
+    [injector] routes every I/O operation through a seeded fault plan
+    (the [rcn crashtest] harness).  With [obs], the store's ledger lives
+    in that registry: [store.hits] / [store.misses] (per {!find}),
+    [store.puts] (appended records), [store.loaded] (records recovered
+    on open), [store.torn_bytes] (tail bytes discarded on open),
+    [store.readonly] (flipped on the first failed append), and
+    [store.dropped_puts] (puts dropped while degraded).
+    @raise Fsio.Io_error when the path is unopenable.
+    @raise Fsio.Corrupt on a mid-log CRC/format violation. *)
 
 val find : t -> string -> string option
 (** The canonical result bytes stored under this key, counting a hit or
@@ -42,14 +57,21 @@ val mem : t -> string -> bool
 
 val put : t -> key:string -> string -> unit
 (** Append and publish a record; no-op (not counted) if the key is
-    already present. *)
+    already present.  @raise Fsio.Io_error on the {e first} append
+    failure, which also flips the store {!readonly}; while degraded,
+    puts silently drop instead (counted as [store.dropped_puts]). *)
+
+val readonly : t -> bool
+(** The sticky degraded flag: set by the first failed append, never
+    cleared for the life of the handle. *)
 
 val size : t -> int
 (** Number of distinct keys. *)
 
 val path : t -> string
 
-val compact : ?obs:Obs.t -> string -> int * int
+val compact :
+  ?obs:Obs.t -> ?injector:Fsio.Injector.t -> ?max_bytes:int -> string -> int * int
 (** [compact path] rewrites the log at [path] offline, dropping
     superseded duplicate records and any torn tail, and returns
     [(records kept, bytes dropped)].  Replay semantics are preserved
@@ -61,8 +83,17 @@ val compact : ?obs:Obs.t -> string -> int * int
     complete compacted log, never a mix; a leftover temp file from a
     killed compaction is simply overwritten by the next one.  A missing
     [path] is [(0, 0)].  Meant for a store no process has open: a live
-    appender would keep writing to the renamed-away inode.  With [obs],
-    counts [store.compactions] and [store.compacted_bytes]. *)
+    appender would keep writing to the renamed-away inode.
+
+    [max_bytes] is the eviction budget: after deduplication, records
+    are evicted {e oldest-first-seen} until the rewritten log fits in
+    [max_bytes] (sizes measured on the encoded records).  Idempotent —
+    a log already within budget is rewritten unchanged — and covered by
+    the same rename-atomicity crash argument.
+
+    With [obs], counts [store.compactions], [store.compacted_bytes] and
+    [store.evicted] (records evicted by the budget).
+    @raise Fsio.Corrupt on a mid-log CRC/format violation. *)
 
 val close : t -> unit
 (** Flush and close the log.  Further [put]s raise; [find] keeps

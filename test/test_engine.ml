@@ -308,10 +308,16 @@ let with_checkpoint_file lines_then_tail f =
 let test_checkpoint_load_edge_cases () =
   let space = { Synth.num_values = 2; num_rws = 2; num_responses = 2 } in
   let header = Engine.Checkpoint.header ~space ~cap:3 ~total:256 in
+  (* A valid entry line as the canonical writer emits it, sans the
+     trailing newline ([with_checkpoint_file] adds it back). *)
+  let ck i d r =
+    let l = Engine.Checkpoint.line i d r in
+    String.sub l 0 (String.length l - 1)
+  in
   (* Duplicate index lines come back in file order, so a
      first-occurrence-wins consumer keeps the earliest append — which is
      what [census ~resume] does with its [finished] guard. *)
-  with_checkpoint_file ([ header; "7 2 1"; "9 3 2"; "7 4 4" ], None) (fun path ->
+  with_checkpoint_file ([ header; ck 7 2 1; ck 9 3 2; ck 7 4 4 ], None) (fun path ->
       let entries = Engine.Checkpoint.load path ~expected:header in
       check_bool "file order preserved" true
         (entries = [ (7, (2, 1)); (9, (3, 2)); (7, (4, 4)) ]);
@@ -319,18 +325,18 @@ let test_checkpoint_load_edge_cases () =
         (List.assoc 7 entries = (2, 1)));
   (* A torn trailing line (killed writer) followed by nothing is dropped;
      the whole lines before it all load. *)
-  with_checkpoint_file ([ header; "3 1 1"; "4 2 2" ], Some "250 3") (fun path ->
+  with_checkpoint_file ([ header; ck 3 1 1; ck 4 2 2 ], Some "250 3") (fun path ->
       check_bool "torn tail dropped" true
         (Engine.Checkpoint.load path ~expected:header
         = [ (3, (1, 1)); (4, (2, 2)) ]));
   (* A matching header whose indices exceed [total] loads as written —
      range checking is the consumer's job, and [census ~resume] skips the
      out-of-range entries rather than crashing. *)
-  with_checkpoint_file ([ header; "300 2 2"; "5 1 1"; "-1 2 2" ], None) (fun path ->
+  with_checkpoint_file ([ header; ck 300 2 2; ck 5 1 1; ck (-1) 2 2 ], None) (fun path ->
       check_bool "out-of-range indices returned as written" true
         (Engine.Checkpoint.load path ~expected:header
         = [ (300, (2, 2)); (5, (1, 1)); (-1, (2, 2)) ]));
-  with_checkpoint_file ([ header; "300 2 2"; "-1 2 2" ], None) (fun path ->
+  with_checkpoint_file ([ header; ck 300 2 2; ck (-1) 2 2 ], None) (fun path ->
       Pool.with_pool ~jobs:2 @@ fun pool ->
       let run =
         Engine.census ~checkpoint:path ~resume:true
@@ -340,6 +346,21 @@ let test_checkpoint_load_edge_cases () =
       check_int "out-of-range checkpoint entries are skipped, not resumed" 0
         run.Engine.resumed;
       check_bool "census still completes" true run.Engine.complete);
+  (* A *terminated* line failing its CRC is corruption — acknowledged
+     whole, so it cannot be a crash artifact — and raises with the
+     offset rather than being silently dropped. *)
+  with_checkpoint_file ([ header; ck 3 1 1; ck 4 2 2 ], None) (fun path ->
+      let bytes =
+        Bytes.of_string (In_channel.with_open_bin path In_channel.input_all)
+      in
+      let off = Bytes.index bytes '\n' + 1 in
+      Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor 1));
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc bytes);
+      check_bool "corrupt checkpoint line raises, never silently drops" true
+        (try
+           ignore (Engine.Checkpoint.load path ~expected:header);
+           false
+         with Fsio.Corrupt { offset; _ } -> offset = off));
   (* A missing file is an empty resume, not an error. *)
   check_bool "missing checkpoint loads empty" true
     (Engine.Checkpoint.load "/nonexistent/rcn-ckpt" ~expected:header = [])
@@ -385,9 +406,12 @@ let test_checkpoint_truncate_every_offset () =
     Out_channel.with_open_bin cut_path (fun oc ->
         Out_channel.output_string oc (String.sub bytes 0 cut));
     let loaded = Engine.Checkpoint.load cut_path ~expected:header in
-    (* Losing only the trailing newline leaves a complete, parseable
-       record; any shorter cut tears it and the loader must drop it. *)
-    let expect = if cut >= size - 1 then n_records else n_records - 1 in
+    (* An unterminated last line is torn by definition — the newline is
+       part of the record — so only the untouched file keeps them all.
+       (v1 accepted a complete-looking unterminated line; v2 cannot,
+       since a resuming writer appends after the truncation point and
+       must never glue onto a half record.) *)
+    let expect = if cut = size then n_records else n_records - 1 in
     check_int
       (Printf.sprintf "cut at byte %d keeps every complete record" cut)
       expect (List.length loaded);

@@ -1,0 +1,383 @@
+(* The Fsio durable-I/O layer: whole-record append atomicity, the
+   seeded deterministic fault injector, CRC-backed corruption detection,
+   and the EINTR retry discipline under a signal storm. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "rcn-test-fsio" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let magic = "fsiotest1"
+
+let records =
+  [
+    ("alpha", "corpus payload zero");
+    ("beta", "second payload, a bit longer than the first");
+    ("gamma", "third\nwith a newline and bytes \x00\x01\x02");
+  ]
+
+(* --- record scan basics ------------------------------------------- *)
+
+let test_encode_scan_roundtrip () =
+  let log =
+    String.concat ""
+      (List.map (fun (t, p) -> Fsio.Record.encode ~magic ~tag:t p) records)
+  in
+  let out, good, verdict = Fsio.Record.scan ~magic log in
+  check_bool "round-trip preserves every record" true (out = records);
+  check_int "good covers the whole log" (String.length log) good;
+  check_bool "clean log is Complete" true (verdict = Fsio.Record.Complete)
+
+let test_scan_every_prefix_is_torn () =
+  (* A crash can only tear the tail: every proper prefix must scan to the
+     complete leading records plus a Torn (never Corrupt) verdict. *)
+  let log =
+    String.concat ""
+      (List.map (fun (t, p) -> Fsio.Record.encode ~magic ~tag:t p) records)
+  in
+  let n = String.length log in
+  for cut = 0 to n - 1 do
+    let out, good, verdict = Fsio.Record.scan ~magic (String.sub log 0 cut) in
+    check_bool
+      (Printf.sprintf "prefix %d: records are a prefix of the full list" cut)
+      true
+      (out = List.filteri (fun i _ -> i < List.length out) records);
+    check_bool (Printf.sprintf "prefix %d: good <= cut" cut) true (good <= cut);
+    check_bool (Printf.sprintf "prefix %d: never Corrupt" cut) true
+      (match verdict with Fsio.Record.Corrupt_at _ -> false | _ -> true)
+  done
+
+(* --- CRC bit-flip corpus ------------------------------------------ *)
+
+(* Flip every CRC-covered byte of the *first* record of a three-record
+   log, one at a time, and insist the scan reports Corrupt_at offset 0 —
+   a complete record failing validation is corruption, never a torn
+   tail, and never silently dropped.  (CRC32 detects every single-bit
+   error, so none of these flips can collide.)
+
+   Deliberately out of scope: flips to the magic (an alien magic is a
+   format-generation bump, dropped wholesale like a torn tail by policy)
+   and flips that grow the length field (a record then extends past EOF
+   and is indistinguishable from a torn tail — the documented detection
+   gap; see DESIGN.md "Durability model"). *)
+let test_bitflip_corpus () =
+  let tag, payload = List.hd records in
+  let r0 = Fsio.Record.encode ~magic ~tag payload in
+  let rest =
+    String.concat ""
+      (List.map (fun (t, p) -> Fsio.Record.encode ~magic ~tag:t p) (List.tl records))
+  in
+  (* r0 layout: "<magic> <tag> <len> <crc8>\n<payload>\n" *)
+  let tag_start = String.length magic + 1 in
+  let len_start = tag_start + String.length tag + 1 in
+  let len_digits = String.length (string_of_int (String.length payload)) in
+  let crc_start = len_start + len_digits + 1 in
+  let payload_start = String.index r0 '\n' + 1 in
+  let spans =
+    [
+      ("tag", tag_start, String.length tag);
+      ("crc", crc_start, 8);
+      ("payload", payload_start, String.length payload);
+    ]
+  in
+  let flips = ref 0 in
+  List.iter
+    (fun (span, start, len) ->
+      for i = start to start + len - 1 do
+        let b = Bytes.of_string (r0 ^ rest) in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+        incr flips;
+        match Fsio.Record.scan ~magic (Bytes.unsafe_to_string b) with
+        | _, 0, Fsio.Record.Corrupt_at { offset = 0; _ } -> ()
+        | _, _, verdict ->
+            Alcotest.failf "%s flip at byte %d: expected Corrupt_at 0, got %s" span
+              i
+              (match verdict with
+              | Fsio.Record.Complete -> "Complete"
+              | Fsio.Record.Torn { offset } -> Printf.sprintf "Torn %d" offset
+              | Fsio.Record.Corrupt_at { offset; _ } ->
+                  Printf.sprintf "Corrupt_at %d" offset)
+      done)
+    spans;
+  check_bool "corpus exercised every CRC-covered byte" true (!flips > 30);
+  (* Shrinking the length field moves the terminator check onto a
+     payload byte: also Corrupt, same offset. *)
+  let b = Bytes.of_string (r0 ^ rest) in
+  Bytes.set b (len_start + len_digits - 1)
+    (match Bytes.get b (len_start + len_digits - 1) with
+    | '0' -> '1' (* keep it a digit, just wrong *)
+    | c -> Char.chr (Char.code c - 1));
+  (match Fsio.Record.scan ~magic (Bytes.unsafe_to_string b) with
+  | _, 0, Fsio.Record.Corrupt_at { offset = 0; _ } -> ()
+  | _ -> Alcotest.fail "shrunken length field not reported as corruption")
+
+(* --- append atomicity under injected faults ----------------------- *)
+
+let test_append_error_leaves_log_identical () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  (* Two clean appends, then ENOSPC on the third (op 0 is the open). *)
+  let injector = Fsio.Injector.of_plan [ (3, Fsio.Err Unix.ENOSPC) ] in
+  let log = Fsio.open_log ~injector path in
+  Fsio.append log (Fsio.Record.encode ~magic ~tag:"a" "one");
+  Fsio.append log (Fsio.Record.encode ~magic ~tag:"b" "two");
+  let clean =
+    Fsio.Record.encode ~magic ~tag:"a" "one"
+    ^ Fsio.Record.encode ~magic ~tag:"b" "two"
+  in
+  check_bool "doomed append raises Io_error ENOSPC" true
+    (try
+       Fsio.append log (Fsio.Record.encode ~magic ~tag:"c" "three");
+       false
+     with Fsio.Io_error { error = Unix.ENOSPC; _ } -> true);
+  check_bool "failed handle is sticky" true (Fsio.failed log <> None);
+  check_bool "later ops raise too" true
+    (try
+       Fsio.append log "more";
+       false
+     with Fsio.Io_error _ -> true);
+  let on_disk = In_channel.with_open_bin path In_channel.input_all in
+  check_bool "failed append left the log byte-identical" true (on_disk = clean);
+  let out, _, verdict = Fsio.Record.scan ~magic on_disk in
+  check_bool "both acknowledged records replay" true
+    (out = [ ("a", "one"); ("b", "two") ]);
+  check_bool "log is Complete, not torn" true (verdict = Fsio.Record.Complete)
+
+let test_short_write_rolls_back () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let injector =
+    Fsio.Injector.of_plan [ (2, Fsio.Short_write { bytes = 5; error = Unix.EIO }) ]
+  in
+  let log = Fsio.open_log ~injector path in
+  Fsio.append log (Fsio.Record.encode ~magic ~tag:"a" "one");
+  check_bool "short write surfaces the error" true
+    (try
+       Fsio.append log (Fsio.Record.encode ~magic ~tag:"b" "partial victim");
+       false
+     with Fsio.Io_error { error = Unix.EIO; _ } -> true);
+  let on_disk = In_channel.with_open_bin path In_channel.input_all in
+  check_bool "the partial write was rolled back" true
+    (on_disk = Fsio.Record.encode ~magic ~tag:"a" "one")
+
+let test_torn_write_then_crash_leaves_torn_tail () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let injector = Fsio.Injector.of_plan [ (2, Fsio.Torn_write { bytes = 7 }) ] in
+  let log = Fsio.open_log ~injector path in
+  let r0 = Fsio.Record.encode ~magic ~tag:"a" "one" in
+  Fsio.append log r0;
+  check_bool "torn write crashes the process model" true
+    (try
+       Fsio.append log (Fsio.Record.encode ~magic ~tag:"b" "two");
+       false
+     with Fsio.Crashed -> true);
+  let on_disk = In_channel.with_open_bin path In_channel.input_all in
+  check_bool "exactly 7 bytes of the second record landed" true
+    (String.length on_disk = String.length r0 + 7);
+  let out, good, verdict = Fsio.Record.scan ~magic on_disk in
+  check_bool "replay keeps the first record" true (out = [ ("a", "one") ]);
+  check_int "good stops at the record boundary" (String.length r0) good;
+  check_bool "the tail is Torn, not Corrupt" true
+    (match verdict with Fsio.Record.Torn _ -> true | _ -> false)
+
+let test_powerloss_loses_unsynced_bytes () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let r t p = Fsio.Record.encode ~magic ~tag:t p in
+  (* append a (1), fsync (2), append b (3), crash with volatile loss (4) *)
+  let injector =
+    Fsio.Injector.of_plan [ (4, Fsio.Crash { lose_volatile = true }) ]
+  in
+  let log = Fsio.open_log ~injector path in
+  Fsio.append log (r "a" "synced");
+  Fsio.fsync log;
+  Fsio.append log (r "b" "volatile");
+  check_bool "the crash fires on the next op" true
+    (try
+       Fsio.fsync log;
+       false
+     with Fsio.Crashed -> true);
+  let on_disk = In_channel.with_open_bin path In_channel.input_all in
+  check_bool "power loss kept exactly the fsync'd bytes" true
+    (on_disk = r "a" "synced")
+
+let test_fsync_lie_then_powerloss () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let r t p = Fsio.Record.encode ~magic ~tag:t p in
+  (* append a (1), LYING fsync (2), crash with volatile loss (3): the
+     "acknowledged" record evaporates — the fsyncgate shape the injector
+     exists to model. *)
+  let injector =
+    Fsio.Injector.of_plan
+      [ (2, Fsio.Fsync_lie); (3, Fsio.Crash { lose_volatile = true }) ]
+  in
+  let log = Fsio.open_log ~injector path in
+  Fsio.append log (r "a" "acknowledged but not durable");
+  Fsio.fsync log;
+  check_int "the lie was recorded" 1 (Fsio.Injector.lie_count injector);
+  check_bool "crash" true
+    (try
+       Fsio.append log (r "b" "never");
+       false
+     with Fsio.Crashed -> true);
+  check_bool "the lied-about record is gone" true
+    (In_channel.with_open_bin path In_channel.input_all = "")
+
+(* --- injector determinism (qcheck) -------------------------------- *)
+
+(* One fixed workload, run under an injector: returns the post-crash
+   file image and whatever state a recovery scan would reconstruct. *)
+let faulty_workload ~dir ~injector =
+  let path = Filename.concat dir "log" in
+  (try
+     let log = Fsio.open_log ~injector path in
+     List.iteri
+       (fun i (t, p) ->
+         Fsio.append log (Fsio.Record.encode ~magic ~tag:t p);
+         if i mod 2 = 0 then Fsio.fsync log)
+       (records @ List.map (fun (t, p) -> (t ^ "2", p ^ " again")) records);
+     Fsio.close log
+   with Fsio.Crashed | Fsio.Io_error _ -> ());
+  let image =
+    if Sys.file_exists path then
+      In_channel.with_open_bin path In_channel.input_all
+    else ""
+  in
+  let recovered, _, _ = Fsio.Record.scan ~magic image in
+  (image, recovered)
+
+let prop_faulty_deterministic =
+  QCheck.Test.make ~name:"same seed + plan => identical post-crash image"
+    ~count:60
+    QCheck.(pair small_nat (float_range 0.0 0.6))
+    (fun (seed, rate) ->
+      let run () =
+        with_tmpdir @@ fun dir ->
+        let injector = Fsio.Injector.seeded ~seed ~rate ~horizon:20 in
+        let image, recovered = faulty_workload ~dir ~injector in
+        (image, recovered, Fsio.Injector.trace injector)
+      in
+      let a = run () and b = run () in
+      a = b)
+
+let prop_scan_never_corrupt_on_faulty_output =
+  (* Whatever a seeded fault plan does to the log — crashes, short
+     writes, torn writes, lost volatile bytes — recovery must read it as
+     complete records plus at most a torn tail.  Corruption verdicts are
+     reserved for bit rot, which the injector cannot produce. *)
+  QCheck.Test.make ~name:"faulty images scan as torn at worst" ~count:60
+    QCheck.(pair small_nat (float_range 0.0 0.6))
+    (fun (seed, rate) ->
+      with_tmpdir @@ fun dir ->
+      let injector = Fsio.Injector.seeded ~seed ~rate ~horizon:20 in
+      let image, _ = faulty_workload ~dir ~injector in
+      match Fsio.Record.scan ~magic image with
+      | _, _, Fsio.Record.Corrupt_at _ -> false
+      | _ -> true)
+
+(* --- EINTR under a signal storm ----------------------------------- *)
+
+(* Pin the retry loops (Fsio appends, Frame reads and writes over a
+   socketpair) against a real interval-timer signal storm: an OCaml
+   signal handler installed without SA_RESTART makes every blocking
+   syscall eligible for EINTR, so at this frequency unprotected I/O
+   fails within a few operations. *)
+let test_signal_storm_eintr () =
+  let storms = ref 0 in
+  let old_handler =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr storms))
+  in
+  let old_timer =
+    Unix.setitimer Unix.ITIMER_REAL
+      { Unix.it_interval = 0.0004; it_value = 0.0004 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL old_timer);
+      Sys.set_signal Sys.sigalrm old_handler)
+  @@ fun () ->
+  (* Frame I/O: a writer thread pushes large frames through a socketpair
+     (forcing partial writes) while the main thread reads them back. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let n_frames = 40 in
+  let payload i = String.make (96 * 1024) (Char.chr (Char.code 'a' + (i mod 26))) in
+  let writer =
+    Thread.create
+      (fun () ->
+        for i = 0 to n_frames - 1 do
+          Frame.write a (payload i)
+        done;
+        Unix.close a)
+      ()
+  in
+  for i = 0 to n_frames - 1 do
+    match Frame.read b with
+    | Frame.Frame p ->
+        if p <> payload i then Alcotest.failf "frame %d corrupted in transit" i
+    | Frame.Eof -> Alcotest.failf "early eof at frame %d" i
+    | Frame.Bad msg -> Alcotest.failf "frame %d rejected: %s" i msg
+  done;
+  check_bool "stream ends cleanly" true (Frame.read b = Frame.Eof);
+  Thread.join writer;
+  Unix.close b;
+  (* Fsio appends survive the same storm. *)
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "log" in
+  let log = Fsio.open_log path in
+  let big = String.make (64 * 1024) 'x' in
+  for i = 0 to 9 do
+    Fsio.append log (Fsio.Record.encode ~magic ~tag:(Printf.sprintf "k%d" i) big);
+    Fsio.fsync log
+  done;
+  Fsio.close log;
+  let out, _, verdict =
+    Fsio.Record.scan ~magic (In_channel.with_open_bin path In_channel.input_all)
+  in
+  check_int "every record survived the storm" 10 (List.length out);
+  check_bool "log complete" true (verdict = Fsio.Record.Complete);
+  (* Retry.eintr itself: a waitpid over a child outliving many timer
+     ticks must return exactly once, never surface EINTR. *)
+  let pid =
+    Unix.create_process "/bin/sleep"
+      [| "sleep"; "0.1" |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let _, status = Fsio.Retry.eintr (fun () -> Unix.waitpid [] pid) in
+  check_bool "waitpid survives the storm" true (status = Unix.WEXITED 0);
+  check_bool "the storm actually stormed" true (!storms > 10)
+
+let suite =
+  [
+    Alcotest.test_case "encode / scan round-trip" `Quick test_encode_scan_roundtrip;
+    Alcotest.test_case "every prefix scans as torn, never corrupt" `Quick
+      test_scan_every_prefix_is_torn;
+    Alcotest.test_case "bit-flip corpus: corruption reported at the offset" `Quick
+      test_bitflip_corpus;
+    Alcotest.test_case "append error leaves the log byte-identical" `Quick
+      test_append_error_leaves_log_identical;
+    Alcotest.test_case "short write rolls back" `Quick test_short_write_rolls_back;
+    Alcotest.test_case "torn write + crash leaves a torn tail" `Quick
+      test_torn_write_then_crash_leaves_torn_tail;
+    Alcotest.test_case "power loss keeps exactly the fsync'd bytes" `Quick
+      test_powerloss_loses_unsynced_bytes;
+    Alcotest.test_case "lying fsync + power loss loses the ack'd record" `Quick
+      test_fsync_lie_then_powerloss;
+    QCheck_alcotest.to_alcotest prop_faulty_deterministic;
+    QCheck_alcotest.to_alcotest prop_scan_never_corrupt_on_faulty_output;
+    Alcotest.test_case "EINTR retry loops survive a signal storm" `Slow
+      test_signal_storm_eintr;
+  ]

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "rcn"
     [
       ("obs", Test_obs.suite);
+      ("fsio", Test_fsio.suite);
       ("objtype", Test_objtype.suite);
       ("gallery", Test_gallery.suite);
       ("sched", Test_sched.suite);

@@ -233,7 +233,7 @@ let test_store_survives_restart_and_torn_tail () =
   (* Crash shape: a torn half-record appended to the log, as a daemon
      killed mid-put leaves. *)
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 store_path in
-  output_string oc "rcnstore2 deadbeef 999\ntorn";
+  output_string oc "rcnstore3 deadbeef 999 00000000\ntorn";
   close_out oc;
   (* Second daemon: recovery must drop the tail, keep the record, and
      serve the repeat from the store byte-identically. *)

@@ -73,16 +73,13 @@ let test_truncate_every_offset () =
   let bytes = In_channel.with_open_bin path In_channel.input_all in
   let size = String.length bytes in
   (* Record boundaries: offsets after which a prefix holds k complete
-     records.  Recompute them from the known record shape:
-     "rcnstore2 <key> <len>\n<payload>\n". *)
+     records.  Recompute them from the canonical encoder, which pins the
+     record shape ("rcnstore3 <key> <len> <crc32hex>\n<payload>\n"). *)
   let boundaries =
     let ends, _ =
       List.fold_left
         (fun (ends, off) (k, v) ->
-          let len =
-            String.length (Printf.sprintf "rcnstore2 %s %d\n" k (String.length v))
-            + String.length v + 1
-          in
+          let len = String.length (Fsio.Record.encode ~magic:"rcnstore3" ~tag:k v) in
           (ends @ [ off + len ], off + len))
         ([ 0 ], 0) records
     in
@@ -165,8 +162,11 @@ let test_concurrent_puts_first_wins () =
 
 (* Raw log bytes in the store's record shape, for building logs no
    single live store would write (duplicates, torn tails). *)
-let raw_record key payload =
-  Printf.sprintf "rcnstore2 %s %d\n%s\n" key (String.length payload) payload
+let raw_record key payload = Fsio.Record.encode ~magic:"rcnstore3" ~tag:key payload
+
+(* A genuinely torn tail: a complete header promising more payload than
+   the file holds (what a crash mid-append leaves behind). *)
+let torn_tail = "rcnstore3 torn 999 00000000\nhalf-writ"
 
 let write_raw path chunks =
   Out_channel.with_open_bin path (fun oc ->
@@ -181,7 +181,7 @@ let test_compact_drops_duplicates_and_torn_tail () =
       raw_record "k1" "first";
       raw_record "k2" "two";
       raw_record "k1" "override";
-      "rcnstore2 torn 999\nhalf-writ";
+      torn_tail;
     ];
   let original_size = (Unix.stat path).Unix.st_size in
   let obs = Obs.create () in
@@ -236,31 +236,31 @@ let test_compact_edge_cases () =
       check_bool "map preserved" true (Store.find s "k" = Some "v2");
       Store.close s)
 
-(* Format versioning: a log written by the previous magic (rcnstore1 —
-   before analyze keys went canonical under --sym) must be ignored
-   cleanly, exactly like a torn tail: nothing replayed, the old bytes
-   truncated away on the first append, and the store fully usable. *)
+(* Format versioning: a log written by the previous magic (rcnstore2 —
+   before records grew the CRC field) must be ignored cleanly, exactly
+   like a torn tail: nothing replayed, the old bytes truncated away on
+   the first append, and the store fully usable. *)
 let test_old_format_ignored () =
   with_store_file @@ fun path ->
   let old_record key payload =
-    Printf.sprintf "rcnstore1 %s %d\n%s\n" key (String.length payload) payload
+    Printf.sprintf "rcnstore2 %s %d\n%s\n" key (String.length payload) payload
   in
   write_raw path [ old_record "stale" "v1 bytes"; old_record "older" "more" ];
   let obs = Obs.create () in
   let s = Store.open_store ~obs path in
-  check_int "no v1 record replayed" 0 (Store.size s);
-  check_bool "v1 keys invisible" true (Store.find s "stale" = None);
+  check_int "no old-format record replayed" 0 (Store.size s);
+  check_bool "old-format keys invisible" true (Store.find s "stale" = None);
   check_bool "old bytes counted as torn" true
     (Obs.Metrics.Counter.value (Obs.counter obs "store.torn_bytes") > 0);
-  Store.put s ~key:"fresh" "v2 bytes";
+  Store.put s ~key:"fresh" "v3 bytes";
   Store.close s;
   let s2 = Store.open_store path in
-  check_int "only the v2 record survives" 1 (Store.size s2);
-  check_bool "v2 record replays" true (Store.find s2 "fresh" = Some "v2 bytes");
+  check_int "only the new record survives" 1 (Store.size s2);
+  check_bool "new record replays" true (Store.find s2 "fresh" = Some "v3 bytes");
   Store.close s2;
   let contents = In_channel.with_open_bin path In_channel.input_all in
-  check_bool "v1 bytes gone from the log" false
-    (let re = "rcnstore1" in
+  check_bool "old bytes gone from the log" false
+    (let re = "rcnstore2" in
      let n = String.length contents and m = String.length re in
      let rec probe i = i + m <= n && (String.sub contents i m = re || probe (i + 1)) in
      probe 0)
@@ -281,7 +281,7 @@ let test_compact_survives_kill () =
         [ raw_record k (Printf.sprintf "payload %d for %s" i k) ])
       (List.init (n_keys * 4) Fun.id)
   in
-  write_raw path (chunks @ [ "rcnstore2 torn 12345\nnope" ]);
+  write_raw path (chunks @ [ torn_tail ]);
   let expected k =
     (* last occurrence wins: the highest i mapping to k *)
     let i = (3 * n_keys) + int_of_string (String.sub k 3 3) in
@@ -323,6 +323,109 @@ let test_compact_survives_kill () =
   let tmp = path ^ ".compact.tmp" in
   if Sys.file_exists tmp then Sys.remove tmp
 
+(* Satellite regression: append error-atomicity.  ENOSPC strikes
+   mid-record; the failed put must leave the log byte-identical (whole
+   record or nothing), flip the store to sticky read-only, and the
+   reopened log must hold exactly the records acknowledged before the
+   failure — the failed key absent, never a half record. *)
+let test_enospc_mid_record_atomic () =
+  with_store_file @@ fun path ->
+  (* Two clean puts first, then ENOSPC on the very next write op. *)
+  let s = Store.open_store path in
+  Store.put s ~key:"a" "alpha payload";
+  Store.put s ~key:"b" "beta payload";
+  Store.close s;
+  let clean = In_channel.with_open_bin path In_channel.input_all in
+  (* Injected by global op index: open is 0, the replay read is 1, so
+     the first append is op 2. *)
+  let injector = Fsio.Injector.of_plan [ (2, Fsio.Err Unix.ENOSPC) ] in
+  let obs = Obs.create () in
+  let s = Store.open_store ~obs ~injector path in
+  check_bool "store opens healthy" false (Store.readonly s);
+  check_bool "the doomed put raises Io_error" true
+    (try
+       Store.put s ~key:"doomed" "this record must not survive in part";
+       false
+     with Fsio.Io_error { error = Unix.ENOSPC; _ } -> true);
+  check_bool "first failure flips sticky read-only" true (Store.readonly s);
+  check_int "readonly flip counted" 1
+    (Obs.Metrics.Counter.value (Obs.counter obs "store.readonly"));
+  (* Degraded mode: later puts drop silently, reads keep answering. *)
+  Store.put s ~key:"late" "dropped";
+  check_int "degraded puts counted as dropped" 1
+    (Obs.Metrics.Counter.value (Obs.counter obs "store.dropped_puts"));
+  check_bool "reads still answered from memory" true
+    (Store.find s "a" = Some "alpha payload");
+  Store.close s;
+  check_bool "failed append left the log byte-identical" true
+    (In_channel.with_open_bin path In_channel.input_all = clean);
+  let obs2 = Obs.create () in
+  let s2 = Store.open_store ~obs:obs2 path in
+  check_int "reopen holds exactly the acknowledged records" 2 (Store.size s2);
+  check_bool "failed key absent after reopen" true (Store.find s2 "doomed" = None);
+  check_bool "degraded-drop key absent after reopen" true (Store.find s2 "late" = None);
+  check_int "no torn bytes: the rollback was exact" 0
+    (Obs.Metrics.Counter.value (Obs.counter obs2 "store.torn_bytes"));
+  Store.close s2
+
+(* Satellite: [compact --max-bytes] evicts oldest-first-seen records
+   past the budget, idempotently. *)
+let test_compact_eviction () =
+  with_store_file @@ fun path ->
+  let records =
+    List.init 6 (fun i -> (Printf.sprintf "k%d" i, Printf.sprintf "payload number %d" i))
+  in
+  write_raw path (List.map (fun (k, v) -> raw_record k v) records);
+  let encoded_len (k, v) = String.length (raw_record k v) in
+  let total = List.fold_left (fun a r -> a + encoded_len r) 0 records in
+  (* Budget for exactly the last four records: the two oldest go. *)
+  let budget = total - encoded_len (List.nth records 0) - encoded_len (List.nth records 1) in
+  let obs = Obs.create () in
+  let kept, dropped = Store.compact ~obs ~max_bytes:budget path in
+  check_int "four newest-first-seen records kept" 4 kept;
+  check_int "evictions counted" 2
+    (Obs.Metrics.Counter.value (Obs.counter obs "store.evicted"));
+  check_bool "bytes dropped" true (dropped > 0);
+  check_bool "rewritten log fits the budget" true
+    ((Unix.stat path).Unix.st_size <= budget);
+  let s = Store.open_store path in
+  check_int "replay sees the survivors" 4 (Store.size s);
+  check_bool "oldest evicted" true (Store.find s "k0" = None);
+  check_bool "second-oldest evicted" true (Store.find s "k1" = None);
+  check_bool "newest intact" true (Store.find s "k5" = Some "payload number 5");
+  Store.close s;
+  (* Idempotent: already within budget, a second pass changes nothing. *)
+  let before = In_channel.with_open_bin path In_channel.input_all in
+  let kept2, _ = Store.compact ~max_bytes:budget path in
+  check_int "second pass keeps the same records" 4 kept2;
+  check_bool "second pass leaves identical bytes" true
+    (In_channel.with_open_bin path In_channel.input_all = before);
+  (* A budget larger than the log evicts nothing. *)
+  let kept3, _ = Store.compact ~max_bytes:(total * 2) path in
+  check_int "roomy budget evicts nothing" 4 kept3
+
+(* Mid-log corruption is a hard error with the offset, never a silent
+   truncation: flip one payload byte of the *first* record (more records
+   follow, so it cannot be mistaken for a torn tail). *)
+let test_corruption_is_reported () =
+  with_store_file @@ fun path ->
+  write_raw path [ raw_record "k1" "first payload"; raw_record "k2" "second" ];
+  let bytes = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+  let off = Bytes.index bytes '\n' + 1 in
+  Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor 1));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc bytes);
+  (match Store.open_store path with
+  | s ->
+      Store.close s;
+      Alcotest.fail "corrupt log opened silently"
+  | exception Fsio.Corrupt { offset; _ } ->
+      check_int "corruption reported at the corrupt record's offset" 0 offset);
+  check_bool "compact refuses a corrupt log too" true
+    (try
+       ignore (Store.compact path);
+       false
+     with Fsio.Corrupt _ -> true)
+
 let suite =
   [
     Alcotest.test_case "put / find / reload round-trip" `Quick test_put_find_roundtrip;
@@ -338,4 +441,10 @@ let suite =
     Alcotest.test_case "previous-format log ignored cleanly" `Quick
       test_old_format_ignored;
     Alcotest.test_case "compact survives kill -9" `Slow test_compact_survives_kill;
+    Alcotest.test_case "ENOSPC mid-record leaves the log byte-identical" `Quick
+      test_enospc_mid_record_atomic;
+    Alcotest.test_case "compact --max-bytes evicts oldest-first-seen" `Quick
+      test_compact_eviction;
+    Alcotest.test_case "mid-log corruption reported, not eaten" `Quick
+      test_corruption_is_reported;
   ]

@@ -11,7 +11,10 @@
    - every counter named on the command line as `--require NAME` exists;
    - every counter named as `--require-nonzero NAME` exists and is > 0
      (the form the kernel counters are validated with: a smoke run that
-     never compiled a trie or evaluated a candidate is not a smoke run).
+     never compiled a trie or evaluated a candidate is not a smoke run);
+   - every counter named as `--require-zero NAME` exists and is exactly 0
+     (the form invariant-violation counters are validated with: the
+     crashtest smoke must have run its plans and found nothing).
 
    Dependency-free on purpose (the repo vendors no JSON library): the
    stats line is machine-written with a fixed key order and no whitespace,
@@ -42,7 +45,10 @@ let int_field line key =
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("stats_check: " ^ m); exit 1) fmt
 
 let () =
-  let required = ref [] and required_nonzero = ref [] and inputs = ref [] in
+  let required = ref []
+  and required_nonzero = ref []
+  and required_zero = ref []
+  and inputs = ref [] in
   let rec parse = function
     | "--require" :: name :: rest ->
         required := name :: !required;
@@ -50,7 +56,11 @@ let () =
     | "--require-nonzero" :: name :: rest ->
         required_nonzero := name :: !required_nonzero;
         parse rest
-    | ("--require" | "--require-nonzero") :: [] -> fail "--require needs a counter name"
+    | "--require-zero" :: name :: rest ->
+        required_zero := name :: !required_zero;
+        parse rest
+    | ("--require" | "--require-nonzero" | "--require-zero") :: [] ->
+        fail "--require needs a counter name"
     | path :: rest ->
         inputs := path :: !inputs;
         parse rest
@@ -111,7 +121,17 @@ let () =
       | Some v when v < 0 -> fail "required counter %s is negative (%d)" name v
       | Some _ -> ())
     !required_nonzero;
-  let all_required = List.rev_append !required_nonzero (List.rev !required) in
+  List.iter
+    (fun name ->
+      match int_field line name with
+      | None -> fail "missing required counter %s" name
+      | Some 0 -> ()
+      | Some v -> fail "required-zero counter %s is %d" name v)
+    !required_zero;
+  let all_required =
+    List.rev_append !required_zero
+      (List.rev_append !required_nonzero (List.rev !required))
+  in
   Printf.printf "stats_check: ok (%s%s)\n" cache_report
     (match all_required with
     | [] -> ""
